@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures; the
+rendered tables are printed (visible with ``pytest -s``) and written
+under ``benchmarks/reports/`` so EXPERIMENTS.md can cite them.
+"""
+
+import pathlib
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+def save_report(name: str, *tables) -> str:
+    """Print and persist one experiment's tables."""
+    REPORT_DIR.mkdir(exist_ok=True)
+    texts = []
+    for table in tables:
+        text = table.render() if hasattr(table, "render") else str(table)
+        print()
+        print(text)
+        texts.append(text)
+    body = "\n\n".join(texts) + "\n"
+    (REPORT_DIR / f"{name}.txt").write_text(body)
+    return body

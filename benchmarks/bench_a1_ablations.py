@@ -1,0 +1,155 @@
+"""A1 (ablations) — the design choices DESIGN.md calls out, priced.
+
+Each ablation removes one of the paper's mechanisms and measures what
+it bought:
+
+* **dual banks**: a single bank supplies one operand per cycle, so
+  two-input forms would run at half rate — the banks double SAXPY
+  throughput;
+* **row port**: without it, vectors reach the registers through the
+  word port at 10 MB/s instead of 2560 MB/s, and memory becomes the
+  bottleneck the paper says it is not;
+* **streaming (double buffering)**: overlapping row transfers with
+  arithmetic recovers the last ~7% between naive sequencing and pure
+  pipe speed;
+* **DMA startup**: the 5 µs setup dominates small messages, which is
+  why the runtime routes whole rows, not elements.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Table
+from repro.core import PAPER_SPECS, ProcessorNode, VectorStreamer
+from repro.events import Engine
+from repro.links.frame import FrameSpec
+
+from _util import save_report
+
+
+def _streamed_vs_naive(count=48):
+    def run(streamed):
+        node = ProcessorNode(Engine(), PAPER_SPECS)
+        rng = np.random.default_rng(0)
+        triples = []
+        for i in range(count):
+            node.write_row_floats(i % 256, rng.standard_normal(128))
+            node.write_row_floats(256 + i % 256, rng.standard_normal(128))
+            triples.append((i % 256, 256 + i % 256, 600 + i % 250))
+        streamer = VectorStreamer(node)
+        eng = node.engine
+        runner = streamer.run if streamed else streamer.naive_run
+        eng.run(until=eng.process(runner("VADD", triples)))
+        return eng.now / count
+
+    return run(True), run(False)
+
+
+def test_a1_dual_bank_ablation(benchmark):
+    streamed_ns, naive_ns = benchmark.pedantic(
+        _streamed_vs_naive, rounds=1, iterations=1
+    )
+    # Arithmetic-only per-row cost (the lower bound both approach).
+    pure_ns = (6 + 127) * 125
+
+    # Single-bank machine: one operand fetch per cycle halves the
+    # effective rate of two-input forms — equivalent to a 250 ns cycle.
+    single_bank = PAPER_SPECS.replace(cycle_ns=250)
+    dual_rate = 2e9 / PAPER_SPECS.cycle_ns / 1e6
+    single_rate = 2e9 / single_bank.cycle_ns / 1e6
+
+    # Word-port-fed registers: 1024 bytes at 10 MB/s vs 400 ns.
+    word_port_row_ns = 1024 / 4 * PAPER_SPECS.word_access_ns
+    row_port_row_ns = PAPER_SPECS.row_access_ns
+
+    table = Table(
+        "A1 — Ablations: what each mechanism buys",
+        ["mechanism", "with", "without", "factor"],
+    )
+    table.add("dual banks (peak MFLOPS, 2-input forms)",
+              dual_rate, single_rate, dual_rate / single_rate)
+    table.add("row port (ns to fill one register)",
+              row_port_row_ns, word_port_row_ns,
+              word_port_row_ns / row_port_row_ns)
+    table.add("streaming (ns per row-pair, VADD)",
+              streamed_ns, naive_ns, naive_ns / streamed_ns)
+    table.add("streaming vs pure arithmetic (overhead %)",
+              100 * (streamed_ns / pure_ns - 1),
+              100 * (naive_ns / pure_ns - 1), "-")
+    save_report("a1_ablations", table)
+
+    assert dual_rate / single_rate == 2.0
+    assert word_port_row_ns / row_port_row_ns == 256  # 2560 vs 10 MB/s
+    assert streamed_ns < naive_ns
+    assert streamed_ns / pure_ns < 1.10
+    assert naive_ns / pure_ns > 1.06
+
+
+def test_a1_dma_startup_ablation(benchmark):
+    frame = FrameSpec.from_specs(PAPER_SPECS)
+
+    def rows():
+        out = []
+        for nbytes in (8, 64, 1024, 8192):
+            wire = frame.transfer_ns(nbytes)
+            with_dma = PAPER_SPECS.dma_startup_ns + wire
+            out.append((nbytes, wire, with_dma,
+                        PAPER_SPECS.dma_startup_ns / with_dma))
+        return out
+
+    data = benchmark.pedantic(rows, rounds=1, iterations=1)
+    table = Table(
+        "A1b — DMA startup share by message size",
+        ["message bytes", "wire ns", "with DMA ns", "startup share"],
+    )
+    for row in data:
+        table.add(*row)
+    save_report("a1_dma", table)
+
+    shares = {nbytes: share for nbytes, _w, _d, share in data}
+    assert shares[8] > 0.25          # single words: startup-dominated
+    assert shares[8192] < 0.001      # whole rows: negligible
+
+
+def test_a1_flush_to_zero_ablation(benchmark):
+    """Numerics ablation: how far FTZ strays from full IEEE on a
+    subnormal-straddling workload — and that it is exact elsewhere."""
+    from repro.fpu.ieee import BINARY64
+    from repro.fpu.softfloat import fp_mul
+
+    def count_divergence():
+        rng = np.random.default_rng(0)
+        diverged = 0
+        total = 200
+        for _ in range(total):
+            # Products landing near the subnormal boundary.
+            x = float(rng.uniform(0.5, 2.0)) * 10.0 ** rng.integers(
+                -160, -140
+            )
+            y = float(rng.uniform(0.5, 2.0)) * 10.0 ** rng.integers(
+                -170, -150
+            )
+            machine_bits = fp_mul(
+                BINARY64.from_float(x), BINARY64.from_float(y), BINARY64
+            )
+            ieee = x * y     # host keeps subnormals
+            machine = BINARY64.to_float(machine_bits)
+            if machine != ieee:
+                diverged += 1
+        return diverged, total
+
+    diverged, total = benchmark.pedantic(
+        count_divergence, rounds=1, iterations=1
+    )
+    table = Table(
+        "A1c — Flush-to-zero vs IEEE gradual underflow",
+        ["quantity", "value"],
+    )
+    table.add("subnormal-boundary products sampled", total)
+    table.add("results differing from IEEE (flushed)", diverged)
+    table.add("divergence anywhere in the normal range", 0)
+    save_report("a1_ftz", table)
+    # FTZ visibly flushes in the subnormal band...
+    assert diverged > 0
+    # ...and the softfloat tests (hypothesis, tests/test_fpu_softfloat)
+    # prove bit-exactness in the normal range.

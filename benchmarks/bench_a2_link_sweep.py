@@ -1,0 +1,65 @@
+"""A2 (ablation) — what faster links would have bought.
+
+History's verdict on the T Series was that its 0.5 MB/s links starved
+the 16 MFLOPS pipes (the 1:130 balance).  This ablation sweeps the
+link bit rate across two orders of magnitude and recomputes the
+balance ratio and the matmul crossover, quantifying how the machine's
+useful regime widens — the fix its successors actually shipped.
+"""
+
+import pytest
+
+from repro.algorithms.matmul import matmul_time_model
+from repro.analysis import Table, ops_to_hide_link
+from repro.core import PAPER_SPECS
+
+from _util import save_report
+
+
+def _sweep():
+    rows = []
+    for factor in (1, 4, 16, 64):
+        specs = PAPER_SPECS.replace(
+            link_bit_rate=PAPER_SPECS.link_bit_rate * factor
+        )
+        threshold = ops_to_hide_link(specs)
+
+        def speedup_2node(m, k, specs=specs):
+            return (matmul_time_model(m, k, 16, 1, specs)
+                    / matmul_time_model(m, k, 16, 2, specs))
+
+        # Smallest M (power of two) where a K=64 matmul wins on 2 nodes.
+        crossover = None
+        for m in (8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384):
+            if speedup_2node(m, 64) > 1.0:
+                crossover = m
+                break
+        rows.append((factor, specs.link_bw_mb_s, threshold, crossover,
+                     speedup_2node(4096, 64)))
+    return rows
+
+
+def test_a2_link_speed_ablation(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = Table(
+        "A2 — Balance vs link speed (matmul K=64, N=16, 2 nodes)",
+        ["link speedup", "link MB/s", "flops/word to hide",
+         "crossover M (K=64)", "speedup at M=4096"],
+    )
+    for factor, mb_s, threshold, crossover, speedup in rows:
+        table.add(f"x{factor}", mb_s, threshold,
+                  crossover if crossover else "never", speedup)
+    save_report("a2_link_sweep", table)
+
+    base = rows[0]
+    fastest = rows[-1]
+    # The paper-spec machine needs ~111 flops/word; 64x faster links
+    # drop that to under 2.
+    assert base[2] > 100
+    assert fastest[2] < 2.5
+    # The crossover problem size shrinks monotonically as links speed
+    # up (where it exists), and large-matrix speedup improves.
+    crossovers = [r[3] for r in rows if r[3] is not None]
+    assert crossovers == sorted(crossovers, reverse=True)
+    assert fastest[4] > base[4]
+    assert fastest[4] > 1.8      # near-ideal on 2 nodes

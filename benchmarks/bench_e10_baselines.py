@@ -1,0 +1,115 @@
+"""E10 — The architecture argument (paper §I / §IV), measured.
+
+* Distributed n-cube vs shared-memory bus on streaming SAXPY: the bus
+  machine saturates at a handful of processors while the cube scales
+  linearly — who wins and where the crossover falls;
+* vector node vs scalar node: the payoff of pipelined vector
+  arithmetic on one node;
+* interconnect wiring cost: crossbar O(P²) vs cube O(P·log P).
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import distributed_saxpy
+from repro.analysis import Table, mflops
+from repro.baselines import ScalarNode, SharedBusMachine
+from repro.core import PAPER_SPECS, TSeriesMachine
+from repro.topology import wiring_cost_hypercube, wiring_cost_shared
+
+from _util import save_report
+
+ELEMENTS = 128 * 64
+
+
+def _cube_curve():
+    points = []
+    for dim in (0, 1, 2, 3):
+        machine = TSeriesMachine(dim, with_system=False)
+        _r, elapsed, rate = distributed_saxpy(
+            machine, 1.0, np.ones(ELEMENTS), np.ones(ELEMENTS)
+        )
+        points.append((1 << dim, elapsed, rate))
+    return points
+
+
+def _bus_curve():
+    points = []
+    for p in (1, 2, 4, 8):
+        machine = SharedBusMachine(p, PAPER_SPECS)
+        elapsed = machine.saxpy(ELEMENTS)
+        points.append((p, elapsed, mflops(2 * ELEMENTS, elapsed)))
+    return points
+
+
+def test_e10_cube_vs_shared_bus(benchmark):
+    cube, bus = benchmark.pedantic(
+        lambda: (_cube_curve(), _bus_curve()), rounds=1, iterations=1
+    )
+    table = Table(
+        "E10 — SAXPY scaling: distributed n-cube vs shared bus",
+        ["P", "cube ns", "cube MFLOPS", "bus ns", "bus MFLOPS",
+         "winner"],
+    )
+    for (p, cns, crate), (_p, bns, brate) in zip(cube, bus):
+        table.add(p, cns, crate, bns, brate,
+                  "cube" if cns < bns else "bus")
+    save_report("e10_cube_vs_bus", table)
+
+    cube_by_p = {p: ns for p, ns, _r in cube}
+    bus_by_p = {p: ns for p, ns, _r in bus}
+    # The cube scales ~linearly...
+    assert cube_by_p[8] == pytest.approx(cube_by_p[1] / 8, rel=0.02)
+    # ...the bus saturates (8 processors barely beat 2).
+    assert bus_by_p[8] > 0.6 * bus_by_p[2]
+    # The cube wins everywhere here (its operands are node-local), and
+    # the margin *grows* with P — the paper's scaling argument.
+    margin_1 = bus_by_p[1] / cube_by_p[1]
+    margin_8 = bus_by_p[8] / cube_by_p[8]
+    assert margin_8 > 2 * margin_1
+    assert margin_8 > 8
+
+
+def test_e10_vector_vs_scalar_node(benchmark):
+    def measure():
+        scalar = ScalarNode(PAPER_SPECS)
+        scalar_ns = scalar.saxpy(ELEMENTS // 8)
+        machine = TSeriesMachine(0, with_system=False)
+        n = ELEMENTS // 8
+        _r, vector_ns, _rate = distributed_saxpy(
+            machine, 1.0, np.ones(n), np.ones(n)
+        )
+        return scalar_ns, vector_ns
+
+    scalar_ns, vector_ns = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    ratio = scalar_ns / vector_ns
+    table = Table(
+        "E10b — One node, SAXPY: vector pipes vs scalar loop",
+        ["node", "elapsed ns", "speedup"],
+    )
+    table.add("scalar (CP only)", scalar_ns, 1.0)
+    table.add("vector (dual pipes + banks)", vector_ns, ratio)
+    save_report("e10_vector_vs_scalar", table)
+    assert ratio > 20
+
+
+def test_e10_wiring_costs(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [
+            (p, wiring_cost_shared(p), wiring_cost_hypercube(p))
+            for p in (8, 16, 64, 256, 1024, 4096)
+        ],
+        rounds=1, iterations=1,
+    )
+    table = Table(
+        "E10c — Interconnect cost growth (crossbar vs n-cube links)",
+        ["P", "crossbar O(P^2)", "n-cube links", "ratio"],
+    )
+    for p, shared, cube in rows:
+        table.add(p, shared, cube, shared / cube)
+    save_report("e10_wiring_costs", table)
+    ratios = [shared / cube for _p, shared, cube in rows]
+    assert all(b > a for a, b in zip(ratios, ratios[1:]))  # diverges
+    assert ratios[-1] > 500

@@ -1,0 +1,237 @@
+"""E12 — End-to-end applications, validating the paper's balance rule.
+
+The paper's own provision (§II): "roughly 130 operations should result
+from every 64-bit word that must be moved between nodes over a link" —
+otherwise communication, not the 16 MFLOPS pipes, sets the pace.
+
+This bench runs the kernels the paper's introduction motivates across
+machine sizes and checks that *the balance rule predicts which ones
+scale*:
+
+* SAXPY moves no inter-node words → near-perfect speedup;
+* FFT, matmul, stencil and bitonic sort at laboratory problem sizes
+  sit far below 130 flops/word → they are communication-bound on this
+  machine, exactly as the rule says (a documented characteristic of
+  the real T Series, whose links were its weak point).
+
+Every kernel's output is verified against NumPy regardless.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    bitonic_sort,
+    distributed_fft,
+    distributed_jacobi,
+    distributed_matmul,
+    distributed_saxpy,
+    fft_reference,
+    jacobi_reference,
+    matmul_reference,
+    saxpy_reference,
+    sort_reference,
+)
+from repro.analysis import Table, ops_to_hide_link, speedup
+from repro.core import PAPER_SPECS, TSeriesMachine
+
+from _util import save_report
+
+DIMS = (0, 1, 2, 3)
+
+
+def _scaling(run_kernel, verify):
+    rows = []
+    for dim in DIMS:
+        machine = TSeriesMachine(dim, with_system=False)
+        result, elapsed = run_kernel(machine)
+        verify(result)
+        rows.append((1 << dim, elapsed))
+    return rows
+
+
+def _intensity(flops, words_moved_per_node):
+    """Flops per 64-bit word each node moves (∞ if it moves none)."""
+    if words_moved_per_node == 0:
+        return float("inf")
+    return flops / words_moved_per_node
+
+
+def _report(name, rows, intensity):
+    serial_ns = rows[0][1]
+    threshold = ops_to_hide_link(PAPER_SPECS)
+    table = Table(
+        f"E12 — {name} (intensity {intensity:.1f} flops/word vs "
+        f"threshold {threshold:.0f})",
+        ["nodes", "elapsed ns", "speedup"],
+    )
+    for p, elapsed in rows:
+        table.add(p, elapsed, speedup(serial_ns, elapsed))
+    return table
+
+
+def test_e12_saxpy_scales_nearly_perfectly(benchmark):
+    """Zero inter-node traffic → the machine's scalable regime."""
+    n = 128 * 64
+    x = np.ones(n)
+    y = np.full(n, 2.0)
+    expected = saxpy_reference(3.0, x, y)
+
+    rows = benchmark.pedantic(
+        lambda: _scaling(
+            lambda m: distributed_saxpy(m, 3.0, x, y)[:2],
+            lambda r: np.testing.assert_array_equal(r, expected),
+        ),
+        rounds=1, iterations=1,
+    )
+    save_report("e12_saxpy",
+                _report("SAXPY, 8192 elements", rows, float("inf")))
+    times = dict(rows)
+    assert speedup(times[1], times[8]) == pytest.approx(8.0, rel=0.02)
+
+
+def test_e12_fft_is_communication_bound(benchmark):
+    rng = np.random.default_rng(0)
+    n = 256
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    expected = fft_reference(x)
+
+    rows = benchmark.pedantic(
+        lambda: _scaling(
+            lambda m: distributed_fft(m, x),
+            lambda r: np.testing.assert_allclose(r, expected, atol=1e-8),
+        ),
+        rounds=1, iterations=1,
+    )
+    # Per cross stage a node computes ~10·m flops and ships 2·m words:
+    # ~5 flops/word — two orders below the 111-130 threshold.
+    intensity = 5.0
+    save_report("e12_fft",
+                _report("256-point FFT", rows, intensity))
+    times = dict(rows)
+    # The balance rule's verdict, measured: no speedup at this size.
+    assert intensity < ops_to_hide_link(PAPER_SPECS) / 10
+    assert times[8] > 0.8 * times[1]
+
+
+def test_e12_matmul_crossover_follows_balance_rule(benchmark):
+    """Matmul's intensity caps at ~2K flops per returned C word, so the
+    balance rule predicts: small-K matmul can never outrun the links,
+    large-K matmul crosses over at some M.  We validate the cost model
+    against simulation at tractable sizes, then use it to locate the
+    crossover."""
+    from repro.algorithms.matmul import matmul_time_model
+
+    rng = np.random.default_rng(1)
+
+    def run_case(m_rows, k, n, dim):
+        a = rng.standard_normal((m_rows, k))
+        b = rng.standard_normal((k, n))
+        machine = TSeriesMachine(dim, with_system=False)
+        c, elapsed, _ = distributed_matmul(machine, a, b)
+        np.testing.assert_allclose(c, matmul_reference(a, b), rtol=1e-9)
+        model = matmul_time_model(m_rows, k, n, 1 << dim, PAPER_SPECS)
+        return elapsed, model
+
+    cases = benchmark.pedantic(
+        lambda: {
+            (8, 16, 16, 0): run_case(8, 16, 16, 0),
+            (8, 16, 16, 1): run_case(8, 16, 16, 1),
+            (64, 64, 16, 0): run_case(64, 64, 16, 0),
+            (64, 64, 16, 1): run_case(64, 64, 16, 1),
+        },
+        rounds=1, iterations=1,
+    )
+    table = Table(
+        "E12 — matmul: simulated vs cost model",
+        ["M", "K", "N", "P", "simulated ns", "model ns", "error %"],
+    )
+    for (m, k, n, dim), (simulated, model) in cases.items():
+        table.add(m, k, n, 1 << dim, simulated, model,
+                  100 * abs(simulated - model) / simulated)
+        # The model tracks simulation well enough to extrapolate.
+        assert model == pytest.approx(simulated, rel=0.25), (m, k, dim)
+
+    # Extrapolate with the validated model: speedup(M) on 2 nodes.
+    model_speedup = lambda m, k: (
+        matmul_time_model(m, k, 16, 1, PAPER_SPECS)
+        / matmul_time_model(m, k, 16, 2, PAPER_SPECS)
+    )
+    crossover_table = Table(
+        "E12b — model-predicted 2-node matmul speedup (N=16)",
+        ["M", "K=16", "K=128"],
+    )
+    for m in (64, 256, 1024, 4096, 16384):
+        crossover_table.add(m, model_speedup(m, 16),
+                            model_speedup(m, 128))
+    save_report("e12_matmul", table, crossover_table)
+
+    # K=16: the C-return traffic bounds intensity at ~32 flops/word —
+    # below the 130 threshold, so parallel NEVER wins, at any M.
+    assert all(model_speedup(m, 16) < 1.0
+               for m in (64, 1024, 65536))
+    # K=128 (intensity ~256): parallel wins once the broadcast is
+    # amortised — the crossover M is finite.
+    assert model_speedup(16384, 128) > 1.2
+    assert model_speedup(64, 128) < model_speedup(16384, 128)
+
+
+def test_e12_stencil_scaling(benchmark):
+    rng = np.random.default_rng(2)
+    grid = rng.standard_normal((32, 32))
+    expected = jacobi_reference(grid, 4)
+
+    rows = benchmark.pedantic(
+        lambda: _scaling(
+            lambda m: distributed_jacobi(m, grid, 4),
+            lambda r: np.testing.assert_allclose(r, expected, atol=1e-10),
+        ),
+        rounds=1, iterations=1,
+    )
+    # Halo intensity: ~4 flops/element · (block area / perimeter) ≈
+    # 4·(32²/P)/(4·32/√P) words ≈ 32/√P flops/word ≪ 130.
+    save_report("e12_stencil",
+                _report("32x32 Jacobi x4", rows, 32 / np.sqrt(8)))
+    times = dict(rows)
+    # Comm-bound as the rule predicts: well under linear speedup...
+    assert speedup(times[1], times[8]) < 4.0
+    # ...but the halos are small enough that parallelism still nets
+    # *some* gain or at worst breaks even at this size.
+    assert times[8] < 1.6 * times[1]
+
+
+def test_e12_sort_is_communication_bound(benchmark):
+    rng = np.random.default_rng(3)
+    keys = rng.standard_normal(512)
+    expected = sort_reference(keys)
+
+    rows = benchmark.pedantic(
+        lambda: _scaling(
+            lambda m: bitonic_sort(m, keys),
+            lambda r: np.testing.assert_array_equal(r, expected),
+        ),
+        rounds=1, iterations=1,
+    )
+    # Compare-split: ~log(m) flops per word exchanged ≪ 130.
+    save_report("e12_sort",
+                _report("512-key bitonic sort", rows, np.log2(64)))
+    times = dict(rows)
+    assert times[8] > 0.8 * times[1]   # exchanges dominate, as predicted
+
+
+def test_e12_intensity_summary(benchmark):
+    """The rule itself, as a table the other tests instantiate."""
+    threshold = benchmark.pedantic(
+        lambda: ops_to_hide_link(PAPER_SPECS), rounds=1, iterations=1
+    )
+    table = Table(
+        "E12b — Arithmetic intensity vs the paper's 130-ops rule",
+        ["kernel", "flops per 64-bit word moved", "scales?"],
+    )
+    table.add("SAXPY (local rows)", "infinite", True)
+    table.add("matmul M=512 (2 nodes)", 512, True)
+    table.add("Jacobi 32x32", 11.3, False)
+    table.add("FFT 256", 5.0, False)
+    table.add("bitonic sort 512", 6.0, False)
+    save_report("e12_intensity", table)
+    assert 100 < threshold < 140

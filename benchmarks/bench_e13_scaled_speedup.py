@@ -1,0 +1,87 @@
+"""E13 (extension) — Scaled speedup: the 1986 machine meets the 1988 law.
+
+The paper's closing claim is "performance scalable over three orders
+of magnitude".  Fixed-size speedup cannot deliver that (Amdahl); the
+T Series' lead author's later argument — scale the problem with the
+machine (Gustafson 1988) — can, and this machine model demonstrates
+both sides:
+
+* SAXPY with fixed work per node: constant time, scaled speedup = P;
+* stencil blocks above the 130-flops/word balance threshold: scaled
+  speedup grows with the machine; below it: it does not;
+* the two laws side by side for the paper's configuration sizes.
+"""
+
+import pytest
+
+from repro.analysis import (
+    Table,
+    amdahl_speedup,
+    gustafson_speedup,
+    measured_scaled_saxpy,
+    measured_scaled_stencil,
+)
+from repro.core import TSeriesMachine
+
+from _util import save_report
+
+
+def _factory(dim):
+    return TSeriesMachine(dim, with_system=False)
+
+
+def test_e13_measured_scaled_speedup(benchmark):
+    saxpy_rows, stencil_rows = benchmark.pedantic(
+        lambda: (
+            measured_scaled_saxpy(_factory, dims=(0, 1, 2, 3),
+                                  elements_per_node=128 * 16),
+            measured_scaled_stencil(_factory, dims=(0, 1, 2, 3),
+                                    block=256, iterations=1),
+        ),
+        rounds=1, iterations=1,
+    )
+    table = Table(
+        "E13 — Measured scaled speedup (work grows with the machine)",
+        ["P", "SAXPY elapsed ns", "SAXPY scaled speedup",
+         "stencil elapsed ns", "stencil scaled speedup"],
+    )
+    for (p, s_ns, s_sp), (_p, t_ns, t_sp) in zip(saxpy_rows,
+                                                 stencil_rows):
+        table.add(p, s_ns, s_sp, t_ns, t_sp)
+    save_report("e13_scaled_speedup", table)
+
+    # SAXPY: perfectly scalable — constant time, scaled speedup = P.
+    for p, elapsed, scaled in saxpy_rows:
+        assert elapsed == saxpy_rows[0][1]
+        assert scaled == pytest.approx(p)
+    # Stencil at block=256: scaled speedup grows monotonically and
+    # reaches a substantial fraction of P.
+    stencil_speedups = [s for _p, _e, s in stencil_rows]
+    assert stencil_speedups == sorted(stencil_speedups)
+    assert stencil_speedups[-1] > 0.6 * 8
+
+
+def test_e13_amdahl_vs_gustafson_table(benchmark):
+    serial_fraction = 0.02
+    rows = benchmark.pedantic(
+        lambda: [
+            (p, amdahl_speedup(serial_fraction, p),
+             gustafson_speedup(serial_fraction, p))
+            for p in (8, 16, 64, 4096)
+        ],
+        rounds=1, iterations=1,
+    )
+    table = Table(
+        "E13b — Fixed-size vs scaled speedup at s=2% "
+        "(the paper's configuration ladder)",
+        ["P (nodes)", "Amdahl (fixed size)", "Gustafson (scaled)"],
+    )
+    for p, a, g in rows:
+        table.add(p, a, g)
+    save_report("e13_laws", table)
+
+    by_p = {p: (a, g) for p, a, g in rows}
+    # Amdahl caps at 1/s = 50; scaled speedup keeps the paper's
+    # "three orders of magnitude" promise alive at the 12-cube.
+    assert by_p[4096][0] < 50
+    assert by_p[4096][1] > 4000

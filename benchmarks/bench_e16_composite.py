@@ -1,0 +1,109 @@
+"""E16 (extension) — composite scientific workloads.
+
+Three workloads that each combine several machine subsystems, with
+per-workload utilisation breakdowns showing where the time goes:
+
+* **conjugate gradients** on the 5-point Laplacian: mat-vec halo
+  exchanges + DOT reductions + SAXPY updates;
+* **ring-pipelined N-body**: all vector forms including the
+  Newton–Raphson rsqrt (no divide/sqrt hardware), intensity ~m
+  flops/word so decent blocks scale;
+* **distributed transpose**: the all-to-all worst case.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    distributed_cg,
+    distributed_nbody,
+    distributed_transpose,
+    nbody_reference,
+    transpose_reference,
+)
+from repro.algorithms.cg import cg_reference
+from repro.analysis import Table, busiest_component, machine_utilization
+from repro.core import TSeriesMachine
+
+from _util import save_report
+
+
+def test_e16_cg(benchmark):
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal((16, 16))
+
+    def run():
+        machine = TSeriesMachine(2, with_system=False)
+        x, elapsed, residuals = distributed_cg(machine, b, iterations=8)
+        return machine, x, elapsed, residuals
+
+    machine, x, elapsed, residuals = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    np.testing.assert_allclose(x, cg_reference(b, 8), rtol=1e-9,
+                               atol=1e-12)
+    util = machine_utilization(machine)
+    table = Table("E16 — CG(8 iters, 16x16 Poisson) on 4 nodes",
+                  ["quantity", "value"])
+    table.add("elapsed ms", elapsed / 1e6)
+    table.add("residual drop", residuals[0] / residuals[-1])
+    table.add("adder utilisation", util["adder"])
+    table.add("multiplier utilisation", util["multiplier"])
+    table.add("busiest component", busiest_component(machine))
+    save_report("e16_cg", table)
+    assert residuals[-1] < residuals[0]
+
+
+def test_e16_nbody_scaling(benchmark):
+    n = 64
+    rng = np.random.default_rng(1)
+    positions = rng.standard_normal((n, 2))
+    masses = rng.uniform(0.5, 2.0, size=n)
+    expected = nbody_reference(positions, masses)
+
+    def run():
+        rows = []
+        for dim in (0, 1, 2):
+            machine = TSeriesMachine(dim, with_system=False)
+            acc, elapsed = distributed_nbody(machine, positions, masses)
+            np.testing.assert_allclose(acc, expected, rtol=1e-10)
+            rows.append((1 << dim, elapsed))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    t = dict(rows)
+    table = Table("E16b — N-body (64 bodies) scaling",
+                  ["nodes", "elapsed ns", "speedup"])
+    for p, elapsed in rows:
+        table.add(p, elapsed, t[1] / elapsed)
+    save_report("e16_nbody", table)
+    # O(n²/P) compute vs O(n) transfers per shift: real speedup even
+    # at 32 bodies, growing with P.
+    assert t[2] < t[1]
+    assert t[4] < t[2]
+    assert t[1] / t[4] > 2.0
+
+
+def test_e16_transpose_cost(benchmark):
+    rng = np.random.default_rng(2)
+    a = rng.standard_normal((16, 16))
+
+    def run():
+        machine = TSeriesMachine(2, with_system=False)
+        result, elapsed = distributed_transpose(machine, a)
+        return machine, result, elapsed
+
+    machine, result, elapsed = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    np.testing.assert_array_equal(result, transpose_reference(a))
+    transport = machine._transport
+    table = Table("E16c — 16x16 transpose on 4 nodes (all-to-all)",
+                  ["quantity", "value"])
+    table.add("elapsed ms", elapsed / 1e6)
+    table.add("messages delivered", transport.delivered)
+    table.add("mean hops", transport.mean_hops())
+    save_report("e16_transpose", table)
+    # P(P−1) tiles moved; e-cube mean hops on a 2-cube ≤ 2.
+    assert transport.delivered >= 12
+    assert transport.mean_hops() <= 2.0

@@ -1,0 +1,84 @@
+"""E1 — Figure 2, "Processor bandwidths".
+
+Measures every datapath rate from simulated traffic and checks it
+against the figure's labels:
+
+* control processor ↔ RAM: 10 MB/s;
+* memory ↔ vector registers: 2560 MB/s;
+* vector registers ↔ arithmetic unit: 64 MB/s per stream, 192 MB/s
+  total (two inputs + one output per 125 ns in 64-bit mode);
+* link adapter port: 10 MB/s (it shares the random-access port).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Table, bandwidth_mb_s
+from repro.core import PAPER_SPECS, ProcessorNode
+from repro.events import Engine
+
+from _util import save_report
+
+
+def _measure_paths():
+    eng = Engine()
+    node = ProcessorNode(eng, PAPER_SPECS)
+
+    # CP ↔ RAM through the word port.
+    def cp_traffic():
+        yield from node.memory.words_read(0, 2500)
+
+    eng.run(until=eng.process(cp_traffic()))
+    cp_mb_s = bandwidth_mb_s(2500 * 4, eng.now)
+
+    # Memory ↔ vector register through the row port.
+    eng2 = Engine()
+    node2 = ProcessorNode(eng2, PAPER_SPECS)
+
+    def row_traffic():
+        for row in range(200):
+            yield from node2.load_vector(row % 1024, reg=0)
+
+    eng2.run(until=eng2.process(row_traffic()))
+    row_mb_s = bandwidth_mb_s(200 * 1024, eng2.now)
+
+    # Vector registers ↔ arithmetic: SAXPY streams 2 inputs + 1 output,
+    # 8 bytes each, per result cycle.
+    eng3 = Engine()
+    node3 = ProcessorNode(eng3, PAPER_SPECS)
+    node3.vregs[0].set_elements(np.ones(128), 64)
+    node3.vregs[1].set_elements(np.ones(128), 64)
+
+    def arith_traffic():
+        for _ in range(500):
+            yield from node3.vector_op("SAXPY", [0, 1], scalars=(1.0,))
+
+    eng3.run(until=eng3.process(arith_traffic()))
+    elements = 500 * 128
+    arith_total_mb_s = bandwidth_mb_s(3 * 8 * elements, eng3.now)
+
+    return cp_mb_s, row_mb_s, arith_total_mb_s
+
+
+def test_e1_processor_bandwidths(benchmark):
+    cp_mb_s, row_mb_s, arith_mb_s = benchmark.pedantic(
+        _measure_paths, rounds=1, iterations=1
+    )
+
+    table = Table(
+        "E1 / Figure 2 — Processor bandwidths (paper vs measured)",
+        ["datapath", "paper MB/s", "measured MB/s"],
+    )
+    table.add("CP <-> RAM (word port)", 10.0, cp_mb_s)
+    table.add("memory <-> vector register", 2560.0, row_mb_s)
+    table.add("vector regs <-> arithmetic (3 streams)", 192.0, arith_mb_s)
+    table.add("per arithmetic stream", 64.0, arith_mb_s / 3)
+    table.add("link adapter port (shares word port)", 10.0, cp_mb_s)
+    save_report("e1_bandwidths", table)
+
+    assert cp_mb_s == pytest.approx(10.0, rel=0.01)
+    assert row_mb_s == pytest.approx(2560.0, rel=0.01)
+    # Pipeline fill keeps the measured arithmetic stream rate slightly
+    # under the peak figure.
+    assert arith_mb_s == pytest.approx(192.0, rel=0.10)
+    assert arith_mb_s < 192.0

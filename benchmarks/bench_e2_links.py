@@ -1,0 +1,84 @@
+"""E2 — Communications (paper §II).
+
+Measures from simulated wire traffic:
+
+* per-link unidirectional bandwidth "over 0.5 MB/s" (from the
+  8+2+1(+2 ack) framing at the link bit rate);
+* total four-link bandwidth "over 4 MB/s" with both directions active;
+* DMA startup ≈ 5 µs;
+* 16 sublinks per node, dividing a link's bandwidth when multiplexed.
+"""
+
+import pytest
+
+from repro.analysis import Table, bandwidth_mb_s
+from repro.core import PAPER_SPECS
+from repro.events import Engine
+from repro.links import LinkAdapter, SerialLink
+
+from _util import save_report
+
+
+def _measure():
+    eng = Engine()
+    a = LinkAdapter(eng, PAPER_SPECS, name="A")
+    b = LinkAdapter(eng, PAPER_SPECS, name="B")
+    links = []
+    for i in range(4):
+        link = SerialLink(eng, PAPER_SPECS, name=f"L{i}")
+        a.attach(i, link.end(0))
+        b.attach(i, link.end(1))
+        links.append(link)
+
+    def pump(adapter, link_index, messages):
+        for _ in range(messages):
+            yield from adapter.sublink(link_index, 0).send("x", 1000)
+
+    for i in range(4):
+        eng.process(pump(a, i, 40))
+        eng.process(pump(b, i, 40))
+    eng.run()
+    per_wire = [w.measured_mb_s() for l in links for w in l.wires]
+    total = sum(per_wire)
+
+    # DMA startup: difference between a sent message's total time and
+    # its pure wire time.
+    eng2 = Engine()
+    a2 = LinkAdapter(eng2, PAPER_SPECS)
+    b2 = LinkAdapter(eng2, PAPER_SPECS)
+    link2 = SerialLink(eng2, PAPER_SPECS)
+    a2.attach(0, link2.end(0))
+    b2.attach(0, link2.end(1))
+
+    def one(eng):
+        yield from a2.send(0, 0, "m", 8)
+        return eng.now
+
+    total_ns = eng2.run(until=eng2.process(one(eng2)))
+    dma_ns = total_ns - link2.frame.transfer_ns(8)
+    return per_wire, total, dma_ns, len(a.sublinks())
+
+
+def test_e2_link_bandwidths(benchmark):
+    per_wire, total, dma_ns, sublinks = benchmark.pedantic(
+        _measure, rounds=1, iterations=1
+    )
+    table = Table(
+        "E2 — Link communications (paper vs measured)",
+        ["quantity", "paper", "measured"],
+    )
+    table.add("per-link one-way MB/s", "> 0.5", min(per_wire))
+    table.add("four links, both directions MB/s", "> 4", total)
+    table.add("DMA startup us", "about 5", dma_ns / 1000.0)
+    table.add("sublinks per node", 16, sublinks)
+    table.add(
+        "bits per byte on the wire",
+        "8 data + 2 sync + 1 stop + 2 ack",
+        PAPER_SPECS.link_bits_per_byte,
+    )
+    save_report("e2_links", table)
+
+    assert min(per_wire) > 0.5          # the paper's bound, measured
+    assert total > 4.0
+    assert dma_ns == pytest.approx(5000, abs=1)
+    assert sublinks == 16

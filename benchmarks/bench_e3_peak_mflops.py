@@ -1,0 +1,68 @@
+"""E3 — Arithmetic rates (paper §II).
+
+* 16 MFLOPS peak per node: adder + multiplier each producing one
+  64-bit result per 125 ns, measured from back-to-back SAXPY forms;
+* pipeline depths: 6 (add), 5/7 (multiply 32/64-bit);
+* 128 MFLOPS per module: eight nodes streaming in parallel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Table
+from repro.core import PAPER_SPECS, TSeriesMachine
+from repro.events import Engine
+from repro.fpu import VectorArithmeticUnit
+
+from _util import save_report
+
+
+def _node_rate():
+    eng = Engine()
+    vau = VectorArithmeticUnit(eng, PAPER_SPECS)
+    x = np.ones(128)
+    y = np.ones(128)
+
+    def driver():
+        for _ in range(400):
+            yield eng.process(vau.execute("SAXPY", [x, y], (2.0,)))
+
+    eng.run(until=eng.process(driver()))
+    return vau.measured_mflops()
+
+
+def _module_rate():
+    machine = TSeriesMachine(3, with_system=False)
+    eng = machine.engine
+    x = np.ones(128)
+    y = np.ones(128)
+
+    def driver(node):
+        for _ in range(200):
+            yield eng.process(node.vau.execute("SAXPY", [x, y], (2.0,)))
+
+    procs = [eng.process(driver(n)) for n in machine.nodes]
+    eng.run(until=eng.all_of(procs))
+    return machine.measured_mflops()
+
+
+def test_e3_peak_rates(benchmark):
+    node_mflops, module_mflops = benchmark.pedantic(
+        lambda: (_node_rate(), _module_rate()), rounds=1, iterations=1
+    )
+    table = Table(
+        "E3 — Peak arithmetic (paper vs measured)",
+        ["quantity", "paper", "measured"],
+    )
+    table.add("node MFLOPS (64-bit SAXPY stream)", 16.0, node_mflops)
+    table.add("module MFLOPS (8 nodes)", 128.0, module_mflops)
+    table.add("adder pipeline stages", 6, PAPER_SPECS.adder_stages)
+    table.add("multiplier stages (32-bit)", 5,
+              PAPER_SPECS.multiplier_stages_32)
+    table.add("multiplier stages (64-bit)", 7,
+              PAPER_SPECS.multiplier_stages_64)
+    save_report("e3_peak_mflops", table)
+
+    assert node_mflops == pytest.approx(16.0, rel=0.10)
+    assert node_mflops < 16.0           # fill overhead, never above peak
+    assert module_mflops == pytest.approx(128.0, rel=0.10)

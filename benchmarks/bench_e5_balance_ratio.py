@@ -1,0 +1,86 @@
+"""E5 — The balance ratio (paper §II):
+
+    (Arithmetic) : (Gather) : (Link transfer) = 1 : 13 : 130
+       0.125 µs      1.6 µs      16 µs
+
+All three terms are measured from simulation (per-element asymptotes),
+then normalised.  The paper's link term uses a rounded flat 0.5 MB/s;
+our framing model gives ≈13.9 µs per 64-bit word — same decade, both
+reported.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import PAPER_RATIO, PAPER_TIMES_US, Table
+from repro.core import PAPER_SPECS, ProcessorNode
+from repro.events import Engine
+from repro.links.fabric import connect
+
+from _util import save_report
+
+
+def _measure_terms():
+    # Arithmetic: per-element asymptote of a long VADD stream.
+    eng = Engine()
+    node = ProcessorNode(eng, PAPER_SPECS)
+    ones = np.ones(128)
+
+    def arith():
+        for _ in range(500):
+            yield from node.vau.execute("VADD", [ones, ones])
+
+    eng.run(until=eng.process(arith()))
+    arith_ns = eng.now / (500 * 128)
+
+    # Gather: per 64-bit element.
+    eng2 = Engine()
+    node2 = ProcessorNode(eng2, PAPER_SPECS)
+
+    def gather():
+        yield from node2.gather([64 * i for i in range(500)], 0x80000)
+
+    eng2.run(until=eng2.process(gather()))
+    gather_ns = eng2.now / 500
+
+    # Link: per 64-bit word of a long transfer (DMA startup amortised).
+    eng3 = Engine()
+    a = ProcessorNode(eng3, PAPER_SPECS, 0)
+    b = ProcessorNode(eng3, PAPER_SPECS, 1)
+    connect(a.comm, 0, b.comm, 0, role="hypercube")
+    words = 2000
+
+    def link():
+        yield from a.comm.send(0, "block", 8 * words)
+
+    eng3.run(until=eng3.process(link()))
+    link_ns = eng3.now / words
+    return arith_ns, gather_ns, link_ns
+
+
+def test_e5_balance_ratio(benchmark):
+    arith_ns, gather_ns, link_ns = benchmark.pedantic(
+        _measure_terms, rounds=1, iterations=1
+    )
+    table = Table(
+        "E5 — Balance ratio (paper vs measured)",
+        ["term", "paper us", "measured us", "paper ratio",
+         "measured ratio"],
+    )
+    table.add("arithmetic / 64-bit result", PAPER_TIMES_US[0],
+              arith_ns / 1000, 1.0, 1.0)
+    table.add("gather / 64-bit element", PAPER_TIMES_US[1],
+              gather_ns / 1000, PAPER_RATIO[1], gather_ns / arith_ns)
+    table.add("link / 64-bit word", PAPER_TIMES_US[2],
+              link_ns / 1000, PAPER_RATIO[2], link_ns / arith_ns)
+    save_report("e5_balance_ratio", table)
+
+    # Pipeline fill adds ~4% at 128-element granularity.
+    assert arith_ns == pytest.approx(125, rel=0.05)
+    assert gather_ns == pytest.approx(1600, rel=0.01)
+    # The exact model value is 1600/125 = 12.8, which the paper rounds
+    # to 13; the measured arithmetic term carries ~4% fill overhead.
+    assert gather_ns / arith_ns == pytest.approx(12.8, rel=0.05)
+    # The paper rounds the link term up to 16 µs (130x); the framing
+    # model lands at ~13.9 µs (~110x) — the same order either way.
+    assert 100 < link_ns / arith_ns < 140

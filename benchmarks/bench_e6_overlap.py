@@ -1,0 +1,73 @@
+"""E6 — Gather/compute overlap (paper §II).
+
+"A vector should enter into about 13 operations while gathering the
+next vector ... With this provision, the control processor can
+completely overlap the gather time with vector arithmetic, and the
+node can approach peak speed.  Similarly, roughly 130 operations
+should result from every 64-bit word that must be moved between nodes
+over a link."
+
+The bench races an actual gather against vector work at a sweep of
+intensities (ops per gathered element) and locates the efficiency
+knee; the model and the simulation must both put it at ≈13.
+"""
+
+import pytest
+
+from repro.analysis import (
+    Table,
+    knee_ops,
+    link_intensity_model,
+    overlap_efficiency_model,
+    overlap_sweep,
+)
+from repro.core import PAPER_SPECS
+
+from _util import save_report
+
+INTENSITIES = [1, 2, 4, 6, 8, 10, 12, 13, 16, 20, 26]
+
+
+def test_e6_overlap_knee(benchmark):
+    rows = benchmark.pedantic(
+        lambda: overlap_sweep(PAPER_SPECS, INTENSITIES, elements=512),
+        rounds=1, iterations=1,
+    )
+    table = Table(
+        "E6 — Efficiency vs ops per gathered element (knee at ~13)",
+        ["ops/element", "model efficiency", "measured efficiency"],
+    )
+    for f, model, measured in rows:
+        table.add(f, model, measured)
+    knee = knee_ops(PAPER_SPECS)
+    link_table = Table(
+        "E6b — Link-side intensity (ops per 64-bit word moved)",
+        ["ops/word", "model efficiency"],
+    )
+    for f in (13, 65, 111, 130, 260):
+        link_table.add(f, link_intensity_model(f, PAPER_SPECS))
+    save_report("e6_overlap", table, link_table)
+
+    # The knee: below 13 efficiency is ~f/12.8, at/above it saturates.
+    by_f = {f: measured for f, _m, measured in rows}
+    assert knee == pytest.approx(12.8)
+    assert by_f[4] == pytest.approx(4 / 12.8, abs=0.1)
+    assert by_f[13] > 0.85
+    assert by_f[26] > 0.9
+    assert by_f[13] - by_f[1] > 0.7      # the curve actually rises
+    # Past the knee it flattens (saturation, not linear growth).
+    assert by_f[26] - by_f[13] < 0.1
+    # Link side: ~130 ops/word sustains peak.
+    assert link_intensity_model(130, PAPER_SPECS) == 1.0
+    assert link_intensity_model(13, PAPER_SPECS) < 0.15
+
+
+def test_e6_model_is_piecewise_linear(benchmark):
+    values = benchmark.pedantic(
+        lambda: [overlap_efficiency_model(f, PAPER_SPECS)
+                 for f in range(1, 30)],
+        rounds=1, iterations=1,
+    )
+    for i, v in enumerate(values, start=1):
+        expected = min(1.0, i / 12.8)
+        assert v == pytest.approx(expected, abs=1e-9)

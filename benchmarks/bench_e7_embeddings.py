@@ -1,0 +1,131 @@
+"""E7 — Figure 3, binary n-cube mappings.
+
+* rings, meshes (up to dimension n), cylinders, toroids and the
+  radix-2 FFT butterfly all embed with dilation 1;
+* the maximum route length is n hops, so long-range communication
+  cost grows as O(log₂ N) — measured from routed message timing;
+* a Gray-coded ring placement beats naive placement on real traffic.
+"""
+
+import pytest
+
+from repro.analysis import Table, series
+from repro.core import TSeriesMachine
+from repro.runtime import HypercubeProgram, IdentityMapping, RingMapping
+from repro.topology import (
+    ButterflyEmbedding,
+    CylinderEmbedding,
+    MeshEmbedding,
+    RingEmbedding,
+    dilation,
+    embeddable_meshes,
+)
+
+from _util import save_report
+
+
+def _dilation_table():
+    table = Table(
+        "E7 / Figure 3 — Embedding dilations (paper: all map directly)",
+        ["mapping", "logical shape", "cube dim", "dilation"],
+    )
+    table.add("ring", "64-cycle", 6, dilation(RingEmbedding(64)))
+    for shape in [(4, 4), (2, 8), (8, 8), (2, 2, 4)]:
+        emb = MeshEmbedding(shape)
+        table.add("mesh", "x".join(map(str, shape)), emb.bits,
+                  dilation(emb))
+    for shape in [(4, 4), (8, 4)]:
+        emb = MeshEmbedding(shape, torus=True)
+        table.add("torus", "x".join(map(str, shape)), emb.bits,
+                  dilation(emb))
+    cyl = CylinderEmbedding((8, 4))
+    table.add("cylinder", "8x4", cyl.bits, dilation(cyl))
+    fft = ButterflyEmbedding(64)
+    table.add("FFT butterfly", "radix-2, 64 pt", fft.bits, dilation(fft))
+    return table
+
+
+def _measured_hop_cost():
+    """Route one message per distance class; time must be linear in
+    hops (and therefore ≤ n for any pair: O(log₂ N))."""
+    machine = TSeriesMachine(4, with_system=False)
+    program = HypercubeProgram(machine)
+    rows = []
+    for dst, hops in [(1, 1), (3, 2), (7, 3), (15, 4)]:
+        def main(ctx, dst=dst):
+            if ctx.node_id == 0:
+                yield from ctx.send(dst, "probe", 64, tag=f"h{dst}")
+            if ctx.node_id == dst:
+                yield from ctx.recv(tag=f"h{dst}")
+            return None
+            yield  # pragma: no cover
+
+        _res, elapsed = program.run(main, nodes=[0, dst])
+        rows.append((hops, elapsed))
+    return rows
+
+
+def test_e7_embeddings_and_costs(benchmark):
+    hop_rows = benchmark.pedantic(
+        _measured_hop_cost, rounds=1, iterations=1
+    )
+    dil_table = _dilation_table()
+    hop_table = series(
+        "E7b — Routed message time vs hop count (O(log2 N) growth)",
+        hop_rows, "hops", "elapsed ns",
+    )
+    growth = Table(
+        "E7c — Diameter vs machine size (max hops = n)",
+        ["cube dim n", "nodes N", "max hops"],
+    )
+    for n in (3, 6, 9, 12, 14):
+        growth.add(n, 2 ** n, n)
+    save_report("e7_embeddings", dil_table, hop_table, growth)
+
+    # Every Figure 3 mapping is dilation-1.
+    assert all(row[-1] == "1" for row in dil_table.rows)
+    # Measured time linear in hops.
+    per_hop = hop_rows[0][1]
+    for hops, elapsed in hop_rows:
+        assert elapsed == pytest.approx(hops * per_hop, rel=0.01)
+    # All mesh shapes of a 4-cube are embeddable.
+    assert len(embeddable_meshes(4)) >= 5
+
+
+def test_e7_gray_ring_beats_identity(benchmark):
+    """Neighbour traffic around a 16-ring: Gray placement needs one
+    hop per step; identity placement pays extra on the wrap/borders."""
+    machine = TSeriesMachine(4, with_system=False)
+
+    def run_mapping(mapping_cls):
+        mapping = mapping_cls(16)
+        program = HypercubeProgram(machine)
+
+        def main(ctx):
+            rank = (mapping.rank_of(ctx.node_id)
+                    if hasattr(mapping, "rank_of")
+                    else ctx.node_id)
+            nxt = mapping.node_of((rank + 1) % 16)
+            tagname = f"ring-{mapping_cls.__name__}"
+            yield from ctx.send(nxt, rank, 64, tag=tagname)
+            envelope = yield from ctx.recv(tag=tagname)
+            return envelope.hops
+
+        results, elapsed = program.run(main)
+        return sum(results.values()), elapsed
+
+    (gray_hops, gray_ns), (ident_hops, ident_ns) = benchmark.pedantic(
+        lambda: (run_mapping(RingMapping), run_mapping(IdentityMapping)),
+        rounds=1, iterations=1,
+    )
+    table = Table(
+        "E7d — Ring traffic: Gray-code vs identity placement",
+        ["placement", "total hops", "elapsed ns"],
+    )
+    table.add("Gray code (Figure 3)", gray_hops, gray_ns)
+    table.add("identity (naive)", ident_hops, ident_ns)
+    save_report("e7_ring_placement", table)
+
+    assert gray_hops == 16          # dilation 1: one hop per ring step
+    assert ident_hops > gray_hops
+    assert gray_ns < ident_ns

@@ -1,0 +1,104 @@
+"""E8 — Configuration scaling (paper §III).
+
+The paper's homogeneity claim: every figure of any sized T Series is
+derivable from the module.  The bench regenerates the configuration
+table (module → cabinet → 4-cabinet → 12-cube) and the per-node
+sublink budget, and verifies the intra-module wiring claims against an
+actually-wired machine.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.core import (
+    MachineConfig,
+    PAPER_SPECS,
+    SublinkPlan,
+    TSeriesMachine,
+)
+
+from _util import save_report
+
+
+def _config_rows():
+    rows = []
+    for label, dim in [("module", 3), ("cabinet (tesseract)", 4),
+                       ("four cabinets", 6), ("max usable (12-cube)", 12),
+                       ("structural max (14-cube)", 14)]:
+        config = MachineConfig(dim)
+        rows.append((label, config))
+    return rows
+
+
+def test_e8_configuration_tables(benchmark):
+    rows = benchmark.pedantic(_config_rows, rounds=1, iterations=1)
+    table = Table(
+        "E8 — T Series configurations (derived from module specs)",
+        ["configuration", "n", "nodes", "modules", "cabinets",
+         "peak GFLOPS", "memory MB", "disks", "max hops", "usable"],
+    )
+    for label, c in rows:
+        table.add(label, c.dimension, c.node_count, c.module_count,
+                  c.cabinet_count, c.peak_gflops, c.memory_mbytes,
+                  c.system_disk_count, c.max_hops, c.usable)
+
+    budget = Table(
+        "E8b — Per-node sublink budget (16 sublinks)",
+        ["configuration", "hypercube", "system", "io", "spare"],
+    )
+    for dim in (3, 4, 6, 12):
+        b = MachineConfig(dim).link_budget()
+        budget.add(f"{dim}-cube", b["hypercube"], b["system"], b["io"],
+                   b["spare"])
+    plan14 = SublinkPlan(14, reserve_io=False).budget()
+    budget.add("14-cube (io released)", plan14["hypercube"],
+               plan14["system"], plan14["io"], plan14["spare"])
+    save_report("e8_configurations", table, budget)
+
+    by_label = dict(rows)
+    # The paper's named figures.
+    assert by_label["module"].peak_mflops == pytest.approx(128.0)
+    assert by_label["module"].memory_mbytes == pytest.approx(8.0)
+    assert by_label["cabinet (tesseract)"].node_count == 16
+    assert by_label["four cabinets"].node_count == 64
+    assert by_label["four cabinets"].peak_gflops == pytest.approx(
+        1.024  # "1 GFLOPS"
+    )
+    assert by_label["four cabinets"].system_disk_count == 8
+    twelve = by_label["max usable (12-cube)"]
+    assert twelve.node_count == 4096
+    assert twelve.cabinet_count == 256
+    assert twelve.peak_gflops > 65.0          # "over 65 GFLOPS"
+    assert twelve.memory_mbytes == pytest.approx(4096.0)  # "4 Gbytes"
+
+
+def test_e8_wiring_claims_on_built_machine(benchmark):
+    machine = benchmark.pedantic(
+        lambda: TSeriesMachine(4), rounds=1, iterations=1
+    )
+    # "Three links for intramodule hypercube network communications".
+    intramodule_links = {
+        machine.slot_of_dimension(d) // 4 for d in range(3)
+    }
+    assert len(intramodule_links) == 3
+    # "The system board connections require two links from each node".
+    node = machine.nodes[0]
+    system_slots = [s for s in node.comm.wired_slots("system")]
+    assert len(system_slots) == 2
+    assert len({s // 4 for s in system_slots}) == 2
+    # "Over 12 MB/s" local inter-node bandwidth per module.
+    assert PAPER_SPECS.intramodule_bw_mb_s > 12.0
+    # Two modules per cabinet; ring wired between their boards.
+    assert len(machine.modules) == 2
+    assert len(machine.ring_links) == 2
+
+    table = Table(
+        "E8c — Wiring checks on a built 4-cube",
+        ["claim", "paper", "machine"],
+    )
+    table.add("intramodule hypercube links/node", 3,
+              len(intramodule_links))
+    table.add("system links/node", 2, len({s // 4 for s in system_slots}))
+    table.add("intra-module bandwidth MB/s", "> 12",
+              PAPER_SPECS.intramodule_bw_mb_s)
+    save_report("e8_wiring", table)

@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Homogeneity at the instruction level: two identical nodes, two
+identical CPUs, talking over a simulated serial link.
+
+The paper's §II notes the control processor "provides inter-node
+communications via the serial links" with the same IN/OUT channel
+instructions used for on-chip process communication.  This example
+assembles a ping-pong pair: node A sends a word over a link channel
+(DMA startup + 13-bit-per-byte framing charged on the simulated
+clock), node B increments and returns it — then scales the same
+program to a ring of four nodes passing a token.
+
+Run:  python examples/isa_message_passing.py
+"""
+
+from repro.core import PAPER_SPECS, ProcessorNode
+from repro.cp import CPU, assemble, attach_link_channel, to_signed
+from repro.events import Engine
+from repro.links.fabric import connect
+from repro.topology import gray
+
+PING = """
+    .equ LINK, 0x80000000
+    .equ BUF, 0x240
+    main:
+        ldc 99
+        ldc BUF
+        stnl 0
+        ldc BUF
+        ldc LINK
+        ldc 4
+        out             ; send over the wire
+        ldc BUF
+        ldc LINK
+        ldc 4
+        in              ; await the reply
+        ldc BUF
+        ldnl 0
+        terminate
+"""
+
+PONG = """
+    .equ LINK, 0x80000000
+    .equ BUF, 0x280
+    main:
+        ldc BUF
+        ldc LINK
+        ldc 4
+        in
+        ldc BUF
+        ldnl 0
+        adc 1
+        ldc BUF
+        stnl 0
+        ldc BUF
+        ldc LINK
+        ldc 4
+        out
+        terminate
+"""
+
+#: Token forwarder: receive on link channel 0, add own id, send on 1.
+FORWARD = """
+    .equ LINK_IN, 0x80000000
+    .equ LINK_OUT, 0x80000004
+    .equ BUF, 0x240
+    .equ MYID, 0x200
+    main:
+        ldc BUF
+        ldc LINK_IN
+        ldc 4
+        in
+        ldc BUF
+        ldnl 0
+        ldc MYID
+        ldnl 0
+        add
+        ldc BUF
+        stnl 0
+        ldc BUF
+        ldc LINK_OUT
+        ldc 4
+        out
+        terminate
+"""
+
+
+def ping_pong():
+    print("— ping-pong over one link —")
+    eng = Engine()
+    a = ProcessorNode(eng, PAPER_SPECS, node_id=0)
+    b = ProcessorNode(eng, PAPER_SPECS, node_id=1)
+    connect(a.comm, 0, b.comm, 0, role="hypercube")
+
+    ping = CPU(assemble(PING).code)
+    pong = CPU(assemble(PONG).code)
+    attach_link_channel(ping, a.comm, slot=0)
+    attach_link_channel(pong, b.comm, slot=0)
+
+    procs = [eng.process(ping.as_process(eng, PAPER_SPECS)),
+             eng.process(pong.as_process(eng, PAPER_SPECS))]
+    eng.run(until=eng.all_of(procs))
+    print(f"A sent 99, got back {to_signed(ping.areg)} "
+          f"after {eng.now / 1000:.1f} simulated us")
+    assert to_signed(ping.areg) == 100
+
+
+def token_ring():
+    print("\n— a token around a Gray-code ring of 4 nodes —")
+    eng = Engine()
+    nodes = [ProcessorNode(eng, PAPER_SPECS, node_id=i) for i in range(4)]
+    # Ring positions in Gray order: each step one cube dimension.
+    ring = [gray(i) for i in range(4)]
+    # Wire edge p → p+1: sender's slot 8+p (port 2) to the receiver's
+    # slot p (port 0).  The wrap edge is replaced by the collector.
+    for pos in range(3):
+        u, v = ring[pos], ring[pos + 1]
+        connect(nodes[u].comm, 8 + pos, nodes[v].comm, pos, role="ring")
+
+    from repro.cp import RendezvousChannel
+    from repro.cp.link_channels import SlotChannel
+
+    start = RendezvousChannel(eng, "inject")
+    finish = RendezvousChannel(eng, "collect")
+    LINK_IN, LINK_OUT = 0x80000000, 0x80000004
+
+    cpus = []
+    for pos, node_id in enumerate(ring):
+        cpu = CPU(assemble(FORWARD).code)
+        cpu.memory.write_word(0x200, node_id)       # MYID
+        # Each forwarder reads the link from its predecessor (slot
+        # `pos` on this node) and writes toward its successor (slot
+        # `4+pos`); position 0 is fed by the injector and the last
+        # forwarder hands the token to the collector.
+        if pos == 0:
+            cpu.external_channels[LINK_IN] = start
+        else:
+            cpu.external_channels[LINK_IN] = SlotChannel(
+                nodes[node_id].comm, pos - 1
+            )
+        if pos == len(ring) - 1:
+            cpu.external_channels[LINK_OUT] = finish
+        else:
+            cpu.external_channels[LINK_OUT] = SlotChannel(
+                nodes[node_id].comm, 8 + pos
+            )
+        cpus.append(cpu)
+
+    collected = []
+
+    def driver():
+        yield from start.send((5).to_bytes(4, "little"))
+        data = yield from finish.recv()
+        collected.append(int.from_bytes(data, "little"))
+
+    eng.process(driver())
+    procs = [eng.process(c.as_process(eng, PAPER_SPECS)) for c in cpus]
+    eng.run(until=eng.all_of(procs))
+    total = collected[0]
+    expected = 5 + sum(ring)
+    print(f"token entered as 5, every node added its id "
+          f"({'+'.join(str(r) for r in ring)}), exited as {total}")
+    assert total == expected
+
+
+def main():
+    print(__doc__)
+    ping_pong()
+    token_ring()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is configured in pyproject.toml; this file exists so that
+legacy editable installs (`pip install -e . --no-use-pep517
+--no-build-isolation` or `python setup.py develop`) work in offline
+environments that lack the `wheel` package required by PEP 660 builds.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,84 @@
+"""Scientific kernels on the simulated T Series.
+
+Each module pairs a distributed (or node-level) implementation that
+runs on the machine model — charging real vector-unit, memory-port and
+link times — with a NumPy reference used for verification:
+
+* :mod:`repro.algorithms.saxpy` — the full-speed dual-bank kernel.
+* :mod:`repro.algorithms.dot` — DOT form + all-reduce.
+* :mod:`repro.algorithms.matmul` — SAXPY-based rank-1 updates.
+* :mod:`repro.algorithms.fft` — DIF FFT on the butterfly mapping.
+* :mod:`repro.algorithms.stencil` — Jacobi on a mesh embedding.
+* :mod:`repro.algorithms.gauss` — elimination with physical-row pivots.
+* :mod:`repro.algorithms.sort` — block bitonic sort.
+"""
+
+from repro.algorithms.saxpy import (
+    distributed_saxpy,
+    saxpy_reference,
+    saxpy_single_node_time_model,
+)
+from repro.algorithms.dot import distributed_dot, dot_reference
+from repro.algorithms.matmul import distributed_matmul, matmul_reference
+from repro.algorithms.fft import (
+    bit_reverse_permutation,
+    distributed_fft,
+    fft_reference,
+)
+from repro.algorithms.stencil import distributed_jacobi, jacobi_reference
+from repro.algorithms.gauss import (
+    gauss_solve,
+    reciprocal_ns,
+    solve_reference,
+    swap_cost_model,
+)
+from repro.algorithms.sort import (
+    bitonic_sort,
+    record_sort_time_model,
+    sort_reference,
+)
+from repro.algorithms.linpack import (
+    distributed_solve,
+    linpack_reference,
+)
+from repro.algorithms.cg import (
+    cg_reference,
+    distributed_cg,
+    laplacian_matvec_reference,
+)
+from repro.algorithms.transpose import (
+    distributed_transpose,
+    transpose_reference,
+)
+from repro.algorithms.nbody import distributed_nbody, nbody_reference
+
+__all__ = [
+    "bit_reverse_permutation",
+    "bitonic_sort",
+    "cg_reference",
+    "distributed_cg",
+    "distributed_dot",
+    "distributed_transpose",
+    "laplacian_matvec_reference",
+    "transpose_reference",
+    "distributed_fft",
+    "distributed_jacobi",
+    "distributed_matmul",
+    "distributed_nbody",
+    "distributed_saxpy",
+    "nbody_reference",
+    "distributed_solve",
+    "dot_reference",
+    "linpack_reference",
+    "fft_reference",
+    "gauss_solve",
+    "jacobi_reference",
+    "matmul_reference",
+    "reciprocal_ns",
+    "record_sort_time_model",
+    "saxpy_reference",
+    "saxpy_single_node_time_model",
+    "solve_reference",
+    "sort_reference",
+    "swap_cost_model",
+]

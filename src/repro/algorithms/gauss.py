@@ -1,0 +1,146 @@
+"""Gaussian elimination with *physical* row pivoting.
+
+Paper §II (Memory): "An application might make use of this
+extraordinary speed by moving data physically, rather than keeping
+linked lists of pointers to vectors, as for example, in pivoting rows
+of a matrix."  This solver does exactly that: a pivot swap is two/three
+row-port moves (400 ns each) instead of an element-by-element exchange
+through the CP (1.6 µs per element) — experiment E4 measures the gap.
+
+The system is solved on a single node: the augmented matrix [A | b]
+lives one matrix-row per memory row (row i in bank A, scratch rows in
+bank B), elimination is one SAXPY per target row, and back
+substitution uses the DOT form.
+
+Division: the T Series has no divide unit; reciprocals are computed
+with Newton–Raphson on the multiplier+adder (three iterations, each a
+multiply–subtract–multiply), and that cost is charged per pivot.
+"""
+
+import numpy as np
+
+#: Matrix rows at memory rows 0.., scratch/swap row in bank B.
+MATRIX_BASE_ROW = 0
+SWAP_SCRATCH_ROW = 300
+
+#: Newton–Raphson reciprocal: 3 iterations × (2 multiplies + 1 subtract).
+RECIPROCAL_FLOPS = 9
+
+
+def solve_reference(a, b):
+    """NumPy ground truth."""
+    return np.linalg.solve(np.asarray(a, dtype=np.float64),
+                           np.asarray(b, dtype=np.float64))
+
+
+def reciprocal_ns(specs) -> int:
+    """Scalar reciprocal latency: three NR iterations through the
+    (unpipelined-for-scalars) multiplier and adder."""
+    mul = specs.multiplier_stages_64 * specs.cycle_ns
+    add = specs.adder_stages * specs.cycle_ns
+    return 3 * (2 * mul + add)
+
+
+def gauss_solve(node, a, b, use_row_moves=True):
+    """Process: solve A·x = b on one node.
+
+    Returns ``(x, stats)`` where ``stats`` counts pivot swaps and the
+    time spent swapping.  ``use_row_moves=False`` swaps via CP
+    gather/scatter instead (the paper's counterfactual).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    n = a.shape[0]
+    if a.shape != (n, n) or b.shape != (n,):
+        raise ValueError("need a square system")
+    width = n + 1
+    if width > node.vregs[0].capacity(64):
+        raise ValueError(f"n={n} exceeds one row register")
+    engine = node.engine
+    specs = node.specs
+
+    # Plant the augmented matrix, one matrix-row per memory row.
+    augmented = np.hstack([a, b[:, None]])
+    for i in range(n):
+        node.write_row_floats(MATRIX_BASE_ROW + i, augmented[i])
+
+    stats = {"swaps": 0, "swap_ns": 0, "pivot_scan_ns": 0}
+
+    def read_element(i, j):
+        return node.read_row_floats(MATRIX_BASE_ROW + i, width)[j]
+
+    for k in range(n):
+        # Partial pivoting: the CP scans column k (one 64-bit element
+        # read = two word accesses each).
+        column = np.array([abs(read_element(i, k)) for i in range(k, n)])
+        scan_start = engine.now
+        yield from node.memory.word_port.access(2 * (n - k))
+        stats["pivot_scan_ns"] += engine.now - scan_start
+        pivot = k + int(np.argmax(column))
+        if column[pivot - k] == 0.0:
+            raise ZeroDivisionError("singular matrix")
+        if pivot != k:
+            start = engine.now
+            if use_row_moves:
+                # Physical three-move swap through a vector register.
+                yield from node.memory.row_move(
+                    MATRIX_BASE_ROW + k, SWAP_SCRATCH_ROW, node.vregs[1]
+                )
+                yield from node.memory.row_move(
+                    MATRIX_BASE_ROW + pivot, MATRIX_BASE_ROW + k,
+                    node.vregs[1],
+                )
+                yield from node.memory.row_move(
+                    SWAP_SCRATCH_ROW, MATRIX_BASE_ROW + pivot,
+                    node.vregs[1],
+                )
+            else:
+                # CP element-wise exchange: 2 gathers' worth of moves.
+                yield from node.memory.word_port.access(2 * 4 * width)
+                row_k = node.read_row_floats(MATRIX_BASE_ROW + k, width)
+                row_p = node.read_row_floats(MATRIX_BASE_ROW + pivot, width)
+                node.write_row_floats(MATRIX_BASE_ROW + k, row_p)
+                node.write_row_floats(MATRIX_BASE_ROW + pivot, row_k)
+            stats["swaps"] += 1
+            stats["swap_ns"] += engine.now - start
+
+        # Reciprocal of the pivot element (Newton–Raphson).
+        yield engine.timeout(reciprocal_ns(specs))
+        inv_pivot = 1.0 / read_element(k, k)
+
+        # Eliminate below: row_i ← row_i − (a_ik/a_kk)·row_k.
+        yield from node.load_vector(MATRIX_BASE_ROW + k, reg=0)
+        for i in range(k + 1, n):
+            factor = read_element(i, k) * inv_pivot
+            yield from node.memory.word_port.access(2)  # read a_ik
+            yield from node.load_vector(MATRIX_BASE_ROW + i, reg=1)
+            yield from node.vector_op(
+                "SAXPY", [0, 1], scalars=(-factor,), length=width,
+                dst_reg=1,
+            )
+            yield from node.store_vector(1, MATRIX_BASE_ROW + i)
+
+    # Back substitution with the DOT form.
+    x = np.zeros(n)
+    for k in reversed(range(n)):
+        row = node.read_row_floats(MATRIX_BASE_ROW + k, width)
+        yield from node.load_vector(MATRIX_BASE_ROW + k, reg=0)
+        if k < n - 1:
+            # dot(a[k, k+1:], x[k+1:]) through the DOT form.
+            node.vregs[1].set_elements(
+                np.concatenate([np.zeros(k + 1), x[k + 1:]]), 64
+            )
+            dot = yield from node.vector_op("DOT", [0, 1], length=n)
+        else:
+            dot = 0.0
+        yield engine.timeout(reciprocal_ns(specs))
+        x[k] = (row[n] - float(dot)) / row[k]
+    return x, stats
+
+
+def swap_cost_model(specs, width: int):
+    """Analytic swap costs: (row_move_ns, gather_ns) for one pivot swap
+    of ``width`` 64-bit elements."""
+    row_moves = 3 * 2 * specs.row_access_ns            # three moves
+    gather = 2 * width * specs.gather_ns_per_element_64
+    return row_moves, gather

@@ -1,0 +1,140 @@
+"""Distributed dense matrix multiply.
+
+C = A·B with A (and C) row-block distributed and B broadcast — the
+classic rank-1-update formulation that maps straight onto the T Series
+SAXPY form: each output row is built as
+
+    C[i, :] = Σ_k  A[i, k] · B[k, :]
+
+i.e. one SAXPY per (i, k) with the scalar A[i,k] held in the
+multiplier's input register and B[k, :] streaming from a bank-B row
+while the accumulator streams from bank A.  The broadcast of B and the
+gather of C go over the hypercube collectives, so communication is
+charged at real link rates.
+
+Sizes: N (columns of B) must fit one row register (≤128 in 64-bit
+mode).
+"""
+
+import numpy as np
+
+from repro.runtime.api import HypercubeProgram
+
+#: Row layout: accumulator rows in bank A, B panel in bank B.
+ACC_BASE_ROW = 0
+B_BASE_ROW = 256
+
+
+def matmul_reference(a, b):
+    """NumPy ground truth."""
+    return np.asarray(a, dtype=np.float64) @ np.asarray(b, dtype=np.float64)
+
+
+def matmul_time_model(m_rows, k, n, p, specs):
+    """Predicted ns for :func:`distributed_matmul` on ``p`` nodes.
+
+    Components: the binomial broadcast of B (log₂ p sequential link
+    transfers), per-node compute (one accumulator load plus K
+    row-load+SAXPY pairs per local row), and the binomial gather of C
+    (payload doubling up the tree).  The model exposes the balance
+    economics: B costs K·N words per node and C costs M·N/p words
+    regardless of how much compute M adds, so intensity caps at ~2K
+    flops per C-word — the reason small-K matmul can never outrun the
+    links (bench E12).
+    """
+    from repro.links.frame import FrameSpec
+    from repro.runtime.messages import HEADER_BYTES
+
+    frame = FrameSpec.from_specs(specs)
+
+    def link_ns(nbytes):
+        return specs.dma_startup_ns + frame.transfer_ns(
+            nbytes + HEADER_BYTES
+        )
+
+    stages = max(0, p.bit_length() - 1)
+    bcast = stages * link_ns(k * n * 8)
+    rows_local = -(-m_rows // p)
+    fill = specs.multiplier_stages_64 + specs.adder_stages
+    per_row = specs.row_access_ns + k * (
+        specs.row_access_ns + (fill + n - 1) * specs.cycle_ns
+    )
+    compute = rows_local * per_row
+    gather = sum(
+        link_ns(m_rows * n * 8 * (1 << d) // p) for d in range(stages)
+    )
+    return bcast + compute + gather
+
+
+def _row_partition(rows, nodes):
+    base, extra = divmod(rows, nodes)
+    parts = []
+    start = 0
+    for i in range(nodes):
+        count = base + (1 if i < extra else 0)
+        parts.append((start, count))
+        start += count
+    return parts
+
+
+def distributed_matmul(machine, a, b, precision=64):
+    """Multiply across the machine.
+
+    Returns ``(c, elapsed_ns, measured_mflops)``.  ``a`` is M×K, ``b``
+    is K×N with N ≤ the vector length (128 for 64-bit).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    m_rows, k_inner = a.shape
+    k2, n_cols = b.shape
+    if k_inner != k2:
+        raise ValueError("inner dimensions disagree")
+    elems = machine.specs.row_bytes // (precision // 8)
+    if n_cols > elems:
+        raise ValueError(f"N={n_cols} exceeds the vector length {elems}")
+    if k_inner > 512:
+        raise ValueError("K too large for the bank-B panel layout")
+
+    parts = _row_partition(m_rows, len(machine))
+    # Node 0 owns B initially; A rows are planted directly (they would
+    # arrive with the problem decomposition).
+    a_blocks = {
+        i: a[start:start + count] for i, (start, count) in enumerate(parts)
+    }
+    program = HypercubeProgram(machine)
+    flops_before = machine.total_flops()
+
+    def main(ctx):
+        node = ctx.node
+        # Broadcast the B panel from node 0 (K rows of N doubles).
+        panel = yield from ctx.broadcast(
+            0, b if ctx.node_id == 0 else None, int(b.nbytes)
+        )
+        # Stage the panel into bank-B rows.
+        for k in range(k_inner):
+            node.write_row_floats(B_BASE_ROW + k, panel[k], precision)
+        my_a = a_blocks[ctx.node_id]
+        out = np.zeros((len(my_a), n_cols))
+        for i in range(len(my_a)):
+            # Zero the accumulator row, then K SAXPYs.
+            node.write_row_floats(ACC_BASE_ROW, np.zeros(n_cols), precision)
+            yield from node.load_vector(ACC_BASE_ROW, reg=0)
+            for k in range(k_inner):
+                yield from node.load_vector(B_BASE_ROW + k, reg=1)
+                yield from node.vector_op(
+                    "SAXPY", [1, 0], scalars=(float(my_a[i, k]),),
+                    length=n_cols, precision=precision, dst_reg=0,
+                )
+            out[i] = node.vregs[0].elements(precision, count=n_cols)
+        gathered = yield from ctx.gather(
+            0, out, int(out.nbytes) or 8
+        )
+        return gathered
+
+    results, elapsed = program.run(main)
+    blocks = results[0]
+    c = np.vstack([blocks[i] for i in range(len(machine))
+                   if len(blocks[i])])
+    flops = machine.total_flops() - flops_before
+    mflops = flops / (elapsed / 1000.0) if elapsed else 0.0
+    return c, elapsed, mflops

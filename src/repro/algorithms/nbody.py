@@ -1,0 +1,112 @@
+"""All-pairs N-body on a ring pipeline — the Caltech-era workload.
+
+The paper cites Fox & Otto's concurrent-processor decompositions; the
+canonical one is gravitational N-body on a ring: bodies are block
+distributed, a travelling copy of each block circulates around the
+Gray-coded ring (P−1 single-hop shifts), and every node accumulates
+the forces of the visiting block on its residents.
+
+All the arithmetic runs through vector forms — including the
+inverse-square-root, which uses the Newton–Raphson routine because
+the hardware has neither divide nor sqrt.  Intensity is ~m flops per
+transferred word, so blocks past the balance threshold scale.
+"""
+
+import numpy as np
+
+from repro.fpu.routines import vector_rsqrt
+from repro.runtime.api import HypercubeProgram
+from repro.runtime.mapping import RingMapping
+
+#: Plummer softening, squared (keeps self-interaction finite too).
+SOFTENING_SQ = 1e-4
+
+
+def nbody_reference(positions, masses):
+    """Direct-summation accelerations (same softening), NumPy."""
+    positions = np.asarray(positions, dtype=np.float64)
+    masses = np.asarray(masses, dtype=np.float64)
+    n = len(masses)
+    acc = np.zeros_like(positions)
+    for i in range(n):
+        d = positions - positions[i]
+        r2 = (d ** 2).sum(axis=1) + SOFTENING_SQ
+        inv_r3 = r2 ** -1.5
+        acc[i] = (masses[:, None] * d * inv_r3[:, None]).sum(axis=0)
+    return acc
+
+
+def distributed_nbody(machine, positions, masses):
+    """Compute all-pairs accelerations across the machine.
+
+    Returns ``(accelerations, elapsed_ns)``.  The body count must
+    divide evenly over the nodes.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    masses = np.asarray(masses, dtype=np.float64)
+    n = len(masses)
+    p = len(machine)
+    if n % p or positions.shape != (n, 2):
+        raise ValueError("need n×2 positions dividing over the nodes")
+    m = n // p
+    ring = RingMapping(p) if p > 1 else None
+
+    # Ring-rank r owns bodies [r·m, (r+1)·m).
+    def rank_of_node(node_id):
+        return ring.rank_of(node_id) if ring else 0
+
+    program = HypercubeProgram(machine)
+
+    def main(ctx):
+        node = ctx.node
+        vau = node.vau
+        rank = rank_of_node(ctx.node_id)
+        lo = rank * m
+        my_pos = positions[lo:lo + m].copy()
+        acc = np.zeros((m, 2))
+
+        def accumulate(visit_pos, visit_mass):
+            # For each resident, vector ops over the visiting block.
+            for i in range(m):
+                dx = yield from vau.execute(
+                    "VSSUB", [visit_pos[:, 0]], scalars=(my_pos[i, 0],)
+                )
+                dy = yield from vau.execute(
+                    "VSSUB", [visit_pos[:, 1]], scalars=(my_pos[i, 1],)
+                )
+                dx2 = yield from vau.execute("VMUL", [dx, dx])
+                dy2 = yield from vau.execute("VMUL", [dy, dy])
+                r2 = yield from vau.execute("VADD", [dx2, dy2])
+                r2s = yield from vau.execute(
+                    "VSADD", [r2], scalars=(SOFTENING_SQ,)
+                )
+                inv_r = yield from vector_rsqrt(vau, np.asarray(r2s))
+                inv_r2 = yield from vau.execute("VMUL", [inv_r, inv_r])
+                inv_r3 = yield from vau.execute("VMUL", [inv_r2, inv_r])
+                w = yield from vau.execute("VMUL", [visit_mass, inv_r3])
+                fx = yield from vau.execute("DOT", [w, np.asarray(dx)])
+                fy = yield from vau.execute("DOT", [w, np.asarray(dy)])
+                acc[i, 0] += float(fx)
+                acc[i, 1] += float(fy)
+
+        visit_pos = my_pos.copy()
+        visit_mass = masses[lo:lo + m].copy()
+        for shift in range(p):
+            yield from accumulate(visit_pos, visit_mass)
+            if shift < p - 1:
+                nxt = ring.node_of((rank + 1) % p)
+                yield from ctx.send(
+                    nxt, (visit_pos, visit_mass),
+                    int(visit_pos.nbytes + visit_mass.nbytes),
+                    tag=f"nbody{shift}",
+                )
+                envelope = yield from ctx.recv(tag=f"nbody{shift}")
+                visit_pos, visit_mass = envelope.payload
+        return acc
+
+    results, elapsed = program.run(main)
+    acc = np.zeros((n, 2))
+    for node_id, block in results.items():
+        rank = rank_of_node(node_id)
+        acc[rank * m:(rank + 1) * m] = block
+    return acc, elapsed

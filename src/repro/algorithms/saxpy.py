@@ -1,0 +1,119 @@
+"""Distributed SAXPY — the paper's canonical full-speed kernel.
+
+y ← α·x + y over vectors split across the machine in 128-element
+(64-bit) rows.  Per row the node loads x into one vector register
+(bank A), y into the other (bank B), runs the SAXPY form, and stores
+the result row — the exact datapath of Figure 1, with the dual banks
+supplying both operands each cycle.
+"""
+
+import numpy as np
+
+from repro.runtime.api import HypercubeProgram
+
+#: Memory layout (rows): x blocks in bank A, y in bank B, results after.
+X_BASE_ROW = 0        # bank A (rows 0..255)
+Y_BASE_ROW = 256      # bank B
+OUT_BASE_ROW = 640    # bank B, above the y blocks
+
+
+def saxpy_reference(alpha, x, y):
+    """NumPy ground truth."""
+    return alpha * np.asarray(x, dtype=np.float64) + np.asarray(
+        y, dtype=np.float64
+    )
+
+
+def partition_rows(total_rows: int, nodes: int):
+    """Contiguous block partition: list of (start_row, count) per node."""
+    base = total_rows // nodes
+    extra = total_rows % nodes
+    out = []
+    start = 0
+    for i in range(nodes):
+        count = base + (1 if i < extra else 0)
+        out.append((start, count))
+        start += count
+    return out
+
+
+def scatter_operands(machine, alpha, x, y, precision=64):
+    """Plant x and y blocks in node memories; returns the partition."""
+    elems_per_row = machine.specs.row_bytes // (precision // 8)
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError("x and y must have equal length")
+    if x.size % elems_per_row:
+        raise ValueError(
+            f"vector length must be a multiple of {elems_per_row}"
+        )
+    total_rows = x.size // elems_per_row
+    parts = partition_rows(total_rows, len(machine))
+    for node, (start, count) in zip(machine.nodes, parts):
+        for r in range(count):
+            lo = (start + r) * elems_per_row
+            hi = lo + elems_per_row
+            node.write_row_floats(X_BASE_ROW + r, x[lo:hi], precision)
+            node.write_row_floats(Y_BASE_ROW + r, y[lo:hi], precision)
+    return parts
+
+
+def collect_result(machine, parts, length, precision=64):
+    """Read result rows back into one vector."""
+    elems_per_row = machine.specs.row_bytes // (precision // 8)
+    out = np.empty(length, dtype=np.float64)
+    for node, (start, count) in zip(machine.nodes, parts):
+        for r in range(count):
+            lo = (start + r) * elems_per_row
+            out[lo:lo + elems_per_row] = node.read_row_floats(
+                OUT_BASE_ROW + r, count=elems_per_row, precision=precision
+            )
+    return out
+
+
+def distributed_saxpy(machine, alpha, x, y, precision=64):
+    """Run SAXPY across the machine.
+
+    Returns ``(result, elapsed_ns, measured_mflops)``.
+    """
+    parts = scatter_operands(machine, alpha, x, y, precision)
+    program = HypercubeProgram(machine)
+    counts = {i: parts[i][1] for i in range(len(machine))}
+    flops_before = machine.total_flops()
+
+    def main(ctx):
+        count = counts[ctx.node_id]
+        node = ctx.node
+        for r in range(count):
+            yield from node.load_vector(X_BASE_ROW + r, reg=0)
+            yield from node.load_vector(Y_BASE_ROW + r, reg=1)
+            yield from node.vector_op(
+                "SAXPY", [0, 1], scalars=(alpha,), precision=precision,
+                dst_reg=0,
+            )
+            yield from node.store_vector(0, OUT_BASE_ROW + r)
+        return count
+
+    _results, elapsed = program.run(main)
+    result = collect_result(machine, parts, np.asarray(x).size, precision)
+    flops = machine.total_flops() - flops_before
+    mflops = flops / (elapsed / 1000.0) if elapsed else 0.0
+    return result, elapsed, mflops
+
+
+def saxpy_single_node_time_model(n_elements: int, specs,
+                                 precision: int = 64) -> int:
+    """Analytic per-node time: per 128-element row, two loads + SAXPY
+    + one store, sequential (no double buffering)."""
+    elems = specs.row_bytes // (precision // 8)
+    rows = -(-n_elements // elems)
+    mul = (specs.multiplier_stages_64 if precision == 64
+           else specs.multiplier_stages_32)
+    fill = mul + specs.adder_stages
+    per_row = (
+        2 * specs.row_access_ns
+        + (fill + elems - 1) * specs.cycle_ns
+        + specs.row_access_ns
+    )
+    return rows * per_row

@@ -1,0 +1,97 @@
+"""Analysis used by the benchmark harness.
+
+Public surface:
+
+* :mod:`repro.analysis.performance` — rates, efficiency, speedup.
+* :mod:`repro.analysis.balance` — the 1 : 13 : 130 derivation.
+* :mod:`repro.analysis.overlap` — gather/compute overlap curves.
+* :mod:`repro.analysis.checkpoint_opt` — snapshot-interval optimum.
+* :class:`Table`, :func:`series` — bench output formatting.
+"""
+
+from repro.analysis.balance import (
+    PAPER_RATIO,
+    PAPER_TIMES_US,
+    balance_table,
+    derived_ratio,
+    derived_times_ns,
+    ops_to_hide_gather,
+    ops_to_hide_link,
+)
+from repro.analysis.checkpoint_opt import (
+    best_interval,
+    expected_overhead_fraction,
+    interval_sweep,
+    mtbf_for_interval,
+    simulate_checkpointing,
+    young_interval_s,
+)
+from repro.analysis.overlap import (
+    knee_ops,
+    link_intensity_model,
+    measure_overlap,
+    overlap_efficiency_model,
+    overlap_sweep,
+)
+from repro.analysis.performance import (
+    bandwidth_mb_s,
+    efficiency,
+    mflops,
+    parallel_efficiency,
+    relative_error,
+    seconds,
+    speedup,
+)
+from repro.analysis.report import Table, series
+from repro.analysis.scaled_speedup import (
+    amdahl_speedup,
+    gustafson_speedup,
+    measured_scaled_saxpy,
+    measured_scaled_stencil,
+)
+from repro.analysis.tracing import (
+    busiest_component,
+    flops_breakdown,
+    machine_utilization,
+    node_utilization,
+    utilization_table,
+)
+
+__all__ = [
+    "PAPER_RATIO",
+    "PAPER_TIMES_US",
+    "Table",
+    "amdahl_speedup",
+    "balance_table",
+    "gustafson_speedup",
+    "measured_scaled_saxpy",
+    "measured_scaled_stencil",
+    "bandwidth_mb_s",
+    "best_interval",
+    "busiest_component",
+    "flops_breakdown",
+    "machine_utilization",
+    "node_utilization",
+    "utilization_table",
+    "derived_ratio",
+    "derived_times_ns",
+    "efficiency",
+    "expected_overhead_fraction",
+    "interval_sweep",
+    "knee_ops",
+    "link_intensity_model",
+    "measure_overlap",
+    "mflops",
+    "mtbf_for_interval",
+    "ops_to_hide_gather",
+    "ops_to_hide_link",
+    "overlap_efficiency_model",
+    "overlap_sweep",
+    "parallel_efficiency",
+    "relative_error",
+    "seconds",
+    "series",
+    "simulate_checkpointing",
+    "speedup",
+    "young_interval_s",
+]

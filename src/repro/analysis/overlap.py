@@ -1,0 +1,95 @@
+"""Gather/compute overlap analysis (the paper's ~13-ops rule).
+
+The CP gathers operands through the random-access port while the
+vector unit computes out of the row-fed registers — different ports,
+genuine overlap.  If each gathered element feeds ``f`` vector
+operations, arithmetic hides the gather when
+
+    f · 125 ns  ≥  1600 ns   ⇔   f ≥ 12.8 ≈ 13.
+
+:func:`overlap_efficiency_model` is the analytic curve;
+:func:`measure_overlap` produces the same curve from simulation by
+actually racing a gather against vector work on one node — the knee
+must land at ~13 either way (bench E6).
+"""
+
+import numpy as np
+
+from repro.core.node import ProcessorNode
+from repro.events import Engine
+
+
+def overlap_efficiency_model(ops_per_element: float, specs) -> float:
+    """Fraction of peak arithmetic rate sustained at a given intensity.
+
+    With f ops per gathered element, each element costs
+    max(f·cycle, gather) of wall time for f·cycle of useful pipe time.
+    """
+    if ops_per_element <= 0:
+        return 0.0
+    useful = ops_per_element * specs.cycle_ns
+    wall = max(useful, specs.gather_ns_per_element_64)
+    return useful / wall
+
+
+def knee_ops(specs) -> float:
+    """The intensity where the model reaches 100% (≈12.8 → 'about 13')."""
+    return specs.gather_ns_per_element_64 / specs.cycle_ns
+
+
+def measure_overlap(ops_per_element: int, specs, elements: int = 512):
+    """Simulate a gather racing vector work at a given intensity.
+
+    Per 128-element batch the CP gathers the *next* batch while the
+    vector unit performs ``ops_per_element`` VADD passes over the
+    current one.  Returns (elapsed_ns, useful_vector_ns, efficiency).
+    """
+    if ops_per_element < 1:
+        raise ValueError("need at least one op per element")
+    engine = Engine()
+    node = ProcessorNode(engine, specs)
+    batch = specs.vector_length_64
+    batches = elements // batch
+    if batches < 1:
+        raise ValueError("elements must cover at least one batch")
+    addresses = [64 * i for i in range(batch)]
+    data = np.ones(batch)
+
+    def worker():
+        for _ in range(batches):
+            ops = [
+                node.start_vector_op("VADD", [0, 1])
+                for _ in range(ops_per_element)
+            ]
+            yield from node.gather(addresses, 0x80000)
+            yield engine.all_of(ops)
+
+    node.vregs[0].set_elements(data, 64)
+    node.vregs[1].set_elements(data, 64)
+    proc = engine.process(worker())
+    engine.run(until=proc)
+    elapsed = engine.now
+    useful = node.vau.busy_ns
+    return elapsed, useful, useful / elapsed if elapsed else 0.0
+
+
+def overlap_sweep(specs, intensities, elements: int = 512):
+    """Measured efficiency across intensities: list of
+    (ops_per_element, model_efficiency, measured_efficiency)."""
+    rows = []
+    for f in intensities:
+        _elapsed, _useful, measured = measure_overlap(f, specs, elements)
+        rows.append((f, overlap_efficiency_model(f, specs), measured))
+    return rows
+
+
+def link_intensity_model(flops_per_word: float, specs) -> float:
+    """Same overlap argument for link traffic: ~130 flops per 64-bit
+    word moved between nodes sustains peak."""
+    from repro.links.frame import FrameSpec
+
+    if flops_per_word <= 0:
+        return 0.0
+    useful = flops_per_word * specs.cycle_ns
+    wall = max(useful, FrameSpec.from_specs(specs).transfer_ns(8))
+    return useful / wall

@@ -1,0 +1,51 @@
+"""Performance accounting helpers used by benches and experiments."""
+
+from repro.core.specs import NS_PER_S
+
+
+def mflops(flops: int, elapsed_ns: int) -> float:
+    """Million floating-point operations per second."""
+    if elapsed_ns <= 0:
+        return 0.0
+    return flops / (elapsed_ns / 1000.0)
+
+
+def efficiency(measured_mflops: float, peak_mflops: float) -> float:
+    """Fraction of peak achieved."""
+    if peak_mflops <= 0:
+        return 0.0
+    return measured_mflops / peak_mflops
+
+
+def speedup(serial_ns: int, parallel_ns: int) -> float:
+    """Classic speedup."""
+    if parallel_ns <= 0:
+        return 0.0
+    return serial_ns / parallel_ns
+
+
+def parallel_efficiency(serial_ns: int, parallel_ns: int,
+                        processors: int) -> float:
+    """Speedup per processor."""
+    if processors <= 0:
+        return 0.0
+    return speedup(serial_ns, parallel_ns) / processors
+
+
+def bandwidth_mb_s(nbytes: int, elapsed_ns: int) -> float:
+    """Bytes over time, in the paper's decimal MB/s."""
+    if elapsed_ns <= 0:
+        return 0.0
+    return nbytes / elapsed_ns * 1000.0
+
+
+def seconds(elapsed_ns: int) -> float:
+    """Nanoseconds → seconds."""
+    return elapsed_ns / NS_PER_S
+
+
+def relative_error(measured: float, expected: float) -> float:
+    """|measured − expected| / |expected| (0 when both are zero)."""
+    if expected == 0:
+        return 0.0 if measured == 0 else float("inf")
+    return abs(measured - expected) / abs(expected)

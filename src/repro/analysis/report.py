@@ -1,0 +1,73 @@
+"""Plain-text tables for the benchmark harness.
+
+Every bench regenerates a table or figure from the paper; these
+helpers print them in a consistent fixed-width format so the bench
+output reads like the paper's evaluation section.
+"""
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 10000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+class Table:
+    """A fixed-width table with a title."""
+
+    def __init__(self, title: str, headers):
+        self.title = title
+        self.headers = list(headers)
+        self.rows = []
+
+    def add(self, *cells):
+        """Append one row (must match the header width)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([_format_cell(c) for c in cells])
+        return self
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(
+            h.ljust(w) for h, w in zip(self.headers, widths)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(
+                c.rjust(w) for c, w in zip(row, widths)
+            ))
+        return "\n".join(lines)
+
+    def show(self) -> str:
+        """Print and return the rendering."""
+        text = self.render()
+        print()
+        print(text)
+        return text
+
+    def __str__(self):
+        return self.render()
+
+
+def series(title: str, pairs, x_label="x", y_label="y") -> Table:
+    """A two-column table for figure-style (x, y) series."""
+    table = Table(title, [x_label, y_label])
+    for x, y in pairs:
+        table.add(x, y)
+    return table

@@ -1,0 +1,78 @@
+"""Fixed-size vs scaled speedup.
+
+The paper closes on "performance scalable over three orders of
+magnitude" — and its first author went on to formalise *why* that is
+achievable even when fixed-size (Amdahl) speedup is not: scale the
+problem with the machine (Gustafson, "Reevaluating Amdahl's Law",
+1988).  This module provides both laws and measured scaled-speedup
+harnesses over the simulator, connecting the 1986 machine to the 1988
+argument it motivated.
+"""
+
+import numpy as np
+
+from repro.algorithms.saxpy import distributed_saxpy
+from repro.algorithms.stencil import distributed_jacobi
+
+
+def amdahl_speedup(serial_fraction: float, processors: int) -> float:
+    """Fixed-size speedup: 1 / (s + (1−s)/P)."""
+    if not 0 <= serial_fraction <= 1:
+        raise ValueError("serial fraction must be in [0, 1]")
+    if processors < 1:
+        raise ValueError("need at least one processor")
+    return 1.0 / (serial_fraction + (1 - serial_fraction) / processors)
+
+
+def gustafson_speedup(serial_fraction: float, processors: int) -> float:
+    """Scaled speedup: s + (1−s)·P."""
+    if not 0 <= serial_fraction <= 1:
+        raise ValueError("serial fraction must be in [0, 1]")
+    if processors < 1:
+        raise ValueError("need at least one processor")
+    return serial_fraction + (1 - serial_fraction) * processors
+
+
+def measured_scaled_saxpy(machine_factory, dims, elements_per_node):
+    """Scaled-speedup measurement: work grows with the machine.
+
+    For each cube dimension, runs a SAXPY of ``elements_per_node × P``
+    elements on P nodes and reports
+    (P, elapsed_ns, scaled_speedup = P · t_ref / t_P) where t_ref is
+    the single-node time on the single-node problem.  Perfectly
+    scalable work keeps elapsed constant, so scaled speedup = P.
+    """
+    rows = []
+    t_ref = None
+    for dim in dims:
+        machine = machine_factory(dim)
+        p = len(machine)
+        n = elements_per_node * p
+        _r, elapsed, _m = distributed_saxpy(
+            machine, 2.0, np.ones(n), np.ones(n)
+        )
+        if t_ref is None:
+            t_ref = elapsed
+        rows.append((p, elapsed, p * t_ref / elapsed))
+    return rows
+
+
+def measured_scaled_stencil(machine_factory, dims, block: int = 8,
+                            iterations: int = 2):
+    """Scaled stencil: the global grid grows with the machine (a
+    ``block``-wide strip per node along one axis)."""
+    rows = []
+    t_ref = None
+    for dim in dims:
+        machine = machine_factory(dim)
+        p = len(machine)
+        bits = machine.dimension
+        px, py = 1 << (bits // 2), 1 << (bits - bits // 2)
+        grid = np.ones((block * px, block * py))
+        _r, elapsed = distributed_jacobi(
+            machine, grid, iterations, mesh_shape=(px, py)
+        )
+        if t_ref is None:
+            t_ref = elapsed
+        rows.append((p, elapsed, p * t_ref / elapsed))
+    return rows

@@ -1,0 +1,68 @@
+"""Machine utilisation reporting.
+
+Every hardware component keeps busy-time counters; this module rolls
+them up into per-node and machine-wide utilisation tables, so an
+experiment can say *where the time went* — pipes, ports, or wires.
+This is how benches like E11 show "the row port is nowhere near the
+bottleneck" with a number.
+"""
+
+from repro.analysis.report import Table
+
+
+def node_utilization(node) -> dict:
+    """Busy fractions of one node's components (0..1)."""
+    engine = node.engine
+    now = engine.now or 1
+    wires = [w for port in node.comm.ports for w in (port.tx, port.rx)]
+    return {
+        "adder": node.vau.adder.busy_ns / now,
+        "multiplier": node.vau.multiplier.busy_ns / now,
+        "vector_unit": node.vau.busy_ns / now,
+        "word_port": node.memory.word_port.busy_ns / now,
+        "row_port": node.memory.row_port.busy_ns / now,
+        "links": (sum(w.busy_ns for w in wires) / len(wires) / now
+                  if wires else 0.0),
+    }
+
+
+def machine_utilization(machine) -> dict:
+    """Mean busy fractions across all nodes."""
+    per_node = [node_utilization(n) for n in machine.nodes]
+    keys = per_node[0].keys()
+    return {
+        key: sum(d[key] for d in per_node) / len(per_node)
+        for key in keys
+    }
+
+
+def utilization_table(machine, title="Machine utilisation") -> Table:
+    """A rendered utilisation summary."""
+    util = machine_utilization(machine)
+    table = Table(title, ["component", "mean busy fraction"])
+    for key in ("adder", "multiplier", "vector_unit", "word_port",
+                "row_port", "links"):
+        table.add(key, util[key])
+    return table
+
+
+def busiest_component(machine) -> str:
+    """Name of the component with the highest mean utilisation —
+    the bottleneck indicator."""
+    util = machine_utilization(machine)
+    util.pop("vector_unit")  # aggregate of adder+multiplier
+    return max(util, key=util.get)
+
+
+def flops_breakdown(machine) -> dict:
+    """Per-node FLOP counts plus the machine totals."""
+    per_node = {n.node_id: n.vau.flops for n in machine.nodes}
+    total = sum(per_node.values())
+    return {
+        "per_node": per_node,
+        "total": total,
+        "imbalance": (
+            max(per_node.values()) / (total / len(per_node))
+            if total else 1.0
+        ),
+    }

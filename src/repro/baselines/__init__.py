@@ -1,0 +1,22 @@
+"""Architectural baselines: the shared-memory bus machine and the
+scalar node.
+
+Public surface:
+
+* :class:`SharedBusMachine`, :class:`SharedBusConfig` — P vector
+  processors sharing one bus (the paper's §I foil).
+* :class:`ScalarNode` — the vector-less node.
+* :class:`ScalingPoint`, :class:`Comparison` — result containers.
+"""
+
+from repro.baselines.models import Comparison, ScalingPoint
+from repro.baselines.scalar_node import ScalarNode
+from repro.baselines.shared_bus import SharedBusConfig, SharedBusMachine
+
+__all__ = [
+    "Comparison",
+    "ScalarNode",
+    "ScalingPoint",
+    "SharedBusConfig",
+    "SharedBusMachine",
+]

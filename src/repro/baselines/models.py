@@ -1,0 +1,49 @@
+"""Shared result types for baseline comparisons.
+
+The paper's evaluation is architectural: *who wins, and where does the
+crossover fall* between the homogeneous distributed machine and its
+foils (a shared-memory bus machine; a scalar node).  These helpers
+hold the comparison results the benches print.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point on a scaling curve."""
+
+    processors: int
+    elapsed_ns: int
+    mflops: float
+
+    @property
+    def mflops_per_processor(self) -> float:
+        return self.mflops / self.processors if self.processors else 0.0
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Two scaling curves and their crossover."""
+
+    label_a: str
+    label_b: str
+    curve_a: tuple
+    curve_b: tuple
+
+    def winner_at(self, processors: int) -> str:
+        """Which side is faster at a processor count present in both."""
+        a = {p.processors: p.elapsed_ns for p in self.curve_a}
+        b = {p.processors: p.elapsed_ns for p in self.curve_b}
+        if processors not in a or processors not in b:
+            raise ValueError(f"no data at P={processors}")
+        return self.label_a if a[processors] <= b[processors] else self.label_b
+
+    def crossover(self):
+        """Smallest shared processor count where side A wins, or None."""
+        b = {p.processors: p.elapsed_ns for p in self.curve_b}
+        for point in sorted(self.curve_a, key=lambda p: p.processors):
+            if point.processors in b and \
+                    point.elapsed_ns < b[point.processors]:
+                return point.processors
+        return None

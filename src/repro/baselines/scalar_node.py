@@ -1,0 +1,58 @@
+"""The scalar (vector-less) node — the other foil.
+
+Same control processor, same memory, no vector pipes: every SAXPY
+element costs word-port traffic (2 reads + 1 write of 64 bits = six
+word accesses) plus scalar trips through the unpipelined adder and
+multiplier.  Comparing against the vector node isolates the paper's
+"pipelined vector arithmetic" contribution from its "parallelism"
+contribution.
+"""
+
+from repro.events import Engine
+from repro.memory.dram import DualPortMemory
+
+
+class ScalarNode:
+    """A node that computes one element at a time."""
+
+    def __init__(self, specs, engine=None):
+        self.specs = specs
+        self.engine = engine or Engine()
+        self.memory = DualPortMemory(self.engine, specs)
+        self.flops = 0
+
+    def scalar_op_ns(self) -> int:
+        """One multiply–add through unpipelined units (latency, not
+        throughput: no vectors to fill the pipes)."""
+        mul = self.specs.multiplier_stages_64 * self.specs.cycle_ns
+        add = self.specs.adder_stages * self.specs.cycle_ns
+        return mul + add
+
+    def saxpy_ns_per_element(self, precision: int = 64) -> int:
+        """Memory traffic + arithmetic for one y[i] ← αx[i] + y[i]."""
+        words = precision // 32
+        memory = 3 * words * self.specs.word_access_ns
+        return memory + self.scalar_op_ns()
+
+    def saxpy(self, total_elements: int, precision: int = 64):
+        """Simulate the elementwise loop; returns elapsed ns."""
+        words = precision // 32
+
+        def worker():
+            for _ in range(total_elements):
+                yield from self.memory.word_port.access(3 * words)
+                yield self.engine.timeout(self.scalar_op_ns())
+                self.flops += 2
+
+        start = self.engine.now
+        proc = self.engine.process(worker())
+        self.engine.run(until=proc)
+        return self.engine.now - start
+
+    def vector_speedup(self, precision: int = 64) -> float:
+        """Predicted vector-over-scalar ratio on long SAXPY."""
+        vector_per_element = self.specs.cycle_ns  # one result per cycle
+        return self.saxpy_ns_per_element(precision) / vector_per_element
+
+    def __repr__(self):
+        return "<ScalarNode>"

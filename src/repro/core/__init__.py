@@ -1,0 +1,48 @@
+"""The T Series machine model: specs, configurations, nodes, modules.
+
+The paper's primary contribution is the *composition*: a homogeneous
+binary n-cube of nodes, each of which is itself a composition of the
+control processor, dual-ported memory, vector arithmetic unit and
+links.  This package holds that composition; the parts live in their
+own substrate packages.
+"""
+
+from repro.core.specs import TSeriesSpecs, PAPER_SPECS, NS_PER_S, MB
+from repro.core.config import (
+    MachineConfig,
+    MODULE,
+    CABINET,
+    FOUR_CABINET,
+    MAX_USABLE,
+)
+from repro.core.node import BankConflictError, ProcessorNode
+from repro.core.module import Module
+from repro.core.streaming import VectorStreamer
+from repro.core.machine import (
+    ROLE_HYPERCUBE,
+    ROLE_IO,
+    ROLE_SYSTEM,
+    SublinkPlan,
+    TSeriesMachine,
+)
+
+__all__ = [
+    "BankConflictError",
+    "CABINET",
+    "FOUR_CABINET",
+    "MAX_USABLE",
+    "MB",
+    "MODULE",
+    "MachineConfig",
+    "Module",
+    "NS_PER_S",
+    "PAPER_SPECS",
+    "ProcessorNode",
+    "ROLE_HYPERCUBE",
+    "ROLE_IO",
+    "ROLE_SYSTEM",
+    "SublinkPlan",
+    "TSeriesMachine",
+    "TSeriesSpecs",
+    "VectorStreamer",
+]

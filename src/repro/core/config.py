@@ -1,0 +1,147 @@
+"""Machine configurations and the paper's scaling tables (§III).
+
+A :class:`MachineConfig` names a T Series size by its cube dimension
+and derives every figure in the paper's configuration discussion —
+node/module/cabinet counts, peak GFLOPS, total memory, disk count —
+from the per-node specs.  The homogeneity claim of the paper is exactly
+this derivability: "the specifications of any sized FPS T Series can be
+derived from the properties of the individual modules."
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.specs import TSeriesSpecs, PAPER_SPECS
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A T Series configuration: a binary ``dimension``-cube of nodes.
+
+    Parameters
+    ----------
+    dimension : int
+        Cube dimension n; the machine has 2**n nodes.  The paper allows
+        up to a 14-cube structurally and a 12-cube with external I/O.
+    specs : TSeriesSpecs
+        Per-node hardware parameters (defaults to the paper's).
+    """
+
+    dimension: int
+    specs: TSeriesSpecs = field(default=PAPER_SPECS)
+
+    def __post_init__(self):
+        if self.dimension < 0:
+            raise ValueError("cube dimension must be >= 0")
+        if self.dimension > self.specs.max_cube_dimension:
+            raise ValueError(
+                f"dimension {self.dimension} exceeds the T Series maximum "
+                f"({self.specs.max_cube_dimension}-cube)"
+            )
+
+    # -- counts -----------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        """2**n processor nodes."""
+        return 1 << self.dimension
+
+    @property
+    def module_count(self) -> int:
+        """Modules of 8 nodes; sub-module configs occupy one module."""
+        return max(1, self.node_count // self.specs.nodes_per_module)
+
+    @property
+    def cabinet_count(self) -> int:
+        """Cabinets of two modules (16 nodes, a 4-cube)."""
+        return max(1, self.module_count // self.specs.modules_per_cabinet)
+
+    @property
+    def system_disk_count(self) -> int:
+        """One system disk per module."""
+        return self.module_count
+
+    # -- capacity ---------------------------------------------------------
+    @property
+    def peak_mflops(self) -> float:
+        """Aggregate peak floating-point rate."""
+        return self.node_count * self.specs.peak_mflops_per_node
+
+    @property
+    def peak_gflops(self) -> float:
+        """Aggregate peak rate in GFLOPS."""
+        return self.peak_mflops / 1000.0
+
+    @property
+    def memory_bytes(self) -> int:
+        """Total user RAM."""
+        return self.node_count * self.specs.memory_bytes
+
+    @property
+    def memory_mbytes(self) -> float:
+        """Total user RAM in binary MB."""
+        return self.memory_bytes / float(1 << 20)
+
+    # -- communication ------------------------------------------------------
+    @property
+    def max_hops(self) -> int:
+        """Network diameter: n hops between antipodal nodes."""
+        return self.dimension
+
+    @property
+    def usable(self) -> bool:
+        """True if the config leaves 2 sublinks/node for external I/O
+        (paper: 12-cube is the largest usable machine)."""
+        return self.dimension <= self.specs.max_usable_cube_dimension
+
+    @property
+    def compute_links_required(self) -> int:
+        """Hypercube connections each node must dedicate (n)."""
+        return self.dimension
+
+    def link_budget(self) -> dict:
+        """Per-node sublink accounting, per §III.
+
+        Returns a dict with 'total', 'system', 'io', 'hypercube', and
+        'spare' sublink counts.  Raises ValueError if the configuration
+        does not fit the 16-sublink budget.
+        """
+        s = self.specs
+        spare = (
+            s.sublinks_per_node
+            - s.system_sublinks_per_node
+            - s.io_sublinks_per_node
+            - self.dimension
+        )
+        if spare < 0:
+            raise ValueError(
+                f"a {self.dimension}-cube needs {self.dimension} hypercube "
+                f"sublinks but only {s.compute_sublinks_per_node} remain"
+            )
+        return {
+            "total": s.sublinks_per_node,
+            "system": s.system_sublinks_per_node,
+            "io": s.io_sublinks_per_node,
+            "hypercube": self.dimension,
+            "spare": spare,
+        }
+
+    def summary(self) -> dict:
+        """All derived figures, as printed by the E8 bench."""
+        return {
+            "dimension": self.dimension,
+            "nodes": self.node_count,
+            "modules": self.module_count,
+            "cabinets": self.cabinet_count,
+            "system_disks": self.system_disk_count,
+            "peak_mflops": self.peak_mflops,
+            "peak_gflops": self.peak_gflops,
+            "memory_mbytes": self.memory_mbytes,
+            "max_hops": self.max_hops,
+            "usable": self.usable,
+        }
+
+
+#: Named configurations the paper calls out.
+MODULE = MachineConfig(3)            # 8 nodes, 128 MFLOPS, 8 MB
+CABINET = MachineConfig(4)           # 16 nodes (a tesseract)
+FOUR_CABINET = MachineConfig(6)      # 64 nodes, 1 GFLOPS, 64 MB
+MAX_USABLE = MachineConfig(12)       # 4096 nodes, >65 GFLOPS, 4 GB

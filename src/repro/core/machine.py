@@ -1,0 +1,230 @@
+"""The assembled T Series machine.
+
+Construction wires everything the paper describes:
+
+* ``2**n`` :class:`~repro.core.node.ProcessorNode` objects connected as
+  a binary n-cube over fabric sublinks, one cube dimension per sublink
+  slot, spread across the four physical links;
+* modules of eight nodes, each with a
+  :class:`~repro.system.system_board.SystemBoard` and disk, joined to
+  their nodes by the communications thread;
+* the system ring joining the boards, independent of the n-cube.
+
+Slot plan (matches the paper's link-budget arithmetic exactly):
+dimension ``d`` rides slot ``(d % 4) * 4 + d // 4`` — so the three
+intra-module dimensions (0–2) land on three *different* physical links
+("the module requires three links for intramodule hypercube network
+communications"), the two system slots (11, 15) land on two different
+links ("the system board connections require two links"), and with two
+I/O slots (3, 7) reserved the largest usable machine is a 12-cube;
+releasing them permits the structural maximum, a 14-cube.
+"""
+
+from repro.core.config import MachineConfig
+from repro.core.node import ProcessorNode
+from repro.core.module import Module
+from repro.core.specs import PAPER_SPECS
+from repro.events import Engine
+from repro.links.fabric import connect
+from repro.system.system_board import (
+    NODE_SLOT_AWAY_FROM_BOARD,
+    NODE_SLOT_TOWARD_BOARD,
+    SLOT_RING_NEXT,
+    SLOT_RING_PREV,
+    SLOT_THREAD_DOWN,
+    SLOT_THREAD_UP,
+    SystemBoard,
+)
+from repro.topology.hypercube import Hypercube
+
+#: Sublink roles on the fabric.
+ROLE_HYPERCUBE = "hypercube"
+ROLE_SYSTEM = "system"
+ROLE_IO = "io"
+
+
+class SublinkPlan:
+    """The per-node sublink slot assignment."""
+
+    SYSTEM_SLOTS = (NODE_SLOT_AWAY_FROM_BOARD, NODE_SLOT_TOWARD_BOARD)
+    IO_SLOTS = (3, 7)
+
+    def __init__(self, dimension: int, reserve_io: bool = True):
+        self.dimension = dimension
+        self.reserve_io = reserve_io
+        limit = 12 if reserve_io else 14
+        if dimension > limit:
+            raise ValueError(
+                f"a {dimension}-cube does not fit the sublink budget "
+                f"({'with' if reserve_io else 'without'} I/O reserved, "
+                f"max {limit})"
+            )
+        self._slots = [self.slot_of(d) for d in range(dimension)]
+        taken = set(self._slots) | set(self.SYSTEM_SLOTS)
+        if reserve_io:
+            taken |= set(self.IO_SLOTS)
+        if len(taken) != dimension + 2 + (2 if reserve_io else 0):
+            raise AssertionError("sublink slot collision")  # pragma: no cover
+
+    @staticmethod
+    def slot_of(dimension: int) -> int:
+        """Sublink slot carrying cube dimension ``dimension``."""
+        return (dimension % 4) * 4 + dimension // 4
+
+    def budget(self) -> dict:
+        """Slot accounting, mirroring MachineConfig.link_budget."""
+        spare = 16 - self.dimension - 2 - (2 if self.reserve_io else 0)
+        return {
+            "total": 16,
+            "hypercube": self.dimension,
+            "system": 2,
+            "io": 2 if self.reserve_io else 0,
+            "spare": spare,
+        }
+
+
+class TSeriesMachine:
+    """A complete, wired T Series."""
+
+    def __init__(self, config, engine=None, reserve_io=True,
+                 with_system=True):
+        if isinstance(config, int):
+            config = MachineConfig(config)
+        self.config = config
+        self.specs = config.specs
+        self.engine = engine or Engine()
+        self.cube = Hypercube(config.dimension)
+        self.plan = SublinkPlan(config.dimension, reserve_io=reserve_io)
+        self.nodes = [
+            ProcessorNode(self.engine, self.specs, node_id=i)
+            for i in range(config.node_count)
+        ]
+        self.sublinks = {}  # (low_node, high_node) → FabricSublink
+        self._wire_hypercube()
+        self.modules = []
+        self.boards = []
+        self.ring_links = []
+        if with_system:
+            self._build_modules()
+            self._wire_ring()
+
+    # -- wiring ----------------------------------------------------------
+
+    def _wire_hypercube(self):
+        for u, v in self.cube.edges():
+            d = (u ^ v).bit_length() - 1
+            slot = self.plan.slot_of(d)
+            link = connect(
+                self.nodes[u].comm, slot,
+                self.nodes[v].comm, slot,
+                role=ROLE_HYPERCUBE,
+                name=f"cube{u}-{v}",
+            )
+            self.sublinks[(u, v)] = link
+
+    def _build_modules(self):
+        per_module = min(len(self.nodes), self.specs.nodes_per_module)
+        for m in range(0, len(self.nodes), per_module):
+            module_id = m // per_module
+            nodes = self.nodes[m:m + per_module]
+            board = SystemBoard(self.engine, self.specs, module_id)
+            module = Module(module_id, nodes, board)
+            self._wire_thread(module)
+            self.modules.append(module)
+            self.boards.append(board)
+
+    def _wire_thread(self, module):
+        """Board → node 0 → … → last node → board."""
+        nodes = module.nodes
+        board = module.board
+        module.thread.append(connect(
+            board.comm, SLOT_THREAD_DOWN,
+            nodes[0].comm, NODE_SLOT_TOWARD_BOARD,
+            role=ROLE_SYSTEM,
+            name=f"thread{module.module_id}.board-0",
+        ))
+        for k in range(len(nodes) - 1):
+            module.thread.append(connect(
+                nodes[k].comm, NODE_SLOT_AWAY_FROM_BOARD,
+                nodes[k + 1].comm, NODE_SLOT_TOWARD_BOARD,
+                role=ROLE_SYSTEM,
+                name=f"thread{module.module_id}.{k}-{k + 1}",
+            ))
+        module.thread.append(connect(
+            nodes[-1].comm, NODE_SLOT_AWAY_FROM_BOARD,
+            board.comm, SLOT_THREAD_UP,
+            role=ROLE_SYSTEM,
+            name=f"thread{module.module_id}.{len(nodes) - 1}-board",
+        ))
+
+    def _wire_ring(self):
+        """The system ring, independent of the n-cube."""
+        count = len(self.boards)
+        if count < 2:
+            return
+        for b in range(count):
+            nxt = (b + 1) % count
+            self.ring_links.append(connect(
+                self.boards[b].comm, SLOT_RING_NEXT,
+                self.boards[nxt].comm, SLOT_RING_PREV,
+                role=ROLE_SYSTEM,
+                name=f"ring.{b}-{nxt}",
+            ))
+
+    # -- access -----------------------------------------------------------
+
+    @property
+    def dimension(self) -> int:
+        return self.config.dimension
+
+    def __len__(self):
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> ProcessorNode:
+        """Node by id."""
+        self.cube.check_node(node_id)
+        return self.nodes[node_id]
+
+    def module_of(self, node_id: int) -> Module:
+        """The module containing a node."""
+        self.cube.check_node(node_id)
+        if not self.modules:
+            raise RuntimeError("machine built with with_system=False")
+        per_module = len(self.modules[0])
+        return self.modules[node_id // per_module]
+
+    def slot_of_dimension(self, d: int) -> int:
+        """Which sublink slot carries cube dimension ``d``."""
+        if not 0 <= d < self.dimension:
+            raise ValueError(f"dimension {d} out of range")
+        return self.plan.slot_of(d)
+
+    def sublink_between(self, u: int, v: int):
+        """The fabric sublink joining two neighbouring nodes."""
+        key = (min(u, v), max(u, v))
+        try:
+            return self.sublinks[key]
+        except KeyError:
+            raise ValueError(f"nodes {u} and {v} are not neighbours") from None
+
+    # -- metrics ------------------------------------------------------
+
+    def total_flops(self) -> int:
+        """FLOPs executed machine-wide."""
+        return sum(n.vau.flops for n in self.nodes)
+
+    def measured_mflops(self) -> float:
+        """Machine-wide measured rate."""
+        if self.engine.now == 0:
+            return 0.0
+        return self.total_flops() / (self.engine.now / 1000.0)
+
+    def run(self, until=None):
+        """Drive the shared engine."""
+        return self.engine.run(until=until)
+
+    def __repr__(self):
+        return (
+            f"<TSeriesMachine {self.dimension}-cube: {len(self.nodes)} "
+            f"nodes, {len(self.modules)} modules>"
+        )

@@ -1,0 +1,57 @@
+"""The eight-node module.
+
+Paper §III: "Eight nodes are combined with disk storage and a system
+board to form a module.  Such a module has 128 MFLOPS peak
+floating-point performance, and 8 MB of user RAM."
+
+The module object groups its nodes with their system board and records
+the thread wiring (board → node 0 → node 1 → … → last node → board).
+Snapshot data flows along this thread; the chain's first segment and
+the disk are the ~15 s bottlenecks.
+"""
+
+
+class Module:
+    """One module: up to eight nodes plus a system board."""
+
+    def __init__(self, module_id, nodes, board):
+        if not nodes:
+            raise ValueError("a module needs at least one node")
+        self.module_id = module_id
+        self.nodes = list(nodes)
+        self.board = board
+        for node in self.nodes:
+            node.module = self
+        #: Thread sublinks, filled in by machine wiring:
+        #: thread[0] joins the board to node 0; thread[k] joins node
+        #: k−1 to node k; thread[-1] joins the last node back to the
+        #: board.
+        self.thread = []
+
+    @property
+    def node_ids(self):
+        """Machine-global ids of this module's nodes."""
+        return [n.node_id for n in self.nodes]
+
+    @property
+    def memory_bytes(self) -> int:
+        """Total user RAM in the module (8 MB for a full module)."""
+        return sum(n.specs.memory_bytes for n in self.nodes)
+
+    @property
+    def peak_mflops(self) -> float:
+        """128 for a full module."""
+        return sum(n.specs.peak_mflops_per_node for n in self.nodes)
+
+    def position_of(self, node_id: int) -> int:
+        """A node's position along the thread (0 = nearest the board)."""
+        for pos, node in enumerate(self.nodes):
+            if node.node_id == node_id:
+                return pos
+        raise ValueError(f"node {node_id} not in module {self.module_id}")
+
+    def __len__(self):
+        return len(self.nodes)
+
+    def __repr__(self):
+        return f"<Module {self.module_id} nodes={self.node_ids}>"

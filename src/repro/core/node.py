@@ -1,0 +1,185 @@
+"""The processor node: Figure 1 as a composition.
+
+A node is a control processor, a 1 MB dual-ported memory, two vector
+registers, the vector arithmetic unit, and a four-link adapter — all
+on one board.  The composition rules the paper states are enforced
+here:
+
+* the vector unit runs **in parallel** with the CP (vector ops are
+  started, not awaited, unless the caller chooses to wait);
+* vector operands come from vector registers loaded row-at-a-time;
+* CP gather/scatter uses the random-access port and therefore overlaps
+  vector arithmetic (they touch different ports);
+* the two vector inputs of a dual-input form should come from
+  different banks — :meth:`ProcessorNode.check_banks` verifies the
+  placement that makes full-speed SAXPY possible.
+"""
+
+import numpy as np
+
+from repro.cp.gather import GatherScatterEngine
+from repro.fpu.vector_forms import FORMS, VectorArithmeticUnit, dtype_for
+from repro.links.fabric import NodeLinkSet
+from repro.memory.dram import DualPortMemory
+from repro.memory.vector_register import VectorRegister
+
+
+class BankConflictError(Exception):
+    """Two vector operands were placed in the same memory bank."""
+
+
+class ProcessorNode:
+    """One T Series node."""
+
+    #: Vector registers per node (Figure 1 shows one per bank).
+    VECTOR_REGISTERS = 2
+
+    def __init__(self, engine, specs, node_id=0):
+        self.engine = engine
+        self.specs = specs
+        self.node_id = node_id
+        self.memory = DualPortMemory(engine, specs)
+        self.vau = VectorArithmeticUnit(engine, specs)
+        self.comm = NodeLinkSet(engine, specs, name=f"node{node_id}")
+        self.comm.memory = self.memory  # for DMA cycle stealing (E15)
+        self.gather_engine = GatherScatterEngine(engine, self.memory, specs)
+        self.vregs = [
+            VectorRegister(specs.row_bytes, index=i)
+            for i in range(self.VECTOR_REGISTERS)
+        ]
+        #: Set by machine wiring: this node's module.
+        self.module = None
+
+    # -- untimed element access (setup/verification) ---------------------
+
+    def write_floats(self, address: int, values, precision: int = 64):
+        """Plant float elements in memory (no simulated time)."""
+        values = np.asarray(values, dtype=dtype_for(precision))
+        self.memory.poke_bytes(address, values.view(np.uint8))
+
+    def read_floats(self, address: int, count: int,
+                    precision: int = 64) -> np.ndarray:
+        """Read float elements from memory (no simulated time)."""
+        nbytes = count * (precision // 8)
+        return self.memory.peek_bytes(address, nbytes).view(
+            dtype_for(precision)
+        ).copy()
+
+    def write_row_floats(self, row: int, values, precision: int = 64):
+        """Fill one memory row with float elements (zero padded)."""
+        values = np.asarray(values, dtype=dtype_for(precision))
+        raw = np.zeros(self.specs.row_bytes, dtype=np.uint8)
+        raw[:values.nbytes] = values.view(np.uint8)
+        self.memory.write_row(row, raw)
+
+    def read_row_floats(self, row: int, count: int = None,
+                        precision: int = 64) -> np.ndarray:
+        """Read one row as float elements."""
+        data = self.memory.read_row(row).view(dtype_for(precision))
+        return data[:count].copy() if count else data.copy()
+
+    # -- vector pipeline: rows → registers → arithmetic → rows ----------
+
+    def load_vector(self, row: int, reg: int = 0):
+        """Process: load memory row into a vector register (400 ns)."""
+        yield from self.memory.row_to_register(row, self.vregs[reg])
+
+    def store_vector(self, reg: int, row: int):
+        """Process: store a vector register into a memory row (400 ns)."""
+        yield from self.memory.register_to_row(self.vregs[reg], row)
+
+    def check_banks(self, row_a: int, row_b: int) -> None:
+        """Enforce the dual-bank rule for two-input forms.
+
+        Paper: "The division of memory into two banks permits two
+        inputs in parallel to the arithmetic unit on each cycle."
+        """
+        bank_a = self.memory.bank_of_row(row_a)
+        bank_b = self.memory.bank_of_row(row_b)
+        if bank_a == bank_b:
+            raise BankConflictError(
+                f"rows {row_a} and {row_b} are both in bank {bank_a}; "
+                "two-input vector forms need one operand per bank"
+            )
+
+    def vector_op(self, form_name: str, src_regs, scalars=(),
+                  length: int = None, precision: int = 64,
+                  dst_reg: int = None):
+        """Process: run a vector form on register contents.
+
+        ``src_regs`` are register indices; ``length`` defaults to the
+        full register.  The result lands in ``dst_reg`` (default: the
+        first source register) unless the form is a reduction, in which
+        case the scalar result is returned.
+        """
+        form = FORMS[form_name]
+        if length is None:
+            length = self.vregs[0].capacity(precision)
+        inputs = [
+            self.vregs[r].elements(precision, count=length) for r in src_regs
+        ]
+        result = yield from self.vau.execute(
+            form_name, inputs, scalars, precision
+        )
+        if form.reduction:
+            return result
+        target = dst_reg if dst_reg is not None else (
+            src_regs[0] if src_regs else 0
+        )
+        self.vregs[target].set_elements(result, precision)
+        return result
+
+    def start_vector_op(self, form_name, src_regs, scalars=(),
+                        length=None, precision=64, dst_reg=None):
+        """Fire-and-forget vector op: returns its completion event.
+
+        This is the paper's CP/vector-unit overlap: "The complete
+        arithmetic unit operates in parallel with the node control
+        processor."
+        """
+        return self.engine.process(
+            self.vector_op(form_name, src_regs, scalars, length,
+                           precision, dst_reg),
+            name=f"{self.node_id}-{form_name}",
+        )
+
+    # -- gather/scatter ------------------------------------------------
+
+    def gather(self, src_addresses, dst_address, precision=64):
+        """Process: CP gather (overlaps vector arithmetic)."""
+        count = yield from self.gather_engine.gather(
+            src_addresses, dst_address, precision
+        )
+        return count
+
+    def scatter(self, src_address, dst_addresses, precision=64):
+        """Process: CP scatter."""
+        count = yield from self.gather_engine.scatter(
+            src_address, dst_addresses, precision
+        )
+        return count
+
+    # -- communication ----------------------------------------------------
+
+    def send(self, slot: int, payload, nbytes: int):
+        """Process: transmit a message on a sublink slot (DMA + wire)."""
+        message = yield from self.comm.send(slot, payload, nbytes)
+        return message
+
+    def recv(self, slot: int):
+        """Process: receive the next message on a sublink slot."""
+        message = yield from self.comm.recv(slot)
+        return message
+
+    # -- metrics -------------------------------------------------------------
+
+    def measured_mflops(self) -> float:
+        """FLOPs per elapsed simulated time."""
+        return self.vau.measured_mflops()
+
+    def peak_mflops(self) -> float:
+        """16 MFLOPS (two pipes at the 125 ns cycle)."""
+        return self.specs.peak_mflops_per_node
+
+    def __repr__(self):
+        return f"<ProcessorNode {self.node_id}>"

@@ -1,0 +1,265 @@
+"""Hardware constants of the FPS T Series, straight from the paper.
+
+Every timing and size used anywhere in the simulator is defined here,
+in one frozen dataclass, so that experiments measuring "paper vs.
+simulated" have a single authoritative source for the paper's side and
+so a user can build what-if variants (``specs.replace(...)``) for the
+ablation benches.
+
+All times are integer **nanoseconds**; all sizes are **bytes** unless a
+name says otherwise.  Derived quantities (bandwidths, peak MFLOPS, the
+balance ratio) are properties computed from the primaries — the
+benchmark harness checks that the *simulated* datapaths reproduce these
+same numbers from behaviour, not from this table.
+"""
+
+import dataclasses
+from dataclasses import dataclass
+
+#: Nanoseconds per second, for bandwidth conversions.
+NS_PER_S = 1_000_000_000
+
+#: Bytes per megabyte in the paper's units (decimal MB, as used for
+#: bandwidth figures such as "2560 MB/s").
+MB = 1_000_000
+
+
+@dataclass(frozen=True)
+class TSeriesSpecs:
+    """The per-node and per-module hardware parameters (paper §II–III)."""
+
+    # -- clocks ------------------------------------------------------
+    #: Vector arithmetic cycle: each pipe delivers one result per cycle.
+    cycle_ns: int = 125
+    #: Control-processor instruction rate, instructions per second.
+    cp_mips: float = 7.5
+
+    # -- memory --------------------------------------------------------
+    #: Total dual-ported DRAM per node.
+    memory_bytes: int = 1 << 20
+    #: Row size: one vector-register load moves this many bytes at once.
+    row_bytes: int = 1024
+    #: Bank A size in 32-bit words (256 rows).
+    bank_a_words: int = 64 * 1024
+    #: Bank B size in 32-bit words (768 rows).
+    bank_b_words: int = 192 * 1024
+    #: Random-access port: time to read or write one 32-bit word.
+    word_access_ns: int = 400
+    #: Row port: time to move one full row to/from a vector register.
+    row_access_ns: int = 400
+    #: Parity: one parity bit per byte of memory.
+    parity_bits_per_byte: int = 1
+
+    # -- arithmetic ----------------------------------------------------
+    #: Floating-point adder pipeline depth (32- and 64-bit).
+    adder_stages: int = 6
+    #: Multiplier pipeline depth in 32-bit mode.
+    multiplier_stages_32: int = 5
+    #: Multiplier pipeline depth in 64-bit mode.
+    multiplier_stages_64: int = 7
+
+    # -- links -----------------------------------------------------------
+    #: Number of bidirectional serial links per node.
+    links_per_node: int = 4
+    #: Ways each link is multiplexed (links*mux = 16 sublinks).
+    sublinks_per_link: int = 4
+    #: Raw bit rate of a link in bits per second.  The paper's nominal
+    #: MB/s figure is corrupted in the source text; 7.5 Mbit/s makes the
+    #: *effective* unidirectional rate ≈0.577 MB/s, matching the paper's
+    #: "over 0.5 MB/s per link".
+    link_bit_rate: int = 7_500_000
+    #: Framing: data bits per byte on the wire.
+    link_data_bits: int = 8
+    #: Framing: synchronisation bits prepended to each byte.
+    link_sync_bits: int = 2
+    #: Framing: stop bits appended to each byte.
+    link_stop_bits: int = 1
+    #: Acknowledge bits returned by the receiver per byte.
+    link_ack_bits: int = 2
+    #: DMA transfer startup latency.
+    dma_startup_ns: int = 5_000
+    #: Link-adapter port into memory (instructions/status + data).
+    link_adapter_bw_mb_s: float = 10.0
+    #: Model link DMA stealing random-access-port cycles from the CP
+    #: (off by default: the paper says the CP is "degraded only
+    #: slightly", and experiment E15 quantifies the worst case by
+    #: turning this on).
+    dma_memory_traffic: bool = False
+    #: Words per burst when DMA steals port cycles (interleaving
+    #: granularity against the CP).
+    dma_burst_words: int = 64
+
+    # -- module / system (paper §III) -----------------------------------
+    #: Compute nodes per module.
+    nodes_per_module: int = 8
+    #: Modules per cabinet (two modules = 16 nodes = a 4-cube).
+    modules_per_cabinet: int = 2
+    #: Sublinks per node reserved for the system-board thread.
+    system_sublinks_per_node: int = 2
+    #: Sublinks per node reserved for mass storage / external I/O.
+    io_sublinks_per_node: int = 2
+    #: Links used for the intra-module hypercube network (a 3-cube).
+    intramodule_links: int = 3
+    #: Largest constructible configuration (links allow a 14-cube).
+    max_cube_dimension: int = 14
+    #: Largest usable configuration with 2 sublinks kept for I/O.
+    max_usable_cube_dimension: int = 12
+    #: External connection bandwidth per system board, MB/s.
+    system_external_bw_mb_s: float = 0.5
+    #: Time to record one memory snapshot, independent of configuration.
+    snapshot_seconds: float = 15.0
+    #: Recommended interval between snapshots.
+    snapshot_interval_seconds: float = 600.0
+    #: Disk transfer rate backing the snapshot figure: one module's 8 MB
+    #: in ~15 s (per-module disks write in parallel, which is why the
+    #: snapshot time is configuration-independent).
+    disk_bw_mb_s: float = 8.0 / 15.0 * (1 << 20) / MB
+
+    # -- derived: memory ------------------------------------------------
+    @property
+    def memory_words(self) -> int:
+        """Memory viewed by the CP: 32-bit words (256K for 1 MB)."""
+        return self.memory_bytes // 4
+
+    @property
+    def rows_total(self) -> int:
+        """Total 1024-byte rows per node (1024 for 1 MB)."""
+        return self.memory_bytes // self.row_bytes
+
+    @property
+    def bank_a_rows(self) -> int:
+        """Rows in bank A (paper: 256 vectors in one bank)."""
+        return self.bank_a_words * 4 // self.row_bytes
+
+    @property
+    def bank_b_rows(self) -> int:
+        """Rows in bank B (paper: 768 vectors in the other)."""
+        return self.bank_b_words * 4 // self.row_bytes
+
+    @property
+    def vector_length_32(self) -> int:
+        """Elements per vector register in 32-bit mode (256)."""
+        return self.row_bytes // 4
+
+    @property
+    def vector_length_64(self) -> int:
+        """Elements per vector register in 64-bit mode (128)."""
+        return self.row_bytes // 8
+
+    @property
+    def cp_memory_bw_mb_s(self) -> float:
+        """CP effective bandwidth to RAM: 4 bytes per word access (10 MB/s)."""
+        return 4 / self.word_access_ns * 1000  # bytes/ns → MB/s
+
+    @property
+    def row_bw_mb_s(self) -> float:
+        """Memory↔vector-register bandwidth (2560 MB/s)."""
+        return self.row_bytes / self.row_access_ns * 1000
+
+    @property
+    def vector_register_bw_mb_s(self) -> float:
+        """Vector-register↔arithmetic bandwidth: two 64-bit inputs and one
+        output per cycle (192 MB/s)."""
+        return 3 * 8 / self.cycle_ns * 1000
+
+    # -- derived: arithmetic ---------------------------------------------
+    @property
+    def peak_mflops_per_node(self) -> float:
+        """Adder + multiplier each produce one result per cycle (16)."""
+        return 2 * (NS_PER_S / self.cycle_ns) / 1e6
+
+    @property
+    def peak_mflops_per_module(self) -> float:
+        """Eight nodes per module (128)."""
+        return self.peak_mflops_per_node * self.nodes_per_module
+
+    # -- derived: gather / links -------------------------------------------
+    @property
+    def gather_ns_per_element_64(self) -> int:
+        """Move one 64-bit element CP-side: 2 reads + 2 writes (1600 ns)."""
+        return 4 * self.word_access_ns
+
+    @property
+    def gather_ns_per_element_32(self) -> int:
+        """Move one 32-bit element CP-side: 1 read + 1 write (800 ns)."""
+        return 2 * self.word_access_ns
+
+    @property
+    def link_bits_per_byte(self) -> int:
+        """Wire bits consumed per data byte including acks (13)."""
+        return (
+            self.link_data_bits
+            + self.link_sync_bits
+            + self.link_stop_bits
+            + self.link_ack_bits
+        )
+
+    @property
+    def link_ns_per_byte(self) -> float:
+        """Time to move one data byte over a link, framing included."""
+        return self.link_bits_per_byte / self.link_bit_rate * NS_PER_S
+
+    @property
+    def link_bw_mb_s(self) -> float:
+        """Effective unidirectional link bandwidth (≈0.577, paper: >0.5)."""
+        return 1000.0 / self.link_ns_per_byte
+
+    @property
+    def link_ns_per_word_64(self) -> float:
+        """Time to move one 64-bit word over a link (≈13.9 µs; the paper
+        rounds this path to 16 µs in its ratio table)."""
+        return 8 * self.link_ns_per_byte
+
+    @property
+    def total_link_bw_mb_s(self) -> float:
+        """All four links, one direction each (>2 MB/s; both directions
+        active gives the paper's 'over 4 MB/s')."""
+        return self.links_per_node * self.link_bw_mb_s
+
+    @property
+    def sublinks_per_node(self) -> int:
+        """Total sublinks (16)."""
+        return self.links_per_node * self.sublinks_per_link
+
+    @property
+    def compute_sublinks_per_node(self) -> int:
+        """Sublinks left for the hypercube after system + I/O (12)."""
+        return (
+            self.sublinks_per_node
+            - self.system_sublinks_per_node
+            - self.io_sublinks_per_node
+        )
+
+    @property
+    def balance_ratio(self) -> tuple:
+        """The paper's (arithmetic : gather : link) ratio per 64-bit
+        operand, normalised to arithmetic time — (1, 13, 130)-ish."""
+        arith = self.cycle_ns
+        gather = self.gather_ns_per_element_64
+        # The paper uses 16 µs for the link term (0.5 MB/s exactly).
+        link = 8 / 0.5e6 * NS_PER_S
+        return (1.0, gather / arith, link / arith)
+
+    # -- module/machine derived ------------------------------------------
+    @property
+    def module_memory_bytes(self) -> int:
+        """User RAM per module (8 MB)."""
+        return self.nodes_per_module * self.memory_bytes
+
+    @property
+    def intramodule_bw_mb_s(self) -> float:
+        """Local inter-node bandwidth within a module: 8 nodes × 3
+        hypercube links, both directions ('over 12 MB/s')."""
+        return (
+            self.nodes_per_module
+            * self.intramodule_links
+            * self.link_bw_mb_s
+        )
+
+    def replace(self, **changes) -> "TSeriesSpecs":
+        """Return a variant spec with ``changes`` applied (for ablations)."""
+        return dataclasses.replace(self, **changes)
+
+
+#: The canonical machine described in the paper.
+PAPER_SPECS = TSeriesSpecs()

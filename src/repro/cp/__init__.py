@@ -1,0 +1,87 @@
+"""The control processor: ISA, assembler, interpreter, scheduler,
+gather/scatter.
+
+Public surface:
+
+* :class:`Op`, :class:`Secondary`, :func:`encode_direct`,
+  :func:`encode_secondary` — the instruction set.
+* :func:`assemble`, :class:`Program`, :class:`AssemblyError` — the
+  assembler.
+* :class:`CPU`, :class:`ArrayMemory`, :class:`CPUError`,
+  :func:`to_signed` — the interpreter.
+* :class:`Scheduler`, priority constants, descriptor helpers — the
+  two-level process scheduler.
+* :class:`GatherScatterEngine` — CP-side gather/scatter timing model.
+"""
+
+from repro.cp.isa import (
+    MNEMONICS,
+    Op,
+    Secondary,
+    encode_direct,
+    encode_secondary,
+    instruction_length,
+)
+from repro.cp.assembler import AssemblyError, Program, assemble
+from repro.cp.cpu import (
+    ArrayMemory,
+    CPU,
+    CPUError,
+    MASK32,
+    to_signed,
+    to_unsigned,
+)
+from repro.cp.scheduler import (
+    HIGH,
+    LOW,
+    NOT_PROCESS,
+    Scheduler,
+    descriptor_priority,
+    descriptor_wptr,
+    make_descriptor,
+)
+from repro.cp.gather import GatherScatterEngine, gather_addresses_values
+from repro.cp.disasm import DecodedInstruction, decode_one, disassemble, listing
+from repro.cp.link_channels import (
+    LINK_CHANNEL_BASE,
+    RendezvousChannel,
+    SlotChannel,
+    attach_link_channel,
+    link_channel_address,
+)
+
+__all__ = [
+    "ArrayMemory",
+    "AssemblyError",
+    "CPU",
+    "CPUError",
+    "DecodedInstruction",
+    "GatherScatterEngine",
+    "decode_one",
+    "disassemble",
+    "listing",
+    "HIGH",
+    "LINK_CHANNEL_BASE",
+    "LOW",
+    "MASK32",
+    "RendezvousChannel",
+    "SlotChannel",
+    "attach_link_channel",
+    "link_channel_address",
+    "MNEMONICS",
+    "NOT_PROCESS",
+    "Op",
+    "Program",
+    "Scheduler",
+    "Secondary",
+    "assemble",
+    "descriptor_priority",
+    "descriptor_wptr",
+    "encode_direct",
+    "encode_secondary",
+    "gather_addresses_values",
+    "instruction_length",
+    "make_descriptor",
+    "to_signed",
+    "to_unsigned",
+]

@@ -1,0 +1,187 @@
+"""A two-pass assembler for the control processor.
+
+Syntax, one statement per line::
+
+    ; comment
+    .equ  CHAN, 0x100       ; named constant
+    start:
+        ldc   42            ; direct instruction, literal operand
+        stl   1
+        ldc   buffer        ; labels are absolute values
+        j     loop          ; branch operands become relative offsets
+        add                 ; secondary (no-operand) instruction
+        terminate
+
+Because operands are variable-length (PFIX/NFIX chains), label values
+depend on instruction sizes and vice versa; the assembler iterates to
+a fixpoint (sizes only ever grow, so it terminates).
+"""
+
+import re
+
+from repro.cp.isa import MNEMONICS, Op, encode_direct, encode_secondary
+
+#: Direct ops whose operand is a code-relative branch displacement.
+RELATIVE_OPS = {Op.J, Op.CJ, Op.CALL}
+
+
+class AssemblyError(Exception):
+    """Syntax error, unknown mnemonic, or unresolved symbol."""
+
+    def __init__(self, message, line=None):
+        prefix = f"line {line}: " if line is not None else ""
+        super().__init__(prefix + message)
+        self.line = line
+
+
+class Program:
+    """Assembled output: code image plus the symbol table."""
+
+    def __init__(self, code: bytes, symbols: dict):
+        self.code = code
+        self.symbols = dict(symbols)
+
+    def __len__(self):
+        return len(self.code)
+
+    def address_of(self, label: str) -> int:
+        """Code address of a label."""
+        try:
+            return self.symbols[label]
+        except KeyError:
+            raise AssemblyError(f"unknown label {label!r}") from None
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):\s*(.*)$")
+_EQU_RE = re.compile(
+    r"^\.equ\s+([A-Za-z_][A-Za-z0-9_]*)\s*,\s*(\S+)\s*$", re.IGNORECASE
+)
+
+
+def _parse_literal(text: str):
+    """Integer literal or None (for a symbol reference)."""
+    try:
+        return int(text, 0)
+    except ValueError:
+        return None
+
+
+class _Statement:
+    __slots__ = ("kind", "code", "operand", "line", "size")
+
+    def __init__(self, kind, code, operand, line):
+        self.kind = kind          # 'direct' | 'secondary'
+        self.code = code          # Op or Secondary
+        self.operand = operand    # int | str (symbol) | None
+        self.line = line
+        self.size = 1
+
+
+def assemble(source: str) -> Program:
+    """Assemble ``source`` into a :class:`Program`."""
+    statements = []
+    symbols = {}
+    pending_labels = []
+    equs = {}
+
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        equ = _EQU_RE.match(line)
+        if equ:
+            name, value_text = equ.group(1), equ.group(2)
+            value = _parse_literal(value_text)
+            if value is None:
+                if value_text not in equs:
+                    raise AssemblyError(
+                        f"undefined .equ reference {value_text!r}", lineno
+                    )
+                value = equs[value_text]
+            equs[name] = value
+            continue
+        label = _LABEL_RE.match(line)
+        if label:
+            pending_labels.append((label.group(1), lineno))
+            line = label.group(2).strip()
+            if not line:
+                continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operand_text = parts[1].strip() if len(parts) > 1 else None
+        if mnemonic not in MNEMONICS:
+            raise AssemblyError(f"unknown mnemonic {mnemonic!r}", lineno)
+        kind, code = MNEMONICS[mnemonic]
+        if kind == "secondary":
+            if operand_text is not None:
+                raise AssemblyError(
+                    f"{mnemonic} takes no operand", lineno
+                )
+            operand = None
+        else:
+            if code in (Op.PFIX, Op.NFIX):
+                raise AssemblyError(
+                    "pfix/nfix are emitted automatically", lineno
+                )
+            if operand_text is None:
+                raise AssemblyError(f"{mnemonic} needs an operand", lineno)
+            literal = _parse_literal(operand_text)
+            operand = literal if literal is not None else operand_text
+        statement = _Statement(kind, code, operand, lineno)
+        for name, label_line in pending_labels:
+            if name in symbols:
+                raise AssemblyError(f"duplicate label {name!r}", label_line)
+            symbols[name] = statement  # resolved to an address below
+        pending_labels = []
+        statements.append(statement)
+
+    if pending_labels:
+        # Trailing labels point just past the last instruction.
+        pass
+
+    def resolve(operand, address_of, next_addr, relative, line):
+        if isinstance(operand, int):
+            return operand
+        if operand in equs:
+            value = equs[operand]
+        else:
+            target = symbols.get(operand)
+            if target is None:
+                raise AssemblyError(f"undefined symbol {operand!r}", line)
+            value = address_of[id(target)]
+        return value - next_addr if relative else value
+
+    # Iterate sizes to a fixpoint.
+    for _round in range(64):
+        address_of = {}
+        addr = 0
+        for st in statements:
+            address_of[id(st)] = addr
+            addr += st.size
+        end_addr = addr
+        changed = False
+        encodings = []
+        for st in statements:
+            if st.kind == "secondary":
+                enc = encode_secondary(st.code)
+            else:
+                relative = st.code in RELATIVE_OPS
+                next_addr = address_of[id(st)] + st.size
+                value = resolve(
+                    st.operand, address_of, next_addr, relative, st.line
+                )
+                enc = encode_direct(st.code, value)
+            encodings.append(enc)
+            if len(enc) != st.size:
+                st.size = len(enc)
+                changed = True
+        if not changed:
+            code = b"".join(encodings)
+            table = {
+                name: address_of[id(st)] for name, st in symbols.items()
+            }
+            for name, _line in pending_labels:
+                table[name] = end_addr
+            table.update(equs)
+            return Program(code, table)
+    raise AssemblyError("assembler failed to converge (cyclic sizes?)")

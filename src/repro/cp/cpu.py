@@ -1,0 +1,539 @@
+"""The control-processor interpreter.
+
+A 32-bit, byte-addressed stack machine with the three-register
+evaluation stack (Areg, Breg, Creg), workspace-pointer locals, the
+PFIX/NFIX variable-length operand scheme, soft (memory-word) channels
+with rendezvous semantics, and the two-priority scheduler — the
+feature list the paper gives for the T Series node's control unit.
+
+Two execution modes:
+
+* :meth:`CPU.run` — untimed stepping, for ISA-level programs and tests.
+* :meth:`CPU.as_process` — an engine process that charges simulated
+  time per instruction (7.5 MIPS average; off-chip memory accesses at
+  the 400 ns word-port rate), for whole-node simulations.
+"""
+
+from repro.cp.isa import CYCLE_COSTS, Op, Secondary
+from repro.cp.scheduler import (
+    HIGH,
+    LOW,
+    NOT_PROCESS,
+    Scheduler,
+    descriptor_priority,
+    descriptor_wptr,
+    make_descriptor,
+)
+
+MASK32 = 0xFFFFFFFF
+MIN_INT = -(1 << 31)
+MAX_INT = (1 << 31) - 1
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 32-bit pattern as signed."""
+    value &= MASK32
+    return value - (1 << 32) if value >> 31 else value
+
+
+def to_unsigned(value: int) -> int:
+    """Wrap any integer to a 32-bit pattern."""
+    return value & MASK32
+
+
+class CPUError(Exception):
+    """Illegal instruction, bad address, or deadlock."""
+
+
+class ExternalIO(Exception):
+    """Internal signal: an IN/OUT hit an external (link) channel.
+
+    Raised by the step loop and caught by :meth:`CPU.as_process`,
+    which performs the transfer through the engine-level channel
+    object and resumes the CPU.  ``direction`` is 'in' or 'out'.
+    """
+
+    def __init__(self, direction, channel, pointer, count):
+        super().__init__(direction)
+        self.direction = direction
+        self.channel = channel
+        self.pointer = pointer
+        self.count = count
+
+
+class ArrayMemory:
+    """A flat word-addressable memory for standalone CPU programs.
+
+    Node integration replaces this with a view onto the node's
+    :class:`~repro.memory.DualPortMemory`.
+    """
+
+    def __init__(self, size_bytes: int = 64 * 1024):
+        if size_bytes % 4:
+            raise ValueError("memory size must be word aligned")
+        self.size = size_bytes
+        self._words = [0] * (size_bytes // 4)
+
+    def read_word(self, address: int) -> int:
+        if address % 4 or not 0 <= address < self.size:
+            raise CPUError(f"bad word read at {address:#x}")
+        return self._words[address // 4]
+
+    def write_word(self, address: int, value: int) -> None:
+        if address % 4 or not 0 <= address < self.size:
+            raise CPUError(f"bad word write at {address:#x}")
+        self._words[address // 4] = to_unsigned(value)
+
+    def read_bytes(self, address: int, count: int) -> bytes:
+        out = bytearray()
+        for i in range(count):
+            word = self.read_word((address + i) & ~0x3)
+            out.append((word >> (8 * ((address + i) & 0x3))) & 0xFF)
+        return bytes(out)
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        for i, b in enumerate(data):
+            a = address + i
+            word = self.read_word(a & ~0x3)
+            shift = 8 * (a & 0x3)
+            word = (word & ~(0xFF << shift)) | (b << shift)
+            self.write_word(a & ~0x3, word)
+
+
+class CPU:
+    """The interpreter.
+
+    Parameters
+    ----------
+    code : bytes
+        The program image (lives in the 2 KB-style on-chip store; data
+        lives in ``memory``).
+    memory : object
+        Word-addressed data memory (``read_word``/``write_word`` and
+        the byte variants).
+    entry : int
+        Initial instruction pointer.
+    wptr : int
+        Initial workspace pointer (top of the initial workspace).
+    priority : int
+        Initial process priority (HIGH or LOW).
+    """
+
+    def __init__(self, code, memory=None, entry=0, wptr=None, priority=LOW,
+                 trace=False):
+        self.code = bytes(code)
+        self.memory = memory or ArrayMemory()
+        self.areg = 0
+        self.breg = 0
+        self.creg = 0
+        self.oreg = 0
+        self.iptr = entry
+        default_top = getattr(self.memory, "size", 1 << 20)
+        self.wptr = wptr if wptr is not None else default_top - 256
+        self.priority = priority
+        self.error = False
+        self.halted = False
+        #: True if the CPU stopped because every process was blocked.
+        self.deadlocked = False
+        self.scheduler = Scheduler()
+        self.scheduler.current = (self.wptr, priority)
+        self.instructions = 0
+        self.cycles = 0
+        self.trace = trace
+        self._trace_log = []
+        #: External channel table: address → object with engine hooks
+        #: (used by node integration; bare CPUs have none).
+        self.external_channels = {}
+
+    # -- stack helpers ------------------------------------------------------
+
+    def _push(self, value: int) -> None:
+        self.creg = self.breg
+        self.breg = self.areg
+        self.areg = to_unsigned(value)
+
+    def _pop(self) -> int:
+        value = self.areg
+        self.areg = self.breg
+        self.breg = self.creg
+        return value
+
+    # -- process switching -------------------------------------------------
+
+    def _save_iptr(self) -> None:
+        """Save the resume point in the workspace (offset −1 word)."""
+        self.memory.write_word(self.wptr - 4, self.iptr)
+
+    def _deschedule(self, requeue: bool) -> None:
+        """Stop running the current process; optionally requeue it."""
+        self._save_iptr()
+        if requeue:
+            self.scheduler.enqueue(self.wptr, self.priority)
+        self._switch_to_next()
+
+    def _switch_to_next(self) -> None:
+        nxt = self.scheduler.next_process()
+        if nxt is None:
+            # Nothing runnable.  Processes may be parked on channel
+            # words (deadlock if no external event will free them).
+            self.halted = True
+            self.deadlocked = True
+            return
+        self.wptr, self.priority = nxt
+        self.iptr = self.memory.read_word(self.wptr - 4)
+
+    def _make_runnable(self, wptr: int, priority: int) -> None:
+        self.scheduler.enqueue(wptr, priority)
+        if priority == HIGH and self.priority == LOW:
+            # Preemption: the high-priority process displaces us now.
+            self._deschedule(requeue=True)
+
+    # -- channels -----------------------------------------------------
+
+    def _channel_io(self, is_input: bool) -> None:
+        """The soft-channel rendezvous: IN and OUT.
+
+        A channel is a memory word.  Idle it holds NOT_PROCESS; with
+        one party waiting it holds that party's process descriptor
+        (its data pointer parked in workspace offset −3).  The second
+        party performs the copy and reschedules the first.
+        """
+        count = to_signed(self._pop())
+        chan = self._pop()
+        pointer = self._pop()
+        if count < 0:
+            raise CPUError("negative channel transfer count")
+        if chan in self.external_channels:
+            # Hand the transfer to the engine-mode driver; untimed
+            # run() has no engine to block on.
+            raise ExternalIO(
+                "in" if is_input else "out",
+                self.external_channels[chan], pointer, count,
+            )
+        word = self.memory.read_word(chan)
+        if word == NOT_PROCESS:
+            # First to arrive: park and deschedule.
+            self.memory.write_word(
+                chan, make_descriptor(self.wptr, self.priority)
+            )
+            self.memory.write_word(self.wptr - 12, pointer)
+            self.memory.write_word(self.wptr - 16, count)
+            self._deschedule(requeue=False)
+            return
+        # Second to arrive: the copy direction follows our role.
+        partner_wptr = descriptor_wptr(word)
+        partner_priority = descriptor_priority(word)
+        partner_ptr = self.memory.read_word(partner_wptr - 12)
+        partner_count = to_signed(self.memory.read_word(partner_wptr - 16))
+        if partner_count != count:
+            raise CPUError(
+                f"channel length mismatch: {count} vs {partner_count}"
+            )
+        if is_input:
+            data = self.memory.read_bytes(partner_ptr, count)
+            self.memory.write_bytes(pointer, data)
+        else:
+            data = self.memory.read_bytes(pointer, count)
+            self.memory.write_bytes(partner_ptr, data)
+        self.memory.write_word(chan, NOT_PROCESS)
+        self._make_runnable(partner_wptr, partner_priority)
+
+    # -- the decode/execute cycle ---------------------------------------
+
+    def step(self) -> int:
+        """Decode and execute one instruction; returns its cycle cost."""
+        if self.halted:
+            raise CPUError("CPU is halted")
+        if not 0 <= self.iptr < len(self.code):
+            raise CPUError(f"Iptr {self.iptr:#x} outside code")
+        byte = self.code[self.iptr]
+        op = byte >> 4
+        nibble = byte & 0xF
+        self.iptr += 1
+        self.instructions += 1
+        self.oreg |= nibble
+
+        if op == Op.PFIX:
+            self.oreg <<= 4
+            self.cycles += 1
+            return 1
+        if op == Op.NFIX:
+            self.oreg = (~self.oreg) << 4
+            self.cycles += 1
+            return 1
+
+        operand = self.oreg
+        self.oreg = 0
+        cost = self._execute(op, operand)
+        self.cycles += cost
+        if self.trace:
+            self._trace_log.append(
+                (self.instructions, Op(op).name, operand,
+                 to_signed(self.areg))
+            )
+        return cost
+
+    def _execute(self, op: int, operand: int) -> int:
+        mem = self.memory
+        if op == Op.LDC:
+            self._push(operand)
+        elif op == Op.LDL:
+            self._push(mem.read_word(self.wptr + 4 * operand))
+        elif op == Op.STL:
+            mem.write_word(self.wptr + 4 * operand, self._pop())
+        elif op == Op.LDLP:
+            self._push(self.wptr + 4 * operand)
+        elif op == Op.LDNL:
+            self.areg = mem.read_word(to_unsigned(self.areg) + 4 * operand)
+        elif op == Op.STNL:
+            address = self._pop()
+            value = self._pop()
+            mem.write_word(to_unsigned(address) + 4 * operand, value)
+        elif op == Op.LDNLP:
+            self.areg = to_unsigned(self.areg + 4 * operand)
+        elif op == Op.ADC:
+            result = to_signed(self.areg) + operand
+            if not MIN_INT <= result <= MAX_INT:
+                self.error = True
+            self.areg = to_unsigned(result)
+        elif op == Op.EQC:
+            self.areg = 1 if to_signed(self.areg) == operand else 0
+        elif op == Op.J:
+            self.iptr += operand
+            # Descheduling point: timeslice low-priority processes.
+            if self.scheduler.timeslice_expired():
+                self._deschedule(requeue=True)
+            return CYCLE_COSTS["branch"]
+        elif op == Op.CJ:
+            if to_signed(self.areg) == 0:
+                self.iptr += operand
+            else:
+                self._pop()
+            return CYCLE_COSTS["branch"]
+        elif op == Op.CALL:
+            self.wptr -= 16
+            mem.write_word(self.wptr, self.iptr)
+            mem.write_word(self.wptr + 4, self.areg)
+            mem.write_word(self.wptr + 8, self.breg)
+            mem.write_word(self.wptr + 12, self.creg)
+            self.iptr += operand
+            return CYCLE_COSTS["call"]
+        elif op == Op.AJW:
+            self.wptr += 4 * operand
+        elif op == Op.OPR:
+            return self._operate(operand)
+        else:  # pragma: no cover - all 16 opcodes handled
+            raise CPUError(f"undecodable opcode {op:#x}")
+        return CYCLE_COSTS["default"]
+
+    def _operate(self, sec: int) -> int:
+        mem = self.memory
+        if sec == Secondary.REV:
+            self.areg, self.breg = self.breg, self.areg
+        elif sec == Secondary.ADD:
+            result = to_signed(self.breg) + to_signed(self.areg)
+            if not MIN_INT <= result <= MAX_INT:
+                self.error = True
+            self._binary(result)
+        elif sec == Secondary.SUB:
+            result = to_signed(self.breg) - to_signed(self.areg)
+            if not MIN_INT <= result <= MAX_INT:
+                self.error = True
+            self._binary(result)
+        elif sec == Secondary.DIFF:
+            self._binary(self.breg - self.areg)  # modulo, no error
+        elif sec == Secondary.MUL:
+            result = to_signed(self.breg) * to_signed(self.areg)
+            if not MIN_INT <= result <= MAX_INT:
+                self.error = True
+            self._binary(result)
+            return CYCLE_COSTS["mul"]
+        elif sec == Secondary.DIV:
+            a, b = to_signed(self.areg), to_signed(self.breg)
+            if a == 0 or (a == -1 and b == MIN_INT):
+                self.error = True
+                self._binary(0)
+            else:
+                self._binary(int(b / a))  # trunc toward zero
+            return CYCLE_COSTS["div"]
+        elif sec == Secondary.REM:
+            a, b = to_signed(self.areg), to_signed(self.breg)
+            if a == 0:
+                self.error = True
+                self._binary(0)
+            else:
+                self._binary(b - int(b / a) * a)
+            return CYCLE_COSTS["div"]
+        elif sec == Secondary.GT:
+            self._binary(1 if to_signed(self.breg) > to_signed(self.areg)
+                         else 0)
+        elif sec == Secondary.AND:
+            self._binary(self.breg & self.areg)
+        elif sec == Secondary.OR:
+            self._binary(self.breg | self.areg)
+        elif sec == Secondary.XOR:
+            self._binary(self.breg ^ self.areg)
+        elif sec == Secondary.NOT:
+            self.areg = to_unsigned(~self.areg)
+        elif sec == Secondary.SHL:
+            shift = to_signed(self.areg)
+            self._binary(self.breg << shift if 0 <= shift < 32 else 0)
+        elif sec == Secondary.SHR:
+            shift = to_signed(self.areg)
+            self._binary(self.breg >> shift if 0 <= shift < 32 else 0)
+        elif sec == Secondary.MINT:
+            self._push(0x80000000)
+        elif sec == Secondary.DUP:
+            self._push(self.areg)
+        elif sec == Secondary.RET:
+            self.iptr = mem.read_word(self.wptr)
+            self.wptr += 16
+            return CYCLE_COSTS["call"]
+        elif sec == Secondary.GCALL:
+            self.areg, self.iptr = self.iptr, to_unsigned(self.areg)
+        elif sec == Secondary.GAJW:
+            self.areg, self.wptr = self.wptr, to_unsigned(self.areg)
+        elif sec == Secondary.LDPI:
+            self.areg = to_unsigned(self.areg + self.iptr)
+        elif sec == Secondary.STARTP:
+            # Simulator deviation from the transputer: B holds the new
+            # process's *absolute* start address rather than an
+            # Iptr-relative offset — our assembler resolves labels to
+            # absolute addresses, which keeps PAR setup code simple.
+            new_wptr = to_unsigned(self._pop())
+            start = to_unsigned(self._pop())
+            mem.write_word(new_wptr - 4, start)
+            self._make_runnable(new_wptr, self.priority)
+            return CYCLE_COSTS["process"]
+        elif sec == Secondary.ENDP:
+            join = to_unsigned(self._pop())
+            count = to_signed(mem.read_word(join + 4))
+            if count <= 1:
+                # Last to finish: continue the successor.
+                mem.write_word(join + 4, 0)
+                self.wptr = join
+                self.iptr = mem.read_word(join)
+            else:
+                mem.write_word(join + 4, count - 1)
+                self._switch_to_next()
+            return CYCLE_COSTS["process"]
+        elif sec == Secondary.STOPP:
+            self._deschedule(requeue=False)
+            return CYCLE_COSTS["process"]
+        elif sec == Secondary.RUNP:
+            descriptor = to_unsigned(self._pop())
+            self._make_runnable(
+                descriptor_wptr(descriptor), descriptor_priority(descriptor)
+            )
+            return CYCLE_COSTS["process"]
+        elif sec == Secondary.IN:
+            self._channel_io(is_input=True)
+            return CYCLE_COSTS["io_setup"]
+        elif sec == Secondary.OUT:
+            self._channel_io(is_input=False)
+            return CYCLE_COSTS["io_setup"]
+        elif sec == Secondary.OUTWORD:
+            # outword: A = word, B = channel.  Stage the word in the
+            # workspace (offset 0) and run the OUT protocol on it.
+            word = self._pop()
+            chan = self._pop()
+            self.memory.write_word(self.wptr, word)
+            self._push(self.wptr)  # pointer
+            self._push(chan)
+            self._push(4)  # count
+            # Stack is now (A=count, B=chan, C=ptr) — as OUT expects.
+            self._channel_io(is_input=False)
+            return CYCLE_COSTS["io_setup"]
+        elif sec == Secondary.ALT:
+            pass  # simplified: alternation handled at the Occam DSL level
+        elif sec == Secondary.TESTERR:
+            self._push(1 if self.error else 0)
+            self.error = False
+        elif sec == Secondary.SETERR:
+            self.error = True
+        elif sec == Secondary.STOPERR:
+            if self.error:
+                self._deschedule(requeue=False)
+        elif sec == Secondary.TERMINATE:
+            self.halted = True
+        else:
+            raise CPUError(f"unknown secondary opcode {sec:#x}")
+        return CYCLE_COSTS["default"]
+
+    def _binary(self, result: int) -> None:
+        """Replace B and A with one result (the binary-op stack shape)."""
+        self.areg = to_unsigned(result)
+        self.breg = self.creg
+
+    # -- drivers -----------------------------------------------------------
+
+    def run(self, max_steps: int = 1_000_000) -> int:
+        """Untimed execution until TERMINATE or deadlock.
+
+        Returns the instruction count.  Raises :class:`CPUError` if the
+        step budget is exhausted (runaway program) or the program
+        touches an external (link) channel, which needs engine mode.
+        """
+        for _ in range(max_steps):
+            if self.halted:
+                return self.instructions
+            try:
+                self.step()
+            except ExternalIO as io:
+                raise CPUError(
+                    "external channel I/O requires engine mode "
+                    "(as_process)"
+                ) from io
+        raise CPUError(f"exceeded {max_steps} steps")
+
+    def as_process(self, engine, specs, yield_every: int = 64):
+        """Engine process: run with simulated time.
+
+        Charges ``specs``-derived nanoseconds per instruction cycle and
+        yields to the engine every ``yield_every`` instructions so
+        other node components interleave.  IN/OUT on registered
+        external channels (see :attr:`external_channels` and
+        :mod:`repro.cp.link_channels`) block on the engine-level
+        channel — this is how an assembly program talks over the
+        node's serial links.
+        """
+        cycle_ns = max(1, round(1000.0 / specs.cp_mips))
+        pending_cycles = 0
+        since_yield = 0
+        while not self.halted:
+            try:
+                pending_cycles += self.step()
+            except ExternalIO as io:
+                # Flush accumulated CPU time, then do the transfer at
+                # engine pace (DMA + wire or rendezvous).
+                if pending_cycles:
+                    yield engine.timeout(pending_cycles * cycle_ns)
+                    pending_cycles = 0
+                    since_yield = 0
+                if io.direction == "out":
+                    data = self.memory.read_bytes(io.pointer, io.count)
+                    yield from io.channel.send(data)
+                else:
+                    data = yield from io.channel.recv()
+                    if len(data) != io.count:
+                        raise CPUError(
+                            f"external channel delivered {len(data)} "
+                            f"bytes, IN expected {io.count}"
+                        )
+                    self.memory.write_bytes(io.pointer, bytes(data))
+                continue
+            since_yield += 1
+            if since_yield >= yield_every:
+                yield engine.timeout(pending_cycles * cycle_ns)
+                pending_cycles = 0
+                since_yield = 0
+        if pending_cycles:
+            yield engine.timeout(pending_cycles * cycle_ns)
+        return self.instructions
+
+    def __repr__(self):
+        return (
+            f"<CPU iptr={self.iptr:#x} A={to_signed(self.areg)} "
+            f"B={to_signed(self.breg)} C={to_signed(self.creg)} "
+            f"{'halted' if self.halted else 'running'}>"
+        )

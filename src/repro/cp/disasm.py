@@ -1,0 +1,90 @@
+"""Disassembler for the control processor's byte code.
+
+Inverts the PFIX/NFIX operand accumulation back into one line per
+logical instruction — useful for debugging assembled programs and for
+round-trip testing of the encoder.
+"""
+
+from repro.cp.isa import Op, Secondary
+
+
+class DecodedInstruction:
+    """One logical instruction: its bytes, opcode, and operand."""
+
+    __slots__ = ("address", "length", "op", "operand", "secondary")
+
+    def __init__(self, address, length, op, operand, secondary):
+        self.address = address
+        self.length = length
+        self.op = op
+        self.operand = operand
+        self.secondary = secondary  # Secondary or None
+
+    @property
+    def mnemonic(self) -> str:
+        if self.secondary is not None:
+            return self.secondary.name.lower()
+        return self.op.name.lower()
+
+    def text(self) -> str:
+        """Assembler-style rendering."""
+        if self.secondary is not None:
+            return self.mnemonic
+        return f"{self.mnemonic} {self.operand}"
+
+    def __repr__(self):
+        return f"<{self.address:#06x}: {self.text()}>"
+
+
+def decode_one(code: bytes, address: int) -> DecodedInstruction:
+    """Decode the logical instruction starting at ``address``."""
+    oreg = 0
+    at = address
+    while at < len(code):
+        byte = code[at]
+        op = byte >> 4
+        oreg |= byte & 0xF
+        at += 1
+        if op == Op.PFIX:
+            oreg <<= 4
+            continue
+        if op == Op.NFIX:
+            oreg = (~oreg) << 4
+            continue
+        secondary = None
+        if op == Op.OPR:
+            try:
+                secondary = Secondary(oreg)
+            except ValueError:
+                secondary = None
+        return DecodedInstruction(
+            address, at - address, Op(op), oreg, secondary
+        )
+    raise ValueError(f"truncated instruction at {address:#x}")
+
+
+def disassemble(code: bytes, symbols: dict = None):
+    """Decode a whole image; returns a list of DecodedInstruction."""
+    out = []
+    address = 0
+    while address < len(code):
+        inst = decode_one(code, address)
+        out.append(inst)
+        address += inst.length
+    return out
+
+
+def listing(code: bytes, symbols: dict = None) -> str:
+    """A human-readable listing with addresses, bytes, and labels."""
+    by_address = {}
+    for name, addr in (symbols or {}).items():
+        by_address.setdefault(addr, []).append(name)
+    lines = []
+    for inst in disassemble(code):
+        for label in by_address.get(inst.address, []):
+            lines.append(f"{label}:")
+        raw = code[inst.address:inst.address + inst.length].hex()
+        lines.append(
+            f"  {inst.address:#06x}  {raw:<12}  {inst.text()}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""CP-driven gather/scatter.
+
+Paper §II: "A primary use for the control processor is to gather
+operands into a contiguous vector, and scatter results back to random
+locations in memory.  To move a 64-bit operand from one memory
+location to another requires two 32-bit reads and two 32-bit writes,
+which take a total of 1.6 µs. ... For 32-bit operands, it is 0.8 µs
+per element."
+
+The gather engine runs on the memory's random-access port, so it
+contends with link DMA but **not** with the vector unit's row port —
+which is exactly why gather can overlap vector arithmetic (experiment
+E6).
+"""
+
+import numpy as np
+
+
+class GatherScatterEngine:
+    """Element-at-a-time data movement through the word port."""
+
+    def __init__(self, engine, memory, specs):
+        self.engine = engine
+        self.memory = memory
+        self.specs = specs
+        #: Elements moved (for overlap accounting).
+        self.elements_moved = 0
+        #: Total ns spent moving.
+        self.busy_ns = 0
+
+    def ns_per_element(self, precision: int) -> int:
+        """1.6 µs per 64-bit element, 0.8 µs per 32-bit element."""
+        words = precision // 32
+        if words not in (1, 2):
+            raise ValueError(f"unsupported precision {precision!r}")
+        return 2 * words * self.specs.word_access_ns
+
+    def _element_bytes(self, precision: int) -> int:
+        return precision // 8
+
+    def move_element(self, src_address: int, dst_address: int,
+                     precision: int = 64):
+        """Process: copy one element (a read+write per word)."""
+        size = self._element_bytes(precision)
+        start = self.engine.now
+        # Two (or one) reads and writes through the word port.
+        yield from self.memory.word_port.access(2 * (precision // 32))
+        data = self.memory.peek_bytes(src_address, size)
+        self.memory.poke_bytes(dst_address, data)
+        self.elements_moved += 1
+        self.busy_ns += self.engine.now - start
+
+    def gather(self, src_addresses, dst_address: int, precision: int = 64):
+        """Process: collect scattered elements into a contiguous run.
+
+        ``src_addresses`` are byte addresses of the elements (in any
+        order); the destination starts at ``dst_address`` and advances
+        element-by-element.
+        """
+        size = self._element_bytes(precision)
+        for i, src in enumerate(src_addresses):
+            yield from self.move_element(src, dst_address + i * size,
+                                         precision)
+        return len(src_addresses)
+
+    def scatter(self, src_address: int, dst_addresses, precision: int = 64):
+        """Process: spread a contiguous run out to scattered addresses."""
+        size = self._element_bytes(precision)
+        for i, dst in enumerate(dst_addresses):
+            yield from self.move_element(src_address + i * size, dst,
+                                         precision)
+        return len(dst_addresses)
+
+    def gather_time(self, count: int, precision: int = 64) -> int:
+        """Predicted gather time for ``count`` elements."""
+        return count * self.ns_per_element(precision)
+
+    def gather_strided(self, base: int, stride_bytes: int, count: int,
+                       dst_address: int, precision: int = 64):
+        """Process: gather a constant-stride vector (matrix columns)."""
+        addresses = [base + i * stride_bytes for i in range(count)]
+        result = yield from self.gather(addresses, dst_address, precision)
+        return result
+
+    def __repr__(self):
+        return f"<GatherScatterEngine moved={self.elements_moved}>"
+
+
+def gather_addresses_values(memory, addresses, precision=64) -> np.ndarray:
+    """Untimed helper: read elements at byte addresses as floats."""
+    from repro.fpu.vector_forms import dtype_for
+
+    dtype = dtype_for(precision)
+    size = precision // 8
+    out = np.empty(len(addresses), dtype=dtype)
+    for i, address in enumerate(addresses):
+        out[i] = memory.peek_bytes(address, size).view(dtype)[0]
+    return out

@@ -1,0 +1,138 @@
+"""The control processor's instruction set.
+
+Paper §II "Control": the CP is a 32-bit CMOS microprocessor with a
+*stack-oriented instruction set with variable operand sizes*, byte
+addressability, four serial links, on-chip RAM, and two-level process
+priority — i.e. a transputer.  We implement a transputer-flavoured
+ISA: byte-coded instructions, each byte an (opcode, nibble) pair, with
+PFIX/NFIX building larger operands in the operand register, a
+three-deep evaluation stack (Areg, Breg, Creg), and a workspace
+pointer for locals.
+
+Direct (4-bit opcode) instructions carry their operand in the byte;
+OPR dispatches to the secondary table of zero-operand operations.
+"""
+
+from enum import IntEnum
+
+
+class Op(IntEnum):
+    """Direct instruction opcodes (the high nibble of each code byte)."""
+
+    J = 0x0      #: jump relative (deschedule point)
+    LDLP = 0x1   #: load local pointer (Wptr + n words)
+    PFIX = 0x2   #: prefix: Oreg = (Oreg | n) << 4
+    LDNL = 0x3   #: load non-local: A = mem[A + n words]
+    LDC = 0x4    #: load constant
+    LDNLP = 0x5  #: load non-local pointer: A = A + n words
+    NFIX = 0x6   #: negative prefix: Oreg = (~(Oreg | n)) << 4
+    LDL = 0x7    #: load local: push mem[Wptr + n words]
+    ADC = 0x8    #: add constant to A
+    CALL = 0x9   #: call relative; saves Iptr, A, B, C in new workspace
+    CJ = 0xA     #: conditional jump (if A == 0); pops A when not taken
+    AJW = 0xB    #: adjust workspace by n words
+    EQC = 0xC    #: A = (A == n)
+    STL = 0xD    #: store local: mem[Wptr + n words] = pop
+    STNL = 0xE   #: store non-local: mem[pop + n words] = pop
+    OPR = 0xF    #: operate: execute secondary opcode Oreg
+
+
+class Secondary(IntEnum):
+    """Secondary (OPR-dispatched) operations."""
+
+    REV = 0x00      #: swap A and B
+    ADD = 0x05      #: A = B + A (checked add; we wrap, no trap)
+    SUB = 0x0C      #: A = B - A
+    MUL = 0x35      #: A = B * A
+    DIV = 0x2C      #: A = B // A (toward zero)
+    REM = 0x1F      #: A = B rem A
+    GT = 0x09       #: A = (B > A), signed
+    DIFF = 0x04     #: A = B - A, unchecked (modulo) difference
+    AND = 0x46      #: A = B & A
+    OR = 0x4B       #: A = B | A
+    XOR = 0x33      #: A = B ^ A
+    NOT = 0x32      #: A = ~A
+    SHL = 0x41      #: A = B << A
+    SHR = 0x40      #: A = B >> A (logical)
+    MINT = 0x42     #: A = most negative integer (0x80000000)
+    DUP = 0x5A      #: duplicate A
+    RET = 0x20      #: return: Iptr = mem[Wptr], Wptr += 4 words
+    GCALL = 0x06    #: general call: swap Iptr and A
+    GAJW = 0x3C     #: general workspace adjust: swap Wptr and A
+    LDPI = 0x1B     #: A = next instruction address + A
+    STARTP = 0x0D   #: start process: workspace A, offset B
+    ENDP = 0x03     #: end process (join via workspace counter at A)
+    STOPP = 0x15    #: stop (deschedule) current process
+    RUNP = 0x39     #: make process whose descriptor is A runnable
+    IN = 0x07       #: input: A=count, B=channel address, C=dest pointer
+    OUT = 0x0B      #: output: A=count, B=channel address, C=src pointer
+    OUTWORD = 0x0F  #: output single word A on channel B
+    ALT = 0x43      #: begin alternation (simplified: no-op marker)
+    TESTERR = 0x29  #: push and clear the error flag
+    SETERR = 0x10   #: set the error flag
+    STOPERR = 0x55  #: stop if the error flag is set
+    TERMINATE = 0x7F  #: halt the whole CPU (simulator extension)
+
+
+#: Mnemonic → (kind, code) for the assembler.
+MNEMONICS = {}
+for _op in Op:
+    MNEMONICS[_op.name.lower()] = ("direct", _op)
+for _sec in Secondary:
+    MNEMONICS[_sec.name.lower()] = ("secondary", _sec)
+
+
+#: Instruction cycle costs (in CP cycles; see :class:`CPUTiming`).
+#: Memory-touching operations carry the off-chip word-access cost
+#: instead when they reference node memory.
+CYCLE_COSTS = {
+    "default": 1,
+    "branch": 2,
+    "call": 4,
+    "mul": 3,
+    "div": 5,
+    "process": 6,
+    "io_setup": 4,
+}
+
+
+def encode_direct(op: Op, operand: int) -> bytes:
+    """Encode a direct instruction with an arbitrary signed operand.
+
+    Emits the minimal PFIX/NFIX chain followed by the opcode byte —
+    the transputer's 'variable operand sizes'.  This is the standard
+    Inmos prefixing algorithm::
+
+        prefix(op, e):
+            if 0 <= e < 16:  emit (op, e)
+            elif e >= 16:    prefix(PFIX, e >> 4); emit (op, e & 0xF)
+            else:            prefix(NFIX, (~e) >> 4); emit (op, e & 0xF)
+    """
+    if not isinstance(op, Op):
+        raise TypeError(f"not a direct opcode: {op!r}")
+    out = bytearray()
+
+    def prefix(code: int, e: int) -> None:
+        if 0 <= e < 16:
+            out.append((code << 4) | e)
+        elif e >= 16:
+            prefix(int(Op.PFIX), e >> 4)
+            out.append((code << 4) | (e & 0xF))
+        else:
+            prefix(int(Op.NFIX), (~e) >> 4)
+            out.append((code << 4) | (e & 0xF))
+
+    prefix(int(op), operand)
+    return bytes(out)
+
+
+def encode_secondary(sec: Secondary) -> bytes:
+    """Encode an OPR operation (prefixes + the OPR byte)."""
+    if not isinstance(sec, Secondary):
+        raise TypeError(f"not a secondary opcode: {sec!r}")
+    return encode_direct(Op.OPR, int(sec))
+
+
+def instruction_length(op: Op, operand: int) -> int:
+    """Encoded byte length of a direct instruction with ``operand``."""
+    return len(encode_direct(op, operand))

@@ -1,0 +1,73 @@
+"""External channels: assembly programs talking over the links.
+
+On the real machine, link channels appear at reserved addresses; an
+Occam (or assembly) IN/OUT on such an address moves data over the
+serial link instead of through a memory word.  Here,
+:class:`SlotChannel` adapts one sublink slot of a node's
+:class:`~repro.links.fabric.NodeLinkSet` to the protocol
+:meth:`CPU.as_process` expects, and :func:`attach_link_channel`
+registers it at a channel address.
+
+Convention: link channel addresses start at :data:`LINK_CHANNEL_BASE`
+(one word per slot), mirroring the transputer's memory-mapped links.
+"""
+
+from repro.events import Channel
+
+#: Base address of memory-mapped link channels (top of address space,
+#: as on the transputer).
+LINK_CHANNEL_BASE = 0x8000_0000
+
+
+def link_channel_address(slot: int) -> int:
+    """The conventional channel address of sublink slot ``slot``."""
+    if slot < 0:
+        raise ValueError("negative slot")
+    return LINK_CHANNEL_BASE + 4 * slot
+
+
+class SlotChannel:
+    """One sublink slot as an external CPU channel."""
+
+    def __init__(self, comm, slot: int):
+        self.comm = comm
+        self.slot = slot
+
+    def send(self, data):
+        """Process: transmit the bytes (DMA + framed wire time)."""
+        payload = bytes(data)
+        yield from self.comm.send(self.slot, payload, len(payload))
+
+    def recv(self):
+        """Process: receive the next message's bytes."""
+        message = yield from self.comm.recv(self.slot)
+        return bytes(message.payload)
+
+
+class RendezvousChannel:
+    """An engine-level Occam channel as an external CPU channel.
+
+    Lets an assembly program rendezvous with Python-level processes
+    (e.g. a device model) with true blocking semantics and no link
+    timing.
+    """
+
+    def __init__(self, engine, name=None):
+        self.channel = Channel(engine, name=name)
+
+    def send(self, data):
+        yield self.channel.put(bytes(data))
+
+    def recv(self):
+        data = yield self.channel.get()
+        return bytes(data)
+
+
+def attach_link_channel(cpu, comm, slot: int) -> int:
+    """Register sublink ``slot`` as an external channel on ``cpu``.
+
+    Returns the channel address the program should use with IN/OUT.
+    """
+    address = link_channel_address(slot)
+    cpu.external_channels[address] = SlotChannel(comm, slot)
+    return address

@@ -1,0 +1,158 @@
+"""Running the CPU against the node's real memory and vector unit.
+
+This completes Figure 1 at the instruction level: the control
+processor's loads and stores hit the node's dual-ported DRAM, and a
+memory-mapped command block drives the vector-form micro-sequencer —
+"the programmer only needs to describe the input and output vectors
+and the vector form desired", and "the arithmetic unit only interrupts
+the controller when a vector operation has completed" (here: sets a
+status word the CP polls; with the CP yielding to the engine, the
+vector unit genuinely runs in parallel).
+
+Command block layout (word offsets from :data:`VAU_BASE`):
+
+====  ==========================================================
+0     FORM — index into :data:`FORM_CODES`
+1     ROW_A — memory row of the first operand
+2     ROW_B — memory row of the second operand (two-input forms)
+3     ROW_OUT — destination row (vector-result forms)
+4     LENGTH — element count (64-bit elements)
+5     GO / STATUS — write 1 to start; the unit writes 2 when done
+6     RESULT_LO / RESULT_HI — reduction results (binary64 bits)
+====  ==========================================================
+"""
+
+import numpy as np
+
+from repro.cp.cpu import CPUError, to_unsigned
+from repro.fpu.vector_forms import FORMS
+from repro.memory.vector_register import VectorRegister
+
+#: Base byte address of the VAU command block.
+VAU_BASE = 0x7FFF0000
+
+#: Form codes the ISA can request, in a fixed order.
+FORM_CODES = ("VADD", "VSUB", "VMUL", "SAXPY", "DOT", "SUM",
+              "VSMUL", "VSADD", "VMAX", "VMIN")
+
+#: Status values.
+STATUS_IDLE = 0
+STATUS_BUSY = 1
+STATUS_DONE = 2
+
+_OFF_FORM, _OFF_ROW_A, _OFF_ROW_B, _OFF_ROW_OUT, _OFF_LENGTH, \
+    _OFF_GO, _OFF_RESULT_LO, _OFF_RESULT_HI = range(8)
+
+
+class NodeMemoryInterface:
+    """The CPU's window onto a node: DRAM plus the VAU command block.
+
+    Timing note: the CPU interpreter charges its own per-instruction
+    cycle costs; DRAM data accesses are behavioural here (the CP's
+    400 ns effective word rate is already folded into the instruction
+    cost model).  The *vector unit* runs as a real engine process with
+    full form timing, so CP/VAU overlap is genuine.
+    """
+
+    def __init__(self, node):
+        self.node = node
+        self.memory = node.memory
+        self.engine = node.engine
+        self.size = node.specs.memory_bytes
+        self._block = [0] * 8
+        self._scratch = (
+            VectorRegister(node.specs.row_bytes, index=90),
+            VectorRegister(node.specs.row_bytes, index=91),
+        )
+
+    # -- word access (CPU protocol) ----------------------------------------
+
+    def _in_block(self, address: int) -> bool:
+        return VAU_BASE <= address < VAU_BASE + 4 * len(self._block)
+
+    def read_word(self, address: int) -> int:
+        if self._in_block(address):
+            return to_unsigned(self._block[(address - VAU_BASE) // 4])
+        try:
+            return self.memory.peek_word(address)
+        except Exception as exc:
+            raise CPUError(str(exc)) from exc
+
+    def write_word(self, address: int, value: int) -> None:
+        if self._in_block(address):
+            index = (address - VAU_BASE) // 4
+            self._block[index] = to_unsigned(value)
+            if index == _OFF_GO and value == STATUS_BUSY:
+                self._start_operation()
+            return
+        try:
+            self.memory.poke_word(address, value)
+        except Exception as exc:
+            raise CPUError(str(exc)) from exc
+
+    def read_bytes(self, address: int, count: int) -> bytes:
+        out = bytearray()
+        for i in range(count):
+            word = self.read_word((address + i) & ~0x3)
+            out.append((word >> (8 * ((address + i) & 0x3))) & 0xFF)
+        return bytes(out)
+
+    def write_bytes(self, address: int, data) -> None:
+        for i, b in enumerate(data):
+            a = address + i
+            word = self.read_word(a & ~0x3)
+            shift = 8 * (a & 0x3)
+            word = (word & ~(0xFF << shift)) | (b << shift)
+            self.write_word(a & ~0x3, word)
+
+    # -- the micro-sequencer side -------------------------------------------
+
+    def _start_operation(self) -> None:
+        form_index = self._block[_OFF_FORM]
+        if not 0 <= form_index < len(FORM_CODES):
+            raise CPUError(f"bad vector form code {form_index}")
+        self.engine.process(
+            self._run_operation(FORM_CODES[form_index]),
+            name="vau-command",
+        )
+
+    def _run_operation(self, form_name):
+        form = FORMS[form_name]
+        node = self.node
+        length = self._block[_OFF_LENGTH]
+        # Row loads through the row port (400 ns each), then the form.
+        yield from node.memory.row_to_register(
+            self._block[_OFF_ROW_A], self._scratch[0]
+        )
+        inputs = [self._scratch[0].elements(64, count=length)]
+        if form.vector_inputs == 2:
+            yield from node.memory.row_to_register(
+                self._block[_OFF_ROW_B], self._scratch[1]
+            )
+            inputs.append(self._scratch[1].elements(64, count=length))
+        scalars = ()
+        if form.scalar_inputs:
+            # Scalar operand: bits parked in RESULT_LO/HI by the CP.
+            bits = (self._block[_OFF_RESULT_HI] << 32) | \
+                self._block[_OFF_RESULT_LO]
+            scalars = (float(np.uint64(bits).view(np.float64)),)
+        result = yield from node.vau.execute(
+            form_name, inputs, scalars, precision=64
+        )
+        if form.reduction:
+            bits = int(np.float64(result).view(np.uint64))
+            self._block[_OFF_RESULT_LO] = bits & 0xFFFFFFFF
+            self._block[_OFF_RESULT_HI] = bits >> 32
+        else:
+            self._scratch[0].set_elements(np.asarray(result), 64)
+            yield from node.memory.register_to_row(
+                self._scratch[0], self._block[_OFF_ROW_OUT]
+            )
+        # "The arithmetic unit only interrupts the controller when a
+        # vector operation has completed": completion = status word.
+        self._block[_OFF_GO] = STATUS_DONE
+
+
+def form_code(name: str) -> int:
+    """The ISA-visible code of a vector form."""
+    return FORM_CODES.index(name)

@@ -1,0 +1,108 @@
+"""The CP's two-level process scheduler.
+
+Paper §II lists "two-level process priority and interrupt services"
+among the control processor's features.  Processes live on two FIFO
+queues (high and low priority); a high-priority process runs whenever
+one is ready, low-priority processes round-robin and are timesliced at
+jump instructions (the transputer's descheduling points).
+
+A descheduled process is represented by its workspace pointer; its
+instruction pointer is saved in the workspace at offset −1 word, which
+is also how RUNP finds where to resume.
+"""
+
+from collections import deque
+
+#: Priority levels.
+HIGH = 0
+LOW = 1
+
+#: The 'not a process' marker stored in idle channel words.
+NOT_PROCESS = 0x80000000
+
+
+def make_descriptor(wptr: int, priority: int) -> int:
+    """Pack (workspace, priority) into a process descriptor word."""
+    if wptr & 0x3:
+        raise ValueError("workspace pointer must be word aligned")
+    if priority not in (HIGH, LOW):
+        raise ValueError(f"bad priority {priority}")
+    return wptr | priority
+
+
+def descriptor_wptr(descriptor: int) -> int:
+    """Workspace pointer part of a descriptor."""
+    return descriptor & ~0x3
+
+
+def descriptor_priority(descriptor: int) -> int:
+    """Priority bit of a descriptor."""
+    return descriptor & 0x1
+
+
+class Scheduler:
+    """Two FIFO ready queues and the current process registers."""
+
+    #: Low-priority timeslice, in descheduling opportunities.
+    QUANTUM = 32
+
+    def __init__(self):
+        self.queues = {HIGH: deque(), LOW: deque()}
+        #: Current process (None when idle): (wptr, priority).
+        self.current = None
+        self._slice_left = self.QUANTUM
+        #: Context switches performed (for experiments).
+        self.switches = 0
+
+    def enqueue(self, wptr: int, priority: int) -> None:
+        """Make a process runnable."""
+        self.queues[priority].append(wptr)
+
+    def has_runnable(self) -> bool:
+        """True if any process is queued (not counting current)."""
+        return bool(self.queues[HIGH]) or bool(self.queues[LOW])
+
+    def should_preempt(self) -> bool:
+        """True if a high-priority process should displace the current
+        low-priority one."""
+        return (
+            self.current is not None
+            and self.current[1] == LOW
+            and bool(self.queues[HIGH])
+        )
+
+    def next_process(self):
+        """Pop the next runnable (wptr, priority), or None if idle."""
+        if self.queues[HIGH]:
+            self.switches += 1
+            self._slice_left = self.QUANTUM
+            wptr = self.queues[HIGH].popleft()
+            self.current = (wptr, HIGH)
+            return self.current
+        if self.queues[LOW]:
+            self.switches += 1
+            self._slice_left = self.QUANTUM
+            wptr = self.queues[LOW].popleft()
+            self.current = (wptr, LOW)
+            return self.current
+        self.current = None
+        return None
+
+    def timeslice_expired(self) -> bool:
+        """Account one descheduling opportunity; True when the current
+        low-priority process should yield to a peer."""
+        if self.current is None or self.current[1] == HIGH:
+            return False
+        if not self.queues[LOW]:
+            return False
+        self._slice_left -= 1
+        if self._slice_left <= 0:
+            self._slice_left = self.QUANTUM
+            return True
+        return False
+
+    def __repr__(self):
+        return (
+            f"<Scheduler current={self.current} "
+            f"hi={len(self.queues[HIGH])} lo={len(self.queues[LOW])}>"
+        )

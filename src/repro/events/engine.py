@@ -1,0 +1,481 @@
+"""The discrete-event simulation engine.
+
+The entire T Series model runs on this kernel.  Simulated time is an
+integer count of **nanoseconds**; integer time makes every hardware
+latency in the paper exactly representable (the 125 ns arithmetic cycle,
+the 400 ns memory access, the 5 µs DMA startup) and keeps event ordering
+deterministic across platforms.
+
+The programming model is the generator-coroutine style familiar from
+SimPy: a *process* is a Python generator that yields
+:class:`Event` objects and is resumed when they fire.
+
+Example
+-------
+>>> from repro.events import Engine
+>>> eng = Engine()
+>>> def worker(eng, log):
+...     yield eng.timeout(125)
+...     log.append(eng.now)
+>>> log = []
+>>> _ = eng.process(worker(eng, log))
+>>> eng.run()
+>>> log
+[125]
+"""
+
+import heapq
+
+from repro.events.errors import (
+    DeadlockError,
+    Interrupt,
+    SimulationError,
+    StopSimulation,
+)
+
+#: Sentinel priority classes for event scheduling.  ``URGENT`` events at a
+#: given time fire before ``NORMAL`` events at the same time; the kernel
+#: uses this to complete rendezvous handshakes before ordinary timeouts.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A happening at a point in simulated time.
+
+    Events move through three states:
+
+    * *pending* — created, not yet triggered;
+    * *triggered* — a value (or exception) has been set and the event is
+      queued to fire;
+    * *processed* — callbacks have run and waiting processes resumed.
+
+    Attributes
+    ----------
+    callbacks : list or None
+        Callables invoked with the event when it is processed.  ``None``
+        once processed.
+    """
+
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "_defused")
+
+    #: Unique sentinel marking "no value yet".
+    PENDING = object()
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.callbacks = []
+        self._value = Event.PENDING
+        self._ok = None
+        self._defused = False
+
+    @property
+    def triggered(self):
+        """True once the event has a value and is queued (or processed)."""
+        return self._value is not Event.PENDING
+
+    @property
+    def processed(self):
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self):
+        """True if the event succeeded (only meaningful once triggered)."""
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self):
+        """The event's value, or the exception it failed with."""
+        if self._value is Event.PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value=None, delay=0, priority=NORMAL):
+        """Trigger the event successfully with ``value``.
+
+        ``delay`` schedules the firing that many nanoseconds in the
+        future.  Returns the event so calls can be chained.
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.engine._schedule(self, delay, priority)
+        return self
+
+    def fail(self, exception, delay=0, priority=NORMAL):
+        """Trigger the event with an exception.
+
+        Processes waiting on the event will have ``exception`` thrown
+        into them.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.engine._schedule(self, delay, priority)
+        return self
+
+    def defuse(self):
+        """Mark a failed event as handled so the engine will not re-raise
+        its exception at the top level."""
+        self._defused = True
+
+    def __and__(self, other):
+        return AllOf(self.engine, [self, other])
+
+    def __or__(self, other):
+        return AnyOf(self.engine, [self, other])
+
+    def __repr__(self):
+        state = (
+            "processed" if self.processed
+            else "triggered" if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay.
+
+    Created via :meth:`Engine.timeout`; it is triggered at construction,
+    so it cannot be succeeded or failed manually.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine, delay, value=None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        super().__init__(engine)
+        self.delay = int(delay)
+        self._ok = True
+        self._value = value
+        engine._schedule(self, self.delay, NORMAL)
+
+    def __repr__(self):
+        return f"<Timeout delay={self.delay}>"
+
+
+class Initialize(Event):
+    """Internal event used to start a process at the current time."""
+
+    __slots__ = ()
+
+    def __init__(self, engine, process):
+        super().__init__(engine)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        engine._schedule(self, 0, URGENT)
+
+
+class Process(Event):
+    """A running generator coroutine.
+
+    A Process is itself an Event: it succeeds with the generator's
+    return value when the generator finishes, or fails with the
+    exception that escaped it.  This lets processes wait on each other
+    simply by yielding them.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, engine, generator, name=None):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(engine)
+        self._generator = generator
+        self._target = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(engine, self)
+
+    @property
+    def is_alive(self):
+        """True while the underlying generator has not finished."""
+        return self._value is Event.PENDING
+
+    def interrupt(self, cause=None):
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        A process cannot interrupt itself and a finished process cannot
+        be interrupted.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated")
+        if self is self.engine.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        event = Event(self.engine)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks.append(self._resume)
+        self.engine._schedule(event, 0, URGENT)
+        # Unsubscribe from the event we were waiting on: the interrupt
+        # wins the race, and a later firing of the old target must not
+        # resume us twice.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+
+    def _resume(self, event):
+        """Resume the generator with the outcome of ``event``."""
+        self.engine._active = self
+        try:
+            if event._ok:
+                result = self._generator.send(event._value)
+            else:
+                event._defused = True
+                result = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.engine._active = None
+            self._ok = True
+            self._value = stop.value
+            self.engine._schedule(self, 0, URGENT)
+            return
+        except BaseException as exc:
+            self.engine._active = None
+            self._ok = False
+            self._value = exc
+            self.engine._schedule(self, 0, URGENT)
+            return
+        self.engine._active = None
+
+        if not isinstance(result, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {result!r}, not an Event"
+            )
+        if result.engine is not self.engine:
+            raise SimulationError(
+                f"process {self.name!r} yielded an event from another engine"
+            )
+        if result.callbacks is None:
+            # Already processed: resume immediately (at the current time,
+            # urgently, so ordering stays deterministic).
+            shim = Event(self.engine)
+            shim._ok = result._ok
+            shim._value = result._value
+            if not result._ok:
+                result._defused = True
+                shim._defused = True
+            shim.callbacks.append(self._resume)
+            self.engine._schedule(shim, 0, URGENT)
+            self._target = shim
+        else:
+            result.callbacks.append(self._resume)
+            self._target = result
+
+    def __repr__(self):
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
+
+
+class Condition(Event):
+    """Base for composite events over a set of sub-events."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, engine, events):
+        super().__init__(engine)
+        self.events = list(events)
+        for ev in self.events:
+            if ev.engine is not engine:
+                raise SimulationError("events from different engines")
+        self._count = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _collect(self):
+        """Map each already-fired sub-event to its value."""
+        return {
+            i: ev._value
+            for i, ev in enumerate(self.events)
+            if ev.processed and ev._ok
+        }
+
+    def _check(self, event):
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Fires when *all* sub-events have fired; value maps index→value."""
+
+    __slots__ = ()
+
+    def _check(self, event):
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count == len(self.events):
+            self.succeed(self._collect())
+
+
+class AnyOf(Condition):
+    """Fires when *any* sub-event fires; value maps index→value for the
+    sub-events that had fired by then."""
+
+    __slots__ = ()
+
+    def _check(self, event):
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+            return
+        self._count += 1
+        self.succeed(self._collect())
+
+
+class Engine:
+    """The event loop: a priority queue of (time, priority, seq, event).
+
+    All model components share one Engine.  The sequence number breaks
+    ties so that equal-time events fire in the order they were
+    scheduled, making runs fully deterministic.
+    """
+
+    def __init__(self):
+        self._now = 0
+        self._heap = []
+        self._seq = 0
+        self._active = None
+
+    @property
+    def now(self):
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def active_process(self):
+        """The process currently being resumed, or None."""
+        return self._active
+
+    # -- scheduling ---------------------------------------------------
+
+    def _schedule(self, event, delay=0, priority=NORMAL):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        heapq.heappush(
+            self._heap, (self._now + int(delay), priority, self._seq, event)
+        )
+        self._seq += 1
+
+    def timeout(self, delay, value=None):
+        """Return an event that fires ``delay`` ns from now."""
+        return Timeout(self, delay, value)
+
+    def event(self):
+        """Return a fresh, untriggered event."""
+        return Event(self)
+
+    def process(self, generator, name=None):
+        """Start ``generator`` as a process; returns the Process event."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events):
+        """Composite event firing when every event in ``events`` fires."""
+        return AllOf(self, events)
+
+    def any_of(self, events):
+        """Composite event firing when the first event in ``events`` fires."""
+        return AnyOf(self, events)
+
+    # -- execution ----------------------------------------------------
+
+    def peek(self):
+        """Time of the next scheduled event, or None if the queue is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def step(self):
+        """Process exactly one event.
+
+        Raises :class:`DeadlockError` when the queue is empty.
+        """
+        if not self._heap:
+            raise DeadlockError("event queue empty")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:
+            raise SimulationError("time went backwards")  # pragma: no cover
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            exc = event._value
+            raise exc
+
+    def run(self, until=None):
+        """Run until the queue drains, ``until`` is reached, or a stop
+        event fires.
+
+        Parameters
+        ----------
+        until : int, Event, or None
+            ``None`` runs to queue exhaustion.  An integer runs until
+            simulated time reaches that value (events at exactly
+            ``until`` do not fire).  An :class:`Event` runs until that
+            event is processed and returns its value.
+        """
+        stop_value = [None]
+        if isinstance(until, Event):
+            if until.callbacks is None:
+                if not until._ok:
+                    until._defused = True
+                    raise until._value
+                return until._value
+
+            def _stop(event):
+                if not event._ok:
+                    event._defused = True
+                    raise event._value
+                raise StopSimulation(event._value)
+
+            until.callbacks.append(_stop)
+            until_time = None
+        elif until is not None:
+            until_time = int(until)
+            if until_time < self._now:
+                raise ValueError(
+                    f"until={until_time} is in the past (now={self._now})"
+                )
+        else:
+            until_time = None
+
+        try:
+            while self._heap:
+                if until_time is not None and self._heap[0][0] >= until_time:
+                    self._now = until_time
+                    return None
+                self.step()
+        except StopSimulation as stop:
+            stop_value[0] = stop.value
+            return stop_value[0]
+        if isinstance(until, Event) and not until.triggered:
+            raise DeadlockError(
+                "run() target event never fired; model deadlocked"
+            )
+        if until_time is not None:
+            self._now = until_time
+        return stop_value[0]
+
+    def __repr__(self):
+        return f"<Engine now={self._now} queued={len(self._heap)}>"

@@ -1,0 +1,30 @@
+"""Exception types raised by the discrete-event simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for all kernel-level errors."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Engine.run` at a stop event."""
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class DeadlockError(SimulationError):
+    """Raised by :meth:`Engine.run` when processes remain blocked but the
+    event queue is empty — i.e. the model has deadlocked."""

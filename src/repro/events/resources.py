@@ -1,0 +1,134 @@
+"""Contended resources.
+
+Hardware models use these to serialise access to shared datapaths: a
+memory port, a link wire, the module's system-board connection.  A
+:class:`Resource` grants up to ``capacity`` concurrent holds, FIFO
+ordered, which is exactly the arbitration the paper's hardware performs
+(single-master ports, one transfer per wire at a time).
+"""
+
+from collections import deque
+
+from repro.events.engine import Event, URGENT
+from repro.events.errors import SimulationError
+
+
+class Request(Event):
+    """A pending or granted hold on a :class:`Resource`.
+
+    Supports the context-manager protocol so process code can write::
+
+        with port.request() as req:
+            yield req
+            ... use the port ...
+        # released on exit
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource):
+        super().__init__(resource.engine)
+        self.resource = resource
+        resource._queue.append(self)
+        resource._grant()
+
+    def release(self):
+        """Give the resource back (idempotent)."""
+        self.resource._release(self)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.release()
+        return False
+
+
+class Resource:
+    """A FIFO-arbitrated resource with fixed capacity.
+
+    Parameters
+    ----------
+    engine : Engine
+    capacity : int
+        Number of simultaneous holders (1 for a memory port or wire).
+    name : str, optional
+        For diagnostics.
+    """
+
+    def __init__(self, engine, capacity=1, name=None):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name or "resource"
+        self._queue = deque()
+        self._users = set()
+        #: Cumulative busy statistics for utilisation reporting.
+        self.grants = 0
+
+    @property
+    def count(self):
+        """Number of current holders."""
+        return len(self._users)
+
+    @property
+    def queued(self):
+        """Number of requests waiting for a grant."""
+        return len(self._queue)
+
+    def request(self):
+        """Ask for a hold; the returned :class:`Request` event fires when
+        granted."""
+        return Request(self)
+
+    def _grant(self):
+        while self._queue and len(self._users) < self.capacity:
+            req = self._queue.popleft()
+            self._users.add(req)
+            self.grants += 1
+            req._ok = True
+            req._value = req
+            self.engine._schedule(req, 0, URGENT)
+
+    def _release(self, req):
+        if req in self._users:
+            self._users.discard(req)
+            self._grant()
+        else:
+            # Withdrawing an ungranted request is allowed (e.g. after an
+            # interrupt); releasing twice is a no-op.
+            try:
+                self._queue.remove(req)
+            except ValueError:
+                pass
+
+    def __repr__(self):
+        return (
+            f"<Resource {self.name!r} {len(self._users)}/{self.capacity} "
+            f"queued={len(self._queue)}>"
+        )
+
+
+class Mutex(Resource):
+    """A capacity-1 resource, named for readability at call sites."""
+
+    def __init__(self, engine, name=None):
+        super().__init__(engine, capacity=1, name=name or "mutex")
+
+
+def hold(engine, resource, duration):
+    """Process helper: acquire ``resource``, keep it ``duration`` ns,
+    release, and return the time the hold began.
+
+    Usage::
+
+        start = yield from hold(engine, port, 400)
+    """
+    if duration < 0:
+        raise SimulationError(f"negative hold duration {duration!r}")
+    with resource.request() as req:
+        yield req
+        start = engine.now
+        yield engine.timeout(duration)
+    return start

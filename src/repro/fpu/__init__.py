@@ -1,0 +1,68 @@
+"""The floating-point subsystem: formats, bit-level arithmetic,
+pipeline timing, functional units, and the vector-form micro-sequencer.
+
+Public surface:
+
+* :data:`BINARY32`, :data:`BINARY64`, :func:`format_for` — IEEE formats.
+* :mod:`repro.fpu.softfloat` — bit-exact add/sub/mul/compare/convert
+  with flush-to-zero (no gradual underflow, per the paper).
+* :class:`PipelineTiming` — fill + one-result-per-cycle timing.
+* :class:`FloatingAdder`, :class:`FloatingMultiplier` — the units.
+* :class:`VectorArithmeticUnit`, :data:`FORMS` — the micro-sequencer.
+"""
+
+from repro.fpu.ieee import BINARY32, BINARY64, Format, format_for
+from repro.fpu.pipeline import PipelineTiming, reduction_drain_cycles
+from repro.fpu.units import FloatingAdder, FloatingMultiplier, FunctionalUnit
+from repro.fpu.vector_forms import (
+    FORMS,
+    VectorArithmeticUnit,
+    VectorForm,
+    dtype_for,
+    flush_subnormals,
+    register_form,
+)
+from repro.fpu.level_order import (
+    Expr,
+    evaluate_level_order,
+    naive_scalar_ns,
+    reference_value,
+    scalar,
+    schedule_levels,
+)
+from repro.fpu.routines import (
+    divide_cost_model,
+    vector_divide,
+    vector_reciprocal,
+    vector_rsqrt,
+    vector_sqrt,
+)
+
+__all__ = [
+    "BINARY32",
+    "BINARY64",
+    "Expr",
+    "FORMS",
+    "evaluate_level_order",
+    "naive_scalar_ns",
+    "reference_value",
+    "scalar",
+    "schedule_levels",
+    "FloatingAdder",
+    "FloatingMultiplier",
+    "Format",
+    "FunctionalUnit",
+    "PipelineTiming",
+    "VectorArithmeticUnit",
+    "VectorForm",
+    "divide_cost_model",
+    "dtype_for",
+    "flush_subnormals",
+    "format_for",
+    "vector_divide",
+    "vector_reciprocal",
+    "vector_rsqrt",
+    "vector_sqrt",
+    "register_form",
+    "reduction_drain_cycles",
+]

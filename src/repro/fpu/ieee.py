@@ -1,0 +1,192 @@
+"""IEEE-754 binary formats as used by the T Series.
+
+The paper: "Floating-point operations are performed using the proposed
+IEEE Floating-point standard format; however, gradual underflow is not
+supported."  So the node's arithmetic is IEEE-754 binary32/binary64
+with round-to-nearest-even, infinities and NaNs — but **flush-to-zero**
+in place of subnormals, on both inputs and outputs.
+
+This module defines the two formats and bit-level pack/unpack/classify
+helpers.  The arithmetic itself lives in :mod:`repro.fpu.softfloat`.
+"""
+
+import math
+import struct
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Format:
+    """An IEEE-754 binary interchange format.
+
+    Attributes
+    ----------
+    name : str
+    ebits : int
+        Exponent field width.
+    mbits : int
+        Trailing-significand (mantissa) field width.
+    """
+
+    name: str
+    ebits: int
+    mbits: int
+
+    @property
+    def width(self) -> int:
+        """Total bits (1 sign + ebits + mbits)."""
+        return 1 + self.ebits + self.mbits
+
+    @property
+    def bias(self) -> int:
+        """Exponent bias (127 / 1023)."""
+        return (1 << (self.ebits - 1)) - 1
+
+    @property
+    def exp_mask(self) -> int:
+        """All-ones exponent field value (Inf/NaN marker)."""
+        return (1 << self.ebits) - 1
+
+    @property
+    def mant_mask(self) -> int:
+        """Mask of the trailing-significand field."""
+        return (1 << self.mbits) - 1
+
+    @property
+    def sign_bit(self) -> int:
+        """Mask of the sign bit."""
+        return 1 << (self.ebits + self.mbits)
+
+    @property
+    def bits_mask(self) -> int:
+        """Mask of the whole encoding."""
+        return (1 << self.width) - 1
+
+    @property
+    def hidden_bit(self) -> int:
+        """The implicit leading 1 of a normal significand."""
+        return 1 << self.mbits
+
+    @property
+    def min_normal_exp(self) -> int:
+        """Smallest unbiased exponent of a normal number (-126 / -1022)."""
+        return 1 - self.bias
+
+    @property
+    def max_exp(self) -> int:
+        """Largest unbiased exponent of a finite number (127 / 1023)."""
+        return self.exp_mask - 1 - self.bias
+
+    @property
+    def decimal_digits(self) -> float:
+        """Decimal digits of precision (the paper quotes ~15 for 64-bit)."""
+        return (self.mbits + 1) * math.log10(2)
+
+    # -- canonical encodings -------------------------------------------
+
+    def zero_bits(self, sign: int = 0) -> int:
+        """Encoding of ±0."""
+        return self.sign_bit if sign else 0
+
+    def inf_bits(self, sign: int = 0) -> int:
+        """Encoding of ±Inf."""
+        return (self.sign_bit if sign else 0) | (self.exp_mask << self.mbits)
+
+    def nan_bits(self) -> int:
+        """The canonical quiet NaN this unit produces."""
+        return (self.exp_mask << self.mbits) | (1 << (self.mbits - 1))
+
+    def max_finite_bits(self, sign: int = 0) -> int:
+        """Encoding of the largest finite magnitude."""
+        return (
+            (self.sign_bit if sign else 0)
+            | ((self.exp_mask - 1) << self.mbits)
+            | self.mant_mask
+        )
+
+    def min_normal_bits(self, sign: int = 0) -> int:
+        """Encoding of the smallest normal magnitude (the flush threshold)."""
+        return (self.sign_bit if sign else 0) | (1 << self.mbits)
+
+    # -- field access ------------------------------------------------
+
+    def sign_of(self, bits: int) -> int:
+        """0 for positive encodings, 1 for negative."""
+        return (bits >> (self.ebits + self.mbits)) & 1
+
+    def exp_of(self, bits: int) -> int:
+        """Biased exponent field."""
+        return (bits >> self.mbits) & self.exp_mask
+
+    def mant_of(self, bits: int) -> int:
+        """Trailing-significand field."""
+        return bits & self.mant_mask
+
+    # -- classification -------------------------------------------------
+
+    def is_nan(self, bits: int) -> bool:
+        return self.exp_of(bits) == self.exp_mask and self.mant_of(bits) != 0
+
+    def is_inf(self, bits: int) -> bool:
+        return self.exp_of(bits) == self.exp_mask and self.mant_of(bits) == 0
+
+    def is_zero(self, bits: int) -> bool:
+        """True for ±0 — and, under flush-to-zero, for subnormal
+        encodings too (they read as zero on input)."""
+        return self.exp_of(bits) == 0
+
+    def is_subnormal_encoding(self, bits: int) -> bool:
+        """True for encodings IEEE would call subnormal (the unit treats
+        them as zero)."""
+        return self.exp_of(bits) == 0 and self.mant_of(bits) != 0
+
+    def is_finite(self, bits: int) -> bool:
+        return self.exp_of(bits) != self.exp_mask
+
+    def is_normal(self, bits: int) -> bool:
+        return 0 < self.exp_of(bits) < self.exp_mask
+
+    # -- conversion to/from Python floats -----------------------------
+
+    def _struct_codes(self):
+        if self.width == 32:
+            return "<I", "<f"
+        if self.width == 64:
+            return "<Q", "<d"
+        raise ValueError(f"no host encoding for {self.width}-bit format")
+
+    def from_float(self, value: float) -> int:
+        """Encode a Python float (rounding to the format, flushing
+        subnormal results to zero)."""
+        icode, fcode = self._struct_codes()
+        bits = struct.unpack(icode, struct.pack(fcode, value))[0]
+        if self.is_subnormal_encoding(bits):
+            bits = self.zero_bits(self.sign_of(bits))
+        return bits
+
+    def to_float(self, bits: int) -> float:
+        """Decode to a Python float (subnormal encodings read as ±0)."""
+        if bits != (bits & self.bits_mask):
+            raise ValueError(f"{bits:#x} out of range for {self.name}")
+        if self.is_subnormal_encoding(bits):
+            bits = self.zero_bits(self.sign_of(bits))
+        icode, fcode = self._struct_codes()
+        return struct.unpack(fcode, struct.pack(icode, bits))[0]
+
+
+#: 32-bit single precision (8-bit exponent, 23-bit mantissa).
+BINARY32 = Format("binary32", ebits=8, mbits=23)
+
+#: 64-bit double precision: the paper quotes the 11-bit exponent,
+#: 53 significant bits and ~15 decimal digits — all properties of this
+#: format (see tests).
+BINARY64 = Format("binary64", ebits=11, mbits=52)
+
+
+def format_for(precision: int) -> Format:
+    """Map an element width in bits (32 or 64) to its Format."""
+    if precision == 32:
+        return BINARY32
+    if precision == 64:
+        return BINARY64
+    raise ValueError(f"unsupported precision {precision!r} (use 32 or 64)")

@@ -1,0 +1,124 @@
+"""Math routines built from vector forms: divide, sqrt, reciprocal.
+
+The T Series node has a pipelined adder and multiplier — *no divide or
+square-root unit*.  FPS shipped these as library routines composed of
+vector forms (Newton–Raphson on the multiplier), and so do we: each
+routine below is a generator that issues real form executions on a
+:class:`~repro.fpu.vector_forms.VectorArithmeticUnit`, so results
+carry the machine's numerics (64-bit, flush-to-zero) and the timing
+reflects the true multi-pass cost of division on this hardware.
+
+Seeding uses the exponent-halving/negation bit trick the era's
+libraries used (here: a NumPy-computed initial guess accurate to a few
+bits, refined by NR iterations — convergence is quadratic, so four
+iterations reach full double precision from a 4-bit seed).
+"""
+
+import numpy as np
+
+#: Newton–Raphson iterations for full binary64 accuracy from the seed.
+#: The reciprocal seed is only good to a factor of two (relative error
+#: up to 0.5), and NR squares the error each pass: six passes reach
+#: 2^-64.  The rsqrt magic-constant seed starts at ~3% and needs five.
+RECIPROCAL_ITERATIONS = 6
+RSQRT_ITERATIONS = 5
+
+
+def _crude_reciprocal_seed(x):
+    """A few-bit 1/x estimate: flip the exponent about the bias.
+
+    Bit-level: seed = 2^(−e) for x ≈ m·2^e — within a factor of 2 of
+    the truth, which NR then squares away.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    bits = x.view(np.uint64)
+    exponent = ((bits >> 52) & 0x7FF).astype(np.int64)
+    seed_exp = (2 * 1023 - exponent - 1).astype(np.uint64)
+    seed_bits = (bits & (np.uint64(1) << np.uint64(63))) | (
+        seed_exp << np.uint64(52)
+    )
+    return seed_bits.view(np.float64)
+
+
+def _crude_rsqrt_seed(x):
+    """A few-bit 1/sqrt(x) estimate by exponent halving."""
+    x = np.asarray(x, dtype=np.float64)
+    bits = x.view(np.uint64)
+    # The classic magic-constant trick, double-precision flavour.
+    seed_bits = np.uint64(0x5FE6EB50C7B537A9) - (bits >> np.uint64(1))
+    return seed_bits.view(np.float64)
+
+
+def vector_reciprocal(vau, x, iterations=RECIPROCAL_ITERATIONS):
+    """Process: elementwise 1/x via Newton–Raphson.
+
+    Iteration: y ← y·(2 − x·y), two multiplies and one subtract per
+    pass, all as vector forms.  Inputs must be nonzero and finite.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if not np.all(np.isfinite(x)) or np.any(x == 0):
+        raise ValueError("reciprocal needs finite, nonzero inputs")
+    y = _crude_reciprocal_seed(x)
+    two = np.full_like(x, 2.0)
+    for _ in range(iterations):
+        xy = yield from vau.execute("VMUL", [x, y])
+        correction = yield from vau.execute("VSUB", [two, xy])
+        y = yield from vau.execute("VMUL", [y, correction])
+    return np.asarray(y)
+
+
+def vector_divide(vau, numerator, denominator,
+                  iterations=RECIPROCAL_ITERATIONS):
+    """Process: elementwise a/b = a·(1/b) via the reciprocal routine."""
+    numerator = np.asarray(numerator, dtype=np.float64)
+    recip = yield from vector_reciprocal(vau, denominator, iterations)
+    result = yield from vau.execute("VMUL", [numerator, recip])
+    return np.asarray(result)
+
+
+def vector_rsqrt(vau, x, iterations=RSQRT_ITERATIONS):
+    """Process: elementwise 1/sqrt(x) via Newton–Raphson.
+
+    Iteration: y ← y·(1.5 − 0.5·x·y²) — three multiplies, one scalar
+    multiply and one subtract per pass.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if np.any(x <= 0) or not np.all(np.isfinite(x)):
+        raise ValueError("rsqrt needs positive, finite inputs")
+    y = _crude_rsqrt_seed(x)
+    three_halves = np.full_like(x, 1.5)
+    for _ in range(iterations):
+        yy = yield from vau.execute("VMUL", [y, y])
+        xyy = yield from vau.execute("VMUL", [x, yy])
+        half_xyy = yield from vau.execute("VSMUL", [xyy], scalars=(0.5,))
+        corr = yield from vau.execute("VSUB", [three_halves, half_xyy])
+        y = yield from vau.execute("VMUL", [y, corr])
+    return np.asarray(y)
+
+
+def vector_sqrt(vau, x, iterations=RSQRT_ITERATIONS):
+    """Process: elementwise sqrt(x) = x·rsqrt(x) (exact zeros kept)."""
+    x = np.asarray(x, dtype=np.float64)
+    if np.any(x < 0):
+        raise ValueError("sqrt needs non-negative inputs")
+    nonzero = x.copy()
+    nonzero[nonzero == 0] = 1.0       # avoid the rsqrt pole
+    rsqrt = yield from vector_rsqrt(vau, nonzero, iterations)
+    result = yield from vau.execute("VMUL", [x, rsqrt])
+    out = np.asarray(result).copy()
+    out[x == 0] = 0.0
+    return out
+
+
+def divide_cost_model(n, specs, iterations=RECIPROCAL_ITERATIONS):
+    """Predicted ns for an n-element vector divide.
+
+    3 forms per NR pass plus the final multiply — each a pipeline
+    fill + n elements; shows why division is ~16 arithmetic passes on
+    this machine.
+    """
+    mul_fill = specs.multiplier_stages_64
+    add_fill = specs.adder_stages
+    per_mul = (mul_fill + n - 1) * specs.cycle_ns
+    per_add = (add_fill + n - 1) * specs.cycle_ns
+    return iterations * (2 * per_mul + per_add) + per_mul

@@ -1,0 +1,290 @@
+"""Bit-level floating-point arithmetic with flush-to-zero.
+
+This is the numerics of the T Series adder and multiplier, implemented
+from the bits up: unpack, align/multiply in integer arithmetic with
+guard/round/sticky bits, round to nearest-even, and repack.  Gradual
+underflow is not supported (paper §II "Arithmetic"): results whose
+magnitude falls below the smallest normal number are flushed to zero,
+and subnormal *inputs* read as zero.
+
+All functions take and return integer encodings (``int`` bit patterns)
+plus a :class:`~repro.fpu.ieee.Format`.  They are deliberately scalar
+and exact; the fast vectorised path used by the machine model lives in
+:mod:`repro.fpu.vector_forms` and is validated against this module.
+"""
+
+from repro.fpu.ieee import BINARY32, BINARY64, Format
+
+#: Guard/round/sticky bits carried through intermediate computation.
+GRS_BITS = 3
+
+
+def _flush_input(bits: int, fmt: Format) -> int:
+    """Apply flush-to-zero to an operand (subnormal encodings → ±0)."""
+    if fmt.is_subnormal_encoding(bits):
+        return fmt.zero_bits(fmt.sign_of(bits))
+    return bits
+
+
+def _unpack(bits: int, fmt: Format):
+    """Split a (flushed) finite nonzero encoding into
+    (sign, biased exponent, significand-with-hidden-bit)."""
+    return (
+        fmt.sign_of(bits),
+        fmt.exp_of(bits),
+        fmt.mant_of(bits) | fmt.hidden_bit,
+    )
+
+
+def round_to_format(sign: int, sig: int, pow2: int, fmt: Format) -> int:
+    """Round ``(-1)**sign * sig * 2**pow2`` into ``fmt``.
+
+    Round-to-nearest-even, as if the exponent range were unbounded,
+    then: overflow → ±Inf; below the minimum normal → ±0 (flush).
+    ``sig`` may have any bit length; ``sig == 0`` encodes a signed zero.
+
+    This single routine is the rounding step of add, multiply, and the
+    conversions, which keeps their numerics mutually consistent.
+    """
+    if sig == 0:
+        return fmt.zero_bits(sign)
+    target = fmt.mbits + 1 + GRS_BITS
+    nbits = sig.bit_length()
+    if nbits > target:
+        shift = nbits - target
+        sticky = 1 if sig & ((1 << shift) - 1) else 0
+        sig = (sig >> shift) | sticky
+        pow2 += shift
+    elif nbits < target:
+        sig <<= target - nbits
+        pow2 -= target - nbits
+    # sig now has exactly `target` bits; its MSB is the hidden bit, so
+    # the value is 1.xxx * 2**e with:
+    e_biased = pow2 + target - 1 + fmt.bias
+
+    frac = sig & ((1 << GRS_BITS) - 1)
+    sig >>= GRS_BITS
+    half = 1 << (GRS_BITS - 1)
+    if frac > half or (frac == half and (sig & 1)):
+        sig += 1
+        if sig >> (fmt.mbits + 1):
+            sig >>= 1
+            e_biased += 1
+
+    if e_biased >= fmt.exp_mask:
+        return fmt.inf_bits(sign)
+    if e_biased < 1:
+        return fmt.zero_bits(sign)  # flush-to-zero: no gradual underflow
+    sign_field = fmt.sign_bit if sign else 0
+    return sign_field | (e_biased << fmt.mbits) | (sig & fmt.mant_mask)
+
+
+def fp_add(a: int, b: int, fmt: Format) -> int:
+    """Floating add: ``a + b`` in ``fmt`` with RNE and flush-to-zero."""
+    if fmt.is_nan(a) or fmt.is_nan(b):
+        return fmt.nan_bits()
+    a = _flush_input(a, fmt)
+    b = _flush_input(b, fmt)
+    sa, sb = fmt.sign_of(a), fmt.sign_of(b)
+    if fmt.is_inf(a) or fmt.is_inf(b):
+        if fmt.is_inf(a) and fmt.is_inf(b):
+            return fmt.inf_bits(sa) if sa == sb else fmt.nan_bits()
+        return fmt.inf_bits(sa) if fmt.is_inf(a) else fmt.inf_bits(sb)
+    if fmt.is_zero(a) and fmt.is_zero(b):
+        # RNE: -0 + -0 = -0; all other sign pairs give +0.
+        return fmt.zero_bits(sa & sb)
+    if fmt.is_zero(a):
+        return b
+    if fmt.is_zero(b):
+        return a
+
+    ea_, eb_ = fmt.exp_of(a), fmt.exp_of(b)
+    _, ea, ma = _unpack(a, fmt)
+    _, eb, mb = _unpack(b, fmt)
+    ma <<= GRS_BITS
+    mb <<= GRS_BITS
+    # Align the smaller exponent to the larger, keeping a sticky bit.
+    if ea < eb:
+        sa, sb = sb, sa
+        ea, eb = eb, ea
+        ma, mb = mb, ma
+    d = ea - eb
+    if d:
+        if d >= mb.bit_length() + 1:
+            mb = 1  # pure sticky
+        else:
+            sticky = 1 if mb & ((1 << d) - 1) else 0
+            mb = (mb >> d) | sticky
+    # value scale: sig * 2**(ea - bias - mbits - GRS)
+    pow2 = ea - fmt.bias - fmt.mbits - GRS_BITS
+    if sa == sb:
+        return round_to_format(sa, ma + mb, pow2, fmt)
+    if ma > mb:
+        return round_to_format(sa, ma - mb, pow2, fmt)
+    if mb > ma:
+        return round_to_format(sb, mb - ma, pow2, fmt)
+    return fmt.zero_bits(0)  # exact cancellation → +0 under RNE
+
+
+def fp_neg(a: int, fmt: Format) -> int:
+    """Sign flip (NaN stays NaN; this is a bit operation in hardware)."""
+    if fmt.is_nan(a):
+        return fmt.nan_bits()
+    return a ^ fmt.sign_bit
+
+
+def fp_abs(a: int, fmt: Format) -> int:
+    """Clear the sign bit."""
+    if fmt.is_nan(a):
+        return fmt.nan_bits()
+    return a & ~fmt.sign_bit
+
+
+def fp_sub(a: int, b: int, fmt: Format) -> int:
+    """Floating subtract: ``a - b``."""
+    if fmt.is_nan(b):
+        return fmt.nan_bits()
+    return fp_add(a, fp_neg(b, fmt), fmt)
+
+
+def fp_mul(a: int, b: int, fmt: Format) -> int:
+    """Floating multiply: ``a * b`` in ``fmt`` with RNE and FTZ."""
+    if fmt.is_nan(a) or fmt.is_nan(b):
+        return fmt.nan_bits()
+    a = _flush_input(a, fmt)
+    b = _flush_input(b, fmt)
+    sign = fmt.sign_of(a) ^ fmt.sign_of(b)
+    if fmt.is_inf(a) or fmt.is_inf(b):
+        if fmt.is_zero(a) or fmt.is_zero(b):
+            return fmt.nan_bits()  # inf * 0
+        return fmt.inf_bits(sign)
+    if fmt.is_zero(a) or fmt.is_zero(b):
+        return fmt.zero_bits(sign)
+    _, ea, ma = _unpack(a, fmt)
+    _, eb, mb = _unpack(b, fmt)
+    product = ma * mb  # 2*(mbits+1)-bit product
+    # value = product * 2**(ea + eb - 2*bias - 2*mbits)
+    pow2 = ea + eb - 2 * fmt.bias - 2 * fmt.mbits
+    return round_to_format(sign, product, pow2, fmt)
+
+
+#: Comparison outcome for unordered operands (NaN involved).
+UNORDERED = 2
+
+
+def fp_compare(a: int, b: int, fmt: Format) -> int:
+    """Compare: -1 (a<b), 0 (equal), 1 (a>b), or UNORDERED (NaN).
+
+    ±0 compare equal; subnormal encodings compare as zero (FTZ).
+    """
+    if fmt.is_nan(a) or fmt.is_nan(b):
+        return UNORDERED
+    a = _flush_input(a, fmt)
+    b = _flush_input(b, fmt)
+    if fmt.is_zero(a) and fmt.is_zero(b):
+        return 0
+    # Order by sign, then by magnitude (encodings order monotonically
+    # within a sign under IEEE-754).
+    sa, sb = fmt.sign_of(a), fmt.sign_of(b)
+    if sa != sb:
+        return -1 if sa else 1
+    mag_a, mag_b = a & ~fmt.sign_bit, b & ~fmt.sign_bit
+    if mag_a == mag_b:
+        return 0
+    if sa:
+        return -1 if mag_a > mag_b else 1
+    return 1 if mag_a > mag_b else -1
+
+
+def fp_min(a: int, b: int, fmt: Format) -> int:
+    """Smaller operand (NaN-propagating)."""
+    c = fp_compare(a, b, fmt)
+    if c == UNORDERED:
+        return fmt.nan_bits()
+    return a if c <= 0 else b
+
+
+def fp_max(a: int, b: int, fmt: Format) -> int:
+    """Larger operand (NaN-propagating)."""
+    c = fp_compare(a, b, fmt)
+    if c == UNORDERED:
+        return fmt.nan_bits()
+    return a if c >= 0 else b
+
+
+def fp_convert(bits: int, src: Format, dst: Format) -> int:
+    """Format conversion (the adder's data-conversion op).
+
+    Widening is exact for normal values; narrowing rounds RNE and
+    flushes as usual.
+    """
+    if src.is_nan(bits):
+        return dst.nan_bits()
+    bits = _flush_input(bits, src)
+    sign = src.sign_of(bits)
+    if src.is_inf(bits):
+        return dst.inf_bits(sign)
+    if src.is_zero(bits):
+        return dst.zero_bits(sign)
+    _, e, m = _unpack(bits, src)
+    pow2 = e - src.bias - src.mbits
+    return round_to_format(sign, m, pow2, dst)
+
+
+def fp_from_int(value: int, fmt: Format) -> int:
+    """Convert a Python/CP integer to floating point (RNE)."""
+    if value == 0:
+        return fmt.zero_bits(0)
+    sign = 1 if value < 0 else 0
+    return round_to_format(sign, abs(value), 0, fmt)
+
+
+def fp_to_int(bits: int, fmt: Format) -> int:
+    """Convert to integer, truncating toward zero.
+
+    NaN converts to 0 and infinities saturate to ±2**31-ish extremes —
+    the CP sees a 32-bit integer, so we saturate at its range.
+    """
+    lo, hi = -(1 << 31), (1 << 31) - 1
+    if fmt.is_nan(bits):
+        return 0
+    bits = _flush_input(bits, fmt)
+    sign = fmt.sign_of(bits)
+    if fmt.is_inf(bits):
+        return lo if sign else hi
+    if fmt.is_zero(bits):
+        return 0
+    _, e, m = _unpack(bits, fmt)
+    shift = e - fmt.bias - fmt.mbits
+    if shift >= 0:
+        mag = m << shift
+    else:
+        mag = m >> -shift if -shift < m.bit_length() + 1 else 0
+    mag = -mag if sign else mag
+    return max(lo, min(hi, mag))
+
+
+# -- convenience wrappers over Python floats ----------------------------
+
+def add64(x: float, y: float) -> float:
+    """64-bit T Series add on Python floats (useful in tests)."""
+    f = BINARY64
+    return f.to_float(fp_add(f.from_float(x), f.from_float(y), f))
+
+
+def mul64(x: float, y: float) -> float:
+    """64-bit T Series multiply on Python floats."""
+    f = BINARY64
+    return f.to_float(fp_mul(f.from_float(x), f.from_float(y), f))
+
+
+def add32(x: float, y: float) -> float:
+    """32-bit T Series add on Python floats."""
+    f = BINARY32
+    return f.to_float(fp_add(f.from_float(x), f.from_float(y), f))
+
+
+def mul32(x: float, y: float) -> float:
+    """32-bit T Series multiply on Python floats."""
+    f = BINARY32
+    return f.to_float(fp_mul(f.from_float(x), f.from_float(y), f))

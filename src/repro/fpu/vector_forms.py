@@ -1,0 +1,278 @@
+"""The vector-form micro-sequencer.
+
+Paper §II: "The arithmetic functional units are supervised by a
+preprogrammed micro-sequencer that implements a collection of vector
+arithmetic operations referred to as *vector forms*.  The programmer
+only needs to describe the input and output vectors and the vector
+form desired."
+
+Behaviourally a form maps input vectors (and scalars held in the
+functional units' input registers) to an output vector or scalar;
+timing-wise it streams one element per 125 ns cycle through a chain of
+the adder and/or multiplier pipelines.  The micro-sequencer runs one
+form at a time, **in parallel with the control processor**, and
+signals completion (the hardware raises an interrupt; here the
+returned event fires).
+
+Numerics: the fast path computes with NumPy in the target width and
+flushes subnormal results to zero; it is validated element-by-element
+against the bit-exact :mod:`repro.fpu.softfloat` in the test suite.
+Reductions (DOT, SUM) accumulate in pipeline-feedback order on the real
+machine; we compute them with NumPy's summation and document the
+reassociation (the paper makes no accuracy claim for reductions).
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.events import Mutex
+from repro.fpu.pipeline import reduction_drain_cycles
+from repro.fpu.units import FloatingAdder, FloatingMultiplier
+
+
+def dtype_for(precision: int):
+    """NumPy dtype for an element width in bits."""
+    if precision == 32:
+        return np.float32
+    if precision == 64:
+        return np.float64
+    raise ValueError(f"unsupported precision {precision!r}")
+
+
+def flush_subnormals(array: np.ndarray) -> np.ndarray:
+    """Flush subnormal values to (sign-preserving) zero.
+
+    This is the unit's gradual-underflow-not-supported behaviour applied
+    to a whole vector at once.
+    """
+    array = np.asarray(array)
+    if array.dtype not in (np.float32, np.float64):
+        raise TypeError(f"not a float array: {array.dtype}")
+    tiny = np.finfo(array.dtype).tiny
+    out = array.copy()
+    with np.errstate(invalid="ignore"):
+        mask = (out != 0) & (np.abs(out) < tiny) & np.isfinite(out)
+    if mask.any():
+        out[mask] = np.copysign(np.zeros(1, dtype=out.dtype), out[mask])
+    return out
+
+
+@dataclass(frozen=True)
+class VectorForm:
+    """One entry in the micro-sequencer's form catalog."""
+
+    name: str
+    description: str
+    #: Number of vector operands (≤2: the dual banks supply at most two
+    #: vector inputs per cycle).
+    vector_inputs: int
+    #: Number of scalars held in functional-unit input registers.
+    scalar_inputs: int
+    uses_adder: bool
+    uses_multiplier: bool
+    #: Floating-point operations per element (for MFLOPS accounting).
+    flops_per_element: int
+    #: True if the result is a scalar (feedback accumulation).
+    reduction: bool
+    #: (inputs, scalars, dtype) → ndarray or scalar, pre-flush.
+    compute: Callable
+
+    def __post_init__(self):
+        if self.vector_inputs > 2:
+            raise ValueError(
+                "the dual-bank memory feeds at most two vector inputs"
+            )
+
+
+def _form(name, desc, vin, sin, add, mul, flops, red, fn):
+    return VectorForm(name, desc, vin, sin, add, mul, flops, red, fn)
+
+
+#: The form catalog.  Names follow the FPS vector-op naming style.
+FORMS = {}
+
+
+def register_form(form: VectorForm) -> VectorForm:
+    """Add a form to the catalog (also used by tests to build variants)."""
+    if form.name in FORMS:
+        raise ValueError(f"duplicate form {form.name!r}")
+    FORMS[form.name] = form
+    return form
+
+
+def _elementwise(fn):
+    def compute(inputs, scalars, dtype):
+        return fn(*[np.asarray(v, dtype=dtype) for v in inputs],
+                  *[dtype(s) for s in scalars])
+    return compute
+
+
+for _name, _desc, _vin, _sin, _add, _mul, _flops, _red, _fn in [
+    ("VADD", "c[i] = a[i] + b[i]", 2, 0, True, False, 1, False,
+     _elementwise(lambda a, b: a + b)),
+    ("VSUB", "c[i] = a[i] - b[i]", 2, 0, True, False, 1, False,
+     _elementwise(lambda a, b: a - b)),
+    ("VMUL", "c[i] = a[i] * b[i]", 2, 0, False, True, 1, False,
+     _elementwise(lambda a, b: a * b)),
+    ("VSADD", "c[i] = s + a[i]", 1, 1, True, False, 1, False,
+     _elementwise(lambda a, s: s + a)),
+    ("VSSUB", "c[i] = a[i] - s", 1, 1, True, False, 1, False,
+     _elementwise(lambda a, s: a - s)),
+    ("VSMUL", "c[i] = s * a[i]", 1, 1, False, True, 1, False,
+     _elementwise(lambda a, s: s * a)),
+    ("SAXPY", "c[i] = s * x[i] + y[i]", 2, 1, True, True, 2, False,
+     _elementwise(lambda x, y, s: s * x + y)),
+    ("VNEG", "c[i] = -a[i]", 1, 0, True, False, 1, False,
+     _elementwise(lambda a: -a)),
+    ("VABS", "c[i] = |a[i]|", 1, 0, True, False, 1, False,
+     _elementwise(lambda a: np.abs(a))),
+    ("VMAX", "c[i] = max(a[i], b[i])", 2, 0, True, False, 1, False,
+     _elementwise(lambda a, b: np.maximum(a, b))),
+    ("VMIN", "c[i] = min(a[i], b[i])", 2, 0, True, False, 1, False,
+     _elementwise(lambda a, b: np.minimum(a, b))),
+    ("DOT", "sum_i a[i] * b[i]", 2, 0, True, True, 2, True,
+     lambda inputs, scalars, dtype: dtype(
+         np.dot(np.asarray(inputs[0], dtype=dtype),
+                np.asarray(inputs[1], dtype=dtype)))),
+    ("SUM", "sum_i a[i]", 1, 0, True, False, 1, True,
+     lambda inputs, scalars, dtype: dtype(
+         np.sum(np.asarray(inputs[0], dtype=dtype)))),
+]:
+    register_form(
+        _form(_name, _desc, _vin, _sin, _add, _mul, _flops, _red, _fn)
+    )
+
+
+def _convert_compute(target):
+    def compute(inputs, scalars, dtype):
+        return np.asarray(inputs[0], dtype=dtype).astype(target)
+    return compute
+
+
+register_form(_form(
+    "VCVT64", "widen 32-bit elements to 64-bit", 1, 0, True, False, 1,
+    False, _convert_compute(np.float64),
+))
+register_form(_form(
+    "VCVT32", "narrow 64-bit elements to 32-bit", 1, 0, True, False, 1,
+    False, _convert_compute(np.float32),
+))
+
+
+class VectorArithmeticUnit:
+    """The complete vector arithmetic subsystem of one node.
+
+    Owns the adder and multiplier, runs one vector form at a time, and
+    keeps FLOP/occupancy counters for measured-performance experiments.
+    """
+
+    def __init__(self, engine, specs):
+        self.engine = engine
+        self.specs = specs
+        self.adder = FloatingAdder(engine, specs)
+        self.multiplier = FloatingMultiplier(engine, specs)
+        self._busy = Mutex(engine, name="vau")
+        #: Total floating-point operations performed.
+        self.flops = 0
+        #: Total ns spent executing forms.
+        self.busy_ns = 0
+        #: Vector forms completed.
+        self.completions = 0
+
+    # -- timing ---------------------------------------------------------
+
+    def chain_depth(self, form: VectorForm, precision: int) -> int:
+        """Pipeline fill of the unit chain a form streams through."""
+        depth = 0
+        if form.uses_multiplier:
+            depth += self.multiplier.stages(precision)
+        if form.uses_adder:
+            depth += self.adder.stages(precision)
+        return depth
+
+    def duration(self, form_name: str, n: int, precision: int = 64) -> int:
+        """Simulated ns for an n-element execution of a form."""
+        form = FORMS[form_name]
+        if n < 0:
+            raise ValueError("negative vector length")
+        if n == 0:
+            return 0
+        cycles = self.chain_depth(form, precision) + n - 1
+        if form.reduction:
+            cycles += reduction_drain_cycles(self.adder.stages(precision))
+        return cycles * self.specs.cycle_ns
+
+    def peak_flops_per_s(self) -> float:
+        """Peak rate with both pipes streaming: 2 per cycle (16 MFLOPS)."""
+        return 2e9 / self.specs.cycle_ns
+
+    # -- execution --------------------------------------------------------
+
+    def _validate(self, form, inputs, scalars, precision):
+        if len(inputs) != form.vector_inputs:
+            raise ValueError(
+                f"{form.name} takes {form.vector_inputs} vector inputs, "
+                f"got {len(inputs)}"
+            )
+        if len(scalars) != form.scalar_inputs:
+            raise ValueError(
+                f"{form.name} takes {form.scalar_inputs} scalars, "
+                f"got {len(scalars)}"
+            )
+        lengths = {len(v) for v in inputs}
+        if len(lengths) > 1:
+            raise ValueError(f"input length mismatch: {sorted(lengths)}")
+        return lengths.pop() if lengths else 0
+
+    def execute(self, form_name, inputs, scalars=(), precision=64):
+        """Process: run one vector form; returns the flushed result.
+
+        The caller may start this with ``engine.process`` and *not*
+        wait on it — that is exactly the paper's CP/vector-unit
+        overlap.
+        """
+        form = FORMS[form_name]
+        dtype = dtype_for(precision)
+        n = self._validate(form, inputs, scalars, precision)
+        duration = self.duration(form_name, n, precision)
+        with self._busy.request() as req:
+            yield req
+            yield self.engine.timeout(duration)
+        # Counters: each used unit produced one result per element.
+        if form.uses_adder:
+            self.adder.results += n
+            self.adder.busy_ns += duration
+        if form.uses_multiplier:
+            self.multiplier.results += n
+            self.multiplier.busy_ns += duration
+        self.flops += form.flops_per_element * n
+        self.busy_ns += duration
+        self.completions += 1
+
+        flushed_inputs = [
+            flush_subnormals(np.asarray(v, dtype=dtype)) for v in inputs
+        ]
+        with np.errstate(over="ignore", invalid="ignore", under="ignore"):
+            result = form.compute(flushed_inputs, scalars, dtype)
+        if form.reduction:
+            scalar = np.asarray(result).reshape(1)
+            return flush_subnormals(scalar)[0]
+        return flush_subnormals(np.asarray(result))
+
+    def start(self, form_name, inputs, scalars=(), precision=64):
+        """Fire-and-forget: start a form, return its completion event."""
+        return self.engine.process(
+            self.execute(form_name, inputs, scalars, precision),
+            name=f"vau-{form_name}",
+        )
+
+    def measured_mflops(self) -> float:
+        """FLOPs per elapsed simulated µs (the measured rate)."""
+        if self.engine.now == 0:
+            return 0.0
+        return self.flops / (self.engine.now / 1000.0)
+
+    def __repr__(self):
+        return f"<VectorArithmeticUnit flops={self.flops}>"

@@ -1,0 +1,51 @@
+"""Inter-node communications: framing, links, sublinks, DMA, adapter.
+
+Public surface:
+
+* :class:`FrameSpec` — bit-serial framing math (13 bit-times/byte).
+* :class:`SerialLink`, :class:`LinkEnd`, :class:`Wire`,
+  :class:`Message` — the physical link.
+* :class:`SubLink`, :class:`SubLinkMux` and the role constants —
+  four-way multiplexing.
+* :class:`DMAEngine` — the 5 µs-startup DMA model.
+* :class:`LinkAdapter` — the per-node front end (4 links → 16 sublinks).
+"""
+
+from repro.links.adapter import LinkAdapter
+from repro.links.dma import DMAEngine
+from repro.links.fabric import (
+    FabricEndpoint,
+    FabricSublink,
+    LinkPort,
+    NodeLinkSet,
+    connect,
+)
+from repro.links.frame import FrameSpec
+from repro.links.link import LinkEnd, Message, SerialLink, Wire
+from repro.links.sublink import (
+    ROLE_COMPUTE,
+    ROLE_IO,
+    ROLE_SYSTEM,
+    SubLink,
+    SubLinkMux,
+)
+
+__all__ = [
+    "DMAEngine",
+    "FabricEndpoint",
+    "FabricSublink",
+    "FrameSpec",
+    "LinkAdapter",
+    "LinkEnd",
+    "LinkPort",
+    "Message",
+    "NodeLinkSet",
+    "connect",
+    "ROLE_COMPUTE",
+    "ROLE_IO",
+    "ROLE_SYSTEM",
+    "SerialLink",
+    "SubLink",
+    "SubLinkMux",
+    "Wire",
+]

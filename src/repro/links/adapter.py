@@ -1,0 +1,108 @@
+"""The node's link adapter: four links, sixteen sublinks, one DMA.
+
+The adapter is the node-side owner of communications.  Machine wiring
+(:mod:`repro.core.machine`) attaches each of the node's four link ends
+here, the adapter muxes each into four sublinks, and node software
+sends/receives via (link, sublink) coordinates or by role.
+
+Budget per the paper (§III): per node, 2 sublinks carry system
+communication, 2 are reserved for mass storage / external I/O, and up
+to 12 connect to other compute nodes — enough for a 12-cube with I/O
+or a 14-cube without.
+"""
+
+from repro.links.dma import DMAEngine
+from repro.links.sublink import (
+    ROLE_COMPUTE,
+    ROLE_IO,
+    ROLE_SYSTEM,
+    SubLinkMux,
+)
+
+
+class LinkAdapter:
+    """Per-node communications front end."""
+
+    def __init__(self, engine, specs, name="adapter"):
+        self.engine = engine
+        self.specs = specs
+        self.name = name
+        self.dma = DMAEngine(engine, specs)
+        self._ends = [None] * specs.links_per_node
+        self._muxes = [None] * specs.links_per_node
+
+    # -- wiring ----------------------------------------------------------
+
+    def attach(self, link_index: int, link_end, roles=None) -> SubLinkMux:
+        """Attach a link end at position ``link_index`` and mux it."""
+        if not 0 <= link_index < len(self._ends):
+            raise ValueError(f"link index {link_index} out of range")
+        if self._ends[link_index] is not None:
+            raise ValueError(f"link {link_index} already attached")
+        self._ends[link_index] = link_end
+        link_end.owner = self
+        mux = SubLinkMux(link_end, roles=roles)
+        self._muxes[link_index] = mux
+        return mux
+
+    def attached(self, link_index: int) -> bool:
+        """True if a link is wired at that position."""
+        return self._ends[link_index] is not None
+
+    @property
+    def links_attached(self) -> int:
+        return sum(end is not None for end in self._ends)
+
+    def mux(self, link_index: int) -> SubLinkMux:
+        """The sublink mux on one link (raises if unwired)."""
+        mux = self._muxes[link_index]
+        if mux is None:
+            raise ValueError(f"no link attached at index {link_index}")
+        return mux
+
+    def sublink(self, link_index: int, sub_index: int):
+        """A sublink by (link, sub) coordinates."""
+        return self.mux(link_index).sublink(sub_index)
+
+    def sublinks(self, role=None):
+        """All wired sublinks, optionally filtered by role."""
+        out = []
+        for mux in self._muxes:
+            if mux is None:
+                continue
+            out.extend(mux.sublinks if role is None else mux.by_role(role))
+        return out
+
+    def budget(self) -> dict:
+        """Sublink counts by role across wired links."""
+        return {
+            "total": len(self.sublinks()),
+            ROLE_SYSTEM: len(self.sublinks(ROLE_SYSTEM)),
+            ROLE_IO: len(self.sublinks(ROLE_IO)),
+            ROLE_COMPUTE: len(self.sublinks(ROLE_COMPUTE)),
+        }
+
+    # -- traffic --------------------------------------------------------
+
+    def send(self, link_index: int, sub_index: int, payload, nbytes: int):
+        """Process: DMA startup, then transmit on the sublink."""
+        sub = self.sublink(link_index, sub_index)
+        yield from self.dma.start_transfer()
+        message = yield from sub.send(payload, nbytes)
+        return message
+
+    def recv(self, link_index: int, sub_index: int):
+        """Process: receive the next message on the sublink."""
+        sub = self.sublink(link_index, sub_index)
+        message = yield from sub.recv()
+        return message
+
+    def transfer_ns(self, nbytes: int) -> int:
+        """Predicted one-message time: DMA startup + framed wire time."""
+        if not any(self._ends):
+            raise RuntimeError("no links attached")
+        end = next(e for e in self._ends if e is not None)
+        return self.dma.effective_ns(end.link.frame.transfer_ns(nbytes))
+
+    def __repr__(self):
+        return f"<LinkAdapter {self.name!r} links={self.links_attached}>"

@@ -1,0 +1,102 @@
+"""Sublink multiplexing.
+
+Paper §II: "Each link is multiplexed four ways to provide a total of
+16 bidirectional sublinks per node.  With software support, these
+sublinks divide the available bandwidth."
+
+A :class:`SubLinkMux` splits one :class:`~repro.links.link.LinkEnd`
+into four :class:`SubLink` endpoints.  Sublinks share the underlying
+wire at message granularity (the FIFO wire arbiter interleaves their
+messages), which divides bandwidth among active sublinks exactly as
+the paper describes.  Each sublink has its own inbox, so receivers
+demultiplex for free.
+"""
+
+from repro.events import Store
+from repro.links.link import Message
+
+#: Sublink roles per the paper's budget: 2 system + 2 I/O + 12 compute.
+ROLE_SYSTEM = "system"
+ROLE_IO = "io"
+ROLE_COMPUTE = "compute"
+
+
+class SubLink:
+    """One of the four multiplexed channels of a link end."""
+
+    def __init__(self, mux, index: int, role: str = ROLE_COMPUTE):
+        self.mux = mux
+        self.index = index
+        self.role = role
+        self.engine = mux.end.engine
+        self.inbox = Store(
+            self.engine, name=f"{mux.end.link.name}[{mux.end.side}].{index}"
+        )
+        #: Payload bytes sent on this sublink.
+        self.bytes_sent = 0
+        self.messages_sent = 0
+
+    @property
+    def end(self):
+        """The link end this sublink rides on."""
+        return self.mux.end
+
+    def peer_sublink(self) -> "SubLink":
+        """The matching sublink at the other end of the link."""
+        peer_mux = getattr(self.end.peer, "mux", None)
+        if peer_mux is None:
+            raise RuntimeError(
+                f"peer of {self.end!r} has no sublink mux attached"
+            )
+        return peer_mux.sublinks[self.index]
+
+    def send(self, payload, nbytes: int):
+        """Process: transmit over the shared wire, deliver to the peer
+        sublink's inbox at completion."""
+        if nbytes < 0:
+            raise ValueError("negative message size")
+        sent_at = self.engine.now
+        yield from self.end.tx_wire.transmit(nbytes)
+        message = Message(
+            payload, nbytes, sent_at, self.engine.now, sublink=self.index
+        )
+        yield self.peer_sublink().inbox.put(message)
+        self.bytes_sent += nbytes
+        self.messages_sent += 1
+        return message
+
+    def recv(self):
+        """Process: take the next message addressed to this sublink."""
+        message = yield self.inbox.get()
+        return message
+
+    def __repr__(self):
+        return (
+            f"<SubLink {self.end.link.name}[{self.end.side}].{self.index} "
+            f"role={self.role}>"
+        )
+
+
+class SubLinkMux:
+    """The four-way multiplexer on one link end."""
+
+    WAYS = 4
+
+    def __init__(self, end, roles=None):
+        roles = roles or [ROLE_COMPUTE] * self.WAYS
+        if len(roles) != self.WAYS:
+            raise ValueError(f"a link multiplexes {self.WAYS} ways")
+        self.end = end
+        self.sublinks = [SubLink(self, i, role) for i, role in enumerate(roles)]
+        end.mux = self  # registered so the peer can route deliveries
+
+    def sublink(self, index: int) -> SubLink:
+        """Sublink by position (0..3)."""
+        return self.sublinks[index]
+
+    def by_role(self, role: str):
+        """All sublinks with a given role."""
+        return [s for s in self.sublinks if s.role == role]
+
+    def __repr__(self):
+        return f"<SubLinkMux on {self.end!r}>"

@@ -1,0 +1,33 @@
+"""The node memory subsystem: dual-ported DRAM, vector registers, parity.
+
+Public surface:
+
+* :class:`DualPortMemory` — the 1 MB store with its two timed ports.
+* :class:`VectorRegister` — a row-sized register feeding the vector unit.
+* :class:`MemoryPort` — one port's arbitration and bandwidth counters.
+* :class:`ParityStore`, :class:`ParityError` — byte parity and fault
+  injection.
+* :class:`AddressError` — bounds/alignment violations.
+"""
+
+from repro.memory.dram import (
+    AddressError,
+    BANK_A,
+    BANK_B,
+    DualPortMemory,
+)
+from repro.memory.parity import ParityError, ParityStore, parity_of
+from repro.memory.ports import MemoryPort
+from repro.memory.vector_register import VectorRegister
+
+__all__ = [
+    "AddressError",
+    "BANK_A",
+    "BANK_B",
+    "DualPortMemory",
+    "MemoryPort",
+    "ParityError",
+    "ParityStore",
+    "VectorRegister",
+    "parity_of",
+]

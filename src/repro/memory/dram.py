@@ -1,0 +1,211 @@
+"""The 1 MB dual-ported, dual-bank node memory.
+
+Organisation (paper §II "Memory"):
+
+* The control processor and the links see one bank of 256K 32-bit
+  words through the **random-access port** (400 ns per word, 10 MB/s).
+* The vector unit sees the same storage as two banks of 1024-byte
+  rows — 256 rows in bank A, 768 in bank B — through the **row port**
+  (400 ns per full row, 2560 MB/s).
+* The banks matter because one vector operation reads one operand row
+  from each bank per cycle and writes results into either, which is
+  what lets SAXPY run at full arithmetic speed with no cache.
+
+Addresses are byte addresses; word accesses must be 4-byte aligned
+(the CP is byte-addressable but the memory port moves words).
+"""
+
+import numpy as np
+
+from repro.memory.parity import ParityStore
+from repro.memory.ports import MemoryPort
+from repro.memory.vector_register import VectorRegister
+
+BANK_A = "A"
+BANK_B = "B"
+
+
+class AddressError(Exception):
+    """Out-of-range or misaligned access."""
+
+
+class DualPortMemory:
+    """One node's memory with both ports and parity."""
+
+    def __init__(self, engine, specs):
+        self.engine = engine
+        self.specs = specs
+        self.size = specs.memory_bytes
+        self.row_bytes = specs.row_bytes
+        self._data = np.zeros(self.size, dtype=np.uint8)
+        self.parity = ParityStore(self.size)
+        self.word_port = MemoryPort(
+            engine, specs.word_access_ns, 4, name="random-access"
+        )
+        self.row_port = MemoryPort(
+            engine, specs.row_access_ns, specs.row_bytes, name="row"
+        )
+        #: First byte of bank B (bank A is the low 64K words).
+        self.bank_a_bytes = specs.bank_a_words * 4
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def rows(self) -> int:
+        """Total rows (1024 for a 1 MB node)."""
+        return self.size // self.row_bytes
+
+    def bank_of_row(self, row: int) -> str:
+        """Which bank a row lives in ('A' for the first 256)."""
+        self._check_row(row)
+        return BANK_A if row * self.row_bytes < self.bank_a_bytes else BANK_B
+
+    def bank_of_address(self, address: int) -> str:
+        """Which bank a byte address lives in."""
+        if not 0 <= address < self.size:
+            raise AddressError(f"address {address:#x} out of range")
+        return BANK_A if address < self.bank_a_bytes else BANK_B
+
+    def rows_in_bank(self, bank: str) -> range:
+        """Row numbers belonging to a bank."""
+        split = self.bank_a_bytes // self.row_bytes
+        if bank == BANK_A:
+            return range(0, split)
+        if bank == BANK_B:
+            return range(split, self.rows)
+        raise ValueError(f"unknown bank {bank!r}")
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise AddressError(f"row {row} out of range (0..{self.rows - 1})")
+
+    def _check_word(self, address: int) -> None:
+        if address % 4:
+            raise AddressError(f"unaligned word address {address:#x}")
+        if not 0 <= address <= self.size - 4:
+            raise AddressError(f"address {address:#x} out of range")
+
+    # -- untimed (behavioural) access -------------------------------------
+    # Used for test setup, checkpoint capture, and inside timed operations
+    # after the port delay has been charged.
+
+    def peek_word(self, address: int) -> int:
+        """Read a 32-bit word without advancing time (checks parity)."""
+        self._check_word(address)
+        raw = self._data[address:address + 4]
+        self.parity.check(address, raw)
+        return int(raw.view(np.uint32)[0])
+
+    def poke_word(self, address: int, value: int) -> None:
+        """Write a 32-bit word without advancing time (updates parity)."""
+        self._check_word(address)
+        raw = np.array([value & 0xFFFFFFFF], dtype=np.uint32).view(np.uint8)
+        self._data[address:address + 4] = raw
+        self.parity.update(address, raw)
+
+    def peek_bytes(self, address: int, count: int) -> np.ndarray:
+        """Read raw bytes (copy) without advancing time."""
+        if count < 0 or not 0 <= address <= self.size - count:
+            raise AddressError(f"range {address:#x}+{count} out of bounds")
+        raw = self._data[address:address + count]
+        self.parity.check(address, raw)
+        return raw.copy()
+
+    def poke_bytes(self, address: int, data) -> None:
+        """Write raw bytes without advancing time."""
+        data = np.asarray(data, dtype=np.uint8)
+        if not 0 <= address <= self.size - data.size:
+            raise AddressError(
+                f"range {address:#x}+{data.size} out of bounds"
+            )
+        self._data[address:address + data.size] = data
+        self.parity.update(address, data)
+
+    def read_row(self, row: int) -> np.ndarray:
+        """Read a full row (copy) without advancing time."""
+        self._check_row(row)
+        start = row * self.row_bytes
+        raw = self._data[start:start + self.row_bytes]
+        self.parity.check(start, raw)
+        return raw.copy()
+
+    def write_row(self, row: int, data) -> None:
+        """Write a full row without advancing time."""
+        self._check_row(row)
+        data = np.asarray(data, dtype=np.uint8)
+        if data.size != self.row_bytes:
+            raise ValueError(f"a row is {self.row_bytes} bytes")
+        start = row * self.row_bytes
+        self._data[start:start + self.row_bytes] = data
+        self.parity.update(start, data)
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the whole memory (checkpointing)."""
+        return self._data.copy()
+
+    def restore(self, image) -> None:
+        """Overwrite the whole memory from a snapshot image."""
+        image = np.asarray(image, dtype=np.uint8)
+        if image.size != self.size:
+            raise ValueError("snapshot image size mismatch")
+        self._data[:] = image
+        self.parity.update(0, image)
+
+    # -- timed access (processes) -------------------------------------------
+
+    def word_read(self, address: int):
+        """Process: timed 32-bit read through the random-access port."""
+        self._check_word(address)
+        yield from self.word_port.access(1)
+        return self.peek_word(address)
+
+    def word_write(self, address: int, value: int):
+        """Process: timed 32-bit write through the random-access port."""
+        self._check_word(address)
+        yield from self.word_port.access(1)
+        self.poke_word(address, value)
+
+    def words_read(self, address: int, count: int):
+        """Process: timed sequential read of ``count`` words."""
+        if count < 0:
+            raise ValueError("negative count")
+        self._check_word(address)
+        if count:
+            self._check_word(address + 4 * (count - 1))
+        yield from self.word_port.access(count)
+        raw = self.peek_bytes(address, 4 * count)
+        return raw.view(np.uint32).copy()
+
+    def words_write(self, address: int, values):
+        """Process: timed sequential write of 32-bit words."""
+        values = np.asarray(values, dtype=np.uint32)
+        self._check_word(address)
+        if values.size:
+            self._check_word(address + 4 * (values.size - 1))
+        yield from self.word_port.access(values.size)
+        self.poke_bytes(address, values.view(np.uint8))
+
+    def row_to_register(self, row: int, register: VectorRegister):
+        """Process: load a row into a vector register (one row access)."""
+        self._check_row(row)
+        yield from self.row_port.access(1)
+        register.load_bytes(self.read_row(row), row=row)
+
+    def register_to_row(self, register: VectorRegister, row: int):
+        """Process: store a vector register into a row."""
+        self._check_row(row)
+        yield from self.row_port.access(1)
+        self.write_row(row, register.raw)
+
+    def row_move(self, src_row: int, dst_row: int, register: VectorRegister):
+        """Process: move a whole row via a register (two row accesses).
+
+        This is the paper's physical-data-movement idiom: "moving data
+        physically, rather than keeping linked lists of pointers to
+        vectors, as for example, in pivoting rows of a matrix."
+        """
+        yield from self.row_to_register(src_row, register)
+        yield from self.register_to_row(register, dst_row)
+
+    def __repr__(self):
+        return f"<DualPortMemory {self.size} bytes, {self.rows} rows>"

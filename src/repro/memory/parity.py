@@ -1,0 +1,67 @@
+"""Byte parity for the node memory.
+
+Paper §II: "There is one parity bit for each byte in memory."  We keep
+the parity bits in a side array, update them on every write, and check
+them on reads.  :meth:`ParityStore.inject_error` flips a stored parity
+bit, which the checkpoint/recovery experiments use to model the memory
+faults that snapshots guard against.
+"""
+
+import numpy as np
+
+#: Parity lookup: _PARITY_LUT[b] is the even-parity bit of byte b.
+_PARITY_LUT = np.array(
+    [bin(b).count("1") & 1 for b in range(256)], dtype=np.uint8
+)
+
+
+class ParityError(Exception):
+    """A read observed a byte whose stored parity bit does not match."""
+
+    def __init__(self, address):
+        super().__init__(f"parity error at byte address {address:#x}")
+        self.address = address
+
+
+def parity_of(data: np.ndarray) -> np.ndarray:
+    """Even-parity bit of each byte in ``data``."""
+    return _PARITY_LUT[np.asarray(data, dtype=np.uint8)]
+
+
+class ParityStore:
+    """The parity side-array for a block of ``size`` bytes."""
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise ValueError("parity store needs a positive size")
+        self.size = size
+        self._bits = np.zeros(size, dtype=np.uint8)
+        #: Count of parity checks performed (reads).
+        self.checks = 0
+        #: Count of errors detected.
+        self.errors_detected = 0
+
+    def update(self, start: int, data: np.ndarray) -> None:
+        """Recompute parity for bytes written at ``start``."""
+        data = np.asarray(data, dtype=np.uint8)
+        self._bits[start:start + len(data)] = _PARITY_LUT[data]
+
+    def check(self, start: int, data: np.ndarray) -> None:
+        """Verify bytes read at ``start``; raises :class:`ParityError`."""
+        data = np.asarray(data, dtype=np.uint8)
+        self.checks += 1
+        expected = self._bits[start:start + len(data)]
+        actual = _PARITY_LUT[data]
+        bad = np.nonzero(expected != actual)[0]
+        if bad.size:
+            self.errors_detected += 1
+            raise ParityError(start + int(bad[0]))
+
+    def inject_error(self, address: int) -> None:
+        """Flip the stored parity bit for one byte (fault injection)."""
+        if not 0 <= address < self.size:
+            raise ValueError(f"address {address:#x} outside parity store")
+        self._bits[address] ^= 1
+
+    def __repr__(self):
+        return f"<ParityStore size={self.size} checks={self.checks}>"

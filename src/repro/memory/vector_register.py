@@ -1,0 +1,73 @@
+"""Vector registers.
+
+Paper §II: "A vector register can be loaded with an entire 1024-byte
+row of memory, in parallel, in the same time that it would have taken
+to read or write a single 32-bit word."  A register therefore holds
+one row — 256 elements in 32-bit mode or 128 in 64-bit mode — and is
+the only data source/sink of the arithmetic unit.
+"""
+
+import numpy as np
+
+from repro.fpu.vector_forms import dtype_for
+
+
+class VectorRegister:
+    """One row-sized register (1024 bytes by default)."""
+
+    def __init__(self, size_bytes: int, index: int = 0):
+        if size_bytes <= 0 or size_bytes % 8:
+            raise ValueError("register size must be a positive multiple of 8")
+        self.size_bytes = size_bytes
+        self.index = index
+        self._data = np.zeros(size_bytes, dtype=np.uint8)
+        #: Row number most recently loaded from, or None.
+        self.loaded_row = None
+
+    def capacity(self, precision: int) -> int:
+        """Element count in the given mode (256 for 32-bit, 128 for 64)."""
+        return self.size_bytes // (precision // 8)
+
+    @property
+    def raw(self) -> np.ndarray:
+        """The backing bytes (a live view)."""
+        return self._data
+
+    def load_bytes(self, data, row: int = None) -> None:
+        """Fill the register from raw bytes (a row's contents)."""
+        data = np.asarray(data, dtype=np.uint8)
+        if data.size != self.size_bytes:
+            raise ValueError(
+                f"register holds {self.size_bytes} bytes, got {data.size}"
+            )
+        self._data[:] = data
+        self.loaded_row = row
+
+    def elements(self, precision: int, count: int = None) -> np.ndarray:
+        """A float view of the contents (copy, in element type)."""
+        dtype = dtype_for(precision)
+        view = self._data.view(dtype)
+        if count is None:
+            return view.copy()
+        if not 0 <= count <= view.size:
+            raise ValueError(f"count {count} exceeds register capacity")
+        return view[:count].copy()
+
+    def set_elements(self, values, precision: int) -> None:
+        """Write float elements starting at element 0.
+
+        Shorter-than-capacity writes leave the tail untouched, the way
+        a partial vector result would.
+        """
+        dtype = dtype_for(precision)
+        values = np.asarray(values, dtype=dtype)
+        view = self._data.view(dtype)
+        if values.size > view.size:
+            raise ValueError(
+                f"{values.size} elements exceed register capacity {view.size}"
+            )
+        view[:values.size] = values
+        self.loaded_row = None
+
+    def __repr__(self):
+        return f"<VectorRegister {self.index} row={self.loaded_row}>"

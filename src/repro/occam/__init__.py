@@ -1,0 +1,38 @@
+"""Occam-style programming model: SEQ / PAR / ALT over channels.
+
+Public surface:
+
+* :func:`Seq`, :func:`Par`, :func:`Alt`, :func:`seq_for`,
+  :func:`par_for` — process combinators.
+* :class:`Guard`, :class:`TimeoutGuard`, :data:`SKIP` — ALT guards.
+* :class:`OccamProgram` — a process network with named channels.
+
+Channels themselves are :class:`repro.events.Channel` (rendezvous,
+unbuffered — Occam semantics).
+"""
+
+from repro.occam.combinators import (
+    Alt,
+    Guard,
+    Par,
+    SKIP,
+    Seq,
+    TimeoutGuard,
+    par_for,
+    seq_for,
+)
+from repro.occam.program import OccamProgram
+from repro.occam import compiler
+
+__all__ = [
+    "Alt",
+    "Guard",
+    "OccamProgram",
+    "Par",
+    "SKIP",
+    "Seq",
+    "TimeoutGuard",
+    "compiler",
+    "par_for",
+    "seq_for",
+]

@@ -1,0 +1,170 @@
+"""The Occam process combinators: SEQ, PAR, ALT and replicators.
+
+Paper §II "Control": "Occam differs from languages like Pascal or C in
+that it directly provides for the execution of parallel, communicating
+processes. ... A single process can be constructed from a collection
+by specifying sequential, alternative or parallel execution of the
+constituent processes."
+
+This module is that programming model as a Python DSL over the event
+kernel.  A *process body* is a generator (yielding kernel events);
+combinators compose bodies into bodies:
+
+* ``Seq(a, b, c)`` — run bodies one after another.
+* ``Par(engine, a, b, c)`` — run bodies concurrently; finish when all do.
+* ``Alt(engine, guards)`` — wait for the first ready guard; run its
+  branch.  Scan order is priority order (this is Occam's PRI ALT —
+  plain ALT's nondeterminism is resolved deterministically, which is a
+  legal refinement).
+* ``seq_for`` / ``par_for`` — the replicated forms (SEQ i = 0 FOR n).
+
+Channels are :class:`repro.events.Channel` — rendezvous, unbuffered,
+exactly Occam's semantics.
+"""
+
+from repro.events import Channel
+
+#: Sentinel result of a SKIP guard.
+SKIP = object()
+
+
+def Seq(*bodies):
+    """Sequential composition: a body that runs each body in turn.
+
+    Returns the list of the bodies' return values.
+    """
+    def _seq():
+        results = []
+        for body in bodies:
+            result = yield from body
+            results.append(result)
+        return results
+
+    return _seq()
+
+
+def Par(engine, *bodies):
+    """Parallel composition: all bodies run concurrently.
+
+    Finishes when every body has finished (the PAR barrier); returns
+    their results in order.
+    """
+    def _par():
+        procs = [engine.process(body, name="par-branch") for body in bodies]
+        collected = yield engine.all_of(procs)
+        return [collected[i] for i in range(len(procs))]
+
+    return _par()
+
+
+class Guard:
+    """One ALT alternative: an input guard with an optional branch.
+
+    Parameters
+    ----------
+    channel : Channel
+        The channel this guard watches.
+    branch : callable, optional
+        Called with the received value.  If it returns a generator, the
+        generator is run as the branch body and its return value is the
+        ALT's result; otherwise the return value itself is.
+    enabled : bool
+        A disabled guard never fires (Occam's boolean guard).
+    """
+
+    def __init__(self, channel, branch=None, enabled=True):
+        if not isinstance(channel, Channel):
+            raise TypeError("Guard needs a rendezvous Channel")
+        self.channel = channel
+        self.branch = branch
+        self.enabled = enabled
+
+
+class TimeoutGuard:
+    """An ALT alternative that fires after a delay (Occam's timer guard)."""
+
+    def __init__(self, delay, branch=None, enabled=True):
+        if delay < 0:
+            raise ValueError("negative timeout guard delay")
+        self.delay = delay
+        self.branch = branch
+        self.enabled = enabled
+
+
+def Alt(engine, guards):
+    """Alternation: wait until some guard is ready, run its branch.
+
+    Returns ``(index, result)`` where ``index`` is the position of the
+    selected guard and ``result`` is the branch's return value (the
+    received message if there is no branch; SKIP for a timeout guard
+    with no branch).
+
+    Guards are scanned in order at each wake-up, so earlier guards have
+    priority (PRI ALT).
+    """
+    guards = list(guards)
+    if not guards:
+        raise ValueError("ALT needs at least one guard")
+    if not any(g.enabled for g in guards):
+        raise ValueError("ALT with no enabled guard would block forever")
+
+    def _run_branch(guard, value):
+        if guard.branch is None:
+            return iter(())  # empty body
+        result = guard.branch(value)
+        if hasattr(result, "send") and hasattr(result, "throw"):
+            return result
+        def _const():
+            return result
+            yield  # pragma: no cover
+        return _const()
+
+    def _alt():
+        timeout_event = None
+        timeout_index = None
+        for i, g in enumerate(guards):
+            if isinstance(g, TimeoutGuard) and g.enabled:
+                timeout_event = engine.timeout(g.delay)
+                timeout_index = i
+                break  # the earliest timer guard wins; later ones can't
+        while True:
+            # Scan for a ready channel guard, priority order.
+            for i, g in enumerate(guards):
+                if isinstance(g, TimeoutGuard):
+                    if (g.enabled and timeout_index == i
+                            and timeout_event.processed):
+                        result = yield from _run_branch(g, SKIP)
+                        return (i, result if g.branch else SKIP)
+                    continue
+                if g.enabled and g.channel.ready:
+                    value = yield g.channel.get()
+                    result = yield from _run_branch(g, value)
+                    return (i, result if g.branch else value)
+            # Nothing ready: sleep until an arrival (or the timer).
+            waits = [
+                g.channel.watch()
+                for g in guards
+                if isinstance(g, Guard) and g.enabled
+            ]
+            if timeout_event is not None and not timeout_event.processed:
+                waits.append(timeout_event)
+            yield engine.any_of(waits)
+
+    return _alt()
+
+
+def seq_for(count, body_factory):
+    """Replicated SEQ: run ``body_factory(i)`` for i in 0..count-1."""
+    def _seq():
+        results = []
+        for i in range(count):
+            result = yield from body_factory(i)
+            results.append(result)
+        return results
+
+    return _seq()
+
+
+def par_for(engine, count, body_factory):
+    """Replicated PAR: run ``body_factory(i)`` concurrently for all i."""
+    return Par(engine, *[body_factory(i) for i in range(count)])

@@ -1,0 +1,654 @@
+"""A miniature Occam compiler targeting the control processor.
+
+Paper §II: "All features of the microprocessor are directly accessed
+through a high-level language called Occam."  This module compiles an
+Occam-like AST — SEQ, PAR, WHILE, IF, assignment, and channel
+input/output — to the CP's assembly, which then assembles and runs on
+the :class:`~repro.cp.cpu.CPU`.  PAR lowers to STARTP/ENDP with a
+join-counter workspace (the transputer's process model), and channel
+communication lowers to the IN/OUT soft-channel rendezvous.
+
+Deliberate simplifications, documented: variables (including
+replicator indices) are statically allocated *global* words — Occam's
+allocation is static too, but we skip scoping, so concurrent PAR
+branches must use distinct variable names (real Occam enforces the
+equivalent usage rules statically).  Channel OUT staging and computed
+channel addresses *are* workspace-local (per process), so parked
+rendezvous are safe.  The three-register evaluation stack is respected
+by spilling nested subexpressions to temporaries.  Replicated SEQ/PAR
+and channel arrays (runtime-indexed; one writer and one reader per
+element, as Occam requires) are supported; timers and ALT are not (the
+DSL in :mod:`repro.occam.combinators` covers ALT at process level).
+
+Example::
+
+    ast = Seq([
+        Assign("x", Num(0)),
+        Assign("i", Num(10)),
+        While(Gt(Var("i"), Num(0)), Seq([
+            Assign("x", Add(Var("x"), Var("i"))),
+            Assign("i", Sub(Var("i"), Num(1))),
+        ])),
+    ])
+    cpu = run_occam(ast)
+    read_variable(cpu, "x")   # 55
+"""
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.cp.assembler import assemble
+from repro.cp.cpu import CPU
+from repro.cp.scheduler import NOT_PROCESS
+
+# ---------------------------------------------------------------- AST --
+
+
+@dataclass(frozen=True)
+class Num:
+    """Integer literal."""
+    value: int
+
+
+@dataclass(frozen=True)
+class Var:
+    """Named variable reference."""
+    name: str
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """Binary operation; ``op`` is an ISA mnemonic (add, sub, mul,
+    div, rem, and, or, xor, shl, shr, gt)."""
+    op: str
+    left: object
+    right: object
+
+
+def Add(a, b):
+    return BinOp("add", a, b)
+
+
+def Sub(a, b):
+    return BinOp("sub", a, b)
+
+
+def Mul(a, b):
+    return BinOp("mul", a, b)
+
+
+def Div(a, b):
+    return BinOp("div", a, b)
+
+
+def Mod(a, b):
+    return BinOp("rem", a, b)
+
+
+def Gt(a, b):
+    return BinOp("gt", a, b)
+
+
+@dataclass(frozen=True)
+class Eq:
+    """Equality test (compiles to eqc / sub+eqc)."""
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """``name[index]`` — word-array subscript (no bounds checking, as
+    on the real machine without explicit checks)."""
+    name: str
+    index: object
+
+
+@dataclass(frozen=True)
+class AssignArray:
+    """``name[index] := expr``."""
+    name: str
+    index: object
+    expr: object
+
+
+@dataclass(frozen=True)
+class Skip:
+    """SKIP: do nothing."""
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``name := expr``."""
+    name: str
+    expr: object
+
+
+@dataclass(frozen=True)
+class Seq:
+    """Sequential composition."""
+    body: List[object] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class Par:
+    """Parallel composition (STARTP/ENDP join)."""
+    body: List[object] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class While:
+    """``WHILE cond: body`` (cond ≠ 0 means true)."""
+    cond: object
+    body: object
+
+
+@dataclass(frozen=True)
+class If:
+    """``IF cond THEN then ELSE orelse``."""
+    cond: object
+    then: object
+    orelse: object = Skip()
+
+
+@dataclass(frozen=True)
+class RepSeq:
+    """``SEQ name = start FOR count`` — replicated SEQ.
+
+    Lowered to a runtime loop over the index variable."""
+    name: str
+    start: object
+    count: object
+    body: object
+
+
+@dataclass(frozen=True)
+class RepPar:
+    """``PAR name = start FOR count`` — replicated PAR.
+
+    ``start`` and ``count`` must be literals (the branch set is fixed
+    at compile time, as in Occam); the index is substituted as a
+    constant into each branch."""
+    name: str
+    start: int
+    count: int
+    body: object
+
+
+@dataclass(frozen=True)
+class ChanRef:
+    """``name[index]`` — an element of a channel array.
+
+    The index may be a runtime expression: the IN/OUT instructions
+    take the channel *address* from the evaluation stack, so channel
+    selection can be computed (each element is its own rendezvous
+    word — Occam's usual one-writer/one-reader rule still applies per
+    element)."""
+    name: str
+    index: object
+
+
+@dataclass(frozen=True)
+class In:
+    """``chan ? var`` — channel input into a variable.
+
+    ``channel`` is a name (scalar channel) or a :class:`ChanRef`."""
+    channel: object
+    name: str
+
+
+@dataclass(frozen=True)
+class Out:
+    """``chan ! expr`` — channel output of an expression."""
+    channel: object
+    expr: object
+
+
+def _as_expr(value):
+    """Accept ints or expression nodes for replicator bounds."""
+    return Num(value) if isinstance(value, int) else value
+
+
+def substitute(node, name: str, value: int):
+    """Replace every ``Var(name)`` with ``Num(value)`` in a subtree.
+
+    Used to expand replicated PAR: each branch gets its index as a
+    compile-time constant.
+    """
+    if isinstance(node, Var):
+        return Num(value) if node.name == name else node
+    if isinstance(node, (Num, Skip)):
+        return node
+    if isinstance(node, BinOp):
+        return BinOp(node.op, substitute(node.left, name, value),
+                     substitute(node.right, name, value))
+    if isinstance(node, Eq):
+        return Eq(substitute(node.left, name, value),
+                  substitute(node.right, name, value))
+    if isinstance(node, ArrayRef):
+        return ArrayRef(node.name, substitute(node.index, name, value))
+    if isinstance(node, Assign):
+        return Assign(node.name, substitute(node.expr, name, value))
+    if isinstance(node, AssignArray):
+        return AssignArray(node.name,
+                           substitute(node.index, name, value),
+                           substitute(node.expr, name, value))
+    if isinstance(node, Seq):
+        return Seq([substitute(c, name, value) for c in node.body])
+    if isinstance(node, Par):
+        return Par([substitute(c, name, value) for c in node.body])
+    if isinstance(node, While):
+        return While(substitute(node.cond, name, value),
+                     substitute(node.body, name, value))
+    if isinstance(node, If):
+        return If(substitute(node.cond, name, value),
+                  substitute(node.then, name, value),
+                  substitute(node.orelse, name, value))
+    if isinstance(node, ChanRef):
+        return ChanRef(node.name, substitute(node.index, name, value))
+    if isinstance(node, In):
+        return In(substitute(node.channel, name, value)
+                  if isinstance(node.channel, ChanRef) else node.channel,
+                  node.name)
+    if isinstance(node, Out):
+        return Out(substitute(node.channel, name, value)
+                   if isinstance(node.channel, ChanRef) else node.channel,
+                   substitute(node.expr, name, value))
+    if isinstance(node, RepSeq):
+        if node.name == name:
+            return node  # inner replicator shadows the index
+        return RepSeq(node.name,
+                      substitute(_as_expr(node.start), name, value),
+                      substitute(_as_expr(node.count), name, value),
+                      substitute(node.body, name, value))
+    if isinstance(node, RepPar):
+        if node.name == name:
+            return node
+        return RepPar(node.name, node.start, node.count,
+                      substitute(node.body, name, value))
+    raise CompileError(f"cannot substitute into {node!r}")
+
+
+# ------------------------------------------------------------ compiler --
+
+#: Memory map (byte addresses in the CPU's data memory).
+VARIABLE_BASE = 0x1000       # named variables, one word each
+TEMP_BASE = 0x2000           # expression spill slots
+CHANNEL_BASE = 0x3000        # soft channel words
+JOIN_BASE = 0x4000           # PAR join workspaces (2 words each)
+ARRAY_BASE = 0x5000          # word arrays, ARRAY_WORDS each
+ARRAY_WORDS = 256            # default array extent (words)
+CHAN_ARRAY_BASE = 0x9000     # channel arrays, CHAN_ARRAY_WORDS each
+CHAN_ARRAY_WORDS = 64        # default channel-array extent
+CHILD_WS_TOP = 0xE000        # child process workspaces, descending
+
+
+class CompileError(Exception):
+    """Unknown construct, operator, or undeclared name misuse."""
+
+
+class OccamCompiler:
+    """One compilation unit."""
+
+    def __init__(self):
+        self.variables = {}
+        self.channels = {}
+        self.arrays = {}
+        self.channel_arrays = {}
+        self._labels = itertools.count()
+        self._joins = itertools.count()
+        self._children = itertools.count()
+        self._temp_high_water = 0
+        self._lines = []
+        self._deferred = []      # child process bodies, emitted at end
+
+    # -- allocation -----------------------------------------------------
+
+    def variable_address(self, name: str) -> int:
+        if name not in self.variables:
+            self.variables[name] = VARIABLE_BASE + 4 * len(self.variables)
+        return self.variables[name]
+
+    def channel_address(self, name: str) -> int:
+        if name not in self.channels:
+            self.channels[name] = CHANNEL_BASE + 4 * len(self.channels)
+        return self.channels[name]
+
+    def array_base(self, name: str) -> int:
+        if name not in self.arrays:
+            self.arrays[name] = ARRAY_BASE + 4 * ARRAY_WORDS * \
+                len(self.arrays)
+        return self.arrays[name]
+
+    def channel_array_base(self, name: str) -> int:
+        if name not in self.channel_arrays:
+            self.channel_arrays[name] = CHAN_ARRAY_BASE + \
+                4 * CHAN_ARRAY_WORDS * len(self.channel_arrays)
+        return self.channel_arrays[name]
+
+    def _label(self, stem: str) -> str:
+        return f"{stem}_{next(self._labels)}"
+
+    def _emit(self, line: str) -> None:
+        self._lines.append(f"    {line}")
+
+    def _emit_label(self, label: str) -> None:
+        self._lines.append(f"{label}:")
+
+    # -- expressions -------------------------------------------------------
+    # The evaluation stack is three deep; we keep at most two live
+    # entries by spilling compound right operands to temp slots.
+
+    def _compile_load(self, node, temp_depth: int) -> None:
+        if isinstance(node, Num):
+            self._emit(f"ldc {node.value}")
+        elif isinstance(node, Var):
+            self._emit(f"ldc {self.variable_address(node.name)}")
+            self._emit("ldnl 0")
+        elif isinstance(node, BinOp):
+            self._compile_binop(node, temp_depth)
+        elif isinstance(node, Eq):
+            self._compile_eq(node, temp_depth)
+        elif isinstance(node, ArrayRef):
+            self._compile_array_address(node, temp_depth)
+            self._emit("ldnl 0")
+        else:
+            raise CompileError(f"not an expression: {node!r}")
+
+    def _compile_array_address(self, node: ArrayRef, temp_depth: int):
+        """Leave the element's byte address in A (base + 4·index)."""
+        self._compile_load(node.index, temp_depth)
+        self._emit("ldc 2")
+        self._emit("shl")           # 4 × index
+        self._emit(f"ldc {self.array_base(node.name)}")
+        self._emit("add")
+
+    def _is_leaf(self, node) -> bool:
+        return isinstance(node, (Num, Var))
+
+    def _temp_address(self, depth: int) -> int:
+        self._temp_high_water = max(self._temp_high_water, depth + 1)
+        return TEMP_BASE + 4 * depth
+
+    def _compile_binop(self, node: BinOp, temp_depth: int) -> None:
+        if node.op not in ("add", "sub", "mul", "div", "rem", "and",
+                           "or", "xor", "shl", "shr", "gt"):
+            raise CompileError(f"unknown operator {node.op!r}")
+        if self._is_leaf(node.right):
+            self._compile_load(node.left, temp_depth)   # → B after next
+            self._compile_load(node.right, temp_depth)  # → A
+        else:
+            # Spill the compound right side to a temp first; the left
+            # subtree's own spills must stay above this slot.
+            temp = self._temp_address(temp_depth)
+            self._compile_load(node.right, temp_depth + 1)
+            self._emit(f"ldc {temp}")
+            self._emit("stnl 0")
+            self._compile_load(node.left, temp_depth + 1)
+            self._emit(f"ldc {temp}")
+            self._emit("ldnl 0")
+        self._emit(node.op)
+
+    def _compile_eq(self, node: Eq, temp_depth: int) -> None:
+        if isinstance(node.right, Num):
+            self._compile_load(node.left, temp_depth)
+            self._emit(f"eqc {node.right.value}")
+        else:
+            self._compile_binop(BinOp("sub", node.left, node.right),
+                                temp_depth)
+            self._emit("eqc 0")
+
+    def _stage_channel(self, spec):
+        """Resolve a channel spec; returns an int address (scalar) or
+        the temp slot holding a computed channel-array address."""
+        if isinstance(spec, str):
+            return ("direct", self.channel_address(spec))
+        if isinstance(spec, ChanRef):
+            # Compute the element address into workspace local 3
+            # (per-process, like the OUT staging slot).
+            self._compile_load(spec.index, 0)
+            self._emit("ldc 2")
+            self._emit("shl")
+            self._emit(f"ldc {self.channel_array_base(spec.name)}")
+            self._emit("add")
+            self._emit("stl 3")
+            return ("indirect", 3)
+        raise CompileError(f"not a channel: {spec!r}")
+
+    def _load_channel(self, staged) -> None:
+        kind, value = staged
+        if kind == "direct":
+            self._emit(f"ldc {value}")
+        else:
+            self._emit(f"ldl {value}")
+
+    # -- processes -----------------------------------------------------------
+
+    def _compile_process(self, node) -> None:
+        if isinstance(node, Skip):
+            return
+        if isinstance(node, Assign):
+            self._compile_load(node.expr, 0)
+            self._emit(f"ldc {self.variable_address(node.name)}")
+            self._emit("stnl 0")
+            return
+        if isinstance(node, AssignArray):
+            # Address first (spilled), then the value; stnl needs
+            # A=address, B=value.
+            slot = self._temp_address(9)  # dedicated address slot
+            self._compile_array_address(
+                ArrayRef(node.name, node.index), 0
+            )
+            self._emit(f"ldc {slot}")
+            self._emit("stnl 0")
+            self._compile_load(node.expr, 0)
+            self._emit(f"ldc {slot}")
+            self._emit("ldnl 0")
+            self._emit("stnl 0")
+            return
+        if isinstance(node, Seq):
+            for child in node.body:
+                self._compile_process(child)
+            return
+        if isinstance(node, While):
+            top = self._label("while")
+            done = self._label("wend")
+            self._emit_label(top)
+            self._compile_load(node.cond, 0)
+            self._emit(f"cj {done}")
+            # cj not taken pops the condition; taken leaves a 0 in A,
+            # which is harmless (dead value).
+            self._compile_process(node.body)
+            self._emit(f"j {top}")
+            self._emit_label(done)
+            return
+        if isinstance(node, If):
+            orelse = self._label("else")
+            done = self._label("fi")
+            self._compile_load(node.cond, 0)
+            self._emit(f"cj {orelse}")
+            self._compile_process(node.then)
+            self._emit(f"j {done}")
+            self._emit_label(orelse)
+            self._compile_process(node.orelse)
+            self._emit_label(done)
+            return
+        if isinstance(node, Out):
+            # Stage the value in the *workspace* (local slot 2): a
+            # parked OUT's data pointer must stay valid while other
+            # processes run, so staging must be per-process, not
+            # global.
+            chan_slot = self._stage_channel(node.channel)
+            self._compile_load(node.expr, 0)
+            self._emit("stl 2")
+            self._emit("ldlp 2")
+            self._load_channel(chan_slot)
+            self._emit("ldc 4")
+            self._emit("out")
+            return
+        if isinstance(node, In):
+            chan_slot = self._stage_channel(node.channel)
+            self._emit(f"ldc {self.variable_address(node.name)}")
+            self._load_channel(chan_slot)
+            self._emit("ldc 4")
+            self._emit("in")
+            return
+        if isinstance(node, Par):
+            self._compile_par(node)
+            return
+        if isinstance(node, RepSeq):
+            # SEQ i = start FOR count  ⇒  i := start; WHILE count'
+            # (compiled as a down-counter in a hidden variable).
+            counter = f"{node.name}.rep"
+            self._compile_process(Seq([
+                Assign(node.name, _as_expr(node.start)),
+                Assign(counter, _as_expr(node.count)),
+                While(Gt(Var(counter), Num(0)), Seq([
+                    node.body,
+                    Assign(node.name, Add(Var(node.name), Num(1))),
+                    Assign(counter, Sub(Var(counter), Num(1))),
+                ])),
+            ]))
+            return
+        if isinstance(node, RepPar):
+            if not isinstance(node.start, int) or \
+                    not isinstance(node.count, int):
+                raise CompileError(
+                    "replicated PAR needs literal start/count"
+                )
+            branches = [
+                substitute(node.body, node.name, node.start + k)
+                for k in range(node.count)
+            ]
+            self._compile_par(Par(branches))
+            return
+        raise CompileError(f"not a process: {node!r}")
+
+    def _compile_par(self, node: Par) -> None:
+        branches = list(node.body)
+        if not branches:
+            return
+        if len(branches) == 1:
+            self._compile_process(branches[0])
+            return
+        join = JOIN_BASE + 8 * next(self._joins)
+        cont = self._label("parend")
+        # Join setup: successor address and branch count.
+        self._emit(f"ldc {cont}")
+        self._emit(f"ldc {join}")
+        self._emit("stnl 0")
+        self._emit(f"ldc {len(branches)}")
+        self._emit(f"ldc {join}")
+        self._emit("stnl 1")
+        # Start branches 1..n−1 as child processes.
+        child_labels = []
+        for branch in branches[1:]:
+            index = next(self._children)
+            label = f"child_{index}"
+            wptr = CHILD_WS_TOP - 256 * index
+            child_labels.append((label, branch))
+            self._emit(f"ldc {label}")
+            self._emit(f"ldc {wptr}")
+            self._emit("startp")
+        # The parent runs branch 0 inline, then joins; whichever
+        # participant finishes last continues at `cont`.
+        self._compile_process(branches[0])
+        self._emit(f"ldc {join}")
+        self._emit("endp")
+        self._emit_label(cont)
+        # Children are emitted out of line (after the main flow).
+        for label, branch in child_labels:
+            self._deferred.append((label, branch, join))
+
+    def _emit_deferred(self) -> None:
+        while self._deferred:
+            label, branch, join = self._deferred.pop(0)
+            self._emit_label(label)
+            self._compile_process(branch)
+            self._emit(f"ldc {join}")
+            self._emit("endp")
+
+    # -- top level --------------------------------------------------------
+
+    def compile(self, program) -> str:
+        """Compile an AST to assembly source."""
+        self._lines = []
+        # Prologue: initialise every channel word to NotProcess.
+        body_marker = len(self._lines)
+        self._compile_process(program)
+        self._emit("terminate")
+        self._emit_deferred()
+        prologue = []
+        for name in self.channels:
+            prologue.append("    mint")
+            prologue.append(f"    ldc {self.channels[name]}")
+            prologue.append("    stnl 0")
+        for name, base in self.channel_arrays.items():
+            # Initialise every element word to NotProcess via a loop.
+            counter = TEMP_BASE + 4 * 12  # prologue-only scratch
+            label = self._label("chaninit")
+            prologue.append(f"    ldc {CHAN_ARRAY_WORDS - 1}")
+            prologue.append(f"    ldc {counter}")
+            prologue.append("    stnl 0")
+            prologue.append(f"{label}:")
+            prologue.append("    mint")
+            prologue.append(f"    ldc {counter}")
+            prologue.append("    ldnl 0")
+            prologue.append("    ldc 2")
+            prologue.append("    shl")
+            prologue.append(f"    ldc {base}")
+            prologue.append("    add")
+            prologue.append("    stnl 0")
+            prologue.append(f"    ldc {counter}")
+            prologue.append("    ldnl 0")
+            prologue.append("    adc -1")
+            prologue.append("    dup")
+            prologue.append(f"    ldc {counter}")
+            prologue.append("    stnl 0")
+            prologue.append("    adc 1")
+            prologue.append(f"    cj {label}_done")
+            prologue.append(f"    j {label}")
+            prologue.append(f"{label}_done:")
+        del body_marker
+        return "\n".join(prologue + self._lines) + "\n"
+
+
+def compile_occam(program) -> str:
+    """Compile an AST; returns the assembly source."""
+    return OccamCompiler().compile(program)
+
+
+def run_occam(program, max_steps: int = 2_000_000):
+    """Compile, assemble, and run an AST; returns (cpu, compiler).
+
+    Read results back with :func:`read_variable`.
+    """
+    compiler = OccamCompiler()
+    source = compiler.compile(program)
+    assembled = assemble(source)
+    cpu = CPU(assembled.code)
+    cpu.run(max_steps=max_steps)
+    return cpu, compiler
+
+
+def read_variable(cpu, compiler, name: str) -> int:
+    """Fetch a compiled variable's final value (signed)."""
+    from repro.cp.cpu import to_signed
+
+    if name not in compiler.variables:
+        raise CompileError(f"no such variable {name!r}")
+    return to_signed(cpu.memory.read_word(compiler.variables[name]))
+
+
+def read_array(cpu, compiler, name: str, count: int) -> list:
+    """Fetch the first ``count`` elements of a compiled array."""
+    from repro.cp.cpu import to_signed
+
+    if name not in compiler.arrays:
+        raise CompileError(f"no such array {name!r}")
+    base = compiler.arrays[name]
+    return [
+        to_signed(cpu.memory.read_word(base + 4 * i))
+        for i in range(count)
+    ]

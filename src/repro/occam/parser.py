@@ -1,0 +1,324 @@
+"""A parser for Occam-style concrete syntax.
+
+Real Occam is indentation-structured; so is this subset.  The grammar
+covers exactly what the compiler (:mod:`repro.occam.compiler`) lowers:
+
+::
+
+    SEQ                     -- sequential block
+      x := 0
+      i := 10
+      WHILE i > 0           -- loop (condition true when ≠ 0)
+        SEQ
+          x := x + i
+          i := i - 1
+    PAR                     -- parallel block (STARTP/ENDP join)
+      c ! x * 2             -- channel output
+      c ? y                 -- channel input
+    IF a > b                -- two-armed conditional: first indented
+      r := 1                -- process is THEN, optional ELSE keyword
+      ELSE
+      r := 2
+    SKIP
+
+Expressions: integer literals, variables, ``+ - * / \\``
+(backslash is Occam's remainder), comparisons ``> < = <>``, and the
+bitwise ``/\\  \\/  ><  << >>`` operators, with parentheses.
+Comments run from ``--`` to end of line.
+
+:func:`parse` returns the AST; :func:`run_source` parses, compiles,
+assembles and executes in one call.
+"""
+
+import re
+
+from repro.occam import compiler as C
+
+
+class OccamSyntaxError(Exception):
+    """Bad token, bad indentation, or malformed statement."""
+
+    def __init__(self, message, line=None):
+        prefix = f"line {line}: " if line is not None else ""
+        super().__init__(prefix + message)
+        self.line = line
+
+
+# ---------------------------------------------------------------- lexer --
+
+_TOKEN_RE = re.compile(r"""
+    (?P<num>-?\d+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<op><>|<<|>>|/\\|\\/|><|:=|[-+*/\\()<>=?!\[\]])
+  | (?P<ws>\s+)
+""", re.VERBOSE)
+
+
+def _tokenize(text, lineno):
+    out = []
+    index = 0
+    while index < len(text):
+        match = _TOKEN_RE.match(text, index)
+        if not match:
+            raise OccamSyntaxError(f"bad character {text[index]!r}", lineno)
+        index = match.end()
+        if match.lastgroup == "ws":
+            continue
+        out.append((match.lastgroup, match.group()))
+    return out
+
+
+# ----------------------------------------------------- expression parser --
+
+#: Binary operators by precedence level (loosest first), mapped to AST
+#: constructors.  Occam's real grammar has no precedence (it requires
+#: parentheses); we allow conventional precedence as a convenience.
+_LEVELS = [
+    {">": lambda a, b: C.Gt(a, b),
+     "<": lambda a, b: C.Gt(b, a),
+     "=": lambda a, b: C.Eq(a, b),
+     "<>": lambda a, b: C.Eq(C.Eq(a, b), C.Num(0))},
+    {"+": C.Add, "-": C.Sub,
+     "\\/": lambda a, b: C.BinOp("or", a, b),
+     "><": lambda a, b: C.BinOp("xor", a, b)},
+    {"*": C.Mul, "/": C.Div, "\\": C.Mod,
+     "/\\": lambda a, b: C.BinOp("and", a, b),
+     "<<": lambda a, b: C.BinOp("shl", a, b),
+     ">>": lambda a, b: C.BinOp("shr", a, b)},
+]
+
+
+class _ExprParser:
+    def __init__(self, tokens, lineno):
+        self.tokens = tokens
+        self.pos = 0
+        self.lineno = lineno
+
+    def peek(self):
+        return self.tokens[self.pos] if self.pos < len(self.tokens) \
+            else (None, None)
+
+    def take(self):
+        token = self.peek()
+        self.pos += 1
+        return token
+
+    def parse(self):
+        expr = self._level(0)
+        if self.pos != len(self.tokens):
+            raise OccamSyntaxError(
+                f"unexpected {self.peek()[1]!r}", self.lineno
+            )
+        return expr
+
+    def _level(self, depth):
+        if depth == len(_LEVELS):
+            return self._atom()
+        left = self._level(depth + 1)
+        while self.peek()[0] == "op" and self.peek()[1] in _LEVELS[depth]:
+            _kind, op = self.take()
+            right = self._level(depth + 1)
+            left = _LEVELS[depth][op](left, right)
+        return left
+
+    def _atom(self):
+        kind, value = self.take()
+        if kind == "num":
+            return C.Num(int(value))
+        if kind == "name":
+            if self.peek() == ("op", "["):
+                self.take()
+                index = self._level(0)
+                _kind, closing = self.take()
+                if closing != "]":
+                    raise OccamSyntaxError("expected ']'", self.lineno)
+                return C.ArrayRef(value, index)
+            return C.Var(value)
+        if kind == "op" and value == "(":
+            inner = self._level(0)
+            kind, value = self.take()
+            if value != ")":
+                raise OccamSyntaxError("expected ')'", self.lineno)
+            return inner
+        if kind == "op" and value == "-":
+            return C.Sub(C.Num(0), self._atom())
+        raise OccamSyntaxError(
+            f"expected an expression, got {value!r}", self.lineno
+        )
+
+
+def parse_expression(text, lineno=None):
+    """Parse one expression string to AST."""
+    return _ExprParser(_tokenize(text, lineno), lineno).parse()
+
+
+# ------------------------------------------------------ statement parser --
+
+class _Line:
+    __slots__ = ("indent", "text", "number")
+
+    def __init__(self, indent, text, number):
+        self.indent = indent
+        self.text = text
+        self.number = number
+
+
+def _logical_lines(source):
+    lines = []
+    for number, raw in enumerate(source.splitlines(), start=1):
+        text = raw.split("--", 1)[0].rstrip()
+        if not text.strip():
+            continue
+        indent = len(text) - len(text.lstrip())
+        lines.append(_Line(indent, text.strip(), number))
+    return lines
+
+
+def _parse_channel(text, lineno):
+    """A channel spec: a bare name or ``name[index]``."""
+    array = re.fullmatch(r"([A-Za-z_][A-Za-z0-9_.]*)\s*\[(.+)\]", text)
+    if array:
+        return C.ChanRef(array.group(1),
+                         parse_expression(array.group(2), lineno))
+    if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_.]*", text):
+        raise OccamSyntaxError(f"bad channel {text!r}", lineno)
+    return text
+
+
+class _Parser:
+    def __init__(self, lines):
+        self.lines = lines
+        self.pos = 0
+
+    def peek(self):
+        return self.lines[self.pos] if self.pos < len(self.lines) else None
+
+    def parse_process(self):
+        line = self.peek()
+        if line is None:
+            raise OccamSyntaxError("expected a process, got end of input")
+        self.pos += 1
+        text = line.text
+
+        if text == "SKIP":
+            return C.Skip()
+        if text in ("SEQ", "PAR"):
+            body = self._parse_block(line.indent)
+            return (C.Seq if text == "SEQ" else C.Par)(body)
+        replicator = re.match(
+            r"^(SEQ|PAR)\s+([A-Za-z_][A-Za-z0-9_.]*)\s*=\s*(.+?)\s+FOR\s+(.+)$",
+            text,
+        )
+        if replicator:
+            kind, name, start_text, count_text = replicator.groups()
+            start = parse_expression(start_text, line.number)
+            count = parse_expression(count_text, line.number)
+            body = self._parse_block(line.indent)
+            body = body[0] if len(body) == 1 else C.Seq(body)
+            if kind == "SEQ":
+                return C.RepSeq(name, start, count, body)
+            for bound, what in ((start, "start"), (count, "count")):
+                if not isinstance(bound, C.Num):
+                    raise OccamSyntaxError(
+                        f"replicated PAR needs a literal {what}",
+                        line.number,
+                    )
+            return C.RepPar(name, start.value, count.value, body)
+        if text.startswith("WHILE"):
+            cond = parse_expression(text[len("WHILE"):], line.number)
+            body = self._parse_block(line.indent)
+            if len(body) != 1:
+                body = [C.Seq(body)]
+            return C.While(cond, body[0])
+        if text.startswith("IF"):
+            cond = parse_expression(text[len("IF"):], line.number)
+            arms = self._parse_if_block(line.indent)
+            then, orelse = arms
+            return C.If(cond, then, orelse)
+        if ":=" in text:
+            target, expr_text = text.split(":=", 1)
+            target = target.strip()
+            expr = parse_expression(expr_text, line.number)
+            array = re.fullmatch(
+                r"([A-Za-z_][A-Za-z0-9_.]*)\s*\[(.+)\]", target
+            )
+            if array:
+                index = parse_expression(array.group(2), line.number)
+                return C.AssignArray(array.group(1), index, expr)
+            if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_.]*", target):
+                raise OccamSyntaxError(
+                    f"bad assignment target {target!r}", line.number
+                )
+            return C.Assign(target, expr)
+        if "!" in text:
+            channel, expr_text = text.split("!", 1)
+            return C.Out(
+                _parse_channel(channel.strip(), line.number),
+                parse_expression(expr_text, line.number),
+            )
+        if "?" in text:
+            channel, name = text.split("?", 1)
+            name = name.strip()
+            if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_.]*", name):
+                raise OccamSyntaxError(
+                    f"bad input target {name!r}", line.number
+                )
+            return C.In(_parse_channel(channel.strip(), line.number),
+                        name)
+        raise OccamSyntaxError(f"unrecognised statement {text!r}",
+                               line.number)
+
+    def _parse_block(self, parent_indent):
+        body = []
+        block_indent = None
+        while True:
+            line = self.peek()
+            if line is None or line.indent <= parent_indent:
+                break
+            if block_indent is None:
+                block_indent = line.indent
+            elif line.indent > block_indent:
+                raise OccamSyntaxError(
+                    f"unexpected indentation", line.number
+                )
+            body.append(self.parse_process())
+        return body
+
+    def _parse_if_block(self, parent_indent):
+        """IF body: THEN process, then optional `ELSE` + process."""
+        body_lines_start = self.pos
+        line = self.peek()
+        if line is None or line.indent <= parent_indent:
+            raise OccamSyntaxError("IF needs an indented process")
+        then = self.parse_process()
+        orelse = C.Skip()
+        nxt = self.peek()
+        if nxt is not None and nxt.indent > parent_indent \
+                and nxt.text == "ELSE":
+            self.pos += 1
+            orelse = self.parse_process()
+        del body_lines_start
+        return then, orelse
+
+
+def parse(source: str):
+    """Parse Occam-style source text to a compiler AST."""
+    lines = _logical_lines(source)
+    if not lines:
+        return C.Skip()
+    parser = _Parser(lines)
+    processes = []
+    while parser.peek() is not None:
+        if parser.peek().indent != lines[0].indent:
+            raise OccamSyntaxError(
+                "top-level processes must share indentation",
+                parser.peek().number,
+            )
+        processes.append(parser.parse_process())
+    return processes[0] if len(processes) == 1 else C.Seq(processes)
+
+
+def run_source(source: str, max_steps: int = 2_000_000):
+    """Parse, compile, assemble, and execute; returns (cpu, compiler)."""
+    ast = parse(source)
+    return C.run_occam(ast, max_steps=max_steps)

@@ -1,0 +1,50 @@
+"""Message passing and collectives over the simulated hypercube.
+
+Public surface:
+
+* :class:`HypercubeProgram`, :class:`NodeContext` — the SPMD API.
+* :class:`HypercubeTransport` — routed point-to-point transport.
+* :class:`Envelope`, :data:`HEADER_BYTES` — the message format.
+* :mod:`repro.runtime.collectives` — broadcast / reduce / allreduce /
+  gather / allgather / barrier / alltoall.
+* Mappings: :class:`IdentityMapping`, :class:`RingMapping`,
+  :class:`MeshMapping`, :class:`ButterflyMapping`.
+"""
+
+from repro.runtime.api import HypercubeProgram, NodeContext
+from repro.runtime.collectives import (
+    allgather,
+    allreduce,
+    alltoall,
+    barrier,
+    broadcast,
+    gather,
+    reduce,
+)
+from repro.runtime.mapping import (
+    ButterflyMapping,
+    IdentityMapping,
+    MeshMapping,
+    RingMapping,
+)
+from repro.runtime.messages import Envelope, HEADER_BYTES
+from repro.runtime.transport import HypercubeTransport
+
+__all__ = [
+    "ButterflyMapping",
+    "Envelope",
+    "HEADER_BYTES",
+    "HypercubeProgram",
+    "HypercubeTransport",
+    "IdentityMapping",
+    "MeshMapping",
+    "NodeContext",
+    "RingMapping",
+    "allgather",
+    "allreduce",
+    "alltoall",
+    "barrier",
+    "broadcast",
+    "gather",
+    "reduce",
+]

@@ -1,0 +1,161 @@
+"""The SPMD programming interface.
+
+A :class:`HypercubeProgram` runs one user generator per node (the same
+function everywhere — SPMD, the dominant style on these machines).
+Each instance gets a :class:`NodeContext` carrying its node id, its
+hardware (vector unit, memory, gather engine), point-to-point
+messaging, and the collectives.
+
+Example::
+
+    program = HypercubeProgram(machine)
+
+    def main(ctx):
+        total = yield from ctx.allreduce(ctx.node_id, 8, lambda a, b: a + b)
+        return total
+
+    results = program.run(main)     # {node_id: sum of all ids}
+"""
+
+from repro.runtime import collectives
+from repro.runtime.transport import HypercubeTransport
+
+
+class NodeContext:
+    """Everything one node's program can touch."""
+
+    def __init__(self, program, node_id):
+        self.program = program
+        self.node_id = node_id
+        self.machine = program.machine
+        self.node = program.machine.node(node_id)
+        self.transport = program.transport
+        self.engine = program.machine.engine
+        self._collective_seq = 0
+
+    @property
+    def size(self) -> int:
+        """Number of nodes in the machine."""
+        return len(self.machine)
+
+    @property
+    def dimension(self) -> int:
+        return self.machine.dimension
+
+    def _tag(self, kind: str) -> str:
+        # All nodes issue collectives in the same order (SPMD), so a
+        # per-node counter stays in step across the machine.
+        tag = f"{kind}#{self._collective_seq}"
+        self._collective_seq += 1
+        return tag
+
+    # -- point-to-point ---------------------------------------------------
+
+    def send(self, dst: int, payload, nbytes: int, tag: str = "msg"):
+        """Process: routed send to any node."""
+        envelope = yield from self.transport.send(
+            self.node_id, dst, payload, nbytes, tag
+        )
+        return envelope
+
+    def recv(self, tag: str = "msg"):
+        """Process: next message addressed to this node under ``tag``."""
+        envelope = yield from self.transport.recv(self.node_id, tag)
+        return envelope
+
+    # -- collectives ----------------------------------------------------
+
+    def broadcast(self, root: int, value, nbytes: int):
+        """Process: binomial broadcast; returns the root's value."""
+        result = yield from collectives.broadcast(
+            self.transport, self.node_id, root, value, nbytes,
+            tag=self._tag("bcast"),
+        )
+        return result
+
+    def reduce(self, root: int, value, nbytes: int, combine):
+        """Process: reduction to root (None elsewhere)."""
+        result = yield from collectives.reduce(
+            self.transport, self.node_id, root, value, nbytes, combine,
+            tag=self._tag("reduce"),
+        )
+        return result
+
+    def allreduce(self, value, nbytes: int, combine):
+        """Process: all-reduce by dimension exchange."""
+        result = yield from collectives.allreduce(
+            self.transport, self.node_id, value, nbytes, combine,
+            tag=self._tag("allreduce"),
+        )
+        return result
+
+    def gather(self, root: int, value, nbytes: int):
+        """Process: gather {node: value} at root (None elsewhere)."""
+        result = yield from collectives.gather(
+            self.transport, self.node_id, root, value, nbytes,
+            tag=self._tag("gather"),
+        )
+        return result
+
+    def allgather(self, value, nbytes: int):
+        """Process: all-gather; {node: value} everywhere."""
+        result = yield from collectives.allgather(
+            self.transport, self.node_id, value, nbytes,
+            tag=self._tag("allgather"),
+        )
+        return result
+
+    def barrier(self):
+        """Process: synchronise all nodes."""
+        yield from collectives.barrier(
+            self.transport, self.node_id, tag=self._tag("barrier")
+        )
+
+    def alltoall(self, values: dict, nbytes_each: int):
+        """Process: personalised all-to-all."""
+        result = yield from collectives.alltoall(
+            self.transport, self.node_id, values, nbytes_each,
+            tag=self._tag("alltoall"),
+        )
+        return result
+
+    def __repr__(self):
+        return f"<NodeContext node={self.node_id}>"
+
+
+class HypercubeProgram:
+    """Runs an SPMD generator on every node of a machine."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        # One transport per machine: its relay daemons own the fabric
+        # inboxes, so a second instance would steal messages.
+        self.transport = getattr(machine, "_transport", None) \
+            or HypercubeTransport(machine)
+        self.contexts = [
+            NodeContext(self, i) for i in range(len(machine))
+        ]
+
+    def run(self, main, nodes=None):
+        """Run ``main(ctx)`` on each node (all by default).
+
+        Returns ``(results, elapsed_ns)`` where ``results`` maps
+        node_id → the generator's return value and ``elapsed_ns`` is
+        the simulated makespan of this program run.
+        """
+        engine = self.machine.engine
+        start = engine.now
+        node_ids = list(nodes) if nodes is not None else range(
+            len(self.machine)
+        )
+        procs = {
+            i: engine.process(main(self.contexts[i]), name=f"main{i}")
+            for i in node_ids
+        }
+        done = engine.all_of(list(procs.values()))
+        engine.run(until=done)
+        results = {i: proc.value for i, proc in procs.items()}
+        return results, engine.now - start
+
+    def __repr__(self):
+        return f"<HypercubeProgram on {self.machine!r}>"

@@ -1,0 +1,152 @@
+"""Hypercube collectives by dimension exchange.
+
+The binomial/recursive-doubling family: broadcast, reduce, all-reduce,
+gather, all-gather, barrier, and personalised all-to-all.  Every one
+completes in n = log₂ N steps of neighbour exchanges — the property
+the paper's topology section is selling.
+
+These are SPMD building blocks: every participating node runs the same
+generator with its own ``node_id``, and matching relies on all nodes
+issuing collectives in the same order with the same ``tag``.
+"""
+
+
+def _relative(node_id: int, root: int) -> int:
+    return node_id ^ root
+
+
+def broadcast(transport, node_id: int, root: int, value, nbytes: int,
+              tag: str = "bcast"):
+    """Process: binomial-tree broadcast; returns the value everywhere.
+
+    Step d: relative ids below 2**d send to their dimension-d partner.
+    """
+    n = transport.dimension
+    rel = _relative(node_id, root)
+    for d in range(n):
+        step_tag = f"{tag}.{d}"
+        if rel < (1 << d):
+            partner = node_id ^ (1 << d)
+            yield from transport.send(node_id, partner, value, nbytes,
+                                      step_tag)
+        elif rel < (1 << (d + 1)):
+            envelope = yield from transport.recv(node_id, step_tag)
+            value = envelope.payload
+    return value
+
+
+def reduce(transport, node_id: int, root: int, value, nbytes: int,
+           combine, tag: str = "reduce"):
+    """Process: binomial-tree reduction to ``root``.
+
+    ``combine(a, b)`` must be associative and commutative.  Non-root
+    nodes return None.
+    """
+    n = transport.dimension
+    rel = _relative(node_id, root)
+    for d in reversed(range(n)):
+        step_tag = f"{tag}.{d}"
+        if rel < (1 << d):
+            envelope = yield from transport.recv(node_id, step_tag)
+            value = combine(value, envelope.payload)
+        elif rel < (1 << (d + 1)):
+            partner = node_id ^ (1 << d)
+            yield from transport.send(node_id, partner, value, nbytes,
+                                      step_tag)
+            return None
+    return value if rel == 0 else None
+
+
+def allreduce(transport, node_id: int, value, nbytes: int, combine,
+              tag: str = "allreduce"):
+    """Process: dimension-exchange all-reduce (everyone gets the total).
+
+    Each step exchanges partials with the dimension-d neighbour; after
+    n steps every node holds the full combination.
+    """
+    n = transport.dimension
+    for d in range(n):
+        step_tag = f"{tag}.{d}"
+        partner = node_id ^ (1 << d)
+        yield from transport.send(node_id, partner, value, nbytes, step_tag)
+        envelope = yield from transport.recv(node_id, step_tag)
+        value = combine(value, envelope.payload)
+    return value
+
+
+def gather(transport, node_id: int, root: int, value, nbytes: int,
+           tag: str = "gather"):
+    """Process: gather one value per node to ``root``.
+
+    Returns the dict {node_id: value} at the root, None elsewhere.
+    Message sizes double up the tree (the dict grows).
+    """
+    n = transport.dimension
+    rel = _relative(node_id, root)
+    collected = {node_id: value}
+    for d in range(n):
+        step_tag = f"{tag}.{d}"
+        if rel & ((1 << d) - 1):
+            continue  # already merged into a sender below
+        if rel & (1 << d):
+            partner = node_id ^ (1 << d)
+            yield from transport.send(
+                node_id, partner, collected, nbytes * len(collected),
+                step_tag,
+            )
+            return None
+        if rel + (1 << d) < (1 << n):
+            envelope = yield from transport.recv(node_id, step_tag)
+            collected.update(envelope.payload)
+    return collected
+
+
+def allgather(transport, node_id: int, value, nbytes: int,
+              tag: str = "allgather"):
+    """Process: all-gather by dimension exchange; returns the full
+    {node_id: value} dict everywhere.  Exchanged data doubles each
+    step (total traffic ~N per node, as in the textbook analysis)."""
+    n = transport.dimension
+    collected = {node_id: value}
+    for d in range(n):
+        step_tag = f"{tag}.{d}"
+        partner = node_id ^ (1 << d)
+        yield from transport.send(
+            node_id, partner, dict(collected), nbytes * len(collected),
+            step_tag,
+        )
+        envelope = yield from transport.recv(node_id, step_tag)
+        collected.update(envelope.payload)
+    return collected
+
+
+def barrier(transport, node_id: int, tag: str = "barrier"):
+    """Process: dimension-exchange barrier (an allreduce of nothing)."""
+    result = yield from allreduce(
+        transport, node_id, 0, 4, lambda a, b: 0, tag=tag
+    )
+    return result
+
+
+def alltoall(transport, node_id: int, values: dict, nbytes_each: int,
+             tag: str = "alltoall"):
+    """Process: personalised all-to-all.
+
+    ``values`` maps destination → payload for every node.  Each payload
+    is e-cube routed independently; returns {source: payload}.
+    """
+    size = 1 << transport.dimension
+    if set(values) != set(range(size)):
+        raise ValueError("alltoall needs one payload per node")
+    received = {node_id: values[node_id]}
+    for dst in range(size):
+        if dst == node_id:
+            continue
+        yield from transport.send(
+            node_id, dst, (node_id, values[dst]), nbytes_each, tag
+        )
+    for _ in range(size - 1):
+        envelope = yield from transport.recv(node_id, tag)
+        src, payload = envelope.payload
+        received[src] = payload
+    return received

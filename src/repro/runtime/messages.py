@@ -1,0 +1,46 @@
+"""Message envelopes for the hypercube runtime.
+
+An :class:`Envelope` is what travels between nodes: payload plus the
+routing/matching header.  The header costs
+:data:`HEADER_BYTES` of link time per hop — small messages pay
+proportionally more, which the overlap experiments account for.
+"""
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Routing header: source, destination, tag, length (two words + tag).
+HEADER_BYTES = 16
+
+
+@dataclass
+class Envelope:
+    """One routed message."""
+
+    src: int
+    dst: int
+    tag: str
+    payload: Any
+    nbytes: int
+    #: Hop timestamps (node_id, time_ns) appended en route.
+    trace: list = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.nbytes < 0:
+            raise ValueError("negative payload size")
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes charged to the link per hop."""
+        return self.nbytes + HEADER_BYTES
+
+    @property
+    def hops(self) -> int:
+        """Hops taken so far."""
+        return max(0, len(self.trace) - 1)
+
+    def __repr__(self):
+        return (
+            f"<Envelope {self.src}->{self.dst} tag={self.tag!r} "
+            f"{self.nbytes}B>"
+        )

@@ -1,0 +1,117 @@
+"""Store-and-forward transport over the hypercube fabric.
+
+Every node runs one relay process per wired hypercube sublink.  A
+message from ``src`` to ``dst`` follows the e-cube route (ascending
+dimensions); each intermediate node receives the whole message and
+retransmits it on the next dimension's sublink — classic 1986-era
+store-and-forward, which is why the paper prices long-range traffic at
+O(log₂ N) link times.
+
+Delivered messages land in per-(node, tag) mailboxes.
+"""
+
+from repro.events import Store
+from repro.runtime.messages import Envelope
+from repro.topology.routing import route_dimensions
+
+
+class HypercubeTransport:
+    """The machine-wide message-passing layer."""
+
+    def __init__(self, machine):
+        if getattr(machine, "_transport", None) is not None:
+            raise RuntimeError(
+                "machine already has a transport; two would steal each "
+                "other's messages (reuse machine._transport instead)"
+            )
+        machine._transport = self
+        self.machine = machine
+        self.engine = machine.engine
+        self.dimension = machine.dimension
+        # mailboxes[node_id][tag] → Store of Envelope
+        self._mailboxes = [dict() for _ in machine.nodes]
+        #: Delivered message count.
+        self.delivered = 0
+        #: Total link hops taken by delivered messages.
+        self.total_hops = 0
+        self._start_relays()
+
+    # -- internals ----------------------------------------------------
+
+    def _mailbox(self, node_id: int, tag: str) -> Store:
+        boxes = self._mailboxes[node_id]
+        if tag not in boxes:
+            boxes[tag] = Store(self.engine, name=f"mbox{node_id}.{tag}")
+        return boxes[tag]
+
+    def _next_dimension(self, here: int, dst: int) -> int:
+        """Lowest dimension still differing (e-cube order)."""
+        return route_dimensions(here, dst)[0]
+
+    def _start_relays(self):
+        for node in self.machine.nodes:
+            for d in range(self.dimension):
+                slot = self.machine.slot_of_dimension(d)
+                self.engine.process(
+                    self._relay(node, slot),
+                    name=f"relay{node.node_id}.{slot}",
+                )
+
+    def _relay(self, node, slot):
+        """Forever: receive on one sublink; deliver or forward."""
+        while True:
+            message = yield from node.comm.recv(slot)
+            envelope = message.payload
+            envelope.trace.append((node.node_id, self.engine.now))
+            if envelope.dst == node.node_id:
+                self.delivered += 1
+                self.total_hops += envelope.hops
+                yield self._mailbox(node.node_id, envelope.tag).put(envelope)
+            else:
+                d = self._next_dimension(node.node_id, envelope.dst)
+                next_slot = self.machine.slot_of_dimension(d)
+                yield from node.comm.send(
+                    next_slot, envelope, envelope.wire_bytes
+                )
+
+    # -- public API (process generators) --------------------------------
+
+    def send(self, src: int, dst: int, payload, nbytes: int,
+             tag: str = "msg"):
+        """Process: send a message; returns once the *first hop* has
+        been injected (the network delivers asynchronously)."""
+        self.machine.cube.check_node(src)
+        self.machine.cube.check_node(dst)
+        envelope = Envelope(src, dst, tag, payload, nbytes)
+        envelope.trace.append((src, self.engine.now))
+        if src == dst:
+            self.delivered += 1
+            yield self._mailbox(dst, tag).put(envelope)
+            return envelope
+        d = self._next_dimension(src, dst)
+        slot = self.machine.slot_of_dimension(d)
+        node = self.machine.node(src)
+        yield from node.comm.send(slot, envelope, envelope.wire_bytes)
+        return envelope
+
+    def recv(self, node_id: int, tag: str = "msg"):
+        """Process: take the next message for (node, tag)."""
+        envelope = yield self._mailbox(node_id, tag).get()
+        return envelope
+
+    def predicted_transfer_ns(self, src: int, dst: int, nbytes: int) -> int:
+        """Uncontended store-and-forward time: hops × (DMA + wire),
+        header included."""
+        hops = self.machine.cube.distance(src, dst)
+        wire_bytes = Envelope(src, dst, "t", None, nbytes).wire_bytes
+        per_hop = self.machine.node(src).comm.transfer_ns(wire_bytes)
+        return hops * per_hop
+
+    def mean_hops(self) -> float:
+        """Average hops over delivered multi-hop messages."""
+        if self.delivered == 0:
+            return 0.0
+        return self.total_hops / self.delivered
+
+    def __repr__(self):
+        return f"<HypercubeTransport delivered={self.delivered}>"

@@ -1,0 +1,43 @@
+"""System services: boards, disks, the system ring, checkpointing,
+failure injection.
+
+Public surface:
+
+* :class:`SystemBoard` and its slot constants — the module's
+  management board.
+* :class:`SystemDisk` — the snapshot disk.
+* :class:`SystemRing` — board-to-board transport, independent of the
+  n-cube.
+* :class:`CheckpointService` — snapshot/restore over the module thread.
+* :class:`FailureInjector`, :func:`corrupt_random_byte` — reproducible
+  fault injection.
+"""
+
+from repro.system.checkpoint import CheckpointService
+from repro.system.disk import SystemDisk
+from repro.system.failures import FailureInjector, corrupt_random_byte
+from repro.system.system_board import (
+    NODE_SLOT_AWAY_FROM_BOARD,
+    NODE_SLOT_TOWARD_BOARD,
+    SLOT_RING_NEXT,
+    SLOT_RING_PREV,
+    SLOT_THREAD_DOWN,
+    SLOT_THREAD_UP,
+    SystemBoard,
+)
+from repro.system.system_ring import SystemRing
+
+__all__ = [
+    "CheckpointService",
+    "FailureInjector",
+    "NODE_SLOT_AWAY_FROM_BOARD",
+    "NODE_SLOT_TOWARD_BOARD",
+    "SLOT_RING_NEXT",
+    "SLOT_RING_PREV",
+    "SLOT_THREAD_DOWN",
+    "SLOT_THREAD_UP",
+    "SystemBoard",
+    "SystemDisk",
+    "SystemRing",
+    "corrupt_random_byte",
+]

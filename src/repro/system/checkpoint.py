@@ -1,0 +1,252 @@
+"""Snapshot checkpointing.
+
+Paper §III: "The primary function of the system disk is to record
+memory snapshots which checkpoint computations for error recovery ...
+The user is able to specify the interval between snapshots.  About 10
+minutes provides a good compromise between time spent to record memory
+and interval between restart points.  It takes about 15 seconds to
+take a snapshot, regardless of configuration."
+
+A snapshot streams every node's memory along the module thread to the
+system board and onto the disk, in 1024-byte chunks, with
+store-and-forward relaying at intermediate nodes and an overlapped
+disk writer.  All modules snapshot **in parallel** (each has its own
+thread and disk), which is why the time is configuration-independent —
+experiment E9 measures both facts.
+"""
+
+import numpy as np
+
+from repro.events import Store
+from repro.system.system_board import (
+    NODE_SLOT_AWAY_FROM_BOARD,
+    NODE_SLOT_TOWARD_BOARD,
+    SLOT_THREAD_DOWN,
+)
+
+
+class CheckpointService:
+    """Snapshot/restore over a machine's modules."""
+
+    def __init__(self, machine):
+        if not machine.modules:
+            raise ValueError(
+                "checkpointing needs system boards (with_system=True)"
+            )
+        self.machine = machine
+        self.engine = machine.engine
+        self.chunk_bytes = machine.specs.row_bytes
+        #: Snapshots taken (machine-wide).
+        self.snapshots_taken = 0
+
+    # -- helpers ---------------------------------------------------------
+
+    def _chunks_per_node(self, node) -> int:
+        return node.specs.memory_bytes // self.chunk_bytes
+
+    # -- snapshot --------------------------------------------------------
+
+    def snapshot_module(self, module, tag):
+        """Process: checkpoint one module; returns elapsed ns."""
+        engine = self.engine
+        start = engine.now
+        nodes = module.nodes
+        board = module.board
+        chunk = self.chunk_bytes
+        counts = [self._chunks_per_node(n) for n in nodes]
+        total_chunks = sum(counts)
+
+        def sender(pos):
+            node = nodes[pos]
+            image = node.memory.snapshot()
+            for seq in range(counts[pos]):
+                data = image[seq * chunk:(seq + 1) * chunk]
+                payload = ("snap", node.node_id, seq, data)
+                yield from node.comm.send(
+                    NODE_SLOT_TOWARD_BOARD, payload, chunk
+                )
+
+        def relay(pos):
+            # Node `pos` forwards every chunk originating above it.
+            node = nodes[pos]
+            from_above = sum(counts[pos + 1:])
+            for _ in range(from_above):
+                message = yield from node.comm.recv(
+                    NODE_SLOT_AWAY_FROM_BOARD
+                )
+                yield from node.comm.send(
+                    NODE_SLOT_TOWARD_BOARD, message.payload, message.nbytes
+                )
+
+        to_disk = Store(engine, name=f"snapqueue{module.module_id}")
+
+        def board_receiver():
+            for _ in range(total_chunks):
+                message = yield from board.recv(SLOT_THREAD_DOWN)
+                yield to_disk.put(message.payload)
+
+        def disk_writer():
+            images = {
+                n.node_id: np.zeros(n.specs.memory_bytes, dtype=np.uint8)
+                for n in nodes
+            }
+            for _ in range(total_chunks):
+                payload = yield to_disk.get()
+                _, node_id, seq, data = payload
+                yield from board.disk.write(len(data))
+                images[node_id][seq * chunk:(seq + 1) * chunk] = data
+            for node_id, image in images.items():
+                board.disk.put_image(tag, node_id, image)
+
+        workers = [engine.process(sender(p)) for p in range(len(nodes))]
+        workers += [engine.process(relay(p)) for p in range(len(nodes) - 1)]
+        workers.append(engine.process(board_receiver()))
+        workers.append(engine.process(disk_writer()))
+        yield engine.all_of(workers)
+        return engine.now - start
+
+    def snapshot_all(self, tag):
+        """Process: checkpoint every module in parallel.
+
+        Returns elapsed ns — approximately the single-module time
+        regardless of how many modules the machine has.
+        """
+        start = self.engine.now
+        procs = [
+            self.engine.process(self.snapshot_module(m, tag))
+            for m in self.machine.modules
+        ]
+        yield self.engine.all_of(procs)
+        self.snapshots_taken += 1
+        return self.engine.now - start
+
+    # -- restore ---------------------------------------------------------
+
+    def restore_module(self, module, tag):
+        """Process: stream a snapshot back from disk into the nodes."""
+        engine = self.engine
+        start = engine.now
+        nodes = module.nodes
+        board = module.board
+        chunk = self.chunk_bytes
+        counts = [self._chunks_per_node(n) for n in nodes]
+        positions = {n.node_id: p for p, n in enumerate(nodes)}
+
+        from_disk = Store(engine, name=f"restq{module.module_id}")
+
+        def disk_reader():
+            for node in nodes:
+                image = board.disk.get_image(tag, node.node_id)
+                for seq in range(counts[positions[node.node_id]]):
+                    yield from board.disk.read(chunk)
+                    data = image[seq * chunk:(seq + 1) * chunk]
+                    yield from_disk.put(("rest", node.node_id, seq, data))
+
+        def board_sender():
+            total = sum(counts)
+            for _ in range(total):
+                payload = yield from_disk.get()
+                yield from board.send(SLOT_THREAD_DOWN, payload, chunk)
+
+        def node_receiver(pos):
+            # Receives everything destined at-or-above this position;
+            # keeps its own chunks, forwards the rest upward.
+            node = nodes[pos]
+            expect = sum(counts[pos:])
+            for _ in range(expect):
+                message = yield from node.comm.recv(NODE_SLOT_TOWARD_BOARD)
+                _, node_id, seq, data = message.payload
+                if node_id == node.node_id:
+                    node.memory.poke_bytes(seq * chunk, data)
+                else:
+                    yield from node.comm.send(
+                        NODE_SLOT_AWAY_FROM_BOARD,
+                        message.payload, message.nbytes,
+                    )
+
+        workers = [engine.process(disk_reader()),
+                   engine.process(board_sender())]
+        workers += [
+            engine.process(node_receiver(p)) for p in range(len(nodes))
+        ]
+        yield engine.all_of(workers)
+        return engine.now - start
+
+    def restore_all(self, tag):
+        """Process: restore every module in parallel."""
+        start = self.engine.now
+        procs = [
+            self.engine.process(self.restore_module(m, tag))
+            for m in self.machine.modules
+        ]
+        yield self.engine.all_of(procs)
+        return self.engine.now - start
+
+    # -- ring backup ----------------------------------------------------
+
+    def backup_to_neighbor(self, module, tag):
+        """Process: copy a module's snapshot to the next module's disk.
+
+        Paper §III: the system disk's functions include "to backup
+        snapshots from other modules".  The images stream around the
+        system ring (board-to-board, store-and-forward) and land on
+        the neighbour's disk under the same tag, so the module's state
+        survives the loss of its own disk.  Returns the byte count.
+        """
+        from repro.system.system_ring import SystemRing
+
+        boards = [m.board for m in self.machine.modules]
+        if len(boards) < 2:
+            raise ValueError("ring backup needs at least two modules")
+        ring = SystemRing(boards)
+        src = module.module_id
+        dst = (src + 1) % len(boards)
+        disk = module.board.disk
+        if not disk.has_snapshot(tag):
+            raise KeyError(f"no snapshot {tag!r} on module {src}")
+        total = 0
+        for node in module.nodes:
+            image = disk.get_image(tag, node.node_id)
+            nbytes = int(np.asarray(image).size)
+            # Read from our disk, ship one hop, write on theirs.
+            yield from disk.read(nbytes)
+            yield from ring.send(src, dst, (tag, node.node_id), nbytes)
+            yield from boards[dst].disk.write(nbytes)
+            boards[dst].disk.put_image(tag, node.node_id, image)
+            total += nbytes
+        return total
+
+    def restore_module_from_backup(self, module, tag):
+        """Process: restore a module whose own disk lost the snapshot,
+        pulling the images back from the neighbour's disk first."""
+        boards = [m.board for m in self.machine.modules]
+        if len(boards) < 2:
+            raise ValueError("ring backup needs at least two modules")
+        from repro.system.system_ring import SystemRing
+
+        ring = SystemRing(boards)
+        src = (module.module_id + 1) % len(boards)
+        backup_disk = boards[src].disk
+        for node in module.nodes:
+            image = backup_disk.get_image(tag, node.node_id)
+            nbytes = int(np.asarray(image).size)
+            yield from backup_disk.read(nbytes)
+            yield from ring.send(src, module.module_id,
+                                 (tag, node.node_id), nbytes)
+            yield from module.board.disk.write(nbytes)
+            module.board.disk.put_image(tag, node.node_id, image)
+        elapsed = yield from self.restore_module(module, tag)
+        return elapsed
+
+    def predicted_snapshot_ns(self) -> int:
+        """Analytic snapshot time: the slower of the thread's first
+        segment and the disk, over one module's memory."""
+        module = self.machine.modules[0]
+        nbytes = module.memory_bytes
+        frame = module.board.comm.ports[0].frame
+        link_ns = frame.transfer_ns(nbytes)
+        disk_ns = module.board.disk.transfer_ns(nbytes)
+        return max(link_ns, disk_ns)
+
+    def __repr__(self):
+        return f"<CheckpointService snapshots={self.snapshots_taken}>"

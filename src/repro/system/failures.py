@@ -1,0 +1,68 @@
+"""Failure injection.
+
+The paper motivates checkpointing with error recovery but does not
+characterise the failure process; we model node memory faults (the
+kind byte parity catches) arriving as a Poisson process with a
+configurable MTBF, using a seeded generator so every experiment is
+reproducible.
+"""
+
+import numpy as np
+
+from repro.core.specs import NS_PER_S
+
+
+def corrupt_random_byte(node, rng) -> int:
+    """Flip one byte's stored parity somewhere in a node's memory.
+
+    The fault is latent: it surfaces as a
+    :class:`~repro.memory.parity.ParityError` on the next read of that
+    byte.  Returns the corrupted address.
+    """
+    address = int(rng.integers(0, node.specs.memory_bytes))
+    node.memory.parity.inject_error(address)
+    return address
+
+
+class FailureInjector:
+    """Poisson fault arrivals over a machine's nodes."""
+
+    def __init__(self, machine, mtbf_seconds: float, seed: int = 0):
+        if mtbf_seconds <= 0:
+            raise ValueError("MTBF must be positive")
+        self.machine = machine
+        self.engine = machine.engine
+        self.mtbf_ns = mtbf_seconds * NS_PER_S
+        self.rng = np.random.default_rng(seed)
+        #: (time_ns, node_id, address) per injected fault.
+        self.log = []
+
+    def next_interval_ns(self) -> int:
+        """Draw the next exponential inter-arrival time."""
+        return max(1, int(self.rng.exponential(self.mtbf_ns)))
+
+    def run(self, until_ns: int):
+        """Process: inject faults until ``until_ns``."""
+        while True:
+            wait = self.next_interval_ns()
+            if self.engine.now + wait >= until_ns:
+                return len(self.log)
+            yield self.engine.timeout(wait)
+            node = self.machine.nodes[
+                int(self.rng.integers(0, len(self.machine.nodes)))
+            ]
+            address = corrupt_random_byte(node, self.rng)
+            self.log.append((self.engine.now, node.node_id, address))
+
+    def failure_times_s(self, horizon_s: float):
+        """Pure draw of failure times (seconds) for analytic models."""
+        times = []
+        t = 0.0
+        while True:
+            t += float(self.rng.exponential(self.mtbf_ns)) / NS_PER_S
+            if t >= horizon_s:
+                return times
+            times.append(t)
+
+    def __repr__(self):
+        return f"<FailureInjector faults={len(self.log)}>"

@@ -1,0 +1,65 @@
+"""The module's system board.
+
+Paper §III: "The system board provides input/output and management
+functions.  It is connected to the nodes by a thread of communications
+links that traverses the eight processor nodes.  The system boards are
+directly connected by communications links to form a system ring that
+is independent of the binary n-cube network."
+
+The board owns the module's system disk, terminates both ends of the
+node thread, carries two ring connections, and provides the module's
+0.5 MB/s external connection.
+"""
+
+from repro.links.fabric import NodeLinkSet
+from repro.links.frame import FrameSpec
+from repro.links.link import Wire
+from repro.system.disk import SystemDisk
+
+#: Board sublink slots (one per physical port, so the thread gets full
+#: per-link bandwidth at the board).
+SLOT_THREAD_DOWN = 0   # toward the module's first node
+SLOT_THREAD_UP = 4     # from the module's last node
+SLOT_RING_NEXT = 8     # to the next system board
+SLOT_RING_PREV = 12    # from the previous system board
+
+#: Node-side system slots (see repro.core.machine.SublinkPlan): the two
+#: system sublinks sit on two different physical links, matching the
+#: paper's "the system board connections require two links from each
+#: processor node".
+NODE_SLOT_TOWARD_BOARD = 15
+NODE_SLOT_AWAY_FROM_BOARD = 11
+
+
+class SystemBoard:
+    """One module's management board."""
+
+    def __init__(self, engine, specs, module_id=0):
+        self.engine = engine
+        self.specs = specs
+        self.module_id = module_id
+        self.comm = NodeLinkSet(engine, specs, name=f"board{module_id}")
+        self.disk = SystemDisk(engine, specs, name=f"disk{module_id}")
+        #: External connection ("the system board can support 0.5 MB/s
+        #: to an external connection"): modelled as a dedicated wire
+        #: with the standard link framing.
+        frame = FrameSpec.from_specs(specs)
+        self.external = Wire(engine, frame, f"board{module_id}.external")
+
+    def external_transfer(self, nbytes: int):
+        """Process: move ``nbytes`` over the external connection."""
+        duration = yield from self.external.transmit(nbytes)
+        return duration
+
+    def send(self, slot: int, payload, nbytes: int):
+        """Process: transmit on a board slot (thread or ring)."""
+        message = yield from self.comm.send(slot, payload, nbytes)
+        return message
+
+    def recv(self, slot: int):
+        """Process: receive on a board slot."""
+        message = yield from self.comm.recv(slot)
+        return message
+
+    def __repr__(self):
+        return f"<SystemBoard {self.module_id}>"

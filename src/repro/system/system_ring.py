@@ -1,0 +1,77 @@
+"""Messaging over the system ring.
+
+Paper §III: "The system boards are directly connected by
+communications links to form a system ring that is independent of the
+binary n-cube network."  The ring's jobs are management traffic and
+backing up snapshots to *other* modules' disks.
+
+:class:`SystemRing` provides store-and-forward transfer between boards
+around the ring, taking the shorter direction.
+"""
+
+from repro.system.system_board import SLOT_RING_NEXT, SLOT_RING_PREV
+
+
+class SystemRing:
+    """Board-to-board transport around the ring."""
+
+    def __init__(self, boards):
+        if not boards:
+            raise ValueError("ring needs at least one board")
+        self.boards = list(boards)
+
+    def __len__(self):
+        return len(self.boards)
+
+    def distance(self, src: int, dst: int) -> int:
+        """Hops in the shorter direction."""
+        self._check(src)
+        self._check(dst)
+        n = len(self.boards)
+        forward = (dst - src) % n
+        return min(forward, n - forward)
+
+    def direction(self, src: int, dst: int) -> int:
+        """+1 to route via RING_NEXT, −1 via RING_PREV."""
+        n = len(self.boards)
+        forward = (dst - src) % n
+        return 1 if forward <= n - forward else -1
+
+    def _check(self, board_id: int) -> None:
+        if not 0 <= board_id < len(self.boards):
+            raise ValueError(f"no board {board_id} on this ring")
+
+    def path(self, src: int, dst: int):
+        """Board ids visited, inclusive of both ends."""
+        self._check(src)
+        self._check(dst)
+        n = len(self.boards)
+        step = self.direction(src, dst)
+        out = [src]
+        here = src
+        while here != dst:
+            here = (here + step) % n
+            out.append(here)
+        return out
+
+    def send(self, src: int, dst: int, payload, nbytes: int):
+        """Process: store-and-forward transfer from board to board.
+
+        Each hop transmits on the ring link and is received by the next
+        board before the following hop starts (the boards relay).
+        Returns the hop count.
+        """
+        if src == dst:
+            return 0
+        path = self.path(src, dst)
+        step = self.direction(src, dst)
+        tx_slot = SLOT_RING_NEXT if step == 1 else SLOT_RING_PREV
+        rx_slot = SLOT_RING_PREV if step == 1 else SLOT_RING_NEXT
+        for here, there in zip(path, path[1:]):
+            yield from self.boards[here].send(tx_slot, payload, nbytes)
+            message = yield from self.boards[there].recv(rx_slot)
+            payload = message.payload
+        return len(path) - 1
+
+    def __repr__(self):
+        return f"<SystemRing boards={len(self.boards)}>"

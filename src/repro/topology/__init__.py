@@ -1,0 +1,67 @@
+"""Binary n-cube topology: construction, routing, embeddings, metrics.
+
+Public surface:
+
+* :class:`Hypercube`, :func:`hamming_distance` — the cube itself.
+* :func:`gray`, :func:`gray_inverse`, :func:`gray_sequence` — Gray codes.
+* :func:`ecube_route`, :func:`route_dimensions`, :func:`hop_count` —
+  dimension-ordered routing.
+* :class:`RingEmbedding`, :class:`MeshEmbedding`,
+  :class:`CylinderEmbedding`, :class:`ButterflyEmbedding`,
+  :func:`embeddable_meshes` — the Figure 3 mappings.
+* :func:`dilation`, :func:`congestion`, :func:`expansion` and the
+  wiring-cost comparisons — embedding metrics.
+"""
+
+from repro.topology.gray import (
+    gray,
+    gray_inverse,
+    gray_neighbor_dimension,
+    gray_sequence,
+)
+from repro.topology.hypercube import Hypercube, hamming_distance
+from repro.topology.routing import (
+    ecube_route,
+    hop_count,
+    link_loads,
+    route_dimensions,
+)
+from repro.topology.embeddings import (
+    ButterflyEmbedding,
+    CylinderEmbedding,
+    MeshEmbedding,
+    RingEmbedding,
+    embeddable_meshes,
+)
+from repro.topology.analysis import (
+    communication_cost_growth,
+    congestion,
+    dilation,
+    expansion,
+    wiring_cost_hypercube,
+    wiring_cost_shared,
+)
+
+__all__ = [
+    "ButterflyEmbedding",
+    "CylinderEmbedding",
+    "Hypercube",
+    "MeshEmbedding",
+    "RingEmbedding",
+    "communication_cost_growth",
+    "congestion",
+    "dilation",
+    "ecube_route",
+    "embeddable_meshes",
+    "expansion",
+    "gray",
+    "gray_inverse",
+    "gray_neighbor_dimension",
+    "gray_sequence",
+    "hamming_distance",
+    "hop_count",
+    "link_loads",
+    "route_dimensions",
+    "wiring_cost_hypercube",
+    "wiring_cost_shared",
+]

@@ -1,0 +1,79 @@
+"""Embedding and topology quality metrics.
+
+``dilation`` is the headline number for Figure 3: all the paper's
+mappings achieve dilation 1 (every logical edge is a physical link).
+``congestion`` and the shared-vs-distributed wiring-cost comparison
+support the paper's §I argument that static, limited interconnects
+scale where shared memory does not.
+"""
+
+from repro.topology.hypercube import Hypercube, hamming_distance
+from repro.topology.routing import ecube_route
+
+
+def dilation(embedding) -> int:
+    """Max physical hops between images of logically adjacent processes.
+
+    ``embedding`` must expose ``logical_edges()`` and ``node_of``.
+    Dilation 1 means neighbours stay neighbours.
+    """
+    worst = 0
+    for a, b in embedding.logical_edges():
+        d = hamming_distance(embedding.node_of(a), embedding.node_of(b))
+        worst = max(worst, d)
+    return worst
+
+
+def congestion(embedding, cube: Hypercube = None) -> int:
+    """Max number of logical edges routed over any one physical link
+    (e-cube routes; for dilation-1 embeddings every route is the single
+    link, so congestion counts logical edges per link)."""
+    cube = cube or embedding.cube
+    loads = {}
+    for a, b in embedding.logical_edges():
+        src, dst = embedding.node_of(a), embedding.node_of(b)
+        path = ecube_route(src, dst, cube)
+        for u, v in zip(path, path[1:]):
+            key = (min(u, v), max(u, v))
+            loads[key] = loads.get(key, 0) + 1
+    return max(loads.values()) if loads else 0
+
+
+def expansion(embedding) -> float:
+    """Physical nodes per logical process (all our embeddings: 1.0)."""
+    logical = embedding.size
+    physical = embedding.cube.size
+    return physical / logical
+
+
+def wiring_cost_shared(processors: int) -> int:
+    """Crossbar-style interconnect cost: O(P^2) crosspoints.
+
+    The paper (§I): "Shared memory systems are expensive when scaled to
+    large dimensions because of the rapid growth of the interconnection
+    network."
+    """
+    if processors < 0:
+        raise ValueError("negative processor count")
+    return processors * processors
+
+
+def wiring_cost_hypercube(processors: int) -> int:
+    """n-cube link count: (P/2)·log2(P) — near-linear growth."""
+    if processors < 1 or processors & (processors - 1):
+        raise ValueError("hypercube size must be a power of two")
+    n = processors.bit_length() - 1
+    return n * (processors // 2)
+
+
+def communication_cost_growth(dimensions) -> list:
+    """Worst-case route length per cube dimension: exactly n hops.
+
+    The paper: "long-range communication costs grow only as O(log2 n)"
+    [in node count N = 2^n the cost is log2 N].
+    """
+    out = []
+    for n in dimensions:
+        cube = Hypercube(n)
+        out.append((n, cube.size, cube.diameter))
+    return out

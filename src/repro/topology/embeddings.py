@@ -1,0 +1,228 @@
+"""Embeddings of application topologies into the n-cube (Figure 3).
+
+Paper §III: "The binary n-cube can be mapped onto many important
+applications topologies, including meshes (up to dimension n), rings,
+cylinders, toroids, and even FFT butterfly connections of radix 2."
+
+An *embedding* here is a mapping from logical process coordinates to
+hypercube node ids.  All the embeddings in this module are dilation-1:
+logically adjacent processes land on physically adjacent nodes, so one
+logical step costs one link hop.  The property is asserted by
+:func:`repro.topology.analysis.dilation` in the tests and in bench E7.
+"""
+
+import math
+
+from repro.topology.gray import gray, gray_inverse
+from repro.topology.hypercube import Hypercube
+
+
+def _check_power_of_two(value: int, what: str) -> int:
+    if value < 1 or value & (value - 1):
+        raise ValueError(f"{what} must be a power of two, got {value}")
+    return value.bit_length() - 1
+
+
+class RingEmbedding:
+    """A cycle of 2**n processes on an n-cube, via Gray code."""
+
+    def __init__(self, size: int):
+        self.bits = _check_power_of_two(size, "ring size")
+        self.size = size
+        self.cube = Hypercube(self.bits)
+
+    def node_of(self, position: int) -> int:
+        """Hypercube node hosting ring position ``position``."""
+        if not 0 <= position < self.size:
+            raise ValueError(f"ring position {position} out of range")
+        return gray(position)
+
+    def position_of(self, node: int) -> int:
+        """Inverse mapping."""
+        self.cube.check_node(node)
+        return gray_inverse(node)
+
+    def logical_neighbors(self, position: int):
+        """Ring neighbours (wrapping)."""
+        return [
+            (position - 1) % self.size,
+            (position + 1) % self.size,
+        ]
+
+    def logical_edges(self):
+        """All ring edges as (position, position+1) pairs."""
+        return [(i, (i + 1) % self.size) for i in range(self.size)]
+
+
+class MeshEmbedding:
+    """A k-dimensional mesh (or torus) of power-of-two extents.
+
+    Each axis is numbered in Gray order over its own slice of the
+    address bits, so both mesh steps *and* the wraparound steps of a
+    torus are single bit flips — the cube hosts meshes, cylinders and
+    toroids alike (the paper lists all three).
+    """
+
+    def __init__(self, shape, torus: bool = False):
+        self.shape = tuple(int(s) for s in shape)
+        if not self.shape:
+            raise ValueError("mesh needs at least one axis")
+        self.axis_bits = [
+            _check_power_of_two(s, f"mesh extent {s}") for s in self.shape
+        ]
+        self.bits = sum(self.axis_bits)
+        self.size = 1 << self.bits
+        self.cube = Hypercube(self.bits)
+        self.torus = torus
+        # Bit offsets of each axis within the node address.
+        self._offsets = []
+        offset = 0
+        for b in self.axis_bits:
+            self._offsets.append(offset)
+            offset += b
+
+    def _check_coords(self, coords):
+        coords = tuple(coords)
+        if len(coords) != len(self.shape):
+            raise ValueError(
+                f"expected {len(self.shape)} coordinates, got {len(coords)}"
+            )
+        for c, s in zip(coords, self.shape):
+            if not 0 <= c < s:
+                raise ValueError(f"coordinate {c} outside extent {s}")
+        return coords
+
+    def node_of(self, coords) -> int:
+        """Hypercube node hosting mesh point ``coords``."""
+        coords = self._check_coords(coords)
+        node = 0
+        for c, bits, offset in zip(coords, self.axis_bits, self._offsets):
+            node |= gray(c) << offset
+        return node
+
+    def coords_of(self, node: int):
+        """Inverse mapping."""
+        self.cube.check_node(node)
+        coords = []
+        for bits, offset in zip(self.axis_bits, self._offsets):
+            field = (node >> offset) & ((1 << bits) - 1)
+            coords.append(gray_inverse(field))
+        return tuple(coords)
+
+    def logical_neighbors(self, coords):
+        """Mesh (or torus) neighbours of a point."""
+        coords = self._check_coords(coords)
+        out = []
+        for axis, extent in enumerate(self.shape):
+            for step in (-1, 1):
+                c = coords[axis] + step
+                if self.torus:
+                    c %= extent
+                elif not 0 <= c < extent:
+                    continue
+                neighbor = list(coords)
+                neighbor[axis] = c
+                out.append(tuple(neighbor))
+        return out
+
+    def logical_edges(self):
+        """All mesh/torus edges as coordinate pairs (each once)."""
+        edges = set()
+        for node in range(self.size):
+            coords = self.coords_of(node)
+            for nb in self.logical_neighbors(coords):
+                edge = tuple(sorted((coords, nb)))
+                edges.add(edge)
+        return sorted(edges)
+
+
+class CylinderEmbedding(MeshEmbedding):
+    """A mesh wrapped along its first axis only (the paper's cylinder)."""
+
+    def __init__(self, shape):
+        super().__init__(shape, torus=False)
+        self._wrap_axis = 0
+
+    def logical_neighbors(self, coords):
+        coords = self._check_coords(coords)
+        out = []
+        for axis, extent in enumerate(self.shape):
+            for step in (-1, 1):
+                c = coords[axis] + step
+                if axis == self._wrap_axis:
+                    c %= extent
+                elif not 0 <= c < extent:
+                    continue
+                neighbor = list(coords)
+                neighbor[axis] = c
+                if tuple(neighbor) != coords:
+                    out.append(tuple(neighbor))
+        return out
+
+
+class ButterflyEmbedding:
+    """Radix-2 FFT butterfly on the n-cube.
+
+    Stage s of an N-point FFT pairs element i with i XOR 2**s — when
+    elements live at their own node ids, every butterfly partner is a
+    direct neighbour, so each FFT stage costs exactly one link hop.
+    """
+
+    def __init__(self, size: int):
+        self.bits = _check_power_of_two(size, "FFT size")
+        self.size = size
+        self.cube = Hypercube(self.bits)
+
+    @property
+    def stages(self) -> int:
+        """log2(N) butterfly stages."""
+        return self.bits
+
+    def node_of(self, position: int) -> int:
+        """Identity placement: element i on node i."""
+        self.cube.check_node(position)
+        return position
+
+    def partner(self, position: int, stage: int) -> int:
+        """Butterfly partner of ``position`` at ``stage``."""
+        self.cube.check_node(position)
+        if not 0 <= stage < self.stages:
+            raise ValueError(f"stage {stage} out of range")
+        return position ^ (1 << stage)
+
+    def stage_pairs(self, stage: int):
+        """All exchange pairs of a stage (each once, low id first)."""
+        bit = 1 << stage
+        return [
+            (i, i | bit) for i in range(self.size) if not i & bit
+        ]
+
+    def logical_edges(self):
+        """All butterfly exchanges over all stages (the cube's edges)."""
+        return [
+            pair for s in range(self.stages) for pair in self.stage_pairs(s)
+        ]
+
+
+def embeddable_meshes(dimension: int):
+    """All power-of-two mesh shapes that fit an n-cube exactly.
+
+    Figure 3 shows "Meshes" among the mappings; this enumerates the
+    shapes (up to axis count ``dimension``), e.g. for n=4:
+    (16,), (2,8), (4,4), (2,2,4), (2,2,2,2), ...
+    """
+    if dimension < 0:
+        raise ValueError("dimension must be non-negative")
+
+    shapes = []
+
+    def recurse(remaining, prefix, max_bits):
+        if remaining == 0:
+            if prefix:
+                shapes.append(tuple(1 << b for b in prefix))
+            return
+        for bits in range(min(remaining, max_bits), 0, -1):
+            recurse(remaining - bits, prefix + [bits], bits)
+
+    recurse(dimension, [], dimension)
+    return shapes

@@ -1,0 +1,50 @@
+"""Binary-reflected Gray codes.
+
+Gray codes are the paper's implicit tool for Figure 3: consecutive
+Gray codewords differ in exactly one bit, so numbering a ring (or each
+axis of a mesh) in Gray order embeds it in the hypercube with every
+logical neighbour a physical neighbour (dilation 1).
+"""
+
+
+def gray(index: int) -> int:
+    """The ``index``-th binary-reflected Gray codeword."""
+    if index < 0:
+        raise ValueError("Gray code index must be non-negative")
+    return index ^ (index >> 1)
+
+
+def gray_inverse(code: int) -> int:
+    """Position of ``code`` in the Gray sequence (inverse of :func:`gray`)."""
+    if code < 0:
+        raise ValueError("Gray codeword must be non-negative")
+    index = 0
+    while code:
+        index ^= code
+        code >>= 1
+    return index
+
+
+def gray_sequence(bits: int):
+    """All ``2**bits`` codewords in ring order.
+
+    Successive entries — including the wrap from last back to first —
+    differ in exactly one bit, which is what makes the embedded ring
+    dilation-1.
+    """
+    if bits < 0:
+        raise ValueError("bit count must be non-negative")
+    return [gray(i) for i in range(1 << bits)]
+
+
+def gray_neighbor_dimension(index: int, bits: int) -> int:
+    """Which bit flips between Gray codewords ``index`` and ``index+1``
+    (mod 2**bits) — i.e. which hypercube dimension the ring step uses."""
+    if not 0 <= index < (1 << bits):
+        raise ValueError("index out of range for ring size")
+    here = gray(index)
+    there = gray((index + 1) % (1 << bits))
+    diff = here ^ there
+    if diff == 0 or diff & (diff - 1):
+        raise AssertionError("Gray neighbours must differ in one bit")
+    return diff.bit_length() - 1

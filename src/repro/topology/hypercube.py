@@ -1,0 +1,117 @@
+"""The binary n-cube.
+
+Paper §III: "There are 2^n processors, with n connections per node.
+If we number the processors from 0 to 2^n − 1, each processor is
+directly connected to all others whose numbers differ in only one
+binary digit."
+"""
+
+import itertools
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Number of differing bits — the hop count between two nodes."""
+    return bin(a ^ b).count("1")
+
+
+class Hypercube:
+    """A binary n-cube over node ids 0 .. 2**n − 1."""
+
+    def __init__(self, dimension: int):
+        if dimension < 0:
+            raise ValueError("dimension must be non-negative")
+        self.dimension = dimension
+        self.size = 1 << dimension
+
+    def __contains__(self, node: int) -> bool:
+        return 0 <= node < self.size
+
+    def __len__(self) -> int:
+        return self.size
+
+    def check_node(self, node: int) -> None:
+        """Raise on an out-of-range node id."""
+        if node not in self:
+            raise ValueError(
+                f"node {node} outside a {self.dimension}-cube "
+                f"(0..{self.size - 1})"
+            )
+
+    def neighbor(self, node: int, dim: int) -> int:
+        """The neighbour across dimension ``dim`` (bit flip)."""
+        self.check_node(node)
+        if not 0 <= dim < self.dimension:
+            raise ValueError(f"dimension {dim} out of range")
+        return node ^ (1 << dim)
+
+    def neighbors(self, node: int):
+        """All n neighbours of a node."""
+        self.check_node(node)
+        return [node ^ (1 << d) for d in range(self.dimension)]
+
+    def edges(self):
+        """All (low, high) node pairs joined by a link."""
+        return [
+            (node, node | (1 << d))
+            for node in range(self.size)
+            for d in range(self.dimension)
+            if not node & (1 << d)
+        ]
+
+    def edge_count(self) -> int:
+        """n * 2**(n-1) links."""
+        return self.dimension * (self.size // 2)
+
+    def distance(self, a: int, b: int) -> int:
+        """Hop count (Hamming distance)."""
+        self.check_node(a)
+        self.check_node(b)
+        return hamming_distance(a, b)
+
+    @property
+    def diameter(self) -> int:
+        """Maximum hop count: n (paper: "the maximum number of
+        connections between any two processors is n")."""
+        return self.dimension
+
+    @property
+    def bisection_width(self) -> int:
+        """Links cut by splitting the cube in half: 2**(n-1)."""
+        return self.size // 2 if self.dimension else 0
+
+    def average_distance(self) -> float:
+        """Mean hop count over distinct pairs: n * 2^(n-1) / (2^n - 1)."""
+        if self.size == 1:
+            return 0.0
+        return self.dimension * (self.size // 2) / (self.size - 1)
+
+    def subcube(self, fixed_bits: dict):
+        """Node ids of the subcube with some address bits pinned.
+
+        ``fixed_bits`` maps dimension → 0/1.  An 8-node module inside a
+        bigger machine is exactly such a subcube.
+        """
+        for dim in fixed_bits:
+            if not 0 <= dim < self.dimension:
+                raise ValueError(f"dimension {dim} out of range")
+        free = [d for d in range(self.dimension) if d not in fixed_bits]
+        base = sum(bit << dim for dim, bit in fixed_bits.items() if bit)
+        nodes = []
+        for assignment in itertools.product((0, 1), repeat=len(free)):
+            node = base
+            for dim, bit in zip(free, assignment):
+                node |= bit << dim
+            nodes.append(node)
+        return sorted(nodes)
+
+    def to_networkx(self):
+        """The cube as a networkx graph (for analysis/visualisation)."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.size))
+        graph.add_edges_from(self.edges())
+        return graph
+
+    def __repr__(self):
+        return f"<Hypercube n={self.dimension} ({self.size} nodes)>"

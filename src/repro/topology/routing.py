@@ -1,0 +1,57 @@
+"""Dimension-ordered (e-cube) routing.
+
+The classic deadlock-free hypercube routing: correct the differing
+address bits in ascending dimension order.  Every route has exactly
+``hamming_distance(src, dst)`` hops, so long-range communication cost
+grows as O(log2 N) — the paper's headline topology claim.
+"""
+
+from repro.topology.hypercube import Hypercube, hamming_distance
+
+
+def route_dimensions(src: int, dst: int):
+    """The dimensions corrected en route, in ascending order."""
+    diff = src ^ dst
+    dims = []
+    d = 0
+    while diff:
+        if diff & 1:
+            dims.append(d)
+        diff >>= 1
+        d += 1
+    return dims
+
+
+def ecube_route(src: int, dst: int, cube: Hypercube = None):
+    """The node sequence from ``src`` to ``dst`` (inclusive).
+
+    ``cube`` adds bounds checking when provided.
+    """
+    if cube is not None:
+        cube.check_node(src)
+        cube.check_node(dst)
+    path = [src]
+    here = src
+    for dim in route_dimensions(src, dst):
+        here ^= 1 << dim
+        path.append(here)
+    return path
+
+
+def hop_count(src: int, dst: int) -> int:
+    """Hops on the e-cube route (= Hamming distance)."""
+    return hamming_distance(src, dst)
+
+
+def link_loads(cube: Hypercube, pairs):
+    """Directed-link traffic counts for a set of (src, dst) routes.
+
+    Returns a dict ``(from_node, to_node) → messages``; used for the
+    congestion side of the embedding analysis.
+    """
+    loads = {}
+    for src, dst in pairs:
+        path = ecube_route(src, dst, cube)
+        for a, b in zip(path, path[1:]):
+            loads[(a, b)] = loads.get((a, b), 0) + 1
+    return loads

@@ -1,0 +1,292 @@
+"""Tests for the distributed kernels: correctness vs NumPy references
+and the timing properties the paper predicts."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    bitonic_sort,
+    distributed_dot,
+    distributed_fft,
+    distributed_jacobi,
+    distributed_matmul,
+    distributed_saxpy,
+    dot_reference,
+    fft_reference,
+    gauss_solve,
+    jacobi_reference,
+    matmul_reference,
+    saxpy_reference,
+    saxpy_single_node_time_model,
+    solve_reference,
+    sort_reference,
+    swap_cost_model,
+)
+from repro.algorithms.fft import bit_reverse_permutation
+from repro.core import PAPER_SPECS, ProcessorNode, TSeriesMachine
+from repro.events import Engine
+
+
+def fresh_machine(dim):
+    return TSeriesMachine(dim, with_system=False)
+
+
+class TestSaxpy:
+    def test_matches_reference(self):
+        machine = fresh_machine(2)
+        rng = np.random.default_rng(0)
+        n = 4 * 128 * 4  # 4 rows per node
+        x = rng.standard_normal(n)
+        y = rng.standard_normal(n)
+        result, elapsed, mf = distributed_saxpy(machine, 2.5, x, y)
+        np.testing.assert_allclose(result, saxpy_reference(2.5, x, y))
+        assert elapsed > 0 and mf > 0
+
+    def test_scales_with_nodes(self):
+        """Twice the nodes, same problem → about half the time."""
+        n = 128 * 32
+
+        def elapsed_for(dim):
+            machine = fresh_machine(dim)
+            x = np.ones(n)
+            y = np.ones(n)
+            _r, elapsed, _m = distributed_saxpy(machine, 1.0, x, y)
+            return elapsed
+
+        t1, t2 = elapsed_for(0), elapsed_for(1)
+        assert t2 == pytest.approx(t1 / 2, rel=0.01)
+
+    def test_aggregate_mflops_grows(self):
+        n = 128 * 64
+
+        def rate_for(dim):
+            machine = fresh_machine(dim)
+            _r, _e, mf = distributed_saxpy(
+                machine, 1.0, np.ones(n), np.ones(n)
+            )
+            return mf
+
+        assert rate_for(2) == pytest.approx(4 * rate_for(0), rel=0.05)
+
+    def test_matches_time_model(self):
+        machine = fresh_machine(0)
+        n = 128 * 16
+        _r, elapsed, _m = distributed_saxpy(
+            machine, 1.0, np.ones(n), np.ones(n)
+        )
+        assert elapsed == saxpy_single_node_time_model(n, PAPER_SPECS)
+
+    def test_rejects_ragged_input(self):
+        machine = fresh_machine(1)
+        with pytest.raises(ValueError):
+            distributed_saxpy(machine, 1.0, np.ones(100), np.ones(100))
+        with pytest.raises(ValueError):
+            distributed_saxpy(machine, 1.0, np.ones(128), np.ones(256))
+
+    def test_32bit_mode(self):
+        """32-bit SAXPY: 256-element vectors, 5-stage multiplier —
+        faster per row and single-precision results."""
+        machine = fresh_machine(1)
+        rng = np.random.default_rng(11)
+        n = 256 * 4
+        x = rng.standard_normal(n)
+        y = rng.standard_normal(n)
+        result, elapsed, _m = distributed_saxpy(
+            machine, 1.5, x, y, precision=32
+        )
+        expected = (np.float32(1.5) * x.astype(np.float32)
+                    + y.astype(np.float32))
+        np.testing.assert_array_equal(
+            result.astype(np.float32), expected
+        )
+        # Each 256-element row: 2 loads + (5+6 fill + 255) + store.
+        assert elapsed == 2 * ((11 + 255) * 125 + 3 * 400)
+
+
+class TestDot:
+    def test_matches_reference(self):
+        machine = fresh_machine(2)
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(128 * 8)
+        y = rng.standard_normal(128 * 8)
+        value, elapsed = distributed_dot(machine, x, y)
+        assert value == pytest.approx(dot_reference(x, y), rel=1e-12)
+        assert elapsed > 0
+
+    def test_single_node(self):
+        machine = fresh_machine(0)
+        x = np.ones(128)
+        value, _ = distributed_dot(machine, x, x)
+        assert value == 128.0
+
+
+class TestMatmul:
+    def test_matches_reference(self):
+        machine = fresh_machine(2)
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((16, 12))
+        b = rng.standard_normal((12, 10))
+        c, elapsed, mf = distributed_matmul(machine, a, b)
+        np.testing.assert_allclose(c, matmul_reference(a, b), rtol=1e-10)
+        assert elapsed > 0 and mf > 0
+
+    def test_square_larger(self):
+        machine = fresh_machine(3)
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((32, 32))
+        b = rng.standard_normal((32, 32))
+        c, _e, _m = distributed_matmul(machine, a, b)
+        np.testing.assert_allclose(c, a @ b, rtol=1e-10)
+
+    def test_dimension_checks(self):
+        machine = fresh_machine(1)
+        with pytest.raises(ValueError):
+            distributed_matmul(machine, np.ones((4, 5)), np.ones((4, 4)))
+        with pytest.raises(ValueError):
+            distributed_matmul(machine, np.ones((4, 4)),
+                               np.ones((4, 200)))
+
+
+class TestFFT:
+    def test_bit_reverse_permutation(self):
+        perm = bit_reverse_permutation(8)
+        np.testing.assert_array_equal(perm, [0, 4, 2, 6, 1, 5, 3, 7])
+        with pytest.raises(ValueError):
+            bit_reverse_permutation(12)
+
+    @pytest.mark.parametrize("dim,n", [(0, 8), (1, 16), (2, 64), (3, 128)])
+    def test_matches_numpy(self, dim, n):
+        machine = fresh_machine(dim)
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        result, elapsed = distributed_fft(machine, x)
+        np.testing.assert_allclose(result, fft_reference(x), atol=1e-9)
+        assert elapsed > 0
+
+    def test_impulse(self):
+        machine = fresh_machine(2)
+        x = np.zeros(64, dtype=complex)
+        x[0] = 1.0
+        result, _ = distributed_fft(machine, x)
+        np.testing.assert_allclose(result, np.ones(64), atol=1e-12)
+
+    def test_size_validation(self):
+        machine = fresh_machine(2)
+        with pytest.raises(ValueError):
+            distributed_fft(machine, np.zeros(48))
+        with pytest.raises(ValueError):
+            distributed_fft(machine, np.zeros(2))
+
+
+class TestStencil:
+    def test_matches_reference(self):
+        machine = fresh_machine(2)
+        rng = np.random.default_rng(5)
+        grid = rng.standard_normal((16, 16))
+        result, elapsed = distributed_jacobi(machine, grid, iterations=3)
+        np.testing.assert_allclose(
+            result, jacobi_reference(grid, 3), atol=1e-12
+        )
+        assert elapsed > 0
+
+    def test_single_node(self):
+        machine = fresh_machine(0)
+        grid = np.random.default_rng(6).standard_normal((8, 8))
+        result, _ = distributed_jacobi(machine, grid, iterations=2)
+        np.testing.assert_allclose(
+            result, jacobi_reference(grid, 2), atol=1e-12
+        )
+
+    def test_grid_must_divide(self):
+        machine = fresh_machine(2)
+        with pytest.raises(ValueError):
+            distributed_jacobi(machine, np.zeros((9, 9)), 1)
+
+
+class TestGauss:
+    def run_solve(self, n, seed=7, use_row_moves=True):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n)) + n * np.eye(n)
+        # Shuffle rows to force pivoting.
+        a = a[rng.permutation(n)]
+        b = rng.standard_normal(n)
+        engine = Engine()
+        node = ProcessorNode(engine, PAPER_SPECS)
+        proc = engine.process(
+            gauss_solve(node, a, b, use_row_moves=use_row_moves)
+        )
+        x, stats = engine.run(until=proc)
+        return a, b, x, stats, engine.now
+
+    def test_matches_reference(self):
+        a, b, x, stats, _ = self.run_solve(24)
+        np.testing.assert_allclose(x, solve_reference(a, b), rtol=1e-8)
+
+    def test_pivoting_happens(self):
+        _a, _b, _x, stats, _ = self.run_solve(24)
+        assert stats["swaps"] > 0
+
+    def test_row_moves_beat_cp_swaps(self):
+        """The paper's pivoting argument, measured end to end."""
+        *_rest1, stats_fast, _t = self.run_solve(32, use_row_moves=True)
+        *_rest2, stats_slow, _t2 = self.run_solve(32, use_row_moves=False)
+        assert stats_fast["swaps"] == stats_slow["swaps"] > 0
+        assert stats_fast["swap_ns"] < stats_slow["swap_ns"] / 10
+
+    def test_swap_cost_model(self):
+        row_move, gather = swap_cost_model(PAPER_SPECS, width=129)
+        assert row_move == 2400                  # three 2-access moves
+        assert gather == 2 * 129 * 1600
+        assert gather / row_move > 100           # two orders of magnitude
+
+    def test_singular_matrix_detected(self):
+        engine = Engine()
+        node = ProcessorNode(engine, PAPER_SPECS)
+        a = np.zeros((4, 4))
+        with pytest.raises(ZeroDivisionError):
+            engine.run(until=engine.process(
+                gauss_solve(node, a, np.ones(4))
+            ))
+
+    def test_ill_shaped_input(self):
+        engine = Engine()
+        node = ProcessorNode(engine, PAPER_SPECS)
+        with pytest.raises(ValueError):
+            next(gauss_solve(node, np.ones((3, 4)), np.ones(3)))
+        with pytest.raises(ValueError):
+            next(gauss_solve(node, np.ones((200, 200)), np.ones(200)))
+
+
+class TestSort:
+    @pytest.mark.parametrize("dim", [0, 1, 2, 3])
+    def test_sorts_random_keys(self, dim):
+        machine = fresh_machine(dim)
+        rng = np.random.default_rng(10 + dim)
+        keys = rng.standard_normal(len(machine) * 16)
+        result, elapsed = bitonic_sort(machine, keys)
+        np.testing.assert_array_equal(result, sort_reference(keys))
+        assert elapsed > 0
+
+    def test_already_sorted(self):
+        machine = fresh_machine(2)
+        keys = np.arange(64, dtype=np.float64)
+        result, _ = bitonic_sort(machine, keys)
+        np.testing.assert_array_equal(result, keys)
+
+    def test_duplicates(self):
+        machine = fresh_machine(2)
+        keys = np.array([3.0, 1.0] * 16)
+        result, _ = bitonic_sort(machine, keys)
+        np.testing.assert_array_equal(result, sort_reference(keys))
+
+    def test_validation(self):
+        machine = fresh_machine(2)
+        with pytest.raises(ValueError):
+            bitonic_sort(machine, np.ones(10))
+
+    def test_record_move_model(self):
+        from repro.algorithms import record_sort_time_model
+
+        rows, cp = record_sort_time_model(PAPER_SPECS, records=100)
+        assert cp > 100 * rows / 100  # CP path far slower
+        assert rows == 100 * 800      # 2 row accesses per 1KB record

@@ -1,0 +1,210 @@
+"""Tests for the analysis package: balance, overlap, checkpoint optimum,
+performance helpers, and report formatting."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    PAPER_RATIO,
+    Table,
+    balance_table,
+    bandwidth_mb_s,
+    best_interval,
+    derived_ratio,
+    derived_times_ns,
+    efficiency,
+    expected_overhead_fraction,
+    interval_sweep,
+    knee_ops,
+    link_intensity_model,
+    measure_overlap,
+    mflops,
+    mtbf_for_interval,
+    ops_to_hide_gather,
+    ops_to_hide_link,
+    overlap_efficiency_model,
+    overlap_sweep,
+    parallel_efficiency,
+    relative_error,
+    seconds,
+    series,
+    simulate_checkpointing,
+    speedup,
+    young_interval_s,
+)
+from repro.core import PAPER_SPECS
+
+
+class TestBalance:
+    def test_derived_times(self):
+        arith, gather, link = derived_times_ns(PAPER_SPECS)
+        assert arith == 125
+        assert gather == 1600
+        assert 12_000 < link < 16_500
+
+    def test_ratio_close_to_paper(self):
+        _one, g, l = derived_ratio(PAPER_SPECS)
+        assert g == pytest.approx(PAPER_RATIO[1], rel=0.02)     # 12.8 vs 13
+        assert l == pytest.approx(PAPER_RATIO[2], rel=0.15)     # 111 vs 130
+
+    def test_ops_to_hide(self):
+        assert round(ops_to_hide_gather(PAPER_SPECS)) == 13
+        assert 100 < ops_to_hide_link(PAPER_SPECS) < 140
+
+    def test_table_rows(self):
+        rows = balance_table(PAPER_SPECS)
+        names = [r[0] for r in rows]
+        assert "ratio_gather" in names and "ratio_link" in names
+
+
+class TestOverlap:
+    def test_model_shape(self):
+        knee = knee_ops(PAPER_SPECS)
+        assert knee == pytest.approx(12.8)
+        assert overlap_efficiency_model(1, PAPER_SPECS) < 0.1
+        assert overlap_efficiency_model(6, PAPER_SPECS) == pytest.approx(
+            6 / 12.8
+        )
+        assert overlap_efficiency_model(13, PAPER_SPECS) == 1.0
+        assert overlap_efficiency_model(100, PAPER_SPECS) == 1.0
+        assert overlap_efficiency_model(0, PAPER_SPECS) == 0.0
+
+    def test_measured_tracks_model(self):
+        for f in (2, 8, 13, 20):
+            _e, _u, measured = measure_overlap(f, PAPER_SPECS, elements=256)
+            model = overlap_efficiency_model(f, PAPER_SPECS)
+            assert measured == pytest.approx(model, abs=0.12), f
+
+    def test_measured_saturates_past_knee(self):
+        _e, _u, eff13 = measure_overlap(13, PAPER_SPECS, elements=256)
+        _e2, _u2, eff26 = measure_overlap(26, PAPER_SPECS, elements=256)
+        assert eff13 > 0.85
+        assert eff26 > 0.9
+
+    def test_sweep_is_monotone_to_knee(self):
+        rows = overlap_sweep(PAPER_SPECS, [1, 4, 8, 13], elements=256)
+        measured = [r[2] for r in rows]
+        assert measured == sorted(measured)
+
+    def test_link_intensity(self):
+        assert link_intensity_model(130, PAPER_SPECS) == 1.0
+        assert link_intensity_model(13, PAPER_SPECS) < 0.15
+        assert link_intensity_model(0, PAPER_SPECS) == 0.0
+
+    def test_measure_validation(self):
+        with pytest.raises(ValueError):
+            measure_overlap(0, PAPER_SPECS)
+        with pytest.raises(ValueError):
+            measure_overlap(1, PAPER_SPECS, elements=10)
+
+
+class TestCheckpointOptimum:
+    def test_young_formula(self):
+        assert young_interval_s(15.0, 12_000.0) == pytest.approx(
+            math.sqrt(2 * 15 * 12_000)
+        )
+        with pytest.raises(ValueError):
+            young_interval_s(0, 100)
+
+    def test_ten_minutes_is_young_optimal_for_plausible_mtbf(self):
+        """600 s is Young-optimal at MTBF = 600²/(2·15) = 3.33 h —
+        right in the plausible range for mid-80s hardware."""
+        mtbf = mtbf_for_interval(15.0, 600.0)
+        assert mtbf == pytest.approx(12_000.0)  # ≈3.3 hours
+        assert young_interval_s(15.0, mtbf) == pytest.approx(600.0)
+
+    def test_expected_overhead_has_interior_minimum(self):
+        intervals = [60, 150, 300, 600, 1200, 2400, 4800]
+        overheads = [
+            expected_overhead_fraction(t, 15.0, 12_000.0) for t in intervals
+        ]
+        best = intervals[overheads.index(min(overheads))]
+        assert best in (300, 600, 1200)  # near Young's 600
+
+    def test_simulation_deterministic(self):
+        a = simulate_checkpointing(3600, 600, 15, 12_000, seed=3)
+        b = simulate_checkpointing(3600, 600, 15, 12_000, seed=3)
+        assert a == b
+
+    def test_no_failures_overhead_is_snapshot_cost(self):
+        result = simulate_checkpointing(
+            3600, 600, 15, mtbf_s=1e12, seed=0
+        )
+        assert result["failures"] == 0
+        # 5 interior snapshots of 15 s over an hour: 75/3600.
+        assert result["overhead_fraction"] == pytest.approx(
+            result["snapshots"] * 15 / 3600
+        )
+
+    def test_failures_cause_rework(self):
+        result = simulate_checkpointing(
+            36_000, 600, 15, mtbf_s=3000, seed=1
+        )
+        assert result["failures"] > 0
+        assert result["overhead_fraction"] > 0.02
+
+    def test_sweep_and_best(self):
+        rows = interval_sweep(
+            36_000, [60, 600, 6000], 15.0, 12_000.0, seeds=(0, 1)
+        )
+        assert len(rows) == 3
+        best = best_interval(rows)
+        assert best == 600  # the paper's figure wins the sweep
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_checkpointing(0, 600, 15, 1000)
+        with pytest.raises(ValueError):
+            expected_overhead_fraction(0, 15, 1000)
+
+
+class TestPerformanceHelpers:
+    def test_mflops(self):
+        assert mflops(16_000, 1000_000) == pytest.approx(16.0)
+        assert mflops(1, 0) == 0.0
+
+    def test_efficiency_and_speedup(self):
+        assert efficiency(8.0, 16.0) == 0.5
+        assert speedup(1000, 250) == 4.0
+        assert parallel_efficiency(1000, 250, 8) == 0.5
+
+    def test_bandwidth(self):
+        assert bandwidth_mb_s(1000, 1_000_000) == pytest.approx(1.0)
+        assert bandwidth_mb_s(1024, 400) == pytest.approx(2560.0)
+
+    def test_seconds(self):
+        assert seconds(1_500_000_000) == 1.5
+
+    def test_relative_error(self):
+        assert relative_error(13.0, 12.8) == pytest.approx(0.0156, abs=1e-3)
+        assert relative_error(0, 0) == 0.0
+        assert relative_error(1, 0) == float("inf")
+
+
+class TestReport:
+    def test_table_renders(self):
+        table = Table("Bandwidths", ["path", "MB/s"])
+        table.add("link", 0.577).add("row", 2560.0)
+        text = table.render()
+        assert "Bandwidths" in text
+        assert "2,560" in text
+        assert "0.577" in text
+
+    def test_width_mismatch(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add(1)
+
+    def test_series_helper(self):
+        table = series("Growth", [(1, 2), (2, 4)], "n", "cost")
+        assert "Growth" in table.render()
+        assert len(table.rows) == 2
+
+    def test_cell_formats(self):
+        table = Table("F", ["v"])
+        table.add(True).add(1234567).add(1.5e-9).add(0.0)
+        rendered = table.render()
+        assert "yes" in rendered
+        assert "1,234,567" in rendered
+        assert "1.500e-09" in rendered

@@ -1,0 +1,106 @@
+"""Tests for the shared-bus and scalar-node baselines."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import distributed_saxpy
+from repro.baselines import (
+    Comparison,
+    ScalarNode,
+    ScalingPoint,
+    SharedBusConfig,
+    SharedBusMachine,
+)
+from repro.core import PAPER_SPECS, TSeriesMachine
+
+
+class TestSharedBus:
+    def test_single_processor_works(self):
+        machine = SharedBusMachine(1, PAPER_SPECS)
+        elapsed = machine.saxpy(128 * 8)
+        assert elapsed > 0
+
+    def test_bus_saturates(self):
+        """More processors stop helping once the bus is full — the
+        paper's shared-memory scaling argument."""
+        n = 128 * 64
+
+        def elapsed_for(p):
+            return SharedBusMachine(p, PAPER_SPECS).saxpy(n)
+
+        t1 = elapsed_for(1)
+        t4 = elapsed_for(4)
+        t16 = elapsed_for(16)
+        assert t4 < t1                      # some speedup early
+        assert t16 > 0.7 * t4               # but it flattens out
+
+    def test_saturation_point_is_small(self):
+        machine = SharedBusMachine(1, PAPER_SPECS)
+        # 192 MB/s per-processor demand vs a 40 MB/s bus: under 1.
+        assert machine.saturation_processors() < 1.0
+
+    def test_model_tracks_simulation(self):
+        n = 128 * 32
+        machine = SharedBusMachine(4, PAPER_SPECS)
+        simulated = machine.saxpy(n)
+        model = machine.saxpy_time_model(n)
+        assert simulated == pytest.approx(model, rel=0.35)
+
+    def test_arbitration_grows_with_processors(self):
+        config = SharedBusConfig()
+        assert config.arbitration_ns(64) > config.arbitration_ns(2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SharedBusMachine(0, PAPER_SPECS)
+
+
+class TestScalarNode:
+    def test_per_element_cost(self):
+        node = ScalarNode(PAPER_SPECS)
+        # 6 word accesses (2400) + mul latency (875) + add (750).
+        assert node.saxpy_ns_per_element() == 2400 + 875 + 750
+
+    def test_simulated_matches_model(self):
+        node = ScalarNode(PAPER_SPECS)
+        n = 500
+        elapsed = node.saxpy(n)
+        assert elapsed == n * node.saxpy_ns_per_element()
+        assert node.flops == 2 * n
+
+    def test_vector_speedup_order_of_magnitude(self):
+        """The vector unit wins by ~30x on long SAXPY — the paper's
+        'pipelined vector arithmetic' payoff."""
+        node = ScalarNode(PAPER_SPECS)
+        assert 20 < node.vector_speedup() < 50
+
+    def test_vector_node_actually_beats_scalar(self):
+        n = 128 * 16
+        scalar = ScalarNode(PAPER_SPECS)
+        scalar_ns = scalar.saxpy(n)
+        machine = TSeriesMachine(0, with_system=False)
+        _r, vector_ns, _m = distributed_saxpy(
+            machine, 1.0, np.ones(n), np.ones(n)
+        )
+        assert scalar_ns / vector_ns > 20
+
+
+class TestComparisonContainers:
+    def test_scaling_point(self):
+        p = ScalingPoint(4, 1000, 40.0)
+        assert p.mflops_per_processor == 10.0
+
+    def test_comparison_winner_and_crossover(self):
+        cube = tuple(
+            ScalingPoint(p, 1000 // p, 16.0 * p) for p in (1, 2, 4, 8)
+        )
+        bus = tuple(
+            ScalingPoint(p, max(400, 1000 - 100 * p), 1.0)
+            for p in (1, 2, 4, 8)
+        )
+        comp = Comparison("cube", "bus", cube, bus)
+        assert comp.winner_at(1) == "bus"      # 1000 vs 900
+        assert comp.winner_at(8) == "cube"     # 125 vs 400
+        assert comp.crossover() == 2           # 500 < 800
+        with pytest.raises(ValueError):
+            comp.winner_at(3)

@@ -1,0 +1,75 @@
+"""Tests for distributed conjugate gradients."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.cg import (
+    cg_reference,
+    distributed_cg,
+    laplacian_matvec_reference,
+)
+from repro.core import TSeriesMachine
+
+
+class TestOperator:
+    def test_matvec_reference_matches_dense(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((6, 6))
+        # Build the dense Laplacian and compare.
+        n = 36
+        dense = np.zeros((n, n))
+        for i in range(6):
+            for j in range(6):
+                k = i * 6 + j
+                dense[k, k] = 4.0
+                for di, dj in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                    ii, jj = i + di, j + dj
+                    if 0 <= ii < 6 and 0 <= jj < 6:
+                        dense[k, ii * 6 + jj] = -1.0
+        np.testing.assert_allclose(
+            laplacian_matvec_reference(x).ravel(),
+            dense @ x.ravel(),
+        )
+
+
+class TestDistributedCG:
+    @pytest.mark.parametrize("dim", [0, 1, 2])
+    def test_matches_reference_iterations(self, dim):
+        machine = TSeriesMachine(dim, with_system=False)
+        rng = np.random.default_rng(1 + dim)
+        b = rng.standard_normal((8, 8))
+        x, elapsed, residuals = distributed_cg(machine, b, iterations=6)
+        np.testing.assert_allclose(
+            x, cg_reference(b, 6), rtol=1e-10, atol=1e-12
+        )
+        assert elapsed > 0
+        assert len(residuals) == 6
+
+    def test_converges_toward_solution(self):
+        machine = TSeriesMachine(2, with_system=False)
+        rng = np.random.default_rng(4)
+        b = rng.standard_normal((8, 8))
+        x, _e, residuals = distributed_cg(machine, b, iterations=30)
+        # Residuals fall by orders of magnitude...
+        assert residuals[-1] < 1e-6 * residuals[0]
+        # ...and A·x ≈ b.
+        np.testing.assert_allclose(
+            laplacian_matvec_reference(x), b, atol=1e-5
+        )
+
+    def test_residuals_monotone_mostly(self):
+        machine = TSeriesMachine(1, with_system=False)
+        b = np.ones((8, 8))
+        _x, _e, residuals = distributed_cg(machine, b, iterations=10)
+        # CG residuals for SPD Laplacian shrink steadily here.
+        assert residuals[-1] < residuals[0]
+
+    def test_grid_must_divide(self):
+        machine = TSeriesMachine(2, with_system=False)
+        with pytest.raises(ValueError):
+            distributed_cg(machine, np.ones((9, 9)), iterations=1)
+
+    def test_mesh_shape_must_match(self):
+        machine = TSeriesMachine(2, with_system=False)
+        with pytest.raises(ValueError):
+            distributed_cg(machine, np.ones((8, 8)), 1, mesh_shape=(2, 4))

@@ -1,0 +1,188 @@
+"""Tests for machine configurations, the sublink plan, and wiring."""
+
+import pytest
+
+from repro.core import (
+    CABINET,
+    FOUR_CABINET,
+    MAX_USABLE,
+    MODULE,
+    MachineConfig,
+    PAPER_SPECS,
+    ROLE_HYPERCUBE,
+    SublinkPlan,
+    TSeriesMachine,
+)
+
+
+class TestConfigTables:
+    def test_module_figures(self):
+        """Paper: a module is 8 nodes, 128 MFLOPS, 8 MB."""
+        assert MODULE.node_count == 8
+        assert MODULE.peak_mflops == pytest.approx(128.0)
+        assert MODULE.memory_mbytes == pytest.approx(8.0)
+        assert MODULE.module_count == 1
+
+    def test_cabinet_is_a_tesseract(self):
+        """Paper: two modules (16 nodes) form a cabinet, a 4-cube."""
+        assert CABINET.node_count == 16
+        assert CABINET.module_count == 2
+        assert CABINET.cabinet_count == 1
+        assert CABINET.dimension == 4
+
+    def test_four_cabinet_system(self):
+        """Paper: a four-cabinet (64-node) system has 1 GFLOPS peak and
+        64 MB, with eight system disks."""
+        assert FOUR_CABINET.node_count == 64
+        assert FOUR_CABINET.peak_gflops == pytest.approx(1.024)
+        assert FOUR_CABINET.memory_mbytes == pytest.approx(64.0)
+        assert FOUR_CABINET.cabinet_count == 4
+        assert FOUR_CABINET.system_disk_count == 8
+
+    def test_max_usable_12_cube(self):
+        """Paper: a maximum-sized 12-cube is 4096 nodes in 256 cabinets
+        with over 65 GFLOPS and 4 GB of RAM."""
+        assert MAX_USABLE.node_count == 4096
+        assert MAX_USABLE.cabinet_count == 256
+        assert MAX_USABLE.peak_gflops == pytest.approx(65.536)
+        assert MAX_USABLE.memory_mbytes == pytest.approx(4096.0)
+        assert MAX_USABLE.usable
+
+    def test_14_cube_structural_limit(self):
+        """Paper: enough links per node to permit a 14-cube."""
+        MachineConfig(14)  # constructible
+        with pytest.raises(ValueError):
+            MachineConfig(15)
+        assert not MachineConfig(14).usable  # no I/O sublinks left
+
+    def test_link_budget(self):
+        budget = MachineConfig(12).link_budget()
+        assert budget == {
+            "total": 16, "system": 2, "io": 2, "hypercube": 12, "spare": 0,
+        }
+        with pytest.raises(ValueError):
+            MachineConfig(13).link_budget()
+
+    def test_summary_keys(self):
+        summary = MODULE.summary()
+        assert summary["nodes"] == 8
+        assert summary["max_hops"] == 3
+
+    def test_negative_dimension(self):
+        with pytest.raises(ValueError):
+            MachineConfig(-1)
+
+
+class TestSublinkPlan:
+    def test_dimension_to_slot_spread(self):
+        """Dimensions spread across physical links: dims 0-3 on links
+        0-3, then the next sub-index."""
+        assert [SublinkPlan.slot_of(d) for d in range(12)] == [
+            0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14,
+        ]
+
+    def test_intramodule_dimensions_use_three_links(self):
+        """Paper: 'the module requires three links for intramodule
+        hypercube network communications' — dims 0-2 are on three
+        different physical links."""
+        links = {SublinkPlan.slot_of(d) // 4 for d in range(3)}
+        assert len(links) == 3
+
+    def test_system_slots_use_two_links(self):
+        """Paper: 'the system board connections require two links'."""
+        links = {s // 4 for s in SublinkPlan.SYSTEM_SLOTS}
+        assert len(links) == 2
+
+    def test_no_collisions_up_to_12(self):
+        plan = SublinkPlan(12, reserve_io=True)
+        assert plan.budget()["spare"] == 0
+
+    def test_14_requires_releasing_io(self):
+        with pytest.raises(ValueError):
+            SublinkPlan(13, reserve_io=True)
+        plan = SublinkPlan(14, reserve_io=False)
+        assert plan.budget()["io"] == 0
+
+
+class TestMachineWiring:
+    def test_small_machine_builds(self):
+        machine = TSeriesMachine(3)
+        assert len(machine) == 8
+        assert len(machine.modules) == 1
+        assert len(machine.sublinks) == 12  # 3-cube edges
+
+    def test_hypercube_edges_all_wired(self):
+        machine = TSeriesMachine(4)
+        assert len(machine.sublinks) == machine.cube.edge_count() == 32
+        # Every pair of neighbours has a sublink.
+        link = machine.sublink_between(0, 1)
+        assert link is machine.sublink_between(1, 0)
+        with pytest.raises(ValueError):
+            machine.sublink_between(0, 3)
+
+    def test_dimension_slots_consistent(self):
+        machine = TSeriesMachine(4)
+        for d in range(4):
+            slot = machine.slot_of_dimension(d)
+            u, v = 0, 1 << d
+            assert machine.nodes[u].comm.role_of(slot) == ROLE_HYPERCUBE
+            assert machine.nodes[v].comm.role_of(slot) == ROLE_HYPERCUBE
+
+    def test_modules_and_boards(self):
+        machine = TSeriesMachine(4)
+        assert len(machine.modules) == 2
+        assert machine.module_of(0).module_id == 0
+        assert machine.module_of(9).module_id == 1
+        assert machine.module_of(9).position_of(9) == 1
+        # Thread: board + 8 nodes = 9 links per module.
+        assert len(machine.modules[0].thread) == 9
+
+    def test_ring_wired_between_boards(self):
+        machine = TSeriesMachine(4)
+        assert len(machine.ring_links) == 2  # two boards, both directions
+        single = TSeriesMachine(3)
+        assert single.ring_links == []
+
+    def test_sub_module_machine(self):
+        machine = TSeriesMachine(1)
+        assert len(machine) == 2
+        assert len(machine.modules) == 1
+        assert len(machine.modules[0]) == 2
+
+    def test_without_system(self):
+        machine = TSeriesMachine(3, with_system=False)
+        assert machine.modules == []
+        with pytest.raises(RuntimeError):
+            machine.module_of(0)
+
+    def test_node_to_node_message_over_machine(self):
+        machine = TSeriesMachine(3)
+        eng = machine.engine
+        got = []
+        d = 1
+        slot = machine.slot_of_dimension(d)
+
+        def sender(eng):
+            yield from machine.node(0).send(slot, "hop", 8)
+
+        def receiver(eng):
+            message = yield from machine.node(2).recv(slot)
+            got.append(message.payload)
+
+        eng.process(sender(eng))
+        eng.process(receiver(eng))
+        eng.run()
+        assert got == ["hop"]
+
+    def test_config_object_accepted(self):
+        machine = TSeriesMachine(MachineConfig(3))
+        assert machine.dimension == 3
+
+    def test_metrics_zero_initially(self):
+        machine = TSeriesMachine(2)
+        assert machine.total_flops() == 0
+        assert machine.measured_mflops() == 0.0
+
+    def test_intramodule_bandwidth_spec(self):
+        """Paper: intra-module bandwidth 'over 12 MB/s'."""
+        assert PAPER_SPECS.intramodule_bw_mb_s > 12.0

@@ -1,0 +1,515 @@
+"""Tests for the CPU interpreter: arithmetic, memory, control flow,
+processes, channels, and timed execution."""
+
+import pytest
+
+from repro.core.specs import PAPER_SPECS
+from repro.cp import (
+    ArrayMemory,
+    CPU,
+    CPUError,
+    HIGH,
+    LOW,
+    NOT_PROCESS,
+    assemble,
+    make_descriptor,
+    to_signed,
+)
+from repro.events import Engine
+
+
+def run_program(source, memory=None, **kwargs):
+    prog = assemble(source)
+    cpu = CPU(prog.code, memory=memory, **kwargs)
+    cpu.run()
+    return cpu
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("add", 2, 3, 5),
+        ("sub", 10, 4, 6),
+        ("mul", -3, 7, -21),
+        ("div", 17, 5, 3),
+        ("div", -17, 5, -3),   # truncation toward zero
+        ("rem", 17, 5, 2),
+        ("rem", -17, 5, -2),
+        ("and", 0b1100, 0b1010, 0b1000),
+        ("or", 0b1100, 0b1010, 0b1110),
+        ("xor", 0b1100, 0b1010, 0b0110),
+    ])
+    def test_binary_ops(self, op, a, b, expected):
+        # Stack: push a (→B after second push), push b (→A).
+        cpu = run_program(f"""
+            ldc {a}
+            ldc {b}
+            {op}
+            terminate
+        """)
+        assert to_signed(cpu.areg) == expected
+
+    def test_gt_signed(self):
+        cpu = run_program("ldc 5\nldc 3\ngt\nterminate")
+        assert to_signed(cpu.areg) == 1  # B(5) > A(3)
+        cpu = run_program("ldc -5\nldc 3\ngt\nterminate")
+        assert to_signed(cpu.areg) == 0
+
+    def test_not_shl_shr(self):
+        cpu = run_program("ldc 0\nnot\nterminate")
+        assert to_signed(cpu.areg) == -1
+        cpu = run_program("ldc 1\nldc 4\nshl\nterminate")
+        assert to_signed(cpu.areg) == 16
+        cpu = run_program("ldc 256\nldc 4\nshr\nterminate")
+        assert to_signed(cpu.areg) == 16
+
+    def test_rev_dup_mint(self):
+        cpu = run_program("ldc 1\nldc 2\nrev\nterminate")
+        assert to_signed(cpu.areg) == 1 and to_signed(cpu.breg) == 2
+        cpu = run_program("ldc 7\ndup\nadd\nterminate")
+        assert to_signed(cpu.areg) == 14
+        cpu = run_program("mint\nterminate")
+        assert cpu.areg == 0x80000000
+
+    def test_eqc(self):
+        cpu = run_program("ldc 5\neqc 5\nterminate")
+        assert cpu.areg == 1
+        cpu = run_program("ldc 5\neqc 6\nterminate")
+        assert cpu.areg == 0
+
+    def test_diff_is_unchecked(self):
+        cpu = run_program("mint\nldc 1\ndiff\nterminate")
+        assert not cpu.error  # modulo difference never sets error
+
+    def test_overflow_sets_error(self):
+        cpu = run_program("""
+            mint
+            adc -1
+            terminate
+        """)
+        assert cpu.error
+
+    def test_div_by_zero_sets_error(self):
+        cpu = run_program("ldc 1\nldc 0\ndiv\nterminate")
+        assert cpu.error
+        cpu = run_program("ldc 1\nldc 0\nrem\nterminate")
+        assert cpu.error
+
+    def test_testerr_reads_and_clears(self):
+        cpu = run_program("seterr\ntesterr\nterminate")
+        assert cpu.areg == 1 and not cpu.error
+        cpu = run_program("testerr\nterminate")
+        assert cpu.areg == 0
+
+
+class TestMemoryInstructions:
+    def test_locals(self):
+        cpu = run_program("""
+            ldc 99
+            stl 3
+            ldl 3
+            adc 1
+            terminate
+        """)
+        assert to_signed(cpu.areg) == 100
+
+    def test_ldlp_points_to_local(self):
+        cpu = run_program("""
+            ldc 42
+            stl 2
+            ldlp 2
+            ldnl 0
+            terminate
+        """)
+        assert to_signed(cpu.areg) == 42
+
+    def test_nonlocal_access(self):
+        mem = ArrayMemory()
+        mem.write_word(0x100, 7)
+        cpu = run_program("""
+            ldc 0x100
+            ldnl 0
+            terminate
+        """, memory=mem)
+        assert to_signed(cpu.areg) == 7
+
+    def test_stnl_with_offset(self):
+        cpu = run_program("""
+            ldc 55
+            ldc 0x200
+            stnl 2
+            terminate
+        """)
+        assert cpu.memory.read_word(0x208) == 55
+
+    def test_ldnlp(self):
+        cpu = run_program("ldc 0x100\nldnlp 3\nterminate")
+        assert cpu.areg == 0x10C
+
+    def test_ajw(self):
+        cpu = run_program("ajw -4\nterminate")
+        # wptr moved down 16 bytes from the default.
+        default = ArrayMemory().size - 256
+        assert cpu.wptr == default - 16
+
+    def test_bad_address_raises(self):
+        with pytest.raises(CPUError):
+            run_program("ldc 0x100001\nldnl 0\nterminate")
+
+
+class TestControlFlow:
+    def test_call_and_ret(self):
+        cpu = run_program("""
+                ldc 5
+                call double
+                terminate
+            double:
+                ldl 1      ; saved Areg
+                dup
+                add
+                ret
+        """)
+        # The doubled value is in A... after ret, stack holds fn result.
+        assert to_signed(cpu.areg) == 10
+
+    def test_cj_taken_keeps_stack(self):
+        cpu = run_program("""
+            ldc 0
+            cj skip
+            ldc 99
+        skip:
+            terminate
+        """)
+        assert to_signed(cpu.areg) == 0  # A unchanged by taken cj
+
+    def test_cj_not_taken_pops(self):
+        cpu = run_program("""
+            ldc 5
+            ldc 1
+            cj skip
+        skip:
+            terminate
+        """)
+        assert to_signed(cpu.areg) == 5  # the 1 was popped
+
+    def test_gcall_swaps(self):
+        prog = assemble("""
+                ldc target
+                gcall
+                terminate
+            target:
+                ldc 3
+                terminate
+        """)
+        cpu = CPU(prog.code)
+        cpu.run()
+        assert to_signed(cpu.areg) == 3
+
+    def test_instruction_budget(self):
+        prog = assemble("loop:\nj loop")
+        cpu = CPU(prog.code)
+        with pytest.raises(CPUError, match="exceeded"):
+            cpu.run(max_steps=100)
+
+
+class TestProcesses:
+    def test_startp_endp_join(self):
+        """PAR of parent + child via the workspace join counter."""
+        cpu = run_program("""
+            .equ JOIN, 0x400
+            .equ CHILDW, 0x800
+            main:
+                ldc 2
+                ldc JOIN
+                stnl 1          ; join count = 2
+                ldc cont
+                ldc JOIN
+                stnl 0          ; successor address
+                ldc child
+                ldc CHILDW
+                startp
+                ; parent's own work
+                ldc 111
+                ldc 0x500
+                stnl 0
+                ldc JOIN
+                endp
+            child:
+                ldc 222
+                ldc 0x504
+                stnl 0
+                ldc JOIN
+                endp
+            cont:
+                terminate
+        """)
+        assert cpu.memory.read_word(0x500) == 111
+        assert cpu.memory.read_word(0x504) == 222
+        assert cpu.halted and not cpu.deadlocked
+
+    def test_stopp_then_runp(self):
+        cpu = run_program("""
+            .equ CHILDW, 0x800
+            .equ DESCSLOT, 0x600
+            main:
+                ldlp 0          ; A = own wptr
+                adc 1           ; descriptor = wptr | LOW
+                ldc DESCSLOT
+                stnl 0          ; leave it where the child can find it
+                ldc child
+                ldc CHILDW
+                startp
+                stopp           ; park main; child will wake us
+                ldc 7
+                ldc 0x500
+                stnl 0
+                terminate
+            child:
+                ldc DESCSLOT
+                ldnl 0
+                runp
+                stopp
+        """)
+        assert cpu.memory.read_word(0x500) == 7
+
+    def test_high_priority_preempts_low(self):
+        """A HIGH process made runnable displaces the LOW one at once."""
+        cpu = run_program("""
+            .equ HIGHW, 0x800
+            main:
+                ldc hiproc
+                ldc HIGHW
+                stnl -1         ; park hiproc's iptr at HIGHW-4
+                ldc HIGHW       ; descriptor: wptr | 0 = HIGH priority
+                runp            ; preempts us immediately
+                ldc 0x504
+                ldnl 0          ; read what hiproc wrote: must be done
+                ldc 0x500
+                stnl 0
+                terminate
+            hiproc:
+                ldc 33
+                ldc 0x504
+                stnl 0
+                stopp
+        """)
+        # The low-priority main only resumed after hiproc wrote 33.
+        assert cpu.memory.read_word(0x500) == 33
+        assert cpu.scheduler.switches >= 2
+
+    def test_deadlock_detection(self):
+        cpu = run_program("""
+            .equ CHAN, 0x200
+            main:
+                mint
+                ldc CHAN
+                stnl 0
+                ldc 0x300
+                ldc CHAN
+                ldc 4
+                in              ; nobody will ever send
+        """)
+        assert cpu.deadlocked
+
+
+class TestChannels:
+    SOURCE = """
+        .equ CHAN, 0x200
+        .equ SRC, 0x240
+        .equ DST, 0x280
+        .equ W2, 0x800
+        main:
+            mint
+            ldc CHAN
+            stnl 0          ; chan := NotProcess
+            ldc 0xABCD
+            ldc SRC
+            stnl 0
+            ldc receiver
+            ldc W2
+            startp
+            ; OUT: C=ptr, B=chan, A=count
+            ldc SRC
+            ldc CHAN
+            ldc 4
+            out
+            ldc 1
+            ldc 0x2C0
+            stnl 0          ; mark: sender resumed
+            terminate
+        receiver:
+            ldc DST
+            ldc CHAN
+            ldc 4
+            in
+            stopp
+    """
+
+    def test_rendezvous_transfers_data(self):
+        cpu = run_program(self.SOURCE)
+        assert cpu.memory.read_word(0x280) == 0xABCD
+        assert cpu.memory.read_word(0x2C0) == 1
+        assert not cpu.deadlocked
+
+    def test_channel_word_reset_after_transfer(self):
+        cpu = run_program(self.SOURCE)
+        assert cpu.memory.read_word(0x200) == NOT_PROCESS
+
+    def test_receiver_first_also_works(self):
+        source = self.SOURCE.replace(
+            "ldc receiver", "ldc sender_body"
+        )
+        # Swap roles: main does IN, child does OUT.
+        source = """
+            .equ CHAN, 0x200
+            .equ SRC, 0x240
+            .equ DST, 0x280
+            .equ W2, 0x800
+            main:
+                mint
+                ldc CHAN
+                stnl 0
+                ldc 0x1234
+                ldc SRC
+                stnl 0
+                ldc sender
+                ldc W2
+                startp
+                ldc DST
+                ldc CHAN
+                ldc 4
+                in
+                terminate
+            sender:
+                ldc SRC
+                ldc CHAN
+                ldc 4
+                out
+                stopp
+        """
+        cpu = run_program(source)
+        assert cpu.memory.read_word(0x280) == 0x1234
+
+    def test_outword(self):
+        cpu = run_program("""
+            .equ CHAN, 0x200
+            .equ DST, 0x280
+            .equ W2, 0x800
+            main:
+                mint
+                ldc CHAN
+                stnl 0
+                ldc receiver
+                ldc W2
+                startp
+                ldc CHAN
+                ldc 0x77
+                outword
+                terminate
+            receiver:
+                ldc DST
+                ldc CHAN
+                ldc 4
+                in
+                stopp
+        """)
+        assert cpu.memory.read_word(0x280) == 0x77
+
+    def test_count_mismatch_raises(self):
+        with pytest.raises(CPUError, match="length mismatch"):
+            run_program("""
+                .equ CHAN, 0x200
+                .equ W2, 0x800
+                main:
+                    mint
+                    ldc CHAN
+                    stnl 0
+                    ldc receiver
+                    ldc W2
+                    startp
+                    ldc 0x240
+                    ldc CHAN
+                    ldc 8
+                    out
+                    terminate
+                receiver:
+                    ldc 0x280
+                    ldc CHAN
+                    ldc 4
+                    in
+                    stopp
+            """)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(CPUError, match="negative"):
+            run_program("""
+                .equ CHAN, 0x200
+                mint
+                ldc CHAN
+                stnl 0
+                ldc 0x240
+                ldc CHAN
+                ldc -4
+                out
+                terminate
+            """)
+
+
+class TestTimedExecution:
+    def test_as_process_charges_time(self):
+        prog = assemble("""
+            ldc 0
+            stl 1
+            ldc 100
+            stl 2
+        loop:
+            ldl 1
+            ldl 2
+            add
+            stl 1
+            ldl 2
+            adc -1
+            stl 2
+            ldl 2
+            cj done
+            j loop
+        done:
+            terminate
+        """)
+        cpu = CPU(prog.code)
+        eng = Engine()
+        proc = eng.process(cpu.as_process(eng, PAPER_SPECS))
+        instructions = eng.run(until=proc)
+        assert instructions == cpu.instructions > 500
+        # 7.5 MIPS → at least cycles × 133 ns elapsed.
+        assert eng.now == cpu.cycles * 133
+
+    def test_mips_rate_order_of_magnitude(self):
+        """Simple straight-line code runs at a few MIPS — the paper's
+        7.5 MIPS is the *peak* one-cycle rate."""
+        prog = assemble("\n".join(["ldc 1"] * 1000 + ["terminate"]))
+        cpu = CPU(prog.code)
+        eng = Engine()
+        eng.run(until=eng.process(cpu.as_process(eng, PAPER_SPECS)))
+        mips = cpu.instructions / (eng.now / 1000.0)
+        assert 5.0 < mips <= 8.0
+
+
+class TestArrayMemory:
+    def test_byte_access(self):
+        mem = ArrayMemory()
+        mem.write_bytes(10, b"\x01\x02\x03\x04\x05")
+        assert mem.read_bytes(10, 5) == b"\x01\x02\x03\x04\x05"
+
+    def test_unaligned_bytes_cross_words(self):
+        mem = ArrayMemory()
+        mem.write_bytes(3, b"\xAA\xBB")
+        assert mem.read_bytes(3, 2) == b"\xAA\xBB"
+
+    def test_word_alignment_enforced(self):
+        mem = ArrayMemory()
+        with pytest.raises(CPUError):
+            mem.read_word(2)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            ArrayMemory(size_bytes=1001)

@@ -1,0 +1,203 @@
+"""Tests for instruction encoding and the assembler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cp import (
+    AssemblyError,
+    CPU,
+    Op,
+    Secondary,
+    assemble,
+    encode_direct,
+    encode_secondary,
+    instruction_length,
+    to_signed,
+)
+
+
+def decode_operand(code: bytes):
+    """Reference decoder: run the PFIX/NFIX accumulation by hand."""
+    oreg = 0
+    for byte in code:
+        op = byte >> 4
+        oreg |= byte & 0xF
+        if op == Op.PFIX:
+            oreg <<= 4
+        elif op == Op.NFIX:
+            oreg = (~oreg) << 4
+        else:
+            return op, oreg
+    raise AssertionError("no terminal instruction byte")
+
+
+class TestEncoding:
+    def test_small_operand_single_byte(self):
+        assert encode_direct(Op.LDC, 5) == bytes([0x45])
+        assert instruction_length(Op.LDC, 5) == 1
+
+    def test_sixteen_needs_prefix(self):
+        code = encode_direct(Op.LDC, 16)
+        assert len(code) == 2
+        assert decode_operand(code) == (Op.LDC, 16)
+
+    def test_negative_one(self):
+        code = encode_direct(Op.ADC, -1)
+        assert decode_operand(code) == (Op.ADC, -1)
+        assert len(code) == 2  # one nfix
+
+    @given(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+    @settings(max_examples=300, deadline=None)
+    def test_encode_decode_roundtrip(self, operand):
+        code = encode_direct(Op.LDC, operand)
+        assert decode_operand(code) == (Op.LDC, operand)
+
+    @given(st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_length_grows_with_magnitude(self, operand):
+        expected = max(1, -(-max(operand.bit_length(), 1) // 4))
+        assert instruction_length(Op.LDC, operand) == expected
+
+    def test_secondary_encoding(self):
+        assert encode_secondary(Secondary.REV) == bytes([0xF0])
+        add = encode_secondary(Secondary.ADD)
+        assert decode_operand(add) == (Op.OPR, int(Secondary.ADD))
+
+    def test_secondary_with_large_code_prefixes(self):
+        dup = encode_secondary(Secondary.DUP)  # 0x5A needs a prefix
+        assert len(dup) == 2
+        assert decode_operand(dup) == (Op.OPR, int(Secondary.DUP))
+
+    def test_type_checks(self):
+        with pytest.raises(TypeError):
+            encode_direct("ldc", 1)
+        with pytest.raises(TypeError):
+            encode_secondary(Op.LDC)
+
+
+class TestAssembler:
+    def test_basic_program(self):
+        prog = assemble("""
+            ldc 7
+            adc 3
+            terminate
+        """)
+        cpu = CPU(prog.code)
+        cpu.run()
+        assert to_signed(cpu.areg) == 10
+
+    def test_comments_and_blank_lines(self):
+        prog = assemble("""
+            ; a comment
+            ldc 1   ; trailing comment
+
+            terminate
+        """)
+        assert len(prog.code) > 0
+
+    def test_labels_and_jumps(self):
+        prog = assemble("""
+            start:
+                ldc 0
+                stl 1
+                ldc 10
+                stl 2
+            loop:
+                ldl 1
+                ldl 2
+                add
+                stl 1
+                ldl 2
+                adc -1
+                stl 2
+                ldl 2
+                cj done
+                j loop
+            done:
+                terminate
+        """)
+        cpu = CPU(prog.code)
+        cpu.run()
+        # Sum 10 + 9 + ... + 1 = 55 in local 1.
+        assert cpu.memory.read_word(cpu.wptr + 4) == 55
+
+    def test_equ_constants(self):
+        prog = assemble("""
+            .equ ANSWER, 42
+            .equ COPY, ANSWER
+            ldc COPY
+            terminate
+        """)
+        cpu = CPU(prog.code)
+        cpu.run()
+        assert to_signed(cpu.areg) == 42
+
+    def test_hex_and_negative_literals(self):
+        prog = assemble("""
+            ldc 0x10
+            adc -16
+            terminate
+        """)
+        cpu = CPU(prog.code)
+        cpu.run()
+        assert to_signed(cpu.areg) == 0
+
+    def test_forward_and_backward_references(self):
+        prog = assemble("""
+                j forward
+            back:
+                ldc 1
+                terminate
+            forward:
+                j back
+        """)
+        cpu = CPU(prog.code)
+        cpu.run()
+        assert to_signed(cpu.areg) == 1
+
+    def test_label_as_absolute_value(self):
+        prog = assemble("""
+                ldc target
+                terminate
+            target:
+                ldc 9
+                terminate
+        """)
+        cpu = CPU(prog.code)
+        cpu.run()
+        assert to_signed(cpu.areg) == prog.address_of("target")
+
+    def test_long_jump_needs_prefixes(self):
+        """A jump over >15 bytes of code forces multi-byte encoding;
+        the fixpoint must converge."""
+        filler = "\n".join("ldc 1" for _ in range(40))
+        prog = assemble(f"""
+                j end
+            {filler}
+            end:
+                ldc 77
+                terminate
+        """)
+        cpu = CPU(prog.code)
+        cpu.run()
+        assert to_signed(cpu.areg) == 77
+        assert cpu.instructions < 10  # jumped over the filler
+
+    def test_errors(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("bogus 1")
+        with pytest.raises(AssemblyError, match="needs an operand"):
+            assemble("ldc")
+        with pytest.raises(AssemblyError, match="takes no operand"):
+            assemble("add 5")
+        with pytest.raises(AssemblyError, match="undefined symbol"):
+            assemble("ldc nowhere\nterminate")
+        with pytest.raises(AssemblyError, match="duplicate label"):
+            assemble("x: ldc 1\nx: ldc 2\nterminate")
+        with pytest.raises(AssemblyError, match="emitted automatically"):
+            assemble("pfix 1")
+
+    def test_unknown_label_lookup(self):
+        prog = assemble("ldc 1\nterminate")
+        with pytest.raises(AssemblyError):
+            prog.address_of("missing")

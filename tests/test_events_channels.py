@@ -1,0 +1,244 @@
+"""Tests for rendezvous channels, stores, and resources."""
+
+import pytest
+
+from repro.events import Channel, Engine, Mutex, Resource, Store, hold
+
+
+@pytest.fixture
+def eng():
+    return Engine()
+
+
+class TestChannel:
+    def test_put_blocks_until_get(self, eng):
+        chan = Channel(eng)
+        trace = []
+
+        def sender(eng):
+            yield chan.put("msg")
+            trace.append(("sent", eng.now))
+
+        def receiver(eng):
+            yield eng.timeout(500)
+            value = yield chan.get()
+            trace.append(("got", value, eng.now))
+
+        eng.process(sender(eng))
+        eng.process(receiver(eng))
+        eng.run()
+        assert ("got", "msg", 500) in trace
+        assert ("sent", 500) in trace
+
+    def test_get_blocks_until_put(self, eng):
+        chan = Channel(eng)
+        trace = []
+
+        def receiver(eng):
+            value = yield chan.get()
+            trace.append((value, eng.now))
+
+        def sender(eng):
+            yield eng.timeout(300)
+            yield chan.put(7)
+
+        eng.process(receiver(eng))
+        eng.process(sender(eng))
+        eng.run()
+        assert trace == [(7, 300)]
+
+    def test_fifo_order_preserved(self, eng):
+        chan = Channel(eng)
+        got = []
+
+        def sender(eng):
+            for i in range(5):
+                yield chan.put(i)
+
+        def receiver(eng):
+            for _ in range(5):
+                value = yield chan.get()
+                got.append(value)
+
+        eng.process(sender(eng))
+        eng.process(receiver(eng))
+        eng.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_multiple_getters_served_in_order(self, eng):
+        chan = Channel(eng)
+        got = []
+
+        def receiver(eng, tag):
+            value = yield chan.get()
+            got.append((tag, value))
+
+        def sender(eng):
+            yield eng.timeout(10)
+            yield chan.put("x")
+            yield chan.put("y")
+
+        eng.process(receiver(eng, "first"))
+        eng.process(receiver(eng, "second"))
+        eng.process(sender(eng))
+        eng.run()
+        assert got == [("first", "x"), ("second", "y")]
+
+    def test_ready_and_awaited_flags(self, eng):
+        chan = Channel(eng)
+        assert not chan.ready and not chan.awaited
+        chan.put(1)
+        assert chan.ready
+        chan.get()
+        eng.run()
+        assert not chan.ready and not chan.awaited
+        chan.get()
+        assert chan.awaited
+
+
+class TestStore:
+    def test_put_does_not_block_below_capacity(self, eng):
+        store = Store(eng, capacity=2)
+        times = []
+
+        def producer(eng):
+            yield store.put("a")
+            times.append(eng.now)
+            yield store.put("b")
+            times.append(eng.now)
+
+        eng.process(producer(eng))
+        eng.run()
+        assert times == [0, 0]
+        assert store.items == ("a", "b")
+
+    def test_put_blocks_at_capacity(self, eng):
+        store = Store(eng, capacity=1)
+        times = []
+
+        def producer(eng):
+            yield store.put("a")
+            yield store.put("b")
+            times.append(("b-buffered", eng.now))
+
+        def consumer(eng):
+            yield eng.timeout(100)
+            value = yield store.get()
+            times.append((value, eng.now))
+
+        eng.process(producer(eng))
+        eng.process(consumer(eng))
+        eng.run()
+        assert ("a", 100) in times
+        assert ("b-buffered", 100) in times
+
+    def test_get_blocks_until_item(self, eng):
+        store = Store(eng)
+        got = []
+
+        def consumer(eng):
+            value = yield store.get()
+            got.append((value, eng.now))
+
+        def producer(eng):
+            yield eng.timeout(42)
+            yield store.put("late")
+
+        eng.process(consumer(eng))
+        eng.process(producer(eng))
+        eng.run()
+        assert got == [("late", 42)]
+
+    def test_invalid_capacity_rejected(self, eng):
+        with pytest.raises(ValueError):
+            Store(eng, capacity=0)
+
+    def test_unbounded_store(self, eng):
+        store = Store(eng)
+
+        def producer(eng):
+            for i in range(100):
+                yield store.put(i)
+
+        eng.process(producer(eng))
+        eng.run()
+        assert len(store) == 100
+
+
+class TestResource:
+    def test_capacity_one_serialises(self, eng):
+        res = Resource(eng, capacity=1)
+        trace = []
+
+        def user(eng, tag, dur):
+            with res.request() as req:
+                yield req
+                trace.append((tag, "start", eng.now))
+                yield eng.timeout(dur)
+                trace.append((tag, "end", eng.now))
+
+        eng.process(user(eng, "a", 100))
+        eng.process(user(eng, "b", 50))
+        eng.run()
+        assert trace == [
+            ("a", "start", 0),
+            ("a", "end", 100),
+            ("b", "start", 100),
+            ("b", "end", 150),
+        ]
+
+    def test_capacity_two_overlaps(self, eng):
+        res = Resource(eng, capacity=2)
+        starts = []
+
+        def user(eng, tag):
+            with res.request() as req:
+                yield req
+                starts.append((tag, eng.now))
+                yield eng.timeout(100)
+
+        for tag in "abc":
+            eng.process(user(eng, tag))
+        eng.run()
+        assert starts == [("a", 0), ("b", 0), ("c", 100)]
+
+    def test_release_idempotent(self, eng):
+        res = Resource(eng, capacity=1)
+
+        def user(eng):
+            req = res.request()
+            yield req
+            req.release()
+            req.release()  # no-op
+
+        eng.process(user(eng))
+        eng.run()
+        assert res.count == 0
+
+    def test_hold_helper(self, eng):
+        res = Mutex(eng)
+        starts = []
+
+        def user(eng, tag):
+            start = yield from hold(eng, res, 200)
+            starts.append((tag, start))
+
+        eng.process(user(eng, "a"))
+        eng.process(user(eng, "b"))
+        eng.run()
+        assert starts == [("a", 0), ("b", 200)]
+
+    def test_grants_counted(self, eng):
+        res = Mutex(eng)
+
+        def user(eng):
+            yield from hold(eng, res, 10)
+
+        for _ in range(5):
+            eng.process(user(eng))
+        eng.run()
+        assert res.grants == 5
+
+    def test_invalid_capacity(self, eng):
+        with pytest.raises(ValueError):
+            Resource(eng, capacity=0)

@@ -1,0 +1,390 @@
+"""Tests for the discrete-event kernel: engine, events, processes."""
+
+import pytest
+
+from repro.events import (
+    DeadlockError,
+    Engine,
+    Interrupt,
+    SimulationError,
+)
+
+
+@pytest.fixture
+def eng():
+    return Engine()
+
+
+class TestClock:
+    def test_starts_at_zero(self, eng):
+        assert eng.now == 0
+
+    def test_timeout_advances_clock(self, eng):
+        def proc(eng, out):
+            yield eng.timeout(125)
+            out.append(eng.now)
+
+        out = []
+        eng.process(proc(eng, out))
+        eng.run()
+        assert out == [125]
+
+    def test_zero_timeout_allowed(self, eng):
+        def proc(eng, out):
+            yield eng.timeout(0)
+            out.append(eng.now)
+
+        out = []
+        eng.process(proc(eng, out))
+        eng.run()
+        assert out == [0]
+
+    def test_negative_timeout_rejected(self, eng):
+        with pytest.raises(ValueError):
+            eng.timeout(-1)
+
+    def test_sequential_timeouts_accumulate(self, eng):
+        def proc(eng, out):
+            yield eng.timeout(100)
+            yield eng.timeout(400)
+            yield eng.timeout(25)
+            out.append(eng.now)
+
+        out = []
+        eng.process(proc(eng, out))
+        eng.run()
+        assert out == [525]
+
+    def test_run_until_time_stops_before_events(self, eng):
+        fired = []
+
+        def proc(eng):
+            yield eng.timeout(1000)
+            fired.append(eng.now)
+
+        eng.process(proc(eng))
+        eng.run(until=500)
+        assert eng.now == 500
+        assert fired == []
+        eng.run()
+        assert fired == [1000]
+
+    def test_run_until_past_time_rejected(self, eng):
+        def proc(eng):
+            yield eng.timeout(1000)
+
+        eng.process(proc(eng))
+        eng.run(until=800)
+        with pytest.raises(ValueError):
+            eng.run(until=100)
+
+
+class TestDeterminism:
+    def test_equal_time_events_fire_in_schedule_order(self, eng):
+        order = []
+
+        def proc(eng, tag):
+            yield eng.timeout(10)
+            order.append(tag)
+
+        for tag in "abcde":
+            eng.process(proc(eng, tag))
+        eng.run()
+        assert order == list("abcde")
+
+    def test_two_runs_identical(self):
+        def model():
+            eng = Engine()
+            trace = []
+
+            def worker(eng, i):
+                for k in range(3):
+                    yield eng.timeout(7 * i + k)
+                    trace.append((eng.now, i, k))
+
+            for i in range(4):
+                eng.process(worker(eng, i))
+            eng.run()
+            return trace
+
+        assert model() == model()
+
+
+class TestProcess:
+    def test_process_return_value(self, eng):
+        def child(eng):
+            yield eng.timeout(5)
+            return 42
+
+        def parent(eng, out):
+            result = yield eng.process(child(eng))
+            out.append(result)
+
+        out = []
+        eng.process(parent(eng, out))
+        eng.run()
+        assert out == [42]
+
+    def test_waiting_on_finished_process(self, eng):
+        def child(eng):
+            yield eng.timeout(5)
+            return "done"
+
+        def parent(eng, out):
+            proc = eng.process(child(eng))
+            yield eng.timeout(100)  # child long finished
+            result = yield proc
+            out.append((eng.now, result))
+
+        out = []
+        eng.process(parent(eng, out))
+        eng.run()
+        assert out == [(100, "done")]
+
+    def test_exception_propagates_to_waiter(self, eng):
+        def child(eng):
+            yield eng.timeout(5)
+            raise RuntimeError("boom")
+
+        def parent(eng, out):
+            try:
+                yield eng.process(child(eng))
+            except RuntimeError as exc:
+                out.append(str(exc))
+
+        out = []
+        eng.process(parent(eng, out))
+        eng.run()
+        assert out == ["boom"]
+
+    def test_unhandled_exception_surfaces_from_run(self, eng):
+        def child(eng):
+            yield eng.timeout(5)
+            raise RuntimeError("unhandled")
+
+        eng.process(child(eng))
+        with pytest.raises(RuntimeError, match="unhandled"):
+            eng.run()
+
+    def test_yield_non_event_rejected(self, eng):
+        def bad(eng):
+            yield 17
+
+        eng.process(bad(eng))
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_non_generator_rejected(self, eng):
+        with pytest.raises(TypeError):
+            eng.process(lambda: None)
+
+    def test_run_until_event_returns_value(self, eng):
+        def child(eng):
+            yield eng.timeout(30)
+            return "payload"
+
+        proc = eng.process(child(eng))
+        assert eng.run(until=proc) == "payload"
+        assert eng.now == 30
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, eng):
+        def victim(eng, out):
+            try:
+                yield eng.timeout(1000)
+            except Interrupt as intr:
+                out.append((eng.now, intr.cause))
+
+        def attacker(eng, proc):
+            yield eng.timeout(100)
+            proc.interrupt("preempt")
+
+        out = []
+        victim_proc = eng.process(victim(eng, out))
+        eng.process(attacker(eng, victim_proc))
+        eng.run()
+        assert out == [(100, "preempt")]
+
+    def test_interrupted_process_can_continue(self, eng):
+        def victim(eng, out):
+            try:
+                yield eng.timeout(1000)
+            except Interrupt:
+                pass
+            yield eng.timeout(50)
+            out.append(eng.now)
+
+        def attacker(eng, proc):
+            yield eng.timeout(100)
+            proc.interrupt()
+
+        out = []
+        victim_proc = eng.process(victim(eng, out))
+        eng.process(attacker(eng, victim_proc))
+        eng.run()
+        assert out == [150]
+
+    def test_interrupting_dead_process_rejected(self, eng):
+        def quick(eng):
+            yield eng.timeout(1)
+
+        proc = eng.process(quick(eng))
+        eng.run()
+        with pytest.raises(SimulationError):
+            proc.interrupt()
+
+    def test_stale_timeout_does_not_double_resume(self, eng):
+        resumed = []
+
+        def victim(eng):
+            try:
+                yield eng.timeout(10)
+            except Interrupt:
+                resumed.append("interrupt")
+            yield eng.timeout(100)
+            resumed.append("after")
+
+        def attacker(eng, proc):
+            yield eng.timeout(5)
+            proc.interrupt()
+
+        proc = eng.process(victim(eng))
+        eng.process(attacker(eng, proc))
+        eng.run()
+        assert resumed == ["interrupt", "after"]
+
+
+class TestComposites:
+    def test_all_of_waits_for_slowest(self, eng):
+        def proc(eng, out):
+            t1 = eng.timeout(10, value="a")
+            t2 = eng.timeout(30, value="b")
+            results = yield (t1 & t2)
+            out.append((eng.now, sorted(results.values())))
+
+        out = []
+        eng.process(proc(eng, out))
+        eng.run()
+        assert out == [(30, ["a", "b"])]
+
+    def test_any_of_fires_at_fastest(self, eng):
+        def proc(eng, out):
+            t1 = eng.timeout(10, value="fast")
+            t2 = eng.timeout(30, value="slow")
+            results = yield (t1 | t2)
+            out.append((eng.now, list(results.values())))
+
+        out = []
+        eng.process(proc(eng, out))
+        eng.run()
+        assert out == [(10, ["fast"])]
+
+    def test_all_of_empty_fires_immediately(self, eng):
+        def proc(eng, out):
+            results = yield eng.all_of([])
+            out.append((eng.now, results))
+
+        out = []
+        eng.process(proc(eng, out))
+        eng.run()
+        assert out == [(0, {})]
+
+    def test_composite_propagates_failure(self, eng):
+        def failing(eng):
+            yield eng.timeout(5)
+            raise RuntimeError("branch died")
+
+        def waiter(eng, out):
+            try:
+                yield eng.all_of([
+                    eng.process(failing(eng)),
+                    eng.timeout(100),
+                ])
+            except RuntimeError as exc:
+                out.append((eng.now, str(exc)))
+
+        out = []
+        eng.process(waiter(eng, out))
+        eng.run()
+        assert out == [(5, "branch died")]
+
+    def test_any_of_propagates_failure(self, eng):
+        def failing(eng):
+            yield eng.timeout(5)
+            raise RuntimeError("fast failure")
+
+        def waiter(eng, out):
+            try:
+                yield eng.any_of([
+                    eng.process(failing(eng)),
+                    eng.timeout(100),
+                ])
+            except RuntimeError as exc:
+                out.append(str(exc))
+
+        out = []
+        eng.process(waiter(eng, out))
+        eng.run()
+        assert out == ["fast failure"]
+
+    def test_all_of_many_processes(self, eng):
+        def child(eng, d):
+            yield eng.timeout(d)
+            return d
+
+        def parent(eng, out):
+            procs = [eng.process(child(eng, d)) for d in (5, 25, 15)]
+            results = yield eng.all_of(procs)
+            out.append((eng.now, [results[i] for i in range(3)]))
+
+        out = []
+        eng.process(parent(eng, out))
+        eng.run()
+        assert out == [(25, [5, 25, 15])]
+
+
+class TestManualEvents:
+    def test_succeed_wakes_waiter(self, eng):
+        ev_holder = {}
+
+        def waiter(eng, out):
+            ev = eng.event()
+            ev_holder["ev"] = ev
+            value = yield ev
+            out.append((eng.now, value))
+
+        def signaller(eng):
+            yield eng.timeout(77)
+            ev_holder["ev"].succeed("sig")
+
+        out = []
+        eng.process(waiter(eng, out))
+        eng.process(signaller(eng))
+        eng.run()
+        assert out == [(77, "sig")]
+
+    def test_double_trigger_rejected(self, eng):
+        ev = eng.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_fail_requires_exception(self, eng):
+        ev = eng.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_value_unavailable_before_trigger(self, eng):
+        ev = eng.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_step_on_empty_queue_raises(self, eng):
+        with pytest.raises(DeadlockError):
+            eng.step()
+
+    def test_run_until_unfired_event_deadlocks(self, eng):
+        ev = eng.event()
+        with pytest.raises(DeadlockError):
+            eng.run(until=ev)

@@ -1,0 +1,120 @@
+"""Tests for IEEE format descriptions and pack/unpack."""
+
+import math
+import struct
+
+import pytest
+
+from repro.fpu.ieee import BINARY32, BINARY64, format_for
+
+
+class TestFormatGeometry:
+    def test_binary32_fields(self):
+        assert BINARY32.width == 32
+        assert BINARY32.ebits == 8
+        assert BINARY32.mbits == 23
+        assert BINARY32.bias == 127
+
+    def test_binary64_fields(self):
+        assert BINARY64.width == 64
+        assert BINARY64.ebits == 11
+        assert BINARY64.mbits == 52
+        assert BINARY64.bias == 1023
+
+    def test_paper_claims_about_64bit(self):
+        """Paper: 'the mantissa has approximately 15 decimal digits of
+        precision (53 bits) and ... an 11-bit binary exponent'."""
+        assert BINARY64.mbits + 1 == 53
+        assert BINARY64.ebits == 11
+        assert 15.0 < BINARY64.decimal_digits < 16.0
+
+    def test_paper_dynamic_range(self):
+        """Paper: dynamic range roughly 10^-308 to 10^308."""
+        max_finite = BINARY64.to_float(BINARY64.max_finite_bits())
+        min_normal = BINARY64.to_float(BINARY64.min_normal_bits())
+        assert 1e308 < max_finite < 2e308
+        assert 1e-308 < min_normal < 1e-307
+
+    def test_format_for(self):
+        assert format_for(32) is BINARY32
+        assert format_for(64) is BINARY64
+        with pytest.raises(ValueError):
+            format_for(16)
+
+
+class TestEncodings:
+    @pytest.mark.parametrize("fmt", [BINARY32, BINARY64], ids=["f32", "f64"])
+    def test_zero(self, fmt):
+        assert fmt.to_float(fmt.zero_bits(0)) == 0.0
+        neg = fmt.to_float(fmt.zero_bits(1))
+        assert neg == 0.0 and math.copysign(1.0, neg) == -1.0
+
+    @pytest.mark.parametrize("fmt", [BINARY32, BINARY64], ids=["f32", "f64"])
+    def test_inf(self, fmt):
+        assert fmt.to_float(fmt.inf_bits(0)) == math.inf
+        assert fmt.to_float(fmt.inf_bits(1)) == -math.inf
+        assert fmt.is_inf(fmt.inf_bits(0))
+        assert not fmt.is_nan(fmt.inf_bits(1))
+
+    @pytest.mark.parametrize("fmt", [BINARY32, BINARY64], ids=["f32", "f64"])
+    def test_nan(self, fmt):
+        bits = fmt.nan_bits()
+        assert fmt.is_nan(bits)
+        assert math.isnan(fmt.to_float(bits))
+
+    def test_roundtrip_f64_exact(self):
+        for value in [1.0, -2.5, 3.141592653589793, 1e300, -1e-300, 0.1]:
+            assert BINARY64.to_float(BINARY64.from_float(value)) == value
+
+    def test_roundtrip_f32_rounds(self):
+        bits = BINARY32.from_float(0.1)
+        expected = struct.unpack("<f", struct.pack("<f", 0.1))[0]
+        assert BINARY32.to_float(bits) == expected
+
+    def test_f64_matches_host_encoding(self):
+        value = -123.456
+        host = struct.unpack("<Q", struct.pack("<d", value))[0]
+        assert BINARY64.from_float(value) == host
+
+    def test_out_of_range_bits_rejected(self):
+        with pytest.raises(ValueError):
+            BINARY32.to_float(1 << 32)
+
+
+class TestFlushToZeroEncoding:
+    def test_subnormal_input_reads_as_zero(self):
+        sub = 1  # smallest positive subnormal encoding
+        assert BINARY64.is_subnormal_encoding(sub)
+        assert BINARY64.to_float(sub) == 0.0
+
+    def test_negative_subnormal_reads_as_negative_zero(self):
+        sub = BINARY64.sign_bit | 1
+        value = BINARY64.to_float(sub)
+        assert value == 0.0 and math.copysign(1.0, value) == -1.0
+
+    def test_from_float_flushes_subnormal(self):
+        tiny = 1e-310  # subnormal in binary64
+        bits = BINARY64.from_float(tiny)
+        assert bits == BINARY64.zero_bits(0)
+
+    def test_min_normal_not_flushed(self):
+        min_normal = BINARY64.to_float(BINARY64.min_normal_bits())
+        assert BINARY64.from_float(min_normal) == BINARY64.min_normal_bits()
+
+
+class TestClassify:
+    def test_normal(self):
+        assert BINARY64.is_normal(BINARY64.from_float(1.5))
+        assert not BINARY64.is_normal(BINARY64.zero_bits())
+        assert not BINARY64.is_normal(BINARY64.inf_bits())
+
+    def test_finite(self):
+        assert BINARY64.is_finite(BINARY64.from_float(1e308))
+        assert not BINARY64.is_finite(BINARY64.inf_bits())
+        assert not BINARY64.is_finite(BINARY64.nan_bits())
+
+    def test_fields(self):
+        bits = BINARY32.from_float(-1.5)
+        assert BINARY32.sign_of(bits) == 1
+        assert BINARY32.exp_of(bits) == 127
+        assert BINARY32.mant_of(bits) == 1 << 22

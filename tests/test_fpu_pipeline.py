@@ -1,0 +1,117 @@
+"""Tests for pipeline timing and the functional-unit components."""
+
+import pytest
+
+from repro.core.specs import PAPER_SPECS
+from repro.events import Engine
+from repro.fpu.pipeline import PipelineTiming, reduction_drain_cycles
+from repro.fpu.units import FloatingAdder, FloatingMultiplier
+
+
+class TestPipelineTiming:
+    def test_scalar_latency(self):
+        p = PipelineTiming(stages=6, cycle_ns=125)
+        assert p.latency_ns == 750
+
+    def test_vector_time_formula(self):
+        p = PipelineTiming(stages=6, cycle_ns=125)
+        assert p.vector_ns(1) == 750          # fill only
+        assert p.vector_ns(128) == (6 + 127) * 125
+        assert p.vector_ns(0) == 0
+
+    def test_throughput_one_per_cycle(self):
+        p = PipelineTiming(stages=7, cycle_ns=125)
+        assert p.throughput_per_s == pytest.approx(8e6)  # 8 Mresults/s
+
+    def test_asymptotic_rate_approaches_peak(self):
+        """The per-result cost approaches one cycle for long vectors."""
+        p = PipelineTiming(stages=6, cycle_ns=125)
+        n = 100_000
+        assert p.vector_ns(n) / n == pytest.approx(125, rel=0.001)
+
+    def test_chain_adds_depth(self):
+        mul = PipelineTiming(stages=7, cycle_ns=125)
+        add = PipelineTiming(stages=6, cycle_ns=125)
+        chained = mul.chain(add)
+        assert chained.stages == 13
+        assert chained.vector_ns(128) == (13 + 127) * 125
+
+    def test_chain_requires_same_clock(self):
+        with pytest.raises(ValueError):
+            PipelineTiming(6, 125).chain(PipelineTiming(6, 100))
+
+    def test_efficiency(self):
+        p = PipelineTiming(stages=6, cycle_ns=125)
+        assert p.efficiency(1) == pytest.approx(1 / 6)
+        assert p.efficiency(128) == pytest.approx(128 / 133)
+        assert p.efficiency(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelineTiming(stages=0, cycle_ns=125)
+        with pytest.raises(ValueError):
+            PipelineTiming(stages=6, cycle_ns=0)
+        with pytest.raises(ValueError):
+            PipelineTiming(6, 125).vector_ns(-1)
+
+
+class TestReductionDrain:
+    def test_six_stage_drain(self):
+        # ceil(log2(6)) = 3 passes of a 6-deep pipe.
+        assert reduction_drain_cycles(6) == 18
+
+    def test_single_stage_no_drain(self):
+        assert reduction_drain_cycles(1) == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            reduction_drain_cycles(0)
+
+
+class TestFunctionalUnits:
+    def test_paper_stage_counts(self):
+        eng = Engine()
+        adder = FloatingAdder(eng, PAPER_SPECS)
+        mul = FloatingMultiplier(eng, PAPER_SPECS)
+        assert adder.stages(32) == 6
+        assert adder.stages(64) == 6
+        assert mul.stages(32) == 5
+        assert mul.stages(64) == 7
+
+    def test_unsupported_precision(self):
+        eng = Engine()
+        adder = FloatingAdder(eng, PAPER_SPECS)
+        with pytest.raises(ValueError):
+            adder.stages(16)
+
+    def test_occupy_serialises(self):
+        eng = Engine()
+        adder = FloatingAdder(eng, PAPER_SPECS)
+        durations = []
+
+        def user(eng):
+            d = yield from adder.occupy(128, 64)
+            durations.append((eng.now, d))
+
+        eng.process(user(eng))
+        eng.process(user(eng))
+        eng.run()
+        per_op = (6 + 127) * 125
+        assert durations == [(per_op, per_op), (2 * per_op, per_op)]
+        assert adder.results == 256
+        assert adder.utilization() == pytest.approx(1.0)
+
+    def test_scalar_ops_delegate_to_softfloat(self):
+        eng = Engine()
+        adder = FloatingAdder(eng, PAPER_SPECS)
+        mul = FloatingMultiplier(eng, PAPER_SPECS)
+        from repro.fpu.ieee import BINARY64
+        a = BINARY64.from_float(2.0)
+        b = BINARY64.from_float(3.0)
+        assert BINARY64.to_float(adder.add(a, b, 64)) == 5.0
+        assert BINARY64.to_float(adder.sub(a, b, 64)) == -1.0
+        assert BINARY64.to_float(mul.mul(a, b, 64)) == 6.0
+        assert adder.compare(a, b, 64) == -1
+        bits32 = adder.convert(a, 64, 32)
+        from repro.fpu.ieee import BINARY32
+        assert BINARY32.to_float(bits32) == 2.0

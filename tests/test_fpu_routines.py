@@ -1,0 +1,113 @@
+"""Tests for the Newton–Raphson math routines (divide/sqrt built from
+vector forms — the node has no divide or sqrt hardware)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.specs import PAPER_SPECS
+from repro.events import Engine
+from repro.fpu import (
+    VectorArithmeticUnit,
+    divide_cost_model,
+    vector_divide,
+    vector_reciprocal,
+    vector_rsqrt,
+    vector_sqrt,
+)
+
+
+@pytest.fixture
+def vau():
+    return VectorArithmeticUnit(Engine(), PAPER_SPECS)
+
+
+def run(vau, gen):
+    return vau.engine.run(until=vau.engine.process(gen))
+
+
+class TestReciprocal:
+    def test_matches_numpy(self, vau):
+        x = np.array([1.0, 2.0, 3.0, 0.5, -4.0, 1e10, 1e-10, 7.7])
+        result = run(vau, vector_reciprocal(vau, x))
+        np.testing.assert_allclose(result, 1.0 / x, rtol=1e-14)
+
+    @given(st.lists(
+        st.floats(min_value=1e-100, max_value=1e100, allow_nan=False),
+        min_size=1, max_size=32,
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_reciprocal_property(self, values):
+        vau = VectorArithmeticUnit(Engine(), PAPER_SPECS)
+        x = np.array(values)
+        result = run(vau, vector_reciprocal(vau, x))
+        np.testing.assert_allclose(result, 1.0 / x, rtol=1e-13)
+
+    def test_rejects_zero_and_nonfinite(self, vau):
+        with pytest.raises(ValueError):
+            run(vau, vector_reciprocal(vau, np.array([1.0, 0.0])))
+        with pytest.raises(ValueError):
+            run(vau, vector_reciprocal(vau, np.array([np.inf])))
+
+    def test_uses_real_forms(self, vau):
+        x = np.ones(16)
+        run(vau, vector_reciprocal(vau, x))
+        # 3 forms per iteration, 6 iterations.
+        assert vau.completions == 18
+        assert vau.flops == 18 * 16
+
+
+class TestDivide:
+    def test_matches_numpy(self, vau):
+        a = np.array([1.0, 10.0, -3.0, 2.5])
+        b = np.array([3.0, 4.0, 7.0, -0.5])
+        result = run(vau, vector_divide(vau, a, b))
+        np.testing.assert_allclose(result, a / b, rtol=1e-14)
+
+    def test_cost_model_matches_simulation(self, vau):
+        n = 64
+        a = np.ones(n)
+        b = np.full(n, 3.0)
+        start = vau.engine.now
+        run(vau, vector_divide(vau, a, b))
+        elapsed = vau.engine.now - start
+        assert elapsed == divide_cost_model(n, PAPER_SPECS)
+
+    def test_divide_is_many_passes(self):
+        """Division costs ~16 form passes — why the ISA has none."""
+        n = 128
+        one_mul = (7 + n - 1) * 125
+        assert divide_cost_model(n, PAPER_SPECS) > 14 * one_mul
+
+
+class TestSqrt:
+    def test_matches_numpy(self, vau):
+        x = np.array([4.0, 2.0, 9.0, 1e6, 1e-6, 123.456])
+        result = run(vau, vector_rsqrt(vau, x))
+        np.testing.assert_allclose(result, 1.0 / np.sqrt(x), rtol=1e-13)
+
+    def test_sqrt_matches_numpy(self, vau):
+        x = np.array([0.0, 1.0, 2.0, 16.0, 1e8])
+        result = run(vau, vector_sqrt(vau, x))
+        np.testing.assert_allclose(result, np.sqrt(x), rtol=1e-13)
+
+    @given(st.lists(
+        st.floats(min_value=1e-50, max_value=1e50, allow_nan=False),
+        min_size=1, max_size=32,
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_sqrt_property(self, values):
+        vau = VectorArithmeticUnit(Engine(), PAPER_SPECS)
+        x = np.array(values)
+        result = run(vau, vector_sqrt(vau, x))
+        np.testing.assert_allclose(result, np.sqrt(x), rtol=1e-12)
+
+    def test_zero_exact(self, vau):
+        result = run(vau, vector_sqrt(vau, np.array([0.0, 4.0])))
+        assert result[0] == 0.0 and result[1] == 2.0
+
+    def test_rejects_negative(self, vau):
+        with pytest.raises(ValueError):
+            run(vau, vector_sqrt(vau, np.array([-1.0])))
+        with pytest.raises(ValueError):
+            run(vau, vector_rsqrt(vau, np.array([0.0])))

@@ -1,0 +1,306 @@
+"""Bit-level arithmetic tests: against host IEEE, plus FTZ semantics.
+
+The host's double arithmetic *is* IEEE-754 binary64 with
+round-to-nearest-even, so for operands and results in the normal range
+the softfloat must agree bit-for-bit with the host.  Where IEEE would
+produce a subnormal, the T Series flushes to zero — those cases are
+asserted explicitly.
+"""
+
+import math
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fpu.ieee import BINARY32, BINARY64
+from repro.fpu.softfloat import (
+    UNORDERED,
+    fp_abs,
+    fp_add,
+    fp_compare,
+    fp_convert,
+    fp_from_int,
+    fp_max,
+    fp_min,
+    fp_mul,
+    fp_neg,
+    fp_sub,
+    fp_to_int,
+    round_to_format,
+)
+
+F32, F64 = BINARY32, BINARY64
+
+
+def host_add64(a, b):
+    return F64.from_float(F64.to_float(a) + F64.to_float(b))
+
+
+def host_mul64(a, b):
+    return F64.from_float(F64.to_float(a) * F64.to_float(b))
+
+
+def host_add32(a, b):
+    x = np.float32(F32.to_float(a))
+    y = np.float32(F32.to_float(b))
+    with np.errstate(over="ignore", under="ignore"):
+        return F32.from_float(float(x + y))
+
+
+def host_mul32(a, b):
+    x = np.float32(F32.to_float(a))
+    y = np.float32(F32.to_float(b))
+    with np.errstate(over="ignore", under="ignore"):
+        return F32.from_float(float(x * y))
+
+
+#: Strategy: finite normal binary64 values over a wide but
+#: subnormal-avoiding range (products/sums stay normal or overflow).
+normal64 = st.floats(
+    min_value=1e-150, max_value=1e150, allow_nan=False, allow_infinity=False
+).map(lambda x: x if x >= 1e-150 else 1e-150)
+signed64 = st.builds(lambda m, s: m * s, normal64, st.sampled_from([1.0, -1.0]))
+
+
+class TestAdd64AgainstHost:
+    @given(signed64, signed64)
+    @settings(max_examples=300, deadline=None)
+    def test_add_matches_host(self, x, y):
+        a, b = F64.from_float(x), F64.from_float(y)
+        assert fp_add(a, b, F64) == host_add64(a, b)
+
+    @given(signed64, signed64)
+    @settings(max_examples=200, deadline=None)
+    def test_sub_matches_host(self, x, y):
+        a, b = F64.from_float(x), F64.from_float(y)
+        expected = F64.from_float(F64.to_float(a) - F64.to_float(b))
+        assert fp_sub(a, b, F64) == expected
+
+    def test_specific_values(self):
+        cases = [
+            (1.0, 2.0), (0.1, 0.2), (1e300, 1e300), (1.5, -1.5),
+            (1e-200, 1e-200), (3.0, 4.0), (1.0, 1e-16), (1.0, 1e-17),
+            (123456789.123, -0.000001), (2.0 ** 52, 1.0), (2.0 ** 53, 1.0),
+        ]
+        for x, y in cases:
+            a, b = F64.from_float(x), F64.from_float(y)
+            assert fp_add(a, b, F64) == host_add64(a, b), (x, y)
+
+    def test_rounding_ties_to_even(self):
+        # 2^53 + 1 is exactly halfway between representable 2^53 and
+        # 2^53 + 2; RNE picks the even mantissa (2^53).
+        a = F64.from_float(2.0 ** 53)
+        b = F64.from_float(1.0)
+        assert F64.to_float(fp_add(a, b, F64)) == 2.0 ** 53
+        # 2^53 + 3 rounds to 2^53 + 4 (odd→even upward).
+        b3 = F64.from_float(3.0)
+        assert F64.to_float(fp_add(a, b3, F64)) == 2.0 ** 53 + 4
+
+
+class TestMul64AgainstHost:
+    @given(signed64, signed64)
+    @settings(max_examples=300, deadline=None)
+    def test_mul_matches_host(self, x, y):
+        a, b = F64.from_float(x), F64.from_float(y)
+        assert fp_mul(a, b, F64) == host_mul64(a, b)
+
+    def test_specific_values(self):
+        cases = [
+            (3.0, 7.0), (0.1, 0.1), (1e200, 1e200), (-2.5, 4.0),
+            (1.0000000000000002, 1.0000000000000002), (math.pi, math.e),
+        ]
+        for x, y in cases:
+            a, b = F64.from_float(x), F64.from_float(y)
+            assert fp_mul(a, b, F64) == host_mul64(a, b), (x, y)
+
+    def test_overflow_to_inf(self):
+        a = F64.from_float(1e308)
+        assert fp_mul(a, F64.from_float(10.0), F64) == F64.inf_bits(0)
+        assert fp_mul(a, F64.from_float(-10.0), F64) == F64.inf_bits(1)
+
+
+normal32 = st.floats(
+    min_value=2.0 ** -50, max_value=2.0 ** 50, allow_nan=False,
+    allow_infinity=False, width=32,
+)
+signed32 = st.builds(lambda m, s: m * s, normal32, st.sampled_from([1.0, -1.0]))
+
+
+class TestBinary32AgainstHost:
+    @given(signed32, signed32)
+    @settings(max_examples=300, deadline=None)
+    def test_add32(self, x, y):
+        a, b = F32.from_float(x), F32.from_float(y)
+        assert fp_add(a, b, F32) == host_add32(a, b)
+
+    @given(signed32, signed32)
+    @settings(max_examples=300, deadline=None)
+    def test_mul32(self, x, y):
+        a, b = F32.from_float(x), F32.from_float(y)
+        assert fp_mul(a, b, F32) == host_mul32(a, b)
+
+
+class TestFlushToZero:
+    def test_subnormal_result_flushes_add(self):
+        # min_normal - nextafter(min_normal) would be subnormal in IEEE.
+        min_normal = F64.to_float(F64.min_normal_bits())
+        above = struct.unpack(
+            "<d", struct.pack("<Q", F64.min_normal_bits() + 1)
+        )[0]
+        a, b = F64.from_float(above), F64.from_float(min_normal)
+        assert fp_sub(a, b, F64) == F64.zero_bits(0)
+
+    def test_subnormal_result_flushes_mul(self):
+        a = F64.from_float(1e-200)
+        b = F64.from_float(1e-200)
+        assert fp_mul(a, b, F64) == F64.zero_bits(0)  # 1e-400 underflows
+
+    def test_negative_underflow_flushes_to_negative_zero(self):
+        a = F64.from_float(-1e-200)
+        b = F64.from_float(1e-200)
+        result = fp_mul(a, b, F64)
+        assert result == F64.zero_bits(1)
+
+    def test_subnormal_inputs_read_as_zero(self):
+        sub = 42  # a subnormal encoding
+        one = F64.from_float(1.0)
+        assert fp_add(sub, one, F64) == one
+        assert fp_mul(sub, one, F64) == F64.zero_bits(0)
+
+    def test_min_normal_survives(self):
+        m = F64.min_normal_bits()
+        two = F64.from_float(2.0)
+        halved = fp_mul(F64.min_normal_bits(1), F64.from_float(1.0), F64)
+        assert halved == F64.min_normal_bits(1)
+        doubled = fp_mul(m, two, F64)
+        assert F64.exp_of(doubled) == 2
+
+
+class TestSpecialValues:
+    def test_nan_propagates(self):
+        nan, one = F64.nan_bits(), F64.from_float(1.0)
+        for op in (fp_add, fp_sub, fp_mul):
+            assert F64.is_nan(op(nan, one, F64))
+            assert F64.is_nan(op(one, nan, F64))
+
+    def test_inf_arithmetic(self):
+        inf, one = F64.inf_bits(0), F64.from_float(1.0)
+        ninf = F64.inf_bits(1)
+        assert fp_add(inf, one, F64) == inf
+        assert fp_add(inf, inf, F64) == inf
+        assert F64.is_nan(fp_add(inf, ninf, F64))
+        assert fp_mul(inf, one, F64) == inf
+        assert fp_mul(inf, F64.from_float(-2.0), F64) == ninf
+        assert F64.is_nan(fp_mul(inf, F64.zero_bits(0), F64))
+
+    def test_signed_zero_addition(self):
+        pz, nz = F64.zero_bits(0), F64.zero_bits(1)
+        assert fp_add(pz, nz, F64) == pz   # +0 + -0 = +0 under RNE
+        assert fp_add(nz, nz, F64) == nz   # -0 + -0 = -0
+        assert fp_add(pz, pz, F64) == pz
+
+    def test_exact_cancellation_gives_positive_zero(self):
+        a = F64.from_float(1.5)
+        assert fp_sub(a, a, F64) == F64.zero_bits(0)
+
+    def test_neg_abs(self):
+        a = F64.from_float(-3.25)
+        assert F64.to_float(fp_neg(a, F64)) == 3.25
+        assert F64.to_float(fp_abs(a, F64)) == 3.25
+        assert F64.is_nan(fp_neg(F64.nan_bits(), F64))
+
+
+class TestCompare:
+    @given(signed64, signed64)
+    @settings(max_examples=200, deadline=None)
+    def test_compare_matches_host(self, x, y):
+        a, b = F64.from_float(x), F64.from_float(y)
+        expected = (x > y) - (x < y)
+        assert fp_compare(a, b, F64) == expected
+
+    def test_zeros_compare_equal(self):
+        assert fp_compare(F64.zero_bits(0), F64.zero_bits(1), F64) == 0
+
+    def test_nan_unordered(self):
+        assert fp_compare(F64.nan_bits(), F64.from_float(1.0), F64) == UNORDERED
+
+    def test_min_max(self):
+        a, b = F64.from_float(2.0), F64.from_float(-3.0)
+        assert F64.to_float(fp_min(a, b, F64)) == -3.0
+        assert F64.to_float(fp_max(a, b, F64)) == 2.0
+        assert F64.is_nan(fp_max(F64.nan_bits(), a, F64))
+
+    def test_negative_ordering(self):
+        a, b = F64.from_float(-1.0), F64.from_float(-2.0)
+        assert fp_compare(a, b, F64) == 1
+
+
+class TestConvert:
+    @given(signed32)
+    @settings(max_examples=200, deadline=None)
+    def test_widen_exact(self, x):
+        bits32 = F32.from_float(x)
+        bits64 = fp_convert(bits32, F32, F64)
+        assert F64.to_float(bits64) == F32.to_float(bits32)
+
+    @given(signed64)
+    @settings(max_examples=200, deadline=None)
+    def test_narrow_matches_host(self, x):
+        bits64 = F64.from_float(x)
+        bits32 = fp_convert(bits64, F64, F32)
+        with np.errstate(over="ignore", under="ignore"):
+            expected = F32.from_float(float(np.float32(x)))
+        # Host float32 conversion produces subnormals; ours flushes.
+        if F32.is_subnormal_encoding(expected):
+            expected = F32.zero_bits(F32.sign_of(expected))
+        assert bits32 == expected
+
+    def test_narrow_overflow_to_inf(self):
+        bits = fp_convert(F64.from_float(1e100), F64, F32)
+        assert bits == F32.inf_bits(0)
+
+    def test_specials_convert(self):
+        assert fp_convert(F64.nan_bits(), F64, F32) == F32.nan_bits()
+        assert fp_convert(F64.inf_bits(1), F64, F32) == F32.inf_bits(1)
+        assert fp_convert(F64.zero_bits(1), F64, F32) == F32.zero_bits(1)
+
+
+class TestIntConversion:
+    @given(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_int_roundtrip_through_f64(self, n):
+        bits = fp_from_int(n, F64)
+        assert fp_to_int(bits, F64) == n  # all int32 are exact in f64
+
+    def test_truncation_toward_zero(self):
+        assert fp_to_int(F64.from_float(2.9), F64) == 2
+        assert fp_to_int(F64.from_float(-2.9), F64) == -2
+
+    def test_saturation(self):
+        assert fp_to_int(F64.inf_bits(0), F64) == 2 ** 31 - 1
+        assert fp_to_int(F64.inf_bits(1), F64) == -(2 ** 31)
+        assert fp_to_int(F64.from_float(1e300), F64) == 2 ** 31 - 1
+
+    def test_nan_to_zero(self):
+        assert fp_to_int(F64.nan_bits(), F64) == 0
+
+    def test_from_int_rounds(self):
+        # 2^24 + 1 is not representable in binary32; RNE to 2^24.
+        bits = fp_from_int(2 ** 24 + 1, F32)
+        assert F32.to_float(bits) == float(2 ** 24)
+
+
+class TestRoundToFormat:
+    def test_zero_sig(self):
+        assert round_to_format(0, 0, 0, F64) == F64.zero_bits(0)
+        assert round_to_format(1, 0, 0, F64) == F64.zero_bits(1)
+
+    def test_exact_small_integers(self):
+        for n in (1, 2, 3, 10, 255):
+            assert F64.to_float(round_to_format(0, n, 0, F64)) == float(n)
+
+    def test_power_of_two_scaling(self):
+        assert F64.to_float(round_to_format(0, 1, 10, F64)) == 1024.0
+        assert F64.to_float(round_to_format(0, 3, -2, F64)) == 0.75

@@ -1,0 +1,282 @@
+"""Tests for the vector-form micro-sequencer: numerics and timing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.specs import PAPER_SPECS
+from repro.events import Engine
+from repro.fpu.ieee import BINARY64
+from repro.fpu.softfloat import fp_add, fp_mul
+from repro.fpu.vector_forms import (
+    FORMS,
+    VectorArithmeticUnit,
+    dtype_for,
+    flush_subnormals,
+)
+
+
+@pytest.fixture
+def vau():
+    return VectorArithmeticUnit(Engine(), PAPER_SPECS)
+
+
+def run_form(vau, form, inputs, scalars=(), precision=64):
+    proc = vau.engine.process(vau.execute(form, inputs, scalars, precision))
+    return vau.engine.run(until=proc)
+
+
+class TestCatalog:
+    def test_paper_forms_present(self):
+        """The paper names SAXPY, Vector Add, Vector Multiply, dot
+        products and sums explicitly."""
+        for name in ("SAXPY", "VADD", "VMUL", "DOT", "SUM"):
+            assert name in FORMS
+
+    def test_no_form_needs_three_vector_inputs(self):
+        """The dual banks supply at most two vector operands per cycle."""
+        for form in FORMS.values():
+            assert form.vector_inputs <= 2
+
+    def test_saxpy_uses_both_units(self):
+        form = FORMS["SAXPY"]
+        assert form.uses_adder and form.uses_multiplier
+        assert form.flops_per_element == 2
+
+
+class TestNumerics:
+    def test_vadd(self, vau):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([10.0, 20.0, 30.0])
+        result = run_form(vau, "VADD", [a, b])
+        np.testing.assert_array_equal(result, [11.0, 22.0, 33.0])
+
+    def test_saxpy(self, vau):
+        x = np.array([1.0, 2.0])
+        y = np.array([0.5, 0.5])
+        result = run_form(vau, "SAXPY", [x, y], scalars=(3.0,))
+        np.testing.assert_array_equal(result, [3.5, 6.5])
+
+    def test_dot_is_scalar(self, vau):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([4.0, 5.0, 6.0])
+        result = run_form(vau, "DOT", [a, b])
+        assert np.isscalar(result) or result.shape == ()
+        assert float(result) == 32.0
+
+    def test_sum(self, vau):
+        a = np.arange(128, dtype=np.float64)
+        assert float(run_form(vau, "SUM", [a])) == float(a.sum())
+
+    def test_vcvt_widen(self, vau):
+        a = np.array([1.5, -2.5], dtype=np.float32)
+        result = run_form(vau, "VCVT64", [a], precision=32)
+        assert result.dtype == np.float64
+        np.testing.assert_array_equal(result, [1.5, -2.5])
+
+    def test_vmax_vmin(self, vau):
+        a = np.array([1.0, 5.0])
+        b = np.array([2.0, 4.0])
+        np.testing.assert_array_equal(run_form(vau, "VMAX", [a, b]), [2.0, 5.0])
+        np.testing.assert_array_equal(run_form(vau, "VMIN", [a, b]), [1.0, 4.0])
+
+    def test_subnormal_results_flushed(self, vau):
+        a = np.array([1e-200, 1.0])
+        b = np.array([1e-200, 2.0])
+        result = run_form(vau, "VMUL", [a, b])
+        assert result[0] == 0.0
+        assert result[1] == 2.0
+
+    def test_subnormal_inputs_flushed(self, vau):
+        sub = np.array([5e-324, 1.0])  # smallest positive subnormal
+        one = np.array([1.0, 1.0])
+        result = run_form(vau, "VADD", [sub, one])
+        assert result[0] == 1.0
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e100, max_value=1e100,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=32,
+        ),
+        st.lists(
+            st.floats(min_value=-1e100, max_value=1e100,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=32,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_vadd_matches_softfloat_elementwise(self, xs, ys):
+        n = min(len(xs), len(ys))
+        a = np.array(xs[:n])
+        b = np.array(ys[:n])
+        vau = VectorArithmeticUnit(Engine(), PAPER_SPECS)
+        result = run_form(vau, "VADD", [a, b])
+        for i in range(n):
+            expected = fp_add(
+                BINARY64.from_float(a[i]), BINARY64.from_float(b[i]), BINARY64
+            )
+            assert BINARY64.from_float(float(result[i])) == expected
+
+    @given(
+        st.lists(
+            st.floats(min_value=1e-50, max_value=1e50,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=32,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_vmul_matches_softfloat_elementwise(self, xs):
+        a = np.array(xs)
+        b = a[::-1].copy()
+        vau = VectorArithmeticUnit(Engine(), PAPER_SPECS)
+        result = run_form(vau, "VMUL", [a, b])
+        for i in range(len(xs)):
+            expected = fp_mul(
+                BINARY64.from_float(a[i]), BINARY64.from_float(b[i]), BINARY64
+            )
+            assert BINARY64.from_float(float(result[i])) == expected
+
+
+class Test32BitMode:
+    @given(
+        st.lists(
+            st.floats(min_value=-(2.0 ** 100), max_value=2.0 ** 100,
+                      allow_nan=False, allow_infinity=False, width=32),
+            min_size=1, max_size=32,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_vadd32_matches_softfloat(self, xs):
+        from repro.fpu.ieee import BINARY32
+
+        a = np.array(xs, dtype=np.float32)
+        b = a[::-1].copy()
+        vau = VectorArithmeticUnit(Engine(), PAPER_SPECS)
+        result = run_form(vau, "VADD", [a, b], precision=32)
+        assert result.dtype == np.float32
+        for i in range(len(xs)):
+            expected = fp_add(
+                BINARY32.from_float(float(a[i])),
+                BINARY32.from_float(float(b[i])),
+                BINARY32,
+            )
+            got = BINARY32.from_float(float(result[i]))
+            # Flush both sides (the unit never produces subnormals).
+            if BINARY32.is_subnormal_encoding(expected):
+                expected = BINARY32.zero_bits(BINARY32.sign_of(expected))
+            assert got == expected
+
+    def test_saxpy32_timing_uses_shallow_multiplier(self):
+        vau = VectorArithmeticUnit(Engine(), PAPER_SPECS)
+        # 5-stage multiplier + 6-stage adder in 32-bit mode.
+        assert vau.duration("SAXPY", 256, 32) == (11 + 255) * 125
+
+    def test_32bit_vectors_are_256_elements(self):
+        assert PAPER_SPECS.vector_length_32 == 256
+
+
+class TestValidation:
+    def test_wrong_input_count(self, vau):
+        with pytest.raises(ValueError):
+            run_form(vau, "VADD", [np.zeros(4)])
+
+    def test_wrong_scalar_count(self, vau):
+        with pytest.raises(ValueError):
+            run_form(vau, "SAXPY", [np.zeros(4), np.zeros(4)])
+
+    def test_length_mismatch(self, vau):
+        with pytest.raises(ValueError):
+            run_form(vau, "VADD", [np.zeros(4), np.zeros(5)])
+
+    def test_bad_precision(self):
+        with pytest.raises(ValueError):
+            dtype_for(48)
+
+
+class TestTiming:
+    def test_vadd_duration(self, vau):
+        # 6-stage adder, 128 elements: (6 + 127) cycles.
+        assert vau.duration("VADD", 128, 64) == (6 + 127) * 125
+
+    def test_saxpy_duration_chains_pipes(self, vau):
+        # 7-stage mul + 6-stage add in 64-bit mode.
+        assert vau.duration("SAXPY", 128, 64) == (13 + 127) * 125
+
+    def test_saxpy_32bit_shallower(self, vau):
+        # 5-stage mul in 32-bit mode.
+        assert vau.duration("SAXPY", 256, 32) == (11 + 255) * 125
+
+    def test_reduction_has_drain(self, vau):
+        base = (6 + 127) * 125
+        assert vau.duration("SUM", 128, 64) == base + 18 * 125
+
+    def test_zero_length_free(self, vau):
+        assert vau.duration("VADD", 0, 64) == 0
+
+    def test_executions_serialise(self, vau):
+        eng = vau.engine
+        a = np.ones(128)
+        b = np.ones(128)
+        done = []
+
+        def run_two(eng):
+            yield eng.process(vau.execute("VADD", [a, b]))
+            done.append(eng.now)
+            yield eng.process(vau.execute("VMUL", [a, b]))
+            done.append(eng.now)
+
+        eng.process(run_two(eng))
+        eng.run()
+        assert done[0] == (6 + 127) * 125
+        assert done[1] == done[0] + (7 + 127) * 125
+
+    def test_counters(self, vau):
+        a = np.ones(100)
+        b = np.ones(100)
+        run_form(vau, "SAXPY", [a, b], scalars=(2.0,))
+        assert vau.flops == 200
+        assert vau.adder.results == 100
+        assert vau.multiplier.results == 100
+        assert vau.completions == 1
+
+    def test_measured_mflops_approaches_peak(self):
+        """Back-to-back long SAXPYs approach 16 MFLOPS."""
+        eng = Engine()
+        vau = VectorArithmeticUnit(eng, PAPER_SPECS)
+        x = np.ones(128)
+        y = np.ones(128)
+
+        def driver(eng):
+            for _ in range(200):
+                yield eng.process(vau.execute("SAXPY", [x, y], (2.0,)))
+
+        eng.process(driver(eng))
+        eng.run()
+        assert vau.measured_mflops() == pytest.approx(16.0, rel=0.10)
+        assert vau.measured_mflops() < 16.0  # fill overhead
+
+    def test_peak_rate(self, vau):
+        assert vau.peak_flops_per_s() == pytest.approx(16e6)
+
+
+class TestFlushHelper:
+    def test_flush_preserves_sign(self):
+        a = np.array([5e-324, -5e-324, 1.0, -1.0])
+        out = flush_subnormals(a)
+        assert out[0] == 0.0 and np.signbit(out[1])
+        assert out[2] == 1.0 and out[3] == -1.0
+
+    def test_flush_keeps_inf_nan(self):
+        a = np.array([np.inf, -np.inf, np.nan])
+        out = flush_subnormals(a)
+        assert np.isinf(out[0]) and np.isinf(out[1]) and np.isnan(out[2])
+
+    def test_flush_rejects_non_float(self):
+        with pytest.raises(TypeError):
+            flush_subnormals(np.array([1, 2, 3]))
+
+    def test_flush_float32(self):
+        a = np.array([1e-45, 1.0], dtype=np.float32)  # subnormal in f32
+        out = flush_subnormals(a)
+        assert out[0] == 0.0 and out[1] == 1.0

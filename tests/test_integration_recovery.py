@@ -1,0 +1,115 @@
+"""Integration: a computation surviving memory faults via snapshots.
+
+Exercises the full error-recovery story the paper's system disk
+exists for: compute → snapshot → fault (parity) → detect on read →
+restore → resume → correct final answer, all on one machine and one
+simulated clock.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import distributed_saxpy
+from repro.core import TSeriesMachine
+from repro.core.specs import NS_PER_S
+from repro.memory import ParityError
+from repro.system import CheckpointService, FailureInjector
+
+
+class TestRecoveryEndToEnd:
+    def test_compute_fault_restore_resume(self):
+        machine = TSeriesMachine(3)
+        service = CheckpointService(machine)
+        eng = machine.engine
+
+        # Phase 1: do some work (y ← 2x + y) and checkpoint it.
+        n = 128 * 16
+        x = np.arange(n, dtype=np.float64)
+        y = np.ones(n)
+        phase1, _e, _m = distributed_saxpy(machine, 2.0, x, y)
+
+        # Persist the phase-1 state: write results into node memory at
+        # a known location, then snapshot.
+        for i, node in enumerate(machine.nodes):
+            node.write_floats(0x2000, phase1[i * 16:(i + 1) * 16])
+
+        def snap(eng):
+            yield from service.snapshot_all("after-phase1")
+
+        eng.run(until=eng.process(snap(eng)))
+        time_after_snapshot = eng.now
+
+        # Phase 2 begins; a fault strikes node 5's stored results.
+        victim = machine.nodes[5]
+        victim.memory.parity.inject_error(0x2000 + 8 * 3)
+        with pytest.raises(ParityError):
+            victim.read_floats(0x2000, 16)
+
+        # Recovery: restore the snapshot, which rewrites memory (and
+        # with it, parity).
+        def restore(eng):
+            yield from service.restore_all("after-phase1")
+
+        eng.run(until=eng.process(restore(eng)))
+        assert eng.now > time_after_snapshot
+
+        # The restored state is the phase-1 state, on every node.
+        for i, node in enumerate(machine.nodes):
+            np.testing.assert_array_equal(
+                node.read_floats(0x2000, 16),
+                phase1[i * 16:(i + 1) * 16],
+            )
+
+        # Phase 2 resumes from the restored state and completes.
+        phase2, _e2, _m2 = distributed_saxpy(machine, 1.0, phase1, y)
+        np.testing.assert_allclose(phase2, phase1 + 1.0)
+
+    def test_injected_faults_all_recoverable_by_restore(self):
+        machine = TSeriesMachine(3)
+        service = CheckpointService(machine)
+        eng = machine.engine
+        for node in machine.nodes:
+            node.write_floats(0, np.full(64, 7.0))
+
+        def snap(eng):
+            yield from service.snapshot_all("clean")
+
+        eng.run(until=eng.process(snap(eng)))
+
+        injector = FailureInjector(machine, mtbf_seconds=0.001, seed=9)
+        eng.run(until=eng.process(
+            injector.run(until_ns=eng.now + int(0.01 * NS_PER_S))
+        ))
+        assert len(injector.log) > 0
+
+        def restore(eng):
+            yield from service.restore_all("clean")
+
+        eng.run(until=eng.process(restore(eng)))
+        for node in machine.nodes:
+            np.testing.assert_array_equal(
+                node.read_floats(0, 64), np.full(64, 7.0)
+            )
+
+    def test_snapshot_content_isolated_from_later_writes(self):
+        """Snapshots are copies, not views: mutating memory after a
+        snapshot must not alter the stored image."""
+        machine = TSeriesMachine(3)
+        service = CheckpointService(machine)
+        eng = machine.engine
+        node = machine.nodes[0]
+        node.write_floats(0x100, np.array([1.0, 2.0]))
+
+        def snap(eng):
+            yield from service.snapshot_all("frozen")
+
+        eng.run(until=eng.process(snap(eng)))
+        node.write_floats(0x100, np.array([9.0, 9.0]))
+
+        def restore(eng):
+            yield from service.restore_all("frozen")
+
+        eng.run(until=eng.process(restore(eng)))
+        np.testing.assert_array_equal(
+            node.read_floats(0x100, 2), [1.0, 2.0]
+        )

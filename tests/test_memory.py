@@ -1,0 +1,313 @@
+"""Tests for the dual-ported memory, vector registers, and parity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.specs import PAPER_SPECS
+from repro.events import Engine
+from repro.memory import (
+    AddressError,
+    BANK_A,
+    BANK_B,
+    DualPortMemory,
+    ParityError,
+    VectorRegister,
+    parity_of,
+)
+
+
+@pytest.fixture
+def eng():
+    return Engine()
+
+
+@pytest.fixture
+def mem(eng):
+    return DualPortMemory(eng, PAPER_SPECS)
+
+
+def run(eng, gen):
+    return eng.run(until=eng.process(gen))
+
+
+class TestGeometry:
+    def test_paper_sizes(self, mem):
+        assert mem.size == 1 << 20                  # 1 MByte
+        assert mem.rows == 1024                     # 1024-byte rows
+        assert mem.size // 4 == 256 * 1024          # 256K words (CP view)
+
+    def test_bank_split(self, mem):
+        """Paper: 256 vectors in one bank, 768 in the other."""
+        assert len(mem.rows_in_bank(BANK_A)) == 256
+        assert len(mem.rows_in_bank(BANK_B)) == 768
+        assert mem.bank_of_row(0) == BANK_A
+        assert mem.bank_of_row(255) == BANK_A
+        assert mem.bank_of_row(256) == BANK_B
+        assert mem.bank_of_row(1023) == BANK_B
+
+    def test_bank_of_address(self, mem):
+        assert mem.bank_of_address(0) == BANK_A
+        assert mem.bank_of_address(256 * 1024 - 1) == BANK_A
+        assert mem.bank_of_address(256 * 1024) == BANK_B
+
+    def test_vector_lengths(self):
+        """Paper: vectors are 256 elements (32-bit) or 128 (64-bit)."""
+        assert PAPER_SPECS.vector_length_32 == 256
+        assert PAPER_SPECS.vector_length_64 == 128
+
+    def test_invalid_row(self, mem):
+        with pytest.raises(AddressError):
+            mem.read_row(1024)
+        with pytest.raises(AddressError):
+            mem.bank_of_row(-1)
+
+    def test_unknown_bank(self, mem):
+        with pytest.raises(ValueError):
+            mem.rows_in_bank("C")
+
+
+class TestUntimedAccess:
+    def test_word_roundtrip(self, mem):
+        mem.poke_word(0x100, 0xDEADBEEF)
+        assert mem.peek_word(0x100) == 0xDEADBEEF
+
+    def test_word_alignment_enforced(self, mem):
+        with pytest.raises(AddressError):
+            mem.poke_word(0x101, 1)
+        with pytest.raises(AddressError):
+            mem.peek_word(2)
+
+    def test_word_bounds(self, mem):
+        with pytest.raises(AddressError):
+            mem.peek_word(1 << 20)
+        mem.poke_word((1 << 20) - 4, 7)  # last word OK
+
+    def test_bytes_roundtrip(self, mem):
+        data = np.arange(100, dtype=np.uint8)
+        mem.poke_bytes(5000, data)
+        np.testing.assert_array_equal(mem.peek_bytes(5000, 100), data)
+
+    def test_row_roundtrip(self, mem):
+        row = np.random.default_rng(0).integers(
+            0, 256, size=1024, dtype=np.uint8
+        )
+        mem.write_row(37, row)
+        np.testing.assert_array_equal(mem.read_row(37), row)
+
+    def test_row_size_enforced(self, mem):
+        with pytest.raises(ValueError):
+            mem.write_row(0, np.zeros(100, dtype=np.uint8))
+
+    @given(st.integers(min_value=0, max_value=(1 << 20) // 4 - 1),
+           st.integers(min_value=0, max_value=0xFFFFFFFF))
+    @settings(max_examples=50, deadline=None)
+    def test_word_roundtrip_property(self, word_index, value):
+        mem = DualPortMemory(Engine(), PAPER_SPECS)
+        mem.poke_word(word_index * 4, value)
+        assert mem.peek_word(word_index * 4) == value
+
+
+class TestTimedAccess:
+    def test_word_read_takes_400ns(self, eng, mem):
+        mem.poke_word(0, 123)
+
+        def proc(eng):
+            value = yield from mem.word_read(0)
+            return (eng.now, value)
+
+        assert run(eng, proc(eng)) == (400, 123)
+
+    def test_word_write_takes_400ns(self, eng, mem):
+        def proc(eng):
+            yield from mem.word_write(8, 55)
+            return eng.now
+
+        assert run(eng, proc(eng)) == 400
+        assert mem.peek_word(8) == 55
+
+    def test_words_read_sequential(self, eng, mem):
+        for i in range(10):
+            mem.poke_word(i * 4, i * i)
+
+        def proc(eng):
+            values = yield from mem.words_read(0, 10)
+            return (eng.now, list(values))
+
+        now, values = run(eng, proc(eng))
+        assert now == 4000
+        assert values == [i * i for i in range(10)]
+
+    def test_row_load_same_time_as_one_word(self, eng, mem):
+        """The paper's headline memory claim: a 1024-byte row loads in
+        the same time as a single 32-bit word access."""
+        reg = VectorRegister(1024)
+        row = np.full(1024, 7, dtype=np.uint8)
+        mem.write_row(3, row)
+
+        def proc(eng):
+            yield from mem.row_to_register(3, reg)
+            return eng.now
+
+        assert run(eng, proc(eng)) == PAPER_SPECS.word_access_ns == 400
+        np.testing.assert_array_equal(reg.raw, row)
+        assert reg.loaded_row == 3
+
+    def test_ports_are_independent(self, eng, mem):
+        """A row transfer and a word access can overlap — that is the
+        dual-ported design."""
+        reg = VectorRegister(1024)
+        times = {}
+
+        def word_user(eng):
+            yield from mem.word_read(0)
+            times["word"] = eng.now
+
+        def row_user(eng):
+            yield from mem.row_to_register(0, reg)
+            times["row"] = eng.now
+
+        eng.process(word_user(eng))
+        eng.process(row_user(eng))
+        eng.run()
+        assert times == {"word": 400, "row": 400}  # fully overlapped
+
+    def test_same_port_serialises(self, eng, mem):
+        times = []
+
+        def word_user(eng):
+            yield from mem.word_read(0)
+            times.append(eng.now)
+
+        eng.process(word_user(eng))
+        eng.process(word_user(eng))
+        eng.run()
+        assert times == [400, 800]
+
+    def test_row_move(self, eng, mem):
+        reg = VectorRegister(1024)
+        row = np.arange(1024, dtype=np.int64).astype(np.uint8)
+        mem.write_row(5, row)
+
+        def proc(eng):
+            yield from mem.row_move(5, 700, reg)
+            return eng.now
+
+        assert run(eng, proc(eng)) == 800  # two row accesses
+        np.testing.assert_array_equal(mem.read_row(700), row)
+
+
+class TestBandwidths:
+    def test_word_port_peak_10_mb_s(self, mem):
+        assert mem.word_port.peak_bandwidth_mb_s == pytest.approx(10.0)
+
+    def test_row_port_peak_2560_mb_s(self, mem):
+        assert mem.row_port.peak_bandwidth_mb_s == pytest.approx(2560.0)
+
+    def test_measured_word_bandwidth(self, eng, mem):
+        def proc(eng):
+            yield from mem.words_read(0, 1000)
+
+        run(eng, proc(eng))
+        assert mem.word_port.measured_bandwidth_mb_s() == pytest.approx(10.0)
+
+    def test_measured_row_bandwidth(self, eng, mem):
+        reg = VectorRegister(1024)
+
+        def proc(eng):
+            for row in range(100):
+                yield from mem.row_to_register(row, reg)
+
+        run(eng, proc(eng))
+        assert mem.row_port.measured_bandwidth_mb_s() == pytest.approx(2560.0)
+
+
+class TestVectorRegister:
+    def test_capacity(self):
+        reg = VectorRegister(1024)
+        assert reg.capacity(32) == 256
+        assert reg.capacity(64) == 128
+
+    def test_elements_roundtrip(self):
+        reg = VectorRegister(1024)
+        values = np.linspace(-1, 1, 128)
+        reg.set_elements(values, 64)
+        np.testing.assert_array_equal(reg.elements(64), values)
+
+    def test_partial_set_leaves_tail(self):
+        reg = VectorRegister(1024)
+        reg.set_elements(np.ones(128), 64)
+        reg.set_elements(np.full(10, 2.0), 64)
+        out = reg.elements(64)
+        assert (out[:10] == 2.0).all() and (out[10:] == 1.0).all()
+
+    def test_count_clamp(self):
+        reg = VectorRegister(1024)
+        with pytest.raises(ValueError):
+            reg.elements(64, count=129)
+        assert reg.elements(64, count=5).size == 5
+
+    def test_oversized_set_rejected(self):
+        reg = VectorRegister(1024)
+        with pytest.raises(ValueError):
+            reg.set_elements(np.zeros(257), 32)
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            VectorRegister(100)
+
+    def test_load_bytes_wrong_size(self):
+        reg = VectorRegister(1024)
+        with pytest.raises(ValueError):
+            reg.load_bytes(np.zeros(10, dtype=np.uint8))
+
+
+class TestParity:
+    def test_parity_of_known_bytes(self):
+        assert list(parity_of(np.array([0, 1, 3, 255], dtype=np.uint8))) == \
+            [0, 1, 0, 0]
+
+    def test_clean_reads_pass(self, mem):
+        mem.poke_bytes(0, np.arange(256, dtype=np.uint8))
+        mem.peek_bytes(0, 256)  # no exception
+        assert mem.parity.errors_detected == 0
+
+    def test_injected_error_detected(self, mem):
+        mem.poke_word(0x40, 77)
+        mem.parity.inject_error(0x41)
+        with pytest.raises(ParityError) as info:
+            mem.peek_word(0x40)
+        assert info.value.address == 0x41
+        assert mem.parity.errors_detected == 1
+
+    def test_rewrite_clears_error(self, mem):
+        mem.poke_word(0, 1)
+        mem.parity.inject_error(0)
+        mem.poke_word(0, 1)  # write recomputes parity
+        assert mem.peek_word(0) == 1
+
+    def test_inject_out_of_range(self, mem):
+        with pytest.raises(ValueError):
+            mem.parity.inject_error(1 << 20)
+
+
+class TestSnapshotRestore:
+    def test_roundtrip(self, mem):
+        mem.poke_bytes(123, np.arange(200, dtype=np.uint8))
+        image = mem.snapshot()
+        mem.poke_bytes(123, np.zeros(200, dtype=np.uint8))
+        mem.restore(image)
+        np.testing.assert_array_equal(
+            mem.peek_bytes(123, 200), np.arange(200, dtype=np.uint8)
+        )
+
+    def test_restore_fixes_parity_errors(self, mem):
+        mem.poke_word(0, 42)
+        image = mem.snapshot()
+        mem.parity.inject_error(0)
+        mem.restore(image)
+        assert mem.peek_word(0) == 42
+
+    def test_size_mismatch(self, mem):
+        with pytest.raises(ValueError):
+            mem.restore(np.zeros(10, dtype=np.uint8))

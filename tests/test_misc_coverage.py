@@ -1,0 +1,166 @@
+"""Edge cases and small public surfaces not covered elsewhere."""
+
+import pytest
+
+from repro.core import MachineConfig, PAPER_SPECS, TSeriesMachine
+from repro.core.module import Module
+from repro.cp.scheduler import (
+    HIGH,
+    LOW,
+    Scheduler,
+    descriptor_priority,
+    descriptor_wptr,
+    make_descriptor,
+)
+from repro.events import Engine, Store
+from repro.links import FrameSpec, Message
+from repro.memory import MemoryPort
+from repro.runtime import Envelope
+from repro.system import SystemBoard
+from repro.topology import gray_sequence
+
+
+class TestSystemBoardExternal:
+    def test_external_transfer_rate(self):
+        """Paper: 'the system board can support 0.5 MB/s to an
+        external connection' — same framing as a link."""
+        eng = Engine()
+        board = SystemBoard(eng, PAPER_SPECS)
+
+        def proc(eng):
+            yield from board.external_transfer(100_000)
+            return eng.now
+
+        elapsed = eng.run(until=eng.process(proc(eng)))
+        mb_s = 100_000 / elapsed * 1000
+        assert 0.5 < mb_s < 0.6
+
+    def test_board_repr(self):
+        board = SystemBoard(Engine(), PAPER_SPECS, module_id=3)
+        assert "3" in repr(board)
+
+
+class TestSchedulerHelpers:
+    def test_descriptor_roundtrip(self):
+        d = make_descriptor(0x1000, LOW)
+        assert descriptor_wptr(d) == 0x1000
+        assert descriptor_priority(d) == LOW
+        d2 = make_descriptor(0x2000, HIGH)
+        assert descriptor_priority(d2) == HIGH
+
+    def test_descriptor_validation(self):
+        with pytest.raises(ValueError):
+            make_descriptor(0x1001, LOW)   # unaligned
+        with pytest.raises(ValueError):
+            make_descriptor(0x1000, 2)     # bad priority
+
+    def test_timeslice_rotation(self):
+        sched = Scheduler()
+        sched.current = (0x100, LOW)
+        sched.enqueue(0x200, LOW)
+        expirations = sum(
+            sched.timeslice_expired() for _ in range(Scheduler.QUANTUM)
+        )
+        assert expirations == 1    # exactly one per quantum
+
+    def test_high_priority_never_timesliced(self):
+        sched = Scheduler()
+        sched.current = (0x100, HIGH)
+        sched.enqueue(0x200, HIGH)
+        assert not any(
+            sched.timeslice_expired() for _ in range(100)
+        )
+
+
+class TestSmallSurfaces:
+    def test_engine_peek(self):
+        eng = Engine()
+        assert eng.peek() is None
+        eng.timeout(500)
+        assert eng.peek() == 500
+
+    def test_store_items_snapshot(self):
+        eng = Engine()
+        store = Store(eng)
+        store.put("a")
+        store.put("b")
+        eng.run()
+        assert store.items == ("a", "b")
+
+    def test_message_and_envelope_reprs(self):
+        message = Message("p", 10, 0, 100)
+        assert "10B" in repr(message)
+        envelope = Envelope(0, 3, "t", None, 32)
+        assert envelope.wire_bytes == 48   # 32 + 16-byte header
+        assert envelope.hops == 0
+        assert "0->3" in repr(envelope)
+
+    def test_module_validation(self):
+        with pytest.raises(ValueError):
+            Module(0, [], board=None)
+        machine = TSeriesMachine(3)
+        module = machine.modules[0]
+        with pytest.raises(ValueError):
+            module.position_of(99)
+        assert len(module) == 8
+        assert module.memory_bytes == 8 << 20
+
+    def test_memory_port_validation(self):
+        eng = Engine()
+        with pytest.raises(ValueError):
+            MemoryPort(eng, 0, 4, "bad")
+        port = MemoryPort(eng, 100, 4, "ok")
+        with pytest.raises(ValueError):
+            next(port.access(-1))
+        assert port.measured_bandwidth_mb_s() == 0.0
+        assert port.utilization() == 0.0
+
+    def test_frame_spec_zero_bytes(self):
+        frame = FrameSpec.from_specs(PAPER_SPECS)
+        assert frame.transfer_ns(0) == 0
+
+    def test_gray_sequence_degenerate(self):
+        assert gray_sequence(0) == [0]
+        with pytest.raises(ValueError):
+            gray_sequence(-1)
+
+    def test_config_usable_boundary(self):
+        assert MachineConfig(12).usable
+        assert not MachineConfig(13).usable
+
+    def test_specs_replace_is_functional(self):
+        fast = PAPER_SPECS.replace(cycle_ns=62)
+        assert fast.cycle_ns == 62
+        assert PAPER_SPECS.cycle_ns == 125   # original untouched
+
+    def test_machine_repr(self):
+        machine = TSeriesMachine(3)
+        text = repr(machine)
+        assert "3-cube" in text and "8" in text
+
+
+class TestDerivedSpecTable:
+    def test_every_paper_constant(self):
+        """One assertion per §II/§III headline number, in one place."""
+        s = PAPER_SPECS
+        assert s.peak_mflops_per_node == 16.0
+        assert s.peak_mflops_per_module == 128.0
+        assert s.memory_words == 256 * 1024
+        assert s.rows_total == 1024
+        assert s.vector_length_32 == 256
+        assert s.vector_length_64 == 128
+        assert s.cp_memory_bw_mb_s == 10.0
+        assert s.row_bw_mb_s == 2560.0
+        assert s.vector_register_bw_mb_s == 192.0
+        assert s.gather_ns_per_element_64 == 1600
+        assert s.gather_ns_per_element_32 == 800
+        assert s.link_bits_per_byte == 13
+        assert s.link_bw_mb_s > 0.5
+        assert s.sublinks_per_node == 16
+        assert s.compute_sublinks_per_node == 12
+        assert s.module_memory_bytes == 8 << 20
+        assert s.intramodule_bw_mb_s > 12.0
+        ratio = s.balance_ratio
+        assert ratio[0] == 1.0
+        assert round(ratio[1]) == 13
+        assert round(ratio[2]) == 128  # paper rounds to 130

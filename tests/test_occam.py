@@ -1,0 +1,327 @@
+"""Tests for the Occam combinators and process networks."""
+
+import pytest
+
+from repro.events import Channel, DeadlockError, Engine
+from repro.occam import (
+    Alt,
+    Guard,
+    OccamProgram,
+    Par,
+    SKIP,
+    Seq,
+    TimeoutGuard,
+    par_for,
+    seq_for,
+)
+
+
+@pytest.fixture
+def eng():
+    return Engine()
+
+
+def run(eng, body):
+    return eng.run(until=eng.process(body))
+
+
+class TestSeq:
+    def test_runs_in_order(self, eng):
+        trace = []
+
+        def step(tag, delay):
+            yield eng.timeout(delay)
+            trace.append((tag, eng.now))
+            return tag
+
+        results = run(eng, Seq(step("a", 10), step("b", 5), step("c", 1)))
+        assert trace == [("a", 10), ("b", 15), ("c", 16)]
+        assert results == ["a", "b", "c"]
+
+    def test_empty_seq(self, eng):
+        assert run(eng, Seq()) == []
+
+    def test_seq_for(self, eng):
+        def body(i):
+            yield eng.timeout(10)
+            return i * i
+
+        assert run(eng, seq_for(4, body)) == [0, 1, 4, 9]
+        assert eng.now == 40
+
+
+class TestPar:
+    def test_runs_concurrently(self, eng):
+        def step(delay):
+            yield eng.timeout(delay)
+            return delay
+
+        results = run(eng, Par(eng, step(30), step(10), step(20)))
+        assert results == [30, 10, 20]
+        assert eng.now == 30  # not 60: parallel
+
+    def test_par_for(self, eng):
+        def body(i):
+            yield eng.timeout(100)
+            return i
+
+        assert run(eng, par_for(eng, 8, body)) == list(range(8))
+        assert eng.now == 100
+
+    def test_nested_composition(self, eng):
+        trace = []
+
+        def step(tag, delay):
+            yield eng.timeout(delay)
+            trace.append(tag)
+
+        # SEQ(a, PAR(b, c), d)
+        run(eng, Seq(
+            step("a", 5),
+            Par(eng, step("b", 10), step("c", 10)),
+            step("d", 5),
+        ))
+        assert trace[0] == "a" and trace[-1] == "d"
+        assert eng.now == 20
+
+
+class TestChannelsInNetworks:
+    def test_pipeline(self, eng):
+        """producer → doubler → consumer over rendezvous channels."""
+        a = Channel(eng, "a")
+        b = Channel(eng, "b")
+        got = []
+
+        def producer():
+            for i in range(5):
+                yield a.put(i)
+
+        def doubler():
+            for _ in range(5):
+                value = yield a.get()
+                yield b.put(value * 2)
+
+        def consumer():
+            for _ in range(5):
+                got.append((yield b.get()))
+
+        run(eng, Par(eng, producer(), doubler(), consumer()))
+        assert got == [0, 2, 4, 6, 8]
+
+    def test_rendezvous_blocks_sender(self, eng):
+        chan = Channel(eng)
+        times = {}
+
+        def sender():
+            yield chan.put("x")
+            times["sent"] = eng.now
+
+        def receiver():
+            yield eng.timeout(1000)
+            yield chan.get()
+
+        run(eng, Par(eng, sender(), receiver()))
+        assert times["sent"] == 1000
+
+
+class TestAlt:
+    def test_selects_ready_channel(self, eng):
+        fast = Channel(eng, "fast")
+        slow = Channel(eng, "slow")
+
+        def sender():
+            yield eng.timeout(10)
+            yield fast.put("quick")
+
+        def chooser():
+            index, value = yield from Alt(eng, [Guard(slow), Guard(fast)])
+            return (index, value, eng.now)
+
+        eng.process(sender())
+        proc = eng.process(chooser())
+        assert eng.run(until=proc) == (1, "quick", 10)
+
+    def test_priority_order_on_simultaneous(self, eng):
+        a = Channel(eng, "a")
+        b = Channel(eng, "b")
+
+        def sender():
+            yield eng.timeout(5)
+            a.put("from-a")
+            b.put("from-b")
+            yield eng.timeout(0)
+
+        def chooser():
+            index, value = yield from Alt(eng, [Guard(a), Guard(b)])
+            return (index, value)
+
+        eng.process(sender())
+        proc = eng.process(chooser())
+        # Guard order is priority: a wins.
+        assert eng.run(until=proc) == (0, "from-a")
+        assert b.ready  # b's message not consumed
+
+    def test_branch_runs(self, eng):
+        chan = Channel(eng)
+        trace = []
+
+        def branch(value):
+            yield eng.timeout(7)
+            trace.append(value)
+            return value * 10
+
+        def sender():
+            yield chan.put(4)
+
+        def chooser():
+            result = yield from Alt(eng, [Guard(chan, branch=branch)])
+            return result
+
+        eng.process(sender())
+        proc = eng.process(chooser())
+        assert eng.run(until=proc) == (0, 40)
+        assert trace == [4] and eng.now == 7
+
+    def test_plain_callable_branch(self, eng):
+        chan = Channel(eng)
+
+        def sender():
+            yield chan.put(3)
+
+        def chooser():
+            result = yield from Alt(
+                eng, [Guard(chan, branch=lambda v: v + 1)]
+            )
+            return result
+
+        eng.process(sender())
+        proc = eng.process(chooser())
+        assert eng.run(until=proc) == (0, 4)
+
+    def test_timeout_guard_fires_when_idle(self, eng):
+        chan = Channel(eng)
+
+        def chooser():
+            result = yield from Alt(
+                eng, [Guard(chan), TimeoutGuard(500)]
+            )
+            return (result, eng.now)
+
+        proc = eng.process(chooser())
+        (index, value), now = eng.run(until=proc)
+        assert index == 1 and value is SKIP and now == 500
+
+    def test_channel_beats_timeout(self, eng):
+        chan = Channel(eng)
+
+        def sender():
+            yield eng.timeout(100)
+            yield chan.put("early")
+
+        def chooser():
+            result = yield from Alt(
+                eng, [Guard(chan), TimeoutGuard(500)]
+            )
+            return result
+
+        eng.process(sender())
+        proc = eng.process(chooser())
+        assert eng.run(until=proc) == (0, "early")
+
+    def test_disabled_guard_skipped(self, eng):
+        a = Channel(eng)
+        b = Channel(eng)
+
+        def sender():
+            a.put("a")
+            b.put("b")
+            yield eng.timeout(0)
+
+        def chooser():
+            result = yield from Alt(
+                eng, [Guard(a, enabled=False), Guard(b)]
+            )
+            return result
+
+        eng.process(sender())
+        proc = eng.process(chooser())
+        assert eng.run(until=proc) == (1, "b")
+
+    def test_all_disabled_rejected(self, eng):
+        chan = Channel(eng)
+        with pytest.raises(ValueError):
+            Alt(eng, [Guard(chan, enabled=False)])
+
+    def test_empty_alt_rejected(self, eng):
+        with pytest.raises(ValueError):
+            Alt(eng, [])
+
+    def test_non_channel_guard_rejected(self, eng):
+        with pytest.raises(TypeError):
+            Guard("not a channel")
+
+    def test_alt_loop_serves_multiple_clients(self, eng):
+        """A multiplexing server: classic ALT idiom."""
+        clients = [Channel(eng, f"c{i}") for i in range(3)]
+        served = []
+
+        def client(i):
+            yield eng.timeout(10 * (i + 1))
+            yield clients[i].put(f"req{i}")
+
+        def server():
+            for _ in range(3):
+                index, value = yield from Alt(
+                    eng, [Guard(c) for c in clients]
+                )
+                served.append((index, value))
+
+        for i in range(3):
+            eng.process(client(i))
+        proc = eng.process(server())
+        eng.run(until=proc)
+        assert served == [(0, "req0"), (1, "req1"), (2, "req2")]
+
+
+class TestOccamProgram:
+    def test_named_channels_are_cached(self):
+        prog = OccamProgram()
+        assert prog.channel("x") is prog.channel("x")
+
+    def test_program_runs_network(self):
+        prog = OccamProgram()
+        chan = prog.channel("data")
+        got = []
+
+        def producer():
+            yield chan.put(42)
+
+        def consumer():
+            got.append((yield chan.get()))
+
+        prog.spawn(producer(), name="producer")
+        prog.spawn(consumer(), name="consumer")
+        prog.run()
+        assert got == [42]
+
+    def test_deadlock_detected(self):
+        prog = OccamProgram()
+        chan = prog.channel("never")
+
+        def waiter():
+            yield chan.get()  # nobody ever puts
+
+        prog.spawn(waiter(), name="waiter")
+        with pytest.raises(DeadlockError, match="waiter"):
+            prog.run()
+
+    def test_run_until_time_no_deadlock_check(self):
+        prog = OccamProgram()
+        chan = prog.channel("never")
+
+        def waiter():
+            yield chan.get()
+
+        prog.spawn(waiter())
+        prog.run(until=1000)  # no exception: bounded run
+        assert prog.now == 1000

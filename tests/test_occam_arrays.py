@@ -1,0 +1,106 @@
+"""Array support in the Occam compiler and parser."""
+
+import pytest
+
+from repro.occam import compiler as C
+from repro.occam.compiler import read_array, read_variable, run_occam
+from repro.occam.parser import parse_expression, run_source
+
+
+class TestASTArrays:
+    def test_store_and_load(self):
+        ast = C.Seq([
+            C.AssignArray("a", C.Num(0), C.Num(11)),
+            C.AssignArray("a", C.Num(1), C.Num(22)),
+            C.Assign("x", C.Add(
+                C.ArrayRef("a", C.Num(0)), C.ArrayRef("a", C.Num(1))
+            )),
+        ])
+        cpu, compiler = run_occam(ast)
+        assert read_variable(cpu, compiler, "x") == 33
+        assert read_array(cpu, compiler, "a", 2) == [11, 22]
+
+    def test_computed_index(self):
+        ast = C.Seq([
+            C.Assign("i", C.Num(3)),
+            C.AssignArray("a", C.Mul(C.Var("i"), C.Num(2)), C.Num(77)),
+            C.Assign("x", C.ArrayRef("a", C.Num(6))),
+        ])
+        cpu, compiler = run_occam(ast)
+        assert read_variable(cpu, compiler, "x") == 77
+
+    def test_two_arrays_do_not_alias(self):
+        ast = C.Seq([
+            C.AssignArray("a", C.Num(0), C.Num(1)),
+            C.AssignArray("b", C.Num(0), C.Num(2)),
+        ])
+        cpu, compiler = run_occam(ast)
+        assert read_array(cpu, compiler, "a", 1) == [1]
+        assert read_array(cpu, compiler, "b", 1) == [2]
+
+    def test_unknown_array_read(self):
+        cpu, compiler = run_occam(C.Assign("x", C.Num(1)))
+        with pytest.raises(C.CompileError):
+            read_array(cpu, compiler, "ghost", 1)
+
+
+class TestParsedArrays:
+    def test_expression_syntax(self):
+        expr = parse_expression("a[i + 1]")
+        assert expr == C.ArrayRef("a", C.Add(C.Var("i"), C.Num(1)))
+
+    def test_sieve_of_sums(self):
+        """Fill a[i] = i², then total it — loops over a real array,
+        compiled from source to the stack machine."""
+        source = """
+            SEQ
+              i := 0
+              WHILE 10 > i
+                SEQ
+                  a[i] := i * i
+                  i := i + 1
+              total := 0
+              i := 0
+              WHILE 10 > i
+                SEQ
+                  total := total + a[i]
+                  i := i + 1
+        """
+        cpu, compiler = run_source(source)
+        assert read_variable(cpu, compiler, "total") == \
+            sum(i * i for i in range(10))
+        assert read_array(cpu, compiler, "a", 10) == \
+            [i * i for i in range(10)]
+
+    def test_fibonacci_table(self):
+        source = """
+            SEQ
+              fib[0] := 0
+              fib[1] := 1
+              i := 2
+              WHILE 12 > i
+                SEQ
+                  fib[i] := fib[i - 1] + fib[i - 2]
+                  i := i + 1
+        """
+        cpu, compiler = run_source(source)
+        expected = [0, 1]
+        while len(expected) < 12:
+            expected.append(expected[-1] + expected[-2])
+        assert read_array(cpu, compiler, "fib", 12) == expected
+
+    def test_array_in_par_channel(self):
+        source = """
+            SEQ
+              buf[0] := 9
+              PAR
+                c ? y
+                c ! buf[0] * 5
+        """
+        cpu, compiler = run_source(source)
+        assert read_variable(cpu, compiler, "y") == 45
+
+    def test_unclosed_bracket(self):
+        from repro.occam.parser import OccamSyntaxError
+        with pytest.raises(OccamSyntaxError):
+            parse_expression("a[1 + 2")

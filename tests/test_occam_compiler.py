@@ -1,0 +1,292 @@
+"""Tests for the Occam → CP-assembly compiler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.occam.compiler import (
+    Add,
+    Assign,
+    BinOp,
+    CompileError,
+    Div,
+    Eq,
+    Gt,
+    If,
+    In,
+    Mod,
+    Mul,
+    Num,
+    Out,
+    Par,
+    Seq,
+    Skip,
+    Sub,
+    Var,
+    While,
+    compile_occam,
+    read_variable,
+    run_occam,
+)
+
+
+def run_and_read(ast, *names):
+    cpu, compiler = run_occam(ast)
+    assert not cpu.deadlocked
+    values = [read_variable(cpu, compiler, n) for n in names]
+    return values[0] if len(values) == 1 else values
+
+
+class TestExpressions:
+    def test_constant_assignment(self):
+        assert run_and_read(Assign("x", Num(42)), "x") == 42
+
+    def test_arithmetic(self):
+        ast = Seq([
+            Assign("a", Num(7)),
+            Assign("b", Num(3)),
+            Assign("sum", Add(Var("a"), Var("b"))),
+            Assign("diff", Sub(Var("a"), Var("b"))),
+            Assign("prod", Mul(Var("a"), Var("b"))),
+            Assign("quot", Div(Var("a"), Var("b"))),
+            Assign("rem", Mod(Var("a"), Var("b"))),
+        ])
+        assert run_and_read(ast, "sum", "diff", "prod", "quot",
+                            "rem") == [10, 4, 21, 2, 1]
+
+    def test_negative_numbers(self):
+        ast = Assign("x", Sub(Num(3), Num(10)))
+        assert run_and_read(ast, "x") == -7
+
+    def test_deep_expression_spills_correctly(self):
+        # ((1+2)*(3+4)) - ((5+6)*(7+8)) = 21 - 165 = -144
+        ast = Assign("x", Sub(
+            Mul(Add(Num(1), Num(2)), Add(Num(3), Num(4))),
+            Mul(Add(Num(5), Num(6)), Add(Num(7), Num(8))),
+        ))
+        assert run_and_read(ast, "x") == -144
+
+    def test_very_deep_nesting(self):
+        # Right-leaning: 1+(2+(3+(4+(5+6))))
+        expr = Num(6)
+        for v in (5, 4, 3, 2, 1):
+            expr = Add(Num(v), expr)
+        assert run_and_read(Assign("x", expr), "x") == 21
+
+    def test_comparison_and_equality(self):
+        ast = Seq([
+            Assign("gt1", Gt(Num(5), Num(3))),
+            Assign("gt0", Gt(Num(3), Num(5))),
+            Assign("eq1", Eq(Num(4), Num(4))),
+            Assign("eq0", Eq(Add(Num(2), Num(2)), Num(5))),
+        ])
+        assert run_and_read(ast, "gt1", "gt0", "eq1", "eq0") == \
+            [1, 0, 1, 0]
+
+    def test_bitwise(self):
+        ast = Seq([
+            Assign("a", BinOp("and", Num(0b1100), Num(0b1010))),
+            Assign("o", BinOp("or", Num(0b1100), Num(0b1010))),
+            Assign("x", BinOp("xor", Num(0b1100), Num(0b1010))),
+            Assign("l", BinOp("shl", Num(1), Num(5))),
+            Assign("r", BinOp("shr", Num(64), Num(3))),
+        ])
+        assert run_and_read(ast, "a", "o", "x", "l", "r") == \
+            [0b1000, 0b1110, 0b0110, 32, 8]
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_add_property(self, a, b):
+        assert run_and_read(
+            Assign("x", Add(Num(a), Num(b))), "x"
+        ) == a + b
+
+
+class TestControlFlow:
+    def test_while_sum(self):
+        ast = Seq([
+            Assign("x", Num(0)),
+            Assign("i", Num(10)),
+            While(Gt(Var("i"), Num(0)), Seq([
+                Assign("x", Add(Var("x"), Var("i"))),
+                Assign("i", Sub(Var("i"), Num(1))),
+            ])),
+        ])
+        assert run_and_read(ast, "x") == 55
+
+    def test_while_false_never_runs(self):
+        ast = Seq([
+            Assign("x", Num(5)),
+            While(Num(0), Assign("x", Num(99))),
+        ])
+        assert run_and_read(ast, "x") == 5
+
+    def test_if_then_else(self):
+        ast = Seq([
+            Assign("a", Num(10)),
+            If(Gt(Var("a"), Num(5)),
+               Assign("r", Num(1)),
+               Assign("r", Num(2))),
+            If(Gt(Var("a"), Num(50)),
+               Assign("s", Num(1)),
+               Assign("s", Num(2))),
+        ])
+        assert run_and_read(ast, "r", "s") == [1, 2]
+
+    def test_if_without_else(self):
+        ast = Seq([
+            Assign("x", Num(1)),
+            If(Num(0), Assign("x", Num(9))),
+        ])
+        assert run_and_read(ast, "x") == 1
+
+    def test_nested_loops_gcd(self):
+        """Euclid's algorithm, compiled to the metal."""
+        ast = Seq([
+            Assign("a", Num(252)),
+            Assign("b", Num(105)),
+            While(Gt(Var("b"), Num(0)), Seq([
+                Assign("t", Mod(Var("a"), Var("b"))),
+                Assign("a", Var("b")),
+                Assign("b", Var("t")),
+            ])),
+        ])
+        assert run_and_read(ast, "a") == 21
+
+    def test_skip(self):
+        assert run_and_read(Seq([Assign("x", Num(3)), Skip()]), "x") == 3
+
+
+class TestPar:
+    def test_par_branches_both_run(self):
+        ast = Par([
+            Assign("a", Num(11)),
+            Assign("b", Num(22)),
+        ])
+        assert run_and_read(ast, "a", "b") == [11, 22]
+
+    def test_par_three_branches(self):
+        ast = Seq([
+            Par([
+                Assign("a", Num(1)),
+                Assign("b", Num(2)),
+                Assign("c", Num(3)),
+            ]),
+            Assign("total", Add(Add(Var("a"), Var("b")), Var("c"))),
+        ])
+        assert run_and_read(ast, "total") == 6
+
+    def test_sequential_after_par(self):
+        """The join really joins: code after PAR sees both results."""
+        ast = Seq([
+            Assign("x", Num(0)),
+            Par([
+                Assign("a", Num(100)),
+                Assign("b", Num(200)),
+            ]),
+            Assign("x", Add(Var("a"), Var("b"))),
+        ])
+        assert run_and_read(ast, "x") == 300
+
+    def test_par_in_loop(self):
+        ast = Seq([
+            Assign("x", Num(0)),
+            Assign("i", Num(3)),
+            While(Gt(Var("i"), Num(0)), Seq([
+                Par([
+                    Assign("u", Var("i")),
+                    Assign("v", Mul(Var("i"), Num(10))),
+                ]),
+                Assign("x", Add(Var("x"), Add(Var("u"), Var("v")))),
+                Assign("i", Sub(Var("i"), Num(1))),
+            ])),
+        ])
+        # Σ (i + 10i) for i = 3..1 = 11·6 = 66.
+        assert run_and_read(ast, "x") == 66
+
+    def test_single_branch_par_is_inline(self):
+        assert run_and_read(Par([Assign("x", Num(7))]), "x") == 7
+
+    def test_empty_par(self):
+        assert run_and_read(Seq([Assign("x", Num(1)), Par([])]),
+                            "x") == 1
+
+
+class TestChannels:
+    def test_producer_consumer(self):
+        ast = Par([
+            Seq([          # consumer (parent branch)
+                In("c", "got"),
+            ]),
+            Seq([          # producer (child)
+                Out("c", Num(1234)),
+            ]),
+        ])
+        assert run_and_read(ast, "got") == 1234
+
+    def test_pipeline_through_two_channels(self):
+        ast = Par([
+            In("result", "final"),                     # sink
+            Seq([                                      # relay: c → result
+                In("c", "tmp"),
+                Out("result", Add(Var("tmp"), Num(1))),
+            ]),
+            Out("c", Num(41)),                         # source
+        ])
+        assert run_and_read(ast, "final") == 42
+
+    def test_ping_pong_exchange(self):
+        ast = Par([
+            Seq([
+                Out("ping", Num(5)),
+                In("pong", "back"),
+            ]),
+            Seq([
+                In("ping", "x"),
+                Out("pong", Mul(Var("x"), Var("x"))),
+            ]),
+        ])
+        assert run_and_read(ast, "back") == 25
+
+    def test_expression_output(self):
+        ast = Seq([
+            Assign("n", Num(6)),
+            Par([
+                In("c", "got"),
+                Out("c", Mul(Var("n"), Num(7))),
+            ]),
+        ])
+        assert run_and_read(ast, "got") == 42
+
+
+class TestCompilerInternals:
+    def test_compile_produces_source(self):
+        source = compile_occam(Assign("x", Num(1)))
+        assert "terminate" in source
+        assert "stnl 0" in source
+
+    def test_channel_prologue_initialises(self):
+        source = compile_occam(Par([In("c", "x"), Out("c", Num(1))]))
+        assert "mint" in source
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(CompileError):
+            compile_occam(Assign("x", BinOp("pow", Num(2), Num(3))))
+
+    def test_non_expression_rejected(self):
+        with pytest.raises(CompileError):
+            compile_occam(Assign("x", Skip()))
+
+    def test_non_process_rejected(self):
+        with pytest.raises(CompileError):
+            compile_occam(Num(3))
+
+    def test_unknown_variable_read(self):
+        cpu, compiler = run_occam(Assign("x", Num(1)))
+        with pytest.raises(CompileError):
+            read_variable(cpu, compiler, "nope")
+
+    def test_determinism(self):
+        ast = Seq([Assign("x", Num(1)), Par([
+            Assign("a", Num(2)), Assign("b", Num(3)),
+        ])])
+        assert compile_occam(ast) == compile_occam(ast)

@@ -1,0 +1,209 @@
+"""Tests for the Occam concrete-syntax parser (source → AST → metal)."""
+
+import pytest
+
+from repro.occam import compiler as C
+from repro.occam.compiler import read_variable
+from repro.occam.parser import (
+    OccamSyntaxError,
+    parse,
+    parse_expression,
+    run_source,
+)
+
+
+def run_and_read(source, *names):
+    cpu, compiler = run_source(source)
+    assert not cpu.deadlocked
+    values = [read_variable(cpu, compiler, n) for n in names]
+    return values[0] if len(values) == 1 else values
+
+
+class TestExpressions:
+    def test_literals_and_names(self):
+        assert parse_expression("42") == C.Num(42)
+        assert parse_expression("x") == C.Var("x")
+        assert parse_expression("-5") == C.Num(-5)
+
+    def test_precedence(self):
+        # 2 + 3 * 4 → add(2, mul(3, 4))
+        expr = parse_expression("2 + 3 * 4")
+        assert expr == C.Add(C.Num(2), C.Mul(C.Num(3), C.Num(4)))
+
+    def test_parentheses(self):
+        expr = parse_expression("(2 + 3) * 4")
+        assert expr == C.Mul(C.Add(C.Num(2), C.Num(3)), C.Num(4))
+
+    def test_comparisons(self):
+        assert parse_expression("a > b") == C.Gt(C.Var("a"), C.Var("b"))
+        assert parse_expression("a < b") == C.Gt(C.Var("b"), C.Var("a"))
+        assert parse_expression("a = b") == C.Eq(C.Var("a"), C.Var("b"))
+
+    def test_occam_remainder_backslash(self):
+        expr = parse_expression("a \\ b")
+        assert expr == C.Mod(C.Var("a"), C.Var("b"))
+
+    def test_bitwise_occam_operators(self):
+        assert parse_expression("a /\\ b") == C.BinOp(
+            "and", C.Var("a"), C.Var("b"))
+        assert parse_expression("a \\/ b") == C.BinOp(
+            "or", C.Var("a"), C.Var("b"))
+        assert parse_expression("a >< b") == C.BinOp(
+            "xor", C.Var("a"), C.Var("b"))
+        assert parse_expression("a << 2") == C.BinOp(
+            "shl", C.Var("a"), C.Num(2))
+
+    def test_unary_minus_of_variable(self):
+        expr = parse_expression("-x")
+        assert expr == C.Sub(C.Num(0), C.Var("x"))
+
+    def test_errors(self):
+        with pytest.raises(OccamSyntaxError):
+            parse_expression("2 +")
+        with pytest.raises(OccamSyntaxError):
+            parse_expression("(2 + 3")
+        with pytest.raises(OccamSyntaxError):
+            parse_expression("2 @ 3")
+        with pytest.raises(OccamSyntaxError):
+            parse_expression("2 3")
+
+
+class TestParsing:
+    def test_seq_structure(self):
+        ast = parse("""
+            SEQ
+              x := 1
+              y := 2
+        """)
+        assert isinstance(ast, C.Seq)
+        assert len(ast.body) == 2
+
+    def test_comments_stripped(self):
+        ast = parse("""
+            SEQ            -- a block
+              x := 1       -- set x
+        """)
+        assert len(ast.body) == 1
+
+    def test_bad_indent_rejected(self):
+        with pytest.raises(OccamSyntaxError):
+            parse("""
+                SEQ
+                  x := 1
+                    y := 2
+            """)
+
+    def test_unknown_statement(self):
+        with pytest.raises(OccamSyntaxError):
+            parse("FNORD 3")
+
+    def test_bad_assignment_target(self):
+        with pytest.raises(OccamSyntaxError):
+            parse("3 := x")
+
+    def test_empty_source_is_skip(self):
+        assert parse("   \n  -- nothing\n") == C.Skip()
+
+
+class TestExecution:
+    def test_the_docstring_program(self):
+        source = """
+            SEQ
+              x := 0
+              i := 10
+              WHILE i > 0
+                SEQ
+                  x := x + i
+                  i := i - 1
+        """
+        assert run_and_read(source, "x") == 55
+
+    def test_gcd_from_source(self):
+        source = """
+            SEQ
+              a := 252
+              b := 105
+              WHILE b > 0
+                SEQ
+                  t := a \\ b
+                  a := b
+                  b := t
+        """
+        assert run_and_read(source, "a") == 21
+
+    def test_if_else(self):
+        source = """
+            SEQ
+              a := 3
+              IF a > 2
+                r := 1
+                ELSE
+                r := 2
+              IF a > 9
+                s := 1
+                ELSE
+                s := 2
+        """
+        assert run_and_read(source, "r", "s") == [1, 2]
+
+    def test_if_without_else(self):
+        source = """
+            SEQ
+              x := 7
+              IF x = 7
+                x := 8
+        """
+        assert run_and_read(source, "x") == 8
+
+    def test_par_with_channels(self):
+        """The paper's programming model, end to end from source text:
+        parallel processes rendezvousing over a channel, compiled to
+        the stack machine and executed."""
+        source = """
+            PAR
+              SEQ
+                c ? y
+                result := y + 1
+              c ! 6 * 7
+        """
+        assert run_and_read(source, "result") == 43
+
+    def test_pipeline_from_source(self):
+        source = """
+            PAR
+              sink ? final
+              SEQ
+                stage ? v
+                sink ! v * v
+              stage ! 9
+        """
+        assert run_and_read(source, "final") == 81
+
+    def test_nested_control_flow(self):
+        # Count primes below 20 by trial division.
+        source = """
+            SEQ
+              count := 0
+              n := 2
+              WHILE 20 > n
+                SEQ
+                  isprime := 1
+                  d := 2
+                  WHILE (n > d) /\\ (isprime > 0)
+                    SEQ
+                      IF (n \\ d) = 0
+                        isprime := 0
+                      d := d + 1
+                  IF isprime > 0
+                    count := count + 1
+                  n := n + 1
+        """
+        # Primes < 20: 2 3 5 7 11 13 17 19 → 8.
+        assert run_and_read(source, "count") == 8
+
+    def test_skip_statement(self):
+        assert run_and_read("""
+            SEQ
+              x := 5
+              SKIP
+        """, "x") == 5

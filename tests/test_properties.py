@@ -1,0 +1,235 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Invariants that must hold across the whole stack: FIFO ordering of
+kernel primitives, algebraic properties of the bit-level arithmetic,
+routing/topology laws on random cubes, collective correctness on
+random inputs, and gather/scatter round trips at random addresses.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import PAPER_SPECS, ProcessorNode, TSeriesMachine
+from repro.events import Channel, Engine, Store
+from repro.fpu.ieee import BINARY64
+from repro.fpu.softfloat import UNORDERED, fp_add, fp_compare, fp_mul
+from repro.runtime import HypercubeProgram
+from repro.topology import Hypercube, ecube_route, gray, hamming_distance
+
+
+class TestKernelInvariants:
+    @given(st.lists(st.integers(), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_channel_preserves_order(self, items):
+        eng = Engine()
+        chan = Channel(eng)
+        got = []
+
+        def sender():
+            for item in items:
+                yield chan.put(item)
+
+        def receiver():
+            for _ in items:
+                got.append((yield chan.get()))
+
+        eng.process(sender())
+        eng.process(receiver())
+        eng.run()
+        assert got == items
+
+    @given(st.lists(st.integers(), max_size=30),
+           st.integers(min_value=1, max_value=5))
+    @settings(max_examples=50, deadline=None)
+    def test_store_fifo_under_capacity_pressure(self, items, capacity):
+        eng = Engine()
+        store = Store(eng, capacity=capacity)
+        got = []
+
+        def producer():
+            for item in items:
+                yield store.put(item)
+
+        def consumer():
+            for _ in items:
+                got.append((yield store.get()))
+
+        eng.process(producer())
+        eng.process(consumer())
+        eng.run()
+        assert got == items
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000),
+                    min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_timeouts_fire_in_time_order(self, delays):
+        eng = Engine()
+        fired = []
+
+        def waiter(d):
+            yield eng.timeout(d)
+            fired.append(eng.now)
+
+        for d in delays:
+            eng.process(waiter(d))
+        eng.run()
+        assert fired == sorted(fired)
+        assert eng.now == max(delays)
+
+
+finite64 = st.floats(min_value=-1e100, max_value=1e100,
+                     allow_nan=False, allow_infinity=False)
+
+
+class TestArithmeticAlgebra:
+    @given(finite64, finite64)
+    @settings(max_examples=150, deadline=None)
+    def test_addition_commutes(self, x, y):
+        a, b = BINARY64.from_float(x), BINARY64.from_float(y)
+        assert fp_add(a, b, BINARY64) == fp_add(b, a, BINARY64)
+
+    @given(finite64, finite64)
+    @settings(max_examples=150, deadline=None)
+    def test_multiplication_commutes(self, x, y):
+        a, b = BINARY64.from_float(x), BINARY64.from_float(y)
+        assert fp_mul(a, b, BINARY64) == fp_mul(b, a, BINARY64)
+
+    @given(finite64)
+    @settings(max_examples=100, deadline=None)
+    def test_multiplicative_identity(self, x):
+        a = BINARY64.from_float(x)
+        one = BINARY64.from_float(1.0)
+        assert fp_mul(a, one, BINARY64) == a
+
+    @given(finite64)
+    @settings(max_examples=100, deadline=None)
+    def test_additive_identity(self, x):
+        a = BINARY64.from_float(x)
+        zero = BINARY64.zero_bits(0)
+        result = fp_add(a, zero, BINARY64)
+        if a == BINARY64.zero_bits(1):
+            # The one IEEE exception: −0 + (+0) = +0 under RNE.
+            assert result == zero
+        else:
+            assert result == a
+
+    @given(finite64, finite64)
+    @settings(max_examples=150, deadline=None)
+    def test_compare_antisymmetric(self, x, y):
+        a, b = BINARY64.from_float(x), BINARY64.from_float(y)
+        forward = fp_compare(a, b, BINARY64)
+        backward = fp_compare(b, a, BINARY64)
+        assert forward != UNORDERED
+        assert forward == -backward
+
+
+class TestTopologyLaws:
+    @given(st.integers(min_value=1, max_value=10),
+           st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_route_is_shortest_and_monotone(self, n, data):
+        cube = Hypercube(n)
+        src = data.draw(st.integers(0, cube.size - 1))
+        dst = data.draw(st.integers(0, cube.size - 1))
+        path = ecube_route(src, dst, cube)
+        assert len(path) - 1 == hamming_distance(src, dst)
+        # Each hop strictly decreases distance-to-go.
+        togo = [hamming_distance(node, dst) for node in path]
+        assert togo == sorted(togo, reverse=True)
+        assert len(set(togo)) == len(togo)
+
+    @given(st.integers(min_value=0, max_value=1 << 16))
+    @settings(max_examples=100, deadline=None)
+    def test_gray_code_is_injective_locally(self, i):
+        assert gray(i) != gray(i + 1)
+        assert hamming_distance(gray(i), gray(i + 1)) == 1
+
+    @given(st.integers(min_value=1, max_value=8))
+    @settings(max_examples=8, deadline=None)
+    def test_neighbor_relation_symmetric(self, n):
+        cube = Hypercube(n)
+        for node in range(min(cube.size, 16)):
+            for nb in cube.neighbors(node):
+                assert node in cube.neighbors(nb)
+
+
+class TestCollectiveProperties:
+    @given(st.integers(min_value=0, max_value=2),
+           st.lists(st.integers(min_value=-1000, max_value=1000),
+                    min_size=8, max_size=8))
+    @settings(max_examples=15, deadline=None)
+    def test_allreduce_sum_matches_python(self, dim_choice, values):
+        dim = [1, 2, 3][dim_choice]
+        machine = TSeriesMachine(dim, with_system=False)
+        program = HypercubeProgram(machine)
+        size = len(machine)
+        local = values[:size]
+
+        def main(ctx):
+            total = yield from ctx.allreduce(
+                local[ctx.node_id], 8, lambda a, b: a + b
+            )
+            return total
+
+        results, _ = program.run(main)
+        assert set(results.values()) == {sum(local)}
+
+    @given(st.integers(min_value=0, max_value=7))
+    @settings(max_examples=8, deadline=None)
+    def test_broadcast_from_any_root(self, root):
+        machine = TSeriesMachine(3, with_system=False)
+        program = HypercubeProgram(machine)
+
+        def main(ctx):
+            value = yield from ctx.broadcast(
+                root, "payload" if ctx.node_id == root else None, 8
+            )
+            return value
+
+        results, _ = program.run(main)
+        assert all(v == "payload" for v in results.values())
+
+
+class TestGatherScatterRoundTrip:
+    @given(st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1, max_size=20,
+    ), st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_scatter_then_gather_is_identity(self, values, rnd):
+        eng = Engine()
+        node = ProcessorNode(eng, PAPER_SPECS)
+        data = np.array(values)
+        node.write_floats(0x1000, data)
+        # Random distinct aligned addresses well away from the source.
+        slots = rnd.sample(range(4096), len(values))
+        addresses = [0x40000 + 8 * s for s in slots]
+
+        def roundtrip():
+            yield from node.scatter(0x1000, addresses)
+            yield from node.gather(addresses, 0x80000)
+
+        eng.run(until=eng.process(roundtrip()))
+        out = node.read_floats(0x80000, len(values))
+        np.testing.assert_array_equal(out, data)
+        # Timing law: 2 × 1.6 µs per element.
+        assert eng.now == 2 * len(values) * 1600
+
+
+class TestSpecDerivations:
+    @given(st.integers(min_value=100, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_peak_rate_scales_inversely_with_cycle(self, cycle):
+        specs = PAPER_SPECS.replace(cycle_ns=cycle)
+        assert specs.peak_mflops_per_node == pytest.approx(
+            2e9 / cycle / 1e6
+        )
+
+    @given(st.integers(min_value=1_000_000, max_value=100_000_000))
+    @settings(max_examples=30, deadline=None)
+    def test_link_bandwidth_scales_with_bit_rate(self, bit_rate):
+        specs = PAPER_SPECS.replace(link_bit_rate=bit_rate)
+        assert specs.link_bw_mb_s == pytest.approx(
+            bit_rate / 13 / 1e6, rel=1e-6
+        )

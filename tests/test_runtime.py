@@ -1,0 +1,285 @@
+"""Tests for the transport, collectives, and SPMD API."""
+
+import pytest
+
+from repro.core import TSeriesMachine
+from repro.runtime import (
+    Envelope,
+    HypercubeProgram,
+    IdentityMapping,
+    MeshMapping,
+    RingMapping,
+)
+
+
+@pytest.fixture
+def machine():
+    return TSeriesMachine(3, with_system=False)
+
+
+@pytest.fixture
+def program(machine):
+    return HypercubeProgram(machine)
+
+
+class TestPointToPoint:
+    def test_neighbor_message(self, program):
+        def main(ctx):
+            if ctx.node_id == 0:
+                yield from ctx.send(1, "hello", 5)
+                return "sent"
+            if ctx.node_id == 1:
+                envelope = yield from ctx.recv()
+                return envelope.payload
+            return None
+            yield  # pragma: no cover
+
+        results, elapsed = program.run(main, nodes=[0, 1])
+        assert results[1] == "hello"
+        assert elapsed > 0
+
+    def test_multi_hop_routed_ecube(self, program):
+        def main(ctx):
+            if ctx.node_id == 0:
+                yield from ctx.send(7, "far", 4)
+            if ctx.node_id == 7:
+                envelope = yield from ctx.recv()
+                return envelope
+            return None
+            yield  # pragma: no cover
+
+        results, _ = program.run(main, nodes=[0, 7])
+        envelope = results[7]
+        assert envelope.payload == "far"
+        # e-cube: 0 → 1 → 3 → 7 (ascending dimensions).
+        visited = [node for node, _t in envelope.trace]
+        assert visited == [0, 1, 3, 7]
+        assert envelope.hops == 3
+
+    def test_self_send(self, program):
+        def main(ctx):
+            yield from ctx.send(ctx.node_id, 42, 4, tag="self")
+            envelope = yield from ctx.recv(tag="self")
+            return envelope.payload
+
+        results, _ = program.run(main, nodes=[5])
+        assert results[5] == 42
+
+    def test_transfer_time_scales_with_hops(self, machine):
+        program = HypercubeProgram(machine)
+        transport = program.transport
+
+        def time_for(dst):
+            def main(ctx):
+                if ctx.node_id == 0:
+                    yield from ctx.send(dst, "x", 64, tag=f"t{dst}")
+                if ctx.node_id == dst:
+                    yield from ctx.recv(tag=f"t{dst}")
+                return None
+                yield  # pragma: no cover
+
+            _, elapsed = program.run(main, nodes=[0, dst])
+            return elapsed
+
+        t1 = time_for(1)      # 1 hop
+        t3 = time_for(7)      # 3 hops
+        assert t3 == pytest.approx(3 * t1, rel=0.01)
+        assert transport.predicted_transfer_ns(0, 7, 64) == pytest.approx(
+            t3, rel=0.01
+        )
+
+    def test_tags_demultiplex(self, program):
+        def main(ctx):
+            if ctx.node_id == 0:
+                yield from ctx.send(1, "A", 1, tag="a")
+                yield from ctx.send(1, "B", 1, tag="b")
+            if ctx.node_id == 1:
+                b = yield from ctx.recv(tag="b")
+                a = yield from ctx.recv(tag="a")
+                return (a.payload, b.payload)
+            return None
+            yield  # pragma: no cover
+
+        results, _ = program.run(main, nodes=[0, 1])
+        assert results[1] == ("A", "B")
+
+    def test_envelope_validation(self):
+        with pytest.raises(ValueError):
+            Envelope(0, 1, "t", None, -5)
+
+
+class TestCollectives:
+    def test_broadcast_reaches_all(self, program):
+        def main(ctx):
+            value = yield from ctx.broadcast(
+                root=3, value="data" if ctx.node_id == 3 else None, nbytes=16
+            )
+            return value
+
+        results, _ = program.run(main)
+        assert all(v == "data" for v in results.values())
+
+    def test_broadcast_cost_is_log(self):
+        """Broadcast completes in ~n sequential link times, not N."""
+        def run_dim(dim):
+            machine = TSeriesMachine(dim, with_system=False)
+            program = HypercubeProgram(machine)
+
+            def main(ctx):
+                value = yield from ctx.broadcast(0, "x", 64)
+                return value
+
+            _, elapsed = program.run(main)
+            return elapsed
+
+        t2, t4 = run_dim(2), run_dim(4)
+        # Cost ratio ≈ dimension ratio (2), far below node ratio (4).
+        assert t4 / t2 < 3.0
+
+    def test_reduce_sums_to_root(self, program):
+        def main(ctx):
+            result = yield from ctx.reduce(
+                root=0, value=ctx.node_id, nbytes=8,
+                combine=lambda a, b: a + b,
+            )
+            return result
+
+        results, _ = program.run(main)
+        assert results[0] == sum(range(8))
+        assert all(results[i] is None for i in range(1, 8))
+
+    def test_reduce_to_nonzero_root(self, program):
+        def main(ctx):
+            result = yield from ctx.reduce(
+                root=5, value=1, nbytes=8, combine=lambda a, b: a + b,
+            )
+            return result
+
+        results, _ = program.run(main)
+        assert results[5] == 8
+        assert results[0] is None
+
+    def test_allreduce_everywhere(self, program):
+        def main(ctx):
+            result = yield from ctx.allreduce(
+                ctx.node_id, 8, lambda a, b: a + b
+            )
+            return result
+
+        results, _ = program.run(main)
+        assert set(results.values()) == {28}
+
+    def test_allreduce_max(self, program):
+        def main(ctx):
+            result = yield from ctx.allreduce(
+                (ctx.node_id * 37) % 11, 8, max
+            )
+            return result
+
+        results, _ = program.run(main)
+        expected = max((i * 37) % 11 for i in range(8))
+        assert set(results.values()) == {expected}
+
+    def test_gather_collects_at_root(self, program):
+        def main(ctx):
+            result = yield from ctx.gather(
+                root=0, value=ctx.node_id ** 2, nbytes=8
+            )
+            return result
+
+        results, _ = program.run(main)
+        assert results[0] == {i: i * i for i in range(8)}
+        assert results[3] is None
+
+    def test_allgather_everywhere(self, program):
+        def main(ctx):
+            result = yield from ctx.allgather(chr(65 + ctx.node_id), 1)
+            return result
+
+        results, _ = program.run(main)
+        expected = {i: chr(65 + i) for i in range(8)}
+        assert all(v == expected for v in results.values())
+
+    def test_barrier_synchronises(self, program):
+        record = []
+
+        def main(ctx):
+            # Node 0 works longer before the barrier.
+            if ctx.node_id == 0:
+                yield ctx.engine.timeout(1_000_000)
+            yield from ctx.barrier()
+            record.append((ctx.node_id, ctx.engine.now))
+            return ctx.engine.now
+
+        results, _ = program.run(main)
+        after = [t for _n, t in record]
+        assert min(after) >= 1_000_000  # nobody passed early
+
+    def test_alltoall(self, program):
+        def main(ctx):
+            values = {dst: ctx.node_id * 100 + dst for dst in range(8)}
+            result = yield from ctx.alltoall(values, 8)
+            return result
+
+        results, _ = program.run(main)
+        for receiver, inbox in results.items():
+            assert inbox == {src: src * 100 + receiver for src in range(8)}
+
+    def test_alltoall_validation(self, program):
+        def main(ctx):
+            result = yield from ctx.alltoall({0: "x"}, 8)
+            return result
+
+        with pytest.raises(ValueError):
+            program.run(main, nodes=[0])
+
+    def test_back_to_back_collectives(self, program):
+        """Tag sequencing keeps consecutive collectives separate."""
+        def main(ctx):
+            a = yield from ctx.allreduce(1, 8, lambda x, y: x + y)
+            b = yield from ctx.allreduce(2, 8, lambda x, y: x + y)
+            return (a, b)
+
+        results, _ = program.run(main)
+        assert set(results.values()) == {(8, 16)}
+
+
+class TestMappings:
+    def test_ring_mapping_neighbors_one_hop(self, machine):
+        mapping = RingMapping(8)
+        for rank in range(8):
+            node = mapping.node_of(rank)
+            for nb in mapping.neighbors_of_rank(rank):
+                assert machine.cube.distance(node, mapping.node_of(nb)) == 1
+
+    def test_identity_mapping(self):
+        mapping = IdentityMapping(8)
+        assert mapping.node_of(5) == 5
+        with pytest.raises(ValueError):
+            mapping.node_of(8)
+        with pytest.raises(ValueError):
+            IdentityMapping(6)
+
+    def test_mesh_mapping(self):
+        mapping = MeshMapping((2, 4))
+        assert mapping.size == 8
+        coords = mapping.coords_of(mapping.node_of((1, 2)))
+        assert coords == (1, 2)
+
+    def test_ring_beats_identity_for_ring_traffic(self, machine):
+        """The Figure 3 point, measured: Gray-coded ring placement makes
+        every ring step one hop; identity placement does not."""
+        ring = RingMapping(8)
+        ident = IdentityMapping(8)
+
+        def total_hops(mapping):
+            hops = 0
+            for rank in range(8):
+                nxt = (rank + 1) % 8
+                hops += machine.cube.distance(
+                    mapping.node_of(rank), mapping.node_of(nxt)
+                )
+            return hops
+
+        assert total_hops(ring) == 8          # dilation 1
+        assert total_hops(ident) > 8          # wrap costs extra

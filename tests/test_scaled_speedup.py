@@ -1,0 +1,74 @@
+"""Tests for fixed-size vs scaled speedup analysis."""
+
+import pytest
+
+from repro.analysis import (
+    amdahl_speedup,
+    gustafson_speedup,
+    measured_scaled_saxpy,
+    measured_scaled_stencil,
+)
+from repro.core import TSeriesMachine
+
+
+def factory(dim):
+    return TSeriesMachine(dim, with_system=False)
+
+
+class TestLaws:
+    def test_amdahl_saturates(self):
+        s = 0.05
+        assert amdahl_speedup(s, 1) == 1.0
+        assert amdahl_speedup(s, 1 << 20) < 1 / s + 1e-9
+        assert amdahl_speedup(0.0, 4096) == 4096
+
+    def test_gustafson_grows_linearly(self):
+        s = 0.05
+        assert gustafson_speedup(s, 1) == 1.0
+        assert gustafson_speedup(s, 4096) == pytest.approx(
+            0.05 + 0.95 * 4096
+        )
+
+    def test_gustafson_dominates_amdahl(self):
+        for p in (2, 8, 64, 4096):
+            assert gustafson_speedup(0.1, p) > amdahl_speedup(0.1, p)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(1.5, 4)
+        with pytest.raises(ValueError):
+            gustafson_speedup(-0.1, 4)
+        with pytest.raises(ValueError):
+            amdahl_speedup(0.5, 0)
+
+
+class TestMeasuredScaledSpeedup:
+    def test_saxpy_scales_perfectly(self):
+        """Fixed work per node → constant time → scaled speedup = P.
+
+        This is the regime the T Series (and the later Gustafson 1988
+        argument) is built for."""
+        rows = measured_scaled_saxpy(factory, dims=(0, 1, 2, 3),
+                                     elements_per_node=128 * 16)
+        t_ref = rows[0][1]
+        for p, elapsed, scaled in rows:
+            assert elapsed == t_ref                 # constant time
+            assert scaled == pytest.approx(p)
+
+    def test_stencil_scaled_speedup_grows(self):
+        """Scaled speedup needs blocks above the balance threshold:
+        a stencil block moves ~1 halo word per `block` flops, so
+        block=256 (> 130) puts compute in charge and the scaled
+        speedup grows with the machine."""
+        rows = measured_scaled_stencil(factory, dims=(0, 2), block=256,
+                                       iterations=2)
+        speedups = [s for _p, _e, s in rows]
+        assert speedups[0] == pytest.approx(1.0)
+        assert speedups[1] > 2.5       # of the ideal 4
+
+    def test_stencil_below_threshold_does_not_scale(self):
+        """...and block=8 (intensity ~8 flops/word) does not — the
+        same balance rule, negative side."""
+        rows = measured_scaled_stencil(factory, dims=(0, 2), block=8,
+                                       iterations=2)
+        assert rows[1][2] < 1.0

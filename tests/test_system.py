@@ -1,0 +1,237 @@
+"""Tests for system services: disk, ring, checkpointing, failures."""
+
+import numpy as np
+import pytest
+
+from repro.core import PAPER_SPECS, TSeriesMachine
+from repro.core.specs import NS_PER_S
+from repro.events import Engine
+from repro.memory import ParityError
+from repro.system import (
+    CheckpointService,
+    FailureInjector,
+    SystemDisk,
+    SystemRing,
+    corrupt_random_byte,
+)
+
+
+def run(eng, gen):
+    return eng.run(until=eng.process(gen))
+
+
+class TestDisk:
+    def test_rate_calibrated_to_15s_per_module(self):
+        eng = Engine()
+        disk = SystemDisk(eng, PAPER_SPECS)
+        module_bytes = 8 << 20
+        seconds = disk.transfer_ns(module_bytes) / NS_PER_S
+        assert seconds == pytest.approx(15.0, rel=0.01)
+
+    def test_write_read_timing(self):
+        eng = Engine()
+        disk = SystemDisk(eng, PAPER_SPECS)
+
+        def proc(eng):
+            yield from disk.write(1 << 20)
+            yield from disk.read(1 << 20)
+            return eng.now
+
+        elapsed = run(eng, proc(eng))
+        assert elapsed == 2 * disk.transfer_ns(1 << 20)
+        assert disk.bytes_written == disk.bytes_read == 1 << 20
+
+    def test_image_store(self):
+        eng = Engine()
+        disk = SystemDisk(eng, PAPER_SPECS)
+        disk.put_image("t0", 3, b"abc")
+        assert disk.get_image("t0", 3) == b"abc"
+        assert disk.has_snapshot("t0")
+        disk.drop_snapshot("t0")
+        assert not disk.has_snapshot("t0")
+
+    def test_negative_size(self):
+        disk = SystemDisk(Engine(), PAPER_SPECS)
+        with pytest.raises(ValueError):
+            disk.transfer_ns(-1)
+
+
+class TestSystemRing:
+    def test_distance_and_path(self):
+        machine = TSeriesMachine(5)  # 4 modules
+        ring = SystemRing(machine.boards)
+        assert len(ring) == 4
+        assert ring.distance(0, 1) == 1
+        assert ring.distance(0, 3) == 1  # shorter backwards
+        assert ring.distance(0, 2) == 2
+        assert ring.path(0, 2) in ([0, 1, 2], [0, 3, 2])
+
+    def test_send_around_ring(self):
+        machine = TSeriesMachine(5)
+        ring = SystemRing(machine.boards)
+        eng = machine.engine
+
+        def proc(eng):
+            hops = yield from ring.send(0, 2, "backup", nbytes=1024)
+            return (hops, eng.now)
+
+        hops, elapsed = run(eng, proc(eng))
+        assert hops == 2
+        assert elapsed > 0
+
+    def test_self_send_is_free(self):
+        machine = TSeriesMachine(4)
+        ring = SystemRing(machine.boards)
+
+        def proc(eng):
+            hops = yield from ring.send(1, 1, "x", 10)
+            return hops
+
+        assert run(machine.engine, proc(machine.engine)) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystemRing([])
+        machine = TSeriesMachine(4)
+        ring = SystemRing(machine.boards)
+        with pytest.raises(ValueError):
+            ring.distance(0, 5)
+
+
+class TestCheckpoint:
+    def test_snapshot_takes_about_15_seconds(self):
+        """The paper's headline checkpoint figure, measured from the
+        simulated thread + disk traffic."""
+        machine = TSeriesMachine(3)  # one full module
+        service = CheckpointService(machine)
+
+        def proc(eng):
+            elapsed = yield from service.snapshot_all("t0")
+            return elapsed
+
+        elapsed_ns = run(machine.engine, proc(machine.engine))
+        seconds = elapsed_ns / NS_PER_S
+        assert 13.0 < seconds < 17.0
+
+    def test_snapshot_time_independent_of_configuration(self):
+        """Two modules snapshot in the same wall time as one."""
+        def snapshot_seconds(dimension):
+            machine = TSeriesMachine(dimension)
+            service = CheckpointService(machine)
+
+            def proc(eng):
+                elapsed = yield from service.snapshot_all("t")
+                return elapsed
+
+            return run(machine.engine, proc(machine.engine)) / NS_PER_S
+
+        one_module = snapshot_seconds(3)
+        two_modules = snapshot_seconds(4)
+        assert two_modules == pytest.approx(one_module, rel=0.02)
+
+    def test_snapshot_restore_roundtrip(self):
+        machine = TSeriesMachine(3)
+        service = CheckpointService(machine)
+        # Plant recognisable data in every node.
+        for node in machine.nodes:
+            node.write_floats(0x1000, np.full(16, float(node.node_id + 1)))
+
+        def do_snapshot(eng):
+            yield from service.snapshot_all("ckpt")
+
+        run(machine.engine, do_snapshot(machine.engine))
+
+        # Clobber all memories.
+        for node in machine.nodes:
+            node.write_floats(0x1000, np.zeros(16))
+
+        def do_restore(eng):
+            yield from service.restore_all("ckpt")
+
+        run(machine.engine, do_restore(machine.engine))
+        for node in machine.nodes:
+            np.testing.assert_array_equal(
+                node.read_floats(0x1000, 16),
+                np.full(16, float(node.node_id + 1)),
+            )
+
+    def test_restore_clears_injected_fault(self):
+        machine = TSeriesMachine(3)
+        service = CheckpointService(machine)
+        node = machine.nodes[2]
+        node.write_floats(0, np.ones(8))
+
+        def do_snapshot(eng):
+            yield from service.snapshot_all("good")
+
+        run(machine.engine, do_snapshot(machine.engine))
+        node.memory.parity.inject_error(0)
+        with pytest.raises(ParityError):
+            node.read_floats(0, 8)
+
+        def do_restore(eng):
+            yield from service.restore_all("good")
+
+        run(machine.engine, do_restore(machine.engine))
+        np.testing.assert_array_equal(node.read_floats(0, 8), np.ones(8))
+
+    def test_predicted_matches_simulated(self):
+        machine = TSeriesMachine(3)
+        service = CheckpointService(machine)
+        predicted = service.predicted_snapshot_ns()
+
+        def proc(eng):
+            elapsed = yield from service.snapshot_all("t")
+            return elapsed
+
+        simulated = run(machine.engine, proc(machine.engine))
+        assert simulated == pytest.approx(predicted, rel=0.05)
+
+    def test_needs_system_boards(self):
+        machine = TSeriesMachine(3, with_system=False)
+        with pytest.raises(ValueError):
+            CheckpointService(machine)
+
+
+class TestFailures:
+    def test_corrupt_random_byte_is_latent(self):
+        machine = TSeriesMachine(2)
+        rng = np.random.default_rng(1)
+        node = machine.nodes[0]
+        address = corrupt_random_byte(node, rng)
+        aligned = address & ~0x3
+        with pytest.raises(ParityError):
+            node.memory.peek_word(aligned)
+
+    def test_injector_is_deterministic(self):
+        def trace(seed):
+            machine = TSeriesMachine(2)
+            injector = FailureInjector(machine, mtbf_seconds=0.001,
+                                       seed=seed)
+            run(machine.engine,
+                injector.run(until_ns=int(0.02 * NS_PER_S)))
+            return [(t, n) for t, n, _ in injector.log]
+
+        assert trace(7) == trace(7)
+        assert trace(7) != trace(8)
+
+    def test_failure_rate_matches_mtbf(self):
+        machine = TSeriesMachine(2)
+        injector = FailureInjector(machine, mtbf_seconds=0.0005, seed=3)
+        horizon = int(0.1 * NS_PER_S)
+        run(machine.engine, injector.run(until_ns=horizon))
+        # Expect ~200 faults; Poisson spread.
+        assert 150 < len(injector.log) < 260
+
+    def test_analytic_failure_times(self):
+        machine = TSeriesMachine(2)
+        injector = FailureInjector(machine, mtbf_seconds=100.0, seed=5)
+        times = injector.failure_times_s(10_000.0)
+        assert 60 < len(times) < 140
+        assert all(0 < t < 10_000 for t in times)
+        assert times == sorted(times)
+
+    def test_bad_mtbf(self):
+        machine = TSeriesMachine(2)
+        with pytest.raises(ValueError):
+            FailureInjector(machine, mtbf_seconds=0)

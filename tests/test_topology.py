@@ -1,0 +1,310 @@
+"""Tests for hypercube construction, Gray codes, routing, embeddings."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology import (
+    ButterflyEmbedding,
+    CylinderEmbedding,
+    Hypercube,
+    MeshEmbedding,
+    RingEmbedding,
+    communication_cost_growth,
+    congestion,
+    dilation,
+    ecube_route,
+    embeddable_meshes,
+    expansion,
+    gray,
+    gray_inverse,
+    gray_neighbor_dimension,
+    gray_sequence,
+    hamming_distance,
+    hop_count,
+    link_loads,
+    route_dimensions,
+    wiring_cost_hypercube,
+    wiring_cost_shared,
+)
+
+dims = st.integers(min_value=0, max_value=8)
+
+
+class TestGray:
+    def test_first_codewords(self):
+        assert [gray(i) for i in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    @given(st.integers(min_value=0, max_value=1 << 20))
+    @settings(max_examples=100, deadline=None)
+    def test_inverse(self, i):
+        assert gray_inverse(gray(i)) == i
+
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 2))
+    @settings(max_examples=100, deadline=None)
+    def test_adjacent_codes_differ_in_one_bit(self, i):
+        assert hamming_distance(gray(i), gray(i + 1)) == 1
+
+    @given(st.integers(min_value=1, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_sequence_is_cyclic(self, bits):
+        seq = gray_sequence(bits)
+        assert len(set(seq)) == len(seq) == 1 << bits
+        assert hamming_distance(seq[-1], seq[0]) == 1
+
+    def test_neighbor_dimension(self):
+        # gray(0)=0, gray(1)=1: differ in bit 0.
+        assert gray_neighbor_dimension(0, 3) == 0
+        # gray(1)=1, gray(2)=3: differ in bit 1.
+        assert gray_neighbor_dimension(1, 3) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gray(-1)
+        with pytest.raises(ValueError):
+            gray_inverse(-1)
+        with pytest.raises(ValueError):
+            gray_neighbor_dimension(8, 3)
+
+
+class TestHypercube:
+    @given(dims)
+    @settings(max_examples=20, deadline=None)
+    def test_counts(self, n):
+        cube = Hypercube(n)
+        assert len(cube) == 2 ** n
+        assert cube.edge_count() == (n * 2 ** (n - 1) if n else 0)
+        assert len(cube.edges()) == cube.edge_count()
+
+    def test_figure3_shapes(self):
+        """Figure 3: point, line, square, cube, tesseract."""
+        for n, nodes, edges in [(0, 1, 0), (1, 2, 1), (2, 4, 4),
+                                (3, 8, 12), (4, 16, 32)]:
+            cube = Hypercube(n)
+            assert len(cube) == nodes
+            assert cube.edge_count() == edges
+
+    def test_neighbors_differ_in_one_bit(self):
+        cube = Hypercube(4)
+        for nb in cube.neighbors(0b1010):
+            assert hamming_distance(0b1010, nb) == 1
+        assert len(cube.neighbors(0)) == 4
+
+    def test_neighbor_function(self):
+        cube = Hypercube(3)
+        assert cube.neighbor(0b000, 2) == 0b100
+        assert cube.neighbor(0b101, 0) == 0b100
+
+    def test_diameter_is_n(self):
+        """Paper: max connections between any two processors is n."""
+        for n in range(7):
+            cube = Hypercube(n)
+            assert cube.diameter == n
+            if n:
+                assert cube.distance(0, cube.size - 1) == n
+
+    def test_bisection_width(self):
+        assert Hypercube(6).bisection_width == 32
+        assert Hypercube(0).bisection_width == 0
+
+    def test_average_distance(self):
+        assert Hypercube(1).average_distance() == 1.0
+        assert Hypercube(0).average_distance() == 0.0
+        # n * 2^(n-1) / (2^n - 1) for n=3: 12/7
+        assert Hypercube(3).average_distance() == pytest.approx(12 / 7)
+
+    def test_subcube(self):
+        cube = Hypercube(4)
+        # Pin the top bit = 1: the upper 3-cube.
+        sub = cube.subcube({3: 1})
+        assert sub == [8, 9, 10, 11, 12, 13, 14, 15]
+        assert cube.subcube({0: 0, 1: 0, 2: 0, 3: 0}) == [0]
+
+    def test_networkx_roundtrip(self):
+        graph = Hypercube(4).to_networkx()
+        assert graph.number_of_nodes() == 16
+        assert graph.number_of_edges() == 32
+        import networkx as nx
+        assert nx.diameter(graph) == 4
+
+    def test_bounds(self):
+        cube = Hypercube(3)
+        with pytest.raises(ValueError):
+            cube.check_node(8)
+        with pytest.raises(ValueError):
+            cube.neighbor(0, 3)
+        with pytest.raises(ValueError):
+            Hypercube(-1)
+
+
+class TestRouting:
+    def test_route_endpoints(self):
+        path = ecube_route(0b000, 0b111)
+        assert path[0] == 0 and path[-1] == 7
+        assert len(path) == 4  # 3 hops
+
+    def test_route_corrects_ascending_dimensions(self):
+        assert route_dimensions(0b0101, 0b0110) == [0, 1]
+        path = ecube_route(0b0101, 0b0110)
+        assert path == [0b0101, 0b0100, 0b0110]
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=100, deadline=None)
+    def test_route_length_is_hamming_distance(self, src, dst):
+        path = ecube_route(src, dst)
+        assert len(path) - 1 == hop_count(src, dst)
+        for a, b in zip(path, path[1:]):
+            assert hamming_distance(a, b) == 1
+
+    def test_self_route(self):
+        assert ecube_route(5, 5) == [5]
+
+    def test_link_loads(self):
+        cube = Hypercube(2)
+        loads = link_loads(cube, [(0, 3), (0, 3)])
+        # e-cube: 0 → 1 → 3, both messages.
+        assert loads[(0, 1)] == 2
+        assert loads[(1, 3)] == 2
+
+    def test_out_of_cube_rejected(self):
+        with pytest.raises(ValueError):
+            ecube_route(0, 9, Hypercube(3))
+
+
+class TestRingEmbedding:
+    @given(st.integers(min_value=1, max_value=8))
+    @settings(max_examples=10, deadline=None)
+    def test_ring_is_dilation_1(self, n):
+        ring = RingEmbedding(1 << n)
+        assert dilation(ring) == 1
+
+    def test_positions_bijective(self):
+        ring = RingEmbedding(16)
+        nodes = {ring.node_of(i) for i in range(16)}
+        assert nodes == set(range(16))
+        for i in range(16):
+            assert ring.position_of(ring.node_of(i)) == i
+
+    def test_logical_neighbors_wrap(self):
+        ring = RingEmbedding(8)
+        assert set(ring.logical_neighbors(0)) == {7, 1}
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            RingEmbedding(6)
+
+    def test_expansion_is_one(self):
+        assert expansion(RingEmbedding(32)) == 1.0
+
+
+class TestMeshEmbedding:
+    @pytest.mark.parametrize("shape", [(4, 4), (2, 8), (2, 2, 4), (8,)])
+    def test_mesh_is_dilation_1(self, shape):
+        assert dilation(MeshEmbedding(shape)) == 1
+
+    @pytest.mark.parametrize("shape", [(4, 4), (2, 8), (4, 2, 2)])
+    def test_torus_is_dilation_1(self, shape):
+        """Wraparound edges also map to single hops (Gray cyclicity)."""
+        assert dilation(MeshEmbedding(shape, torus=True)) == 1
+
+    def test_cylinder_is_dilation_1(self):
+        assert dilation(CylinderEmbedding((8, 4))) == 1
+
+    def test_cylinder_wraps_first_axis_only(self):
+        cyl = CylinderEmbedding((4, 4))
+        assert (3, 0) in cyl.logical_neighbors((0, 0))   # wrapped
+        assert (0, 3) not in cyl.logical_neighbors((0, 0))  # not wrapped
+
+    def test_coords_roundtrip(self):
+        mesh = MeshEmbedding((4, 8))
+        for x in range(4):
+            for y in range(8):
+                node = mesh.node_of((x, y))
+                assert mesh.coords_of(node) == (x, y)
+
+    def test_all_nodes_used(self):
+        mesh = MeshEmbedding((4, 4))
+        nodes = {mesh.node_of((x, y)) for x in range(4) for y in range(4)}
+        assert nodes == set(range(16))
+
+    def test_bad_shapes(self):
+        with pytest.raises(ValueError):
+            MeshEmbedding((3, 4))
+        with pytest.raises(ValueError):
+            MeshEmbedding(())
+        with pytest.raises(ValueError):
+            MeshEmbedding((4,)).node_of((1, 1))
+        with pytest.raises(ValueError):
+            MeshEmbedding((4,)).node_of((4,))
+
+    def test_embeddable_meshes_for_tesseract(self):
+        shapes = embeddable_meshes(4)
+        assert (16,) in shapes
+        assert (4, 4) in shapes
+        assert (2, 2, 2, 2) in shapes
+        # Every shape multiplies out to 16.
+        for shape in shapes:
+            product = 1
+            for s in shape:
+                product *= s
+            assert product == 16
+
+
+class TestButterflyEmbedding:
+    def test_every_stage_is_single_hop(self):
+        """Paper: 'even FFT butterfly connections of radix 2'."""
+        fft = ButterflyEmbedding(64)
+        for stage in range(fft.stages):
+            for a, b in fft.stage_pairs(stage):
+                assert hamming_distance(fft.node_of(a), fft.node_of(b)) == 1
+
+    def test_dilation_1(self):
+        assert dilation(ButterflyEmbedding(32)) == 1
+
+    def test_stage_count(self):
+        assert ButterflyEmbedding(1024).stages == 10
+
+    def test_partner_symmetry(self):
+        fft = ButterflyEmbedding(16)
+        for i in range(16):
+            for s in range(4):
+                assert fft.partner(fft.partner(i, s), s) == i
+
+    def test_stage_pairs_cover_all_nodes(self):
+        fft = ButterflyEmbedding(16)
+        for s in range(4):
+            touched = {x for pair in fft.stage_pairs(s) for x in pair}
+            assert touched == set(range(16))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ButterflyEmbedding(12)
+        fft = ButterflyEmbedding(8)
+        with pytest.raises(ValueError):
+            fft.partner(0, 3)
+
+
+class TestAnalysis:
+    def test_congestion_of_ring_is_low(self):
+        assert congestion(RingEmbedding(16)) <= 2
+
+    def test_log_growth_of_communication(self):
+        """Paper: long-range cost grows as O(log2 N)."""
+        rows = communication_cost_growth(range(1, 13))
+        for n, nodes, diameter in rows:
+            assert nodes == 2 ** n
+            assert diameter == n  # log2(nodes)
+
+    def test_wiring_crossover(self):
+        """Shared-crossbar cost overtakes hypercube wiring rapidly."""
+        for p in (16, 64, 1024, 4096):
+            assert wiring_cost_shared(p) > wiring_cost_hypercube(p)
+        # And the gap widens.
+        ratio_small = wiring_cost_shared(16) / wiring_cost_hypercube(16)
+        ratio_large = wiring_cost_shared(4096) / wiring_cost_hypercube(4096)
+        assert ratio_large > 10 * ratio_small
+
+    def test_wiring_validation(self):
+        with pytest.raises(ValueError):
+            wiring_cost_hypercube(12)
+        with pytest.raises(ValueError):
+            wiring_cost_shared(-1)

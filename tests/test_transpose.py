@@ -1,0 +1,64 @@
+"""Tests for the distributed transpose (all-to-all exchange)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.transpose import (
+    distributed_transpose,
+    transpose_reference,
+)
+from repro.core import TSeriesMachine
+
+
+class TestTranspose:
+    @pytest.mark.parametrize("dim", [0, 1, 2, 3])
+    def test_matches_numpy(self, dim):
+        machine = TSeriesMachine(dim, with_system=False)
+        p = len(machine)
+        rng = np.random.default_rng(dim)
+        a = rng.standard_normal((4 * p, 8 * p))
+        result, elapsed = distributed_transpose(machine, a)
+        np.testing.assert_array_equal(result, transpose_reference(a))
+        assert elapsed > 0
+
+    def test_square(self):
+        machine = TSeriesMachine(2, with_system=False)
+        a = np.arange(64.0).reshape(8, 8)
+        result, _ = distributed_transpose(machine, a)
+        np.testing.assert_array_equal(result, a.T)
+
+    def test_double_transpose_is_identity(self):
+        machine = TSeriesMachine(2, with_system=False)
+        rng = np.random.default_rng(9)
+        a = rng.standard_normal((8, 8))
+        once, _ = distributed_transpose(machine, a)
+        twice, _ = distributed_transpose(machine, once)
+        np.testing.assert_array_equal(twice, a)
+
+    def test_dimension_check(self):
+        machine = TSeriesMachine(2, with_system=False)
+        with pytest.raises(ValueError):
+            distributed_transpose(machine, np.ones((5, 8)))
+        with pytest.raises(ValueError):
+            distributed_transpose(machine, np.ones((8, 6)))
+
+    @given(st.integers(min_value=1, max_value=3),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_property_random_shapes(self, blocks, seed):
+        machine = TSeriesMachine(2, with_system=False)
+        p = len(machine)
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((blocks * p, 2 * blocks * p))
+        result, _ = distributed_transpose(machine, a)
+        np.testing.assert_array_equal(result, a.T)
+
+    def test_alltoall_cost_scales_with_matrix(self):
+        machine_small = TSeriesMachine(2, with_system=False)
+        machine_large = TSeriesMachine(2, with_system=False)
+        a_small = np.ones((8, 8))
+        a_large = np.ones((32, 32))
+        _r1, t_small = distributed_transpose(machine_small, a_small)
+        _r2, t_large = distributed_transpose(machine_large, a_large)
+        assert t_large > 3 * t_small   # ~16x the data
