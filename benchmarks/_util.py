@@ -3,15 +3,29 @@
 Every bench regenerates one of the paper's tables or figures; the
 rendered tables are printed (visible with ``pytest -s``) and written
 under ``benchmarks/reports/`` so EXPERIMENTS.md can cite them.
+
+Each report is persisted twice: ``<name>.txt`` holds the rendered
+fixed-width tables (the human-readable, bit-stable artifact that the
+cycle-exactness regression checks diff), and ``<name>.json`` holds
+the same tables as machine-readable ``{title, headers, rows}`` records
+so the perf/figure trajectory can be tracked across PRs alongside the
+top-level ``BENCH_*.json`` files.
 """
 
+import json
 import pathlib
 
 REPORT_DIR = pathlib.Path(__file__).parent / "reports"
 
 
+def _table_payload(table) -> dict:
+    if hasattr(table, "to_dict"):
+        return table.to_dict()
+    return {"text": str(table)}
+
+
 def save_report(name: str, *tables) -> str:
-    """Print and persist one experiment's tables."""
+    """Print and persist one experiment's tables (text + JSON)."""
     REPORT_DIR.mkdir(exist_ok=True)
     texts = []
     for table in tables:
@@ -21,4 +35,8 @@ def save_report(name: str, *tables) -> str:
         texts.append(text)
     body = "\n\n".join(texts) + "\n"
     (REPORT_DIR / f"{name}.txt").write_text(body)
+    payload = {"report": name, "tables": [_table_payload(t) for t in tables]}
+    (REPORT_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n"
+    )
     return body

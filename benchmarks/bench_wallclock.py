@@ -1,0 +1,342 @@
+"""Wall-clock benchmark harness for the simulator itself.
+
+Every other bench in this directory measures *simulated* time — this
+one measures how fast the simulator produces it, in events/second and
+wall seconds, for three representative workloads:
+
+* ``engine_microbench`` — pure event-kernel churn: channel rendezvous
+  ping-pong (zero-delay URGENT traffic, the fast lane's home turf),
+  resource contention, and heap timeouts;
+* ``e12_matmul`` — the distributed matmul application workload
+  (vector forms, collectives, DMA, link wires) from bench E12;
+* ``e15_dma_contention`` — the E15 hub under saturating link DMA
+  traffic in both directions (Store/Resource heavy).
+
+Each workload runs twice: once on the optimized kernel and once with
+``REPRO_SLOW_KERNEL=1`` — the pure-heap, shim-allocating,
+re-decoding reference path, i.e. the pre-optimization simulator.  The
+harness asserts that both report **identical simulated time** (the
+cycle-exactness contract) and records the wall-clock ratio.
+
+Results go to ``benchmarks/reports/wallclock.txt``/``.json`` like any
+other bench, plus the top-level ``BENCH_wallclock.json`` that tracks
+the perf trajectory PR over PR.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py          # full
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --quick  # CI smoke
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+import numpy as np
+
+from repro.analysis import Table, engine_stats
+from repro.core import PAPER_SPECS, ProcessorNode, TSeriesMachine
+from repro.events import Engine
+from repro.events.channel import Channel
+from repro.events.resources import Resource, hold
+from repro.links.fabric import connect
+
+from _util import save_report
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_JSON = ROOT / "BENCH_wallclock.json"
+
+
+# -- workloads ----------------------------------------------------------
+
+
+def engine_microbench(scale: int):
+    """Kernel-only churn, weighted toward the traffic the fast lane
+    exists for: process spawn/teardown, resumptions on already-fired
+    events, channel rendezvous, resource grants, and a leavening of
+    heap timeouts.  Returns (engine, signature)."""
+    eng = Engine()
+    rounds = 400 * scale
+    port = Resource(eng, capacity=1, name="port")
+    log = {"rendezvous": 0, "holds": 0, "spawned": 0, "revisits": 0}
+
+    def pinger(ping, pong):
+        for i in range(rounds):
+            yield ping.put(i)
+            yield pong.get()
+            if not i & 7:
+                yield eng.timeout(1)
+
+    def ponger(ping, pong):
+        for _ in range(rounds):
+            yield ping.get()
+            yield pong.put(None)
+            log["rendezvous"] += 1
+
+    def contender(k):
+        for _ in range(rounds // 4):
+            yield from hold(eng, port, 5 + (k % 3))
+            log["holds"] += 1
+
+    def child(i):
+        if i & 1:
+            yield eng.timeout(0)
+        return i & 3
+
+    def spawner():
+        # Spawn/teardown churn: Initialize + completion are both
+        # zero-delay URGENT events.
+        total = 0
+        for i in range(rounds):
+            total += yield eng.process(child(i))
+        log["spawned"] += total
+
+    def revisitor(fired):
+        # Yielding an already-processed event exercises the resume
+        # record path (a shim Event per visit on the reference kernel).
+        count = 0
+        for _ in range(8 * rounds):
+            count += (yield fired) is None
+        log["revisits"] += count
+
+    fired = eng.event().succeed()
+    for p in range(4):
+        ping = Channel(eng, name=f"ping{p}")
+        pong = Channel(eng, name=f"pong{p}")
+        eng.process(pinger(ping, pong))
+        eng.process(ponger(ping, pong))
+    for _ in range(4):
+        eng.process(spawner())
+        eng.process(revisitor(fired))
+    for k in range(4):
+        eng.process(contender(k))
+    eng.run()
+    return eng, (
+        eng.now, log["rendezvous"], log["holds"],
+        log["spawned"], log["revisits"],
+    )
+
+
+def e12_matmul(scale: int):
+    """The E12 application workload: C = A·B across an 8-node cube."""
+    from repro.algorithms import distributed_matmul, matmul_reference
+
+    dim = 3 if scale > 1 else 2
+    m_rows, k_inner, n_cols = 24 * scale, 24, 32
+    rng = np.random.default_rng(7)
+    a = rng.standard_normal((m_rows, k_inner))
+    b = rng.standard_normal((k_inner, n_cols))
+    machine = TSeriesMachine(dim, with_system=False)
+    c, elapsed, mflops = distributed_matmul(machine, a, b)
+    np.testing.assert_allclose(c, matmul_reference(a, b), rtol=1e-9)
+    checksum = float(np.asarray(c, dtype=np.float64).sum())
+    return machine.engine, (elapsed, round(checksum, 6))
+
+
+def e15_dma_contention(scale: int):
+    """The E15 hub workload: gathers against saturating link DMA."""
+    specs = PAPER_SPECS.replace(dma_memory_traffic=True)
+    eng = Engine()
+    hub = ProcessorNode(eng, specs, node_id=0)
+    peers = [ProcessorNode(eng, specs, node_id=1 + i) for i in range(4)]
+    for i, peer in enumerate(peers):
+        connect(hub.comm, 4 * i, peer.comm, 0, role="hypercube")
+    done = {"elements": 0}
+
+    def cp_side():
+        addresses = [64 * i for i in range(100)]
+        while True:
+            yield from hub.gather(addresses, 0x80000)
+            done["elements"] += 100
+
+    def blast_out(slot):
+        while True:
+            yield from hub.comm.send(slot, "x", 1024)
+
+    def blast_in(peer):
+        while True:
+            yield from peer.comm.send(0, "y", 1024)
+
+    def drain(slot):
+        while True:
+            yield from hub.comm.recv(slot)
+
+    eng.process(cp_side())
+    for i in range(4):
+        eng.process(blast_out(4 * i))
+        eng.process(blast_in(peers[i]))
+        eng.process(drain(4 * i))
+    eng.run(until=1000 * 1000 * scale)
+    return eng, (eng.now, done["elements"])
+
+
+WORKLOADS = [
+    ("engine_microbench", engine_microbench),
+    ("e12_matmul", e12_matmul),
+    ("e15_dma_contention", e15_dma_contention),
+]
+
+
+# -- measurement --------------------------------------------------------
+
+
+def _timed_run(fn, scale: int) -> dict:
+    """One timed run of a workload in the current kernel mode."""
+    t0 = time.perf_counter()
+    engine, signature = fn(scale)
+    wall = time.perf_counter() - t0
+    stats = engine_stats(engine)
+    return {
+        "wall_s": wall,
+        "events": stats["events_processed"],
+        "events_per_s": stats["events_processed"] / wall,
+        "fast_lane_fraction": round(stats["fast_lane_fraction"], 4),
+        "sim_ns": engine.now,
+        "signature": list(signature),
+        "fast_kernel": stats["fast_kernel"],
+    }
+
+
+def _measure_pair(fn, scale: int, repeats: int):
+    """Median-of-N baseline/fast pair for one workload.
+
+    Each repeat times the baseline and fast kernels back-to-back, so
+    slow drift in the host machine (frequency scaling, noisy
+    neighbours) hits both sides of a pair equally; the reported pair
+    is the one with the median baseline/fast ratio, which is robust
+    against a single lucky or unlucky run on either side.
+    """
+    # Untimed warm-ups: pay imports and one-time setup here.
+    _in_kernel_mode(True, fn, scale)
+    _in_kernel_mode(False, fn, scale)
+    pairs = []
+    for _ in range(repeats):
+        baseline = _in_kernel_mode(True, _timed_run, fn, scale)
+        fast = _in_kernel_mode(False, _timed_run, fn, scale)
+        pairs.append((baseline, fast))
+    pairs.sort(key=lambda p: p[0]["wall_s"] / p[1]["wall_s"])
+    return pairs[len(pairs) // 2]
+
+
+def _in_kernel_mode(slow: bool, fn, *args):
+    """Run ``fn`` with the kernel mode forced via REPRO_SLOW_KERNEL."""
+    saved = os.environ.get("REPRO_SLOW_KERNEL")
+    if slow:
+        os.environ["REPRO_SLOW_KERNEL"] = "1"
+    else:
+        os.environ.pop("REPRO_SLOW_KERNEL", None)
+    try:
+        return fn(*args)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_SLOW_KERNEL", None)
+        else:
+            os.environ["REPRO_SLOW_KERNEL"] = saved
+
+
+def run_benchmark(quick: bool = False) -> dict:
+    scale = 1 if quick else 4
+    repeats = 1 if quick else 5
+    results = {}
+    for name, fn in WORKLOADS:
+        baseline, fast = _measure_pair(fn, scale, repeats)
+        if baseline["signature"] != fast["signature"]:
+            raise AssertionError(
+                f"{name}: simulated results diverge between kernels: "
+                f"{baseline['signature']} vs {fast['signature']}"
+            )
+        results[name] = {
+            "baseline": baseline,
+            "fast": fast,
+            "wall_speedup": baseline["wall_s"] / fast["wall_s"],
+            "events_per_s_speedup": (
+                fast["events_per_s"] / baseline["events_per_s"]
+            ),
+            "sim_time_identical": baseline["sim_ns"] == fast["sim_ns"],
+        }
+    return {
+        "benchmark": "wallclock",
+        "quick": quick,
+        "scale": scale,
+        "repeats": repeats,
+        "workloads": results,
+    }
+
+
+def render(payload: dict) -> Table:
+    table = Table(
+        "Simulator wall-clock: fast kernel vs REPRO_SLOW_KERNEL baseline",
+        ["workload", "baseline s", "fast s", "wall speedup",
+         "fast events/s", "events/s speedup", "sim time identical"],
+    )
+    for name, r in payload["workloads"].items():
+        table.add(
+            name,
+            round(r["baseline"]["wall_s"], 4),
+            round(r["fast"]["wall_s"], 4),
+            round(r["wall_speedup"], 2),
+            round(r["fast"]["events_per_s"]),
+            round(r["events_per_s_speedup"], 2),
+            r["sim_time_identical"],
+        )
+    return table
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small problem sizes, single repeat (CI smoke run)",
+    )
+    parser.add_argument(
+        "--no-json", action="store_true",
+        help="skip writing BENCH_wallclock.json (exploratory runs)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark(quick=args.quick)
+    save_report("wallclock", render(payload))
+
+    micro = payload["workloads"]["engine_microbench"]
+    matmul = payload["workloads"]["e12_matmul"]
+    payload["acceptance"] = {
+        "microbench_events_per_s_speedup": round(
+            micro["events_per_s_speedup"], 2
+        ),
+        "microbench_target": 2.0,
+        "matmul_wall_speedup": round(matmul["wall_speedup"], 2),
+        "matmul_target": 1.5,
+        "all_sim_times_identical": all(
+            r["sim_time_identical"] for r in payload["workloads"].values()
+        ),
+    }
+    if not args.no_json:
+        BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {BENCH_JSON}")
+
+    ok = payload["acceptance"]["all_sim_times_identical"]
+    if not args.quick:
+        ok = ok and (
+            payload["acceptance"]["microbench_events_per_s_speedup"]
+            >= payload["acceptance"]["microbench_target"]
+        ) and (
+            payload["acceptance"]["matmul_wall_speedup"]
+            >= payload["acceptance"]["matmul_target"]
+        )
+    print(
+        "\nacceptance:",
+        json.dumps(payload["acceptance"], indent=2),
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 CI: the full test suite on the fast kernel, the kernel
+# regression tests on the reference kernel, and a wall-clock benchmark
+# smoke run (quick mode: asserts cycle-exactness between kernels, not
+# the speedup targets).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="${PWD}/src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 test suite (fast kernel) =="
+python -m pytest tests/ -x -q
+
+echo "== kernel equivalence tests (reference kernel) =="
+REPRO_SLOW_KERNEL=1 python -m pytest \
+    tests/test_perf_kernel.py tests/test_events_ordering.py \
+    tests/test_events_engine.py tests/test_events_channels.py -x -q
+
+echo "== wall-clock benchmark smoke =="
+python benchmarks/bench_wallclock.py --quick --no-json
+
+echo "CI OK"

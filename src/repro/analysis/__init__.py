@@ -51,6 +51,8 @@ from repro.analysis.scaled_speedup import (
 )
 from repro.analysis.tracing import (
     busiest_component,
+    engine_stats,
+    engine_stats_table,
     flops_breakdown,
     machine_utilization,
     node_utilization,
@@ -69,6 +71,8 @@ __all__ = [
     "bandwidth_mb_s",
     "best_interval",
     "busiest_component",
+    "engine_stats",
+    "engine_stats_table",
     "flops_breakdown",
     "machine_utilization",
     "node_utilization",

@@ -6,6 +6,19 @@ output reads like the paper's evaluation section.
 """
 
 
+def _jsonable(value):
+    """Coerce a cell to a JSON-serialisable value (numpy scalars and
+    other numerics become Python ints/floats; everything else a str)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
 def _format_cell(value) -> str:
     if isinstance(value, bool):
         return "yes" if value else "no"
@@ -27,6 +40,8 @@ class Table:
         self.title = title
         self.headers = list(headers)
         self.rows = []
+        #: Unformatted cell values, row by row (for JSON emission).
+        self.raw_rows = []
 
     def add(self, *cells):
         """Append one row (must match the header width)."""
@@ -34,8 +49,17 @@ class Table:
             raise ValueError(
                 f"expected {len(self.headers)} cells, got {len(cells)}"
             )
+        self.raw_rows.append(list(cells))
         self.rows.append([_format_cell(c) for c in cells])
         return self
+
+    def to_dict(self) -> dict:
+        """A JSON-ready view: title, headers, and raw row values."""
+        return {
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [[_jsonable(c) for c in row] for row in self.raw_rows],
+        }
 
     def render(self) -> str:
         widths = [len(h) for h in self.headers]

@@ -1,10 +1,16 @@
-"""Machine utilisation reporting.
+"""Machine utilisation and simulator-kernel profiling.
 
 Every hardware component keeps busy-time counters; this module rolls
 them up into per-node and machine-wide utilisation tables, so an
 experiment can say *where the time went* — pipes, ports, or wires.
 This is how benches like E11 show "the row port is nowhere near the
 bottleneck" with a number.
+
+It also rolls up the event kernel's own profiling counters
+(:func:`engine_stats`), so a perf investigation can say where the
+*simulator's* wall-clock time goes: how many events were processed,
+how many schedules paid for a heap push, and how many rode the
+zero-delay URGENT fast lane instead.
 """
 
 from repro.analysis.report import Table
@@ -52,6 +58,43 @@ def busiest_component(machine) -> str:
     util = machine_utilization(machine)
     util.pop("vector_unit")  # aggregate of adder+multiplier
     return max(util, key=util.get)
+
+
+def engine_stats(engine) -> dict:
+    """The event kernel's profiling counters, rolled up.
+
+    Keys: ``events_processed`` (events and resume records fired),
+    ``heap_pushes`` (schedules through the priority queue),
+    ``fast_lane_hits`` (zero-delay URGENT schedules that bypassed the
+    heap), ``fast_lane_fraction`` (lane hits over all schedules),
+    ``events_per_sim_us`` (event density in simulated time), and
+    ``fast_kernel`` (False when ``REPRO_SLOW_KERNEL`` forced the
+    pure-heap reference path).
+    """
+    scheduled = engine.heap_pushes + engine.lane_hits
+    return {
+        "events_processed": engine.events_processed,
+        "heap_pushes": engine.heap_pushes,
+        "fast_lane_hits": engine.lane_hits,
+        "fast_lane_fraction": (
+            engine.lane_hits / scheduled if scheduled else 0.0
+        ),
+        "events_per_sim_us": (
+            engine.events_processed / (engine.now / 1000.0)
+            if engine.now else 0.0
+        ),
+        "fast_kernel": engine.fast_kernel,
+    }
+
+
+def engine_stats_table(engine, title="Event-kernel profile") -> Table:
+    """A rendered summary of one engine's profiling counters."""
+    stats = engine_stats(engine)
+    table = Table(title, ["counter", "value"])
+    for key in ("events_processed", "heap_pushes", "fast_lane_hits",
+                "fast_lane_fraction", "events_per_sim_us", "fast_kernel"):
+        table.add(key, stats[key])
+    return table
 
 
 def flops_breakdown(machine) -> dict:

@@ -12,6 +12,32 @@ Two execution modes:
 * :meth:`CPU.as_process` — an engine process that charges simulated
   time per instruction (7.5 MIPS average; off-chip memory accesses at
   the 400 ns word-port rate), for whole-node simulations.
+
+Decoded-instruction cache
+-------------------------
+Re-decoding the PFIX/NFIX prefix chain and walking the opcode
+if-ladder on *every* execution of every instruction is the
+interpreter's dominant cost.  Instruction execution is therefore split
+into one bound method per opcode, and :meth:`CPU.step` keeps a
+**decoded-instruction cache**: the first time an instruction at a
+given PC executes, its whole prefix chain is decoded once into a
+``(bound-method, operand, next_pc, byte_count, prefix_cycles, op)``
+tuple; every later execution dispatches straight from the cache.
+Architectural state (instruction and cycle counters, trace log,
+Iptr/Oreg behaviour) is updated exactly as the byte-at-a-time
+reference path would.
+
+The cache is keyed by PC and is only consulted when ``Oreg == 0``,
+which is true at every instruction-chain boundary — including jumps
+into the middle of a prefix chain, which simply get their own cache
+entry.  It is **invalidated on code-store writes**: the only supported
+way to modify code after construction is :meth:`CPU.patch_code`, which
+clears the whole cache (a conservative rule — a patched byte can
+change the meaning of any chain that runs through it).
+
+Setting ``REPRO_SLOW_KERNEL=1`` disables the cache, forcing the
+byte-at-a-time reference path (used by the equivalence regression
+tests and the wall-clock benchmark baseline).
 """
 
 from repro.cp.isa import CYCLE_COSTS, Op, Secondary
@@ -24,6 +50,7 @@ from repro.cp.scheduler import (
     descriptor_wptr,
     make_descriptor,
 )
+from repro.events.engine import slow_kernel_requested
 
 MASK32 = 0xFFFFFFFF
 MIN_INT = -(1 << 31)
@@ -107,7 +134,8 @@ class CPU:
     ----------
     code : bytes
         The program image (lives in the 2 KB-style on-chip store; data
-        lives in ``memory``).
+        lives in ``memory``).  Modify it only through
+        :meth:`patch_code`, which invalidates the decoded cache.
     memory : object
         Word-addressed data memory (``read_word``/``write_word`` and
         the byte variants).
@@ -121,7 +149,7 @@ class CPU:
 
     def __init__(self, code, memory=None, entry=0, wptr=None, priority=LOW,
                  trace=False):
-        self.code = bytes(code)
+        self.code = bytearray(code)
         self.memory = memory or ArrayMemory()
         self.areg = 0
         self.breg = 0
@@ -144,6 +172,36 @@ class CPU:
         #: External channel table: address → object with engine hooks
         #: (used by node integration; bare CPUs have none).
         self.external_channels = {}
+        # Bound dispatch tables (index = primary opcode / secondary
+        # number) and the PC-keyed decoded-instruction cache.
+        self._primary = tuple(
+            fn.__get__(self) if fn is not None else None
+            for fn in self._PRIMARY_FUNCS
+        )
+        self._secondary = {
+            sec: fn.__get__(self) for sec, fn in self._SECONDARY_FUNCS.items()
+        }
+        self._decoded = {}
+        self._use_cache = not slow_kernel_requested()
+
+    # -- code store ---------------------------------------------------------
+
+    def patch_code(self, address: int, data) -> None:
+        """Write ``data`` into the code store at ``address``.
+
+        This is the only supported way to modify code after
+        construction; it invalidates the entire decoded-instruction
+        cache (a patched byte may sit in the middle of a cached prefix
+        chain, so per-PC invalidation would be unsound).
+        """
+        data = bytes(data)
+        if not 0 <= address <= len(self.code) - len(data):
+            raise CPUError(
+                f"code patch [{address:#x}, {address + len(data):#x}) "
+                f"outside code store"
+            )
+        self.code[address:address + len(data)] = data
+        self._decoded.clear()
 
     # -- stack helpers ------------------------------------------------------
 
@@ -240,10 +298,80 @@ class CPU:
 
     # -- the decode/execute cycle ---------------------------------------
 
+    def _decode(self, pc: int):
+        """Decode the full instruction chain starting at ``pc``.
+
+        Returns ``(handler, operand, next_pc, byte_count,
+        prefix_cycles, op)`` or ``None`` when the chain cannot be
+        decoded (PC out of bounds, chain running off the end of the
+        code store, or an unknown secondary) — those cases fall back to
+        the byte-wise path so the error surfaces exactly as it always
+        did.
+        """
+        code = self.code
+        size = len(code)
+        oreg = 0
+        cursor = pc
+        prefix_cycles = 0
+        while True:
+            if not 0 <= cursor < size:
+                return None
+            byte = code[cursor]
+            op = byte >> 4
+            oreg |= byte & 0xF
+            cursor += 1
+            if op == Op.PFIX:
+                oreg <<= 4
+                prefix_cycles += 1
+                continue
+            if op == Op.NFIX:
+                oreg = (~oreg) << 4
+                prefix_cycles += 1
+                continue
+            break
+        if op == Op.OPR:
+            handler = self._secondary.get(oreg)
+        else:
+            handler = self._primary[op]
+        if handler is None:
+            return None
+        return (handler, oreg, cursor, cursor - pc, prefix_cycles, op)
+
     def step(self) -> int:
-        """Decode and execute one instruction; returns its cycle cost."""
+        """Decode and execute one instruction; returns its cycle cost.
+
+        On the cached fast path one call executes a whole prefix chain
+        plus its final opcode and returns the chain's total cost; the
+        reference path (cache disabled, or mid-chain ``Oreg`` state)
+        executes a single code byte per call, exactly as the hardware
+        decodes.  Architectural state advances identically either way.
+        """
         if self.halted:
             raise CPUError("CPU is halted")
+        if self._use_cache and self.oreg == 0:
+            decoded = self._decoded
+            entry = decoded.get(self.iptr)
+            if entry is None:
+                entry = self._decode(self.iptr)
+                if entry is not None:
+                    decoded[self.iptr] = entry
+            if entry is not None:
+                handler, operand, next_pc, nbytes, prefix_cycles, op = entry
+                self.iptr = next_pc
+                self.instructions += nbytes
+                self.cycles += prefix_cycles
+                cost = handler(operand)
+                self.cycles += cost
+                if self.trace:
+                    self._trace_log.append(
+                        (self.instructions, Op(op).name, operand,
+                         to_signed(self.areg))
+                    )
+                return prefix_cycles + cost
+        return self._step_byte()
+
+    def _step_byte(self) -> int:
+        """The byte-at-a-time reference decode path."""
         if not 0 <= self.iptr < len(self.code):
             raise CPUError(f"Iptr {self.iptr:#x} outside code")
         byte = self.code[self.iptr]
@@ -274,190 +402,284 @@ class CPU:
         return cost
 
     def _execute(self, op: int, operand: int) -> int:
-        mem = self.memory
-        if op == Op.LDC:
-            self._push(operand)
-        elif op == Op.LDL:
-            self._push(mem.read_word(self.wptr + 4 * operand))
-        elif op == Op.STL:
-            mem.write_word(self.wptr + 4 * operand, self._pop())
-        elif op == Op.LDLP:
-            self._push(self.wptr + 4 * operand)
-        elif op == Op.LDNL:
-            self.areg = mem.read_word(to_unsigned(self.areg) + 4 * operand)
-        elif op == Op.STNL:
-            address = self._pop()
-            value = self._pop()
-            mem.write_word(to_unsigned(address) + 4 * operand, value)
-        elif op == Op.LDNLP:
-            self.areg = to_unsigned(self.areg + 4 * operand)
-        elif op == Op.ADC:
-            result = to_signed(self.areg) + operand
-            if not MIN_INT <= result <= MAX_INT:
-                self.error = True
-            self.areg = to_unsigned(result)
-        elif op == Op.EQC:
-            self.areg = 1 if to_signed(self.areg) == operand else 0
-        elif op == Op.J:
-            self.iptr += operand
-            # Descheduling point: timeslice low-priority processes.
-            if self.scheduler.timeslice_expired():
-                self._deschedule(requeue=True)
-            return CYCLE_COSTS["branch"]
-        elif op == Op.CJ:
-            if to_signed(self.areg) == 0:
-                self.iptr += operand
-            else:
-                self._pop()
-            return CYCLE_COSTS["branch"]
-        elif op == Op.CALL:
-            self.wptr -= 16
-            mem.write_word(self.wptr, self.iptr)
-            mem.write_word(self.wptr + 4, self.areg)
-            mem.write_word(self.wptr + 8, self.breg)
-            mem.write_word(self.wptr + 12, self.creg)
-            self.iptr += operand
-            return CYCLE_COSTS["call"]
-        elif op == Op.AJW:
-            self.wptr += 4 * operand
-        elif op == Op.OPR:
-            return self._operate(operand)
-        else:  # pragma: no cover - all 16 opcodes handled
+        handler = self._primary[op] if 0 <= op < 16 else None
+        if handler is None:  # pragma: no cover - all 16 opcodes handled
             raise CPUError(f"undecodable opcode {op:#x}")
+        return handler(operand)
+
+    # -- primary opcode handlers -------------------------------------------
+    #
+    # One bound method per direct opcode.  Each takes the (fully
+    # prefixed) operand and returns its cycle cost; the decoded cache
+    # stores these bound methods directly.
+
+    def _op_ldc(self, operand: int) -> int:
+        self._push(operand)
         return CYCLE_COSTS["default"]
 
-    def _operate(self, sec: int) -> int:
-        mem = self.memory
-        if sec == Secondary.REV:
-            self.areg, self.breg = self.breg, self.areg
-        elif sec == Secondary.ADD:
-            result = to_signed(self.breg) + to_signed(self.areg)
-            if not MIN_INT <= result <= MAX_INT:
-                self.error = True
-            self._binary(result)
-        elif sec == Secondary.SUB:
-            result = to_signed(self.breg) - to_signed(self.areg)
-            if not MIN_INT <= result <= MAX_INT:
-                self.error = True
-            self._binary(result)
-        elif sec == Secondary.DIFF:
-            self._binary(self.breg - self.areg)  # modulo, no error
-        elif sec == Secondary.MUL:
-            result = to_signed(self.breg) * to_signed(self.areg)
-            if not MIN_INT <= result <= MAX_INT:
-                self.error = True
-            self._binary(result)
-            return CYCLE_COSTS["mul"]
-        elif sec == Secondary.DIV:
-            a, b = to_signed(self.areg), to_signed(self.breg)
-            if a == 0 or (a == -1 and b == MIN_INT):
-                self.error = True
-                self._binary(0)
-            else:
-                self._binary(int(b / a))  # trunc toward zero
-            return CYCLE_COSTS["div"]
-        elif sec == Secondary.REM:
-            a, b = to_signed(self.areg), to_signed(self.breg)
-            if a == 0:
-                self.error = True
-                self._binary(0)
-            else:
-                self._binary(b - int(b / a) * a)
-            return CYCLE_COSTS["div"]
-        elif sec == Secondary.GT:
-            self._binary(1 if to_signed(self.breg) > to_signed(self.areg)
-                         else 0)
-        elif sec == Secondary.AND:
-            self._binary(self.breg & self.areg)
-        elif sec == Secondary.OR:
-            self._binary(self.breg | self.areg)
-        elif sec == Secondary.XOR:
-            self._binary(self.breg ^ self.areg)
-        elif sec == Secondary.NOT:
-            self.areg = to_unsigned(~self.areg)
-        elif sec == Secondary.SHL:
-            shift = to_signed(self.areg)
-            self._binary(self.breg << shift if 0 <= shift < 32 else 0)
-        elif sec == Secondary.SHR:
-            shift = to_signed(self.areg)
-            self._binary(self.breg >> shift if 0 <= shift < 32 else 0)
-        elif sec == Secondary.MINT:
-            self._push(0x80000000)
-        elif sec == Secondary.DUP:
-            self._push(self.areg)
-        elif sec == Secondary.RET:
-            self.iptr = mem.read_word(self.wptr)
-            self.wptr += 16
-            return CYCLE_COSTS["call"]
-        elif sec == Secondary.GCALL:
-            self.areg, self.iptr = self.iptr, to_unsigned(self.areg)
-        elif sec == Secondary.GAJW:
-            self.areg, self.wptr = self.wptr, to_unsigned(self.areg)
-        elif sec == Secondary.LDPI:
-            self.areg = to_unsigned(self.areg + self.iptr)
-        elif sec == Secondary.STARTP:
-            # Simulator deviation from the transputer: B holds the new
-            # process's *absolute* start address rather than an
-            # Iptr-relative offset — our assembler resolves labels to
-            # absolute addresses, which keeps PAR setup code simple.
-            new_wptr = to_unsigned(self._pop())
-            start = to_unsigned(self._pop())
-            mem.write_word(new_wptr - 4, start)
-            self._make_runnable(new_wptr, self.priority)
-            return CYCLE_COSTS["process"]
-        elif sec == Secondary.ENDP:
-            join = to_unsigned(self._pop())
-            count = to_signed(mem.read_word(join + 4))
-            if count <= 1:
-                # Last to finish: continue the successor.
-                mem.write_word(join + 4, 0)
-                self.wptr = join
-                self.iptr = mem.read_word(join)
-            else:
-                mem.write_word(join + 4, count - 1)
-                self._switch_to_next()
-            return CYCLE_COSTS["process"]
-        elif sec == Secondary.STOPP:
-            self._deschedule(requeue=False)
-            return CYCLE_COSTS["process"]
-        elif sec == Secondary.RUNP:
-            descriptor = to_unsigned(self._pop())
-            self._make_runnable(
-                descriptor_wptr(descriptor), descriptor_priority(descriptor)
-            )
-            return CYCLE_COSTS["process"]
-        elif sec == Secondary.IN:
-            self._channel_io(is_input=True)
-            return CYCLE_COSTS["io_setup"]
-        elif sec == Secondary.OUT:
-            self._channel_io(is_input=False)
-            return CYCLE_COSTS["io_setup"]
-        elif sec == Secondary.OUTWORD:
-            # outword: A = word, B = channel.  Stage the word in the
-            # workspace (offset 0) and run the OUT protocol on it.
-            word = self._pop()
-            chan = self._pop()
-            self.memory.write_word(self.wptr, word)
-            self._push(self.wptr)  # pointer
-            self._push(chan)
-            self._push(4)  # count
-            # Stack is now (A=count, B=chan, C=ptr) — as OUT expects.
-            self._channel_io(is_input=False)
-            return CYCLE_COSTS["io_setup"]
-        elif sec == Secondary.ALT:
-            pass  # simplified: alternation handled at the Occam DSL level
-        elif sec == Secondary.TESTERR:
-            self._push(1 if self.error else 0)
-            self.error = False
-        elif sec == Secondary.SETERR:
+    def _op_ldl(self, operand: int) -> int:
+        self._push(self.memory.read_word(self.wptr + 4 * operand))
+        return CYCLE_COSTS["default"]
+
+    def _op_stl(self, operand: int) -> int:
+        self.memory.write_word(self.wptr + 4 * operand, self._pop())
+        return CYCLE_COSTS["default"]
+
+    def _op_ldlp(self, operand: int) -> int:
+        self._push(self.wptr + 4 * operand)
+        return CYCLE_COSTS["default"]
+
+    def _op_ldnl(self, operand: int) -> int:
+        self.areg = self.memory.read_word(
+            to_unsigned(self.areg) + 4 * operand
+        )
+        return CYCLE_COSTS["default"]
+
+    def _op_stnl(self, operand: int) -> int:
+        address = self._pop()
+        value = self._pop()
+        self.memory.write_word(to_unsigned(address) + 4 * operand, value)
+        return CYCLE_COSTS["default"]
+
+    def _op_ldnlp(self, operand: int) -> int:
+        self.areg = to_unsigned(self.areg + 4 * operand)
+        return CYCLE_COSTS["default"]
+
+    def _op_adc(self, operand: int) -> int:
+        result = to_signed(self.areg) + operand
+        if not MIN_INT <= result <= MAX_INT:
             self.error = True
-        elif sec == Secondary.STOPERR:
-            if self.error:
-                self._deschedule(requeue=False)
-        elif sec == Secondary.TERMINATE:
-            self.halted = True
+        self.areg = to_unsigned(result)
+        return CYCLE_COSTS["default"]
+
+    def _op_eqc(self, operand: int) -> int:
+        self.areg = 1 if to_signed(self.areg) == operand else 0
+        return CYCLE_COSTS["default"]
+
+    def _op_j(self, operand: int) -> int:
+        self.iptr += operand
+        # Descheduling point: timeslice low-priority processes.
+        if self.scheduler.timeslice_expired():
+            self._deschedule(requeue=True)
+        return CYCLE_COSTS["branch"]
+
+    def _op_cj(self, operand: int) -> int:
+        if to_signed(self.areg) == 0:
+            self.iptr += operand
         else:
+            self._pop()
+        return CYCLE_COSTS["branch"]
+
+    def _op_call(self, operand: int) -> int:
+        mem = self.memory
+        self.wptr -= 16
+        mem.write_word(self.wptr, self.iptr)
+        mem.write_word(self.wptr + 4, self.areg)
+        mem.write_word(self.wptr + 8, self.breg)
+        mem.write_word(self.wptr + 12, self.creg)
+        self.iptr += operand
+        return CYCLE_COSTS["call"]
+
+    def _op_ajw(self, operand: int) -> int:
+        self.wptr += 4 * operand
+        return CYCLE_COSTS["default"]
+
+    def _op_opr(self, operand: int) -> int:
+        return self._operate(operand)
+
+    def _operate(self, sec: int) -> int:
+        handler = self._secondary.get(sec)
+        if handler is None:
             raise CPUError(f"unknown secondary opcode {sec:#x}")
+        return handler(sec)
+
+    # -- secondary (OPR) handlers ------------------------------------------
+    #
+    # Each takes the secondary number (ignored — it is fixed per
+    # handler; the uniform signature keeps cache dispatch branch-free)
+    # and returns its cycle cost.
+
+    def _sec_rev(self, _sec=None) -> int:
+        self.areg, self.breg = self.breg, self.areg
+        return CYCLE_COSTS["default"]
+
+    def _sec_add(self, _sec=None) -> int:
+        result = to_signed(self.breg) + to_signed(self.areg)
+        if not MIN_INT <= result <= MAX_INT:
+            self.error = True
+        self._binary(result)
+        return CYCLE_COSTS["default"]
+
+    def _sec_sub(self, _sec=None) -> int:
+        result = to_signed(self.breg) - to_signed(self.areg)
+        if not MIN_INT <= result <= MAX_INT:
+            self.error = True
+        self._binary(result)
+        return CYCLE_COSTS["default"]
+
+    def _sec_diff(self, _sec=None) -> int:
+        self._binary(self.breg - self.areg)  # modulo, no error
+        return CYCLE_COSTS["default"]
+
+    def _sec_mul(self, _sec=None) -> int:
+        result = to_signed(self.breg) * to_signed(self.areg)
+        if not MIN_INT <= result <= MAX_INT:
+            self.error = True
+        self._binary(result)
+        return CYCLE_COSTS["mul"]
+
+    def _sec_div(self, _sec=None) -> int:
+        a, b = to_signed(self.areg), to_signed(self.breg)
+        if a == 0 or (a == -1 and b == MIN_INT):
+            self.error = True
+            self._binary(0)
+        else:
+            self._binary(int(b / a))  # trunc toward zero
+        return CYCLE_COSTS["div"]
+
+    def _sec_rem(self, _sec=None) -> int:
+        a, b = to_signed(self.areg), to_signed(self.breg)
+        if a == 0:
+            self.error = True
+            self._binary(0)
+        else:
+            self._binary(b - int(b / a) * a)
+        return CYCLE_COSTS["div"]
+
+    def _sec_gt(self, _sec=None) -> int:
+        self._binary(
+            1 if to_signed(self.breg) > to_signed(self.areg) else 0
+        )
+        return CYCLE_COSTS["default"]
+
+    def _sec_and(self, _sec=None) -> int:
+        self._binary(self.breg & self.areg)
+        return CYCLE_COSTS["default"]
+
+    def _sec_or(self, _sec=None) -> int:
+        self._binary(self.breg | self.areg)
+        return CYCLE_COSTS["default"]
+
+    def _sec_xor(self, _sec=None) -> int:
+        self._binary(self.breg ^ self.areg)
+        return CYCLE_COSTS["default"]
+
+    def _sec_not(self, _sec=None) -> int:
+        self.areg = to_unsigned(~self.areg)
+        return CYCLE_COSTS["default"]
+
+    def _sec_shl(self, _sec=None) -> int:
+        shift = to_signed(self.areg)
+        self._binary(self.breg << shift if 0 <= shift < 32 else 0)
+        return CYCLE_COSTS["default"]
+
+    def _sec_shr(self, _sec=None) -> int:
+        shift = to_signed(self.areg)
+        self._binary(self.breg >> shift if 0 <= shift < 32 else 0)
+        return CYCLE_COSTS["default"]
+
+    def _sec_mint(self, _sec=None) -> int:
+        self._push(0x80000000)
+        return CYCLE_COSTS["default"]
+
+    def _sec_dup(self, _sec=None) -> int:
+        self._push(self.areg)
+        return CYCLE_COSTS["default"]
+
+    def _sec_ret(self, _sec=None) -> int:
+        self.iptr = self.memory.read_word(self.wptr)
+        self.wptr += 16
+        return CYCLE_COSTS["call"]
+
+    def _sec_gcall(self, _sec=None) -> int:
+        self.areg, self.iptr = self.iptr, to_unsigned(self.areg)
+        return CYCLE_COSTS["default"]
+
+    def _sec_gajw(self, _sec=None) -> int:
+        self.areg, self.wptr = self.wptr, to_unsigned(self.areg)
+        return CYCLE_COSTS["default"]
+
+    def _sec_ldpi(self, _sec=None) -> int:
+        self.areg = to_unsigned(self.areg + self.iptr)
+        return CYCLE_COSTS["default"]
+
+    def _sec_startp(self, _sec=None) -> int:
+        # Simulator deviation from the transputer: B holds the new
+        # process's *absolute* start address rather than an
+        # Iptr-relative offset — our assembler resolves labels to
+        # absolute addresses, which keeps PAR setup code simple.
+        new_wptr = to_unsigned(self._pop())
+        start = to_unsigned(self._pop())
+        self.memory.write_word(new_wptr - 4, start)
+        self._make_runnable(new_wptr, self.priority)
+        return CYCLE_COSTS["process"]
+
+    def _sec_endp(self, _sec=None) -> int:
+        mem = self.memory
+        join = to_unsigned(self._pop())
+        count = to_signed(mem.read_word(join + 4))
+        if count <= 1:
+            # Last to finish: continue the successor.
+            mem.write_word(join + 4, 0)
+            self.wptr = join
+            self.iptr = mem.read_word(join)
+        else:
+            mem.write_word(join + 4, count - 1)
+            self._switch_to_next()
+        return CYCLE_COSTS["process"]
+
+    def _sec_stopp(self, _sec=None) -> int:
+        self._deschedule(requeue=False)
+        return CYCLE_COSTS["process"]
+
+    def _sec_runp(self, _sec=None) -> int:
+        descriptor = to_unsigned(self._pop())
+        self._make_runnable(
+            descriptor_wptr(descriptor), descriptor_priority(descriptor)
+        )
+        return CYCLE_COSTS["process"]
+
+    def _sec_in(self, _sec=None) -> int:
+        self._channel_io(is_input=True)
+        return CYCLE_COSTS["io_setup"]
+
+    def _sec_out(self, _sec=None) -> int:
+        self._channel_io(is_input=False)
+        return CYCLE_COSTS["io_setup"]
+
+    def _sec_outword(self, _sec=None) -> int:
+        # outword: A = word, B = channel.  Stage the word in the
+        # workspace (offset 0) and run the OUT protocol on it.
+        word = self._pop()
+        chan = self._pop()
+        self.memory.write_word(self.wptr, word)
+        self._push(self.wptr)  # pointer
+        self._push(chan)
+        self._push(4)  # count
+        # Stack is now (A=count, B=chan, C=ptr) — as OUT expects.
+        self._channel_io(is_input=False)
+        return CYCLE_COSTS["io_setup"]
+
+    def _sec_alt(self, _sec=None) -> int:
+        # Simplified: alternation handled at the Occam DSL level.
+        return CYCLE_COSTS["default"]
+
+    def _sec_testerr(self, _sec=None) -> int:
+        self._push(1 if self.error else 0)
+        self.error = False
+        return CYCLE_COSTS["default"]
+
+    def _sec_seterr(self, _sec=None) -> int:
+        self.error = True
+        return CYCLE_COSTS["default"]
+
+    def _sec_stoperr(self, _sec=None) -> int:
+        if self.error:
+            self._deschedule(requeue=False)
+        return CYCLE_COSTS["default"]
+
+    def _sec_terminate(self, _sec=None) -> int:
+        self.halted = True
         return CYCLE_COSTS["default"]
 
     def _binary(self, result: int) -> None:
@@ -490,26 +712,32 @@ class CPU:
         """Engine process: run with simulated time.
 
         Charges ``specs``-derived nanoseconds per instruction cycle and
-        yields to the engine every ``yield_every`` instructions so
-        other node components interleave.  IN/OUT on registered
+        yields to the engine every ``yield_every`` executed code bytes
+        so other node components interleave.  IN/OUT on registered
         external channels (see :attr:`external_channels` and
         :mod:`repro.cp.link_channels`) block on the engine-level
         channel — this is how an assembly program talks over the
         node's serial links.
+
+        Time owed to the engine is tracked as *cycle-counter deltas*
+        (``self.cycles`` minus what has already been charged), so the
+        accounting is identical whether :meth:`step` executes one byte
+        or one whole decoded chain per call.
         """
         cycle_ns = max(1, round(1000.0 / specs.cp_mips))
-        pending_cycles = 0
-        since_yield = 0
+        charged = self.cycles
+        marker = self.instructions
         while not self.halted:
             try:
-                pending_cycles += self.step()
+                self.step()
             except ExternalIO as io:
                 # Flush accumulated CPU time, then do the transfer at
                 # engine pace (DMA + wire or rendezvous).
-                if pending_cycles:
-                    yield engine.timeout(pending_cycles * cycle_ns)
-                    pending_cycles = 0
-                    since_yield = 0
+                pending = self.cycles - charged
+                if pending:
+                    yield engine.timeout(pending * cycle_ns)
+                    charged = self.cycles
+                    marker = self.instructions
                 if io.direction == "out":
                     data = self.memory.read_bytes(io.pointer, io.count)
                     yield from io.channel.send(data)
@@ -522,13 +750,12 @@ class CPU:
                         )
                     self.memory.write_bytes(io.pointer, bytes(data))
                 continue
-            since_yield += 1
-            if since_yield >= yield_every:
-                yield engine.timeout(pending_cycles * cycle_ns)
-                pending_cycles = 0
-                since_yield = 0
-        if pending_cycles:
-            yield engine.timeout(pending_cycles * cycle_ns)
+            if self.instructions - marker >= yield_every:
+                yield engine.timeout((self.cycles - charged) * cycle_ns)
+                charged = self.cycles
+                marker = self.instructions
+        if self.cycles != charged:
+            yield engine.timeout((self.cycles - charged) * cycle_ns)
         return self.instructions
 
     def __repr__(self):
@@ -537,3 +764,61 @@ class CPU:
             f"B={to_signed(self.breg)} C={to_signed(self.creg)} "
             f"{'halted' if self.halted else 'running'}>"
         )
+
+
+#: Primary dispatch: index = direct opcode.  PFIX/NFIX are handled in
+#: the decode loop itself and never dispatched.
+CPU._PRIMARY_FUNCS = (
+    CPU._op_j,      # 0x0
+    CPU._op_ldlp,   # 0x1
+    None,           # 0x2 PFIX
+    CPU._op_ldnl,   # 0x3
+    CPU._op_ldc,    # 0x4
+    CPU._op_ldnlp,  # 0x5
+    None,           # 0x6 NFIX
+    CPU._op_ldl,    # 0x7
+    CPU._op_adc,    # 0x8
+    CPU._op_call,   # 0x9
+    CPU._op_cj,     # 0xA
+    CPU._op_ajw,    # 0xB
+    CPU._op_eqc,    # 0xC
+    CPU._op_stl,    # 0xD
+    CPU._op_stnl,   # 0xE
+    CPU._op_opr,    # 0xF
+)
+
+#: Secondary dispatch: secondary number → handler.
+CPU._SECONDARY_FUNCS = {
+    Secondary.REV: CPU._sec_rev,
+    Secondary.ADD: CPU._sec_add,
+    Secondary.SUB: CPU._sec_sub,
+    Secondary.DIFF: CPU._sec_diff,
+    Secondary.MUL: CPU._sec_mul,
+    Secondary.DIV: CPU._sec_div,
+    Secondary.REM: CPU._sec_rem,
+    Secondary.GT: CPU._sec_gt,
+    Secondary.AND: CPU._sec_and,
+    Secondary.OR: CPU._sec_or,
+    Secondary.XOR: CPU._sec_xor,
+    Secondary.NOT: CPU._sec_not,
+    Secondary.SHL: CPU._sec_shl,
+    Secondary.SHR: CPU._sec_shr,
+    Secondary.MINT: CPU._sec_mint,
+    Secondary.DUP: CPU._sec_dup,
+    Secondary.RET: CPU._sec_ret,
+    Secondary.GCALL: CPU._sec_gcall,
+    Secondary.GAJW: CPU._sec_gajw,
+    Secondary.LDPI: CPU._sec_ldpi,
+    Secondary.STARTP: CPU._sec_startp,
+    Secondary.ENDP: CPU._sec_endp,
+    Secondary.STOPP: CPU._sec_stopp,
+    Secondary.RUNP: CPU._sec_runp,
+    Secondary.IN: CPU._sec_in,
+    Secondary.OUT: CPU._sec_out,
+    Secondary.OUTWORD: CPU._sec_outword,
+    Secondary.ALT: CPU._sec_alt,
+    Secondary.TESTERR: CPU._sec_testerr,
+    Secondary.SETERR: CPU._sec_seterr,
+    Secondary.STOPERR: CPU._sec_stoperr,
+    Secondary.TERMINATE: CPU._sec_terminate,
+}

@@ -10,7 +10,12 @@ semantics would be too strict.
 
 from collections import deque
 
-from repro.events.engine import Event, URGENT
+from repro.events.engine import Event, _PENDING
+
+#: Allocate an Event without the ``type.__call__``/``__init__`` frames;
+#: channel traffic creates one event per put/get and this construction
+#: sits on the rendezvous hot path.
+_new_event = Event.__new__
 
 
 class Channel:
@@ -28,21 +33,27 @@ class Channel:
     def __init__(self, engine, name=None):
         self.engine = engine
         self.name = name or "chan"
+        self._fire = engine._fire_urgent  # zero-delay URGENT dispatch
         self._putters = deque()  # (put_event, value)
         self._getters = deque()  # get_event
         self._watchers = []  # one-shot arrival notifications (for ALT)
 
     def put(self, value):
         """Offer ``value``; the returned event fires when it is taken."""
-        put_event = Event(self.engine)
+        put_event = _new_event(Event)
+        put_event.engine = self.engine
+        put_event.callbacks = []
+        put_event._value = _PENDING
+        put_event._ok = None
+        put_event._defused = False
         if self._getters:
             get_event = self._getters.popleft()
             get_event._ok = True
             get_event._value = value
-            self.engine._schedule(get_event, 0, URGENT)
+            self._fire(get_event)
             put_event._ok = True
             put_event._value = None
-            self.engine._schedule(put_event, 0, URGENT)
+            self._fire(put_event)
         else:
             self._putters.append((put_event, value))
             if self._watchers:
@@ -50,20 +61,25 @@ class Channel:
                 for watcher in watchers:
                     watcher._ok = True
                     watcher._value = self
-                    self.engine._schedule(watcher, 0, URGENT)
+                    self._fire(watcher)
         return put_event
 
     def get(self):
         """Request a value; the returned event fires with it."""
-        get_event = Event(self.engine)
+        get_event = _new_event(Event)
+        get_event.engine = self.engine
+        get_event.callbacks = []
+        get_event._value = _PENDING
+        get_event._ok = None
+        get_event._defused = False
         if self._putters:
             put_event, value = self._putters.popleft()
             put_event._ok = True
             put_event._value = None
-            self.engine._schedule(put_event, 0, URGENT)
+            self._fire(put_event)
             get_event._ok = True
             get_event._value = value
-            self.engine._schedule(get_event, 0, URGENT)
+            self._fire(get_event)
         else:
             self._getters.append(get_event)
         return get_event
@@ -80,7 +96,7 @@ class Channel:
         if self._putters:
             event._ok = True
             event._value = self
-            self.engine._schedule(event, 0, URGENT)
+            self._fire(event)
         else:
             self._watchers.append(event)
         return event
@@ -116,6 +132,7 @@ class Store:
         self.engine = engine
         self.capacity = capacity
         self.name = name or "store"
+        self._fire = engine._fire_urgent
         self._items = deque()
         self._putters = deque()  # (event, value)
         self._getters = deque()
@@ -130,14 +147,24 @@ class Store:
 
     def put(self, value):
         """Enqueue ``value``; the event fires once buffered."""
-        event = Event(self.engine)
+        event = _new_event(Event)
+        event.engine = self.engine
+        event.callbacks = []
+        event._value = _PENDING
+        event._ok = None
+        event._defused = False
         self._putters.append((event, value))
         self._dispatch()
         return event
 
     def get(self):
         """Dequeue the oldest value; the event fires with it."""
-        event = Event(self.engine)
+        event = _new_event(Event)
+        event.engine = self.engine
+        event.callbacks = []
+        event._value = _PENDING
+        event._ok = None
+        event._defused = False
         self._getters.append(event)
         self._dispatch()
         return event
@@ -153,13 +180,13 @@ class Store:
                 self._items.append(value)
                 event._ok = True
                 event._value = None
-                self.engine._schedule(event, 0, URGENT)
+                self._fire(event)
                 progressed = True
             while self._getters and self._items:
                 event = self._getters.popleft()
                 event._ok = True
                 event._value = self._items.popleft()
-                self.engine._schedule(event, 0, URGENT)
+                self._fire(event)
                 progressed = True
 
     def __repr__(self):

@@ -10,6 +10,26 @@ The programming model is the generator-coroutine style familiar from
 SimPy: a *process* is a Python generator that yields
 :class:`Event` objects and is resumed when they fire.
 
+Fast path
+---------
+Zero-delay URGENT schedules (rendezvous completions, resource grants,
+process starts and resumptions) dominate event traffic, and they need
+no priority queue at all: they all fire *now*, in scheduling order.
+The engine therefore keeps a same-timestamp FIFO **fast lane** beside
+the ``heapq`` and routes ``delay == 0, priority == URGENT`` schedules
+into it, firing the lane ahead of equal-time NORMAL heap entries —
+exactly the order the heap would have produced, without the push/pop
+and without consuming sequence numbers.  Resuming a process on an
+already-processed event (and starting a new process) uses a slim
+``[callback, event]`` record instead of allocating a shim
+:class:`Event`.
+
+Setting ``REPRO_SLOW_KERNEL=1`` in the environment makes new engines
+use the pure-heap reference path (every schedule goes through the
+priority queue, resumptions allocate shim events).  Both paths produce
+bit-identical simulated-time results; the regression tests compare
+them event by event.
+
 Example
 -------
 >>> from repro.events import Engine
@@ -25,6 +45,9 @@ Example
 """
 
 import heapq
+import math
+import os
+from collections import deque
 
 from repro.events.errors import (
     DeadlockError,
@@ -38,6 +61,29 @@ from repro.events.errors import (
 #: uses this to complete rendezvous handshakes before ordinary timeouts.
 URGENT = 0
 NORMAL = 1
+
+
+def slow_kernel_requested() -> bool:
+    """True if the environment asks for the pure-heap reference kernel."""
+    return os.environ.get("REPRO_SLOW_KERNEL", "") not in ("", "0")
+
+
+def _delay_ns(delay):
+    """Normalise a delay to integer nanoseconds.
+
+    Integers (and integral floats) pass through unchanged.  Fractional
+    delays are **rounded half-up** — never silently truncated, which
+    could shorten simulated durations (e.g. ``int(2.9) == 2``).
+    """
+    ns = int(delay)
+    if ns != delay:
+        ns = math.floor(delay + 0.5)
+    return ns
+
+
+#: Unique sentinel marking "no value yet" (module-level: a global
+#: lookup is cheaper than a class-attribute lookup on the hot paths).
+_PENDING = object()
 
 
 class Event:
@@ -60,19 +106,19 @@ class Event:
     __slots__ = ("engine", "callbacks", "_value", "_ok", "_defused")
 
     #: Unique sentinel marking "no value yet".
-    PENDING = object()
+    PENDING = _PENDING
 
     def __init__(self, engine):
         self.engine = engine
         self.callbacks = []
-        self._value = Event.PENDING
+        self._value = _PENDING
         self._ok = None
         self._defused = False
 
     @property
     def triggered(self):
         """True once the event has a value and is queued (or processed)."""
-        return self._value is not Event.PENDING
+        return self._value is not _PENDING
 
     @property
     def processed(self):
@@ -89,7 +135,7 @@ class Event:
     @property
     def value(self):
         """The event's value, or the exception it failed with."""
-        if self._value is Event.PENDING:
+        if self._value is _PENDING:
             raise SimulationError("event value not yet available")
         return self._value
 
@@ -141,11 +187,35 @@ class Event:
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
+# Fast-lane resume records are plain two-element lists
+# ``[callback, event]`` — a list literal is a single C-level
+# allocation, the cheapest mutable record CPython offers.  Slot 0 is
+# set to ``None`` when an interrupt wins the race against the pending
+# resumption (the shim-based equivalent removed the callback from the
+# shim's callback list).  Nothing else in the lane can be a list:
+# every real queue entry is an :class:`Event`.
+
+
+class _Start:
+    """Sentinel outcome used to kick off a process's first resume on
+    the fast path (the reference path allocates an :class:`Initialize`
+    event instead)."""
+
+    __slots__ = ()
+    _ok = True
+    _value = None
+
+
+_START = _Start()
+
+
 class Timeout(Event):
     """An event that fires after a fixed delay.
 
     Created via :meth:`Engine.timeout`; it is triggered at construction,
-    so it cannot be succeeded or failed manually.
+    so it cannot be succeeded or failed manually.  Non-integer delays
+    are rounded half-up to whole nanoseconds (see :func:`_delay_ns`) —
+    they are never silently truncated.
     """
 
     __slots__ = ("delay",)
@@ -153,11 +223,22 @@ class Timeout(Event):
     def __init__(self, engine, delay, value=None):
         if delay < 0:
             raise ValueError(f"negative timeout delay {delay!r}")
-        super().__init__(engine)
-        self.delay = int(delay)
-        self._ok = True
+        if type(delay) is not int:
+            delay = _delay_ns(delay)
+        # Event.__init__ inlined (timeouts are the hottest allocation).
+        self.engine = engine
+        self.callbacks = []
         self._value = value
-        engine._schedule(self, self.delay, NORMAL)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        # Timeouts always go through the priority queue (NORMAL at a
+        # future time); push directly rather than via _schedule.
+        heapq.heappush(
+            engine._heap, (engine._now + delay, NORMAL, engine._seq, self)
+        )
+        engine._seq += 1
+        engine.heap_pushes += 1
 
     def __repr__(self):
         return f"<Timeout delay={self.delay}>"
@@ -170,10 +251,13 @@ class Initialize(Event):
 
     def __init__(self, engine, process):
         super().__init__(engine)
-        self.callbacks.append(process._resume)
+        self.callbacks.append(process._resume_cb)
         self._ok = True
         self._value = None
-        engine._schedule(self, 0, URGENT)
+        if engine._fast:
+            engine._lane.append(self)
+        else:
+            engine._schedule(self, 0, URGENT)
 
 
 class Process(Event):
@@ -185,21 +269,44 @@ class Process(Event):
     simply by yielding them.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = (
+        "_generator", "_send", "_throw", "_resume_cb", "_target", "_name"
+    )
 
     def __init__(self, engine, generator, name=None):
-        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
-            raise TypeError(f"{generator!r} is not a generator")
-        super().__init__(engine)
+        try:
+            self._send = generator.send
+            self._throw = generator.throw
+        except AttributeError:
+            raise TypeError(f"{generator!r} is not a generator") from None
+        # Event.__init__ inlined (one Process per spawned activity).
+        self.engine = engine
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self._defused = False
         self._generator = generator
+        # A bound method is allocated on every attribute access; resumes
+        # happen once per yield, so bind it exactly once.
+        self._resume_cb = self._resume
         self._target = None
-        self.name = name or getattr(generator, "__name__", "process")
-        Initialize(engine, self)
+        self._name = name
+        if engine._fast:
+            engine._lane.append([self._resume_cb, _START])
+        else:
+            Initialize(engine, self)
+
+    @property
+    def name(self):
+        """The process name (defaults to the generator's name)."""
+        if self._name is None:
+            self._name = getattr(self._generator, "__name__", "process")
+        return self._name
 
     @property
     def is_alive(self):
         """True while the underlying generator has not finished."""
-        return self._value is Event.PENDING
+        return self._value is _PENDING
 
     def interrupt(self, cause=None):
         """Throw :class:`Interrupt` into the process at the current time.
@@ -215,63 +322,85 @@ class Process(Event):
         event._ok = False
         event._value = Interrupt(cause)
         event._defused = True
-        event.callbacks.append(self._resume)
+        event.callbacks.append(self._resume_cb)
         self.engine._schedule(event, 0, URGENT)
         # Unsubscribe from the event we were waiting on: the interrupt
         # wins the race, and a later firing of the old target must not
         # resume us twice.
-        if self._target is not None and self._target.callbacks is not None:
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+        target = self._target
+        if target is not None:
+            if target.__class__ is list:
+                target[0] = None
+            elif target.callbacks is not None:
+                try:
+                    target.callbacks.remove(self._resume_cb)
+                except ValueError:
+                    pass
         self._target = None
 
     def _resume(self, event):
         """Resume the generator with the outcome of ``event``."""
-        self.engine._active = self
+        engine = self.engine
+        engine._active = self
         try:
             if event._ok:
-                result = self._generator.send(event._value)
+                result = self._send(event._value)
             else:
                 event._defused = True
-                result = self._generator.throw(event._value)
+                result = self._throw(event._value)
         except StopIteration as stop:
-            self.engine._active = None
+            engine._active = None
             self._ok = True
             self._value = stop.value
-            self.engine._schedule(self, 0, URGENT)
+            if engine._fast:
+                engine._lane.append(self)
+            else:
+                engine._schedule(self, 0, URGENT)
             return
         except BaseException as exc:
-            self.engine._active = None
+            engine._active = None
             self._ok = False
             self._value = exc
-            self.engine._schedule(self, 0, URGENT)
+            if engine._fast:
+                engine._lane.append(self)
+            else:
+                engine._schedule(self, 0, URGENT)
             return
-        self.engine._active = None
+        engine._active = None
 
-        if not isinstance(result, Event):
+        # Duck-typed validation: probing the two attributes every Event
+        # has is cheaper than an isinstance() on this hot path.
+        try:
+            callbacks = result.callbacks
+            if result.engine is not engine:
+                raise SimulationError(
+                    f"process {self.name!r} yielded an event "
+                    f"from another engine"
+                )
+        except AttributeError:
             raise SimulationError(
                 f"process {self.name!r} yielded {result!r}, not an Event"
-            )
-        if result.engine is not self.engine:
-            raise SimulationError(
-                f"process {self.name!r} yielded an event from another engine"
-            )
-        if result.callbacks is None:
+            ) from None
+        if callbacks is None:
             # Already processed: resume immediately (at the current time,
             # urgently, so ordering stays deterministic).
-            shim = Event(self.engine)
-            shim._ok = result._ok
-            shim._value = result._value
             if not result._ok:
                 result._defused = True
-                shim._defused = True
-            shim.callbacks.append(self._resume)
-            self.engine._schedule(shim, 0, URGENT)
-            self._target = shim
+            if engine._fast:
+                record = [self._resume_cb, result]
+                engine._lane.append(record)
+                self._target = record
+            else:
+                shim = Event(engine)
+                shim._ok = result._ok
+                shim._value = result._value
+                if not result._ok:
+                    shim._defused = True
+                shim.callbacks.append(self._resume_cb)
+                engine._schedule(shim, 0, URGENT)
+                self._target = shim
         else:
-            result.callbacks.append(self._resume)
+            callbacks.append(self._resume_cb)
             self._target = result
 
     def __repr__(self):
@@ -346,18 +475,49 @@ class AnyOf(Condition):
 
 
 class Engine:
-    """The event loop: a priority queue of (time, priority, seq, event).
+    """The event loop: an URGENT fast lane plus a priority queue of
+    ``(time, priority, seq, event)`` records.
 
     All model components share one Engine.  The sequence number breaks
-    ties so that equal-time events fire in the order they were
-    scheduled, making runs fully deterministic.
+    ties so that equal-time heap events fire in the order they were
+    scheduled; fast-lane entries are FIFO by construction.  Runs are
+    fully deterministic on both the fast and the reference path.
+
+    Profiling counters (reset never; see
+    :func:`repro.analysis.tracing.engine_stats`):
+
+    * ``events_processed`` — events (and resume records) fired;
+    * ``heap_pushes`` — schedules that went through the priority queue;
+    * ``lane_hits`` — events fired from the URGENT fast lane.
     """
+
+    __slots__ = (
+        "_now", "_heap", "_lane", "_seq", "_active", "_fast",
+        "_durgent", "_fire_urgent",
+        "events_processed", "heap_pushes", "lane_hits",
+    )
 
     def __init__(self):
         self._now = 0
         self._heap = []
+        self._lane = deque()
         self._seq = 0
         self._active = None
+        self._fast = not slow_kernel_requested()
+        # URGENT entries currently in the heap.  Zero in steady state on
+        # the fast path (zero-delay URGENT takes the lane), which lets
+        # the hot loop skip the heap-top inspection entirely.
+        self._durgent = 0
+        # Pre-bound "fire this event now, urgently" entry point for the
+        # rendezvous/grant hot paths: a raw C ``deque.append`` on the
+        # fast kernel, the generic scheduler on the reference kernel.
+        if self._fast:
+            self._fire_urgent = self._lane.append
+        else:
+            self._fire_urgent = self._urgent_via_heap
+        self.events_processed = 0
+        self.heap_pushes = 0
+        self.lane_hits = 0
 
     @property
     def now(self):
@@ -369,15 +529,34 @@ class Engine:
         """The process currently being resumed, or None."""
         return self._active
 
+    @property
+    def fast_kernel(self):
+        """True when this engine uses the fast-lane kernel."""
+        return self._fast
+
     # -- scheduling ---------------------------------------------------
 
+    def _urgent_via_heap(self, event):
+        """Reference-kernel form of :attr:`_fire_urgent`."""
+        self._schedule(event, 0, URGENT)
+
     def _schedule(self, event, delay=0, priority=NORMAL):
+        if delay == 0 and priority == URGENT and self._fast:
+            # Fast lane: fires at the current time, ahead of equal-time
+            # NORMAL heap entries, in FIFO (= would-be seq) order.
+            self._lane.append(event)
+            return
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
+        if type(delay) is not int:
+            delay = _delay_ns(delay)
         heapq.heappush(
-            self._heap, (self._now + int(delay), priority, self._seq, event)
+            self._heap, (self._now + delay, priority, self._seq, event)
         )
         self._seq += 1
+        self.heap_pushes += 1
+        if priority == URGENT:
+            self._durgent += 1
 
     def timeout(self, delay, value=None):
         """Return an event that fires ``delay`` ns from now."""
@@ -403,19 +582,51 @@ class Engine:
 
     def peek(self):
         """Time of the next scheduled event, or None if the queue is empty."""
+        if self._lane:
+            return self._now
         return self._heap[0][0] if self._heap else None
 
+    def _lane_first(self):
+        """True when the next event to fire comes from the fast lane.
+
+        Lane entries fire at the current time with URGENT priority and
+        a later sequence number than anything already in the heap, so
+        the only heap entries that may precede them are URGENT entries
+        *at the current time* — which can only have been scheduled with
+        a positive delay (zero-delay URGENT always takes the lane).
+        """
+        if not self._lane:
+            return False
+        if not self._durgent:
+            return True
+        heap = self._heap
+        return not (heap and heap[0][0] == self._now and heap[0][1] == URGENT)
+
     def step(self):
-        """Process exactly one event.
+        """Process exactly one event (or fast-lane resume record).
 
         Raises :class:`DeadlockError` when the queue is empty.
         """
-        if not self._heap:
-            raise DeadlockError("event queue empty")
-        when, _prio, _seq, event = heapq.heappop(self._heap)
-        if when < self._now:
-            raise SimulationError("time went backwards")  # pragma: no cover
-        self._now = when
+        if self._lane_first():
+            entry = self._lane.popleft()
+            self.events_processed += 1
+            self.lane_hits += 1
+            if entry.__class__ is list:
+                callback = entry[0]
+                if callback is not None:
+                    callback(entry[1])
+                return
+            event = entry
+        else:
+            if not self._heap:
+                raise DeadlockError("event queue empty")
+            when, prio, _seq, event = heapq.heappop(self._heap)
+            if when < self._now:
+                raise SimulationError("time went backwards")  # pragma: no cover
+            if prio == URGENT:
+                self._durgent -= 1
+            self._now = when
+            self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -435,47 +646,93 @@ class Engine:
             ``until`` do not fire).  An :class:`Event` runs until that
             event is processed and returns its value.
         """
-        stop_value = [None]
+        until_time = None
         if isinstance(until, Event):
             if until.callbacks is None:
+                # Already processed: mirror its outcome without running.
                 if not until._ok:
-                    until._defused = True
+                    until.defuse()
                     raise until._value
                 return until._value
 
             def _stop(event):
                 if not event._ok:
-                    event._defused = True
+                    # Defuse exactly once, here: the step loop below
+                    # never sees the event again after we raise.
+                    event.defuse()
                     raise event._value
                 raise StopSimulation(event._value)
 
             until.callbacks.append(_stop)
-            until_time = None
         elif until is not None:
             until_time = int(until)
             if until_time < self._now:
                 raise ValueError(
                     f"until={until_time} is in the past (now={self._now})"
                 )
-        else:
-            until_time = None
+            if until_time == self._now:
+                # Events at exactly ``until`` (including fast-lane
+                # entries at the current instant) do not fire.
+                return None
 
+        # The hot loop.  Identical semantics to repeated step() calls,
+        # with the dispatch inlined and hot names bound locally.
+        heap = self._heap
+        lane = self._lane
+        heappop = heapq.heappop
+        resume_cls = list
+        processed = 0
+        lane_fired = 0
         try:
-            while self._heap:
-                if until_time is not None and self._heap[0][0] >= until_time:
-                    self._now = until_time
-                    return None
-                self.step()
+            while heap or lane:
+                if lane and (
+                    not self._durgent
+                    or not (
+                        heap
+                        and heap[0][0] == self._now
+                        and heap[0][1] == URGENT
+                    )
+                ):
+                    entry = lane.popleft()
+                    processed += 1
+                    lane_fired += 1
+                    if entry.__class__ is resume_cls:
+                        callback = entry[0]
+                        if callback is not None:
+                            callback(entry[1])
+                        continue
+                    event = entry
+                else:
+                    when = heap[0][0]
+                    if until_time is not None and when >= until_time:
+                        self._now = until_time
+                        return None
+                    when, prio, _seq, event = heappop(heap)
+                    if prio == URGENT:
+                        self._durgent -= 1
+                    self._now = when
+                    processed += 1
+                callbacks, event.callbacks = event.callbacks, None
+                if len(callbacks) == 1:
+                    callbacks[0](event)
+                else:
+                    for callback in callbacks:
+                        callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
         except StopSimulation as stop:
-            stop_value[0] = stop.value
-            return stop_value[0]
+            return stop.value
+        finally:
+            self.events_processed += processed
+            self.lane_hits += lane_fired
         if isinstance(until, Event) and not until.triggered:
             raise DeadlockError(
                 "run() target event never fired; model deadlocked"
             )
         if until_time is not None:
             self._now = until_time
-        return stop_value[0]
+        return None
 
     def __repr__(self):
-        return f"<Engine now={self._now} queued={len(self._heap)}>"
+        queued = len(self._heap) + len(self._lane)
+        return f"<Engine now={self._now} queued={queued}>"

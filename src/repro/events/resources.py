@@ -9,7 +9,7 @@ ordered, which is exactly the arbitration the paper's hardware performs
 
 from collections import deque
 
-from repro.events.engine import Event, URGENT
+from repro.events.engine import Event
 from repro.events.errors import SimulationError
 
 
@@ -27,7 +27,12 @@ class Request(Event):
     __slots__ = ("resource",)
 
     def __init__(self, resource):
-        super().__init__(resource.engine)
+        # Event.__init__ inlined (one Request per arbitration).
+        self.engine = resource.engine
+        self.callbacks = []
+        self._value = Event.PENDING
+        self._ok = None
+        self._defused = False
         self.resource = resource
         resource._queue.append(self)
         resource._grant()
@@ -89,7 +94,7 @@ class Resource:
             self.grants += 1
             req._ok = True
             req._value = req
-            self.engine._schedule(req, 0, URGENT)
+            self.engine._fire_urgent(req)
 
     def _release(self, req):
         if req in self._users:

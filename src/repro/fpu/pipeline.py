@@ -14,6 +14,7 @@ output feeds the adder's input directly.
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 
 @dataclass(frozen=True)
@@ -68,6 +69,7 @@ class PipelineTiming:
         return n / (self.stages + n - 1)
 
 
+@lru_cache(maxsize=None)
 def reduction_drain_cycles(stages: int) -> int:
     """Extra cycles to collapse a feedback accumulation.
 

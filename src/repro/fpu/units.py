@@ -26,6 +26,10 @@ class FunctionalUnit:
             32: PipelineTiming(stages_32, cycle_ns),
             64: PipelineTiming(stages_64, cycle_ns),
         }
+        # Memoized pipeline depths: precision → stages.  ``stages()``
+        # sits on the per-vector-form timing path, so it must not pay
+        # for a PipelineTiming lookup plus attribute hops every call.
+        self._stages = {32: stages_32, 64: stages_64}
         self.busy = Mutex(engine, name=f"{name}-issue")
         #: Total results produced (for measured-MFLOPS accounting).
         self.results = 0
@@ -41,7 +45,10 @@ class FunctionalUnit:
 
     def stages(self, precision: int) -> int:
         """Pipeline depth in the given mode."""
-        return self.timing(precision).stages
+        try:
+            return self._stages[precision]
+        except KeyError:
+            raise ValueError(f"unsupported precision {precision!r}") from None
 
     def occupy(self, n: int, precision: int):
         """Process: hold the unit for an n-element vector operation.

@@ -15,6 +15,7 @@ the *measured* figure is produced by experiment E2, not asserted.
 from dataclasses import dataclass
 
 from repro.core.specs import NS_PER_S
+from repro.events.engine import slow_kernel_requested
 
 
 @dataclass(frozen=True)
@@ -33,6 +34,18 @@ class FrameSpec:
         if min(self.data_bits, self.sync_bits, self.stop_bits,
                self.ack_bits) < 0 or self.data_bits == 0:
             raise ValueError("invalid framing bit counts")
+        # Memoized wire-time lookup (the dataclass is frozen, so the
+        # cache and the precomputed ns factor are smuggled in via
+        # object.__setattr__).  transfer_ns() sits on every DMA/frame
+        # hot path and transfer sizes repeat heavily.  REPRO_SLOW_KERNEL
+        # (read at construction, like the event kernel) disables the
+        # memo so the reference run prices every call at full cost.
+        object.__setattr__(
+            self, "_ns_factor", self.bits_per_byte * NS_PER_S
+        )
+        object.__setattr__(
+            self, "_transfer_cache", None if slow_kernel_requested() else {}
+        )
 
     @property
     def bits_per_byte(self) -> int:
@@ -46,10 +59,21 @@ class FrameSpec:
 
     def transfer_ns(self, nbytes: int) -> int:
         """Wire time for ``nbytes`` data bytes, rounded to whole ns."""
-        if nbytes < 0:
-            raise ValueError("negative byte count")
-        num = nbytes * self.bits_per_byte * NS_PER_S
-        return (num + self.bit_rate // 2) // self.bit_rate
+        cache = self._transfer_cache
+        if cache is None:  # reference kernel: recompute per call
+            if nbytes < 0:
+                raise ValueError("negative byte count")
+            num = nbytes * self.bits_per_byte * NS_PER_S
+            return (num + self.bit_rate // 2) // self.bit_rate
+        ns = cache.get(nbytes)
+        if ns is None:
+            if nbytes < 0:
+                raise ValueError("negative byte count")
+            num = nbytes * self._ns_factor
+            ns = (num + self.bit_rate // 2) // self.bit_rate
+            if len(cache) < 8192:  # bound the memo for huge sweeps
+                cache[nbytes] = ns
+        return ns
 
     @property
     def effective_mb_s(self) -> float:

@@ -1,0 +1,176 @@
+"""Ordering invariants of the event kernel.
+
+These tests pin down the semantics the fast lane must preserve exactly:
+URGENT-before-NORMAL within a timestep, delayed-URGENT heap entries
+firing ahead of later fast-lane records, the interrupt/resume
+unsubscribe race, and the same-timestep value-collection semantics of
+``AnyOf``/``AllOf``.  Every test runs on both the fast and the
+``REPRO_SLOW_KERNEL=1`` reference kernel.
+"""
+
+import pytest
+
+from repro.events import Engine, Interrupt
+from repro.events.engine import URGENT, AllOf, AnyOf
+
+
+@pytest.fixture(params=["fast", "slow"])
+def eng(request, monkeypatch):
+    if request.param == "slow":
+        monkeypatch.setenv("REPRO_SLOW_KERNEL", "1")
+    else:
+        monkeypatch.delenv("REPRO_SLOW_KERNEL", raising=False)
+    engine = Engine()
+    assert engine.fast_kernel == (request.param == "fast")
+    return engine
+
+
+class TestUrgentBeforeNormal:
+    def test_urgent_fires_before_earlier_normal(self, eng):
+        """An URGENT event beats a NORMAL event at the same timestep even
+        when the NORMAL one was scheduled first (smaller seq)."""
+        order = []
+        normal = eng.timeout(0)
+        normal.callbacks.append(lambda e: order.append("normal"))
+        urgent = eng.event()
+        urgent.succeed(priority=URGENT)
+        urgent.callbacks.append(lambda e: order.append("urgent"))
+        eng.run()
+        assert order == ["urgent", "normal"]
+
+    def test_urgent_fifo_within_timestep(self, eng):
+        order = []
+        for tag in ("a", "b", "c"):
+            ev = eng.event()
+            ev.succeed(tag, priority=URGENT)
+            ev.callbacks.append(lambda e: order.append(e.value))
+        eng.run()
+        assert order == ["a", "b", "c"]
+
+    def test_delayed_urgent_beats_later_lane_record(self, eng):
+        """A heap URGENT entry scheduled with positive delay has a
+        smaller sequence number than any fast-lane record created at
+        its firing time, so it must fire first."""
+        order = []
+        fired = eng.event().succeed()
+
+        def waiter(ev, tag):
+            yield ev
+            order.append(tag)
+            # Resuming on an already-processed event appends a lane
+            # record while the *second* delayed-URGENT entry is still
+            # in the heap.
+            yield fired
+            order.append(tag + "-revisit")
+
+        e1 = eng.event()
+        e2 = eng.event()
+        eng.process(waiter(e1, "e1"))
+        eng.process(waiter(e2, "e2"))
+        e1.succeed(delay=5, priority=URGENT)
+        e2.succeed(delay=5, priority=URGENT)
+        eng.run()
+        assert order == ["e1", "e2", "e1-revisit", "e2-revisit"]
+
+
+class TestInterruptUnsubscribeRace:
+    def test_interrupt_wins_over_pending_event(self, eng):
+        """Interrupting a process whose wait target fires in the same
+        timestep must deliver only the Interrupt, never the value."""
+        log = []
+        wake = eng.event()
+
+        def victim():
+            try:
+                value = yield wake
+                log.append(("value", value))
+            except Interrupt as exc:
+                log.append(("interrupted", exc.cause))
+            # The old target firing must not resume us a second time.
+            yield eng.timeout(3)
+            log.append(("alive", eng.now))
+
+        def attacker(proc):
+            yield eng.timeout(2)
+            wake.succeed("too-late")
+            proc.interrupt("race")
+
+        proc = eng.process(victim())
+        eng.process(attacker(proc))
+        eng.run()
+        assert log == [("interrupted", "race"), ("alive", 5)]
+
+    def test_interrupt_wins_over_pending_resume_record(self, eng):
+        """The same race against a resume on an *already-processed*
+        event — the fast path queues a slim record there, and the
+        interrupt must cancel it."""
+        log = []
+        start = eng.event()
+        fired = eng.event().succeed("stale")
+
+        def victim():
+            try:
+                yield start
+                value = yield fired  # already processed: resume record
+                log.append(("value", value))
+            except Interrupt as exc:
+                log.append(("interrupted", exc.cause))
+
+        def attacker(proc):
+            yield start
+            proc.interrupt("race")
+
+        # Both wake from the same event; callbacks run in subscription
+        # order, so the victim queues its resume record first and the
+        # attacker interrupts before that record fires.
+        proc = eng.process(victim())
+        eng.process(attacker(proc))
+
+        def kicker():
+            yield eng.timeout(4)
+            start.succeed()
+
+        eng.process(kicker())
+        eng.run()
+        assert log == [("interrupted", "race")]
+
+
+class TestConditionCollect:
+    def test_anyof_collects_only_processed_subevents(self, eng):
+        a = eng.timeout(5, "A")
+        b = eng.timeout(5, "B")
+        result = {}
+
+        def waiter():
+            result.update((yield AnyOf(eng, [a, b])))
+
+        eng.process(waiter())
+        eng.run()
+        # a and b fire at the same timestep, but a (scheduled first)
+        # processes first and the AnyOf triggers before b is processed.
+        assert result == {0: "A"}
+
+    def test_allof_collects_all_subevents(self, eng):
+        a = eng.timeout(5, "A")
+        b = eng.timeout(5, "B")
+        result = {}
+
+        def waiter():
+            result.update((yield AllOf(eng, [a, b])))
+
+        eng.process(waiter())
+        eng.run()
+        assert result == {0: "A", 1: "B"}
+
+    def test_anyof_with_preprocessed_subevent(self, eng):
+        fired = eng.event().succeed("early")
+
+        def setup():
+            yield eng.timeout(1)
+            pending = eng.event()
+            value = yield AnyOf(eng, [pending, fired])
+            return value
+
+        proc = eng.process(setup())
+        eng.run()
+        assert proc.value == {1: "early"}

@@ -1,0 +1,239 @@
+"""Fast-kernel regression tests.
+
+The perf work in the event kernel and the CP interpreter must never
+change a simulated-time number.  These tests run the same workloads on
+the optimized path and the ``REPRO_SLOW_KERNEL=1`` reference path and
+demand bit-identical traces, plus unit coverage for the pieces the
+fast path added: half-up delay rounding, the decoded-instruction
+cache and its invalidation, and the engine profiling counters.
+"""
+
+import pytest
+
+from repro.analysis import engine_stats, engine_stats_table
+from repro.cp import CPU, assemble
+from repro.events import Engine, Interrupt
+from repro.events.channel import Channel, Store
+from repro.events.engine import Timeout, URGENT
+from repro.events.resources import Resource, hold
+
+
+def _mixed_workload():
+    """A small model exercising every kernel path; returns the trace."""
+    eng = Engine()
+    trace = []
+    chan = Channel(eng, name="c")
+    store = Store(eng, capacity=2, name="s")
+    port = Resource(eng, capacity=1, name="p")
+    fired = eng.event().succeed("stale")
+
+    def producer():
+        for i in range(10):
+            yield chan.put(i)
+            yield store.put(i * i)
+            trace.append(("put", eng.now, i))
+            yield eng.timeout(3)
+
+    def consumer():
+        for _ in range(10):
+            value = yield chan.get()
+            squared = yield store.get()
+            trace.append(("got", eng.now, value, squared))
+            yield fired  # already-processed resume path
+            trace.append(("revisit", eng.now))
+
+    def contender(tag):
+        for _ in range(5):
+            yield from hold(eng, port, 7)
+            trace.append(("held", eng.now, tag))
+
+    def child(i):
+        yield eng.timeout(i % 3)
+        return i
+
+    def spawner():
+        for i in range(8):
+            value = yield eng.process(child(i))
+            trace.append(("spawned", eng.now, value))
+
+    def victim():
+        try:
+            yield eng.timeout(1000)
+        except Interrupt as exc:
+            trace.append(("interrupted", eng.now, exc.cause))
+
+    def attacker(proc):
+        yield eng.timeout(11)
+        proc.interrupt("bored")
+
+    eng.process(producer())
+    eng.process(consumer())
+    eng.process(contender("a"))
+    eng.process(contender("b"))
+    eng.process(spawner())
+    victim_proc = eng.process(victim())
+    eng.process(attacker(victim_proc))
+    eng.run()
+    trace.append(("end", eng.now))
+    return eng, trace
+
+
+def _in_mode(monkeypatch, slow, fn):
+    if slow:
+        monkeypatch.setenv("REPRO_SLOW_KERNEL", "1")
+    else:
+        monkeypatch.delenv("REPRO_SLOW_KERNEL", raising=False)
+    return fn()
+
+
+class TestKernelEquivalence:
+    def test_mixed_workload_trace_identical(self, monkeypatch):
+        eng_fast, fast = _in_mode(monkeypatch, False, _mixed_workload)
+        eng_slow, slow = _in_mode(monkeypatch, True, _mixed_workload)
+        assert eng_fast.fast_kernel and not eng_slow.fast_kernel
+        assert fast == slow
+        assert eng_fast.now == eng_slow.now
+
+    def test_run_until_time_identical(self, monkeypatch):
+        def run(until):
+            eng = Engine()
+            ticks = []
+
+            def ticker():
+                while True:
+                    yield eng.timeout(7)
+                    ticks.append(eng.now)
+
+            eng.process(ticker())
+            eng.run(until=until)
+            return eng.now, ticks
+
+        for until in (1, 7, 50, 70):
+            fast = _in_mode(monkeypatch, False, lambda: run(until))
+            slow = _in_mode(monkeypatch, True, lambda: run(until))
+            assert fast == slow
+
+
+class TestTimeoutRounding:
+    @pytest.mark.parametrize("delay,expected", [
+        (2, 2),
+        (2.0, 2),
+        (2.4, 2),
+        (2.5, 3),   # half-up, not banker's rounding
+        (2.9, 3),   # int() would have truncated this to 2
+        (0.5, 1),
+        (0.4, 0),
+    ])
+    def test_fractional_delays_round_half_up(self, delay, expected):
+        eng = Engine()
+        assert Timeout(eng, delay).delay == expected
+
+    @pytest.mark.parametrize("delay", [-1, -0.5, -2.5])
+    def test_negative_delays_rejected(self, delay):
+        eng = Engine()
+        with pytest.raises(ValueError):
+            eng.timeout(delay)
+
+    def test_fractional_succeed_delay_rounds(self):
+        eng = Engine()
+        when = []
+        ev = eng.event()
+        ev.succeed("x", delay=2.5)
+        ev.callbacks.append(lambda e: when.append(eng.now))
+        eng.run()
+        assert when == [3]
+
+
+PROGRAM = """
+    ldc 0
+    stl 0
+    ldc 10
+    stl 1
+loop:
+    ldl 0
+    adc 3
+    stl 0
+    ldl 1
+    adc -1
+    stl 1
+    ldl 1
+    cj done
+    j loop
+done:
+    ldl 0
+    terminate
+"""
+
+
+class TestDecodedCache:
+    def _run(self):
+        cpu = CPU(assemble(PROGRAM).code)
+        cpu.run()
+        return cpu.areg, cpu.instructions, cpu.cycles
+
+    def test_cache_matches_reference_interpreter(self, monkeypatch):
+        fast = _in_mode(monkeypatch, False, self._run)
+        slow = _in_mode(monkeypatch, True, self._run)
+        assert fast == slow
+        assert fast[0] == 30  # 10 iterations of +3
+
+    def test_cache_populated_only_on_fast_path(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SLOW_KERNEL", raising=False)
+        cpu = CPU(assemble(PROGRAM).code)
+        cpu.run()
+        assert cpu._use_cache and cpu._decoded
+
+        monkeypatch.setenv("REPRO_SLOW_KERNEL", "1")
+        ref = CPU(assemble(PROGRAM).code)
+        ref.run()
+        assert not ref._use_cache and not ref._decoded
+
+    def test_patch_code_invalidates_cache(self, monkeypatch):
+        # ldc 5 / ldc 7 / add / terminate — then patch the second
+        # constant after the first full run and rerun from entry.
+        monkeypatch.delenv("REPRO_SLOW_KERNEL", raising=False)
+        prog = assemble("ldc 5\nldc 7\nadd\nterminate")
+        cpu = CPU(prog.code)
+        cpu.run()
+        assert cpu.areg == 12
+        assert cpu._decoded  # populated by the first run
+
+        patched = bytearray(assemble("ldc 5\nldc 9\nadd\nterminate").code)
+        cpu.patch_code(0, patched)
+        assert not cpu._decoded  # cache dropped with the old code
+
+        cpu.iptr = 0
+        cpu.halted = False
+        cpu.run()
+        assert cpu.areg == 14  # the patched constant took effect
+
+    def test_patch_outside_code_store_rejected(self):
+        from repro.cp import CPUError
+
+        cpu = CPU(assemble("terminate").code)
+        with pytest.raises(CPUError):
+            cpu.patch_code(len(cpu.code), b"\x00")
+
+
+class TestEngineStats:
+    def test_counters_and_stats_surface(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SLOW_KERNEL", raising=False)
+        eng, _ = _mixed_workload()
+        stats = engine_stats(eng)
+        assert stats["fast_kernel"] is True
+        assert stats["events_processed"] > 0
+        assert stats["heap_pushes"] > 0
+        assert stats["fast_lane_hits"] > 0
+        assert 0.0 < stats["fast_lane_fraction"] < 1.0
+        # Lane traffic plus heap traffic accounts for every event.
+        assert stats["fast_lane_hits"] <= stats["events_processed"]
+        text = engine_stats_table(eng).render()
+        assert "Event-kernel profile" in text
+
+    def test_reference_kernel_reports_no_lane_traffic(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SLOW_KERNEL", "1")
+        eng, _ = _mixed_workload()
+        stats = engine_stats(eng)
+        assert stats["fast_kernel"] is False
+        assert stats["fast_lane_hits"] == 0
+        assert stats["fast_lane_fraction"] == 0.0
