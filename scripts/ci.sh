@@ -16,6 +16,24 @@ REPRO_SLOW_KERNEL=1 python -m pytest \
     tests/test_perf_kernel.py tests/test_events_ordering.py \
     tests/test_events_engine.py tests/test_events_channels.py -x -q
 
+echo "== differential fuzz smoke (both kernels, fixed seeds) =="
+# Fixed seeds so CI is deterministic; the budget bounds wall clock on
+# slow machines.  Divergences shrink to tests/repros/ and fail the run.
+python -m repro.testing.fuzz --seed 1986 --cases 200 --budget 30
+python -m repro.testing.fuzz --seed 8086 --cases 120 --budget 20
+
+echo "== golden trace conformance =="
+python scripts/regen_golden.py --check
+
+echo "== coverage floor on the testing subsystem =="
+if python -c "import pytest_cov" 2>/dev/null; then
+    python -m pytest tests/test_testing_subsystem.py tests/test_repros.py \
+        tests/test_golden_traces.py -q \
+        --cov=repro.testing --cov-fail-under=85
+else
+    echo "pytest-cov not installed; skipping coverage floor"
+fi
+
 echo "== wall-clock benchmark smoke =="
 python benchmarks/bench_wallclock.py --quick --no-json
 

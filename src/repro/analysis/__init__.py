@@ -50,6 +50,7 @@ from repro.analysis.scaled_speedup import (
     measured_scaled_stencil,
 )
 from repro.analysis.tracing import (
+    TraceProbe,
     busiest_component,
     engine_stats,
     engine_stats_table,
@@ -63,6 +64,7 @@ __all__ = [
     "PAPER_RATIO",
     "PAPER_TIMES_US",
     "Table",
+    "TraceProbe",
     "amdahl_speedup",
     "balance_table",
     "gustafson_speedup",

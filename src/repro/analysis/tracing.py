@@ -16,6 +16,39 @@ zero-delay URGENT fast lane instead.
 from repro.analysis.report import Table
 
 
+class TraceProbe:
+    """A structural event trace: timestamped marks from model code.
+
+    The conformance layer (:mod:`repro.testing`) runs the same model
+    on the fast and the reference kernel and demands identical traces;
+    a probe is the capture side of that contract.  Model code calls
+    :meth:`mark` at interesting points (a rendezvous completed, a
+    transfer finished, a process observed a value) and the probe
+    records ``(simulated_ns, label, payload)`` tuples.
+
+    Payloads must be JSON-able (ints, strings, lists) so traces can be
+    pinned as golden files and diffed across kernels and refactors.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.records = []
+
+    def mark(self, label, *payload):
+        """Record one trace point at the current simulated time."""
+        self.records.append([self.engine.now, label, list(payload)])
+
+    def as_json(self) -> list:
+        """The trace as a JSON-able list (a copy)."""
+        return [list(r) for r in self.records]
+
+    def __len__(self):
+        return len(self.records)
+
+    def __repr__(self):
+        return f"<TraceProbe records={len(self.records)}>"
+
+
 def node_utilization(node) -> dict:
     """Busy fractions of one node's components (0..1)."""
     engine = node.engine

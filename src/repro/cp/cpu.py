@@ -203,6 +203,52 @@ class CPU:
         self.code[address:address + len(data)] = data
         self._decoded.clear()
 
+    # -- conformance --------------------------------------------------------
+
+    def snapshot_state(self, with_memory: bool = True) -> dict:
+        """Architectural state as a JSON-able dict.
+
+        This is the fingerprint the differential-testing oracle
+        compares between the cached fast path and the byte-at-a-time
+        reference path: registers, pointers, flags, the instruction and
+        cycle counters, the scheduler queues, and (optionally) a digest
+        of data memory.  Anything the two paths could silently disagree
+        on belongs here.
+        """
+        import hashlib
+
+        state = {
+            "areg": to_signed(self.areg),
+            "breg": to_signed(self.breg),
+            "creg": to_signed(self.creg),
+            "oreg": self.oreg,
+            "iptr": self.iptr,
+            "wptr": self.wptr,
+            "priority": self.priority,
+            "error": self.error,
+            "halted": self.halted,
+            "deadlocked": self.deadlocked,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "queues": {
+                "high": list(self.scheduler.queues[HIGH]),
+                "low": list(self.scheduler.queues[LOW]),
+            },
+            "code_sha256": hashlib.sha256(bytes(self.code)).hexdigest(),
+        }
+        words = getattr(self.memory, "_words", None)
+        if with_memory and words is not None:
+            digest = hashlib.sha256()
+            for word in words:
+                digest.update(word.to_bytes(4, "little"))
+            state["memory_sha256"] = digest.hexdigest()
+        return state
+
+    @property
+    def trace_log(self):
+        """The per-instruction trace (requires ``trace=True``)."""
+        return list(self._trace_log)
+
     # -- stack helpers ------------------------------------------------------
 
     def _push(self, value: int) -> None:

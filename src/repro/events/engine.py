@@ -44,6 +44,7 @@ Example
 [125]
 """
 
+import contextlib
 import heapq
 import math
 import os
@@ -66,6 +67,28 @@ NORMAL = 1
 def slow_kernel_requested() -> bool:
     """True if the environment asks for the pure-heap reference kernel."""
     return os.environ.get("REPRO_SLOW_KERNEL", "") not in ("", "0")
+
+
+@contextlib.contextmanager
+def force_kernel(slow: bool):
+    """Context manager selecting a kernel for everything built inside.
+
+    The kernel choice is sampled at *construction* time (by
+    :class:`Engine`, the CP's decoded-instruction cache, and the vector
+    unit's timing memoization), so the differential-testing oracle
+    builds each scenario twice — once under ``force_kernel(False)`` and
+    once under ``force_kernel(True)`` — and compares the runs.  The
+    previous environment value is restored on exit.
+    """
+    saved = os.environ.get("REPRO_SLOW_KERNEL")
+    os.environ["REPRO_SLOW_KERNEL"] = "1" if slow else "0"
+    try:
+        yield
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_SLOW_KERNEL", None)
+        else:
+            os.environ["REPRO_SLOW_KERNEL"] = saved
 
 
 def _delay_ns(delay):

@@ -140,6 +140,12 @@ def register_form(form: VectorForm) -> VectorForm:
     return form
 
 
+def form_catalog() -> list:
+    """Sorted form names — the stable iteration order the conformance
+    layer (golden traces, the vector-workload fuzzer) samples from."""
+    return sorted(FORMS)
+
+
 def _elementwise(fn):
     def compute(inputs, scalars, dtype):
         return fn(*[np.asarray(v, dtype=dtype) for v in inputs],

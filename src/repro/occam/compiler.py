@@ -276,7 +276,12 @@ def substitute(node, name: str, value: int):
 VARIABLE_BASE = 0x1000       # named variables, one word each
 TEMP_BASE = 0x2000           # expression spill slots
 CHANNEL_BASE = 0x3000        # soft channel words
-JOIN_BASE = 0x4000           # PAR join workspaces (2 words each)
+JOIN_BASE = 0x4000           # PAR join workspaces (16 words each)
+JOIN_STRIDE = 64             # ENDP hands the join address to the last
+                             # finisher as its workspace pointer, so a
+                             # slot must absorb positive stl offsets
+                             # (≤ +12) and a neighbour's below-wptr
+                             # channel spills (−16..−4) without overlap
 ARRAY_BASE = 0x5000          # word arrays, ARRAY_WORDS each
 ARRAY_WORDS = 256            # default array extent (words)
 CHAN_ARRAY_BASE = 0x9000     # channel arrays, CHAN_ARRAY_WORDS each
@@ -532,7 +537,7 @@ class OccamCompiler:
         if len(branches) == 1:
             self._compile_process(branches[0])
             return
-        join = JOIN_BASE + 8 * next(self._joins)
+        join = JOIN_BASE + JOIN_STRIDE * next(self._joins)
         cont = self._label("parend")
         # Join setup: successor address and branch count.
         self._emit(f"ldc {cont}")
@@ -639,6 +644,21 @@ def read_variable(cpu, compiler, name: str) -> int:
     if name not in compiler.variables:
         raise CompileError(f"no such variable {name!r}")
     return to_signed(cpu.memory.read_word(compiler.variables[name]))
+
+
+def variables_snapshot(cpu, compiler) -> dict:
+    """Final values of every compiled variable, as a JSON-able dict.
+
+    Hidden replicator down-counters (``name.rep``) are included — they
+    are architectural state too, and the conformance oracle compares
+    everything both kernels could disagree on.
+    """
+    from repro.cp.cpu import to_signed
+
+    return {
+        name: to_signed(cpu.memory.read_word(address))
+        for name, address in sorted(compiler.variables.items())
+    }
 
 
 def read_array(cpu, compiler, name: str, count: int) -> list:

@@ -1,0 +1,29 @@
+"""Differential testing of the two simulator kernels.
+
+The simulator keeps two implementations of its hot paths: the default
+fast kernel (same-timestamp fast lane, decoded-instruction cache,
+memoized vector timing) and the ``REPRO_SLOW_KERNEL=1`` reference
+kernel (pure heap, byte-at-a-time decode, per-call timing).  They must
+be observationally identical.  This package enforces that with four
+generative fuzzers (CP-ISA programs, Occam programs, event schedules,
+vector workloads), a structural diff oracle, a spec shrinker, and a
+golden-trace conformance suite.
+
+Entry points:
+
+- ``python -m repro.testing.fuzz`` — fuzzing campaign CLI.
+- :func:`repro.testing.oracle.differential` — run one scenario on both
+  kernels and diff the outcomes.
+- :mod:`repro.testing.golden` — pinned canonical traces.
+"""
+
+from repro.testing.oracle import DiffReport, differential, diff_outcomes
+from repro.testing.shrink import shrink, write_repro
+
+__all__ = [
+    "DiffReport",
+    "differential",
+    "diff_outcomes",
+    "shrink",
+    "write_repro",
+]

@@ -1,0 +1,139 @@
+"""Differential fuzzing CLI.
+
+Round-robins random cases from the four generators, runs each on both
+simulator kernels via :mod:`repro.testing.oracle`, and shrinks any
+divergence to a minimal reproducer in ``tests/repros/``::
+
+    PYTHONPATH=src python -m repro.testing.fuzz --seed 1986 --cases 200
+
+Exit status is 0 when every case agreed, 1 when any divergence was
+found (reproducer paths are printed).  ``--budget`` caps wall-clock
+seconds so a CI smoke stage cannot run away; the seed makes the case
+sequence reproducible regardless of how many cases the budget allowed.
+"""
+
+import argparse
+import random
+import sys
+import time
+
+from repro.testing import gen_cp, gen_events, gen_occam, gen_vector
+from repro.testing.oracle import differential
+from repro.testing.shrink import default_repro_dir, shrink, write_repro
+
+GENERATORS = {
+    "cp": gen_cp,
+    "events": gen_events,
+    "occam": gen_occam,
+    "vector": gen_vector,
+}
+
+
+def run_case(generator, rng):
+    """Generate one spec and run it differentially.
+
+    Returns ``(spec, report_or_None, error_or_None)``.
+    """
+    spec = generator.generate(rng)
+    try:
+        report = differential(generator.execute, spec)
+    except Exception as exc:  # generator/harness bug, not a divergence
+        return spec, None, exc
+    return spec, report, None
+
+
+def fuzz(seed: int, cases: int, budget_s: float, names, repro_dir,
+         do_shrink: bool = True, verbose: bool = False) -> dict:
+    """Run the campaign; returns a summary dict."""
+    generators = [(name, GENERATORS[name]) for name in names]
+    deadline = time.monotonic() + budget_s if budget_s else None
+    stats = {name: {"cases": 0, "divergences": 0} for name in names}
+    repros = []
+    errors = []
+    executed = 0
+    for index in range(cases):
+        if deadline is not None and time.monotonic() > deadline:
+            print(f"budget exhausted after {executed} cases")
+            break
+        name, generator = generators[index % len(generators)]
+        # Independent stream per case: reordering generators or
+        # resuming mid-campaign reproduces the same specs.
+        rng = random.Random(f"{seed}:{name}:{index}")
+        spec, report, error = run_case(generator, rng)
+        executed += 1
+        stats[name]["cases"] += 1
+        if error is not None:
+            errors.append((name, index, repr(error)))
+            print(f"[{name} #{index}] harness error: {error!r}")
+            continue
+        if report.diverged:
+            stats[name]["divergences"] += 1
+            print(f"[{name} #{index}] DIVERGENCE: {report.summary()}")
+            if do_shrink:
+                spec, report, used = shrink(generator, spec)
+                print(f"  shrunk in {used} executions: "
+                      f"{report.summary()}")
+            path = write_repro(repro_dir, name, seed, index, spec, report)
+            repros.append(path)
+            print(f"  reproducer: {path}")
+        elif verbose:
+            print(f"[{name} #{index}] ok")
+    return {
+        "executed": executed,
+        "stats": stats,
+        "repros": repros,
+        "errors": errors,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing.fuzz",
+        description="Differential fuzzing of the two simulator kernels.",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default 0)")
+    parser.add_argument("--cases", type=int, default=200,
+                        help="max cases to run (default 200)")
+    parser.add_argument("--budget", type=float, default=0,
+                        help="wall-clock budget in seconds (0 = no cap)")
+    parser.add_argument("--generators", default="cp,events,occam,vector",
+                        help="comma list from: cp,events,occam,vector")
+    parser.add_argument("--repro-dir", default=None,
+                        help="where to write reproducers "
+                             "(default tests/repros/)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="write raw diverging specs unshrunk")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print every case, not just divergences")
+    args = parser.parse_args(argv)
+
+    names = [n.strip() for n in args.generators.split(",") if n.strip()]
+    unknown = [n for n in names if n not in GENERATORS]
+    if unknown:
+        parser.error(f"unknown generators: {', '.join(unknown)}")
+    repro_dir = args.repro_dir or default_repro_dir()
+
+    start = time.monotonic()
+    summary = fuzz(args.seed, args.cases, args.budget, names, repro_dir,
+                   do_shrink=not args.no_shrink, verbose=args.verbose)
+    elapsed = time.monotonic() - start
+
+    print(f"\n{summary['executed']} cases in {elapsed:.1f}s "
+          f"(seed {args.seed})")
+    for name in names:
+        s = summary["stats"][name]
+        print(f"  {name:7s} {s['cases']:4d} cases, "
+              f"{s['divergences']} divergences")
+    if summary["errors"]:
+        print(f"  {len(summary['errors'])} harness errors")
+        return 1
+    if summary["repros"]:
+        print(f"  {len(summary['repros'])} reproducers written")
+        return 1
+    print("  all cases agreed across both kernels")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,171 @@
+"""Event-engine schedule fuzzer.
+
+Builds a random process network over one :class:`~repro.events.Engine`
+— rendezvous channels, buffered stores, FIFO resources, timeouts
+(including fractional delays, which exercise the half-up rounding),
+child-process spawns, waits on already-fired events, and interrupts —
+and runs it to quiescence on both kernels.  The structural trace
+(which process completed which operation at which simulated
+nanosecond, with which value) and the final clock must match exactly:
+this is the fast lane vs. pure-heap ordering contract.
+
+Mismatched put/get counts are allowed: processes left blocked when the
+queue drains are deterministic too, and their absence from the tail of
+the trace is part of the compared outcome.
+"""
+
+import random
+
+from repro.events import Channel, Engine, Interrupt, Store
+from repro.events.resources import Resource, hold
+
+MAX_PROCS = 6
+MAX_OPS = 12
+
+
+def generate(rng: random.Random) -> dict:
+    """Draw one schedule spec."""
+    n_channels = rng.randint(1, 3)
+    n_stores = rng.randint(0, 2)
+    n_resources = rng.randint(0, 2)
+    n_procs = rng.randint(2, MAX_PROCS)
+    procs = []
+    for p in range(n_procs):
+        ops = []
+        for _ in range(rng.randint(1, MAX_OPS)):
+            kind = rng.randrange(10)
+            if kind < 2:
+                delay = rng.choice([
+                    0, 1, rng.randint(1, 500),
+                    round(rng.uniform(0.1, 99.9), 2),  # fractional ns
+                ])
+                ops.append(["timeout", delay])
+            elif kind < 4:
+                ops.append(["put", rng.randrange(n_channels),
+                            rng.randint(-99, 99)])
+            elif kind < 6:
+                ops.append(["get", rng.randrange(n_channels)])
+            elif kind < 7 and n_stores:
+                ops.append(["sput", rng.randrange(n_stores),
+                            rng.randint(-99, 99)])
+            elif kind < 8 and n_stores:
+                ops.append(["sget", rng.randrange(n_stores)])
+            elif kind < 9 and n_resources:
+                ops.append(["hold", rng.randrange(n_resources),
+                            rng.randint(1, 50)])
+            elif kind == 9:
+                ops.append(["spawn", rng.randint(0, 20),
+                            rng.randint(0, 9)])
+            else:
+                ops.append(["refire"])
+        procs.append(ops)
+    # Optionally one interrupter: after a delay, interrupt a target
+    # process if it is still alive.
+    interrupts = []
+    if rng.random() < 0.4:
+        interrupts.append([rng.randint(1, 300), rng.randrange(n_procs)])
+    return {
+        "kind": "events",
+        "channels": n_channels,
+        "stores": [[rng.choice([1, 2, 4])] for _ in range(n_stores)],
+        "resources": [[rng.choice([1, 1, 2])] for _ in range(n_resources)],
+        "procs": procs,
+        "interrupts": interrupts,
+    }
+
+
+def execute(spec: dict) -> dict:
+    """Build and run the network on the current kernel; JSON outcome."""
+    eng = Engine()
+    trace = []
+    channels = [Channel(eng, name=f"c{i}")
+                for i in range(spec["channels"])]
+    stores = [Store(eng, capacity=cap[0], name=f"s{i}")
+              for i, cap in enumerate(spec["stores"])]
+    resources = [Resource(eng, capacity=cap[0], name=f"r{i}")
+                 for i, cap in enumerate(spec["resources"])]
+    prefired = eng.event().succeed("prefired")
+
+    def child(delay, value):
+        yield eng.timeout(delay)
+        return value
+
+    def runner(pid, ops):
+        for i, op in enumerate(ops):
+            kind = op[0]
+            try:
+                if kind == "timeout":
+                    yield eng.timeout(op[1])
+                    trace.append([pid, i, "timeout", eng.now])
+                elif kind == "put":
+                    yield channels[op[1]].put(op[2])
+                    trace.append([pid, i, "put", eng.now, op[2]])
+                elif kind == "get":
+                    value = yield channels[op[1]].get()
+                    trace.append([pid, i, "get", eng.now, value])
+                elif kind == "sput":
+                    yield stores[op[1]].put(op[2])
+                    trace.append([pid, i, "sput", eng.now, op[2]])
+                elif kind == "sget":
+                    value = yield stores[op[1]].get()
+                    trace.append([pid, i, "sget", eng.now, value])
+                elif kind == "hold":
+                    start = yield from hold(eng, resources[op[1]], op[2])
+                    trace.append([pid, i, "hold", eng.now, start])
+                elif kind == "spawn":
+                    value = yield eng.process(child(op[1], op[2]))
+                    trace.append([pid, i, "spawn", eng.now, value])
+                elif kind == "refire":
+                    value = yield prefired
+                    trace.append([pid, i, "refire", eng.now, value])
+            except Interrupt as exc:
+                trace.append([pid, i, "interrupted", eng.now,
+                              str(exc.cause)])
+                return
+
+    processes = [
+        eng.process(runner(pid, ops), name=f"fuzz{pid}")
+        for pid, ops in enumerate(spec["procs"])
+    ]
+
+    def interrupter(delay, target):
+        yield eng.timeout(delay)
+        victim = processes[target]
+        if victim.is_alive and victim is not eng.active_process:
+            victim.interrupt("fuzz")
+            trace.append(["int", target, "interrupt", eng.now])
+
+    for delay, target in spec["interrupts"]:
+        eng.process(interrupter(delay, target))
+
+    eng.run()
+    return {
+        "trace": trace,
+        "now": eng.now,
+        "alive": [p.is_alive for p in processes],
+    }
+
+
+def shrink_candidates(spec: dict):
+    """Yield structurally smaller specs."""
+    procs = spec["procs"]
+
+    def variant(**kw):
+        out = dict(spec)
+        out.update(kw)
+        return out
+
+    for i in range(len(procs)):
+        if len(procs) > 1:
+            yield variant(procs=procs[:i] + procs[i + 1:], interrupts=[])
+    for i, ops in enumerate(procs):
+        if len(ops) > 1:
+            for size in (len(ops) // 2, 1):
+                for start in range(0, len(ops), size):
+                    slim = ops[:start] + ops[start + size:]
+                    if slim:
+                        yield variant(
+                            procs=procs[:i] + [slim] + procs[i + 1:]
+                        )
+    if spec["interrupts"]:
+        yield variant(interrupts=[])

@@ -1,0 +1,275 @@
+"""Grammar-based Occam program generator.
+
+Draws random ASTs over the miniature Occam compiler's full surface —
+SEQ, PAR, WHILE, IF, replicated SEQ/PAR, scalar and array assignment,
+and channel nets (scalar channels and channel arrays inside PAR) —
+compiles them through the assembler, and runs the binary on both CP
+kernels.  Compared outcome: every compiled variable's final value, the
+instruction and cycle counters, and how the program stopped.
+
+Validity rules the generator enforces (mirroring what Occam's static
+usage rules would): PAR branches write disjoint variable sets,
+replicated PAR bodies write array elements indexed by the replicator
+index, every channel has exactly one writer and one reader, and every
+WHILE is a bounded down-counter.
+
+ASTs are serialised as nested JSON lists so cases can be shrunk and
+pinned; :func:`to_ast` rebuilds the compiler's node objects.
+"""
+
+import random
+
+from repro.cp.assembler import assemble
+from repro.cp.cpu import CPU
+from repro.occam.compiler import (
+    Assign,
+    AssignArray,
+    ArrayRef,
+    BinOp,
+    ChanRef,
+    Eq,
+    If,
+    In,
+    Num,
+    OccamCompiler,
+    Out,
+    Par,
+    RepPar,
+    RepSeq,
+    Seq,
+    Skip,
+    Var,
+    While,
+    Gt,
+    Sub,
+    variables_snapshot,
+)
+
+MAX_STEPS = 400_000
+
+_SAFE_OPS = ("add", "sub", "mul", "and", "or", "xor")
+
+
+# ------------------------------------------------------------ generate --
+
+
+class _Draw:
+    """Spec-drawing state: variable pools and channel bookkeeping."""
+
+    def __init__(self, rng):
+        self.rng = rng
+        self.next_var = 0
+        self.next_chan = 0
+        self.next_array = 0
+
+    def fresh_vars(self, n):
+        names = [f"v{self.next_var + i}" for i in range(n)]
+        self.next_var += n
+        return names
+
+    def fresh_chan(self):
+        self.next_chan += 1
+        return f"ch{self.next_chan - 1}"
+
+    def fresh_array(self):
+        self.next_array += 1
+        return f"arr{self.next_array - 1}"
+
+
+def _gen_expr(rng, reads, depth):
+    """Expression spec over readable variables ``reads``."""
+    if depth <= 0 or rng.random() < 0.4 or not reads:
+        if reads and rng.random() < 0.5:
+            return ["var", rng.choice(reads)]
+        return ["num", rng.randint(-100, 100)]
+    op = rng.choice(_SAFE_OPS + ("gt", "eq", "div", "rem"))
+    left = _gen_expr(rng, reads, depth - 1)
+    if op in ("div", "rem"):
+        right = ["num", rng.choice([1, 2, 3, 5, 7, -3])]  # never zero
+    else:
+        right = _gen_expr(rng, reads, depth - 1)
+    return [op, left, right]
+
+
+def _gen_stmt(draw, writes, reads, depth):
+    """Statement spec writing only into ``writes``."""
+    rng = draw.rng
+    if depth <= 0 or not writes:
+        if not writes:
+            return ["skip"]
+        return ["assign", rng.choice(writes),
+                _gen_expr(rng, reads, 2)]
+    kind = rng.randrange(10)
+    if kind < 3:
+        return ["assign", rng.choice(writes), _gen_expr(rng, reads, 2)]
+    if kind < 5:
+        return ["seq", [
+            _gen_stmt(draw, writes, reads, depth - 1)
+            for _ in range(rng.randint(1, 3))
+        ]]
+    if kind == 5:
+        # Bounded WHILE: dedicated counter variable, down-counted.
+        counter = draw.fresh_vars(1)[0]
+        body = _gen_stmt(draw, writes, reads + [counter], depth - 1)
+        return ["seq", [
+            ["assign", counter, ["num", rng.randint(1, 6)]],
+            ["while", counter, body],
+        ]]
+    if kind == 6:
+        return ["if", _gen_expr(rng, reads, 2),
+                _gen_stmt(draw, writes, reads, depth - 1),
+                _gen_stmt(draw, writes, reads, depth - 1)]
+    if kind == 7 and len(writes) >= 2:
+        # PAR with disjoint write sets; optionally a channel pair.
+        half = len(writes) // 2
+        branches = [
+            _gen_stmt(draw, writes[:half], reads, depth - 1),
+            _gen_stmt(draw, writes[half:], reads, depth - 1),
+        ]
+        if rng.random() < 0.6:
+            chan = draw.fresh_chan()
+            value = _gen_expr(rng, reads, 1)
+            branches[0] = ["seq", [["out", chan, value], branches[0]]]
+            branches[1] = ["seq", [["in", chan, writes[half]],
+                                   branches[1]]]
+        return ["par", branches]
+    if kind == 8:
+        # Replicated SEQ accumulating into one variable.
+        index = draw.fresh_vars(1)[0]
+        target = rng.choice(writes)
+        return ["repseq", index, rng.randint(0, 3), rng.randint(1, 4),
+                ["assign", target,
+                 ["add", ["var", target], ["var", index]]]]
+    # Replicated PAR writing disjoint array elements.
+    array = draw.fresh_array()
+    index = f"k{draw.next_var}"
+    count = rng.randint(2, 3)
+    return ["reppar", array, index, count,
+            _gen_expr(rng, reads, 1)]
+
+
+def generate(rng: random.Random) -> dict:
+    """Draw one Occam program spec."""
+    draw = _Draw(rng)
+    names = draw.fresh_vars(rng.randint(2, 6))
+    init = [["assign", name, ["num", rng.randint(-20, 20)]]
+            for name in names]
+    body = [
+        _gen_stmt(draw, names, names, rng.randint(1, 3))
+        for _ in range(rng.randint(1, 4))
+    ]
+    return {"kind": "occam", "program": ["seq", init + body]}
+
+
+# ----------------------------------------------------------- spec → AST --
+
+
+def _expr_ast(spec):
+    tag = spec[0]
+    if tag == "num":
+        return Num(spec[1])
+    if tag == "var":
+        return Var(spec[1])
+    if tag == "eq":
+        return Eq(_expr_ast(spec[1]), _expr_ast(spec[2]))
+    if tag == "aref":
+        return ArrayRef(spec[1], _expr_ast(spec[2]))
+    return BinOp(tag, _expr_ast(spec[1]), _expr_ast(spec[2]))
+
+
+def to_ast(spec):
+    """Rebuild compiler AST nodes from a statement spec."""
+    tag = spec[0]
+    if tag == "skip":
+        return Skip()
+    if tag == "assign":
+        return Assign(spec[1], _expr_ast(spec[2]))
+    if tag == "seq":
+        return Seq([to_ast(s) for s in spec[1]])
+    if tag == "par":
+        return Par([to_ast(s) for s in spec[1]])
+    if tag == "while":
+        # Bounded loop: WHILE counter > 0: body; counter -= 1.
+        counter = spec[1]
+        return While(
+            Gt(Var(counter), Num(0)),
+            Seq([to_ast(spec[2]),
+                 Assign(counter, Sub(Var(counter), Num(1)))]),
+        )
+    if tag == "if":
+        return If(_expr_ast(spec[1]), to_ast(spec[2]), to_ast(spec[3]))
+    if tag == "out":
+        return Out(spec[1], _expr_ast(spec[2]))
+    if tag == "in":
+        return In(spec[1], spec[2])
+    if tag == "repseq":
+        return RepSeq(spec[1], spec[2], spec[3], to_ast(spec[4]))
+    if tag == "reppar":
+        array, index, count, expr = spec[1], spec[2], spec[3], spec[4]
+        return RepPar(index, 0, count,
+                      AssignArray(array, Var(index), _expr_ast(expr)))
+    if tag == "chanref_out":  # channel-array element output
+        return Out(ChanRef(spec[1], _expr_ast(spec[2])),
+                   _expr_ast(spec[3]))
+    raise ValueError(f"unknown statement spec {spec!r}")
+
+
+# ------------------------------------------------------------- execute --
+
+
+def execute(spec: dict) -> dict:
+    """Compile and run on the current kernel; JSON outcome."""
+    ast = to_ast(spec["program"])
+    compiler = OccamCompiler()
+    source = compiler.compile(ast)
+    assembled = assemble(source)
+    cpu = CPU(assembled.code)
+    stopped = "budget"
+    for _ in range(MAX_STEPS):
+        if cpu.halted:
+            stopped = "deadlocked" if cpu.deadlocked else "halted"
+            break
+        cpu.step()
+    return {
+        "stopped": stopped,
+        "variables": variables_snapshot(cpu, compiler),
+        "state": cpu.snapshot_state(),
+    }
+
+
+# --------------------------------------------------------------- shrink --
+
+
+def _stmt_candidates(spec):
+    """Yield smaller versions of one statement spec."""
+    tag = spec[0]
+    if tag in ("seq", "par"):
+        body = spec[1]
+        for i in range(len(body)):
+            if tag == "seq" or len(body) > 2:
+                yield [tag, body[:i] + body[i + 1:]] \
+                    if len(body) > 1 else ["skip"]
+        for i, child in enumerate(body):
+            for slim in _stmt_candidates(child):
+                yield [tag, body[:i] + [slim] + body[i + 1:]]
+    elif tag == "while":
+        yield spec[2]
+        for slim in _stmt_candidates(spec[2]):
+            yield ["while", spec[1], slim]
+    elif tag == "if":
+        yield spec[2]
+        yield spec[3]
+    elif tag in ("repseq",):
+        yield spec[4]
+        if spec[3] > 1:
+            yield ["repseq", spec[1], spec[2], 1, spec[4]]
+    elif tag == "reppar":
+        if spec[3] > 2:
+            yield ["reppar", spec[1], spec[2], 2, spec[4]]
+    elif tag == "assign":
+        yield ["skip"]
+
+
+def shrink_candidates(spec: dict):
+    for slim in _stmt_candidates(spec["program"]):
+        yield {"kind": "occam", "program": slim}

@@ -1,0 +1,128 @@
+"""Vector-form workload sampler.
+
+Draws random sequences of vector-form executions — every form in the
+catalog, both precisions, lengths from 1 to a few hundred, operand
+values including zeros, subnormals, infinities and NaNs — and runs
+them through a fresh :class:`~repro.fpu.vector_forms.VectorArithmeticUnit`
+on each kernel.  The fast path memoizes duration coefficients and uses
+the no-copy subnormal flush; the reference path recomputes timing per
+call and uses the original errstate-guarded flush.  Compared outcome:
+result *bit patterns* (hex of the raw bytes, so NaN payloads and
+signed zeros count), per-op completion times, and the unit's
+FLOP/busy-time counters.
+"""
+
+import random
+
+import numpy as np
+
+from repro.core import PAPER_SPECS
+from repro.events import Engine
+from repro.fpu.vector_forms import (
+    FORMS,
+    VectorArithmeticUnit,
+    dtype_for,
+    form_catalog,
+)
+
+#: Interesting operand values, by precision, injected among normals.
+_SPECIALS = {
+    32: [0.0, -0.0, 1e-45, -1e-45, 1e38, -1e38, float("inf"),
+         float("-inf"), float("nan")],
+    64: [0.0, -0.0, 5e-324, -5e-324, 1e308, -1e308, float("inf"),
+         float("-inf"), float("nan")],
+}
+
+
+def generate(rng: random.Random) -> dict:
+    """Draw one workload spec."""
+    ops = []
+    for _ in range(rng.randint(2, 8)):
+        name = rng.choice(form_catalog())
+        form = FORMS[name]
+        precision = rng.choice([32, 64])
+        ops.append({
+            "form": name,
+            "n": rng.choice([1, 2, 3, rng.randint(4, 64),
+                             rng.randint(65, 300)]),
+            "precision": precision,
+            "seed": rng.randrange(1 << 30),
+            "scalars": [
+                round(rng.uniform(-10, 10), 3)
+                for _ in range(form.scalar_inputs)
+            ],
+            "specials": rng.random() < 0.5,
+        })
+    return {"kind": "vector", "ops": ops}
+
+
+def _operands(op: dict):
+    """Deterministic operand vectors for one op spec."""
+    form = FORMS[op["form"]]
+    dtype = dtype_for(op["precision"])
+    rng = np.random.default_rng(op["seed"])
+    inputs = []
+    for _ in range(form.vector_inputs):
+        values = rng.uniform(-1e6, 1e6, size=op["n"]).astype(dtype)
+        if op["specials"]:
+            specials = _SPECIALS[op["precision"]]
+            k = min(len(values), 4)
+            idx = rng.integers(0, len(values), size=k)
+            pick = rng.integers(0, len(specials), size=k)
+            for i, p in zip(idx, pick):
+                values[i] = dtype(specials[p])
+        inputs.append(values)
+    return inputs
+
+
+def execute(spec: dict) -> dict:
+    """Run the workload on the current kernel; JSON outcome."""
+    eng = Engine()
+    vau = VectorArithmeticUnit(eng, PAPER_SPECS)
+    results = []
+
+    def workload():
+        for op in spec["ops"]:
+            inputs = _operands(op)
+            result = yield from vau.execute(
+                op["form"], inputs, tuple(op["scalars"]),
+                op["precision"],
+            )
+            raw = np.atleast_1d(
+                np.asarray(result, dtype=dtype_for(op["precision"]))
+            )
+            results.append({
+                "form": op["form"],
+                "t": eng.now,
+                "bits": raw.tobytes().hex(),
+            })
+
+    eng.run(until=eng.process(workload()))
+    return {
+        "results": results,
+        "now": eng.now,
+        "flops": vau.flops,
+        "busy_ns": vau.busy_ns,
+        "completions": vau.completions,
+        "adder_busy_ns": vau.adder.busy_ns,
+        "multiplier_busy_ns": vau.multiplier.busy_ns,
+    }
+
+
+def shrink_candidates(spec: dict):
+    """Yield smaller workloads."""
+    ops = spec["ops"]
+    for i in range(len(ops)):
+        if len(ops) > 1:
+            yield {"kind": "vector", "ops": ops[:i] + ops[i + 1:]}
+    for i, op in enumerate(ops):
+        if op["n"] > 1:
+            slim = dict(op)
+            slim["n"] = max(1, op["n"] // 2)
+            yield {"kind": "vector",
+                   "ops": ops[:i] + [slim] + ops[i + 1:]}
+        if op["specials"]:
+            plain = dict(op)
+            plain["specials"] = False
+            yield {"kind": "vector",
+                   "ops": ops[:i] + [plain] + ops[i + 1:]}

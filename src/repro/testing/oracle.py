@@ -1,0 +1,109 @@
+"""The differential oracle: run a case on both kernels, compare.
+
+PR 1 split the simulator into a fast path (URGENT fast lane, decoded-
+instruction cache, memoized vector-form timing) and a
+``REPRO_SLOW_KERNEL=1`` reference path, with the contract that both
+produce bit-identical architectural results.  This module is the
+machinery that checks the contract mechanically: a *case* is a
+JSON-able spec plus an ``execute(spec) -> outcome`` function; the
+oracle executes it once under each kernel and structurally diffs the
+outcomes.
+
+Outcomes are plain JSON-able data (dicts/lists/ints/strings): the
+generators serialise floats as bit patterns and memory as digests, so
+``==`` on outcomes *is* bit-exact comparison and divergences can be
+rendered, shrunk, and pinned to disk without loss.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.events.engine import force_kernel
+
+
+@dataclass
+class DiffReport:
+    """Result of one differential execution."""
+
+    diverged: bool
+    #: Human-readable paths into the outcome where the kernels differ.
+    details: list = field(default_factory=list)
+    fast: object = None
+    slow: object = None
+
+    def summary(self, limit: int = 5) -> str:
+        if not self.diverged:
+            return "kernels agree"
+        shown = self.details[:limit]
+        more = len(self.details) - len(shown)
+        text = "; ".join(shown)
+        if more > 0:
+            text += f"; (+{more} more)"
+        return text
+
+
+def diff_outcomes(fast, slow, path="$") -> list:
+    """Structural diff of two JSON-able outcomes.
+
+    Returns a list of ``"path: fast_value != slow_value"`` strings,
+    empty when the outcomes are identical.  Lists are compared
+    elementwise (with a length check first), dicts by key union, and
+    leaves by ``==`` plus a type check (so ``1`` vs ``True`` or ``1``
+    vs ``1.0`` counts as a divergence — bit-exactness, not Python
+    coercion).
+    """
+    diffs = []
+    if type(fast) is not type(slow):
+        diffs.append(
+            f"{path}: type {type(fast).__name__} != {type(slow).__name__}"
+        )
+        return diffs
+    if isinstance(fast, dict):
+        for key in sorted(set(fast) | set(slow)):
+            if key not in fast:
+                diffs.append(f"{path}.{key}: missing on fast kernel")
+            elif key not in slow:
+                diffs.append(f"{path}.{key}: missing on slow kernel")
+            else:
+                diffs.extend(diff_outcomes(fast[key], slow[key],
+                                           f"{path}.{key}"))
+        return diffs
+    if isinstance(fast, (list, tuple)):
+        if len(fast) != len(slow):
+            diffs.append(f"{path}: length {len(fast)} != {len(slow)}")
+        for i, (a, b) in enumerate(zip(fast, slow)):
+            diffs.extend(diff_outcomes(a, b, f"{path}[{i}]"))
+        return diffs
+    if fast != slow:
+        diffs.append(f"{path}: {fast!r} != {slow!r}")
+    return diffs
+
+
+def differential(execute, spec) -> DiffReport:
+    """Execute ``spec`` on the fast and the reference kernel and diff.
+
+    ``execute`` must build its entire scenario (engines, CPUs, vector
+    units) from scratch inside the call — the kernel choice is sampled
+    at construction time, and any object smuggled in from outside
+    would carry the wrong kernel.
+    """
+    with force_kernel(slow=False):
+        fast = execute(spec)
+    with force_kernel(slow=True):
+        slow = execute(spec)
+    details = diff_outcomes(fast, slow)
+    return DiffReport(bool(details), details, fast, slow)
+
+
+def check_execution_error(execute, spec):
+    """Run ``execute`` under the fast kernel, translating any exception
+    into an ``{"error": ...}`` outcome.
+
+    Generators use this to keep *expected* model errors (deadlock,
+    step-budget exhaustion) inside the comparable outcome instead of
+    aborting the fuzz run — an error message that differs between
+    kernels is itself a divergence worth reporting.
+    """
+    try:
+        return execute(spec)
+    except Exception as exc:  # pragma: no cover - generator guardrail
+        return {"error": f"{type(exc).__name__}: {exc}"}

@@ -1,0 +1,31 @@
+"""Shared test configuration: hypothesis profiles.
+
+Tier-1 CI must be deterministic — a property test that fails only on
+some runs makes the two-kernel conformance gate useless as a signal.
+The ``ci`` profile (default) derandomizes hypothesis so every run
+draws the same examples.  For local exploration, the ``dev`` profile
+keeps fresh randomness and raises the example budget::
+
+    REPRO_HYPOTHESIS_PROFILE=dev python -m pytest tests/
+
+Per-test ``@settings(max_examples=...)`` decorators still apply; they
+inherit whatever the loaded profile doesn't override per-test (in
+particular ``derandomize``).
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=50,
+    deadline=None,
+)
+settings.register_profile(
+    "dev",
+    max_examples=300,
+    deadline=None,
+)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "ci"))

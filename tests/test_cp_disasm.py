@@ -107,3 +107,64 @@ class TestDisassemble:
         # Direct numeric operands for j/cj encode the same offsets.
         reassembled = assemble(rendered)
         assert reassembled.code == program.code
+
+
+# Direct instructions the assembler can spell (PFIX/NFIX are operand
+# machinery, never written by hand or emitted by the disassembler).
+_DIRECT_OPS = [op for op in Op if op not in (Op.PFIX, Op.NFIX)]
+
+_instruction = st.one_of(
+    # Direct op with a full-range operand (prefix chains exercised).
+    st.tuples(
+        st.sampled_from(_DIRECT_OPS),
+        st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1),
+    ),
+    # Known secondary (encoded as OPR with the table operand).
+    st.tuples(
+        st.just(Op.OPR),
+        st.sampled_from([int(s) for s in Secondary]),
+    ),
+)
+
+
+class TestRoundTripProperty:
+    """assemble → disassemble → assemble over random valid programs.
+
+    The disassembler's ``text()`` output must be an exact fixed point
+    of the assembler: any instruction stream the assembler can emit,
+    the disassembler renders back to source that reassembles to the
+    identical bytes.  This is what makes disassembly listings (and the
+    fuzzer's shrunk reproducers) trustworthy artefacts.
+    """
+
+    @given(st.lists(_instruction, min_size=1, max_size=40))
+    @settings(max_examples=120, deadline=None)
+    def test_random_streams_round_trip(self, instructions):
+        code = b"".join(
+            encode_direct(op, operand) for op, operand in instructions
+        )
+        decoded = disassemble(code)
+        assert sum(i.length for i in decoded) == len(code)
+        rendered = "\n".join(i.text() for i in decoded)
+        assert assemble(rendered).code == code
+
+    @given(st.lists(_instruction, min_size=1, max_size=40))
+    @settings(max_examples=120, deadline=None)
+    def test_decode_preserves_operands(self, instructions):
+        code = b"".join(
+            encode_direct(op, operand) for op, operand in instructions
+        )
+        decoded = disassemble(code)
+        assert len(decoded) == len(instructions)
+        for inst, (op, operand) in zip(decoded, instructions):
+            assert inst.op == op
+            assert inst.operand == operand
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    @settings(max_examples=120, deadline=None)
+    def test_unknown_secondaries_round_trip(self, operand):
+        """Even secondaries with no mnemonic render as ``opr N`` and
+        reassemble byte-identically."""
+        code = encode_direct(Op.OPR, operand)
+        inst = decode_one(code, 0)
+        assert assemble(inst.text()).code == code

@@ -1,0 +1,69 @@
+"""Golden-trace conformance: stored traces vs. both kernels.
+
+Each workload in :mod:`repro.testing.golden` is pinned as a JSON file
+under ``tests/golden/``.  These tests fail when either kernel's
+behaviour drifts from the stored trace; if the drift is intentional,
+regenerate with ``PYTHONPATH=src python scripts/regen_golden.py`` and
+review the JSON diff.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.events.engine import force_kernel
+from repro.testing import golden
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+@pytest.mark.parametrize("name", sorted(golden.WORKLOADS))
+def test_golden_file_exists(name):
+    assert os.path.exists(golden.golden_path(GOLDEN_DIR, name)), (
+        f"missing golden trace for {name!r}; run scripts/regen_golden.py"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(golden.WORKLOADS))
+@pytest.mark.parametrize("slow", [False, True],
+                         ids=["fast_kernel", "slow_kernel"])
+def test_kernel_matches_stored_trace(name, slow):
+    with open(golden.golden_path(GOLDEN_DIR, name)) as handle:
+        stored = json.load(handle)
+    with force_kernel(slow=slow):
+        fresh = json.loads(json.dumps(golden.WORKLOADS[name]()))
+    assert fresh == stored, (
+        f"{name} diverges from the stored golden trace; if intentional, "
+        f"regenerate with scripts/regen_golden.py and review the diff"
+    )
+
+
+def test_capture_is_regen_round_trip(tmp_path):
+    """regen → verify in a scratch directory is clean, and the files
+    byte-match the checked-in ones (no hidden nondeterminism)."""
+    scratch = str(tmp_path / "golden")
+    golden.regen(scratch)
+    assert golden.verify(scratch) == []
+    for name in sorted(golden.WORKLOADS):
+        with open(golden.golden_path(scratch, name), "rb") as fresh:
+            with open(golden.golden_path(GOLDEN_DIR, name), "rb") as pinned:
+                assert fresh.read() == pinned.read(), (
+                    f"{name}: regen output differs byte-for-byte from "
+                    f"the checked-in golden file"
+                )
+
+
+def test_verify_reports_drift(tmp_path):
+    """verify() actually notices a corrupted stored trace."""
+    scratch = str(tmp_path / "golden")
+    golden.regen(scratch)
+    name = sorted(golden.WORKLOADS)[0]
+    path = golden.golden_path(scratch, name)
+    with open(path) as handle:
+        stored = json.load(handle)
+    stored["now"] = -12345
+    with open(path, "w") as handle:
+        json.dump(stored, handle)
+    problems = golden.verify(scratch)
+    assert any(name in p for p in problems)

@@ -1,0 +1,186 @@
+"""Failure injection and recovery under in-flight link traffic.
+
+Covers :mod:`repro.system.failures` directly (seeded determinism, the
+latent-fault contract, Poisson arrival bookkeeping) and the scenario
+the ring backup exists for: a checkpoint taken while a link DMA is
+mid-transfer, a parity fault after the fact, and a restore pulled from
+the neighbour module's disk.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TSeriesMachine
+from repro.core.specs import NS_PER_S
+from repro.memory import ParityError
+from repro.system import CheckpointService, FailureInjector
+from repro.system.failures import corrupt_random_byte
+
+
+def run(machine, gen):
+    return machine.engine.run(until=machine.engine.process(gen))
+
+
+class TestFailureInjector:
+    def test_rejects_nonpositive_mtbf(self):
+        machine = TSeriesMachine(2)
+        for bad in (0, -1.5):
+            with pytest.raises(ValueError):
+                FailureInjector(machine, mtbf_seconds=bad)
+
+    def test_failure_times_deterministic_per_seed(self):
+        machine = TSeriesMachine(2)
+        a = FailureInjector(machine, mtbf_seconds=1.0, seed=5)
+        b = FailureInjector(machine, mtbf_seconds=1.0, seed=5)
+        c = FailureInjector(machine, mtbf_seconds=1.0, seed=6)
+        times_a = a.failure_times_s(horizon_s=20.0)
+        times_b = b.failure_times_s(horizon_s=20.0)
+        assert times_a == times_b
+        assert times_a != c.failure_times_s(horizon_s=20.0)
+        assert times_a == sorted(times_a)
+        assert all(0 < t < 20.0 for t in times_a)
+
+    def test_run_is_deterministic_across_machines(self):
+        logs = []
+        for _ in range(2):
+            machine = TSeriesMachine(2)
+            injector = FailureInjector(machine, mtbf_seconds=0.0005,
+                                       seed=11)
+            machine.engine.run(until=machine.engine.process(
+                injector.run(until_ns=int(0.01 * NS_PER_S))
+            ))
+            logs.append(list(injector.log))
+        assert logs[0] == logs[1]
+        assert len(logs[0]) > 0
+
+    def test_run_injects_latent_faults(self):
+        machine = TSeriesMachine(2)
+        for node in machine.nodes:
+            node.write_floats(0, np.zeros(node.specs.memory_bytes // 8))
+        injector = FailureInjector(machine, mtbf_seconds=0.0005, seed=3)
+        machine.engine.run(until=machine.engine.process(
+            injector.run(until_ns=int(0.01 * NS_PER_S))
+        ))
+        assert len(injector.log) > 0
+        times = [t for t, _, _ in injector.log]
+        assert times == sorted(times)
+        for t, node_id, address in injector.log:
+            assert 0 <= node_id < len(machine.nodes)
+            node = machine.nodes[node_id]
+            assert 0 <= address < node.specs.memory_bytes
+        # Every fault is latent until read: reading the word holding
+        # the corrupted byte raises ParityError.
+        t, node_id, address = injector.log[0]
+        node = machine.nodes[node_id]
+        with pytest.raises(ParityError):
+            node.read_floats(address - address % 8, 1)
+        assert f"faults={len(injector.log)}" in repr(injector)
+
+    def test_corrupt_random_byte_reports_address(self):
+        machine = TSeriesMachine(2)
+        node = machine.nodes[0]
+        rng = np.random.default_rng(1)
+        address = corrupt_random_byte(node, rng)
+        assert 0 <= address < node.specs.memory_bytes
+        with pytest.raises(ParityError):
+            node.read_floats(address - address % 8, 1)
+
+
+class TestCheckpointDuringTransfer:
+    """Snapshot while a link DMA is in flight, then recover a faulted
+    module from the neighbour's backup disk."""
+
+    @pytest.fixture
+    def machine(self):
+        return TSeriesMachine(4)  # 16 nodes, two modules, ring wired
+
+    @pytest.fixture
+    def service(self, machine):
+        return CheckpointService(machine)
+
+    def _write_patterns(self, machine):
+        for node in machine.nodes:
+            node.write_floats(
+                0x400, np.full(32, float(node.node_id) + 1.0)
+            )
+
+    def test_snapshot_with_dma_in_flight(self, machine, service):
+        self._write_patterns(machine)
+        eng = machine.engine
+        slot = machine.slot_of_dimension(0)
+        nbytes = 1 << 15  # long enough to straddle the snapshot start
+        events = {}
+
+        def sender():
+            yield from machine.node(0).send(slot, "mid-transfer", nbytes)
+            events["sent_at"] = eng.now
+
+        def receiver():
+            message = yield from machine.node(1).recv(slot)
+            events["payload"] = message.payload
+            events["received_at"] = eng.now
+
+        def checkpoint():
+            # Let the DMA get going before the snapshot starts.
+            yield eng.timeout(1_000)
+            assert "received_at" not in events, "transfer must be live"
+            elapsed = yield from service.snapshot_all("midflight")
+            events["snapshot_ns"] = elapsed
+
+        eng.process(sender())
+        eng.process(receiver())
+        eng.run(until=eng.process(checkpoint()))
+        eng.run()
+
+        # The transfer completed intact and the snapshot was taken.
+        assert events["payload"] == "mid-transfer"
+        assert events["snapshot_ns"] > 0
+        assert service.snapshots_taken == 1
+        # Snapshot images captured the pre-fault patterns.
+        module0 = machine.modules[0]
+        for node in module0.nodes:
+            image = module0.board.disk.get_image("midflight", node.node_id)
+            stored = np.frombuffer(
+                bytes(image[0x400:0x400 + 8 * 32]), dtype=np.float64
+            )
+            np.testing.assert_array_equal(
+                stored, np.full(32, float(node.node_id) + 1.0)
+            )
+
+    def test_fault_recovered_from_ring_backup(self, machine, service):
+        self._write_patterns(machine)
+        module0, module1 = machine.modules
+
+        def snap(eng):
+            yield from service.snapshot_all("safe")
+
+        run(machine, snap(machine.engine))
+
+        def backup(eng):
+            yield from service.backup_to_neighbor(module0, "safe")
+
+        run(machine, backup(machine.engine))
+        for node in module0.nodes:
+            assert module1.board.disk.get_image("safe", node.node_id) \
+                is not None
+
+        # A parity fault strikes a node in module 0, then scribbles:
+        # the local state is gone.
+        victim = module0.nodes[2]
+        victim.memory.parity.inject_error(0x400 + 8 * 5)
+        with pytest.raises(ParityError):
+            victim.read_floats(0x400, 32)
+
+        # The module's own disk lost the snapshot too (worst case) —
+        # recovery must come from the neighbour's disk over the ring.
+        module0.board.disk.store.pop("safe", None)
+
+        def recover(eng):
+            yield from service.restore_module_from_backup(module0, "safe")
+
+        run(machine, recover(machine.engine))
+        for node in module0.nodes:
+            np.testing.assert_array_equal(
+                node.read_floats(0x400, 32),
+                np.full(32, float(node.node_id) + 1.0),
+            )

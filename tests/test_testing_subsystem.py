@@ -1,0 +1,187 @@
+"""Unit tests for the differential-testing subsystem itself.
+
+The fuzzer is only as good as its oracle and shrinker, so both are
+tested directly: the oracle must flag any kernel-dependent behaviour
+and stay quiet otherwise, and the shrinker must converge to a smaller
+spec that still diverges.  Generator determinism (same seed → same
+spec → same outcome) is what makes reproducer files meaningful.
+"""
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.events.engine import force_kernel
+from repro.testing import gen_cp, gen_events, gen_occam, gen_vector
+from repro.testing.fuzz import GENERATORS, fuzz, main
+from repro.testing.oracle import DiffReport, diff_outcomes, differential
+from repro.testing.shrink import shrink, spec_size, write_repro
+
+ALL_GENERATORS = sorted(GENERATORS)
+
+
+class TestOracle:
+    def test_identical_outcomes_agree(self):
+        report = differential(lambda spec: {"x": 1, "y": [1.5, "a"]}, {})
+        assert not report.diverged
+        assert report.details == []
+
+    def test_kernel_dependent_outcome_diverges(self):
+        def probe(spec):
+            return {"kernel": os.environ.get("REPRO_SLOW_KERNEL")}
+
+        report = differential(probe, {})
+        assert report.diverged
+        assert any("kernel" in d for d in report.details)
+        assert "!=" in report.summary()
+
+    def test_diff_is_structural_and_type_strict(self):
+        assert diff_outcomes({"a": 1}, {"a": 1}, "$") == []
+        assert diff_outcomes({"a": 1}, {"a": 2}, "$") != []
+        assert diff_outcomes({"a": 1}, {"a": 1.0}, "$") != []  # int≠float
+        assert diff_outcomes([1, 2], [1, 2, 3], "$") != []
+        assert diff_outcomes({"a": 1}, {"b": 1}, "$") != []
+
+    def test_nested_paths_are_reported(self):
+        diffs = diff_outcomes({"t": [[0, 1], [0, 2]]},
+                              {"t": [[0, 1], [0, 3]]}, "$")
+        assert any("t" in d for d in diffs)
+
+
+class TestGeneratorDeterminism:
+    @pytest.mark.parametrize("name", ALL_GENERATORS)
+    def test_same_seed_same_spec(self, name):
+        generator = GENERATORS[name]
+        spec_a = generator.generate(random.Random(123))
+        spec_b = generator.generate(random.Random(123))
+        assert spec_a == spec_b
+
+    @pytest.mark.parametrize("name", ALL_GENERATORS)
+    def test_specs_are_json_round_trippable(self, name):
+        generator = GENERATORS[name]
+        spec = generator.generate(random.Random(7))
+        assert json.loads(json.dumps(spec)) == spec
+
+    @pytest.mark.parametrize("name", ALL_GENERATORS)
+    def test_execute_is_deterministic_on_one_kernel(self, name):
+        generator = GENERATORS[name]
+        spec = generator.generate(random.Random(99))
+        with force_kernel(slow=False):
+            first = json.loads(json.dumps(generator.execute(spec)))
+            second = json.loads(json.dumps(generator.execute(spec)))
+        assert first == second
+
+    @pytest.mark.parametrize("name", ALL_GENERATORS)
+    def test_kernels_agree_on_sample_specs(self, name):
+        generator = GENERATORS[name]
+        for seed in (1, 2, 3):
+            spec = generator.generate(random.Random(seed))
+            report = differential(generator.execute, spec)
+            assert not report.diverged, report.summary()
+
+    @pytest.mark.parametrize("name", ALL_GENERATORS)
+    def test_shrink_candidates_stay_valid(self, name):
+        """Every first-level shrink candidate still executes."""
+        generator = GENERATORS[name]
+        spec = generator.generate(random.Random(5))
+        candidates = list(generator.shrink_candidates(spec))
+        assert candidates, "generator must offer shrink candidates"
+        for candidate in candidates[:10]:
+            generator.execute(candidate)  # must not raise
+
+
+class _FakeGenerator:
+    """A controllable generator: diverges iff 'bad' is in the items."""
+
+    @staticmethod
+    def execute(spec):
+        diverging = "bad" in spec["items"]
+        marker = os.environ.get("REPRO_SLOW_KERNEL") if diverging else "-"
+        return {"marker": marker, "n": len(spec["items"])}
+
+    @staticmethod
+    def shrink_candidates(spec):
+        items = spec["items"]
+        for i in range(len(items)):
+            if len(items) > 1:
+                yield {"items": items[:i] + items[i + 1:]}
+
+
+class TestShrinker:
+    def test_shrinks_to_single_culprit(self):
+        spec = {"items": ["a", "b", "bad", "c", "d", "e"]}
+        small, report, used = shrink(_FakeGenerator, spec)
+        assert small == {"items": ["bad"]}
+        assert report.diverged
+        assert used >= 1
+
+    def test_rejects_non_diverging_spec(self):
+        with pytest.raises(ValueError):
+            shrink(_FakeGenerator, {"items": ["a", "b"]})
+
+    def test_respects_execution_budget(self):
+        spec = {"items": ["bad"] + [f"x{i}" for i in range(50)]}
+        _, _, used = shrink(_FakeGenerator, spec, max_executions=5)
+        assert used <= 5
+
+    def test_spec_size_orders_structures(self):
+        assert spec_size({"a": [1, 2, 3]}) > spec_size({"a": [1]})
+        assert spec_size([]) == 1
+
+    def test_write_repro_round_trips(self, tmp_path):
+        report = DiffReport(
+            diverged=True, details=["$.x: 1 != 2"],
+            fast={"x": 1}, slow={"x": 2},
+        )
+        path = write_repro(str(tmp_path), "fake", 7, 3,
+                           {"items": ["bad"]}, report)
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["generator"] == "fake"
+        assert payload["spec"] == {"items": ["bad"]}
+        assert payload["divergence"] == ["$.x: 1 != 2"]
+
+
+class TestFuzzCampaign:
+    def test_smoke_campaign_agrees(self, tmp_path):
+        summary = fuzz(seed=2024, cases=12, budget_s=0,
+                       names=ALL_GENERATORS, repro_dir=str(tmp_path))
+        assert summary["executed"] == 12
+        assert summary["repros"] == []
+        assert summary["errors"] == []
+        assert sum(s["cases"] for s in summary["stats"].values()) == 12
+
+    def test_budget_caps_wall_clock(self, tmp_path):
+        summary = fuzz(seed=1, cases=100_000, budget_s=1.0,
+                       names=["events"], repro_dir=str(tmp_path))
+        assert 0 < summary["executed"] < 100_000
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        rc = main(["--seed", "3", "--cases", "4",
+                   "--repro-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "all cases agreed" in out
+
+    def test_cli_rejects_unknown_generator(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--generators", "nope", "--repro-dir", str(tmp_path)])
+
+
+class TestForceKernel:
+    def test_sets_and_restores_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SLOW_KERNEL", raising=False)
+        with force_kernel(slow=True):
+            assert os.environ["REPRO_SLOW_KERNEL"] == "1"
+            with force_kernel(slow=False):
+                assert os.environ["REPRO_SLOW_KERNEL"] == "0"
+            assert os.environ["REPRO_SLOW_KERNEL"] == "1"
+        assert "REPRO_SLOW_KERNEL" not in os.environ
+
+    def test_restores_prior_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SLOW_KERNEL", "1")
+        with force_kernel(slow=False):
+            assert os.environ["REPRO_SLOW_KERNEL"] == "0"
+        assert os.environ["REPRO_SLOW_KERNEL"] == "1"
