@@ -1,0 +1,221 @@
+"""E13b — End-to-end fault tolerance (paper §III's error-recovery story).
+
+The paper justifies the system disks and the ~10-minute snapshot
+interval entirely by error recovery; this experiment runs the machine
+*as a system under failure* and measures the full loop:
+
+* a checkpointed stencil run that loses nodes to Poisson halts must
+  complete **bit-identical** to the fault-free run (detection →
+  restore → remap → resume, all simulated);
+* sweeping checkpoint interval × MTBF, the measured-optimal interval
+  must fall inside the analytic optimum's band from
+  :mod:`repro.analysis.checkpoint_opt` (the same first-order model
+  that puts the paper's full-scale optimum near 10 minutes);
+* one run under **all four** fault classes (latent parity bytes,
+  transient frame corruption, stuck sublinks, node halts) exercises
+  the ARQ transport and the snapshot parity trap together.
+
+Timescale note: node memory is compressed (32 KB/node, paper rates
+unchanged) so dozens of snapshot/restore cycles fit in seconds of
+simulated time; interval/MTBF *ratios* — what the sweep checks — are
+preserved.  The "E13" scaled-speedup experiment predates this one and
+keeps its report name (``e13_scaled_speedup``); this file writes
+``e13_fault_tolerance``.
+"""
+
+import pytest
+
+from repro.analysis import (
+    Table,
+    optimal_interval_band,
+    recovery_stats,
+    reliability_stats,
+    seconds,
+    young_interval_s,
+)
+from repro.core.config import MachineConfig
+from repro.core.machine import TSeriesMachine
+from repro.events import Engine, FaultLog
+from repro.system.failures import (
+    FAULT_LINK_STUCK,
+    FAULT_LINK_TRANSIENT,
+    FAULT_NODE_HALT,
+    FAULT_PARITY,
+    MultiClassFailureInjector,
+)
+from repro.system.recovery import (
+    FaultTolerantRun,
+    RingStencilWorkload,
+    compressed_timescale_specs,
+)
+
+from _util import save_report
+
+DIMENSION = 3
+RANKS = 1 << DIMENSION
+STEPS = 640
+PAD_NS = 10_000_000          # 10 ms of modelled CP work per step
+INTERVALS_STEPS = (80, 160, 320, 640)
+MTBFS_S = (5.0, 12.0)
+SEEDS = (0, 1, 2)
+HORIZON_NS = int(120e9)      # outlasts every run
+
+
+def _run_once(interval_steps, mtbf_s=None, seed=0, classes=None):
+    """One checkpointed run; returns (run stats + roll-ups, digest)."""
+    eng = Engine()
+    FaultLog(eng)
+    config = MachineConfig(DIMENSION, specs=compressed_timescale_specs())
+    machine = TSeriesMachine(config, engine=eng)
+    workload = RingStencilWorkload(
+        ranks=RANKS, steps=STEPS, exchange_every=4, compute_pad_ns=PAD_NS,
+    )
+    run = FaultTolerantRun(machine, workload,
+                           checkpoint_interval_steps=interval_steps)
+    if mtbf_s is not None:
+        injector = MultiClassFailureInjector(
+            machine, classes or {FAULT_NODE_HALT: mtbf_s},
+            seed=seed, halt_hook=run.halt_hook,
+        )
+        eng.process(injector.run(HORIZON_NS), name="injector")
+    run.execute()
+    stats = recovery_stats(run)
+    stats["reliability"] = reliability_stats(run.transport)
+    return stats, workload.digest(run)
+
+
+def test_e13_fault_tolerance(benchmark):
+    def campaign():
+        clean, clean_digest = _run_once(INTERVALS_STEPS[-1])
+        cells = {}
+        for mtbf_s in MTBFS_S:
+            for interval_steps in INTERVALS_STEPS:
+                runs = [
+                    _run_once(interval_steps, mtbf_s=mtbf_s, seed=seed)
+                    for seed in SEEDS
+                ]
+                cells[(mtbf_s, interval_steps)] = runs
+        return clean, clean_digest, cells
+
+    clean, clean_digest, cells = benchmark.pedantic(
+        campaign, rounds=1, iterations=1,
+    )
+
+    # Snapshot cost and step time, measured off the fault-free run.
+    snapshot_s = seconds(clean["snapshot_ns_total"]) \
+        / clean["snapshots_taken"]
+    step_s = (seconds(clean["elapsed_ns"])
+              - seconds(clean["snapshot_ns_total"])) / STEPS
+    intervals_s = [n * step_s for n in INTERVALS_STEPS]
+    ideal_s = STEPS * step_s
+
+    sweep = Table(
+        "E13b — Completion time under Poisson node halts "
+        f"(C = {snapshot_s:.2f} s/snapshot, {STEPS} steps, "
+        f"{RANKS} ranks, seeds {SEEDS})",
+        ["MTBF s", "interval s", "mean completion s",
+         "overhead fraction", "recoveries", "mean lost work s",
+         "bit-identical"],
+    )
+    measured_best = {}
+    all_identical = True
+    total_recoveries = 0
+    for mtbf_s in MTBFS_S:
+        means = []
+        for n, interval_s in zip(INTERVALS_STEPS, intervals_s):
+            runs = cells[(mtbf_s, n)]
+            completion = [seconds(s["elapsed_ns"]) for s, _ in runs]
+            recoveries = sum(s["recoveries"] for s, _ in runs)
+            lost = [seconds(s["lost_work_ns"]) for s, _ in runs]
+            identical = all(d == clean_digest for _, d in runs)
+            all_identical &= identical
+            total_recoveries += recoveries
+            mean_s = sum(completion) / len(completion)
+            means.append((interval_s, mean_s))
+            sweep.add(mtbf_s, round(interval_s, 2), round(mean_s, 2),
+                      round(mean_s / ideal_s - 1.0, 3), recoveries,
+                      round(sum(lost) / len(lost), 2), identical)
+        measured_best[mtbf_s] = min(means, key=lambda r: r[1])[0]
+
+    # Mean restart cost (restore + reship + settle), for the model.
+    restarts = [
+        r for runs in cells.values() for s, _ in runs
+        for r in s["recovery_elapsed_ns"]
+    ]
+    restart_s = seconds(sum(restarts)) / len(restarts) if restarts else 0.0
+
+    check = Table(
+        "E13b — Measured optimum vs the analytic band "
+        f"(restart ≈ {restart_s:.2f} s; band = intervals within 1.25× "
+        "of the model's best predicted overhead)",
+        ["MTBF s", "measured best s", "band lo s", "band hi s",
+         "Young opt s", "in band"],
+    )
+    in_band = {}
+    for mtbf_s in MTBFS_S:
+        lo, hi = optimal_interval_band(
+            intervals_s, snapshot_s, mtbf_s, restart_s=restart_s,
+        )
+        best = measured_best[mtbf_s]
+        in_band[mtbf_s] = lo <= best <= hi
+        check.add(mtbf_s, round(best, 2), round(lo, 2), round(hi, 2),
+                  round(young_interval_s(snapshot_s, mtbf_s), 2),
+                  in_band[mtbf_s])
+
+    paper = Table(
+        "E13b — Paper tie-in (full-scale parameters)",
+        ["quantity", "value"],
+    )
+    paper.add("snapshot time (paper)", "15 s")
+    paper.add("Young optimum at MTBF 3.3 h",
+              f"{young_interval_s(15.0, 3.3 * 3600):.0f} s")
+    paper.add("paper's recommended interval", "600 s (~10 minutes)")
+
+    save_report("e13_fault_tolerance", sweep, check, paper)
+
+    assert all_identical, "a recovered run diverged from fault-free"
+    assert total_recoveries > 0, "sweep never exercised recovery"
+    assert all(in_band.values()), \
+        f"measured optimum outside analytic band: {measured_best}"
+    # The paper's claim at full scale: ~10 minutes is Young-optimal.
+    assert young_interval_s(15.0, 3.3 * 3600) == pytest.approx(600, rel=0.01)
+
+
+def test_e13_all_fault_classes(benchmark):
+    classes = {
+        FAULT_PARITY: 8.0,
+        FAULT_LINK_TRANSIENT: 0.5,
+        FAULT_LINK_STUCK: 2.0,
+        FAULT_NODE_HALT: 8.0,
+    }
+
+    def runs():
+        _, clean_digest = _run_once(160)
+        stats, digest = _run_once(160, mtbf_s=1.0, seed=3,
+                                  classes=classes)
+        return clean_digest, stats, digest
+
+    clean_digest, stats, digest = benchmark.pedantic(
+        runs, rounds=1, iterations=1,
+    )
+    rel = stats["reliability"]
+    table = Table(
+        "E13b — One run under all four fault classes "
+        "(MTBFs: parity 8 s, transient 0.5 s, stuck 2 s, halt 8 s)",
+        ["counter", "value"],
+    )
+    table.add("completion s", round(seconds(stats["elapsed_ns"]), 2))
+    table.add("recoveries", stats["recoveries"])
+    table.add("snapshot aborts (parity)", stats["snapshot_aborts"])
+    table.add("dead nodes", str(stats["dead_nodes"]))
+    table.add("link retries", rel["retries"])
+    table.add("checksum failures", rel["checksum_failures"])
+    table.add("frames corrupted", rel["frames_corrupted"])
+    table.add("frames lost (outages)", rel["frames_lost"])
+    table.add("bit-identical to fault-free", digest == clean_digest)
+    save_report("e13_fault_classes", table)
+
+    assert digest == clean_digest
+    assert stats["recoveries"] > 0
+    assert rel["retries"] > 0
+    assert rel["frames_corrupted"] > 0

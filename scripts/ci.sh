@@ -22,6 +22,9 @@ echo "== differential fuzz smoke (both kernels, fixed seeds) =="
 python -m repro.testing.fuzz --seed 1986 --cases 200 --budget 30
 python -m repro.testing.fuzz --seed 8086 --cases 120 --budget 20
 
+echo "== fault-tolerance smoke (ARQ retries + recovery digest) =="
+python scripts/fault_smoke.py
+
 echo "== golden trace conformance =="
 python scripts/regen_golden.py --check
 

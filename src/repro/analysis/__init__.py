@@ -23,6 +23,7 @@ from repro.analysis.checkpoint_opt import (
     expected_overhead_fraction,
     interval_sweep,
     mtbf_for_interval,
+    optimal_interval_band,
     simulate_checkpointing,
     young_interval_s,
 )
@@ -51,12 +52,15 @@ from repro.analysis.scaled_speedup import (
 )
 from repro.analysis.tracing import (
     TraceProbe,
+    all_fabric_links,
     busiest_component,
     engine_stats,
     engine_stats_table,
     flops_breakdown,
     machine_utilization,
     node_utilization,
+    recovery_stats,
+    reliability_stats,
     utilization_table,
 )
 
@@ -65,6 +69,7 @@ __all__ = [
     "PAPER_TIMES_US",
     "Table",
     "TraceProbe",
+    "all_fabric_links",
     "amdahl_speedup",
     "balance_table",
     "gustafson_speedup",
@@ -91,10 +96,13 @@ __all__ = [
     "mtbf_for_interval",
     "ops_to_hide_gather",
     "ops_to_hide_link",
+    "optimal_interval_band",
     "overlap_efficiency_model",
     "overlap_sweep",
     "parallel_efficiency",
+    "recovery_stats",
     "relative_error",
+    "reliability_stats",
     "seconds",
     "series",
     "simulate_checkpointing",

@@ -126,3 +126,30 @@ def interval_sweep(work_s: float, intervals_s, snapshot_s: float,
 def best_interval(rows) -> float:
     """Interval with the lowest overhead in a sweep."""
     return min(rows, key=lambda r: r[1])[0]
+
+
+def optimal_interval_band(intervals_s, snapshot_s: float, mtbf_s: float,
+                          restart_s: float = 0.0,
+                          tolerance: float = 0.25):
+    """The analytic optimum's *band* over a candidate grid.
+
+    Young's curve is flat near its minimum, so a measured optimum on a
+    coarse grid can legitimately land one notch away from the analytic
+    argmin.  This returns ``(lo_s, hi_s)``: the grid intervals whose
+    *predicted* overhead (via :func:`expected_overhead_fraction`) is
+    within ``(1 + tolerance)`` of the best predicted overhead.  An
+    experiment's measured optimum is consistent with the model when it
+    falls inside the band.
+    """
+    if not intervals_s:
+        raise ValueError("need at least one candidate interval")
+    predicted = [
+        (interval,
+         expected_overhead_fraction(interval, snapshot_s, mtbf_s,
+                                    restart_s))
+        for interval in intervals_s
+    ]
+    floor = min(overhead for _, overhead in predicted)
+    inside = [interval for interval, overhead in predicted
+              if overhead <= floor * (1.0 + tolerance)]
+    return (min(inside), max(inside))

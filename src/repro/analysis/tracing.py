@@ -100,11 +100,14 @@ def engine_stats(engine) -> dict:
     ``heap_pushes`` (schedules through the priority queue),
     ``fast_lane_hits`` (zero-delay URGENT schedules that bypassed the
     heap), ``fast_lane_fraction`` (lane hits over all schedules),
-    ``events_per_sim_us`` (event density in simulated time), and
+    ``events_per_sim_us`` (event density in simulated time),
     ``fast_kernel`` (False when ``REPRO_SLOW_KERNEL`` forced the
-    pure-heap reference path).
+    pure-heap reference path), and ``fault_events`` (records in the
+    engine's installed :class:`~repro.events.FaultLog`; 0 without
+    one).
     """
     scheduled = engine.heap_pushes + engine.lane_hits
+    fault_log = engine.fault_log
     return {
         "events_processed": engine.events_processed,
         "heap_pushes": engine.heap_pushes,
@@ -117,6 +120,7 @@ def engine_stats(engine) -> dict:
             if engine.now else 0.0
         ),
         "fast_kernel": engine.fast_kernel,
+        "fault_events": len(fault_log) if fault_log is not None else 0,
     }
 
 
@@ -125,9 +129,62 @@ def engine_stats_table(engine, title="Event-kernel profile") -> Table:
     stats = engine_stats(engine)
     table = Table(title, ["counter", "value"])
     for key in ("events_processed", "heap_pushes", "fast_lane_hits",
-                "fast_lane_fraction", "events_per_sim_us", "fast_kernel"):
+                "fast_lane_fraction", "events_per_sim_us", "fast_kernel",
+                "fault_events"):
         table.add(key, stats[key])
     return table
+
+
+def all_fabric_links(machine):
+    """Every FabricSublink in the machine: hypercube, module threads,
+    and the system ring."""
+    links = [machine.sublinks[key] for key in sorted(machine.sublinks)]
+    for module in machine.modules:
+        links.extend(module.thread)
+    links.extend(machine.ring_links)
+    return links
+
+
+def reliability_stats(transport) -> dict:
+    """Roll-up of a :class:`~repro.runtime.transport.ReliableTransport`
+    run: delivery, retry/redelivery, checksum and staging-parity
+    counters, plus machine-wide frame corruption/loss totals."""
+    machine = transport.machine
+    links = all_fabric_links(machine)
+    return {
+        "delivered": transport.delivered,
+        "retries": transport.retries,
+        "redeliveries": transport.redeliveries,
+        "checksum_failures": transport.checksum_failures,
+        "acks_sent": transport.acks_sent,
+        "naks_sent": transport.naks_sent,
+        "stale_drops": transport.stale_drops,
+        "halted_drops": transport.halted_drops,
+        "sends_failed": transport.sends_failed,
+        "relay_parity_faults": transport.relay_parity_faults,
+        "mailbox_flushes": transport.mailbox_flushes,
+        "epoch": transport.epoch,
+        "frames_corrupted": sum(l.frames_corrupted for l in links),
+        "frames_lost": sum(l.frames_lost for l in links),
+    }
+
+
+def recovery_stats(run) -> dict:
+    """Roll-up of a :class:`~repro.system.recovery.FaultTolerantRun`:
+    the run's own stats plus detection latencies and per-recovery
+    restore costs."""
+    stats = dict(run.stats())
+    stats["detection_latency_ns"] = [
+        d.latency_ns for d in run.monitor.detections
+    ]
+    stats["mean_detection_latency_ns"] = run.monitor.mean_latency_ns()
+    stats["restore_ns"] = [
+        r.restore_ns for r in run.coordinator.recoveries
+    ]
+    stats["recovery_elapsed_ns"] = [
+        r.elapsed_ns for r in run.coordinator.recoveries
+    ]
+    return stats
 
 
 def flops_breakdown(machine) -> dict:

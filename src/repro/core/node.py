@@ -49,6 +49,19 @@ class ProcessorNode:
         ]
         #: Set by machine wiring: this node's module.
         self.module = None
+        #: Node-halt fault state: a halted node's CP and vector units
+        #: stop and its hypercube relays drop frames without ACKing.
+        #: (The module's system thread is driven by the board-side
+        #: adapter, so checkpoint/restore traffic still flows through
+        #: a halted node — the paper's rationale for the thread.)
+        self.halted = False
+        self.halted_at = None
+
+    def halt(self, now=None):
+        """Mark this node dead (CP halt fault)."""
+        if not self.halted:
+            self.halted = True
+            self.halted_at = self.engine.now if now is None else now
 
     # -- untimed element access (setup/verification) ---------------------
 

@@ -23,6 +23,7 @@ from repro.events.engine import (
     Timeout,
 )
 from repro.events.channel import Channel, Store
+from repro.events.faultlog import FaultLog, record_fault
 from repro.events.resources import Mutex, Request, Resource, hold
 from repro.events.errors import (
     DeadlockError,
@@ -38,6 +39,7 @@ __all__ = [
     "DeadlockError",
     "Engine",
     "Event",
+    "FaultLog",
     "Interrupt",
     "Mutex",
     "Process",
@@ -48,4 +50,5 @@ __all__ = [
     "Store",
     "Timeout",
     "hold",
+    "record_fault",
 ]

@@ -518,6 +518,7 @@ class Engine:
         "_now", "_heap", "_lane", "_seq", "_active", "_fast",
         "_durgent", "_fire_urgent",
         "events_processed", "heap_pushes", "lane_hits",
+        "fault_log",
     )
 
     def __init__(self):
@@ -541,6 +542,9 @@ class Engine:
         self.events_processed = 0
         self.heap_pushes = 0
         self.lane_hits = 0
+        # Installed by repro.system.faultlog.FaultLog; None means no
+        # fault bookkeeping for this run (record_fault() is a no-op).
+        self.fault_log = None
 
     @property
     def now(self):

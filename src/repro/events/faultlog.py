@@ -1,0 +1,91 @@
+"""Structured fault events.
+
+Every layer that detects or injects a fault — the multi-class
+injector, the reliable transport's checksum/ACK machinery, the
+parity-checked checkpoint sender, the heartbeat monitor, the recovery
+coordinator — reports it here instead of printing or raising ad hoc.
+A :class:`FaultLog` is installed on the engine (``engine.fault_log``),
+so model code deep in a relay loop can report through
+:func:`record_fault` without threading a logger parameter through
+every constructor.
+
+The log is the *fault trace* of a run: an ordered list of JSON-able
+records ``{"t": <ns>, "kind": <str>, ...detail}``.  The differential
+fuzzer and the golden suite compare fault traces across both event
+kernels, so records must be deterministic — integer times, sorted
+containers, no object reprs.
+
+Record kinds currently emitted (each by exactly one site):
+
+=====================  ==============================================
+``parity_injected``    injector planted a latent parity fault
+``link_transient``     injector corrupted the next frame on a sublink
+``link_stuck``         injector took a sublink down for a window
+``node_halt``          injector (or a test) halted a node's CP
+``frame_corrupt``      transport dropped a frame failing its checksum
+``relay_parity``       parity trap in a relay's store-and-forward
+                       buffer (frame NAKed and retried upstream)
+``link_give_up``       transport exhausted retries on one hop
+``snapshot_parity``    checkpoint sender hit a latent parity fault
+``detect``             heartbeat monitor noticed a dead node
+``recovered``          coordinator completed restore + remap + resume
+=====================  ==============================================
+"""
+
+
+class FaultLog:
+    """Ordered, JSON-able record of every fault seen during a run.
+
+    Installing the log binds it to the engine::
+
+        eng = Engine()
+        log = FaultLog(eng)       # engine.fault_log is now `log`
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.records = []
+        engine.fault_log = self
+
+    def record(self, kind: str, **info) -> dict:
+        """Append one fault record stamped with the current sim time."""
+        entry = {"t": int(self.engine.now), "kind": str(kind)}
+        for key in sorted(info):
+            entry[key] = info[key]
+        self.records.append(entry)
+        return entry
+
+    def count(self, kind=None) -> int:
+        """Number of records, optionally of one kind."""
+        if kind is None:
+            return len(self.records)
+        return sum(1 for r in self.records if r["kind"] == kind)
+
+    def kinds(self) -> dict:
+        """``{kind: count}`` over the whole log, sorted by kind."""
+        out = {}
+        for record in self.records:
+            out[record["kind"]] = out.get(record["kind"], 0) + 1
+        return dict(sorted(out.items()))
+
+    def as_json(self) -> list:
+        """The full trace as a list of plain dicts (already JSON-able)."""
+        return [dict(r) for r in self.records]
+
+    def __len__(self):
+        return len(self.records)
+
+    def __repr__(self):
+        return f"<FaultLog records={len(self.records)}>"
+
+
+def record_fault(engine, kind: str, **info):
+    """Report a fault through ``engine.fault_log`` if one is installed.
+
+    Model code calls this unconditionally; runs that did not install a
+    :class:`FaultLog` pay one attribute check and nothing else.
+    """
+    log = engine.fault_log
+    if log is not None:
+        return log.record(kind, **info)
+    return None

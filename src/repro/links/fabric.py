@@ -70,6 +70,39 @@ class FabricSublink:
         #: Payload bytes carried (both directions).
         self.bytes_moved = 0
         self.messages = 0
+        # -- fault hooks (driven by repro.system.failures) ------------
+        #: Corrupt the next N frames in flight (delivered with
+        #: ``Message.corrupted`` set; payload object unchanged).
+        self.corrupt_next = 0
+        #: Outage window [outage_from, outage_until] in ns; a frame
+        #: whose transmission interval overlaps the window is lost
+        #: (transmitted but never delivered).  ``outage_until`` None
+        #: means the sublink is stuck down until :meth:`repair`.
+        self.outage_from = None
+        self.outage_until = None
+        self.frames_corrupted = 0
+        self.frames_lost = 0
+
+    def corrupt_next_frame(self, count=1):
+        """Arm transient corruption for the next ``count`` frames."""
+        self.corrupt_next += count
+
+    def fail(self, from_ns, until_ns=None):
+        """Take the sublink down for [from_ns, until_ns] (None=forever)."""
+        self.outage_from = from_ns
+        self.outage_until = until_ns
+
+    def repair(self):
+        """Clear any outage window."""
+        self.outage_from = None
+        self.outage_until = None
+
+    def _lost(self, start_ns, end_ns) -> bool:
+        """True when a frame transmitted over [start, end] hits the
+        outage window."""
+        if self.outage_from is None or end_ns < self.outage_from:
+            return False
+        return self.outage_until is None or start_ns <= self.outage_until
 
     def other(self, endpoint: FabricEndpoint) -> FabricEndpoint:
         """The endpoint at the far side."""
@@ -102,13 +135,24 @@ class FabricSublink:
                     wire.bytes_moved += nbytes
                     wire.busy_ns += duration
                     wire.messages += 1
+        corrupted = False
+        if self.corrupt_next:
+            self.corrupt_next -= 1
+            self.frames_corrupted += 1
+            corrupted = True
         message = Message(
             payload, nbytes, sent_at, self.engine.now,
-            sublink=peer.sub_index,
+            sublink=peer.sub_index, corrupted=corrupted,
         )
-        yield peer.inbox.put(message)
         self.bytes_moved += nbytes
         self.messages += 1
+        if self._lost(sent_at, self.engine.now):
+            # The wire time was spent, but the frame never arrives.
+            # Unreliable callers will time out or hang; the reliable
+            # transport retries after its ACK timeout.
+            self.frames_lost += 1
+            return message
+        yield peer.inbox.put(message)
         return message
 
     def __repr__(self):

@@ -58,14 +58,21 @@ class Wire:
 class Message:
     """A payload in flight: what was sent, how big, when, over what."""
 
-    __slots__ = ("payload", "nbytes", "sent_at", "delivered_at", "sublink")
+    __slots__ = ("payload", "nbytes", "sent_at", "delivered_at", "sublink",
+                 "corrupted")
 
-    def __init__(self, payload, nbytes, sent_at, delivered_at, sublink=None):
+    def __init__(self, payload, nbytes, sent_at, delivered_at, sublink=None,
+                 corrupted=False):
         self.payload = payload
         self.nbytes = nbytes
         self.sent_at = sent_at
         self.delivered_at = delivered_at
         self.sublink = sublink
+        #: True when the frame was mangled in flight (injected link
+        #: fault).  The payload object is delivered unchanged — the
+        #: flag models a failed frame checksum, which is what a real
+        #: receiver sees; reliable transports NAK and retry on it.
+        self.corrupted = corrupted
 
     def __repr__(self):
         return (

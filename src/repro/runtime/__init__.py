@@ -4,6 +4,8 @@ Public surface:
 
 * :class:`HypercubeProgram`, :class:`NodeContext` — the SPMD API.
 * :class:`HypercubeTransport` — routed point-to-point transport.
+* :class:`ReliableTransport` — its ARQ variant: checksummed envelopes,
+  ACK/timeout/backoff retry, detour routing around dead nodes.
 * :class:`Envelope`, :data:`HEADER_BYTES` — the message format.
 * :mod:`repro.runtime.collectives` — broadcast / reduce / allreduce /
   gather / allgather / barrier / alltoall.
@@ -28,7 +30,7 @@ from repro.runtime.mapping import (
     RingMapping,
 )
 from repro.runtime.messages import Envelope, HEADER_BYTES
-from repro.runtime.transport import HypercubeTransport
+from repro.runtime.transport import HypercubeTransport, ReliableTransport
 
 __all__ = [
     "ButterflyMapping",
@@ -39,6 +41,7 @@ __all__ = [
     "IdentityMapping",
     "MeshMapping",
     "NodeContext",
+    "ReliableTransport",
     "RingMapping",
     "allgather",
     "allreduce",

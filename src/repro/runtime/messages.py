@@ -24,6 +24,10 @@ class Envelope:
     nbytes: int
     #: Hop timestamps (node_id, time_ns) appended en route.
     trace: list = field(default_factory=list)
+    #: Transport-assigned sequence number (reliable transport only;
+    #: -1 on unreliable sends).  Part of the checksummed header and
+    #: the duplicate-suppression key.
+    seq: int = -1
 
     def __post_init__(self):
         if self.nbytes < 0:

@@ -1,5 +1,5 @@
 """System services: boards, disks, the system ring, checkpointing,
-failure injection.
+failure injection, and recovery orchestration.
 
 Public surface:
 
@@ -8,14 +8,29 @@ Public surface:
 * :class:`SystemDisk` — the snapshot disk.
 * :class:`SystemRing` — board-to-board transport, independent of the
   n-cube.
-* :class:`CheckpointService` — snapshot/restore over the module thread.
-* :class:`FailureInjector`, :func:`corrupt_random_byte` — reproducible
-  fault injection.
+* :class:`CheckpointService` — snapshot/restore over the module thread
+  (raises :class:`SnapshotAborted` on latent parity faults).
+* :class:`FailureInjector`, :class:`MultiClassFailureInjector`,
+  :func:`corrupt_random_byte` — reproducible fault injection.
+* :class:`HeartbeatMonitor`, :class:`RecoveryCoordinator`,
+  :class:`FaultTolerantRun`, :class:`RingStencilWorkload` — failure
+  detection and checkpoint/restart orchestration (see
+  :mod:`repro.system.recovery`).
 """
 
-from repro.system.checkpoint import CheckpointService
+from repro.system.checkpoint import CheckpointService, SnapshotAborted
 from repro.system.disk import SystemDisk
-from repro.system.failures import FailureInjector, corrupt_random_byte
+from repro.system.failures import (
+    FAULT_CLASSES,
+    FAULT_LINK_STUCK,
+    FAULT_LINK_TRANSIENT,
+    FAULT_NODE_HALT,
+    FAULT_PARITY,
+    FailureInjector,
+    FaultSpec,
+    MultiClassFailureInjector,
+    corrupt_random_byte,
+)
 from repro.system.system_board import (
     NODE_SLOT_AWAY_FROM_BOARD,
     NODE_SLOT_TOWARD_BOARD,
@@ -26,18 +41,42 @@ from repro.system.system_board import (
     SystemBoard,
 )
 from repro.system.system_ring import SystemRing
+from repro.system.recovery import (
+    Detection,
+    FaultTolerantRun,
+    HeartbeatMonitor,
+    RecoveryCoordinator,
+    RecoveryRecord,
+    RingStencilWorkload,
+    compressed_timescale_specs,
+)
 
 __all__ = [
     "CheckpointService",
+    "Detection",
+    "FAULT_CLASSES",
+    "FAULT_LINK_STUCK",
+    "FAULT_LINK_TRANSIENT",
+    "FAULT_NODE_HALT",
+    "FAULT_PARITY",
     "FailureInjector",
+    "FaultSpec",
+    "FaultTolerantRun",
+    "HeartbeatMonitor",
+    "MultiClassFailureInjector",
     "NODE_SLOT_AWAY_FROM_BOARD",
     "NODE_SLOT_TOWARD_BOARD",
+    "RecoveryCoordinator",
+    "RecoveryRecord",
+    "RingStencilWorkload",
     "SLOT_RING_NEXT",
     "SLOT_RING_PREV",
     "SLOT_THREAD_DOWN",
     "SLOT_THREAD_UP",
+    "SnapshotAborted",
     "SystemBoard",
     "SystemDisk",
     "SystemRing",
+    "compressed_timescale_specs",
     "corrupt_random_byte",
 ]

@@ -17,12 +17,31 @@ experiment E9 measures both facts.
 
 import numpy as np
 
-from repro.events import Store
+from repro.events import Store, record_fault
+from repro.memory import ParityError
 from repro.system.system_board import (
     NODE_SLOT_AWAY_FROM_BOARD,
     NODE_SLOT_TOWARD_BOARD,
     SLOT_THREAD_DOWN,
 )
+
+
+class SnapshotAborted(Exception):
+    """A snapshot hit latent parity faults and its images are unusable.
+
+    Raised by :meth:`CheckpointService.snapshot_module` *after* the
+    module's stream has drained (so no thread traffic is left in
+    flight).  ``errors`` lists ``(node_id, address)`` per fault.  The
+    caller must discard the tag (:meth:`CheckpointService.drop`) and
+    recover from an earlier snapshot.
+    """
+
+    def __init__(self, tag, errors):
+        super().__init__(
+            f"snapshot {tag!r} aborted: parity faults at {errors}"
+        )
+        self.tag = tag
+        self.errors = errors
 
 
 class CheckpointService:
@@ -55,10 +74,24 @@ class CheckpointService:
         chunk = self.chunk_bytes
         counts = [self._chunks_per_node(n) for n in nodes]
         total_chunks = sum(counts)
+        parity_errors = []
 
         def sender(pos):
+            # The image is captured through the parity-checked read
+            # port: a latent fault planted since the last rewrite of
+            # its byte surfaces HERE, as a structured fault — not as a
+            # silently corrupt checkpoint.  The stream still runs to
+            # completion (the board expects every chunk); the caller
+            # gets SnapshotAborted once the thread has drained.
             node = nodes[pos]
-            image = node.memory.snapshot()
+            try:
+                image = node.memory.peek_bytes(0, node.specs.memory_bytes)
+            except ParityError as exc:
+                address = int(exc.address)
+                parity_errors.append((node.node_id, address))
+                record_fault(engine, "snapshot_parity",
+                             node=node.node_id, address=address)
+                image = node.memory.snapshot()
             for seq in range(counts[pos]):
                 data = image[seq * chunk:(seq + 1) * chunk]
                 payload = ("snap", node.node_id, seq, data)
@@ -103,13 +136,27 @@ class CheckpointService:
         workers.append(engine.process(board_receiver()))
         workers.append(engine.process(disk_writer()))
         yield engine.all_of(workers)
+        if parity_errors:
+            raise SnapshotAborted(tag, sorted(parity_errors))
         return engine.now - start
+
+    def drop(self, tag) -> None:
+        """Discard a tag's images machine-wide (e.g. after
+        :class:`SnapshotAborted`).  Modules still streaming that tag
+        may re-add partial images afterwards; tags are never reused,
+        so those are inert."""
+        for module in self.machine.modules:
+            module.board.disk.drop_snapshot(tag)
 
     def snapshot_all(self, tag):
         """Process: checkpoint every module in parallel.
 
         Returns elapsed ns — approximately the single-module time
         regardless of how many modules the machine has.
+
+        Raises :class:`SnapshotAborted` (fail-fast, other modules keep
+        streaming harmlessly) when any node's image read hit a latent
+        parity fault; the tag must then be dropped.
         """
         start = self.engine.now
         procs = [

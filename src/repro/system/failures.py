@@ -1,15 +1,41 @@
 """Failure injection.
 
 The paper motivates checkpointing with error recovery but does not
-characterise the failure process; we model node memory faults (the
-kind byte parity catches) arriving as a Poisson process with a
-configurable MTBF, using a seeded generator so every experiment is
-reproducible.
+characterise the failure process; we model faults arriving as Poisson
+processes with configurable MTBFs, using seeded generators so every
+experiment is reproducible.
+
+Two injectors:
+
+* :class:`FailureInjector` — the original single-class process
+  (latent memory-parity bytes only), kept for existing experiments.
+* :class:`MultiClassFailureInjector` — the system-level fault process:
+  latent parity bytes, transient link-frame corruption, stuck
+  sublinks, and whole-node halts, each with its own MTBF, drawn from
+  **one documented random stream** (see :meth:`~MultiClassFailureInjector.schedule`)
+  so adding or removing a class never perturbs the draws of another.
+
+Both expose a replayable ``schedule()``: the full fault schedule is a
+pure function of ``(seed, machine shape, horizon)``, computed up front
+and then replayed against simulated time.  A fault drawn exactly at
+``until_ns`` is injected (closed horizon), not dropped.
 """
+
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.specs import NS_PER_S
+from repro.events.faultlog import record_fault
+
+#: Fault classes understood by :class:`MultiClassFailureInjector`.
+FAULT_PARITY = "parity"
+FAULT_LINK_TRANSIENT = "link_transient"
+FAULT_LINK_STUCK = "link_stuck"
+FAULT_NODE_HALT = "node_halt"
+FAULT_CLASSES = (
+    FAULT_PARITY, FAULT_LINK_TRANSIENT, FAULT_LINK_STUCK, FAULT_NODE_HALT,
+)
 
 
 def corrupt_random_byte(node, rng) -> int:
@@ -25,13 +51,14 @@ def corrupt_random_byte(node, rng) -> int:
 
 
 class FailureInjector:
-    """Poisson fault arrivals over a machine's nodes."""
+    """Poisson fault arrivals over a machine's nodes (parity only)."""
 
     def __init__(self, machine, mtbf_seconds: float, seed: int = 0):
         if mtbf_seconds <= 0:
             raise ValueError("MTBF must be positive")
         self.machine = machine
         self.engine = machine.engine
+        self.seed = seed
         self.mtbf_ns = mtbf_seconds * NS_PER_S
         self.rng = np.random.default_rng(seed)
         #: (time_ns, node_id, address) per injected fault.
@@ -41,18 +68,44 @@ class FailureInjector:
         """Draw the next exponential inter-arrival time."""
         return max(1, int(self.rng.exponential(self.mtbf_ns)))
 
-    def run(self, until_ns: int):
-        """Process: inject faults until ``until_ns``."""
+    def schedule(self, until_ns: int, start_ns: int = 0) -> list:
+        """The replayable fault schedule: ``[(time_ns, node_id,
+        address), ...]`` for faults in ``(start_ns, until_ns]``.
+
+        One stream, three draws per fault, in this order:
+
+        1. exponential inter-arrival (``mtbf_ns`` mean, floored to 1 ns),
+        2. uniform node index in ``[0, len(nodes))``,
+        3. uniform byte address in ``[0, memory_bytes)``.
+
+        Each call restarts the generator from ``seed``, so the
+        schedule is a pure function of ``(seed, machine, horizon)``.
+        """
+        rng = np.random.default_rng(self.seed)
+        out = []
+        t = start_ns
         while True:
-            wait = self.next_interval_ns()
-            if self.engine.now + wait >= until_ns:
-                return len(self.log)
-            yield self.engine.timeout(wait)
-            node = self.machine.nodes[
-                int(self.rng.integers(0, len(self.machine.nodes)))
-            ]
-            address = corrupt_random_byte(node, self.rng)
+            t += max(1, int(rng.exponential(self.mtbf_ns)))
+            if t > until_ns:
+                return out
+            node_id = int(rng.integers(0, len(self.machine.nodes)))
+            address = int(rng.integers(
+                0, self.machine.nodes[node_id].specs.memory_bytes
+            ))
+            out.append((t, node_id, address))
+
+    def run(self, until_ns: int):
+        """Process: inject faults until ``until_ns`` (inclusive)."""
+        for t, node_id, address in self.schedule(
+            until_ns, start_ns=self.engine.now
+        ):
+            yield self.engine.timeout(t - self.engine.now)
+            node = self.machine.nodes[node_id]
+            node.memory.parity.inject_error(address)
+            record_fault(self.engine, "parity_injected",
+                         node=node.node_id, address=address)
             self.log.append((self.engine.now, node.node_id, address))
+        return len(self.log)
 
     def failure_times_s(self, horizon_s: float):
         """Pure draw of failure times (seconds) for analytic models."""
@@ -66,3 +119,168 @@ class FailureInjector:
 
     def __repr__(self):
         return f"<FailureInjector faults={len(self.log)}>"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    ``target`` is a node id for ``parity``/``node_halt`` and an index
+    into the sorted sublink list for the link classes.  ``detail`` is
+    the byte address for ``parity``, the outage duration in ns for
+    ``link_stuck``, and 0 otherwise.
+    """
+
+    time_ns: int
+    kind: str
+    target: int
+    detail: int
+
+
+class MultiClassFailureInjector:
+    """Superposed Poisson fault processes over a machine.
+
+    Parameters
+    ----------
+    machine : TSeriesMachine
+    mtbf_seconds : dict
+        ``{fault_class: mtbf_seconds}`` — only listed classes occur.
+    seed : int
+    stuck_outage_ns : (int, int)
+        Uniform range for ``link_stuck`` outage durations.
+    halt_hook : callable, optional
+        Called as ``halt_hook(node)`` right after a node halt is
+        applied (the recovery runtime uses this to interrupt the
+        workload processes pinned to that node).
+    """
+
+    def __init__(self, machine, mtbf_seconds: dict, seed: int = 0,
+                 stuck_outage_ns=(200_000, 2_000_000), halt_hook=None):
+        for kind, mtbf in mtbf_seconds.items():
+            if kind not in FAULT_CLASSES:
+                raise ValueError(f"unknown fault class {kind!r}")
+            if mtbf <= 0:
+                raise ValueError(f"MTBF for {kind!r} must be positive")
+        if not mtbf_seconds:
+            raise ValueError("at least one fault class is required")
+        self.machine = machine
+        self.engine = machine.engine
+        self.seed = seed
+        self.stuck_outage_ns = (int(stuck_outage_ns[0]),
+                                int(stuck_outage_ns[1]))
+        self.halt_hook = halt_hook
+        # Rates in canonical class order so dict insertion order never
+        # matters to the draws.
+        self.rates = [
+            (kind, 1.0 / (mtbf_seconds[kind] * NS_PER_S))
+            for kind in FAULT_CLASSES if kind in mtbf_seconds
+        ]
+        #: Hypercube sublinks in deterministic order (sorted by the
+        #: (low, high) node-id pair that names them).
+        self.links = [machine.sublinks[key]
+                      for key in sorted(machine.sublinks)]
+        #: Applied FaultSpecs, in injection order.
+        self.log = []
+        self.injected = {kind: 0 for kind, _ in self.rates}
+
+    def schedule(self, until_ns: int, start_ns: int = 0) -> list:
+        """The replayable schedule: ``FaultSpec`` list for faults in
+        ``(start_ns, until_ns]``.
+
+        **The documented stream.**  Faults come from one generator
+        (``default_rng(seed)``) with exactly four draws per fault,
+        whatever its class:
+
+        1. ``exponential(1 / total_rate)`` — inter-arrival of the
+           merged process (sum of per-class rates), floored to 1 ns;
+        2. ``random()`` — class selector, mapped onto cumulative rate
+           fractions in canonical ``FAULT_CLASSES`` order;
+        3. ``random()`` — target selector, scaled onto the class's
+           target list (nodes, or sorted sublinks);
+        4. ``random()`` — detail selector: byte address for parity,
+           outage duration for stuck links, unused otherwise (but
+           always drawn).
+
+        Because draw *count* per fault is class-independent, changing
+        one class's MTBF — or removing the class — never shifts which
+        random values later faults receive for *their* class/target
+        selection beyond the unavoidable rate change.
+        """
+        rng = np.random.default_rng(self.seed)
+        total_rate = sum(rate for _, rate in self.rates)
+        mean_ns = 1.0 / total_rate
+        out = []
+        t = start_ns
+        nodes = self.machine.nodes
+        lo, hi = self.stuck_outage_ns
+        while True:
+            t += max(1, int(rng.exponential(mean_ns)))
+            if t > until_ns:
+                return out
+            u_class = rng.random()
+            u_target = rng.random()
+            u_detail = rng.random()
+            pick = u_class * total_rate
+            kind = self.rates[-1][0]
+            for name, rate in self.rates:
+                if pick < rate:
+                    kind = name
+                    break
+                pick -= rate
+            if kind in (FAULT_PARITY, FAULT_NODE_HALT):
+                target = int(u_target * len(nodes))
+                if kind == FAULT_PARITY:
+                    detail = int(u_detail * nodes[target].specs.memory_bytes)
+                else:
+                    detail = 0
+            else:
+                target = int(u_target * len(self.links))
+                if kind == FAULT_LINK_STUCK:
+                    detail = lo + int(u_detail * (hi - lo))
+                else:
+                    detail = 0
+            out.append(FaultSpec(t, kind, target, detail))
+
+    def apply(self, spec: FaultSpec):
+        """Inject one fault *now* (time comes from the engine clock)."""
+        now = self.engine.now
+        if spec.kind == FAULT_PARITY:
+            node = self.machine.nodes[spec.target]
+            node.memory.parity.inject_error(spec.detail)
+            record_fault(self.engine, "parity_injected",
+                         node=node.node_id, address=spec.detail)
+        elif spec.kind == FAULT_LINK_TRANSIENT:
+            link = self.links[spec.target]
+            link.corrupt_next_frame()
+            record_fault(self.engine, "link_transient",
+                         link=spec.target, name=link.name)
+        elif spec.kind == FAULT_LINK_STUCK:
+            link = self.links[spec.target]
+            link.fail(now, now + spec.detail)
+            record_fault(self.engine, "link_stuck", link=spec.target,
+                         name=link.name, outage_ns=spec.detail)
+        elif spec.kind == FAULT_NODE_HALT:
+            node = self.machine.nodes[spec.target]
+            if node.halted:
+                return  # dead stays dead; don't double-count
+            node.halt()
+            record_fault(self.engine, "node_halt", node=node.node_id)
+            if self.halt_hook is not None:
+                self.halt_hook(node)
+        else:  # pragma: no cover - schedule() only emits known kinds
+            raise ValueError(f"unknown fault class {spec.kind!r}")
+        self.injected[spec.kind] += 1
+        self.log.append(spec)
+
+    def run(self, until_ns: int):
+        """Process: replay the schedule against simulated time."""
+        for spec in self.schedule(until_ns, start_ns=self.engine.now):
+            yield self.engine.timeout(spec.time_ns - self.engine.now)
+            self.apply(spec)
+        return len(self.log)
+
+    def __repr__(self):
+        counts = ", ".join(
+            f"{kind}={n}" for kind, n in sorted(self.injected.items())
+        )
+        return f"<MultiClassFailureInjector {counts}>"

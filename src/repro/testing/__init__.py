@@ -4,10 +4,10 @@ The simulator keeps two implementations of its hot paths: the default
 fast kernel (same-timestamp fast lane, decoded-instruction cache,
 memoized vector timing) and the ``REPRO_SLOW_KERNEL=1`` reference
 kernel (pure heap, byte-at-a-time decode, per-call timing).  They must
-be observationally identical.  This package enforces that with four
+be observationally identical.  This package enforces that with five
 generative fuzzers (CP-ISA programs, Occam programs, event schedules,
-vector workloads), a structural diff oracle, a spec shrinker, and a
-golden-trace conformance suite.
+vector workloads, fault schedules), a structural diff oracle, a spec
+shrinker, and a golden-trace conformance suite.
 
 Entry points:
 

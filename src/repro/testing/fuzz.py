@@ -1,6 +1,6 @@
 """Differential fuzzing CLI.
 
-Round-robins random cases from the four generators, runs each on both
+Round-robins random cases from the generators, runs each on both
 simulator kernels via :mod:`repro.testing.oracle`, and shrinks any
 divergence to a minimal reproducer in ``tests/repros/``::
 
@@ -17,13 +17,16 @@ import random
 import sys
 import time
 
-from repro.testing import gen_cp, gen_events, gen_occam, gen_vector
+from repro.testing import (
+    gen_cp, gen_events, gen_faults, gen_occam, gen_vector,
+)
 from repro.testing.oracle import differential
 from repro.testing.shrink import default_repro_dir, shrink, write_repro
 
 GENERATORS = {
     "cp": gen_cp,
     "events": gen_events,
+    "faults": gen_faults,
     "occam": gen_occam,
     "vector": gen_vector,
 }
@@ -97,8 +100,10 @@ def main(argv=None) -> int:
                         help="max cases to run (default 200)")
     parser.add_argument("--budget", type=float, default=0,
                         help="wall-clock budget in seconds (0 = no cap)")
-    parser.add_argument("--generators", default="cp,events,occam,vector",
-                        help="comma list from: cp,events,occam,vector")
+    parser.add_argument("--generators",
+                        default="cp,events,faults,occam,vector",
+                        help="comma list from: "
+                             "cp,events,faults,occam,vector")
     parser.add_argument("--repro-dir", default=None,
                         help="where to write reproducers "
                              "(default tests/repros/)")

@@ -74,9 +74,15 @@ def generate(rng: random.Random) -> dict:
     }
 
 
-def execute(spec: dict) -> dict:
-    """Build and run the network on the current kernel; JSON outcome."""
-    eng = Engine()
+def build(spec: dict, eng) -> tuple:
+    """Instantiate the spec's process network on an existing engine.
+
+    Returns ``(trace, processes)``: the shared trace list the network
+    appends to as it runs, and the spec's top-level processes.  Split
+    out from :func:`execute` so other generators (the fault fuzzer)
+    can embed an event-engine case alongside their own processes on
+    one engine.
+    """
     trace = []
     channels = [Channel(eng, name=f"c{i}")
                 for i in range(spec["channels"])]
@@ -138,6 +144,13 @@ def execute(spec: dict) -> dict:
     for delay, target in spec["interrupts"]:
         eng.process(interrupter(delay, target))
 
+    return trace, processes
+
+
+def execute(spec: dict) -> dict:
+    """Build and run the network on the current kernel; JSON outcome."""
+    eng = Engine()
+    trace, processes = build(spec, eng)
     eng.run()
     return {
         "trace": trace,

@@ -5,13 +5,13 @@ each of which produces a deterministic JSON-able trace.  The traces
 are pinned under ``tests/golden/`` and checked three ways on every
 run: fast kernel vs. stored, slow kernel vs. stored, and (implicitly)
 fast vs. slow.  Any behavioural drift in the event engine, the CP
-interpreter, the Occam compiler, the vector timing model, or the
-gather/scatter engine shows up as a diff against a file in version
-control, where it can be reviewed and — if intentional — regenerated
-with ``scripts/regen_golden.py``.
+interpreter, the Occam compiler, the vector timing model, the
+gather/scatter engine, or the fault-recovery orchestration shows up
+as a diff against a file in version control, where it can be reviewed
+and — if intentional — regenerated with ``scripts/regen_golden.py``.
 
 Unlike the fuzzer, which samples fresh behaviour every run, the golden
-suite pins *specific* behaviour forever: the same five workloads, the
+suite pins *specific* behaviour forever: the same six workloads, the
 same traces, bit-identical (floats are serialised as bit-pattern hex
 where they appear).
 """
@@ -119,6 +119,52 @@ def _workload_vector():
     return gen_vector.execute(_VECTOR_SPEC)
 
 
+def _workload_recovery_cycle():
+    """A full detect→restore→remap→resume cycle under a forced node
+    death, pinned end to end: the fault log (injection, heartbeat
+    detection with its real latency, the recovery record), the final
+    workload digest (bit-identical to a fault-free run by the
+    stencil's placement-independence), and the run's stats."""
+    from repro.core.config import MachineConfig
+    from repro.core.machine import TSeriesMachine
+    from repro.events import Engine, FaultLog
+    from repro.system.recovery import (
+        FaultTolerantRun,
+        RingStencilWorkload,
+        compressed_timescale_specs,
+    )
+
+    eng = Engine()
+    FaultLog(eng)
+    config = MachineConfig(4, specs=compressed_timescale_specs())
+    machine = TSeriesMachine(config, engine=eng)
+    workload = RingStencilWorkload(ranks=16, steps=24, exchange_every=4,
+                                  compute_pad_ns=200_000)
+    run = FaultTolerantRun(machine, workload,
+                           checkpoint_interval_steps=8)
+
+    def killer():
+        yield eng.timeout(120_000_000)
+        run.kill_node(5)
+
+    eng.process(killer(), name="killer")
+    stats = run.execute()
+    return {
+        "now": eng.now,
+        "digest": workload.digest(run),
+        "fault_log": eng.fault_log.as_json(),
+        "recoveries": [r.as_json() for r in run.coordinator.recoveries],
+        "detections": [d.as_json() for d in run.monitor.detections],
+        "stats": {
+            key: stats[key]
+            for key in ("committed_step", "segments_run",
+                        "segments_aborted", "snapshots_taken",
+                        "recoveries", "dead_nodes", "lost_work_ns",
+                        "assignment")
+        },
+    }
+
+
 def _workload_gather_scatter():
     """The paper's 1.6 µs/element gather path plus a scatter back."""
     import numpy as np
@@ -162,6 +208,7 @@ WORKLOADS = {
     "occam_pipeline": _workload_occam,
     "vector_forms": _workload_vector,
     "node_gather_scatter": _workload_gather_scatter,
+    "recovery_cycle": _workload_recovery_cycle,
 }
 
 

@@ -226,3 +226,62 @@ def embeddable_meshes(dimension: int):
 
     recurse(dimension, [], dimension)
     return shapes
+
+
+# -- fault-tolerant remapping (recovery subsystem) ---------------------
+
+def fold_host(node: int, dead, dimension: int) -> int:
+    """The live node that absorbs ``node``'s work after failures.
+
+    A live node hosts itself.  A dead node's work folds onto the
+    nearest live node in the cube: candidates ``node ^ mask`` are
+    scanned with masks ordered by (popcount, value) — i.e. all 1-hop
+    neighbours in ascending dimension order, then 2-hop, and so on —
+    and the first live one wins.  The ordering makes the remap
+    deterministic and keeps displaced work as close (in link hops) to
+    its data's old home as possible, which is what bounds the extra
+    halo-exchange cost of the degraded machine.
+    """
+    dead = set(dead)
+    if node not in dead:
+        return node
+    for mask in sorted(range(1, 1 << dimension),
+                       key=lambda m: (bin(m).count("1"), m)):
+        candidate = node ^ mask
+        if candidate not in dead:
+            return candidate
+    raise ValueError("no live node left in the cube")
+
+
+def folded_subcube_map(dimension: int, dead) -> dict:
+    """``{node: host}`` over the whole cube under :func:`fold_host`."""
+    dead = set(dead)
+    return {
+        node: fold_host(node, dead, dimension)
+        for node in range(1 << dimension)
+    }
+
+
+def spare_node_map(dimension: int, dead, spares) -> dict:
+    """``{worker: host}`` when the machine was commissioned with
+    dedicated spare nodes.
+
+    Workers are the non-spare nodes.  Each dead worker is replaced by
+    the lowest-numbered live, unused spare (assigned in ascending
+    dead-worker order); once spares run out, the remainder fold onto
+    live workers via :func:`fold_host`.  Dead spares are skipped.
+    """
+    dead = set(dead)
+    spares = sorted(set(spares))
+    workers = [n for n in range(1 << dimension) if n not in spares]
+    pool = [s for s in spares if s not in dead]
+    mapping = {}
+    for worker in workers:
+        if worker not in dead:
+            mapping[worker] = worker
+        elif pool:
+            mapping[worker] = pool.pop(0)
+        else:
+            mapping[worker] = fold_host(worker, dead | set(spares),
+                                        dimension)
+    return mapping

@@ -1,0 +1,194 @@
+"""ARQ behaviour of :class:`ReliableTransport` under injected faults.
+
+Each test drives one protocol path deterministically — corruption →
+NAK → retransmit, outage → timeout → retransmit, lost ACK →
+duplicate suppression, dead next hop → bounded give-up, detour
+routing around known-dead nodes, and the recovery epoch machinery —
+and checks both the delivery semantics (exactly-once) and the
+counters surfaced through :func:`repro.analysis.reliability_stats`.
+"""
+
+import pytest
+
+from repro.analysis import engine_stats, reliability_stats
+from repro.core.machine import TSeriesMachine
+from repro.events import Engine, FaultLog
+from repro.runtime.messages import Envelope
+from repro.runtime.transport import ReliableTransport
+
+
+def build(dimension=3):
+    eng = Engine()
+    FaultLog(eng)
+    machine = TSeriesMachine(dimension, engine=eng, with_system=False)
+    return eng, machine, ReliableTransport(machine)
+
+
+def deliver(eng, transport, src, dst, nbytes=64, tag="msg", payload="p"):
+    """Run one send/recv pair to quiescence; returns what happened."""
+    out = {}
+
+    def sender():
+        out["sent"] = yield from transport.send(src, dst, payload,
+                                                nbytes, tag=tag)
+
+    def receiver():
+        out["recv"] = yield from transport.recv(dst, tag=tag)
+
+    eng.process(sender())
+    eng.process(receiver())
+    eng.run()
+    return out
+
+
+class TestCleanPath:
+    def test_fault_free_send_has_no_retries(self):
+        eng, machine, transport = build()
+        out = deliver(eng, transport, 0, 7, nbytes=256)
+        assert out["sent"] is not None
+        assert out["recv"].payload == "p"
+        assert out["recv"].hops == 3
+        stats = reliability_stats(transport)
+        assert stats["delivered"] == 1
+        assert stats["retries"] == 0
+        assert stats["checksum_failures"] == 0
+        assert stats["acks_sent"] == 3  # one per hop
+        assert stats["sends_failed"] == 0
+        assert len(eng.fault_log) == 0
+
+    def test_self_send_skips_the_network(self):
+        eng, machine, transport = build()
+        out = deliver(eng, transport, 3, 3)
+        assert out["recv"].payload == "p"
+        assert out["recv"].hops == 0
+        assert transport.acks_sent == 0
+
+
+class TestCorruption:
+    def test_corrupted_data_frame_is_nakked_and_retried(self):
+        eng, machine, transport = build()
+        machine.sublinks[(0, 1)].corrupt_next_frame()
+        out = deliver(eng, transport, 0, 1)
+        assert out["sent"] is not None
+        assert out["recv"].payload == "p"
+        stats = reliability_stats(transport)
+        assert stats["delivered"] == 1
+        assert stats["retries"] == 1
+        assert stats["checksum_failures"] == 1
+        assert stats["naks_sent"] == 1
+        assert stats["frames_corrupted"] == 1
+        assert eng.fault_log.count("frame_corrupt") == 1
+
+    def test_corrupted_ack_causes_duplicate_suppression(self):
+        """Data lands cleanly but its ACK is mangled: the sender must
+        time out and retransmit, and the receiver must suppress the
+        duplicate while re-acknowledging it."""
+        eng, machine, transport = build()
+        link = machine.sublinks[(0, 1)]
+        wire_bytes = Envelope(0, 1, "msg", "p", 64).wire_bytes
+        data_ns = machine.node(0).comm.transfer_ns(wire_bytes)
+
+        def saboteur():
+            # After the data frame has fully landed, the next frame on
+            # this sublink is the ACK.
+            yield eng.timeout(data_ns + 1)
+            link.corrupt_next_frame()
+
+        eng.process(saboteur())
+        out = deliver(eng, transport, 0, 1)
+        assert out["recv"].payload == "p"
+        stats = reliability_stats(transport)
+        assert stats["delivered"] == 1  # the duplicate was suppressed
+        assert stats["retries"] == 1
+        assert stats["redeliveries"] == 1
+        assert stats["checksum_failures"] == 1
+        assert stats["acks_sent"] == 2  # original + re-ack
+
+
+class TestOutages:
+    def test_short_outage_is_absorbed_by_retries(self):
+        eng, machine, transport = build()
+        machine.sublinks[(0, 1)].fail(0, 1_000_000)
+        out = deliver(eng, transport, 0, 1)
+        assert out["sent"] is not None
+        assert out["recv"].payload == "p"
+        stats = reliability_stats(transport)
+        assert 0 < stats["retries"] <= transport.max_retries
+        assert stats["frames_lost"] > 0
+        assert stats["sends_failed"] == 0
+
+    def test_dead_next_hop_bounds_retries_and_reports(self):
+        eng, machine, transport = build(dimension=2)
+        machine.node(1).halt()
+        out = deliver(eng, transport, 0, 1)
+        assert out["sent"] is None
+        assert "recv" not in out  # receiver still parked on its mailbox
+        stats = reliability_stats(transport)
+        assert stats["retries"] == transport.max_retries
+        assert stats["halted_drops"] == transport.max_retries + 1
+        assert stats["sends_failed"] == 1
+        assert eng.fault_log.count("link_give_up") == 1
+
+
+class TestRouting:
+    def test_plain_ecube_route_without_avoid_set(self):
+        eng, machine, transport = build()
+        out = deliver(eng, transport, 0, 3)
+        assert [n for n, _ in out["recv"].trace] == [0, 1, 3]
+
+    def test_detours_around_avoided_node(self):
+        eng, machine, transport = build()
+        transport.avoid.add(1)
+        out = deliver(eng, transport, 0, 3)
+        assert [n for n, _ in out["recv"].trace] == [0, 2, 3]
+        assert out["recv"].hops == 2  # detour costs no extra hops here
+
+
+class TestRelayStaging:
+    def test_latent_parity_in_staging_buffer_naks_then_heals(self):
+        """Satellite-2 contract: a parity trap in a relay's
+        store-and-forward buffer surfaces as a structured fault event
+        plus a NAK/retry — never a crash — and the rewrite heals it."""
+        eng, machine, transport = build()
+        relay = machine.node(1)  # on the e-cube route 0 -> 3
+        staging = relay.specs.memory_bytes - transport.relay_buffer_bytes
+        relay.memory.parity.inject_error(staging + 3)
+        out = deliver(eng, transport, 0, 3, tag="first")
+        assert out["recv"].payload == "p"
+        stats = reliability_stats(transport)
+        assert stats["relay_parity_faults"] == 1
+        assert stats["naks_sent"] == 1
+        assert stats["retries"] == 1
+        assert eng.fault_log.count("relay_parity") == 1
+        assert engine_stats(eng)["fault_events"] == 1
+        # The healing rewrite corrected the stored parity: a second
+        # message through the same relay is clean.
+        out = deliver(eng, transport, 0, 3, tag="second")
+        assert out["recv"].payload == "p"
+        assert transport.relay_parity_faults == 1
+
+
+class TestRecoveryEpoch:
+    def test_bump_epoch_and_flush_quiesce_the_network(self):
+        eng, machine, transport = build(dimension=2)
+        out = deliver(eng, transport, 0, 3, tag="stale")
+        del out["recv"]  # consumed; park a second one instead
+
+        def orphan():
+            yield from transport.send(0, 3, "old", 64, tag="orphan")
+
+        eng.process(orphan())
+        eng.run()
+        assert transport.delivered == 2  # one consumed, one parked
+        assert transport.bump_epoch() == 1
+        assert transport.flush_mailboxes() == 1
+        assert transport.mailbox_flushes == 1
+        # The network still works in the new epoch.
+        out = deliver(eng, transport, 0, 3, tag="fresh")
+        assert out["recv"].payload == "p"
+        assert transport.stale_drops == 0
+
+    def test_two_transports_on_one_machine_rejected(self):
+        eng, machine, transport = build(dimension=2)
+        with pytest.raises(RuntimeError):
+            ReliableTransport(machine)

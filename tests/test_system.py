@@ -1,5 +1,7 @@
 """Tests for system services: disk, ring, checkpointing, failures."""
 
+import hashlib
+
 import numpy as np
 import pytest
 
@@ -97,6 +99,24 @@ class TestSystemRing:
         with pytest.raises(ValueError):
             ring.distance(0, 5)
 
+    def test_direction_tie_breaks_toward_ring_next(self):
+        """Even ring, antipodal boards: both directions are equally
+        short, so the tie must deterministically pick RING_NEXT (+1) —
+        otherwise routing (and every recovery trace over the ring)
+        would depend on implementation accidents."""
+        machine = TSeriesMachine(5)  # 4 boards
+        ring = SystemRing(machine.boards)
+        for src in range(4):
+            dst = (src + 2) % 4
+            assert ring.direction(src, dst) == 1
+            path = ring.path(src, dst)
+            assert path == [src, (src + 1) % 4, dst]
+            assert len(path) - 1 == ring.distance(src, dst)
+        # Strictly-shorter directions are untouched by the tie rule.
+        assert ring.direction(0, 1) == 1
+        assert ring.direction(0, 3) == -1
+        assert ring.path(0, 3) == [0, 3]
+
 
 class TestCheckpoint:
     def test_snapshot_takes_about_15_seconds(self):
@@ -154,6 +174,42 @@ class TestCheckpoint:
                 node.read_floats(0x1000, 16),
                 np.full(16, float(node.node_id + 1)),
             )
+
+    def test_snapshot_restore_roundtrip_sha256(self):
+        """Whole-memory proof of the round trip: the SHA-256 of every
+        node's full memory must match its pre-snapshot hash after a
+        scribble (plus a latent parity fault) and a restore."""
+        machine = TSeriesMachine(3)
+        service = CheckpointService(machine)
+        rng = np.random.default_rng(42)
+        for node in machine.nodes:
+            node.memory.poke_bytes(
+                0x2000, rng.integers(0, 256, size=4096, dtype=np.uint8)
+            )
+
+        def sha(node):
+            return hashlib.sha256(bytes(node.memory._data)).hexdigest()
+
+        before = [sha(node) for node in machine.nodes]
+
+        def do_snapshot(eng):
+            yield from service.snapshot_all("hashed")
+
+        run(machine.engine, do_snapshot(machine.engine))
+
+        for node in machine.nodes:
+            node.memory.poke_bytes(0x2000,
+                                   np.zeros(4096, dtype=np.uint8))
+        machine.nodes[1].memory.parity.inject_error(0x2003)
+        assert [sha(node) for node in machine.nodes] != before
+
+        def do_restore(eng):
+            yield from service.restore_all("hashed")
+
+        run(machine.engine, do_restore(machine.engine))
+        assert [sha(node) for node in machine.nodes] == before
+        # The restore also cleared the latent parity fault.
+        machine.nodes[1].memory.peek_word(0x2000)
 
     def test_restore_clears_injected_fault(self):
         machine = TSeriesMachine(3)

@@ -14,7 +14,16 @@ from repro.core import TSeriesMachine
 from repro.core.specs import NS_PER_S
 from repro.memory import ParityError
 from repro.system import CheckpointService, FailureInjector
-from repro.system.failures import corrupt_random_byte
+from repro.system.failures import (
+    FAULT_CLASSES,
+    FAULT_LINK_STUCK,
+    FAULT_LINK_TRANSIENT,
+    FAULT_NODE_HALT,
+    FAULT_PARITY,
+    FaultSpec,
+    MultiClassFailureInjector,
+    corrupt_random_byte,
+)
 
 
 def run(machine, gen):
@@ -184,3 +193,133 @@ class TestCheckpointDuringTransfer:
                 node.read_floats(0x400, 32),
                 np.full(32, float(node.node_id) + 1.0),
             )
+
+
+class TestPinnedSchedules:
+    """The seed-0 schedules are frozen as literals: any change to the
+    draw order, the stream layout, or the horizon semantics shows up
+    here as a diff against pinned values, not as silent drift in every
+    downstream experiment."""
+
+    LEGACY_SEED0 = [
+        (679931, 2, 282891),
+        (699737, 0, 17330),
+        (1250079, 2, 957093),
+        (1923661, 3, 764932),
+        (4740446, 2, 980494),
+    ]
+
+    MULTI_SEED0 = [
+        (169982, "link_transient", 0, 0),
+        (307567, "node_halt", 2, 0),
+        (1011763, "node_halt", 3, 0),
+        (1579036, "parity", 2, 184188),
+    ]
+
+    def _legacy(self):
+        machine = TSeriesMachine(2)
+        return FailureInjector(machine, mtbf_seconds=0.001, seed=0)
+
+    def _multi(self):
+        machine = TSeriesMachine(2)
+        injector = MultiClassFailureInjector(
+            machine, {kind: 0.001 for kind in FAULT_CLASSES},
+            seed=0, stuck_outage_ns=(100_000, 1_000_000),
+        )
+        return injector, machine
+
+    def test_legacy_schedule_pinned(self):
+        assert self._legacy().schedule(until_ns=5_000_000) \
+            == self.LEGACY_SEED0
+
+    def test_multiclass_schedule_pinned(self):
+        injector, _ = self._multi()
+        specs = injector.schedule(until_ns=2_000_000)
+        assert [(s.time_ns, s.kind, s.target, s.detail) for s in specs] \
+            == self.MULTI_SEED0
+
+    def test_fault_exactly_at_horizon_is_injected(self):
+        """The horizon is closed: a fault drawn exactly at until_ns is
+        kept (the run-boundary regression)."""
+        first_t = self.LEGACY_SEED0[0][0]
+        assert self._legacy().schedule(until_ns=first_t) \
+            == self.LEGACY_SEED0[:1]
+        assert self._legacy().schedule(until_ns=first_t - 1) == []
+        injector, _ = self._multi()
+        t0 = self.MULTI_SEED0[0][0]
+        assert len(injector.schedule(until_ns=t0)) == 1
+        assert injector.schedule(until_ns=t0 - 1) == []
+
+    def test_schedules_are_pure_and_prefix_stable(self):
+        long = self._legacy().schedule(until_ns=5_000_000)
+        short = self._legacy().schedule(until_ns=2_000_000)
+        assert long[:len(short)] == short
+        injector, _ = self._multi()
+        assert injector.schedule(until_ns=2_000_000) \
+            == injector.schedule(until_ns=2_000_000)
+
+
+class TestMultiClassInjector:
+    def test_validation(self):
+        machine = TSeriesMachine(2)
+        with pytest.raises(ValueError):
+            MultiClassFailureInjector(machine, {})
+        with pytest.raises(ValueError):
+            MultiClassFailureInjector(machine, {"meteor": 1.0})
+        with pytest.raises(ValueError):
+            MultiClassFailureInjector(machine, {FAULT_PARITY: 0})
+
+    def test_run_replays_schedule_deterministically(self):
+        logs = []
+        for _ in range(2):
+            machine = TSeriesMachine(2)
+            injector = MultiClassFailureInjector(
+                machine, {kind: 0.001 for kind in FAULT_CLASSES},
+                seed=0, stuck_outage_ns=(100_000, 1_000_000),
+            )
+            run(machine, injector.run(until_ns=2_000_000))
+            logs.append([(s.time_ns, s.kind, s.target, s.detail)
+                         for s in injector.log])
+        assert logs[0] == logs[1] == TestPinnedSchedules.MULTI_SEED0
+        assert injector.injected == {"parity": 1, "link_transient": 1,
+                                     "link_stuck": 0, "node_halt": 2}
+        assert "node_halt=2" in repr(injector)
+
+    def test_halt_applied_once_per_node(self):
+        machine = TSeriesMachine(2)
+        injector = MultiClassFailureInjector(machine,
+                                             {FAULT_NODE_HALT: 1.0})
+        spec = FaultSpec(0, FAULT_NODE_HALT, 1, 0)
+        injector.apply(spec)
+        injector.apply(spec)  # dead stays dead; not double-counted
+        assert machine.node(1).halted
+        assert injector.injected[FAULT_NODE_HALT] == 1
+        assert len(injector.log) == 1
+
+    def test_apply_reaches_each_fault_class(self):
+        machine = TSeriesMachine(2)
+        injector = MultiClassFailureInjector(
+            machine, {kind: 1.0 for kind in FAULT_CLASSES},
+        )
+        injector.apply(FaultSpec(0, FAULT_PARITY, 0, 64))
+        with pytest.raises(ParityError):
+            machine.node(0).memory.peek_word(64)
+        injector.apply(FaultSpec(0, FAULT_LINK_TRANSIENT, 0, 0))
+        assert injector.links[0].corrupt_next == 1
+        injector.apply(FaultSpec(0, FAULT_LINK_STUCK, 1, 5_000))
+        assert injector.links[1].outage_from == 0
+        assert injector.links[1].outage_until == 5_000
+        injector.apply(FaultSpec(0, FAULT_NODE_HALT, 3, 0))
+        assert machine.node(3).halted
+        assert sum(injector.injected.values()) == 4
+
+    def test_halt_hook_fires_on_injected_halt(self):
+        machine = TSeriesMachine(2)
+        seen = []
+        injector = MultiClassFailureInjector(
+            machine, {FAULT_NODE_HALT: 1.0},
+            halt_hook=lambda node: seen.append(node.node_id),
+        )
+        injector.apply(FaultSpec(0, FAULT_NODE_HALT, 2, 0))
+        injector.apply(FaultSpec(0, FAULT_NODE_HALT, 2, 0))
+        assert seen == [2]

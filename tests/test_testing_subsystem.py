@@ -14,7 +14,8 @@ import random
 import pytest
 
 from repro.events.engine import force_kernel
-from repro.testing import gen_cp, gen_events, gen_occam, gen_vector
+from repro.testing import gen_cp, gen_events, gen_faults, gen_occam, \
+    gen_vector
 from repro.testing.fuzz import GENERATORS, fuzz, main
 from repro.testing.oracle import DiffReport, diff_outcomes, differential
 from repro.testing.shrink import shrink, spec_size, write_repro
@@ -185,3 +186,72 @@ class TestForceKernel:
         with force_kernel(slow=False):
             assert os.environ["REPRO_SLOW_KERNEL"] == "0"
         assert os.environ["REPRO_SLOW_KERNEL"] == "1"
+
+
+class TestFaultGenerator:
+    """Targeted coverage of the fault-schedule fuzzer: crafted specs
+    that force each fault path, checked for kernel agreement."""
+
+    def _burst_spec(self, **overrides):
+        spec = {
+            "kind": "faults", "dimension": 3, "fault_seed": 0,
+            "horizon_us": 2000,
+            "mtbf_us": {"link_transient": 30, "link_stuck": 120},
+            "messages": [[src, src ^ 7, 256, 40 * src]
+                         for src in range(8)],
+            "halts": [], "relay_parity": [], "events": None,
+        }
+        spec.update(overrides)
+        return spec
+
+    def test_link_faults_force_retries_yet_deliver(self):
+        outcome = gen_faults.execute(self._burst_spec())
+        assert outcome["undelivered"] == [False] * 8
+        assert outcome["counters"]["retries"] > 0
+        assert outcome["counters"]["checksum_failures"] > 0
+        assert outcome["counters"]["sends_failed"] == 0
+        assert outcome["injected"]["link_transient"] > 0
+        assert len(outcome["fault_log"]) > 0
+
+    def test_halt_and_staging_parity_paths(self):
+        spec = self._burst_spec(
+            mtbf_us={},
+            messages=[[0, 7, 256, 50]],
+            halts=[[7, 10]],
+            relay_parity=[[1, 5]],
+        )
+        outcome = gen_faults.execute(spec)
+        # Node 7 died before the message: the last hop gives up after
+        # bounded retries and the receiver never completes.
+        assert outcome["undelivered"] == [True]
+        assert outcome["counters"]["sends_failed"] == 1
+        assert outcome["counters"]["halted_drops"] > 0
+        # The staging-buffer parity trap on relay node 1 was hit and
+        # reported as a structured fault, not a crash.
+        assert outcome["counters"]["relay_parity_faults"] == 1
+        kinds = {record["kind"] for record in outcome["fault_log"]}
+        assert "relay_parity" in kinds
+        assert "link_give_up" in kinds
+
+    @pytest.mark.parametrize("name", ["burst", "halt"])
+    def test_kernels_agree_on_crafted_specs(self, name):
+        if name == "burst":
+            spec = self._burst_spec()
+        else:
+            spec = self._burst_spec(
+                mtbf_us={}, messages=[[0, 7, 256, 50]],
+                halts=[[7, 10]], relay_parity=[[1, 5]],
+            )
+        report = differential(gen_faults.execute, spec)
+        assert not report.diverged, report.summary()
+
+    def test_shrink_candidates_drop_each_component(self):
+        spec = self._burst_spec(halts=[[3, 100]],
+                                relay_parity=[[1, 5]])
+        candidates = list(gen_faults.shrink_candidates(spec))
+        assert any(c["halts"] == [] for c in candidates)
+        assert any(c["relay_parity"] == [] for c in candidates)
+        assert any(c["mtbf_us"] == {"link_stuck": 120}
+                   for c in candidates)
+        assert any(c["horizon_us"] == 1000 for c in candidates)
+        assert any(len(c["messages"]) == 7 for c in candidates)
