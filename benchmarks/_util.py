@@ -36,7 +36,9 @@ def save_report(name: str, *tables) -> str:
     body = "\n\n".join(texts) + "\n"
     (REPORT_DIR / f"{name}.txt").write_text(body)
     payload = {"report": name, "tables": [_table_payload(t) for t in tables]}
+    # sort_keys keeps the byte stream independent of dict build order,
+    # so serial and parallel sweep runs emit identical report files.
     (REPORT_DIR / f"{name}.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=False) + "\n"
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )
     return body

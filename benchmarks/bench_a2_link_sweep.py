@@ -5,6 +5,12 @@ the 16 MFLOPS pipes (the 1:130 balance).  This ablation sweeps the
 link bit rate across two orders of magnitude and recomputes the
 balance ratio and the matmul crossover, quantifying how the machine's
 useful regime widens — the fix its successors actually shipped.
+
+Each sweep cell builds everything from its link-speed factor, so the
+sweep runs through :func:`repro.parallel.run_cells` — serial by
+default, fanned out over worker processes under ``REPRO_SWEEP_JOBS``
+(or ``benchmarks/bench_sweep.py --jobs N``) with a byte-identical
+merged result.
 """
 
 import pytest
@@ -12,31 +18,36 @@ import pytest
 from repro.algorithms.matmul import matmul_time_model
 from repro.analysis import Table, ops_to_hide_link
 from repro.core import PAPER_SPECS
+from repro.parallel import run_cells
 
 from _util import save_report
 
+FACTORS = (1, 4, 16, 64)
 
-def _sweep():
-    rows = []
-    for factor in (1, 4, 16, 64):
-        specs = PAPER_SPECS.replace(
-            link_bit_rate=PAPER_SPECS.link_bit_rate * factor
-        )
-        threshold = ops_to_hide_link(specs)
 
-        def speedup_2node(m, k, specs=specs):
-            return (matmul_time_model(m, k, 16, 1, specs)
-                    / matmul_time_model(m, k, 16, 2, specs))
+def sweep_cell(factor):
+    """One sweep cell: derive every figure from the link-speed factor."""
+    specs = PAPER_SPECS.replace(
+        link_bit_rate=PAPER_SPECS.link_bit_rate * factor
+    )
+    threshold = ops_to_hide_link(specs)
 
-        # Smallest M (power of two) where a K=64 matmul wins on 2 nodes.
-        crossover = None
-        for m in (8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384):
-            if speedup_2node(m, 64) > 1.0:
-                crossover = m
-                break
-        rows.append((factor, specs.link_bw_mb_s, threshold, crossover,
-                     speedup_2node(4096, 64)))
-    return rows
+    def speedup_2node(m, k):
+        return (matmul_time_model(m, k, 16, 1, specs)
+                / matmul_time_model(m, k, 16, 2, specs))
+
+    # Smallest M (power of two) where a K=64 matmul wins on 2 nodes.
+    crossover = None
+    for m in (8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384):
+        if speedup_2node(m, 64) > 1.0:
+            crossover = m
+            break
+    return (factor, specs.link_bw_mb_s, threshold, crossover,
+            speedup_2node(4096, 64))
+
+
+def _sweep(jobs=None):
+    return run_cells(sweep_cell, FACTORS, jobs=jobs).values()
 
 
 def test_a2_link_speed_ablation(benchmark):

@@ -21,6 +21,12 @@ simulated time; interval/MTBF *ratios* — what the sweep checks — are
 preserved.  The "E13" scaled-speedup experiment predates this one and
 keeps its report name (``e13_scaled_speedup``); this file writes
 ``e13_fault_tolerance``.
+
+Every sweep cell (one interval × MTBF × seed) builds its machine and
+fault injector from scratch, so the 25-cell campaign runs through
+:func:`repro.parallel.run_cells` — serial by default, fanned out
+under ``REPRO_SWEEP_JOBS`` (or ``benchmarks/bench_sweep.py --jobs N``)
+with a byte-identical merged result.
 """
 
 import pytest
@@ -43,6 +49,7 @@ from repro.system.failures import (
     FAULT_PARITY,
     MultiClassFailureInjector,
 )
+from repro.parallel import run_cells
 from repro.system.recovery import (
     FaultTolerantRun,
     RingStencilWorkload,
@@ -84,19 +91,36 @@ def _run_once(interval_steps, mtbf_s=None, seed=0, classes=None):
     return stats, workload.digest(run)
 
 
-def test_e13_fault_tolerance(benchmark):
-    def campaign():
-        clean, clean_digest = _run_once(INTERVALS_STEPS[-1])
-        cells = {}
-        for mtbf_s in MTBFS_S:
-            for interval_steps in INTERVALS_STEPS:
-                runs = [
-                    _run_once(interval_steps, mtbf_s=mtbf_s, seed=seed)
-                    for seed in SEEDS
-                ]
-                cells[(mtbf_s, interval_steps)] = runs
-        return clean, clean_digest, cells
+def campaign_cells():
+    """The sweep's cell list: the fault-free run, then every
+    interval × MTBF × seed combination."""
+    cells = [(INTERVALS_STEPS[-1], None, 0)]
+    for mtbf_s in MTBFS_S:
+        for interval_steps in INTERVALS_STEPS:
+            for seed in SEEDS:
+                cells.append((interval_steps, mtbf_s, seed))
+    return cells
 
+
+def campaign_cell(cell):
+    """One sweep cell: a whole checkpointed run under failure."""
+    interval_steps, mtbf_s, seed = cell
+    return _run_once(interval_steps, mtbf_s=mtbf_s, seed=seed)
+
+
+def campaign(jobs=None):
+    """Run the full sweep and regroup results by (MTBF, interval)."""
+    all_cells = campaign_cells()
+    values = run_cells(campaign_cell, all_cells, jobs=jobs).values()
+    clean, clean_digest = values[0]
+    grouped = {}
+    for (interval_steps, mtbf_s, _seed), outcome in zip(
+            all_cells[1:], values[1:]):
+        grouped.setdefault((mtbf_s, interval_steps), []).append(outcome)
+    return clean, clean_digest, grouped
+
+
+def test_e13_fault_tolerance(benchmark):
     clean, clean_digest, cells = benchmark.pedantic(
         campaign, rounds=1, iterations=1,
     )

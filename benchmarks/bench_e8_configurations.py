@@ -5,6 +5,12 @@ derivable from the module.  The bench regenerates the configuration
 table (module → cabinet → 4-cabinet → 12-cube) and the per-node
 sublink budget, and verifies the intra-module wiring claims against an
 actually-wired machine.
+
+Each configuration cell is derived purely from its dimension, so the
+table sweep runs through :func:`repro.parallel.run_cells` — serial by
+default, fanned out under ``REPRO_SWEEP_JOBS`` (or
+``benchmarks/bench_sweep.py --jobs N``) with a byte-identical merged
+result.
 """
 
 import pytest
@@ -16,18 +22,40 @@ from repro.core import (
     SublinkPlan,
     TSeriesMachine,
 )
+from repro.parallel import run_cells
 
 from _util import save_report
 
+CONFIG_CELLS = (
+    ("module", 3), ("cabinet (tesseract)", 4), ("four cabinets", 6),
+    ("max usable (12-cube)", 12), ("structural max (14-cube)", 14),
+)
 
-def _config_rows():
-    rows = []
-    for label, dim in [("module", 3), ("cabinet (tesseract)", 4),
-                       ("four cabinets", 6), ("max usable (12-cube)", 12),
-                       ("structural max (14-cube)", 14)]:
-        config = MachineConfig(dim)
-        rows.append((label, config))
-    return rows
+
+def config_cell(cell):
+    """One sweep cell: every derived figure for one configuration."""
+    label, dim = cell
+    c = MachineConfig(dim)
+    row = {
+        "label": label,
+        "dimension": c.dimension,
+        "node_count": c.node_count,
+        "module_count": c.module_count,
+        "cabinet_count": c.cabinet_count,
+        "peak_gflops": c.peak_gflops,
+        "peak_mflops": c.peak_mflops,
+        "memory_mbytes": c.memory_mbytes,
+        "system_disk_count": c.system_disk_count,
+        "max_hops": c.max_hops,
+        "usable": c.usable,
+    }
+    if dim <= 12:
+        row["link_budget"] = dict(c.link_budget())
+    return row
+
+
+def _config_rows(jobs=None):
+    return run_cells(config_cell, CONFIG_CELLS, jobs=jobs).values()
 
 
 def test_e8_configuration_tables(benchmark):
@@ -37,39 +65,42 @@ def test_e8_configuration_tables(benchmark):
         ["configuration", "n", "nodes", "modules", "cabinets",
          "peak GFLOPS", "memory MB", "disks", "max hops", "usable"],
     )
-    for label, c in rows:
-        table.add(label, c.dimension, c.node_count, c.module_count,
-                  c.cabinet_count, c.peak_gflops, c.memory_mbytes,
-                  c.system_disk_count, c.max_hops, c.usable)
+    for c in rows:
+        table.add(c["label"], c["dimension"], c["node_count"],
+                  c["module_count"], c["cabinet_count"], c["peak_gflops"],
+                  c["memory_mbytes"], c["system_disk_count"],
+                  c["max_hops"], c["usable"])
 
     budget = Table(
         "E8b — Per-node sublink budget (16 sublinks)",
         ["configuration", "hypercube", "system", "io", "spare"],
     )
-    for dim in (3, 4, 6, 12):
-        b = MachineConfig(dim).link_budget()
-        budget.add(f"{dim}-cube", b["hypercube"], b["system"], b["io"],
-                   b["spare"])
+    for c in rows:
+        if "link_budget" not in c:
+            continue
+        b = c["link_budget"]
+        budget.add(f"{c['dimension']}-cube", b["hypercube"], b["system"],
+                   b["io"], b["spare"])
     plan14 = SublinkPlan(14, reserve_io=False).budget()
     budget.add("14-cube (io released)", plan14["hypercube"],
                plan14["system"], plan14["io"], plan14["spare"])
     save_report("e8_configurations", table, budget)
 
-    by_label = dict(rows)
+    by_label = {c["label"]: c for c in rows}
     # The paper's named figures.
-    assert by_label["module"].peak_mflops == pytest.approx(128.0)
-    assert by_label["module"].memory_mbytes == pytest.approx(8.0)
-    assert by_label["cabinet (tesseract)"].node_count == 16
-    assert by_label["four cabinets"].node_count == 64
-    assert by_label["four cabinets"].peak_gflops == pytest.approx(
+    assert by_label["module"]["peak_mflops"] == pytest.approx(128.0)
+    assert by_label["module"]["memory_mbytes"] == pytest.approx(8.0)
+    assert by_label["cabinet (tesseract)"]["node_count"] == 16
+    assert by_label["four cabinets"]["node_count"] == 64
+    assert by_label["four cabinets"]["peak_gflops"] == pytest.approx(
         1.024  # "1 GFLOPS"
     )
-    assert by_label["four cabinets"].system_disk_count == 8
+    assert by_label["four cabinets"]["system_disk_count"] == 8
     twelve = by_label["max usable (12-cube)"]
-    assert twelve.node_count == 4096
-    assert twelve.cabinet_count == 256
-    assert twelve.peak_gflops > 65.0          # "over 65 GFLOPS"
-    assert twelve.memory_mbytes == pytest.approx(4096.0)  # "4 Gbytes"
+    assert twelve["node_count"] == 4096
+    assert twelve["cabinet_count"] == 256
+    assert twelve["peak_gflops"] > 65.0       # "over 65 GFLOPS"
+    assert twelve["memory_mbytes"] == pytest.approx(4096.0)  # "4 Gbytes"
 
 
 def test_e8_wiring_claims_on_built_machine(benchmark):

@@ -1,0 +1,193 @@
+"""Sweep-throughput benchmark for the parallel runner.
+
+Every other bench measures the simulated machine; this one measures
+the sweep *harness*: how fast :func:`repro.parallel.run_cells` gets
+through the repo's embarrassingly parallel sweeps, and — the property
+the subsystem exists for — that the parallel merge is byte-identical
+to the serial run.
+
+Three sweeps are timed, serial (``jobs=1``) against a worker pool:
+
+* ``e8_configurations`` — the configuration-table cells (tiny cells;
+  pool overhead dominates, reported honestly);
+* ``a2_link_sweep`` — the link-speed ablation cells (tiny cells);
+* ``e13b_mtbf_interval`` — the fault-tolerance campaign (25 whole
+  checkpointed machine runs, the sweep that dominates CI wall time
+  and the one parallelism is for).
+
+For each sweep the merged values from both runs are serialised to
+canonical JSON and compared byte-for-byte; any difference fails the
+bench regardless of host.  The wall-clock speedup target (3x) applies
+only on hosts with >= 4 CPUs — a single-core container cannot speed
+up by adding workers, so ``host_cpus`` is recorded and the target is
+gated on it rather than faked.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py            # full
+    PYTHONPATH=src python benchmarks/bench_sweep.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_sweep.py --jobs 8
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.analysis import Table
+from repro.parallel import run_cells
+
+from _util import save_report
+
+import bench_a2_link_sweep
+import bench_e8_configurations
+import bench_e13_fault_tolerance
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_JSON = ROOT / "BENCH_sweep.json"
+
+
+def _sweeps(quick: bool):
+    e13_cells = bench_e13_fault_tolerance.campaign_cells()
+    if quick:
+        e13_cells = e13_cells[:5]
+    return [
+        ("e8_configurations", bench_e8_configurations.config_cell,
+         list(bench_e8_configurations.CONFIG_CELLS)),
+        ("a2_link_sweep", bench_a2_link_sweep.sweep_cell,
+         list(bench_a2_link_sweep.FACTORS)),
+        ("e13b_mtbf_interval", bench_e13_fault_tolerance.campaign_cell,
+         e13_cells),
+    ]
+
+
+def _canonical(values) -> str:
+    """The byte-comparison form of a merged sweep result."""
+    return json.dumps(values, sort_keys=True, separators=(",", ":"))
+
+
+def _timed_sweep(run_one, cells, jobs: int):
+    t0 = time.perf_counter()
+    sweep = run_cells(run_one, cells, jobs=jobs)
+    wall = time.perf_counter() - t0
+    return sweep, wall
+
+
+def run_benchmark(jobs: int, quick: bool = False) -> dict:
+    results = {}
+    serial_total = 0.0
+    parallel_total = 0.0
+    all_identical = True
+    for name, run_one, cells in _sweeps(quick):
+        serial, serial_wall = _timed_sweep(run_one, cells, jobs=1)
+        parallel, parallel_wall = _timed_sweep(run_one, cells, jobs=jobs)
+        identical = (
+            _canonical(serial.values()) == _canonical(parallel.values())
+        )
+        all_identical &= identical
+        serial_total += serial_wall
+        parallel_total += parallel_wall
+        results[name] = {
+            "cells": len(cells),
+            "serial_wall_s": serial_wall,
+            "parallel_wall_s": parallel_wall,
+            "wall_speedup": serial_wall / parallel_wall,
+            "cell_wall_s_total": sum(serial.timings()),
+            "workers_used": parallel.jobs,
+            "merged_identical": identical,
+        }
+    return {
+        "benchmark": "sweep",
+        "quick": quick,
+        "jobs": jobs,
+        "host_cpus": os.cpu_count() or 1,
+        "sweeps": results,
+        "serial_total_s": serial_total,
+        "parallel_total_s": parallel_total,
+        "total_speedup": serial_total / parallel_total,
+        "all_merged_identical": all_identical,
+    }
+
+
+def render(payload: dict) -> Table:
+    table = Table(
+        f"Sweep throughput: {payload['jobs']} workers vs serial "
+        f"(host has {payload['host_cpus']} CPUs)",
+        ["sweep", "cells", "serial s", "parallel s", "speedup",
+         "merged identical"],
+    )
+    for name, r in payload["sweeps"].items():
+        table.add(
+            name, r["cells"],
+            round(r["serial_wall_s"], 4),
+            round(r["parallel_wall_s"], 4),
+            round(r["wall_speedup"], 2),
+            r["merged_identical"],
+        )
+    table.add(
+        "TOTAL", sum(r["cells"] for r in payload["sweeps"].values()),
+        round(payload["serial_total_s"], 4),
+        round(payload["parallel_total_s"], 4),
+        round(payload["total_speedup"], 2),
+        payload["all_merged_identical"],
+    )
+    return table
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--jobs", default=None,
+        help="worker count for the parallel leg (default: one per CPU, "
+        "minimum 4 so the determinism check always exercises a real "
+        "pool)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="trim the E13b campaign (CI smoke run)",
+    )
+    parser.add_argument(
+        "--no-json", action="store_true",
+        help="skip writing BENCH_sweep.json (exploratory runs)",
+    )
+    args = parser.parse_args(argv)
+    if args.jobs is None:
+        jobs = max(4, os.cpu_count() or 1)
+    else:
+        jobs = max(1, int(args.jobs))
+
+    payload = run_benchmark(jobs, quick=args.quick)
+    save_report("sweep", render(payload))
+
+    # The speedup target only binds where the hardware can deliver it:
+    # >= 4 workers with >= 4 CPUs to run them on.  Byte-identical
+    # merges are gated unconditionally — that is the contract.
+    target_applies = (
+        not args.quick and jobs >= 4 and payload["host_cpus"] >= 4
+    )
+    payload["acceptance"] = {
+        "total_speedup": round(payload["total_speedup"], 2),
+        "speedup_target": 3.0,
+        "speedup_target_applies": target_applies,
+        "all_merged_identical": payload["all_merged_identical"],
+    }
+    if not args.no_json:
+        BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {BENCH_JSON}")
+
+    ok = payload["all_merged_identical"]
+    if target_applies:
+        ok = ok and payload["total_speedup"] >= 3.0
+    print("\nacceptance:", json.dumps(payload["acceptance"], indent=2))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

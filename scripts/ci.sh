@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
-# Tier-1 CI: the full test suite on the fast kernel, the kernel
-# regression tests on the reference kernel, and a wall-clock benchmark
-# smoke run (quick mode: asserts cycle-exactness between kernels, not
-# the speedup targets).
+# Tier-1 CI: the full test suite on the default (turbo) kernel, the
+# kernel regression tests pinned to each slower tier, three-way
+# conformance (fuzz + golden traces across reference/fast/turbo), a
+# parallel-sweep smoke, and a wall-clock benchmark smoke run (quick
+# mode: asserts cycle-exactness between kernels, not the speedup
+# targets).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="${PWD}/src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== tier-1 test suite (fast kernel) =="
+echo "== tier-1 test suite (turbo kernel, the default) =="
 python -m pytest tests/ -x -q
 
 echo "== kernel equivalence tests (reference kernel) =="
@@ -16,17 +18,29 @@ REPRO_SLOW_KERNEL=1 python -m pytest \
     tests/test_perf_kernel.py tests/test_events_ordering.py \
     tests/test_events_engine.py tests/test_events_channels.py -x -q
 
-echo "== differential fuzz smoke (both kernels, fixed seeds) =="
+echo "== kernel equivalence tests (fast kernel, turbo disabled) =="
+REPRO_TURBO_KERNEL=0 python -m pytest \
+    tests/test_perf_kernel.py tests/test_events_ordering.py \
+    tests/test_events_engine.py tests/test_events_channels.py -x -q
+
+echo "== differential fuzz smoke (three-way, fixed seeds) =="
 # Fixed seeds so CI is deterministic; the budget bounds wall clock on
-# slow machines.  Divergences shrink to tests/repros/ and fail the run.
+# slow machines.  Every case replays on all three kernel tiers and
+# diffs against the reference; divergences shrink to tests/repros/
+# and fail the run.
 python -m repro.testing.fuzz --seed 1986 --cases 200 --budget 30
 python -m repro.testing.fuzz --seed 8086 --cases 120 --budget 20
 
 echo "== fault-tolerance smoke (ARQ retries + recovery digest) =="
 python scripts/fault_smoke.py
 
-echo "== golden trace conformance =="
+echo "== golden trace conformance (reference / fast / turbo) =="
 python scripts/regen_golden.py --check
+
+echo "== parallel-sweep smoke (4 workers, byte-identical merge) =="
+# The smoke gates determinism, not throughput; the timeout is a wall
+# budget so a wedged worker pool fails CI instead of hanging it.
+timeout 300 python benchmarks/bench_sweep.py --quick --no-json
 
 echo "== coverage floor on the testing subsystem =="
 if python -c "import pytest_cov" 2>/dev/null; then

@@ -4,14 +4,15 @@
 Run this ONLY when a behavioural change is intentional (a timing
 model correction, a new scheduler rule, ...).  The diff of the JSON
 files is the review artefact: every changed number is a behaviour
-change that both simulator kernels now agree on.
+change that all three kernel tiers (reference, fast, turbo) now agree
+on.
 
 Usage::
 
     PYTHONPATH=src python scripts/regen_golden.py [--check]
 
 ``--check`` regenerates nothing; it verifies the stored traces against
-fresh runs of both kernels and exits 1 on any drift (CI mode).
+fresh runs of every kernel tier and exits 1 on any drift (CI mode).
 """
 
 import argparse
@@ -43,7 +44,7 @@ def main(argv=None) -> int:
         if problems:
             return 1
         print(f"{len(golden.WORKLOADS)} golden traces verified "
-              f"against both kernels")
+              f"against all kernel tiers")
         return 0
 
     for path in golden.regen(directory):

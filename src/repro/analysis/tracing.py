@@ -102,12 +102,31 @@ def engine_stats(engine) -> dict:
     heap), ``fast_lane_fraction`` (lane hits over all schedules),
     ``events_per_sim_us`` (event density in simulated time),
     ``fast_kernel`` (False when ``REPRO_SLOW_KERNEL`` forced the
-    pure-heap reference path), and ``fault_events`` (records in the
+    pure-heap reference path), ``kernel_tier`` (the engine's tier:
+    reference, fast, or turbo), ``fault_events`` (records in the
     engine's installed :class:`~repro.events.FaultLog`; 0 without
-    one).
+    one), and ``cp_cache`` — the decoded-chain and translated-block
+    counters summed over every CP registered with the engine via
+    ``as_process`` (all-zero when no CP ran, or on the reference
+    tier, which caches nothing).
     """
     scheduled = engine.heap_pushes + engine.lane_hits
     fault_log = engine.fault_log
+    cp_cache = {
+        "cpus": len(engine.cp_cpus),
+        "decoded_hits": 0,
+        "decoded_misses": 0,
+        "decoded_invalidations": 0,
+        "block_hits": 0,
+        "block_translations": 0,
+        "block_chains": 0,
+        "block_invalidations": 0,
+    }
+    for cpu in engine.cp_cpus:
+        counters = cpu.cache_stats()
+        for key in cp_cache:
+            if key != "cpus":
+                cp_cache[key] += counters[key]
     return {
         "events_processed": engine.events_processed,
         "heap_pushes": engine.heap_pushes,
@@ -120,7 +139,9 @@ def engine_stats(engine) -> dict:
             if engine.now else 0.0
         ),
         "fast_kernel": engine.fast_kernel,
+        "kernel_tier": engine.kernel_tier,
         "fault_events": len(fault_log) if fault_log is not None else 0,
+        "cp_cache": cp_cache,
     }
 
 
@@ -130,8 +151,12 @@ def engine_stats_table(engine, title="Event-kernel profile") -> Table:
     table = Table(title, ["counter", "value"])
     for key in ("events_processed", "heap_pushes", "fast_lane_hits",
                 "fast_lane_fraction", "events_per_sim_us", "fast_kernel",
-                "fault_events"):
+                "kernel_tier", "fault_events"):
         table.add(key, stats[key])
+    cp_cache = stats["cp_cache"]
+    if cp_cache["cpus"]:
+        for key in sorted(cp_cache):
+            table.add(f"cp_{key}", cp_cache[key])
     return table
 
 

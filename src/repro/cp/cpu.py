@@ -35,9 +35,32 @@ way to modify code after construction is :meth:`CPU.patch_code`, which
 clears the whole cache (a conservative rule — a patched byte can
 change the meaning of any chain that runs through it).
 
-Setting ``REPRO_SLOW_KERNEL=1`` disables the cache, forcing the
-byte-at-a-time reference path (used by the equivalence regression
-tests and the wall-clock benchmark baseline).
+Basic-block translator (turbo kernel)
+-------------------------------------
+On the default *turbo* tier (see
+:func:`repro.events.engine.kernel_tier`) the decoded cache grows into
+a **basic-block translator**: starting from a chain boundary, a
+straight-line run of *safe* chains — operations that only touch the
+evaluation stack, workspace/data memory, the workspace pointer, and
+the error flag — is decoded once into a block record with pre-summed
+byte and cycle totals.  :meth:`step` then executes the whole block in
+one call: per chain only ``Iptr`` is set and the pre-bound handler
+invoked; the instruction and cycle counters advance by the pre-summed
+totals afterwards.  A block ends at any branch, call, channel
+operation, or scheduler/priority point (the *tail*, executed with
+exact fast-path semantics), so architectural state at every chain
+boundary a harness can observe is bit-identical to the other tiers.
+:attr:`step_barrier` lets harnesses (self-modifying-code patching,
+``as_process`` yield pacing) force control back at the first chain
+boundary where ``instructions >= barrier`` — the same boundary the
+chain-at-a-time tiers would stop at.  :meth:`patch_code` invalidates
+exactly the blocks whose span overlaps the patched range.
+
+Kernel tiers: ``REPRO_SLOW_KERNEL=1`` disables both caches, forcing
+the byte-at-a-time reference path (used by the equivalence regression
+tests and the wall-clock benchmark baseline); ``REPRO_TURBO_KERNEL=0``
+disables only the block translator, keeping the PR-1 decoded cache
+(the *fast* tier).
 """
 
 from repro.cp.isa import CYCLE_COSTS, Op, Secondary
@@ -50,7 +73,7 @@ from repro.cp.scheduler import (
     descriptor_wptr,
     make_descriptor,
 )
-from repro.events.engine import slow_kernel_requested
+from repro.events.engine import kernel_tier
 
 MASK32 = 0xFFFFFFFF
 MIN_INT = -(1 << 31)
@@ -181,8 +204,28 @@ class CPU:
         self._secondary = {
             sec: fn.__get__(self) for sec, fn in self._SECONDARY_FUNCS.items()
         }
+        tier = kernel_tier()
+        self.kernel_tier = tier
         self._decoded = {}
-        self._use_cache = not slow_kernel_requested()
+        self._use_cache = tier != "reference"
+        # Turbo tier: translated basic blocks, keyed by start PC, plus
+        # a negative cache of PCs where translation was not worthwhile.
+        self._use_blocks = tier == "turbo"
+        self._blocks = {}
+        self._unblocked = set()
+        #: When set, the turbo tier returns control from :meth:`step`
+        #: at the first instruction-chain boundary where
+        #: ``instructions >= step_barrier`` instead of running through
+        #: it — the boundary the chain-at-a-time tiers would observe.
+        self.step_barrier = None
+        # Cache profiling counters (see cache_stats()).
+        self.decoded_hits = 0
+        self.decoded_misses = 0
+        self.decoded_invalidations = 0
+        self.block_hits = 0
+        self.block_translations = 0
+        self.block_chains = 0
+        self.block_invalidations = 0
 
     # -- code store ---------------------------------------------------------
 
@@ -192,7 +235,9 @@ class CPU:
         This is the only supported way to modify code after
         construction; it invalidates the entire decoded-instruction
         cache (a patched byte may sit in the middle of a cached prefix
-        chain, so per-PC invalidation would be unsound).
+        chain, and per-PC entries do not record their spans) and
+        exactly the translated blocks whose recorded ``[start, end)``
+        span overlaps the patched range.
         """
         data = bytes(data)
         if not 0 <= address <= len(self.code) - len(data):
@@ -201,7 +246,46 @@ class CPU:
                 f"outside code store"
             )
         self.code[address:address + len(data)] = data
+        self.decoded_invalidations += len(self._decoded)
         self._decoded.clear()
+        if self._blocks:
+            lo, hi = address, address + len(data)
+            stale = [
+                pc for pc, block in self._blocks.items()
+                if block[6] < hi and block[7] > lo
+            ]
+            for pc in stale:
+                del self._blocks[pc]
+            self.block_invalidations += len(stale)
+        # A patch can turn an untranslatable run into a translatable
+        # one (and vice versa): retry everything.
+        self._unblocked.clear()
+
+    def cache_stats(self) -> dict:
+        """Decoded-cache and translated-block counters, rolled up.
+
+        * ``decoded_hits`` / ``decoded_misses`` — chain dispatches
+          served from / decoded into the per-PC cache;
+        * ``decoded_invalidations`` — cached chains dropped by
+          :meth:`patch_code` (the whole cache clears per patch);
+        * ``block_translations`` — basic blocks compiled;
+        * ``block_chains`` — chains packed into those blocks;
+        * ``block_hits`` — block executions (each replaces
+          that many chain dispatches);
+        * ``block_invalidations`` — blocks dropped by
+          :meth:`patch_code` span overlap;
+        * ``kernel_tier`` — the tier this CPU was built under.
+        """
+        return {
+            "kernel_tier": self.kernel_tier,
+            "decoded_hits": self.decoded_hits,
+            "decoded_misses": self.decoded_misses,
+            "decoded_invalidations": self.decoded_invalidations,
+            "block_translations": self.block_translations,
+            "block_chains": self.block_chains,
+            "block_hits": self.block_hits,
+            "block_invalidations": self.block_invalidations,
+        }
 
     # -- conformance --------------------------------------------------------
 
@@ -387,20 +471,33 @@ class CPU:
         """Decode and execute one instruction; returns its cycle cost.
 
         On the cached fast path one call executes a whole prefix chain
-        plus its final opcode and returns the chain's total cost; the
-        reference path (cache disabled, or mid-chain ``Oreg`` state)
-        executes a single code byte per call, exactly as the hardware
-        decodes.  Architectural state advances identically either way.
+        plus its final opcode and returns the chain's total cost; on
+        the turbo tier one call may execute a whole translated basic
+        block (bounded by :attr:`step_barrier`); the reference path
+        (cache disabled, or mid-chain ``Oreg`` state) executes a single
+        code byte per call, exactly as the hardware decodes.
+        Architectural state at every chain boundary advances
+        identically on all tiers.
         """
         if self.halted:
             raise CPUError("CPU is halted")
         if self._use_cache and self.oreg == 0:
+            iptr = self.iptr
+            if self._use_blocks:
+                block = self._blocks.get(iptr)
+                if block is None and iptr not in self._unblocked:
+                    block = self._translate_block(iptr)
+                if block is not None:
+                    return self._run_block(block)
             decoded = self._decoded
-            entry = decoded.get(self.iptr)
+            entry = decoded.get(iptr)
             if entry is None:
-                entry = self._decode(self.iptr)
+                self.decoded_misses += 1
+                entry = self._decode(iptr)
                 if entry is not None:
-                    decoded[self.iptr] = entry
+                    decoded[iptr] = entry
+            else:
+                self.decoded_hits += 1
             if entry is not None:
                 handler, operand, next_pc, nbytes, prefix_cycles, op = entry
                 self.iptr = next_pc
@@ -415,6 +512,157 @@ class CPU:
                     )
                 return prefix_cycles + cost
         return self._step_byte()
+
+    # -- the turbo tier: basic-block translation ------------------------
+
+    #: Longest straight-line run packed into one block.
+    BLOCK_CHAIN_CAP = 64
+
+    def _translate_block(self, pc: int):
+        """Compile the straight-line run of safe chains at ``pc``.
+
+        Returns the block record, or None (and remembers the PC in the
+        negative cache) when fewer than two safe chains start there —
+        those PCs use the plain decoded-chain dispatch.  The record is
+        a tuple::
+
+            (chains, total_bytes, total_cycles, cum_bytes, cum_cycles,
+             tail, start, end)
+
+        ``chains`` holds ``(handler, operand, next_pc, byte_count,
+        prefix_cycles, op_name, cost)`` per safe chain, with ``cost``
+        from the static safe-cost tables (pinned against the handlers
+        by a regression test).  ``cum_bytes``/``cum_cycles`` are
+        exclusive prefix sums for exception fix-up.  ``tail`` is the
+        decoded unsafe chain ending the run (or None at a decode
+        boundary), and ``[start, end)`` is the code-store span covered
+        — including the tail — used for patch invalidation.
+        """
+        chains = []
+        cum_bytes = []
+        cum_cycles = []
+        total_bytes = 0
+        total_cycles = 0
+        tail = None
+        cursor = pc
+        safe_primary = self._SAFE_PRIMARY_COST
+        safe_secondary = self._SAFE_SECONDARY_COST
+        while len(chains) < self.BLOCK_CHAIN_CAP:
+            entry = self._decode(cursor)
+            if entry is None:
+                break
+            handler, operand, next_pc, nbytes, prefix_cycles, op = entry
+            if op == Op.OPR:
+                cost = safe_secondary.get(operand)
+            else:
+                cost = safe_primary.get(op)
+            if cost is None:
+                tail = entry
+                break
+            cum_bytes.append(total_bytes)
+            cum_cycles.append(total_cycles)
+            chains.append((handler, operand, next_pc, nbytes,
+                           prefix_cycles, Op(op).name, cost))
+            total_bytes += nbytes
+            total_cycles += prefix_cycles + cost
+            cursor = next_pc
+        if len(chains) < 2:
+            self._unblocked.add(pc)
+            return None
+        end = tail[2] if tail is not None else cursor
+        block = (tuple(chains), total_bytes, total_cycles,
+                 tuple(cum_bytes), tuple(cum_cycles), tail, pc, end)
+        self._blocks[pc] = block
+        self.block_translations += 1
+        self.block_chains += len(chains)
+        return block
+
+    def _run_block(self, block) -> int:
+        """Execute one translated block; returns its total cycle cost."""
+        chains, total_bytes, total_cycles, cum_bytes, cum_cycles, \
+            tail, start, end = block
+        barrier = self.step_barrier
+        if barrier is not None and self.instructions + (end - start) \
+                >= barrier:
+            return self._run_block_careful(block, barrier)
+        self.block_hits += 1
+        if self.trace:
+            trace_log = self._trace_log
+            for entry in chains:
+                self.iptr = entry[2]
+                self.instructions += entry[3]
+                self.cycles += entry[4]
+                entry[0](entry[1])
+                self.cycles += entry[6]
+                trace_log.append(
+                    (self.instructions, entry[5], entry[1],
+                     to_signed(self.areg))
+                )
+        else:
+            i = 0
+            try:
+                for entry in chains:
+                    self.iptr = entry[2]
+                    entry[0](entry[1])
+                    i += 1
+            except BaseException:
+                # Restore the exact chain-at-a-time state at the
+                # failing chain: full cost of completed chains, plus
+                # this chain's bytes and prefix cycles (the fast path
+                # charges those before invoking the handler).
+                self.instructions += cum_bytes[i] + chains[i][3]
+                self.cycles += cum_cycles[i] + chains[i][4]
+                raise
+            self.instructions += total_bytes
+            self.cycles += total_cycles
+        cost = total_cycles
+        if tail is not None:
+            cost += self._exec_chain(tail)
+        return cost
+
+    def _run_block_careful(self, block, barrier: int) -> int:
+        """Chain-at-a-time block execution honouring ``step_barrier``.
+
+        Returns control at the first chain boundary where
+        ``instructions >= barrier`` — bit-identically to how the
+        chain-at-a-time tiers pace a harness's between-step checks.
+        """
+        chains, _tb, _tc, _cb, _cc, tail, _start, _end = block
+        self.block_hits += 1
+        total = 0
+        trace = self.trace
+        for entry in chains:
+            self.iptr = entry[2]
+            self.instructions += entry[3]
+            self.cycles += entry[4]
+            entry[0](entry[1])
+            self.cycles += entry[6]
+            if trace:
+                self._trace_log.append(
+                    (self.instructions, entry[5], entry[1],
+                     to_signed(self.areg))
+                )
+            total += entry[4] + entry[6]
+            if self.instructions >= barrier:
+                return total
+        if tail is not None:
+            total += self._exec_chain(tail)
+        return total
+
+    def _exec_chain(self, entry) -> int:
+        """Execute one decoded chain with exact fast-path semantics."""
+        handler, operand, next_pc, nbytes, prefix_cycles, op = entry
+        self.iptr = next_pc
+        self.instructions += nbytes
+        self.cycles += prefix_cycles
+        cost = handler(operand)
+        self.cycles += cost
+        if self.trace:
+            self._trace_log.append(
+                (self.instructions, Op(op).name, operand,
+                 to_signed(self.areg))
+            )
+        return prefix_cycles + cost
 
     def _step_byte(self) -> int:
         """The byte-at-a-time reference decode path."""
@@ -768,11 +1016,19 @@ class CPU:
         Time owed to the engine is tracked as *cycle-counter deltas*
         (``self.cycles`` minus what has already been charged), so the
         accounting is identical whether :meth:`step` executes one byte
-        or one whole decoded chain per call.
+        or one whole decoded chain per call.  The turbo tier is paced
+        through :attr:`step_barrier`: a translated block that would run
+        through the next yield point instead returns at the first chain
+        boundary past it — exactly where the chain-at-a-time tiers
+        yield — so the engine-side event interleaving is bit-identical
+        across tiers.
         """
+        if self not in engine.cp_cpus:
+            engine.cp_cpus.append(self)
         cycle_ns = max(1, round(1000.0 / specs.cp_mips))
         charged = self.cycles
         marker = self.instructions
+        self.step_barrier = marker + yield_every
         while not self.halted:
             try:
                 self.step()
@@ -784,6 +1040,7 @@ class CPU:
                     yield engine.timeout(pending * cycle_ns)
                     charged = self.cycles
                     marker = self.instructions
+                    self.step_barrier = marker + yield_every
                 if io.direction == "out":
                     data = self.memory.read_bytes(io.pointer, io.count)
                     yield from io.channel.send(data)
@@ -800,6 +1057,8 @@ class CPU:
                 yield engine.timeout((self.cycles - charged) * cycle_ns)
                 charged = self.cycles
                 marker = self.instructions
+                self.step_barrier = marker + yield_every
+        self.step_barrier = None
         if self.cycles != charged:
             yield engine.timeout((self.cycles - charged) * cycle_ns)
         return self.instructions
@@ -832,6 +1091,53 @@ CPU._PRIMARY_FUNCS = (
     CPU._op_stnl,   # 0xE
     CPU._op_opr,    # 0xF
 )
+
+#: Block-safe primary opcodes → static cycle cost.  Safe means: no
+#: control transfer, no scheduler interaction, no channel I/O — the
+#: operation only touches the evaluation stack, workspace/data memory,
+#: the workspace pointer, and the error flag, so a translated block
+#: may run it without surfacing a chain boundary.  The costs mirror
+#: what each handler returns (pinned by a regression test).
+CPU._SAFE_PRIMARY_COST = {
+    Op.LDLP: CYCLE_COSTS["default"],
+    Op.LDNL: CYCLE_COSTS["default"],
+    Op.LDC: CYCLE_COSTS["default"],
+    Op.LDNLP: CYCLE_COSTS["default"],
+    Op.LDL: CYCLE_COSTS["default"],
+    Op.ADC: CYCLE_COSTS["default"],
+    Op.AJW: CYCLE_COSTS["default"],
+    Op.EQC: CYCLE_COSTS["default"],
+    Op.STL: CYCLE_COSTS["default"],
+    Op.STNL: CYCLE_COSTS["default"],
+}
+
+#: Block-safe secondary opcodes → static cycle cost.  Excluded (block
+#: enders): RET/GCALL (control transfer), STARTP/ENDP/STOPP/RUNP/
+#: STOPERR (scheduler), IN/OUT/OUTWORD (channel I/O, may raise
+#: ExternalIO or deschedule), TERMINATE (halts).
+CPU._SAFE_SECONDARY_COST = {
+    Secondary.REV: CYCLE_COSTS["default"],
+    Secondary.ADD: CYCLE_COSTS["default"],
+    Secondary.SUB: CYCLE_COSTS["default"],
+    Secondary.DIFF: CYCLE_COSTS["default"],
+    Secondary.MUL: CYCLE_COSTS["mul"],
+    Secondary.DIV: CYCLE_COSTS["div"],
+    Secondary.REM: CYCLE_COSTS["div"],
+    Secondary.GT: CYCLE_COSTS["default"],
+    Secondary.AND: CYCLE_COSTS["default"],
+    Secondary.OR: CYCLE_COSTS["default"],
+    Secondary.XOR: CYCLE_COSTS["default"],
+    Secondary.NOT: CYCLE_COSTS["default"],
+    Secondary.SHL: CYCLE_COSTS["default"],
+    Secondary.SHR: CYCLE_COSTS["default"],
+    Secondary.MINT: CYCLE_COSTS["default"],
+    Secondary.DUP: CYCLE_COSTS["default"],
+    Secondary.GAJW: CYCLE_COSTS["default"],
+    Secondary.LDPI: CYCLE_COSTS["default"],
+    Secondary.ALT: CYCLE_COSTS["default"],
+    Secondary.TESTERR: CYCLE_COSTS["default"],
+    Secondary.SETERR: CYCLE_COSTS["default"],
+}
 
 #: Secondary dispatch: secondary number → handler.
 CPU._SECONDARY_FUNCS = {

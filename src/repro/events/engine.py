@@ -24,11 +24,20 @@ already-processed event (and starting a new process) uses a slim
 ``[callback, event]`` record instead of allocating a shim
 :class:`Event`.
 
-Setting ``REPRO_SLOW_KERNEL=1`` in the environment makes new engines
-use the pure-heap reference path (every schedule goes through the
-priority queue, resumptions allocate shim events).  Both paths produce
-bit-identical simulated-time results; the regression tests compare
-them event by event.
+The simulator has **three kernel tiers**, selected per object at
+construction time from the environment (see :func:`kernel_tier`):
+
+* ``reference`` — ``REPRO_SLOW_KERNEL=1``: the pure-heap path (every
+  schedule goes through the priority queue, resumptions allocate shim
+  events), byte-at-a-time CP decode, no timing memoization;
+* ``fast`` — ``REPRO_TURBO_KERNEL=0``: the fast lane, resume records,
+  and the CP's decoded-instruction cache (the PR-1 optimisations);
+* ``turbo`` — the default: everything in ``fast``, plus an inline
+  resume trampoline for processes that yield already-fired events and
+  the CP's basic-block translator.
+
+All tiers produce bit-identical simulated-time results; the
+differential fuzzers and golden traces compare them three ways.
 
 Example
 -------
@@ -69,26 +78,62 @@ def slow_kernel_requested() -> bool:
     return os.environ.get("REPRO_SLOW_KERNEL", "") not in ("", "0")
 
 
+#: The three kernel tiers, slowest first.
+KERNEL_TIERS = ("reference", "fast", "turbo")
+
+
+def kernel_tier() -> str:
+    """The kernel tier the environment currently selects.
+
+    ``REPRO_SLOW_KERNEL=1`` wins (the reference path, for baselines and
+    conformance); otherwise ``REPRO_TURBO_KERNEL=0`` (or ``off``) pins
+    the PR-1 fast tier; otherwise the turbo tier — the default.
+    """
+    if slow_kernel_requested():
+        return "reference"
+    if os.environ.get("REPRO_TURBO_KERNEL", "") in ("0", "off"):
+        return "fast"
+    return "turbo"
+
+
+def turbo_kernel_requested() -> bool:
+    """True if the environment selects the turbo tier."""
+    return kernel_tier() == "turbo"
+
+
 @contextlib.contextmanager
-def force_kernel(slow: bool):
-    """Context manager selecting a kernel for everything built inside.
+def force_kernel(slow=None, tier=None):
+    """Context manager selecting a kernel tier for everything built
+    inside.
 
     The kernel choice is sampled at *construction* time (by
-    :class:`Engine`, the CP's decoded-instruction cache, and the vector
-    unit's timing memoization), so the differential-testing oracle
-    builds each scenario twice — once under ``force_kernel(False)`` and
-    once under ``force_kernel(True)`` — and compares the runs.  The
-    previous environment value is restored on exit.
+    :class:`Engine`, the CP's decoded/translated instruction caches,
+    and the vector unit's timing memoization), so the
+    differential-testing oracle builds each scenario once per tier —
+    ``force_kernel(tier="reference"|"fast"|"turbo")`` — and compares
+    the runs.  The legacy boolean spelling is still accepted:
+    ``force_kernel(slow=True)`` selects the reference tier and
+    ``force_kernel(slow=False)`` the fast tier (pinning
+    ``REPRO_TURBO_KERNEL=0`` so pre-turbo comparisons keep their
+    meaning).  The previous environment values are restored on exit.
     """
-    saved = os.environ.get("REPRO_SLOW_KERNEL")
-    os.environ["REPRO_SLOW_KERNEL"] = "1" if slow else "0"
+    if tier is None:
+        tier = "reference" if slow else "fast"
+    if tier not in KERNEL_TIERS:
+        raise ValueError(f"unknown kernel tier {tier!r}")
+    saved_slow = os.environ.get("REPRO_SLOW_KERNEL")
+    saved_turbo = os.environ.get("REPRO_TURBO_KERNEL")
+    os.environ["REPRO_SLOW_KERNEL"] = "1" if tier == "reference" else "0"
+    os.environ["REPRO_TURBO_KERNEL"] = "1" if tier == "turbo" else "0"
     try:
         yield
     finally:
-        if saved is None:
-            os.environ.pop("REPRO_SLOW_KERNEL", None)
-        else:
-            os.environ["REPRO_SLOW_KERNEL"] = saved
+        for name, saved in (("REPRO_SLOW_KERNEL", saved_slow),
+                            ("REPRO_TURBO_KERNEL", saved_turbo)):
+            if saved is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = saved
 
 
 def _delay_ns(delay):
@@ -255,8 +300,13 @@ class Timeout(Event):
         self._ok = True
         self._defused = False
         self.delay = delay
-        # Timeouts always go through the priority queue (NORMAL at a
-        # future time); push directly rather than via _schedule.
+        # Zero-delay timeouts fire at the current instant with NORMAL
+        # priority; on the turbo tier they take the nlane FIFO instead
+        # of a heap round-trip.  Real delays go through the priority
+        # queue; push directly rather than via _schedule.
+        if delay == 0 and engine._nlane is not None:
+            engine._nlane.append(self)
+            return
         heapq.heappush(
             engine._heap, (engine._now + delay, NORMAL, engine._seq, self)
         )
@@ -293,15 +343,19 @@ class Process(Event):
     """
 
     __slots__ = (
-        "_generator", "_send", "_throw", "_resume_cb", "_target", "_name"
+        "_generator", "_send", "_resume_cb", "_target", "_name"
     )
 
     def __init__(self, engine, generator, name=None):
+        # ``send`` is bound once here; ``throw`` is looked up lazily in
+        # _resume — failures are rare and the extra bound method per
+        # spawn is measurable in spawn-heavy workloads.
         try:
             self._send = generator.send
-            self._throw = generator.throw
         except AttributeError:
             raise TypeError(f"{generator!r} is not a generator") from None
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
         # Event.__init__ inlined (one Process per spawned activity).
         self.engine = engine
         self.callbacks = []
@@ -363,68 +417,148 @@ class Process(Event):
 
     def _resume(self, event):
         """Resume the generator with the outcome of ``event``."""
+        # Hot names bound locally: a resume is the single most frequent
+        # operation in the simulator, and the turbo trampoline can keep
+        # one _resume call spinning for thousands of yields.  ``tramp``
+        # batches the counter updates those inline resumes owe; every
+        # exit path flushes it (run() defers its counters the same way).
         engine = self.engine
+        send = self._send
+        lane = engine._lane
+        turbo = engine._turbo
+        tramp = 0
+        spin = None
         engine._active = self
-        try:
-            if event._ok:
-                result = self._send(event._value)
-            else:
-                event._defused = True
-                result = self._throw(event._value)
-        except StopIteration as stop:
-            engine._active = None
-            self._ok = True
-            self._value = stop.value
-            if engine._fast:
-                engine._lane.append(self)
-            else:
-                engine._schedule(self, 0, URGENT)
-            return
-        except BaseException as exc:
-            engine._active = None
-            self._ok = False
-            self._value = exc
-            if engine._fast:
-                engine._lane.append(self)
-            else:
-                engine._schedule(self, 0, URGENT)
-            return
-        engine._active = None
+        while True:
+            try:
+                if event._ok:
+                    result = send(event._value)
+                else:
+                    event._defused = True
+                    result = self._generator.throw(event._value)
+            except StopIteration as stop:
+                engine._active = None
+                self._ok = True
+                self._value = stop.value
+                callbacks = self.callbacks
+                if (turbo and engine._solo_cb
+                        and not lane and not engine._durgent
+                        and callbacks is not None
+                        and len(callbacks) == 1):
+                    # Completion trampoline (turbo tier): this process
+                    # event would be the lane's only entry and nothing
+                    # can fire before it, so dispatch its sole waiter
+                    # inline — counters advance exactly as the lane
+                    # round-trip's would.
+                    engine.events_processed += tramp + 1
+                    engine.lane_hits += tramp + 1
+                    self.callbacks = None
+                    callbacks[0](self)
+                    return
+                if tramp:
+                    engine.events_processed += tramp
+                    engine.lane_hits += tramp
+                if engine._fast:
+                    lane.append(self)
+                else:
+                    engine._schedule(self, 0, URGENT)
+                return
+            except BaseException as exc:
+                engine._active = None
+                self._ok = False
+                self._value = exc
+                if tramp:
+                    engine.events_processed += tramp
+                    engine.lane_hits += tramp
+                if engine._fast:
+                    lane.append(self)
+                else:
+                    engine._schedule(self, 0, URGENT)
+                return
 
-        # Duck-typed validation: probing the two attributes every Event
-        # has is cheaper than an isinstance() on this hot path.
-        try:
-            callbacks = result.callbacks
-            if result.engine is not engine:
+            if result is spin:
+                # Same-event spin (turbo): the process keeps yielding
+                # one event it already validated, and a processed
+                # event stays processed — skip revalidation and resume
+                # with the identical outcome.
+                if not lane and engine._solo_cb and not engine._durgent:
+                    tramp += 1
+                    continue
+                spin = None
+
+            # Duck-typed validation: probing the two attributes every
+            # Event has is cheaper than an isinstance() on this hot path.
+            try:
+                callbacks = result.callbacks
+                if result.engine is not engine:
+                    engine._active = None
+                    raise SimulationError(
+                        f"process {self.name!r} yielded an event "
+                        f"from another engine"
+                    )
+            except AttributeError:
+                engine._active = None
                 raise SimulationError(
-                    f"process {self.name!r} yielded an event "
-                    f"from another engine"
-                )
-        except AttributeError:
-            raise SimulationError(
-                f"process {self.name!r} yielded {result!r}, not an Event"
-            ) from None
-        if callbacks is None:
-            # Already processed: resume immediately (at the current time,
-            # urgently, so ordering stays deterministic).
-            if not result._ok:
-                result._defused = True
-            if engine._fast:
-                record = [self._resume_cb, result]
-                engine._lane.append(record)
-                self._target = record
-            else:
-                shim = Event(engine)
-                shim._ok = result._ok
-                shim._value = result._value
+                    f"process {self.name!r} yielded {result!r}, not an Event"
+                ) from None
+            if callbacks is None:
+                # Already processed: resume immediately (at the current
+                # time, urgently, so ordering stays deterministic).
                 if not result._ok:
-                    shim._defused = True
-                shim.callbacks.append(self._resume_cb)
-                engine._schedule(shim, 0, URGENT)
-                self._target = shim
-        else:
-            callbacks.append(self._resume_cb)
-            self._target = result
+                    result._defused = True
+                if (turbo and not lane and engine._solo_cb
+                        and not engine._durgent):
+                    # Trampoline (turbo tier): the resume record would
+                    # be the lane's only entry, and with no URGENT heap
+                    # entries nothing can fire before it — so it would
+                    # fire immediately next.  Resume inline instead of
+                    # round-tripping through the lane; the counters
+                    # advance exactly as the record path's would.
+                    tramp += 1
+                    spin = result
+                    event = result
+                    continue
+                engine._active = None
+                if engine._fast:
+                    record = [self._resume_cb, result]
+                    lane.append(record)
+                    self._target = record
+                else:
+                    shim = Event(engine)
+                    shim._ok = result._ok
+                    shim._value = result._value
+                    if not result._ok:
+                        shim._defused = True
+                    shim.callbacks.append(self._resume_cb)
+                    engine._schedule(shim, 0, URGENT)
+                    self._target = shim
+            else:
+                if (turbo and not callbacks and lane
+                        and lane[0] is result
+                        and engine._solo_cb and not engine._durgent
+                        and result._value is not _PENDING):
+                    # Front-of-lane trampoline (turbo tier): the
+                    # yielded event is already triggered, has no other
+                    # waiters, and sits at the head of the lane — the
+                    # next dispatch would pop exactly it and resume
+                    # this very process.  Do that here: pop it, mark it
+                    # processed, resume inline.  (Uncontended resource
+                    # grants, Store puts, and the getter side of a
+                    # channel rendezvous hit this constantly.)
+                    lane.popleft()
+                    result.callbacks = None
+                    if not result._ok:
+                        result._defused = True
+                    tramp += 1
+                    event = result
+                    continue
+                engine._active = None
+                callbacks.append(self._resume_cb)
+                self._target = result
+            if tramp:
+                engine.events_processed += tramp
+                engine.lane_hits += tramp
+            return
 
     def __repr__(self):
         return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
@@ -515,10 +649,10 @@ class Engine:
     """
 
     __slots__ = (
-        "_now", "_heap", "_lane", "_seq", "_active", "_fast",
-        "_durgent", "_fire_urgent",
+        "_now", "_heap", "_lane", "_nlane", "_seq", "_active", "_fast",
+        "_turbo", "_durgent", "_fire_urgent", "_solo_cb",
         "events_processed", "heap_pushes", "lane_hits",
-        "fault_log",
+        "fault_log", "cp_cpus",
     )
 
     def __init__(self):
@@ -527,7 +661,27 @@ class Engine:
         self._lane = deque()
         self._seq = 0
         self._active = None
-        self._fast = not slow_kernel_requested()
+        tier = kernel_tier()
+        self._fast = tier != "reference"
+        # Turbo tier: resume trampolining (see Process._resume).  The
+        # CP's block translator samples the tier itself.
+        self._turbo = tier == "turbo"
+        # Turbo tier: FIFO for zero-delay NORMAL schedules (mostly
+        # ``timeout(0)``).  They fire at the current instant after all
+        # URGENT traffic and after any heap entries that reached the
+        # current time with a positive delay; since every zero-delay
+        # NORMAL lands here, a heap entry at the current time always
+        # predates (has a smaller would-be seq than) every nlane entry,
+        # so "drain heap entries at now, then the nlane" reproduces the
+        # heap order exactly — without the push/pop.
+        self._nlane = deque() if self._turbo else None
+        # True while dispatching an event that had exactly one callback
+        # (set at every dispatch site).  The resume trampoline may only
+        # run inline when no sibling callbacks of the firing event are
+        # still pending — an interrupt from a sibling must win the race
+        # against the queued resume record, exactly as on the record
+        # path.
+        self._solo_cb = False
         # URGENT entries currently in the heap.  Zero in steady state on
         # the fast path (zero-delay URGENT takes the lane), which lets
         # the hot loop skip the heap-top inspection entirely.
@@ -545,6 +699,9 @@ class Engine:
         # Installed by repro.system.faultlog.FaultLog; None means no
         # fault bookkeeping for this run (record_fault() is a no-op).
         self.fault_log = None
+        # CPUs attached via CPU.as_process, so engine_stats can roll up
+        # their decoded/translated-cache counters.
+        self.cp_cpus = []
 
     @property
     def now(self):
@@ -561,6 +718,14 @@ class Engine:
         """True when this engine uses the fast-lane kernel."""
         return self._fast
 
+    @property
+    def kernel_tier(self):
+        """This engine's tier: ``reference``, ``fast``, or ``turbo``
+        (sampled from the environment at construction)."""
+        if not self._fast:
+            return "reference"
+        return "turbo" if self._turbo else "fast"
+
     # -- scheduling ---------------------------------------------------
 
     def _urgent_via_heap(self, event):
@@ -572,6 +737,9 @@ class Engine:
             # Fast lane: fires at the current time, ahead of equal-time
             # NORMAL heap entries, in FIFO (= would-be seq) order.
             self._lane.append(event)
+            return
+        if delay == 0 and priority == NORMAL and self._nlane is not None:
+            self._nlane.append(event)
             return
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
@@ -609,7 +777,7 @@ class Engine:
 
     def peek(self):
         """Time of the next scheduled event, or None if the queue is empty."""
-        if self._lane:
+        if self._lane or self._nlane:
             return self._now
         return self._heap[0][0] if self._heap else None
 
@@ -641,9 +809,18 @@ class Engine:
             if entry.__class__ is list:
                 callback = entry[0]
                 if callback is not None:
+                    self._solo_cb = True
                     callback(entry[1])
                 return
             event = entry
+        elif self._nlane and not (
+            self._heap and self._heap[0][0] == self._now
+        ):
+            # Zero-delay NORMAL FIFO: fires at the current instant once
+            # the lane is clear and no heap entry has reached ``now``.
+            event = self._nlane.popleft()
+            self.events_processed += 1
+            self.lane_hits += 1
         else:
             if not self._heap:
                 raise DeadlockError("event queue empty")
@@ -655,6 +832,7 @@ class Engine:
             self._now = when
             self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
+        self._solo_cb = len(callbacks) == 1
         for callback in callbacks:
             callback(event)
         if not event._ok and not event._defused:
@@ -706,12 +884,15 @@ class Engine:
         # with the dispatch inlined and hot names bound locally.
         heap = self._heap
         lane = self._lane
+        # () stands in for the absent nlane on non-turbo tiers: always
+        # falsy, so the nlane branch below is never taken.
+        nlane = self._nlane if self._nlane is not None else ()
         heappop = heapq.heappop
         resume_cls = list
         processed = 0
         lane_fired = 0
         try:
-            while heap or lane:
+            while heap or lane or nlane:
                 if lane and (
                     not self._durgent
                     or not (
@@ -726,9 +907,14 @@ class Engine:
                     if entry.__class__ is resume_cls:
                         callback = entry[0]
                         if callback is not None:
+                            self._solo_cb = True
                             callback(entry[1])
                         continue
                     event = entry
+                elif nlane and not (heap and heap[0][0] == self._now):
+                    event = nlane.popleft()
+                    processed += 1
+                    lane_fired += 1
                 else:
                     when = heap[0][0]
                     if until_time is not None and when >= until_time:
@@ -741,8 +927,10 @@ class Engine:
                     processed += 1
                 callbacks, event.callbacks = event.callbacks, None
                 if len(callbacks) == 1:
+                    self._solo_cb = True
                     callbacks[0](event)
                 else:
+                    self._solo_cb = False
                     for callback in callbacks:
                         callback(event)
                 if not event._ok and not event._defused:
@@ -762,4 +950,6 @@ class Engine:
 
     def __repr__(self):
         queued = len(self._heap) + len(self._lane)
+        if self._nlane is not None:
+            queued += len(self._nlane)
         return f"<Engine now={self._now} queued={queued}>"

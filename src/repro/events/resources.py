@@ -34,8 +34,18 @@ class Request(Event):
         self._ok = None
         self._defused = False
         self.resource = resource
-        resource._queue.append(self)
-        resource._grant()
+        # Uncontended fast path: a non-empty queue implies exhausted
+        # capacity (every release drains the queue as far as capacity
+        # allows), so an immediate grant never jumps the FIFO.
+        if not resource._queue and len(resource._users) < resource.capacity:
+            resource._users.add(self)
+            resource.grants += 1
+            self._ok = True
+            self._value = self
+            resource.engine._fire_urgent(self)
+        else:
+            resource._queue.append(self)
+            resource._grant()
 
     def release(self):
         """Give the resource back (idempotent)."""

@@ -22,10 +22,22 @@ machine; we compute them with NumPy's summation and document the
 reassociation (the paper makes no accuracy claim for reductions).
 """
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Tuple
 
 import numpy as np
+
+# The arithmetic unit has no IEEE traps: overflow wraps to inf and
+# invalid operations produce NaN silently (the paper's hardware raises
+# no exceptions).  Float RuntimeWarnings attributed to this module's
+# ufunc calls are therefore meaningless; silencing them here lets the
+# optimized kernels run form computations without paying an errstate
+# context per call (the reference kernel keeps the original guard).
+warnings.filterwarnings(
+    "ignore", category=RuntimeWarning,
+    module=r"repro\.fpu\.vector_forms",
+)
 
 from repro.events import Mutex
 from repro.events.engine import slow_kernel_requested
@@ -48,6 +60,11 @@ _TINY = {
     np.dtype(np.float32): np.finfo(np.float32).tiny,
     np.dtype(np.float64): np.finfo(np.float64).tiny,
 }
+
+#: Same thresholds keyed by element width — the execute hot path knows
+#: the precision already, and an int key hashes faster than a dtype.
+_TINY_BITS = {32: _TINY[np.dtype(np.float32)],
+              64: _TINY[np.dtype(np.float64)]}
 
 
 def flush_subnormals(array: np.ndarray) -> np.ndarray:
@@ -289,10 +306,16 @@ class VectorArithmeticUnit:
                 f"{form.name} takes {form.scalar_inputs} scalars, "
                 f"got {len(scalars)}"
             )
-        lengths = {len(v) for v in inputs}
-        if len(lengths) > 1:
-            raise ValueError(f"input length mismatch: {sorted(lengths)}")
-        return lengths.pop() if lengths else 0
+        if not inputs:
+            return 0
+        n = len(inputs[0])
+        for v in inputs:
+            if len(v) != n:
+                raise ValueError(
+                    "input length mismatch: "
+                    f"{sorted({len(u) for u in inputs})}"
+                )
+        return n
 
     def execute(self, form_name, inputs, scalars=(), precision=64):
         """Process: run one vector form; returns the flushed result.
@@ -305,9 +328,12 @@ class VectorArithmeticUnit:
         dtype = dtype_for(precision)
         n = self._validate(form, inputs, scalars, precision)
         duration = self.duration(form_name, n, precision)
-        with self._busy.request() as req:
+        req = self._busy.request()
+        try:
             yield req
             yield self.engine.timeout(duration)
+        finally:
+            req.release()
         # Counters: each used unit produced one result per element.
         if form.uses_adder:
             self.adder.results += n
@@ -320,14 +346,48 @@ class VectorArithmeticUnit:
         self.completions += 1
 
         flush = self._flush
-        flushed_inputs = [
-            flush(np.asarray(v, dtype=dtype)) for v in inputs
-        ]
-        with np.errstate(over="ignore", invalid="ignore", under="ignore"):
+        if self._fast and len(inputs) == 2:
+            # Dual-input forms dominate (SAXPY, VADD, DOT...): screen
+            # both operands with one reduction over their concatenation;
+            # a clean screen skips both per-input flush calls.
+            a = np.asarray(inputs[0], dtype=dtype)
+            b = np.asarray(inputs[1], dtype=dtype)
+            magnitude = np.abs(np.concatenate((a, b)))
+            if n == 0 or magnitude.min() >= _TINY_BITS[precision]:
+                flushed_inputs = [a, b]
+            else:
+                # The min screen also trips on exact zeros, which need
+                # no flushing (a zeroed accumulator row is the common
+                # case) — one mask pass settles it for both operands.
+                mask = (magnitude < _TINY_BITS[precision]) & (magnitude > 0)
+                if mask.any():
+                    flushed_inputs = [flush(a), flush(b)]
+                else:
+                    flushed_inputs = [a, b]
+        else:
+            flushed_inputs = [
+                flush(np.asarray(v, dtype=dtype)) for v in inputs
+            ]
+        if self._fast:
+            # IEEE-flag warnings from compute are filtered module-wide
+            # (see the filterwarnings call at import): no context
+            # manager needed on the hot path.
             result = form.compute(flushed_inputs, scalars, dtype)
+        else:
+            with np.errstate(
+                over="ignore", invalid="ignore", under="ignore"
+            ):
+                result = form.compute(flushed_inputs, scalars, dtype)
         if form.reduction:
             scalar = np.asarray(result).reshape(1)
             return flush(scalar)[0]
+        if self._fast and type(result) is np.ndarray:
+            # Inline screen: compute always returns the target dtype,
+            # so skip the flush call's asarray/dtype-lookup preamble.
+            magnitude = np.abs(result)
+            if (magnitude.size == 0
+                    or magnitude.min() >= _TINY_BITS[precision]):
+                return result
         return flush(np.asarray(result))
 
     def start(self, form_name, inputs, scalars=(), precision=64):

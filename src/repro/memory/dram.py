@@ -189,7 +189,12 @@ class DualPortMemory:
         """Process: load a row into a vector register (one row access)."""
         self._check_row(row)
         yield from self.row_port.access(1)
-        register.load_bytes(self.read_row(row), row=row)
+        # Same semantics as ``read_row`` + ``load_bytes``, minus the
+        # intermediate copy: the register copies out of the live slice.
+        start = row * self.row_bytes
+        raw = self._data[start:start + self.row_bytes]
+        self.parity.check(start, raw)
+        register.load_bytes(raw, row=row)
 
     def register_to_row(self, register: VectorRegister, row: int):
         """Process: store a vector register into a row."""

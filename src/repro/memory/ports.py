@@ -40,9 +40,12 @@ class MemoryPort:
         if count == 0:
             return 0
         duration = count * self.access_ns
-        with self._arbiter.request() as req:
+        req = self._arbiter.request()
+        try:
             yield req
             yield self.engine.timeout(duration)
+        finally:
+            req.release()
         self.accesses += count
         self.busy_ns += duration
         return duration

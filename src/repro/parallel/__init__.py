@@ -1,0 +1,28 @@
+"""Deterministic parallel sweep execution.
+
+Benchmark sweeps and fuzz campaigns are embarrassingly parallel —
+every cell (one machine configuration, one fuzz case, one fault
+seed) builds its own engine from scratch — but naive pooling breaks
+the property the repo is built on: byte-identical reports.  This
+subsystem runs cells across worker processes while keeping the merged
+result exactly equal to a serial run: seeded, index-keyed work
+partitioning; JSON-normalised cell outcomes on both paths; an
+order-independent merge keyed by cell index; and worker-crash
+isolation that fails the crashed cell instead of the whole sweep.
+"""
+
+from repro.parallel.sweep import (
+    CellResult,
+    SweepError,
+    SweepResult,
+    resolve_jobs,
+    run_cells,
+)
+
+__all__ = [
+    "CellResult",
+    "SweepError",
+    "SweepResult",
+    "resolve_jobs",
+    "run_cells",
+]

@@ -1,0 +1,270 @@
+"""The deterministic process-pool sweep runner.
+
+Contract
+--------
+``run_cells(run_one, cells, jobs=N)`` produces *exactly* the same
+merged values as ``jobs=1``, for any ``N``:
+
+* **Partitioning is deterministic.**  Worker ``w`` of ``jobs`` gets
+  cells ``cells[w::jobs]`` — a pure function of the cell list and the
+  job count, never of scheduling order.
+* **Outcomes are JSON-normalised on both paths.**  Every cell value is
+  round-tripped through ``json`` before merging, so a serial run
+  (tuples, ints) and a parallel run (values pickled through a queue)
+  yield the same Python objects, and anything non-JSON-able fails
+  loudly on either path rather than only under ``--jobs``.
+* **The merge is order-independent.**  Results are keyed by cell
+  index and reassembled in index order; which worker finished first
+  is unobservable in the merged output.
+* **Crashes are isolated.**  A worker that dies mid-cell (segfault,
+  ``os._exit``, OOM kill) fails *that cell* with a structured error;
+  the worker's remaining cells are respawned onto a fresh process and
+  the sweep completes.
+
+Per-cell wall-clock timings are measured and reported, but they live
+on the :class:`CellResult` — never inside the merged value — so
+comparison payloads stay byte-identical across hosts and job counts.
+
+The pool uses the ``fork`` start method: cells and the cell function
+reach workers by address-space inheritance (no pickling of closures),
+and only the JSON-normalised outcomes travel back, over a dedicated
+pipe per worker.  Pipe sends are synchronous — unlike a
+``multiprocessing.Queue``, whose feeder thread can lose
+already-completed results when a worker dies — so after a crash the
+parent can still drain everything the worker finished before death.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _wait
+
+
+class SweepError(RuntimeError):
+    """Raised when merged values are requested but cells failed."""
+
+
+@dataclass
+class CellResult:
+    """Outcome of one sweep cell."""
+
+    index: int
+    ok: bool
+    value: object = None
+    error: str = None
+    #: Wall-clock seconds spent inside ``run_one`` (measurement only —
+    #: never part of the merged comparison payload).
+    wall_s: float = 0.0
+    worker: int = 0
+
+
+@dataclass
+class SweepResult:
+    """All cell results of one sweep, in cell-index order."""
+
+    jobs: int
+    results: list = field(default_factory=list)
+    wall_s: float = 0.0
+
+    def failures(self) -> list:
+        return [r for r in self.results if not r.ok]
+
+    def values(self) -> list:
+        """Merged cell values in cell order; raises on any failure."""
+        bad = self.failures()
+        if bad:
+            raise SweepError(
+                "; ".join(f"cell {r.index}: {r.error}" for r in bad)
+            )
+        return [r.value for r in self.results]
+
+    def timings(self) -> list:
+        """Per-cell wall seconds, in cell order (diagnostic only)."""
+        return [r.wall_s for r in self.results]
+
+
+def resolve_jobs(jobs=None) -> int:
+    """Resolve a job-count request to a concrete worker count.
+
+    ``None`` falls back to ``REPRO_SWEEP_JOBS`` (default 1 — parallel
+    execution is always opt-in); ``"auto"`` or ``0`` means one worker
+    per available CPU.
+    """
+    if jobs is None:
+        jobs = os.environ.get("REPRO_SWEEP_JOBS", "1") or "1"
+    if jobs in ("auto", "0", 0):
+        return max(1, os.cpu_count() or 1)
+    count = int(jobs)
+    if count < 0:
+        raise ValueError(f"jobs must be >= 0, got {count}")
+    return max(1, count)
+
+
+def _normalise(value):
+    """JSON round-trip: the canonical merged-value representation."""
+    return json.loads(json.dumps(value))
+
+
+def _run_inline(run_one, cells) -> list:
+    results = []
+    for index, cell in enumerate(cells):
+        start = time.perf_counter()
+        try:
+            value = _normalise(run_one(cell))
+        except Exception as exc:
+            results.append(CellResult(
+                index, False, None,
+                f"{type(exc).__name__}: {exc}",
+                time.perf_counter() - start, 0,
+            ))
+        else:
+            results.append(CellResult(
+                index, True, value, None,
+                time.perf_counter() - start, 0,
+            ))
+    return results
+
+
+def _worker_main(run_one, tasks, conn):
+    """Run ``tasks`` (``(index, cell)`` pairs) and stream results.
+
+    Every ``send`` writes straight into the pipe before the next cell
+    starts, so a later hard death cannot lose a finished result.
+    """
+    for index, cell in tasks:
+        start = time.perf_counter()
+        try:
+            value = _normalise(run_one(cell))
+        except BaseException as exc:  # noqa: BLE001 - reported, re-raised
+            conn.send(("error", index,
+                       f"{type(exc).__name__}: {exc}",
+                       time.perf_counter() - start))
+            if not isinstance(exc, Exception):
+                raise  # KeyboardInterrupt / SystemExit propagate
+        else:
+            conn.send(("done", index, value,
+                       time.perf_counter() - start))
+    conn.close()
+
+
+class _Worker:
+    """Parent-side bookkeeping for one worker process."""
+
+    def __init__(self, ctx, worker_id, run_one, tasks):
+        self.id = worker_id
+        self.tasks = tasks
+        self.cursor = 0       # tasks completed (done or error)
+        self.conn, child_conn = ctx.Pipe(duplex=False)
+        self.proc = ctx.Process(
+            target=_worker_main,
+            args=(run_one, tasks, child_conn),
+            daemon=True,
+        )
+        self.proc.start()
+        child_conn.close()  # parent keeps only the read end
+
+
+def run_cells(run_one, cells, jobs=None) -> SweepResult:
+    """Run ``run_one(cell)`` over every cell; deterministic merge.
+
+    ``run_one`` must build its entire scenario from the cell value —
+    cells are round-robined over ``jobs`` worker processes and any
+    state smuggled through globals would differ between serial and
+    parallel runs.  Returns a :class:`SweepResult` whose ``values()``
+    are identical for every ``jobs`` setting.
+    """
+    cells = list(cells)
+    jobs = resolve_jobs(jobs)
+    sweep_start = time.perf_counter()
+    if jobs == 1 or len(cells) <= 1:
+        results = _run_inline(run_one, cells)
+        return SweepResult(1, results,
+                           time.perf_counter() - sweep_start)
+
+    ctx = multiprocessing.get_context("fork")
+    results = {}
+    respawns = 0
+    next_id = 0
+    live = []
+
+    def record(worker, msg):
+        kind, index, payload, wall = msg
+        worker.cursor += 1
+        if kind == "done":
+            results[index] = CellResult(index, True, payload, None,
+                                        wall, worker.id)
+        else:
+            results[index] = CellResult(index, False, None, payload,
+                                        wall, worker.id)
+
+    def spawn(tasks):
+        nonlocal next_id
+        worker = _Worker(ctx, next_id, run_one, tasks)
+        next_id += 1
+        live.append(worker)
+        return worker
+
+    for w in range(min(jobs, len(cells))):
+        spawn([(i, cells[i]) for i in range(w, len(cells), jobs)])
+
+    def retire(worker):
+        """Drain and dismiss a worker whose pipe hit EOF or whose
+        process exited.  Sends are synchronous, so everything it
+        completed is already in the pipe; any unfinished task after
+        the drain means it died mid-cell."""
+        nonlocal respawns
+        try:
+            while worker.conn.poll():
+                record(worker, worker.conn.recv())
+        except EOFError:
+            pass
+        if worker.cursor < len(worker.tasks):
+            # Died mid-sweep: the in-flight cell is, deterministically,
+            # the next unfinished task.  Fail it and respawn the rest
+            # onto a fresh worker.
+            worker.proc.join(timeout=5.0)
+            index, _cell = worker.tasks[worker.cursor]
+            worker.cursor += 1
+            results[index] = CellResult(
+                index, False, None,
+                f"worker crashed (exit code {worker.proc.exitcode})",
+                0.0, worker.id,
+            )
+            remaining = worker.tasks[worker.cursor:]
+            if remaining and respawns < len(cells):
+                respawns += 1
+                spawn(remaining)
+        live.remove(worker)
+        worker.conn.close()
+        worker.proc.join(timeout=5.0)
+
+    while len(results) < len(cells):
+        ready = _wait(
+            [w.conn for w in live] + [w.proc.sentinel for w in live],
+            timeout=10.0,
+        )
+        by_conn = {w.conn: w for w in live}
+        by_sentinel = {w.proc.sentinel: w for w in live}
+        for obj in ready:
+            worker = by_conn.get(obj)
+            if worker is not None:
+                if worker not in live:
+                    continue  # already retired via its sentinel
+                try:
+                    record(worker, worker.conn.recv())
+                except EOFError:
+                    retire(worker)
+                continue
+            worker = by_sentinel[obj]
+            if worker in live:
+                retire(worker)
+
+    for worker in live:
+        worker.conn.close()
+        worker.proc.join(timeout=5.0)
+        if worker.proc.is_alive():  # pragma: no cover - defensive
+            worker.proc.terminate()
+    ordered = [results[i] for i in range(len(cells))]
+    return SweepResult(jobs, ordered, time.perf_counter() - sweep_start)

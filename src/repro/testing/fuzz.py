@@ -1,8 +1,8 @@
 """Differential fuzzing CLI.
 
-Round-robins random cases from the generators, runs each on both
-simulator kernels via :mod:`repro.testing.oracle`, and shrinks any
-divergence to a minimal reproducer in ``tests/repros/``::
+Round-robins random cases from the generators, runs each on every
+simulator kernel tier via :mod:`repro.testing.oracle`, and shrinks
+any divergence to a minimal reproducer in ``tests/repros/``::
 
     PYTHONPATH=src python -m repro.testing.fuzz --seed 1986 --cases 200
 
@@ -10,6 +10,12 @@ Exit status is 0 when every case agreed, 1 when any divergence was
 found (reproducer paths are printed).  ``--budget`` caps wall-clock
 seconds so a CI smoke stage cannot run away; the seed makes the case
 sequence reproducible regardless of how many cases the budget allowed.
+
+``--jobs N`` fans cases out over N worker processes through
+:mod:`repro.parallel` (``--jobs auto`` = one per CPU).  Each case's
+random stream is derived from ``(seed, generator, index)`` — never
+from campaign order — so the case sequence, any divergence found, and
+the reproducer files are identical for every job count.
 """
 
 import argparse
@@ -17,6 +23,7 @@ import random
 import sys
 import time
 
+from repro.parallel import resolve_jobs, run_cells
 from repro.testing import (
     gen_cp, gen_events, gen_faults, gen_occam, gen_vector,
 )
@@ -46,41 +53,100 @@ def run_case(generator, rng):
 
 
 def fuzz(seed: int, cases: int, budget_s: float, names, repro_dir,
-         do_shrink: bool = True, verbose: bool = False) -> dict:
-    """Run the campaign; returns a summary dict."""
+         do_shrink: bool = True, verbose: bool = False,
+         jobs=None) -> dict:
+    """Run the campaign; returns a summary dict.
+
+    ``jobs`` > 1 distributes cases over worker processes; every
+    case's spec and verdict — and therefore the summary and any
+    reproducer files — are independent of the job count.
+    """
     generators = [(name, GENERATORS[name]) for name in names]
+    jobs = resolve_jobs(jobs)
     deadline = time.monotonic() + budget_s if budget_s else None
     stats = {name: {"cases": 0, "divergences": 0} for name in names}
     repros = []
     errors = []
     executed = 0
-    for index in range(cases):
-        if deadline is not None and time.monotonic() > deadline:
-            print(f"budget exhausted after {executed} cases")
-            break
-        name, generator = generators[index % len(generators)]
-        # Independent stream per case: reordering generators or
-        # resuming mid-campaign reproduces the same specs.
-        rng = random.Random(f"{seed}:{name}:{index}")
-        spec, report, error = run_case(generator, rng)
+
+    def handle_case(name, index, spec, diverged, summary, error):
+        nonlocal executed
         executed += 1
         stats[name]["cases"] += 1
         if error is not None:
-            errors.append((name, index, repr(error)))
-            print(f"[{name} #{index}] harness error: {error!r}")
-            continue
-        if report.diverged:
+            errors.append((name, index, error))
+            print(f"[{name} #{index}] harness error: {error}")
+            return
+        if diverged:
+            generator = GENERATORS[name]
             stats[name]["divergences"] += 1
-            print(f"[{name} #{index}] DIVERGENCE: {report.summary()}")
+            print(f"[{name} #{index}] DIVERGENCE: {summary}")
+            # Shrinking re-executes candidate specs, so it runs in
+            # the parent on both the serial and the parallel path.
+            report = differential(generator.execute, spec)
             if do_shrink:
                 spec, report, used = shrink(generator, spec)
                 print(f"  shrunk in {used} executions: "
                       f"{report.summary()}")
-            path = write_repro(repro_dir, name, seed, index, spec, report)
+            path = write_repro(repro_dir, name, seed, index, spec,
+                               report)
             repros.append(path)
             print(f"  reproducer: {path}")
         elif verbose:
             print(f"[{name} #{index}] ok")
+
+    def case_cell(cell):
+        """One fuzz case, self-contained for a worker process."""
+        name, index = cell
+        generator = GENERATORS[name]
+        rng = random.Random(f"{seed}:{name}:{index}")
+        spec, report, error = run_case(generator, rng)
+        return {
+            "name": name, "index": index, "spec": spec,
+            "diverged": None if report is None else report.diverged,
+            "summary": None if report is None else report.summary(),
+            "error": None if error is None else repr(error),
+        }
+
+    if jobs == 1:
+        for index in range(cases):
+            if deadline is not None and time.monotonic() > deadline:
+                print(f"budget exhausted after {executed} cases")
+                break
+            name, generator = generators[index % len(generators)]
+            # Independent stream per case: reordering generators or
+            # resuming mid-campaign reproduces the same specs.
+            rng = random.Random(f"{seed}:{name}:{index}")
+            spec, report, error = run_case(generator, rng)
+            handle_case(name, index, spec,
+                        report.diverged if report else False,
+                        report.summary() if report else None,
+                        repr(error) if error else None)
+    else:
+        cells = [(generators[index % len(generators)][0], index)
+                 for index in range(cases)]
+        # Batches keep the wall-clock budget meaningful: the deadline
+        # is checked between batches, and the cases inside a batch are
+        # still index-seeded, so a budget-truncated campaign runs a
+        # prefix of the same case sequence.
+        batch = max(4 * jobs, 8)
+        for start in range(0, len(cells), batch):
+            if deadline is not None and time.monotonic() > deadline:
+                print(f"budget exhausted after {executed} cases")
+                break
+            sweep = run_cells(case_cell, cells[start:start + batch],
+                              jobs=jobs)
+            for cell, result in zip(cells[start:start + batch],
+                                    sweep.results):
+                name, index = cell
+                if not result.ok:
+                    handle_case(name, index, None, False, None,
+                                result.error)
+                    continue
+                outcome = result.value
+                handle_case(name, index, outcome["spec"],
+                            outcome["diverged"], outcome["summary"],
+                            outcome["error"])
     return {
         "executed": executed,
         "stats": stats,
@@ -92,7 +158,8 @@ def fuzz(seed: int, cases: int, budget_s: float, names, repro_dir,
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.testing.fuzz",
-        description="Differential fuzzing of the two simulator kernels.",
+        description="Differential fuzzing across the simulator's "
+                    "kernel tiers.",
     )
     parser.add_argument("--seed", type=int, default=0,
                         help="campaign seed (default 0)")
@@ -111,6 +178,9 @@ def main(argv=None) -> int:
                         help="write raw diverging specs unshrunk")
     parser.add_argument("--verbose", action="store_true",
                         help="print every case, not just divergences")
+    parser.add_argument("--jobs", default=None,
+                        help="worker processes (N, or 'auto' for one "
+                             "per CPU; default 1, or REPRO_SWEEP_JOBS)")
     args = parser.parse_args(argv)
 
     names = [n.strip() for n in args.generators.split(",") if n.strip()]
@@ -121,7 +191,8 @@ def main(argv=None) -> int:
 
     start = time.monotonic()
     summary = fuzz(args.seed, args.cases, args.budget, names, repro_dir,
-                   do_shrink=not args.no_shrink, verbose=args.verbose)
+                   do_shrink=not args.no_shrink, verbose=args.verbose,
+                   jobs=args.jobs)
     elapsed = time.monotonic() - start
 
     print(f"\n{summary['executed']} cases in {elapsed:.1f}s "
@@ -136,7 +207,7 @@ def main(argv=None) -> int:
     if summary["repros"]:
         print(f"  {len(summary['repros'])} reproducers written")
         return 1
-    print("  all cases agreed across both kernels")
+    print("  all cases agreed across all kernel tiers")
     return 0
 
 

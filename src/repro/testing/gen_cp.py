@@ -281,6 +281,13 @@ def execute(spec: dict) -> dict:
                 cpu.patch_code(pad + patch["offset"],
                                bytes([patch["byte"]]))
                 applied += 1
+        # The turbo tier must hand control back at the same chain
+        # boundaries this loop observes on the other tiers: the next
+        # patch point and the byte budget.
+        barrier = MAX_STEP_BYTES
+        if applied < len(patches):
+            barrier = min(barrier, patches[applied]["after"])
+        cpu.step_barrier = barrier
         cpu.step()
     return {
         "stopped": stopped,

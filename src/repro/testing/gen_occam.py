@@ -45,7 +45,11 @@ from repro.occam.compiler import (
     variables_snapshot,
 )
 
-MAX_STEPS = 400_000
+#: Execution budget in executed code *bytes* — the unit that advances
+#: identically on all three kernel tiers (a step() call executes one
+#: byte, one chain, or one translated block depending on the tier, so
+#: a step-count budget would stop each tier at a different point).
+MAX_STEP_BYTES = 400_000
 
 _SAFE_OPS = ("add", "sub", "mul", "and", "or", "xor")
 
@@ -225,7 +229,8 @@ def execute(spec: dict) -> dict:
     assembled = assemble(source)
     cpu = CPU(assembled.code)
     stopped = "budget"
-    for _ in range(MAX_STEPS):
+    cpu.step_barrier = MAX_STEP_BYTES
+    while cpu.instructions < MAX_STEP_BYTES:
         if cpu.halted:
             stopped = "deadlocked" if cpu.deadlocked else "halted"
             break

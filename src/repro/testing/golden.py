@@ -2,9 +2,10 @@
 
 A small registry of canonical workloads — one per major subsystem —
 each of which produces a deterministic JSON-able trace.  The traces
-are pinned under ``tests/golden/`` and checked three ways on every
-run: fast kernel vs. stored, slow kernel vs. stored, and (implicitly)
-fast vs. slow.  Any behavioural drift in the event engine, the CP
+are pinned under ``tests/golden/`` and checked against every kernel
+tier on every run: reference vs. stored, fast vs. stored, turbo
+vs. stored — and hence (implicitly) every tier against every other
+tier.  Any behavioural drift in the event engine, the CP
 interpreter, the Occam compiler, the vector timing model, the
 gather/scatter engine, or the fault-recovery orchestration shows up
 as a diff against a file in version control, where it can be reviewed
@@ -20,7 +21,7 @@ import hashlib
 import json
 import os
 
-from repro.events.engine import force_kernel
+from repro.events.engine import KERNEL_TIERS, force_kernel
 from repro.testing import gen_cp, gen_events, gen_occam, gen_vector
 
 #: Fixed specs, one per generator, chosen to cover the interesting
@@ -219,18 +220,21 @@ def _normalise(outcome):
 
 
 def capture(name: str) -> dict:
-    """Run one workload on BOTH kernels; assert agreement; return the
-    (normalised) trace."""
+    """Run one workload on EVERY kernel tier; assert agreement; return
+    the (normalised) trace."""
     workload = WORKLOADS[name]
-    with force_kernel(slow=False):
-        fast = _normalise(workload())
-    with force_kernel(slow=True):
-        slow = _normalise(workload())
-    if fast != slow:
-        raise AssertionError(
-            f"golden workload {name!r} diverges between kernels"
-        )
-    return fast
+    outcomes = {}
+    for tier in KERNEL_TIERS:
+        with force_kernel(tier=tier):
+            outcomes[tier] = _normalise(workload())
+    reference = outcomes["reference"]
+    for tier in KERNEL_TIERS:
+        if outcomes[tier] != reference:
+            raise AssertionError(
+                f"golden workload {name!r}: {tier} tier diverges "
+                f"from reference"
+            )
+    return reference
 
 
 def default_golden_dir() -> str:
@@ -261,7 +265,7 @@ def regen(directory: str) -> list:
 
 
 def verify(directory: str) -> list:
-    """Compare stored traces against fresh runs of both kernels.
+    """Compare stored traces against fresh runs of every kernel tier.
 
     Returns a list of human-readable problem strings (empty = clean).
     """
@@ -274,11 +278,11 @@ def verify(directory: str) -> list:
         with open(path) as handle:
             stored = json.load(handle)
         workload = WORKLOADS[name]
-        for label, slow in (("fast", False), ("slow", True)):
-            with force_kernel(slow=slow):
+        for tier in KERNEL_TIERS:
+            with force_kernel(tier=tier):
                 fresh = _normalise(workload())
             if fresh != stored:
                 problems.append(
-                    f"{name}: {label} kernel diverges from stored trace"
+                    f"{name}: {tier} tier diverges from stored trace"
                 )
     return problems

@@ -1,13 +1,14 @@
-"""The differential oracle: run a case on both kernels, compare.
+"""The differential oracle: run a case on every kernel tier, compare.
 
 PR 1 split the simulator into a fast path (URGENT fast lane, decoded-
 instruction cache, memoized vector-form timing) and a
-``REPRO_SLOW_KERNEL=1`` reference path, with the contract that both
-produce bit-identical architectural results.  This module is the
-machinery that checks the contract mechanically: a *case* is a
-JSON-able spec plus an ``execute(spec) -> outcome`` function; the
-oracle executes it once under each kernel and structurally diffs the
-outcomes.
+``REPRO_SLOW_KERNEL=1`` reference path; the turbo tier (basic-block
+translation, resume trampolining) makes it three, with the contract
+that all tiers produce bit-identical architectural results.  This
+module is the machinery that checks the contract mechanically: a
+*case* is a JSON-able spec plus an ``execute(spec) -> outcome``
+function; the oracle executes it once under each tier and structurally
+diffs every optimized tier's outcome against the reference tier's.
 
 Outcomes are plain JSON-able data (dicts/lists/ints/strings): the
 generators serialise floats as bit patterns and memory as digests, so
@@ -22,13 +23,21 @@ from repro.events.engine import force_kernel
 
 @dataclass
 class DiffReport:
-    """Result of one differential execution."""
+    """Result of one differential execution.
+
+    ``slow`` holds the reference-tier outcome; ``fast`` and ``turbo``
+    the optimized tiers' outcomes (``turbo`` is ``None`` when only two
+    tiers were compared, e.g. in unit tests that build reports by
+    hand).
+    """
 
     diverged: bool
-    #: Human-readable paths into the outcome where the kernels differ.
+    #: Human-readable paths into the outcome where the kernels differ,
+    #: each prefixed with the diverging tier's name.
     details: list = field(default_factory=list)
     fast: object = None
     slow: object = None
+    turbo: object = None
 
     def summary(self, limit: int = 5) -> str:
         if not self.diverged:
@@ -79,19 +88,24 @@ def diff_outcomes(fast, slow, path="$") -> list:
 
 
 def differential(execute, spec) -> DiffReport:
-    """Execute ``spec`` on the fast and the reference kernel and diff.
+    """Execute ``spec`` on every kernel tier and diff vs reference.
 
-    ``execute`` must build its entire scenario (engines, CPUs, vector
-    units) from scratch inside the call — the kernel choice is sampled
-    at construction time, and any object smuggled in from outside
-    would carry the wrong kernel.
+    Runs the reference tier once, then each optimized tier (fast,
+    turbo), diffing every optimized outcome against the reference
+    outcome.  ``execute`` must build its entire scenario (engines,
+    CPUs, vector units) from scratch inside the call — the kernel
+    choice is sampled at construction time, and any object smuggled in
+    from outside would carry the wrong kernel.
     """
-    with force_kernel(slow=False):
-        fast = execute(spec)
-    with force_kernel(slow=True):
+    with force_kernel(tier="reference"):
         slow = execute(spec)
-    details = diff_outcomes(fast, slow)
-    return DiffReport(bool(details), details, fast, slow)
+    with force_kernel(tier="fast"):
+        fast = execute(spec)
+    with force_kernel(tier="turbo"):
+        turbo = execute(spec)
+    details = [f"fast {d}" for d in diff_outcomes(fast, slow)]
+    details += [f"turbo {d}" for d in diff_outcomes(turbo, slow)]
+    return DiffReport(bool(details), details, fast, slow, turbo)
 
 
 def check_execution_error(execute, spec):

@@ -1,7 +1,7 @@
-"""Golden-trace conformance: stored traces vs. both kernels.
+"""Golden-trace conformance: stored traces vs. every kernel tier.
 
 Each workload in :mod:`repro.testing.golden` is pinned as a JSON file
-under ``tests/golden/``.  These tests fail when either kernel's
+under ``tests/golden/``.  These tests fail when any kernel tier's
 behaviour drifts from the stored trace; if the drift is intentional,
 regenerate with ``PYTHONPATH=src python scripts/regen_golden.py`` and
 review the JSON diff.
@@ -12,7 +12,7 @@ import os
 
 import pytest
 
-from repro.events.engine import force_kernel
+from repro.events.engine import KERNEL_TIERS, force_kernel
 from repro.testing import golden
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
@@ -26,12 +26,11 @@ def test_golden_file_exists(name):
 
 
 @pytest.mark.parametrize("name", sorted(golden.WORKLOADS))
-@pytest.mark.parametrize("slow", [False, True],
-                         ids=["fast_kernel", "slow_kernel"])
-def test_kernel_matches_stored_trace(name, slow):
+@pytest.mark.parametrize("tier", list(KERNEL_TIERS))
+def test_kernel_matches_stored_trace(name, tier):
     with open(golden.golden_path(GOLDEN_DIR, name)) as handle:
         stored = json.load(handle)
-    with force_kernel(slow=slow):
+    with force_kernel(tier=tier):
         fresh = json.loads(json.dumps(golden.WORKLOADS[name]()))
     assert fresh == stored, (
         f"{name} diverges from the stored golden trace; if intentional, "

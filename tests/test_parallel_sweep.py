@@ -1,0 +1,164 @@
+"""Unit tests for the deterministic parallel sweep runner.
+
+The runner's whole value is one property: ``run_cells(f, cells,
+jobs=N).values()`` is byte-identical to the serial run for every
+``N``, with worker crashes degraded to per-cell failures.  These
+tests pin that property directly, plus the job-resolution rules and
+the JSON normalisation that makes serial and parallel outcomes
+indistinguishable.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.parallel import (
+    SweepError,
+    resolve_jobs,
+    run_cells,
+)
+
+
+def _square(cell):
+    return {"cell": cell, "value": cell * cell, "pair": (cell, -cell)}
+
+
+def _slow_square(cell):
+    # Uneven per-cell cost: late cells finish before early ones on a
+    # multi-worker run, exercising the order-independent merge.
+    import time
+    time.sleep(0.02 if cell < 2 else 0.0)
+    return _square(cell)
+
+
+def _fragile(cell):
+    if cell == 3:
+        raise ValueError(f"bad cell {cell}")
+    return _square(cell)
+
+
+def _crashy(cell):
+    if cell == 2:
+        os._exit(9)  # hard death: no exception, no queue flush
+    return _square(cell)
+
+
+class TestSerialParallelEquivalence:
+    def test_values_identical_across_job_counts(self):
+        cells = list(range(7))
+        serial = run_cells(_square, cells, jobs=1)
+        assert serial.jobs == 1
+        for jobs in (2, 3, 8):
+            parallel = run_cells(_square, cells, jobs=jobs)
+            assert parallel.values() == serial.values()
+            assert json.dumps(parallel.values(), sort_keys=True) == \
+                json.dumps(serial.values(), sort_keys=True)
+
+    def test_merge_is_cell_ordered_not_completion_ordered(self):
+        result = run_cells(_slow_square, list(range(5)), jobs=4)
+        assert [r.index for r in result.results] == [0, 1, 2, 3, 4]
+        assert [v["cell"] for v in result.values()] == [0, 1, 2, 3, 4]
+
+    def test_outcomes_json_normalised_on_both_paths(self):
+        # run_one returns a tuple; both paths must yield a list.
+        serial = run_cells(_square, [5], jobs=1)
+        parallel = run_cells(_square, [5, 6], jobs=2)
+        assert serial.values()[0]["pair"] == [5, -5]
+        assert parallel.values()[0]["pair"] == [5, -5]
+
+    def test_non_jsonable_outcome_fails_on_serial_path_too(self):
+        result = run_cells(lambda cell: {"x": object()}, [1], jobs=1)
+        assert not result.results[0].ok
+        with pytest.raises(SweepError):
+            result.values()
+
+    def test_per_cell_timings_measured_but_not_merged(self):
+        result = run_cells(_square, [1, 2, 3], jobs=1)
+        assert len(result.timings()) == 3
+        assert all(t >= 0.0 for t in result.timings())
+        assert all("wall" not in v for v in result.values())
+
+
+class TestFailureIsolation:
+    def test_exception_fails_only_its_cell(self):
+        result = run_cells(_fragile, list(range(6)), jobs=3)
+        bad = result.failures()
+        assert [r.index for r in bad] == [3]
+        assert "ValueError" in bad[0].error
+        good = [r for r in result.results if r.ok]
+        assert [r.value["cell"] for r in good] == [0, 1, 2, 4, 5]
+        with pytest.raises(SweepError, match="cell 3"):
+            result.values()
+
+    def test_worker_crash_fails_cell_and_sweep_completes(self):
+        result = run_cells(_crashy, list(range(6)), jobs=2)
+        bad = result.failures()
+        assert [r.index for r in bad] == [2]
+        assert "crashed" in bad[0].error
+        # Every other cell — including the crashed worker's remaining
+        # partition, respawned onto a fresh process — completed.
+        good = [r for r in result.results if r.ok]
+        assert [r.value["cell"] for r in good] == [0, 1, 3, 4, 5]
+
+    def test_exception_on_serial_path_matches_parallel_shape(self):
+        serial = run_cells(_fragile, list(range(6)), jobs=1)
+        parallel = run_cells(_fragile, list(range(6)), jobs=3)
+        assert [r.index for r in serial.failures()] == \
+            [r.index for r in parallel.failures()]
+        assert [r.ok for r in serial.results] == \
+            [r.ok for r in parallel.results]
+
+
+class TestJobResolution:
+    def test_explicit_and_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs("5") == 5
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_JOBS", "4")
+        assert resolve_jobs(None) == 4
+        # Explicit argument wins over the environment.
+        assert resolve_jobs(2) == 2
+
+    def test_auto_maps_to_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_JOBS", raising=False)
+        expected = max(1, os.cpu_count() or 1)
+        assert resolve_jobs("auto") == expected
+        assert resolve_jobs(0) == expected
+        monkeypatch.setenv("REPRO_SWEEP_JOBS", "auto")
+        assert resolve_jobs(None) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+    def test_single_cell_runs_inline(self):
+        result = run_cells(_square, [9], jobs=8)
+        assert result.jobs == 1
+        assert result.values()[0]["value"] == 81
+
+
+class TestRealWorkloadCells:
+    def test_simulation_cells_identical_serial_vs_parallel(self):
+        """Each cell builds a full engine+CPU scenario from scratch;
+        merged outcomes must not depend on the job count."""
+        from repro.cp import CPU, assemble
+
+        def run_one(count):
+            cpu = CPU(assemble(
+                f"ldc {count}\nstl 1\n"
+                "loop:\n"
+                "    ldl 1\n    adc -1\n    dup\n    stl 1\n"
+                "    cj done\n    j loop\n"
+                "done:\n    ldl 1\nterminate").code)
+            cpu.run()
+            return {"count": count, "cycles": cpu.cycles,
+                    "instructions": cpu.instructions}
+
+        cells = [3, 10, 1, 25]
+        serial = run_cells(run_one, cells, jobs=1)
+        parallel = run_cells(run_one, cells, jobs=4)
+        assert serial.values() == parallel.values()

@@ -166,6 +166,24 @@ class TestFuzzCampaign:
         out = capsys.readouterr().out
         assert "all cases agreed" in out
 
+    def test_parallel_campaign_matches_serial(self, tmp_path):
+        serial = fuzz(seed=2024, cases=10, budget_s=0,
+                      names=ALL_GENERATORS,
+                      repro_dir=str(tmp_path / "serial"))
+        parallel = fuzz(seed=2024, cases=10, budget_s=0,
+                        names=ALL_GENERATORS,
+                        repro_dir=str(tmp_path / "parallel"), jobs=2)
+        assert parallel["executed"] == serial["executed"]
+        assert parallel["stats"] == serial["stats"]
+        assert parallel["repros"] == serial["repros"] == []
+        assert parallel["errors"] == serial["errors"] == []
+
+    def test_cli_jobs_flag(self, tmp_path, capsys):
+        rc = main(["--seed", "3", "--cases", "4", "--jobs", "2",
+                   "--repro-dir", str(tmp_path)])
+        assert rc == 0
+        assert "all cases agreed" in capsys.readouterr().out
+
     def test_cli_rejects_unknown_generator(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["--generators", "nope", "--repro-dir", str(tmp_path)])
