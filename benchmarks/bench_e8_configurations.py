@@ -11,11 +11,26 @@ table sweep runs through :func:`repro.parallel.run_cells` — serial by
 default, fanned out under ``REPRO_SWEEP_JOBS`` (or
 ``benchmarks/bench_sweep.py --jobs N``) with a byte-identical merged
 result.
+
+The table sweep is also the first bench wired through the
+:mod:`repro.service` machine-room layer: cells are submitted as
+content-addressed jobs, so a re-run with an unchanged tree answers
+from the ``.repro-cache/`` store without simulating.  Disable with
+``pytest benchmarks/ --no-cache`` (or ``REPRO_SERVICE_CACHE=0``) to
+force fresh execution.  Per-cell wall clocks are surfaced in a
+separate ``e8_configurations_timing`` report so the main tables stay
+bit-stable.
 """
+
+import os
 
 import pytest
 
-from repro.analysis import Table
+from repro.analysis import (
+    Table,
+    service_stats_table,
+    sweep_timing_table,
+)
 from repro.core import (
     MachineConfig,
     PAPER_SPECS,
@@ -23,6 +38,7 @@ from repro.core import (
     TSeriesMachine,
 )
 from repro.parallel import run_cells
+from repro.service import JobSpec, SimulationService, register_workload
 
 from _util import save_report
 
@@ -54,12 +70,47 @@ def config_cell(cell):
     return row
 
 
-def _config_rows(jobs=None):
-    return run_cells(config_cell, CONFIG_CELLS, jobs=jobs).values()
+def _e8_cell_runner(spec):
+    """Service runner for one configuration cell."""
+    return config_cell((spec["label"], spec["dimension"]))
+
+
+register_workload("bench.e8_config", _e8_cell_runner, replace=True)
+
+
+def service_cache_enabled() -> bool:
+    """``REPRO_SERVICE_CACHE=0`` (or ``--no-cache``) disables the
+    result cache and forces fresh simulation."""
+    return os.environ.get("REPRO_SERVICE_CACHE", "1") not in ("0", "off")
+
+
+def _config_rows(jobs=None, use_cache=None):
+    """The configuration table, served through the machine room.
+
+    Submits every cell as a content-addressed job; an unchanged tree
+    re-runs near-instantly from the result cache.  Returns the rows
+    and the service (for the timing/stats report).
+    """
+    if use_cache is None:
+        use_cache = service_cache_enabled()
+    service = SimulationService(use_cache=use_cache, pool_jobs=jobs)
+    futures = [
+        service.submit(JobSpec(kind="bench.e8_config",
+                               spec={"label": label, "dimension": dim}))
+        for label, dim in CONFIG_CELLS
+    ]
+    service.drain()
+    return [f.result() for f in futures], service
 
 
 def test_e8_configuration_tables(benchmark):
-    rows = benchmark.pedantic(_config_rows, rounds=1, iterations=1)
+    rows, service = benchmark.pedantic(
+        _config_rows, rounds=1, iterations=1
+    )
+    # The service path must agree with the direct sweep, whether the
+    # rows came from fresh simulation or from the result cache.
+    direct = run_cells(config_cell, CONFIG_CELLS).values()
+    assert rows == direct
     table = Table(
         "E8 — T Series configurations (derived from module specs)",
         ["configuration", "n", "nodes", "modules", "cabinets",
@@ -85,6 +136,18 @@ def test_e8_configuration_tables(benchmark):
     budget.add("14-cube (io released)", plan14["hypercube"],
                plan14["system"], plan14["io"], plan14["spare"])
     save_report("e8_configurations", table, budget)
+
+    # Diagnostic twin report: service counters and per-cell wall
+    # clocks.  Separate file so the tables above stay bit-stable.
+    timing_tables = [service_stats_table(
+        service, "E8d — machine-room service profile"
+    )]
+    if service.last_sweep is not None:
+        timing_tables.append(sweep_timing_table(
+            service.last_sweep,
+            "E8e — per-cell wall clock (executed cells)",
+        ))
+    save_report("e8_configurations_timing", *timing_tables)
 
     by_label = {c["label"]: c for c in rows}
     # The paper's named figures.

@@ -1,0 +1,254 @@
+"""Machine-room serving benchmark: cold vs. warm throughput.
+
+The service layer exists because a simulator's real traffic is
+thousands of near-duplicate configuration runs: the same
+``(config, workload, tier, seed)`` cell resubmitted by every bench,
+fuzz campaign, and user.  This bench measures what the
+content-addressed cache buys on that traffic and proves the safety
+property that makes it usable at all:
+
+* **Cold pass** — a mixed batch (CP programs, event schedules, Occam
+  pipelines, vector workloads, a golden workload) submitted to a
+  fresh cache; every job simulates.  Duplicate submissions inside the
+  batch exercise in-flight coalescing.
+* **Warm pass** — the identical batch against the now-populated
+  store, through a *new* service instance (so even the memory LRU is
+  cold and hits come off disk); no job simulates.
+* **Identity gate** — the warm payloads must be byte-identical
+  (canonical JSON) to the cold pass's fresh simulations, per job, on
+  every kernel tier (reference / fast / turbo).
+
+Acceptance (full mode): warm ≥ 10x faster than cold on every tier,
+every warm job served from cache, every payload byte-identical.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_service.py          # full
+    PYTHONPATH=src python benchmarks/bench_service.py --quick  # smoke
+"""
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.analysis import Table, service_stats
+from repro.events.engine import KERNEL_TIERS
+from repro.service import (
+    JobSpec,
+    ResultCache,
+    SimulationService,
+    canonical_json,
+)
+
+from _util import save_report
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_JSON = ROOT / "BENCH_service.json"
+
+WARM_SPEEDUP_TARGET = 10.0
+
+
+def _batch(quick: bool) -> list:
+    """The mixed workload batch (kind, spec) — scaled so a cold pass
+    is real simulation work, not harness overhead."""
+    # Weighted toward compute-heavy, small-payload work (the Occam
+    # interpreter and the CP loop): warm cost scales with payload
+    # bytes (read + checksum), cold cost with simulated work, so this
+    # mix is what a cache actually serves well.  The vector job keeps
+    # a deliberately fat payload in the mix to price the checksum.
+    loops = 40 if quick else 300
+    n = 500 if quick else 2000
+    reps = 50 if quick else 8000
+    jobs = [
+        ("cp", {"kind": "cp", "units": [
+            {"t": "arith", "ops": [["ldc", 123456], ["adc", -7],
+                                   ["dup"], ["gt"], ["mint"], ["not"]]},
+            {"t": "loop", "count": loops,
+             "body": [["ldc", 3], ["adc", 4], ["stl", 7], ["ldl", 7]]},
+            {"t": "patchpad",
+             "pad": [[0x4, 1], [0x8, 2], [0x4, 3], [0xC, 4]],
+             "reps": 4},
+        ], "patches": [{"after": 40, "offset": 1, "byte": 0x45}]}),
+        ("events", {"kind": "events", "channels": 2, "stores": [[2]],
+                    "resources": [[1]],
+                    "procs": [
+                        [["timeout", 5], ["put", 0, 42],
+                         ["sput", 0, 7], ["hold", 0, 25],
+                         ["put", 1, -3]],
+                        [["get", 0], ["timeout", 0.5], ["get", 1],
+                         ["sget", 0], ["refire"]],
+                        [["timeout", 12.25], ["hold", 0, 10],
+                         ["spawn", 8, 4], ["sput", 0, 99]],
+                    ],
+                    "interrupts": []}),
+        ("occam", {"kind": "occam", "program": ["seq", [
+            ["assign", "acc", ["num", 0]],
+            ["repseq", "i", 0, reps,
+             ["assign", "acc",
+              ["add", ["var", "acc"], ["var", "i"]]]],
+        ]]}),
+        ("vector", {"kind": "vector", "ops": [
+            {"form": "VADD", "n": n, "precision": 64, "seed": 7,
+             "scalars": [], "specials": False},
+            {"form": "DOT", "n": n, "precision": 64, "seed": 9,
+             "scalars": [], "specials": False},
+            {"form": "SAXPY", "n": n, "precision": 32, "seed": 10,
+             "scalars": [-1.25], "specials": True},
+        ]}),
+        ("golden", {"name": "node_gather_scatter"}),
+        ("vector", {"kind": "vector", "ops": [
+            {"form": "SUM", "n": n, "precision": 64, "seed": 11,
+             "scalars": [], "specials": True},
+        ]}),
+    ]
+    return jobs
+
+
+def _submit_all(service, jobs, tier):
+    futures = [
+        service.submit(JobSpec(kind=kind, spec=spec, tier=tier))
+        for kind, spec in jobs
+    ]
+    # Resubmit the first two jobs: identical keys must coalesce (cold)
+    # or answer from cache (warm), never simulate twice.
+    for kind, spec in jobs[:2]:
+        futures.append(
+            service.submit(JobSpec(kind=kind, spec=spec, tier=tier))
+        )
+    service.drain()
+    return futures
+
+
+def _canonical_payloads(futures) -> str:
+    return canonical_json([f.result() for f in futures])
+
+
+def run_tier(tier: str, jobs, cache_root: str) -> dict:
+    cold_service = SimulationService(cache=ResultCache(root=cache_root))
+    t0 = time.perf_counter()
+    cold_futures = _submit_all(cold_service, jobs, tier)
+    cold_wall = time.perf_counter() - t0
+    cold_stats = service_stats(cold_service)
+
+    # A fresh service instance: the memory LRU starts empty, so warm
+    # hits prove the on-disk store, not a dict lookup.
+    warm_service = SimulationService(cache=ResultCache(root=cache_root))
+    t0 = time.perf_counter()
+    warm_futures = _submit_all(warm_service, jobs, tier)
+    warm_wall = time.perf_counter() - t0
+    warm_stats = service_stats(warm_service)
+
+    return {
+        "tier": tier,
+        "jobs": len(jobs),
+        "submissions": len(cold_futures),
+        "cold_wall_s": cold_wall,
+        "warm_wall_s": warm_wall,
+        "warm_speedup": cold_wall / warm_wall,
+        "cold_executed": cold_stats["executed"],
+        "cold_coalesced": cold_stats["coalesced"],
+        "warm_cache_hits": warm_stats["cache_hits"],
+        "warm_executed": warm_stats["executed"],
+        "all_warm_cached": all(
+            f.status == "cached" for f in warm_futures
+        ),
+        "byte_identical": (
+            _canonical_payloads(cold_futures)
+            == _canonical_payloads(warm_futures)
+        ),
+    }
+
+
+def run_benchmark(quick: bool = False) -> dict:
+    jobs = _batch(quick)
+    tiers = {}
+    cache_root = tempfile.mkdtemp(prefix="repro-service-bench-")
+    try:
+        for tier in KERNEL_TIERS:
+            tiers[tier] = run_tier(tier, jobs, cache_root)
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+    return {
+        "benchmark": "service",
+        "quick": quick,
+        "warm_speedup_target": WARM_SPEEDUP_TARGET,
+        "tiers": tiers,
+        "min_warm_speedup": min(
+            t["warm_speedup"] for t in tiers.values()
+        ),
+        "all_byte_identical": all(
+            t["byte_identical"] for t in tiers.values()
+        ),
+        "all_warm_cached": all(
+            t["all_warm_cached"] for t in tiers.values()
+        ),
+        "coalescing_observed": all(
+            t["cold_coalesced"] == 2 and
+            t["cold_executed"] == t["jobs"]
+            for t in tiers.values()
+        ),
+    }
+
+
+def render(payload: dict) -> Table:
+    table = Table(
+        "Service cold vs. warm throughput "
+        f"(target >= {payload['warm_speedup_target']}x warm)",
+        ["tier", "jobs", "cold s", "warm s", "speedup",
+         "warm cached", "byte identical"],
+    )
+    for tier, r in payload["tiers"].items():
+        table.add(tier, r["jobs"],
+                  round(r["cold_wall_s"], 4),
+                  round(r["warm_wall_s"], 4),
+                  round(r["warm_speedup"], 2),
+                  r["all_warm_cached"], r["byte_identical"])
+    return table
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small batch; identity gated, speedup target not",
+    )
+    parser.add_argument(
+        "--no-json", action="store_true",
+        help="skip writing BENCH_service.json (exploratory runs)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark(quick=args.quick)
+    save_report("service", render(payload))
+
+    payload["acceptance"] = {
+        "min_warm_speedup": round(payload["min_warm_speedup"], 2),
+        "warm_speedup_target": WARM_SPEEDUP_TARGET,
+        "speedup_target_applies": not args.quick,
+        "all_byte_identical": payload["all_byte_identical"],
+        "all_warm_cached": payload["all_warm_cached"],
+        "coalescing_observed": payload["coalescing_observed"],
+    }
+    if not args.no_json:
+        BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {BENCH_JSON}")
+
+    ok = (payload["all_byte_identical"] and payload["all_warm_cached"]
+          and payload["coalescing_observed"])
+    if not args.quick:
+        ok = ok and payload["min_warm_speedup"] >= WARM_SPEEDUP_TARGET
+    print("\nacceptance:", json.dumps(payload["acceptance"], indent=2))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,7 +41,7 @@ sys.path.insert(
     0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
 )
 
-from repro.analysis import Table
+from repro.analysis import Table, sweep_timing_table
 from repro.parallel import run_cells
 
 from _util import save_report
@@ -102,6 +102,9 @@ def run_benchmark(jobs: int, quick: bool = False) -> dict:
             "cell_wall_s_total": sum(serial.timings()),
             "workers_used": parallel.jobs,
             "merged_identical": identical,
+            # Per-cell wall-clock roll-up (CellResult timings) —
+            # diagnostic only, never part of the merged payload.
+            "timing_summary": parallel.timing_summary(),
         }
     return {
         "benchmark": "sweep",
@@ -164,7 +167,13 @@ def main(argv=None) -> int:
         jobs = max(1, int(args.jobs))
 
     payload = run_benchmark(jobs, quick=args.quick)
-    save_report("sweep", render(payload))
+    timing_tables = [
+        sweep_timing_table(r["timing_summary"],
+                           f"Per-cell wall clock — {name} "
+                           f"(parallel leg)")
+        for name, r in payload["sweeps"].items()
+    ]
+    save_report("sweep", render(payload), *timing_tables)
 
     # The speedup target only binds where the hardware can deliver it:
     # >= 4 workers with >= 4 CPUs to run them on.  Byte-identical

@@ -1,0 +1,22 @@
+"""Benchmark-harness options.
+
+``--no-cache`` disables the machine-room result cache for benches
+wired through :mod:`repro.service` (currently E8): every cell
+simulates fresh instead of answering from ``.repro-cache/``.  The
+same switch is available without pytest as ``REPRO_SERVICE_CACHE=0``.
+"""
+
+import os
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--no-cache", action="store_true", default=False,
+        help="bypass the repro.service result cache (fresh simulation "
+        "for every bench cell)",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--no-cache"):
+        os.environ["REPRO_SERVICE_CACHE"] = "0"

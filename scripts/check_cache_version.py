@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Cache-versioning guard: golden digests ↔ job-key schema pairing.
+
+Every service job key folds in the digest of the golden-trace set, so
+cached results invalidate whenever simulator semantics change.  The
+pairing of ``JOB_KEY_SCHEMA_VERSION`` with the golden digest is
+pinned in ``tests/golden/jobkey_schema.json``; this guard fails CI
+when the golden traces changed but the job-key schema version (and
+the pin) did not move with them — the rule that makes "cache entries
+invalidate when semantics change" an enforced invariant instead of a
+convention.
+
+Workflow when an intentional behaviour change regenerates goldens::
+
+    python scripts/regen_golden.py
+    # bump JOB_KEY_SCHEMA_VERSION in src/repro/service/jobkey.py
+    python scripts/check_cache_version.py --update
+
+Exit status: 0 when the pin matches the tree, 1 otherwise.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..",
+                 "src"),
+)
+
+from repro.service.jobkey import (  # noqa: E402
+    JOB_KEY_SCHEMA_VERSION,
+    current_schema_pin,
+    schema_pin_path,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the pin from the current tree (after a schema "
+        "bump)",
+    )
+    args = parser.parse_args(argv)
+
+    path = schema_pin_path()
+    current = current_schema_pin()
+
+    if args.update:
+        with open(path, "w") as handle:
+            json.dump(current, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"pinned schema v{JOB_KEY_SCHEMA_VERSION} + golden "
+              f"fingerprint -> {path}")
+        return 0
+
+    try:
+        with open(path) as handle:
+            pinned = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"FAIL: cannot read schema pin {path}: {exc}")
+        print("run scripts/check_cache_version.py --update")
+        return 1
+
+    if pinned == current:
+        print(f"cache-version guard OK (schema "
+              f"v{current['job_key_schema_version']}, golden "
+              f"{current['golden_fingerprint'][:12]}…)")
+        return 0
+
+    same_version = (pinned.get("job_key_schema_version")
+                    == current["job_key_schema_version"])
+    if same_version:
+        print("FAIL: golden-trace digests changed but "
+              "JOB_KEY_SCHEMA_VERSION did not.")
+        print("Stale service-cache entries would alias the new "
+              "semantics.  Bump JOB_KEY_SCHEMA_VERSION in "
+              "src/repro/service/jobkey.py, then run "
+              "scripts/check_cache_version.py --update.")
+    else:
+        print("FAIL: JOB_KEY_SCHEMA_VERSION moved but the pin was "
+              "not refreshed.")
+        print("Run scripts/check_cache_version.py --update and "
+              "commit the pin.")
+    print(f"pinned:  {json.dumps(pinned, sort_keys=True)}")
+    print(f"current: {json.dumps(current, sort_keys=True)}")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,36 @@ python scripts/fault_smoke.py
 echo "== golden trace conformance (reference / fast / turbo) =="
 python scripts/regen_golden.py --check
 
+echo "== service smoke (batch twice; second pass all cache hits) =="
+SERVICE_SMOKE_DIR=$(mktemp -d)
+python -m repro.service batch examples/service_batch.json \
+    --cache-dir "$SERVICE_SMOKE_DIR/cache" \
+    --out "$SERVICE_SMOKE_DIR/pass1.json"
+python -m repro.service batch examples/service_batch.json \
+    --cache-dir "$SERVICE_SMOKE_DIR/cache" \
+    --out "$SERVICE_SMOKE_DIR/pass2.json"
+python - "$SERVICE_SMOKE_DIR" <<'EOF'
+import json, sys
+root = sys.argv[1]
+with open(f"{root}/pass1.json") as f: cold = json.load(f)
+with open(f"{root}/pass2.json") as f: warm = json.load(f)
+assert cold["all_ok"] and warm["all_ok"]
+statuses = [j["status"] for j in warm["jobs"]]
+assert all(s == "cached" for s in statuses), statuses
+cold_digests = [j["digest"] for j in cold["jobs"]]
+warm_digests = [j["digest"] for j in warm["jobs"]]
+assert cold_digests == warm_digests, "digest drift cold -> warm"
+print(f"service smoke OK: {len(statuses)} jobs, warm pass all "
+      "cache hits, digests match")
+EOF
+rm -rf "$SERVICE_SMOKE_DIR"
+
+echo "== cache-versioning guard (golden digests <-> job-key schema) =="
+python scripts/check_cache_version.py
+
+echo "== service benchmark smoke (cold/warm identity, three tiers) =="
+python benchmarks/bench_service.py --quick --no-json
+
 echo "== parallel-sweep smoke (4 workers, byte-identical merge) =="
 # The smoke gates determinism, not throughput; the timeout is a wall
 # budget so a wedged worker pool fails CI instead of hanging it.

@@ -61,6 +61,9 @@ from repro.analysis.tracing import (
     node_utilization,
     recovery_stats,
     reliability_stats,
+    service_stats,
+    service_stats_table,
+    sweep_timing_table,
     utilization_table,
 )
 
@@ -105,6 +108,9 @@ __all__ = [
     "reliability_stats",
     "seconds",
     "series",
+    "service_stats",
+    "service_stats_table",
+    "sweep_timing_table",
     "simulate_checkpointing",
     "speedup",
     "young_interval_s",

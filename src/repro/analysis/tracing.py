@@ -212,6 +212,92 @@ def recovery_stats(run) -> dict:
     return stats
 
 
+def _latency_rollup(samples) -> dict:
+    """Mean/max/total over a per-job latency list (seconds)."""
+    samples = list(samples)
+    return {
+        "jobs": len(samples),
+        "total_s": sum(samples),
+        "mean_s": (sum(samples) / len(samples)) if samples else 0.0,
+        "max_s": max(samples) if samples else 0.0,
+    }
+
+
+def service_stats(service) -> dict:
+    """Roll-up of a :class:`~repro.service.SimulationService` run.
+
+    Accepts the service itself or its raw ``stats()`` dict.  Keys:
+    submission counters (``submissions``, ``cache_hits``,
+    ``coalesced``, ``executed``, ``failed``, ``cancelled``,
+    ``rejected``), the served-without-simulating rate
+    (``served_from_cache_fraction`` — cache hits over terminal
+    submissions), dedup proof (``coalesced``), queue pressure
+    (``queue_depth``, ``queue_depth_hwm``), per-job latency rollups
+    (``queue_latency``, ``run_latency``), and the cache tier's own
+    counters under ``cache`` (memory/disk hits, misses, stores,
+    corruption and size evictions) or ``None`` when the service runs
+    uncached.
+    """
+    raw = service if isinstance(service, dict) else service.stats()
+    if "queue_latency" in raw:
+        return raw  # already rolled up — idempotent
+    answered = raw["cache_hits"] + raw["executed"] + raw["failed"]
+    return {
+        "submissions": raw["submissions"],
+        "cache_hits": raw["cache_hits"],
+        "coalesced": raw["coalesced"],
+        "executed": raw["executed"],
+        "failed": raw["failed"],
+        "cancelled": raw["cancelled"],
+        "rejected": raw["rejected"],
+        "served_from_cache_fraction": (
+            raw["cache_hits"] / answered if answered else 0.0
+        ),
+        "queue_depth": raw["queue_depth"],
+        "queue_depth_hwm": raw["queue_depth_hwm"],
+        "queue_latency": _latency_rollup(raw["queued_s"]),
+        "run_latency": _latency_rollup(raw["run_s"]),
+        "cache": raw["cache"],
+    }
+
+
+def service_stats_table(service, title="Service profile") -> Table:
+    """A rendered summary of one service's counters."""
+    stats = service_stats(service)
+    table = Table(title, ["counter", "value"])
+    for key in ("submissions", "cache_hits", "coalesced", "executed",
+                "failed", "cancelled", "rejected",
+                "served_from_cache_fraction", "queue_depth",
+                "queue_depth_hwm"):
+        table.add(key, stats[key])
+    for family in ("queue_latency", "run_latency"):
+        rollup = stats[family]
+        for key in ("total_s", "mean_s", "max_s"):
+            table.add(f"{family}_{key}", rollup[key])
+    cache = stats["cache"]
+    if cache is not None:
+        for key in ("memory_hits", "disk_hits", "misses", "stores",
+                    "corrupt_evictions", "size_evictions"):
+            table.add(f"cache_{key}", cache[key])
+    return table
+
+
+def sweep_timing_table(sweep, title="Per-cell wall-clock summary"):
+    """The :meth:`~repro.parallel.SweepResult.timing_summary` block
+    as a table — diagnostic only; the numbers never enter a sweep's
+    merged comparison payload.  Accepts a ``SweepResult`` or an
+    already-computed summary dict."""
+    summary = (sweep.timing_summary()
+               if hasattr(sweep, "timing_summary") else sweep)
+    table = Table(title, ["metric", "value"])
+    for key in ("cells", "jobs", "sweep_wall_s", "total_cell_s",
+                "mean_cell_s", "min_cell_s", "max_cell_s",
+                "slowest_cell_index"):
+        value = summary[key]
+        table.add(key, "-" if value is None else value)
+    return table
+
+
 def flops_breakdown(machine) -> dict:
     """Per-node FLOP counts plus the machine totals."""
     per_node = {n.node_id: n.vau.flops for n in machine.nodes}

@@ -84,6 +84,32 @@ class SweepResult:
         """Per-cell wall seconds, in cell order (diagnostic only)."""
         return [r.wall_s for r in self.results]
 
+    def timing_summary(self) -> dict:
+        """Roll-up of the per-cell wall clocks (diagnostic only).
+
+        Summarises :class:`CellResult` timings for sweep reports —
+        cell count, worker count, sweep wall, total/mean/min/max cell
+        seconds, and the slowest cell's index.  Deliberately separate
+        from :meth:`values`: timings never enter the merged
+        comparison payload, so serial and parallel merges stay
+        byte-identical.
+        """
+        walls = self.timings()
+        total = sum(walls)
+        return {
+            "cells": len(walls),
+            "jobs": self.jobs,
+            "sweep_wall_s": self.wall_s,
+            "total_cell_s": total,
+            "mean_cell_s": total / len(walls) if walls else 0.0,
+            "min_cell_s": min(walls) if walls else 0.0,
+            "max_cell_s": max(walls) if walls else 0.0,
+            "slowest_cell_index": (
+                max(range(len(walls)), key=walls.__getitem__)
+                if walls else None
+            ),
+        }
+
 
 def resolve_jobs(jobs=None) -> int:
     """Resolve a job-count request to a concrete worker count.

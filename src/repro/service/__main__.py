@@ -1,0 +1,181 @@
+"""``python -m repro.service`` — the machine-room front door.
+
+Subcommands::
+
+    submit  one job from the command line; prints its summary record
+    batch   a batch file of jobs; prints the per-job summary + stats
+    key     print a job's content address (no execution)
+    stats   inspect the on-disk cache store
+
+Examples::
+
+    python -m repro.service submit --kind golden \\
+        --spec '{"name": "vector_forms"}'
+    python -m repro.service batch examples/service_batch.json --json
+    python -m repro.service batch jobs.json --no-cache --jobs 4
+    python -m repro.service key --kind vector --spec "$(cat op.json)"
+
+``--no-cache`` bypasses the result cache entirely (every job
+simulates); ``--cache-dir`` points the store somewhere other than
+``.repro-cache/``; ``--jobs N`` fans execution over N fork-pool
+workers.  ``--json`` emits the machine-readable summary (what the CI
+smoke stage diffs) instead of the human table.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.analysis import service_stats, service_stats_table
+from repro.service.api import load_batch, run_batch
+from repro.service.cache import ResultCache
+from repro.service.jobkey import JobSpec, job_key
+from repro.service.scheduler import SimulationService
+
+
+def _build_service(args) -> SimulationService:
+    use_cache = not args.no_cache
+    cache = ResultCache(root=args.cache_dir) if use_cache else None
+    return SimulationService(cache=cache, use_cache=use_cache,
+                             pool_jobs=args.jobs)
+
+
+def _job_from_args(args) -> JobSpec:
+    spec = json.loads(args.spec) if args.spec is not None else None
+    return JobSpec(kind=args.kind, spec=spec, tier=args.tier,
+                   config=(json.loads(args.config)
+                           if args.config is not None else None),
+                   seed=args.seed)
+
+
+def _emit(summary: dict, args, out=None):
+    out = out if out is not None else sys.stdout
+    if args.json:
+        json.dump(summary, out, indent=2, sort_keys=True)
+        out.write("\n")
+        return
+    from repro.analysis import Table
+    table = Table(
+        "Service batch summary",
+        ["#", "kind", "status", "submits", "key", "digest",
+         "queued s", "run s"],
+    )
+    for record in summary["jobs"]:
+        table.add(record["index"], record["kind"], record["status"],
+                  record["submits"], record["key"][:12],
+                  (record["digest"] or "-")[:12],
+                  round(record["queued_s"], 4),
+                  round(record["run_s"], 4))
+    out.write(table.render() + "\n\n")
+    stats = summary["stats"]
+    out.write(service_stats_table(stats).render() + "\n")
+
+
+def _cmd_submit(args) -> int:
+    service = _build_service(args)
+    job = _job_from_args(args)
+    future = service.submit(job, priority=args.priority)
+    service.drain()
+    record = future.as_json()
+    record["index"] = 0
+    summary = {
+        "jobs": [record],
+        "stats": service_stats(service),
+        "all_ok": future.status in ("done", "cached"),
+    }
+    _emit(summary, args)
+    return 0 if summary["all_ok"] else 1
+
+
+def _cmd_batch(args) -> int:
+    service = _build_service(args)
+    jobs = load_batch(args.path)
+    summary = run_batch(service, jobs)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    else:
+        _emit(summary, args)
+    return 0 if summary["all_ok"] else 1
+
+
+def _cmd_key(args) -> int:
+    print(job_key(_job_from_args(args)))
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    cache = ResultCache(root=args.cache_dir)
+    usage = cache.disk_usage()
+    usage["root"] = cache.root
+    print(json.dumps(usage, indent=2, sort_keys=True))
+    return 0
+
+
+def _add_job_arguments(parser):
+    parser.add_argument("--kind", required=True,
+                        help="registered workload kind (cp, events, "
+                        "occam, vector, faults, golden, bench.*)")
+    parser.add_argument("--spec", help="workload spec as JSON")
+    parser.add_argument("--tier", choices=("reference", "fast",
+                                           "turbo"),
+                        help="kernel tier (default: ambient)")
+    parser.add_argument("--config", help="machine config as JSON "
+                        "(key-affecting; handed to takes='job' "
+                        "runners)")
+    parser.add_argument("--seed", type=int,
+                        help="seed (key-affecting)")
+
+
+def _add_service_arguments(parser):
+    parser.add_argument("--cache-dir", default=None,
+                        help="result-cache directory "
+                        "(default .repro-cache or REPRO_CACHE_DIR)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the result cache entirely")
+    parser.add_argument("--jobs", default=None,
+                        help="fork-pool workers per drain "
+                        "(default: REPRO_SWEEP_JOBS, i.e. inline)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the machine-readable summary")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    submit = commands.add_parser(
+        "submit", help="run one job through the service")
+    _add_job_arguments(submit)
+    _add_service_arguments(submit)
+    submit.add_argument("--priority", type=int, default=0)
+    submit.set_defaults(handler=_cmd_submit)
+
+    batch = commands.add_parser(
+        "batch", help="run a batch file of jobs")
+    batch.add_argument("path", help="batch JSON file")
+    _add_service_arguments(batch)
+    batch.add_argument("--out", help="write the JSON summary here")
+    batch.set_defaults(handler=_cmd_batch)
+
+    key = commands.add_parser(
+        "key", help="print a job's content address")
+    _add_job_arguments(key)
+    key.set_defaults(handler=_cmd_key)
+
+    stats = commands.add_parser(
+        "stats", help="inspect the on-disk cache store")
+    stats.add_argument("--cache-dir", default=None)
+    stats.set_defaults(handler=_cmd_stats)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

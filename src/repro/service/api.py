@@ -1,0 +1,74 @@
+"""Client-side helpers: batch files and run summaries.
+
+A batch file is the machine-room submission format — one JSON
+document describing many jobs::
+
+    {"defaults": {"tier": "turbo"},
+     "jobs": [
+       {"kind": "vector", "spec": {...}},
+       {"kind": "cp", "spec": {...}, "priority": 5},
+       {"kind": "golden", "spec": {"name": "events_mixed"}}
+     ]}
+
+``defaults`` (optional) fills in missing ``tier``/``config``/``seed``
+per job.  The bench cell lists (E8 configurations, A2 link factors,
+E13b fault campaign) are expressible this way: one job per cell under
+a registered ``bench.*`` kind.
+
+:func:`run_batch` is what both the CLI and the CI smoke stage drive:
+submit everything, drain once, and report per-job status plus the
+service-stats rollup as one JSON-able summary.
+"""
+
+import json
+
+from repro.service.jobkey import JobSpec
+
+
+def load_batch(path: str) -> list:
+    """Parse a batch file into ``(JobSpec, priority)`` pairs."""
+    with open(path) as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or "jobs" not in document:
+        raise ValueError(f"{path}: batch file needs a 'jobs' array")
+    defaults = document.get("defaults", {})
+    pairs = []
+    for index, entry in enumerate(document["jobs"]):
+        if "kind" not in entry:
+            raise ValueError(f"{path}: job {index} has no 'kind'")
+        pairs.append((
+            JobSpec(
+                kind=entry["kind"],
+                spec=entry.get("spec"),
+                tier=entry.get("tier", defaults.get("tier")),
+                config=entry.get("config", defaults.get("config")),
+                seed=entry.get("seed", defaults.get("seed")),
+            ),
+            int(entry.get("priority", defaults.get("priority", 0))),
+        ))
+    return pairs
+
+
+def run_batch(service, jobs) -> dict:
+    """Submit ``(job, priority)`` pairs, drain, summarise.
+
+    The summary is JSON-able: per-job records in submission order
+    (status, key, payload digest, latencies) plus the service-stats
+    rollup, with ``all_ok`` true only when every job ended ``done``
+    or ``cached``.
+    """
+    from repro.analysis import service_stats
+    futures = service.submit_batch(jobs)
+    service.drain()
+    records = []
+    for index, future in enumerate(futures):
+        record = future.as_json()
+        record["index"] = index
+        records.append(record)
+    return {
+        "jobs": records,
+        "stats": service_stats(service),
+        "all_ok": all(
+            f.status in ("done", "cached") for f in futures
+        ),
+    }

@@ -1,0 +1,315 @@
+"""The job scheduler: priority queue, coalescing, admission, futures.
+
+The machine-room model: many clients submit jobs against one
+simulator backend.  The scheduler's contract —
+
+* **Priority queue, FIFO tie-break.**  Lower ``priority`` runs
+  earlier; equal priorities run in submission order (a monotonic
+  sequence number breaks ties, so the heap is deterministic).
+* **In-flight dedup.**  Submitting a job whose key is already queued
+  returns the *same* :class:`JobFuture`; the simulation runs once and
+  every submitter observes the one result.  The coalescing counter is
+  the proof the acceptance test asserts on.
+* **Admission control.**  The queue is depth-bounded; a submit beyond
+  the bound fails with a structured :class:`AdmissionError` (carrying
+  key, depth, and limit) instead of growing without bound.
+* **Cancellation.**  A queued future can be cancelled; the heap entry
+  is lazily skipped at drain time.
+* **Crash isolation.**  Execution goes through
+  :func:`repro.parallel.run_cells`; a worker that dies mid-job fails
+  *that job's* future with a structured error — the service, the
+  queue, and the other jobs in the batch are unaffected.
+
+Results flow through the :class:`~repro.service.cache.ResultCache`
+when one is attached: submits are answered from cache without
+queueing, and completed simulations are stored for the next client.
+
+The service is synchronous-by-default (``drain`` runs the queue on
+the caller's thread, fanning out over the fork pool when
+``pool_jobs > 1``) and thread-safe: concurrent submitters coalesce
+under the service lock, and ``JobFuture.result()`` from any thread
+drains or waits as appropriate.
+"""
+
+import heapq
+import threading
+import time
+
+from repro.parallel import run_cells
+from repro.service.cache import ResultCache
+from repro.service.jobkey import JobSpec, job_key, payload_digest
+from repro.service.workloads import execute_job
+
+#: Terminal future states.
+_DONE_STATES = ("done", "cached", "failed", "cancelled", "rejected")
+
+
+class AdmissionError(RuntimeError):
+    """Structured rejection: the queue is at its depth bound."""
+
+    def __init__(self, key, queue_depth, limit):
+        super().__init__(
+            f"queue full: {queue_depth} pending >= limit {limit} "
+            f"(job {key[:12]}…)"
+        )
+        self.key = key
+        self.queue_depth = queue_depth
+        self.limit = limit
+
+    def as_json(self) -> dict:
+        return {
+            "error": "admission",
+            "key": self.key,
+            "queue_depth": self.queue_depth,
+            "limit": self.limit,
+        }
+
+
+class JobError(RuntimeError):
+    """Raised by :meth:`JobFuture.result` when the job failed."""
+
+
+class JobFuture:
+    """Handle on one submitted job (shared by coalesced submitters)."""
+
+    def __init__(self, service, job: JobSpec, key: str, priority: int,
+                 status: str):
+        self._service = service
+        self.job = job
+        self.key = key
+        self.priority = priority
+        self.status = status
+        self.value = None
+        self.error = None
+        #: How many submissions this future absorbed (1 = no dedup).
+        self.submits = 1
+        #: Seconds spent queued (submit → drain start) and running
+        #: (the pool's per-cell wall clock); cache hits keep both 0.
+        self.queued_s = 0.0
+        self.run_s = 0.0
+        self._submitted = time.perf_counter()
+
+    def done(self) -> bool:
+        return self.status in _DONE_STATES
+
+    def cancel(self) -> bool:
+        """Cancel if still queued.  Cancelling a coalesced future
+        cancels the job for every submitter that shares it."""
+        return self._service._cancel(self)
+
+    def result(self, wait=True):
+        """The job's result payload.
+
+        ``wait=True`` drains the service queue if the job is still
+        pending; ``wait=False`` raises ``JobError`` when not done yet
+        (poll with :meth:`done`).  Failed, cancelled, and rejected
+        jobs raise ``JobError`` with the structured reason.
+        """
+        if not self.done():
+            if not wait:
+                raise JobError(f"job {self.key[:12]}… not done "
+                               f"(status {self.status!r})")
+            self._service.drain()
+        if self.status in ("done", "cached"):
+            return self.value
+        raise JobError(
+            f"job {self.key[:12]}… {self.status}: {self.error}"
+        )
+
+    def digest(self):
+        """SHA-256 of the result payload (None until done)."""
+        if self.status not in ("done", "cached"):
+            return None
+        return payload_digest(self.value)
+
+    def as_json(self) -> dict:
+        record = {
+            "kind": self.job.kind,
+            "key": self.key,
+            "status": self.status,
+            "priority": self.priority,
+            "submits": self.submits,
+            "digest": self.digest(),
+            "queued_s": self.queued_s,
+            "run_s": self.run_s,
+        }
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+    def __repr__(self):
+        return (f"<JobFuture {self.job.kind} {self.key[:12]}… "
+                f"{self.status}>")
+
+
+class SimulationService:
+    """Simulation-as-a-service over the simulator's kernel tiers."""
+
+    def __init__(self, cache=None, use_cache=True, max_pending=1024,
+                 pool_jobs=None):
+        #: ``cache=None`` with ``use_cache=True`` builds the default
+        #: store; pass ``use_cache=False`` for a pure scheduler.
+        self.cache = (cache or ResultCache()) if use_cache else None
+        self.max_pending = int(max_pending)
+        #: Worker count handed to the fork pool on each drain
+        #: (``None`` = the ``REPRO_SWEEP_JOBS`` default, i.e. inline).
+        self.pool_jobs = pool_jobs
+        self._lock = threading.RLock()
+        self._heap = []          # (priority, seq, future)
+        self._seq = 0
+        self._inflight = {}      # key -> queued/running future
+        self.last_sweep = None   # SweepResult of the latest drain
+        # Counters (rolled up by repro.analysis.service_stats).
+        self.submissions = 0
+        self.cache_hits = 0
+        self.coalesced = 0
+        self.executed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.rejected = 0
+        self.queue_depth_hwm = 0
+        self.queued_s = []       # per executed job, submit → drain
+        self.run_s = []          # per executed job, pool cell wall
+
+    # -- submission ---------------------------------------------------
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    def submit(self, job: JobSpec, priority: int = 0) -> JobFuture:
+        """Queue one job; returns its (possibly shared) future.
+
+        Resolution order: coalesce onto an in-flight duplicate, then
+        answer from cache, then admit into the queue — raising
+        :class:`AdmissionError` at the depth bound.
+        """
+        job = job.resolved()
+        key = job_key(job)
+        with self._lock:
+            self.submissions += 1
+            existing = self._inflight.get(key)
+            if existing is not None:
+                existing.submits += 1
+                self.coalesced += 1
+                return existing
+            if self.cache is not None:
+                value = self.cache.get(key)
+                if value is not None:
+                    self.cache_hits += 1
+                    future = JobFuture(self, job, key, priority,
+                                       "cached")
+                    future.value = value
+                    return future
+            if len(self._inflight) >= self.max_pending:
+                self.rejected += 1
+                raise AdmissionError(key, len(self._inflight),
+                                     self.max_pending)
+            future = JobFuture(self, job, key, priority, "queued")
+            self._seq += 1
+            heapq.heappush(self._heap, (priority, self._seq, future))
+            self._inflight[key] = future
+            self.queue_depth_hwm = max(self.queue_depth_hwm,
+                                       len(self._inflight))
+            return future
+
+    def submit_batch(self, jobs) -> list:
+        """Submit many ``(job, priority)`` pairs (or bare JobSpecs).
+
+        Admission failures become futures in the ``rejected`` state
+        rather than raising, so one oversized batch still yields a
+        per-job status report.
+        """
+        futures = []
+        for entry in jobs:
+            job, priority = (
+                entry if isinstance(entry, tuple) else (entry, 0)
+            )
+            try:
+                futures.append(self.submit(job, priority))
+            except AdmissionError as exc:
+                future = JobFuture(self, job.resolved(), exc.key,
+                                   priority, "rejected")
+                future.error = str(exc)
+                futures.append(future)
+        return futures
+
+    def _cancel(self, future: JobFuture) -> bool:
+        with self._lock:
+            if future.status != "queued":
+                return False
+            future.status = "cancelled"
+            future.error = "cancelled before execution"
+            self._inflight.pop(future.key, None)
+            self.cancelled += 1
+            return True
+
+    # -- execution ----------------------------------------------------
+
+    def drain(self, pool_jobs=None) -> list:
+        """Run every queued job; returns the executed futures.
+
+        The batch executes through the fork pool in strict
+        (priority, submission) order; cancelled entries are skipped.
+        Successful payloads are stored in the cache before their
+        futures resolve.
+        """
+        with self._lock:
+            batch = []
+            while self._heap:
+                _prio, _seq, future = heapq.heappop(self._heap)
+                if future.status != "queued":
+                    continue  # lazily-deleted (cancelled)
+                future.status = "running"
+                batch.append(future)
+            if not batch:
+                return []
+            start = time.perf_counter()
+            for future in batch:
+                future.queued_s = start - future._submitted
+            sweep = run_cells(
+                execute_job,
+                [future.job.payload() for future in batch],
+                jobs=pool_jobs if pool_jobs is not None
+                else self.pool_jobs,
+            )
+            self.last_sweep = sweep
+            for future, cell in zip(batch, sweep.results):
+                future.run_s = cell.wall_s
+                self.queued_s.append(future.queued_s)
+                self.run_s.append(cell.wall_s)
+                if cell.ok:
+                    if self.cache is not None:
+                        self.cache.put(future.key, cell.value,
+                                       job=future.job.payload())
+                    future.value = cell.value
+                    future.status = "done"
+                    self.executed += 1
+                else:
+                    future.error = cell.error
+                    future.status = "failed"
+                    self.failed += 1
+                self._inflight.pop(future.key, None)
+            return batch
+
+    # -- stats --------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Raw service counters (see
+        :func:`repro.analysis.service_stats` for the rollup)."""
+        with self._lock:
+            return {
+                "submissions": self.submissions,
+                "cache_hits": self.cache_hits,
+                "coalesced": self.coalesced,
+                "executed": self.executed,
+                "failed": self.failed,
+                "cancelled": self.cancelled,
+                "rejected": self.rejected,
+                "queue_depth": len(self._inflight),
+                "queue_depth_hwm": self.queue_depth_hwm,
+                "queued_s": list(self.queued_s),
+                "run_s": list(self.run_s),
+                "cache": (self.cache.stats()
+                          if self.cache is not None else None),
+            }

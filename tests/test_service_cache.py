@@ -1,0 +1,150 @@
+"""Result-cache integrity: round-trips, corruption, eviction."""
+
+import json
+import os
+
+from repro.service.cache import ResultCache
+from repro.service.jobkey import payload_digest
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+KEY_C = "c" * 64
+
+
+def _cache(tmp_path, **kwargs):
+    return ResultCache(root=str(tmp_path / "cache"), **kwargs)
+
+
+def test_round_trip_memory_and_disk(tmp_path):
+    cache = _cache(tmp_path)
+    value = {"now": 123, "results": [{"bits": "ff00"}]}
+    cache.put(KEY_A, value, job={"kind": "vector"})
+    assert cache.get(KEY_A) == value
+    assert cache.memory_hits == 1
+
+    # A fresh instance has a cold memory tier: the hit must come off
+    # disk and carry byte-identical content.
+    fresh = _cache(tmp_path)
+    got = fresh.get(KEY_A)
+    assert got == value
+    assert fresh.disk_hits == 1
+    assert payload_digest(got) == payload_digest(value)
+
+
+def test_miss_is_counted(tmp_path):
+    cache = _cache(tmp_path)
+    assert cache.get(KEY_A) is None
+    assert cache.misses == 1
+
+
+def _entry_path(cache, key):
+    return os.path.join(cache.root, key[:2], f"{key}.json")
+
+
+def test_truncated_entry_detected_evicted_and_resimulated(tmp_path):
+    cache = _cache(tmp_path)
+    cache.put(KEY_A, {"x": 1})
+    path = _entry_path(cache, KEY_A)
+    with open(path, "r") as handle:
+        body = handle.read()
+    with open(path, "w") as handle:
+        handle.write(body[: len(body) // 2])  # truncate mid-JSON
+
+    fresh = _cache(tmp_path)
+    assert fresh.get(KEY_A) is None          # detected, not served
+    assert fresh.corrupt_evictions == 1
+    assert not os.path.exists(path)          # evicted
+    # Re-simulation stores a sound entry again.
+    fresh.put(KEY_A, {"x": 1})
+    assert _cache(tmp_path).get(KEY_A) == {"x": 1}
+
+
+def test_checksum_mismatch_detected(tmp_path):
+    cache = _cache(tmp_path)
+    cache.put(KEY_A, {"x": 1})
+    path = _entry_path(cache, KEY_A)
+    with open(path) as handle:
+        envelope = json.load(handle)
+    envelope["value"] = {"x": 2}  # bit-flip the payload, not the sum
+    with open(path, "w") as handle:
+        json.dump(envelope, handle)
+
+    fresh = _cache(tmp_path)
+    assert fresh.get(KEY_A) is None
+    assert fresh.corrupt_evictions == 1
+    assert not os.path.exists(path)
+
+
+def test_wrong_key_entry_detected(tmp_path):
+    cache = _cache(tmp_path)
+    cache.put(KEY_A, {"x": 1})
+    source = _entry_path(cache, KEY_A)
+    target = _entry_path(cache, KEY_B)
+    os.makedirs(os.path.dirname(target), exist_ok=True)
+    os.rename(source, target)  # entry now lies about its address
+
+    fresh = _cache(tmp_path)
+    assert fresh.get(KEY_B) is None
+    assert fresh.corrupt_evictions == 1
+
+
+def test_size_bound_evicts_oldest_first(tmp_path):
+    # Calibrate: one entry's on-disk size, then bound the store so it
+    # holds exactly one of them.
+    probe = _cache(tmp_path)
+    probe.put(KEY_A, {"x": "a" * 100})
+    entry_bytes = probe.disk_usage()["bytes"]
+    probe.clear()
+
+    cache = _cache(tmp_path, disk_bytes=int(entry_bytes * 1.5))
+    cache.put(KEY_A, {"x": "a" * 100})
+    cache.put(KEY_B, {"x": "b" * 100})  # same size; bound fits one
+    assert cache.size_evictions == 1
+    assert cache.disk_usage()["bytes"] <= cache.disk_bytes
+    fresh = _cache(tmp_path)
+    assert fresh.get(KEY_A) is None          # oldest evicted
+    assert fresh.get(KEY_B) == {"x": "b" * 100}  # newest kept
+
+
+def test_size_bound_keeps_store_bounded(tmp_path):
+    bound = 4096
+    cache = _cache(tmp_path, disk_bytes=bound)
+    for index in range(20):
+        key = f"{index:02x}" * 32
+        cache.put(key, {"payload": "z" * 400, "index": index})
+    assert cache.disk_usage()["bytes"] <= bound
+    assert cache.size_evictions > 0
+    # The newest entry survives eviction (oldest-first policy).
+    assert _cache(tmp_path).get("13" * 32) is not None
+
+
+def test_memory_lru_bounded_but_disk_persists(tmp_path):
+    cache = _cache(tmp_path, memory_entries=2)
+    for key in (KEY_A, KEY_B, KEY_C):
+        cache.put(key, {"k": key[:2]})
+    assert len(cache._memory) == 2
+    # Aged out of memory, still served from disk.
+    assert cache.get(KEY_A) == {"k": "aa"}
+    assert cache.disk_hits == 1
+
+
+def test_atomic_writes_leave_no_temp_files(tmp_path):
+    cache = _cache(tmp_path)
+    for index in range(5):
+        cache.put(f"{index:02x}" * 32, {"index": index})
+    leftovers = [
+        name
+        for _root, _dirs, files in os.walk(cache.root)
+        for name in files
+        if not name.endswith(".json")
+    ]
+    assert leftovers == []
+
+
+def test_clear_empties_both_tiers(tmp_path):
+    cache = _cache(tmp_path)
+    cache.put(KEY_A, {"x": 1})
+    cache.clear()
+    assert cache.disk_usage()["entries"] == 0
+    fresh = _cache(tmp_path)
+    assert fresh.get(KEY_A) is None

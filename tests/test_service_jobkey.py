@@ -1,0 +1,163 @@
+"""Job-key canonicalisation, stability, and invalidation layers."""
+
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.service import jobkey
+from repro.service.jobkey import (
+    JOB_KEY_SCHEMA_VERSION,
+    JobSpec,
+    canonical_json,
+    current_schema_pin,
+    job_key,
+    payload_digest,
+    schema_pin_path,
+    semantics_fingerprint,
+)
+
+VEC_SPEC = {
+    "kind": "vector",
+    "ops": [{"form": "VADD", "n": 4, "precision": 64, "seed": 1,
+             "scalars": [], "specials": False}],
+}
+
+
+def test_canonical_json_is_order_independent():
+    a = canonical_json({"b": 1, "a": [1, 2], "c": {"y": 0, "x": 9}})
+    b = canonical_json({"c": {"x": 9, "y": 0}, "a": [1, 2], "b": 1})
+    assert a == b
+    assert " " not in a  # compact separators
+
+
+def test_canonical_json_rejects_nan():
+    with pytest.raises(ValueError):
+        canonical_json({"x": float("nan")})
+
+
+def test_payload_digest_matches_canonical_sha():
+    import hashlib
+    value = {"z": 1, "a": [True, None, 2.5]}
+    expected = hashlib.sha256(
+        canonical_json(value).encode()
+    ).hexdigest()
+    assert payload_digest(value) == expected
+
+
+def test_job_key_stable_across_spec_dict_order():
+    spec_a = {"kind": "vector", "ops": VEC_SPEC["ops"]}
+    spec_b = {"ops": VEC_SPEC["ops"], "kind": "vector"}
+    key_a = job_key(JobSpec(kind="vector", spec=spec_a, tier="turbo"))
+    key_b = job_key(JobSpec(kind="vector", spec=spec_b, tier="turbo"))
+    assert key_a == key_b
+    assert len(key_a) == 64
+    int(key_a, 16)  # hex digest
+
+
+def test_job_key_sensitive_to_every_identity_field():
+    base = JobSpec(kind="vector", spec=VEC_SPEC, tier="turbo",
+                   config=None, seed=None)
+    keys = {
+        "base": job_key(base),
+        "tier": job_key(JobSpec(kind="vector", spec=VEC_SPEC,
+                                tier="reference")),
+        "seed": job_key(JobSpec(kind="vector", spec=VEC_SPEC,
+                                tier="turbo", seed=7)),
+        "config": job_key(JobSpec(kind="vector", spec=VEC_SPEC,
+                                  tier="turbo", config={"dim": 4})),
+        "kind": job_key(JobSpec(kind="events", spec=VEC_SPEC,
+                                tier="turbo")),
+        "spec": job_key(JobSpec(kind="vector",
+                                spec={"kind": "vector", "ops": []},
+                                tier="turbo")),
+    }
+    assert len(set(keys.values())) == len(keys)
+
+
+def test_job_key_resolves_ambient_tier():
+    from repro.events.engine import kernel_tier
+    implicit = job_key(JobSpec(kind="vector", spec=VEC_SPEC))
+    explicit = job_key(JobSpec(kind="vector", spec=VEC_SPEC,
+                               tier=kernel_tier()))
+    assert implicit == explicit
+
+
+def test_semantics_fingerprint_invalidates_on_golden_change(tmp_path):
+    source = jobkey.schema_pin_path()
+    golden_dir = os.path.dirname(source)
+    dir_a = tmp_path / "a"
+    dir_b = tmp_path / "b"
+    for directory in (dir_a, dir_b):
+        shutil.copytree(golden_dir, directory)
+    fp_same = semantics_fingerprint(str(dir_a))
+    # Identical trees fingerprint identically…
+    assert fp_same == semantics_fingerprint(str(dir_b))
+    # …and a one-byte behavioural drift in any golden trace changes
+    # the fingerprint (hence every job key, hence the whole cache).
+    target = dir_b / "vector_forms.json"
+    data = json.loads(target.read_text())
+    data["now"] = data.get("now", 0) + 1
+    target.write_text(json.dumps(data))
+    jobkey._FINGERPRINTS.pop(str(dir_b.resolve()), None)
+    assert semantics_fingerprint(str(dir_b)) != fp_same
+
+
+def test_semantics_fingerprint_distinguishes_missing_files(tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    fp = semantics_fingerprint(str(empty))
+    assert fp != semantics_fingerprint()
+    # Deterministic for the same (missing) state.
+    jobkey._FINGERPRINTS.pop(str(empty.resolve()), None)
+    assert semantics_fingerprint(str(empty)) == fp
+
+
+def test_schema_override_changes_key(monkeypatch):
+    before = job_key(JobSpec(kind="vector", spec=VEC_SPEC,
+                             tier="turbo"))
+    monkeypatch.setattr(jobkey, "JOB_KEY_SCHEMA_VERSION",
+                        JOB_KEY_SCHEMA_VERSION + 1)
+    after = job_key(JobSpec(kind="vector", spec=VEC_SPEC,
+                            tier="turbo"))
+    assert before != after
+
+
+def test_semantics_override_changes_key():
+    base = JobSpec(kind="vector", spec=VEC_SPEC, tier="turbo")
+    assert (job_key(base, semantics="deadbeef")
+            != job_key(base, semantics="cafebabe"))
+
+
+def test_schema_pin_matches_tree():
+    """The CI cache-versioning guard, as a tier-1 invariant: golden
+    digests may not change without a job-key schema bump + re-pin."""
+    with open(schema_pin_path()) as handle:
+        pinned = json.load(handle)
+    assert pinned == current_schema_pin(), (
+        "golden traces and the job-key schema pin disagree; bump "
+        "JOB_KEY_SCHEMA_VERSION if semantics changed, then run "
+        "scripts/check_cache_version.py --update"
+    )
+
+
+def test_runner_fingerprint_in_key(monkeypatch):
+    from repro.service import workloads
+
+    def runner_v1(spec):
+        return {"v": 1}
+
+    def runner_v2(spec):
+        return {"v": 2}
+
+    workloads.register("test.fp", runner_v1, replace=True)
+    try:
+        key_v1 = job_key(JobSpec(kind="test.fp", spec={},
+                                 tier="turbo"))
+        workloads.register("test.fp", runner_v2, replace=True)
+        key_v2 = job_key(JobSpec(kind="test.fp", spec={},
+                                 tier="turbo"))
+        assert key_v1 != key_v2
+    finally:
+        workloads.unregister("test.fp")

@@ -1,0 +1,294 @@
+"""Scheduler semantics: coalescing, priority, admission, isolation."""
+
+import os
+import threading
+
+import pytest
+
+from repro.events.engine import force_kernel, kernel_tier
+from repro.service import (
+    AdmissionError,
+    JobError,
+    JobSpec,
+    ResultCache,
+    SimulationService,
+    canonical_json,
+    register_workload,
+    unregister_workload,
+)
+from repro.service.workloads import execute_job
+
+VEC_SPEC = {
+    "kind": "vector",
+    "ops": [{"form": "VADD", "n": 8, "precision": 64, "seed": 3,
+             "scalars": [], "specials": False}],
+}
+
+
+@pytest.fixture
+def service(tmp_path):
+    return SimulationService(
+        cache=ResultCache(root=str(tmp_path / "cache"))
+    )
+
+
+@pytest.fixture
+def recorder():
+    """A registered kind that records execution order."""
+    executions = []
+
+    def runner(spec):
+        executions.append(spec["label"])
+        return {"label": spec["label"]}
+
+    register_workload("test.recorder", runner, replace=True)
+    yield executions
+    unregister_workload("test.recorder")
+
+
+def test_end_to_end_matches_direct_execution(service):
+    from repro.testing import gen_vector
+
+    future = service.submit(JobSpec(kind="vector", spec=VEC_SPEC,
+                                    tier="turbo"))
+    value = future.result()
+    with force_kernel(tier="turbo"):
+        import json
+        direct = json.loads(json.dumps(gen_vector.execute(VEC_SPEC)))
+    assert canonical_json(value) == canonical_json(direct)
+    assert future.status == "done"
+    assert future.digest() is not None
+
+
+def test_execute_job_pins_the_addressed_tier():
+    payload = JobSpec(kind="vector", spec=VEC_SPEC,
+                      tier="reference").payload()
+    # Ambient tier is turbo (the default); the job must still run on
+    # the reference tier its key was addressed under.
+    assert kernel_tier() == "turbo"
+    reference = execute_job(payload)
+    turbo = execute_job(JobSpec(kind="vector", spec=VEC_SPEC,
+                                tier="turbo").payload())
+    # Same arithmetic on both tiers (the conformance contract)…
+    assert canonical_json(reference) == canonical_json(turbo)
+
+
+def test_duplicate_submissions_coalesce(service):
+    job = JobSpec(kind="vector", spec=VEC_SPEC, tier="turbo")
+    futures = [service.submit(job) for _ in range(5)]
+    assert all(f is futures[0] for f in futures)
+    assert futures[0].submits == 5
+    service.drain()
+    stats = service.stats()
+    assert stats["executed"] == 1
+    assert stats["coalesced"] == 4
+    assert stats["submissions"] == 5
+
+
+def test_concurrent_duplicate_submissions_execute_once(service):
+    """N threads race identical submissions; exactly one simulation."""
+    job = JobSpec(kind="vector", spec=VEC_SPEC, tier="turbo")
+    threads = 8
+    barrier = threading.Barrier(threads)
+    futures = [None] * threads
+
+    def client(slot):
+        barrier.wait()
+        futures[slot] = service.submit(job)
+
+    workers = [threading.Thread(target=client, args=(i,))
+               for i in range(threads)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    service.drain()
+
+    stats = service.stats()
+    assert stats["executed"] == 1
+    assert stats["coalesced"] == threads - 1
+    digests = {f.digest() for f in futures}
+    assert len(digests) == 1 and None not in digests
+
+
+def test_cache_hit_skips_queue_and_simulation(service, tmp_path):
+    job = JobSpec(kind="vector", spec=VEC_SPEC, tier="turbo")
+    first = service.submit(job)
+    service.drain()
+
+    warm = SimulationService(
+        cache=ResultCache(root=str(tmp_path / "cache"))
+    )
+    second = warm.submit(job)
+    assert second.status == "cached"
+    assert second.done()
+    assert second.digest() == first.digest()
+    stats = warm.stats()
+    assert stats["cache_hits"] == 1
+    assert stats["executed"] == 0
+    assert stats["queue_depth_hwm"] == 0
+
+
+def test_no_cache_mode_resimulates(recorder):
+    service = SimulationService(use_cache=False)
+    job = JobSpec(kind="test.recorder", spec={"label": "x"},
+                  tier="turbo")
+    service.submit(job)
+    service.drain()
+    service.submit(job)
+    service.drain()
+    assert recorder == ["x", "x"]
+    assert service.stats()["executed"] == 2
+
+
+def test_priority_order_with_fifo_tie_break(recorder):
+    service = SimulationService(use_cache=False)
+    submits = [("late-low", 5), ("first-normal", 0),
+               ("second-normal", 0), ("urgent", -5),
+               ("third-normal", 0)]
+    for label, priority in submits:
+        service.submit(
+            JobSpec(kind="test.recorder", spec={"label": label},
+                    tier="turbo"),
+            priority=priority,
+        )
+    service.drain()
+    assert recorder == ["urgent", "first-normal", "second-normal",
+                       "third-normal", "late-low"]
+
+
+def test_admission_control_structured_rejection(service, recorder):
+    service.max_pending = 2
+    for index in range(2):
+        service.submit(JobSpec(kind="test.recorder",
+                               spec={"label": str(index)},
+                               tier="turbo"))
+    with pytest.raises(AdmissionError) as err:
+        service.submit(JobSpec(kind="test.recorder",
+                               spec={"label": "2"}, tier="turbo"))
+    record = err.value.as_json()
+    assert record["error"] == "admission"
+    assert record["queue_depth"] == 2
+    assert record["limit"] == 2
+    assert service.stats()["rejected"] == 1
+    # A duplicate of an already-queued job still coalesces: dedup is
+    # checked before admission, so the queue never rejects work it
+    # would not have to run.
+    dup = service.submit(JobSpec(kind="test.recorder",
+                                 spec={"label": "0"}, tier="turbo"))
+    assert dup.submits == 2
+
+
+def test_submit_batch_marks_rejections(service, recorder):
+    service.max_pending = 1
+    jobs = [
+        (JobSpec(kind="test.recorder", spec={"label": "a"},
+                 tier="turbo"), 0),
+        (JobSpec(kind="test.recorder", spec={"label": "b"},
+                 tier="turbo"), 0),
+    ]
+    futures = service.submit_batch(jobs)
+    assert futures[0].status == "queued"
+    assert futures[1].status == "rejected"
+    with pytest.raises(JobError):
+        futures[1].result()
+    service.drain()
+    assert recorder == ["a"]
+
+
+def test_cancellation(service, recorder):
+    keep = service.submit(JobSpec(kind="test.recorder",
+                                  spec={"label": "keep"},
+                                  tier="turbo"))
+    drop = service.submit(JobSpec(kind="test.recorder",
+                                  spec={"label": "drop"},
+                                  tier="turbo"))
+    assert drop.cancel()
+    assert not drop.cancel()  # already terminal
+    service.drain()
+    assert recorder == ["keep"]
+    assert keep.status == "done"
+    assert drop.status == "cancelled"
+    with pytest.raises(JobError):
+        drop.result()
+    # A cancelled key is admissible again.
+    again = service.submit(JobSpec(kind="test.recorder",
+                                   spec={"label": "drop"},
+                                   tier="turbo"))
+    assert again.status == "queued"
+
+
+def test_runner_exception_fails_only_that_job(service):
+    def runner(spec):
+        if spec["boom"]:
+            raise ValueError("synthetic failure")
+        return {"ok": True}
+
+    register_workload("test.boom", runner, replace=True)
+    try:
+        good = service.submit(JobSpec(kind="test.boom",
+                                      spec={"boom": False, "i": 0},
+                                      tier="turbo"))
+        bad = service.submit(JobSpec(kind="test.boom",
+                                     spec={"boom": True, "i": 1},
+                                     tier="turbo"))
+        service.drain()
+    finally:
+        unregister_workload("test.boom")
+    assert good.status == "done" and good.result() == {"ok": True}
+    assert bad.status == "failed"
+    assert "synthetic failure" in bad.error
+    with pytest.raises(JobError):
+        bad.result()
+    # Failures are never cached.
+    assert service.cache.stats()["stores"] == 1
+
+
+def test_worker_crash_fails_single_job_not_service(service):
+    """A hard worker death (fork pool) is one failed future."""
+
+    def runner(spec):
+        if spec["die"]:
+            os._exit(17)
+        return {"ok": spec["i"]}
+
+    register_workload("test.crash", runner, replace=True)
+    try:
+        futures = [
+            service.submit(JobSpec(kind="test.crash",
+                                   spec={"die": i == 1, "i": i},
+                                   tier="turbo"))
+            for i in range(4)
+        ]
+        service.drain(pool_jobs=2)
+    finally:
+        unregister_workload("test.crash")
+    statuses = [f.status for f in futures]
+    assert statuses[1] == "failed"
+    assert "crashed" in futures[1].error
+    assert [s for i, s in enumerate(statuses) if i != 1] == ["done"] * 3
+    # The service survives: new work still runs.
+    after = service.submit(JobSpec(kind="vector", spec=VEC_SPEC,
+                                   tier="turbo"))
+    service.drain()
+    assert after.status == "done"
+
+
+def test_service_stats_rollup(service):
+    from repro.analysis import service_stats
+
+    job = JobSpec(kind="vector", spec=VEC_SPEC, tier="turbo")
+    service.submit(job)
+    service.submit(job)
+    service.drain()
+    stats = service_stats(service)
+    assert stats["submissions"] == 2
+    assert stats["coalesced"] == 1
+    assert stats["executed"] == 1
+    assert stats["queue_depth_hwm"] == 1
+    assert stats["run_latency"]["jobs"] == 1
+    assert stats["run_latency"]["max_s"] >= 0.0
+    assert stats["queue_latency"]["jobs"] == 1
+    assert stats["cache"]["stores"] == 1
+    # Idempotent: rolling up a rollup is a no-op.
+    assert service_stats(stats) == stats
