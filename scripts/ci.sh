@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 CI: the full test suite on the default (turbo) kernel, the
-# kernel regression tests pinned to each slower tier, three-way
-# conformance (fuzz + golden traces across reference/fast/turbo), a
-# parallel-sweep smoke, and a wall-clock benchmark smoke run (quick
-# mode: asserts cycle-exactness between kernels, not the speedup
-# targets).
+# kernel regression tests pinned to each other tier, four-way
+# conformance (fuzz + golden traces across reference/fast/turbo/
+# vector), a parallel-sweep smoke, and a wall-clock benchmark smoke
+# run (quick mode: asserts cycle-exactness between kernels, not the
+# speedup targets).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,9 +23,14 @@ REPRO_TURBO_KERNEL=0 python -m pytest \
     tests/test_perf_kernel.py tests/test_events_ordering.py \
     tests/test_events_engine.py tests/test_events_channels.py -x -q
 
-echo "== differential fuzz smoke (three-way, fixed seeds) =="
+echo "== kernel equivalence tests (vector kernel, columnar queue) =="
+REPRO_VECTOR_KERNEL=1 python -m pytest \
+    tests/test_perf_kernel.py tests/test_events_ordering.py \
+    tests/test_events_engine.py tests/test_events_channels.py -x -q
+
+echo "== differential fuzz smoke (four-way, fixed seeds) =="
 # Fixed seeds so CI is deterministic; the budget bounds wall clock on
-# slow machines.  Every case replays on all three kernel tiers and
+# slow machines.  Every case replays on all four kernel tiers and
 # diffs against the reference; divergences shrink to tests/repros/
 # and fail the run.
 python -m repro.testing.fuzz --seed 1986 --cases 200 --budget 30
@@ -34,7 +39,7 @@ python -m repro.testing.fuzz --seed 8086 --cases 120 --budget 20
 echo "== fault-tolerance smoke (ARQ retries + recovery digest) =="
 python scripts/fault_smoke.py
 
-echo "== golden trace conformance (reference / fast / turbo) =="
+echo "== golden trace conformance (reference / fast / turbo / vector) =="
 python scripts/regen_golden.py --check
 
 echo "== service smoke (batch twice; second pass all cache hits) =="
@@ -81,7 +86,9 @@ else
     echo "pytest-cov not installed; skipping coverage floor"
 fi
 
-echo "== wall-clock benchmark smoke =="
-python benchmarks/bench_wallclock.py --quick --no-json
+echo "== wall-clock benchmark smoke (four tiers, cycle-exactness) =="
+# Wall budget: the smoke gates tier identity, not speed; a wedged
+# tier run fails CI instead of hanging it.
+timeout 300 python benchmarks/bench_wallclock.py --quick --no-json
 
 echo "CI OK"

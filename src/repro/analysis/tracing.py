@@ -103,12 +103,22 @@ def engine_stats(engine) -> dict:
     ``events_per_sim_us`` (event density in simulated time),
     ``fast_kernel`` (False when ``REPRO_SLOW_KERNEL`` forced the
     pure-heap reference path), ``kernel_tier`` (the engine's tier:
-    reference, fast, or turbo), ``fault_events`` (records in the
-    engine's installed :class:`~repro.events.FaultLog`; 0 without
-    one), and ``cp_cache`` — the decoded-chain and translated-block
+    reference, fast, turbo, or vector), ``fault_events`` (records in
+    the engine's installed :class:`~repro.events.FaultLog`; 0 without
+    one), ``cp_cache`` — the decoded-chain and translated-block
     counters summed over every CP registered with the engine via
     ``as_process`` (all-zero when no CP ran, or on the reference
-    tier, which caches nothing).
+    tier, which caches nothing), ``columnar`` — the vector tier's
+    SoA queue counters (``array_pops`` — pops served from a sorted
+    ready run, ``heap_pops`` — retail-heap fallback pops,
+    ``bulk_flushes``/``bulk_flushed`` — vectorized staging sorts and
+    the entries they ordered, ``retail_flushed`` — entries that fell
+    back to per-entry heap pushes, ``side_table_size`` — object
+    residency in the event side-tables right now; ``None`` on other
+    tiers), and ``vau_batch`` — the batched micro-sequencer counters
+    summed over every vector unit built on the engine (``chains``,
+    ``batched_forms``, ``batched_elements``, ``screens_elided``;
+    all-zero on tiers that dispatch per-op).
     """
     scheduled = engine.heap_pushes + engine.lane_hits
     fault_log = engine.fault_log
@@ -127,6 +137,20 @@ def engine_stats(engine) -> dict:
         for key in cp_cache:
             if key != "cpus":
                 cp_cache[key] += counters[key]
+    cq = getattr(engine, "_cq", None)
+    columnar = cq.stats() if cq is not None else None
+    vau_batch = {
+        "vaus": len(getattr(engine, "vaus", ())),
+        "chains": 0,
+        "batched_forms": 0,
+        "batched_elements": 0,
+        "screens_elided": 0,
+    }
+    for vau in getattr(engine, "vaus", ()):
+        vau_batch["chains"] += vau.chains
+        vau_batch["batched_forms"] += vau.batched_forms
+        vau_batch["batched_elements"] += vau.batched_elements
+        vau_batch["screens_elided"] += vau.screens_elided
     return {
         "events_processed": engine.events_processed,
         "heap_pushes": engine.heap_pushes,
@@ -142,6 +166,8 @@ def engine_stats(engine) -> dict:
         "kernel_tier": engine.kernel_tier,
         "fault_events": len(fault_log) if fault_log is not None else 0,
         "cp_cache": cp_cache,
+        "columnar": columnar,
+        "vau_batch": vau_batch,
     }
 
 
@@ -157,6 +183,14 @@ def engine_stats_table(engine, title="Event-kernel profile") -> Table:
     if cp_cache["cpus"]:
         for key in sorted(cp_cache):
             table.add(f"cp_{key}", cp_cache[key])
+    columnar = stats["columnar"]
+    if columnar is not None:
+        for key in sorted(columnar):
+            table.add(f"columnar_{key}", columnar[key])
+    vau_batch = stats["vau_batch"]
+    if vau_batch["vaus"]:
+        for key in sorted(vau_batch):
+            table.add(f"vau_{key}", vau_batch[key])
     return table
 
 

@@ -208,9 +208,10 @@ class CPU:
         self.kernel_tier = tier
         self._decoded = {}
         self._use_cache = tier != "reference"
-        # Turbo tier: translated basic blocks, keyed by start PC, plus
-        # a negative cache of PCs where translation was not worthwhile.
-        self._use_blocks = tier == "turbo"
+        # Turbo tier and above: translated basic blocks, keyed by start
+        # PC, plus a negative cache of PCs where translation was not
+        # worthwhile.
+        self._use_blocks = tier in ("turbo", "vector")
         self._blocks = {}
         self._unblocked = set()
         #: When set, the turbo tier returns control from :meth:`step`

@@ -1,0 +1,292 @@
+"""Columnar (structure-of-arrays) event storage for the vector kernel.
+
+The reference, fast, and turbo tiers all keep the pending-event set as
+a ``heapq`` of ``(time, priority, seq, event)`` tuples: every schedule
+allocates a tuple and pays O(log n) Python-level tuple comparisons on
+the way in and again on the way out.  That layout caps throughput on
+exactly the workloads the paper's machine was built for — large
+design-space sweeps where *thousands* of node clocks, refresh ticks,
+and link timers are pending at once and the simulator's job is to
+drain them in time order as fast as possible.
+
+:class:`ColumnarQueue` replaces the tuple heap with columns:
+
+* **staging** — schedules append to plain Python lists (timestamp,
+  priority code, event object), the cheapest insert CPython offers.
+  Sequence numbers are *implicit*: arrival order within the staging
+  buffer is seq order, so nothing is allocated per entry.
+* **ready run** — when a pop finds a large staged batch, the columns
+  are converted to numpy ``int64`` arrays and ordered with one stable
+  ``argsort``/``lexsort`` (C-speed, cache-friendly), then converted
+  back to lists so retail pops are bare ``list`` indexing.  Event
+  objects live in an object side-table and are never copied or
+  compared — only their column indices move.
+* **retail heap** — small batches (interleaved push/pop traffic, the
+  shape the lane tiers already handle well) fall back to a classic
+  ``heapq`` with explicit sequence numbers, so the worst case is the
+  turbo tier's behaviour, not a numpy call per element.
+
+Ordering contract: entries pop in exactly ``(time, priority, seq)``
+order, where ``seq`` is global arrival order — bit-identical to what
+the tuple heap produces.  Two invariants make the three-part store
+cheap to arbitrate:
+
+1. every staged entry's seq is greater than every flushed entry's, so
+   a tie on ``(time, priority)`` between a staged entry and a flushed
+   head always fires the flushed head first — staging only needs to be
+   flushed when its minimum key is *strictly* smaller than both heads;
+2. a stable sort of the staging columns by ``(time, priority)``
+   reproduces seq order within the batch for free.
+
+The queue tracks its own profiling counters (``array_pops``,
+``heap_pops``, ``bulk_flushes``, ``bulk_flushed``, ``retail_flushed``)
+which :func:`repro.analysis.tracing.engine_stats` rolls up.
+"""
+
+import heapq
+
+import numpy as np
+
+#: Staged batches at least this large (with no live ready run) take the
+#: vectorized sort; smaller batches fall back to the retail heap.  The
+#: crossover sits where one numpy round-trip beats n heappushes.
+BULK_THRESHOLD = 48
+
+#: Priority code of URGENT entries (mirrors ``engine.URGENT``; kept
+#: numeric here so the columns stay int64 end to end).
+_URGENT = 0
+
+
+class ColumnarQueue:
+    """SoA priority queue with bulk (numpy) and retail (heapq) paths.
+
+    Attributes are public-by-convention for the engine's hot loop; the
+    methods are the semantic surface and the only thing model code may
+    rely on.
+    """
+
+    __slots__ = (
+        "_sts", "_sprio", "_sev", "_smin", "_surg",
+        "_hp", "_rts", "_rprio", "_rseq", "_rev", "_ri", "_rurg",
+        "_base", "_n",
+        "array_pops", "heap_pops", "bulk_flushes", "bulk_flushed",
+        "retail_flushed",
+    )
+
+    def __init__(self):
+        # Staging columns (parallel lists; seq implicit in position).
+        self._sts = []
+        self._sprio = []
+        self._sev = []
+        self._smin = None          # (ts, prio) minimum over staging
+        self._surg = 0             # URGENT entries in staging
+        # Retail heap of (ts, prio, seq, event) tuples.
+        self._hp = []
+        # Ready run: sorted columns + cursor (lists after tolist()).
+        self._rts = []
+        self._rprio = []
+        self._rseq = []
+        self._rev = []
+        self._ri = 0
+        self._rurg = 0             # URGENT entries left in the run
+        self._base = 0             # seq of the next staged entry
+        self._n = 0                # total live entries
+        self.array_pops = 0
+        self.heap_pops = 0
+        self.bulk_flushes = 0
+        self.bulk_flushed = 0
+        self.retail_flushed = 0
+
+    # -- sizing -------------------------------------------------------
+
+    def __len__(self):
+        return self._n
+
+    def __bool__(self):
+        return self._n > 0
+
+    def side_table_size(self) -> int:
+        """Objects currently held in the event side-tables (staging
+        plus the live remainder of the ready run plus the retail
+        heap) — the columnar core's object residency."""
+        return len(self._sev) + (len(self._rev) - self._ri) + len(self._hp)
+
+    # -- push ---------------------------------------------------------
+
+    def push(self, ts, prio, event):
+        """Schedule ``event`` at ``(ts, prio)``; seq is arrival order."""
+        self._sts.append(ts)
+        self._sprio.append(prio)
+        self._sev.append(event)
+        if prio == _URGENT:
+            self._surg += 1
+        smin = self._smin
+        if smin is None or ts < smin[0] or (ts == smin[0]
+                                            and prio < smin[1]):
+            self._smin = (ts, prio)
+        self._n += 1
+
+    # -- peeks --------------------------------------------------------
+
+    def peek_time(self):
+        """Earliest pending timestamp, or None when empty."""
+        best = None
+        smin = self._smin
+        if smin is not None:
+            best = smin[0]
+        if self._ri < len(self._rts):
+            ts = self._rts[self._ri]
+            if best is None or ts < best:
+                best = ts
+        if self._hp:
+            ts = self._hp[0][0]
+            if best is None or ts < best:
+                best = ts
+        return best
+
+    def peek_key(self):
+        """Earliest pending ``(ts, prio)`` key, or None when empty.
+
+        Ties on the key across the three stores resolve by seq at pop
+        time; for peeking, the key alone is what arbitration needs.
+        """
+        best = self._smin
+        ri = self._ri
+        if ri < len(self._rts):
+            key = (self._rts[ri], self._rprio[ri])
+            if best is None or key < best:
+                best = key
+        if self._hp:
+            head = self._hp[0]
+            key = (head[0], head[1])
+            if best is None or key < best:
+                best = key
+        return best
+
+    # -- flush --------------------------------------------------------
+
+    def _flush(self):
+        """Move the staging buffer into the ready run or retail heap."""
+        sts = self._sts
+        k = len(sts)
+        if not k:
+            return
+        sprio = self._sprio
+        sev = self._sev
+        base = self._base
+        if k >= BULK_THRESHOLD and self._ri >= len(self._rts):
+            # Bulk path: one stable lexsort orders the whole batch;
+            # stability makes position order (= seq order) the
+            # tie-break, exactly what explicit seqs would do.
+            ts = np.array(sts, dtype=np.int64)
+            prio = np.array(sprio, dtype=np.int64)
+            if self._surg:
+                order = np.lexsort((prio, ts))
+                self._rurg = self._surg
+            else:
+                order = np.argsort(ts, kind="stable")
+                self._rurg = 0
+            # All four columns reorder at C speed: fancy-index the
+            # int64 columns, add ``base`` to the permutation itself to
+            # materialize seqs, and shuffle the object side-table
+            # through an object ndarray (pointer moves, no Python
+            # iteration).
+            self._rts = ts[order].tolist()
+            self._rprio = prio[order].tolist()
+            self._rseq = (order + base).tolist()
+            ev = np.empty(k, dtype=object)
+            ev[:] = sev
+            self._rev = ev[order].tolist()
+            self._ri = 0
+            self.bulk_flushes += 1
+            self.bulk_flushed += k
+        else:
+            hp = self._hp
+            push = heapq.heappush
+            for i in range(k):
+                push(hp, (sts[i], sprio[i], base + i, sev[i]))
+            self.retail_flushed += k
+        self._base = base + k
+        del sts[:], sprio[:], sev[:]
+        self._smin = None
+        self._surg = 0
+
+    def _needs_flush(self):
+        """True when the next pop could come from the staging buffer.
+
+        Every staged entry's seq exceeds every flushed entry's, so a
+        flushed head whose ``(ts, prio)`` key is ≤ the staged minimum
+        fires first regardless — staging only blocks a pop when its
+        minimum is *strictly* ahead of both heads (or no head exists).
+        """
+        smin = self._smin
+        if smin is None:
+            return False
+        ri = self._ri
+        if ri < len(self._rts) and (self._rts[ri], self._rprio[ri]) <= smin:
+            return False
+        hp = self._hp
+        if hp and (hp[0][0], hp[0][1]) <= smin:
+            return False
+        return True
+
+    # -- pop ----------------------------------------------------------
+
+    def pop(self):
+        """Remove and return the earliest ``(ts, prio, event)``."""
+        if self._needs_flush():
+            self._flush()
+        ri = self._ri
+        rts = self._rts
+        hp = self._hp
+        if ri < len(rts):
+            if hp:
+                head = hp[0]
+                rkey = (rts[ri], self._rprio[ri], self._rseq[ri])
+                if (head[0], head[1], head[2]) < rkey:
+                    ts, prio, _seq, event = heapq.heappop(hp)
+                    self._n -= 1
+                    self.heap_pops += 1
+                    return ts, prio, event
+            ts = rts[ri]
+            prio = self._rprio[ri]
+            event = self._rev[ri]
+            self._rev[ri] = None      # release the side-table slot
+            self._ri = ri + 1
+            if prio == _URGENT:
+                self._rurg -= 1
+            self._n -= 1
+            self.array_pops += 1
+            if self._ri >= len(rts):
+                self._reset_run()
+            return ts, prio, event
+        if hp:
+            ts, prio, _seq, event = heapq.heappop(hp)
+            self._n -= 1
+            self.heap_pops += 1
+            return ts, prio, event
+        raise IndexError("pop from empty ColumnarQueue")
+
+    def _reset_run(self):
+        """Drop an exhausted ready run so its storage can be reused."""
+        self._rts = []
+        self._rprio = []
+        self._rseq = []
+        self._rev = []
+        self._ri = 0
+        self._rurg = 0
+
+    def stats(self) -> dict:
+        """Profiling counters plus current residency."""
+        return {
+            "array_pops": self.array_pops,
+            "heap_pops": self.heap_pops,
+            "bulk_flushes": self.bulk_flushes,
+            "bulk_flushed": self.bulk_flushed,
+            "retail_flushed": self.retail_flushed,
+            "side_table_size": self.side_table_size(),
+        }
+
+    def __repr__(self):
+        return (f"<ColumnarQueue n={self._n} staged={len(self._sts)} "
+                f"run={len(self._rts) - self._ri} heap={len(self._hp)}>")

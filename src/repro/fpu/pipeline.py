@@ -16,6 +16,8 @@ import math
 from dataclasses import dataclass
 from functools import lru_cache
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class PipelineTiming:
@@ -67,6 +69,29 @@ class PipelineTiming:
         if n <= 0:
             return 0.0
         return n / (self.stages + n - 1)
+
+    def vector_ns_array(self, lengths) -> list:
+        """Vectorized :meth:`vector_ns` over a batch of lengths."""
+        return vector_ns_array(self.stages - 1, lengths, self.cycle_ns)
+
+
+def vector_ns_array(base_cycles, lengths, cycle_ns: int) -> list:
+    """Batched evaluation of the affine pipeline cost model.
+
+    ``base_cycles`` is the per-op fill term (chain depth − 1, plus any
+    reduction drain) — a scalar or an array parallel to ``lengths``.
+    Returns ``(base + n) * cycle_ns`` per op as a list of Python ints,
+    with 0 where ``n == 0``: exactly what per-op
+    :meth:`PipelineTiming.vector_ns` calls would produce, in one numpy
+    pass.  This is the vector tier's "precomputed per-element timing
+    array" — the micro-sequencer prices a whole queued chain of forms
+    with a single affine evaluation.
+    """
+    base = np.asarray(base_cycles, dtype=np.int64)
+    n = np.asarray(lengths, dtype=np.int64)
+    if (n < 0).any():
+        raise ValueError("negative vector length")
+    return np.where(n > 0, (base + n) * int(cycle_ns), 0).tolist()
 
 
 @lru_cache(maxsize=None)

@@ -50,6 +50,18 @@ class FunctionalUnit:
         except KeyError:
             raise ValueError(f"unsupported precision {precision!r}") from None
 
+    def credit(self, n: int, duration_ns: int) -> None:
+        """Apply the utilisation counters of an n-element streamed op
+        whose time was modelled elsewhere.
+
+        The vector-form micro-sequencer's chain path times a whole
+        queued chain with one timeout and then credits each unit
+        per-op through here — the counter totals are exactly what the
+        per-op execute path would have accumulated.
+        """
+        self.results += n
+        self.busy_ns += duration_ns
+
     def occupy(self, n: int, precision: int):
         """Process: hold the unit for an n-element vector operation.
 

@@ -40,8 +40,8 @@ warnings.filterwarnings(
 )
 
 from repro.events import Mutex
-from repro.events.engine import slow_kernel_requested
-from repro.fpu.pipeline import reduction_drain_cycles
+from repro.events.engine import slow_kernel_requested, vector_kernel_requested
+from repro.fpu.pipeline import reduction_drain_cycles, vector_ns_array
 from repro.fpu.units import FloatingAdder, FloatingMultiplier
 
 
@@ -255,6 +255,22 @@ class VectorArithmeticUnit:
         # for *any* n — exact, not bucketed, because the cost model is
         # affine in n.
         self._duration_base = {} if self._fast else None
+        # Vector tier: execute_chain computes queued chains in batch
+        # (one concatenated subnormal screen, one vectorized timing
+        # evaluation).  The other tiers run the identical chain
+        # protocol with per-op dispatch.
+        self._batched = self._fast and vector_kernel_requested()
+        #: Batched micro-sequencer counters (see engine_stats):
+        #: chains executed, forms and elements computed through the
+        #: batched path, and per-input flush calls elided by a clean
+        #: whole-chain screen.
+        self.chains = 0
+        self.batched_forms = 0
+        self.batched_elements = 0
+        self.screens_elided = 0
+        vaus = getattr(engine, "vaus", None)
+        if vaus is not None:
+            vaus.append(self)
 
     # -- timing ---------------------------------------------------------
 
@@ -345,6 +361,14 @@ class VectorArithmeticUnit:
         self.busy_ns += duration
         self.completions += 1
 
+        return self._compute_form(form, inputs, scalars, n, dtype, precision)
+
+    def _compute_form(self, form, inputs, scalars, n, dtype, precision):
+        """Screen inputs, run one form's arithmetic, screen the result.
+
+        This is the numeric half of :meth:`execute` (shared with the
+        chain path); timing and counters are the caller's business.
+        """
         flush = self._flush
         if self._fast and len(inputs) == 2:
             # Dual-input forms dominate (SAXPY, VADD, DOT...): screen
@@ -378,6 +402,10 @@ class VectorArithmeticUnit:
                 over="ignore", invalid="ignore", under="ignore"
             ):
                 result = form.compute(flushed_inputs, scalars, dtype)
+        return self._screen_result(form, result, flush, precision)
+
+    def _screen_result(self, form, result, flush, precision):
+        """Subnormal-flush a form's result (scalar or vector)."""
         if form.reduction:
             scalar = np.asarray(result).reshape(1)
             return flush(scalar)[0]
@@ -389,6 +417,134 @@ class VectorArithmeticUnit:
                     or magnitude.min() >= _TINY_BITS[precision]):
                 return result
         return flush(np.asarray(result))
+
+    # -- queued chains ----------------------------------------------------
+
+    def _chain_durations(self, entries, precision):
+        """Per-op simulated durations for a queued chain.
+
+        The batched tier prices the whole chain with one vectorized
+        affine evaluation over memoized per-form bases; the other
+        tiers call :meth:`duration` per op.  Identical integers either
+        way — the cost model is affine in n, so batching changes how
+        the arithmetic is issued, not its results.
+        """
+        if not self._batched:
+            return [self.duration(form.name, n, precision)
+                    for form, _inputs, _scalars, n in entries]
+        memo = self._duration_base
+        bases = []
+        lengths = []
+        for form, _inputs, _scalars, n in entries:
+            base = memo.get((form.name, precision))
+            if base is None:
+                base = self.chain_depth(form, precision) - 1
+                if form.reduction:
+                    base += reduction_drain_cycles(
+                        self.adder.stages(precision)
+                    )
+                memo[(form.name, precision)] = base
+            bases.append(base)
+            lengths.append(n)
+        return vector_ns_array(bases, lengths, self.specs.cycle_ns)
+
+    def _compute_chain_batched(self, entries, dtype, precision):
+        """Compute every form of a chain with one whole-chain screen.
+
+        A single concatenated reduction screens every vector input of
+        every op; when the whole batch is clean (the overwhelmingly
+        common case) the per-input flush calls are elided entirely and
+        each form computes straight on its operands.  A dirty batch
+        falls back to the per-op screen logic, which flushes exactly
+        the arrays that need it — either way the values are
+        bit-identical to per-op dispatch, because flushing a clean
+        array is the identity.
+        """
+        flush = self._flush
+        arrays = []
+        pool = []
+        for form, inputs, scalars, n in entries:
+            vecs = [np.asarray(v, dtype=dtype) for v in inputs]
+            arrays.append(vecs)
+            for v in vecs:
+                if v.size:
+                    pool.append(v)
+        clean = True
+        if pool:
+            magnitude = np.abs(np.concatenate(pool))
+            clean = bool(magnitude.min() >= _TINY_BITS[precision])
+        self.chains += 1
+        self.batched_forms += len(entries)
+        self.batched_elements += sum(n for _f, _i, _s, n in entries)
+        results = []
+        if clean:
+            self.screens_elided += sum(len(vecs) for vecs in arrays)
+            for (form, _inputs, scalars, _n), vecs in zip(entries, arrays):
+                result = form.compute(vecs, scalars, dtype)
+                results.append(
+                    self._screen_result(form, result, flush, precision)
+                )
+            return results
+        for (form, _inputs, scalars, n), vecs in zip(entries, arrays):
+            results.append(
+                self._compute_form(form, vecs, scalars, n, dtype, precision)
+            )
+        return results
+
+    def execute_chain(self, ops, precision=64):
+        """Process: run a queued chain of forms under one unit hold.
+
+        ``ops`` is a sequence of ``(form_name, inputs)`` or
+        ``(form_name, inputs, scalars)`` entries.  The micro-sequencer
+        queues the whole chain: the unit is requested once, completion
+        fires once after the summed form durations, and the per-op
+        results come back as a list — the same event pattern, simulated
+        timing, counter totals, and bit-exact values on every kernel
+        tier.  What differs per tier is the host arithmetic: the vector
+        tier batches the chain (one vectorized timing evaluation, one
+        whole-chain subnormal screen — see
+        :meth:`_compute_chain_batched`), the others dispatch per op.
+        """
+        dtype = dtype_for(precision)
+        entries = []
+        for op in ops:
+            form_name, inputs = op[0], op[1]
+            scalars = op[2] if len(op) > 2 else ()
+            form = FORMS[form_name]
+            n = self._validate(form, inputs, scalars, precision)
+            entries.append((form, inputs, scalars, n))
+        durations = self._chain_durations(entries, precision)
+        total = 0
+        for d in durations:
+            total += d
+        req = self._busy.request()
+        try:
+            yield req
+            yield self.engine.timeout(total)
+        finally:
+            req.release()
+        adder = self.adder
+        multiplier = self.multiplier
+        for (form, _inputs, _scalars, n), duration in zip(entries, durations):
+            if form.uses_adder:
+                adder.credit(n, duration)
+            if form.uses_multiplier:
+                multiplier.credit(n, duration)
+            self.flops += form.flops_per_element * n
+            self.busy_ns += duration
+            self.completions += 1
+        if self._batched:
+            return self._compute_chain_batched(entries, dtype, precision)
+        return [
+            self._compute_form(form, inputs, scalars, n, dtype, precision)
+            for form, inputs, scalars, n in entries
+        ]
+
+    def start_chain(self, ops, precision=64):
+        """Fire-and-forget: start a queued chain, return its event."""
+        return self.engine.process(
+            self.execute_chain(ops, precision), name="vau-chain"
+        )
 
     def start(self, form_name, inputs, scalars=(), precision=64):
         """Fire-and-forget: start a form, return its completion event."""

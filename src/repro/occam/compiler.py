@@ -651,7 +651,7 @@ def variables_snapshot(cpu, compiler) -> dict:
 
     Hidden replicator down-counters (``name.rep``) are included — they
     are architectural state too, and the conformance oracle compares
-    everything both kernels could disagree on.
+    everything the kernel tiers could disagree on.
     """
     from repro.cp.cpu import to_signed
 

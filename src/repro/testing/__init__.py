@@ -1,19 +1,22 @@
-"""Differential testing of the two simulator kernels.
+"""Differential testing of the simulator's kernel tiers.
 
-The simulator keeps two implementations of its hot paths: the default
-fast kernel (same-timestamp fast lane, decoded-instruction cache,
-memoized vector timing) and the ``REPRO_SLOW_KERNEL=1`` reference
-kernel (pure heap, byte-at-a-time decode, per-call timing).  They must
-be observationally identical.  This package enforces that with five
-generative fuzzers (CP-ISA programs, Occam programs, event schedules,
-vector workloads, fault schedules), a structural diff oracle, a spec
-shrinker, and a golden-trace conformance suite.
+The simulator keeps four implementations of its hot paths: the
+``REPRO_SLOW_KERNEL=1`` reference kernel (pure heap, byte-at-a-time
+decode, per-call timing), the fast kernel (same-timestamp fast lane,
+decoded-instruction cache, memoized vector timing), the default turbo
+kernel (resume trampolines, basic-block translation), and the
+``REPRO_VECTOR_KERNEL=1`` vector kernel (columnar SoA event queue,
+batched vector-form chains).  They must be observationally identical.
+This package enforces that with five generative fuzzers (CP-ISA
+programs, Occam programs, event schedules, vector workloads, fault
+schedules), a structural diff oracle, a spec shrinker, and a
+golden-trace conformance suite.
 
 Entry points:
 
 - ``python -m repro.testing.fuzz`` — fuzzing campaign CLI.
-- :func:`repro.testing.oracle.differential` — run one scenario on both
-  kernels and diff the outcomes.
+- :func:`repro.testing.oracle.differential` — run one scenario on
+  every kernel tier and diff the outcomes against the reference.
 - :mod:`repro.testing.golden` — pinned canonical traces.
 """
 

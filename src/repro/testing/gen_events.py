@@ -4,7 +4,7 @@ Builds a random process network over one :class:`~repro.events.Engine`
 — rendezvous channels, buffered stores, FIFO resources, timeouts
 (including fractional delays, which exercise the half-up rounding),
 child-process spawns, waits on already-fired events, and interrupts —
-and runs it to quiescence on both kernels.  The structural trace
+and runs it to quiescence on every kernel tier.  The structural trace
 (which process completed which operation at which simulated
 nanosecond, with which value) and the final clock must match exactly:
 this is the fast lane vs. pure-heap ordering contract.

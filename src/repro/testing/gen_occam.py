@@ -46,7 +46,7 @@ from repro.occam.compiler import (
 )
 
 #: Execution budget in executed code *bytes* — the unit that advances
-#: identically on all three kernel tiers (a step() call executes one
+#: identically on all four kernel tiers (a step() call executes one
 #: byte, one chain, or one translated block depending on the tier, so
 #: a step-count budget would stop each tier at a different point).
 MAX_STEP_BYTES = 400_000

@@ -10,6 +10,13 @@ call and uses the original errstate-guarded flush.  Compared outcome:
 result *bit patterns* (hex of the raw bytes, so NaN payloads and
 signed zeros count), per-op completion times, and the unit's
 FLOP/busy-time counters.
+
+Specs may also carry queued **chains** (``execute_chain``): long runs
+of forms, mixed 32/64-bit across chains, with subnormal specials
+salted per op — the traffic that stresses the vector tier's batched
+micro-sequencer (one whole-chain subnormal screen, vectorized timing)
+against the other tiers' per-op dispatch.  Shrinking peels ops out of
+chains and chains out of specs like any other ddmin axis.
 """
 
 import random
@@ -34,38 +41,60 @@ _SPECIALS = {
 }
 
 
+def _draw_op(rng: random.Random, precision=None) -> dict:
+    """Draw one op spec (chain ops inherit the chain's precision)."""
+    name = rng.choice(form_catalog())
+    form = FORMS[name]
+    op = {
+        "form": name,
+        "n": rng.choice([1, 2, 3, rng.randint(4, 64),
+                         rng.randint(65, 300)]),
+        "seed": rng.randrange(1 << 30),
+        "scalars": [
+            round(rng.uniform(-10, 10), 3)
+            for _ in range(form.scalar_inputs)
+        ],
+        "specials": rng.random() < 0.5,
+    }
+    if precision is None:
+        op["precision"] = rng.choice([32, 64])
+    return op
+
+
 def generate(rng: random.Random) -> dict:
     """Draw one workload spec."""
-    ops = []
-    for _ in range(rng.randint(2, 8)):
-        name = rng.choice(form_catalog())
-        form = FORMS[name]
+    ops = [_draw_op(rng) for _ in range(rng.randint(2, 8))]
+    # Queued chains: long runs of forms under one unit hold, mixed
+    # precision across chains, specials salted per op so some chains
+    # are clean (whole-chain screen elides every per-input flush) and
+    # some are dirty (per-op fallback).
+    chains = []
+    for _ in range(rng.randint(0, 2)):
         precision = rng.choice([32, 64])
-        ops.append({
-            "form": name,
-            "n": rng.choice([1, 2, 3, rng.randint(4, 64),
-                             rng.randint(65, 300)]),
-            "precision": precision,
-            "seed": rng.randrange(1 << 30),
-            "scalars": [
-                round(rng.uniform(-10, 10), 3)
-                for _ in range(form.scalar_inputs)
-            ],
-            "specials": rng.random() < 0.5,
-        })
-    return {"kind": "vector", "ops": ops}
+        length = rng.choice([2, 3, rng.randint(4, 12),
+                             rng.randint(12, 24)])
+        chain_ops = [_draw_op(rng, precision) for _ in range(length)]
+        for op in chain_ops:
+            op["specials"] = rng.random() < 0.3
+        chains.append({"precision": precision, "ops": chain_ops})
+    spec = {"kind": "vector", "ops": ops}
+    if chains:
+        spec["chains"] = chains
+    return spec
 
 
-def _operands(op: dict):
+def _operands(op: dict, precision=None):
     """Deterministic operand vectors for one op spec."""
     form = FORMS[op["form"]]
-    dtype = dtype_for(op["precision"])
+    if precision is None:
+        precision = op["precision"]
+    dtype = dtype_for(precision)
     rng = np.random.default_rng(op["seed"])
     inputs = []
     for _ in range(form.vector_inputs):
         values = rng.uniform(-1e6, 1e6, size=op["n"]).astype(dtype)
         if op["specials"]:
-            specials = _SPECIALS[op["precision"]]
+            specials = _SPECIALS[precision]
             k = min(len(values), 4)
             idx = rng.integers(0, len(values), size=k)
             pick = rng.integers(0, len(specials), size=k)
@@ -96,6 +125,26 @@ def execute(spec: dict) -> dict:
                 "t": eng.now,
                 "bits": raw.tobytes().hex(),
             })
+        for chain in spec.get("chains", ()):
+            precision = chain["precision"]
+            chained = yield from vau.execute_chain(
+                [
+                    (op["form"], _operands(op, precision),
+                     tuple(op["scalars"]))
+                    for op in chain["ops"]
+                ],
+                precision,
+            )
+            for op, result in zip(chain["ops"], chained):
+                raw = np.atleast_1d(
+                    np.asarray(result, dtype=dtype_for(precision))
+                )
+                results.append({
+                    "form": op["form"],
+                    "t": eng.now,
+                    "chained": True,
+                    "bits": raw.tobytes().hex(),
+                })
 
     eng.run(until=eng.process(workload()))
     return {
@@ -109,20 +158,57 @@ def execute(spec: dict) -> dict:
     }
 
 
+def _respec(spec: dict, ops=None, chains=None) -> dict:
+    """A spec copy with ``ops``/``chains`` swapped out."""
+    slim = {"kind": "vector",
+            "ops": spec["ops"] if ops is None else ops}
+    kept = spec.get("chains") if chains is None else chains
+    if kept:
+        slim["chains"] = kept
+    return slim
+
+
 def shrink_candidates(spec: dict):
     """Yield smaller workloads."""
     ops = spec["ops"]
+    chains = spec.get("chains", [])
     for i in range(len(ops)):
-        if len(ops) > 1:
-            yield {"kind": "vector", "ops": ops[:i] + ops[i + 1:]}
+        if len(ops) > 1 or chains:
+            yield _respec(spec, ops=ops[:i] + ops[i + 1:])
     for i, op in enumerate(ops):
         if op["n"] > 1:
             slim = dict(op)
             slim["n"] = max(1, op["n"] // 2)
-            yield {"kind": "vector",
-                   "ops": ops[:i] + [slim] + ops[i + 1:]}
+            yield _respec(spec, ops=ops[:i] + [slim] + ops[i + 1:])
         if op["specials"]:
             plain = dict(op)
             plain["specials"] = False
-            yield {"kind": "vector",
-                   "ops": ops[:i] + [plain] + ops[i + 1:]}
+            yield _respec(spec, ops=ops[:i] + [plain] + ops[i + 1:])
+    # Chain axes: drop a whole chain, peel one op out of a chain,
+    # shrink or de-salt an op in place.
+    for i in range(len(chains)):
+        if ops or len(chains) > 1:
+            yield _respec(spec, chains=chains[:i] + chains[i + 1:])
+    for i, chain in enumerate(chains):
+        cops = chain["ops"]
+        for j in range(len(cops)):
+            if len(cops) > 1:
+                slim = {"precision": chain["precision"],
+                        "ops": cops[:j] + cops[j + 1:]}
+                yield _respec(spec,
+                              chains=chains[:i] + [slim] + chains[i + 1:])
+        for j, op in enumerate(cops):
+            variants = []
+            if op["n"] > 1:
+                half = dict(op)
+                half["n"] = max(1, op["n"] // 2)
+                variants.append(half)
+            if op["specials"]:
+                plain = dict(op)
+                plain["specials"] = False
+                variants.append(plain)
+            for variant in variants:
+                slim = {"precision": chain["precision"],
+                        "ops": cops[:j] + [variant] + cops[j + 1:]}
+                yield _respec(spec,
+                              chains=chains[:i] + [slim] + chains[i + 1:])

@@ -3,12 +3,14 @@
 PR 1 split the simulator into a fast path (URGENT fast lane, decoded-
 instruction cache, memoized vector-form timing) and a
 ``REPRO_SLOW_KERNEL=1`` reference path; the turbo tier (basic-block
-translation, resume trampolining) makes it three, with the contract
-that all tiers produce bit-identical architectural results.  This
-module is the machinery that checks the contract mechanically: a
-*case* is a JSON-able spec plus an ``execute(spec) -> outcome``
-function; the oracle executes it once under each tier and structurally
-diffs every optimized tier's outcome against the reference tier's.
+translation, resume trampolining) made it three, and the vector tier
+(columnar SoA event queue, batched vector forms) makes it four, with
+the contract that all tiers produce bit-identical architectural
+results.  This module is the machinery that checks the contract
+mechanically: a *case* is a JSON-able spec plus an
+``execute(spec) -> outcome`` function; the oracle executes it once
+under each tier and structurally diffs every optimized tier's outcome
+against the reference tier's.
 
 Outcomes are plain JSON-able data (dicts/lists/ints/strings): the
 generators serialise floats as bit patterns and memory as digests, so
@@ -25,10 +27,10 @@ from repro.events.engine import force_kernel
 class DiffReport:
     """Result of one differential execution.
 
-    ``slow`` holds the reference-tier outcome; ``fast`` and ``turbo``
-    the optimized tiers' outcomes (``turbo`` is ``None`` when only two
-    tiers were compared, e.g. in unit tests that build reports by
-    hand).
+    ``slow`` holds the reference-tier outcome; ``fast``, ``turbo``,
+    and ``vector`` the optimized tiers' outcomes (``turbo``/``vector``
+    are ``None`` when fewer tiers were compared, e.g. in unit tests
+    that build reports by hand).
     """
 
     diverged: bool
@@ -38,6 +40,7 @@ class DiffReport:
     fast: object = None
     slow: object = None
     turbo: object = None
+    vector: object = None
 
     def summary(self, limit: int = 5) -> str:
         if not self.diverged:
@@ -91,11 +94,11 @@ def differential(execute, spec) -> DiffReport:
     """Execute ``spec`` on every kernel tier and diff vs reference.
 
     Runs the reference tier once, then each optimized tier (fast,
-    turbo), diffing every optimized outcome against the reference
-    outcome.  ``execute`` must build its entire scenario (engines,
-    CPUs, vector units) from scratch inside the call — the kernel
-    choice is sampled at construction time, and any object smuggled in
-    from outside would carry the wrong kernel.
+    turbo, vector), diffing every optimized outcome against the
+    reference outcome.  ``execute`` must build its entire scenario
+    (engines, CPUs, vector units) from scratch inside the call — the
+    kernel choice is sampled at construction time, and any object
+    smuggled in from outside would carry the wrong kernel.
     """
     with force_kernel(tier="reference"):
         slow = execute(spec)
@@ -103,9 +106,12 @@ def differential(execute, spec) -> DiffReport:
         fast = execute(spec)
     with force_kernel(tier="turbo"):
         turbo = execute(spec)
+    with force_kernel(tier="vector"):
+        vector = execute(spec)
     details = [f"fast {d}" for d in diff_outcomes(fast, slow)]
     details += [f"turbo {d}" for d in diff_outcomes(turbo, slow)]
-    return DiffReport(bool(details), details, fast, slow, turbo)
+    details += [f"vector {d}" for d in diff_outcomes(vector, slow)]
+    return DiffReport(bool(details), details, fast, slow, turbo, vector)
 
 
 def check_execution_error(execute, spec):

@@ -87,6 +87,7 @@ def _in_mode(monkeypatch, slow, fn):
         monkeypatch.setenv("REPRO_SLOW_KERNEL", "1")
     else:
         monkeypatch.delenv("REPRO_SLOW_KERNEL", raising=False)
+    monkeypatch.delenv("REPRO_VECTOR_KERNEL", raising=False)
     return fn()
 
 
@@ -95,6 +96,8 @@ def _in_tier(monkeypatch, tier, fn):
                        "1" if tier == "reference" else "0")
     monkeypatch.setenv("REPRO_TURBO_KERNEL",
                        "1" if tier == "turbo" else "0")
+    monkeypatch.setenv("REPRO_VECTOR_KERNEL",
+                       "1" if tier == "vector" else "0")
     return fn()
 
 
@@ -293,6 +296,7 @@ class TestTurboBlocks:
     def test_mid_block_patch_invalidates_block(self, monkeypatch):
         monkeypatch.setenv("REPRO_SLOW_KERNEL", "0")
         monkeypatch.setenv("REPRO_TURBO_KERNEL", "1")
+        monkeypatch.setenv("REPRO_VECTOR_KERNEL", "0")
         state, cpu = self._run_with_patches(_MID_BLOCK_PATCH_SPEC)
         # The pad loop really was translated and re-translated: each
         # patch overlapped a live block and dropped it.
@@ -331,6 +335,7 @@ class TestTurboBlocks:
     def test_step_barrier_pauses_block_at_chain_boundary(self, monkeypatch):
         monkeypatch.setenv("REPRO_SLOW_KERNEL", "0")
         monkeypatch.setenv("REPRO_TURBO_KERNEL", "1")
+        monkeypatch.setenv("REPRO_VECTOR_KERNEL", "0")
         # Eight single-byte safe instructions then terminate: one block.
         cpu = CPU(assemble("ldc 1\nadc 1\nadc 1\nadc 1\n"
                            "adc 1\nadc 1\nadc 1\nadc 1\nterminate").code)
@@ -351,6 +356,7 @@ class TestTurboBlocks:
         cycle counts."""
         monkeypatch.setenv("REPRO_SLOW_KERNEL", "0")
         monkeypatch.setenv("REPRO_TURBO_KERNEL", "1")
+        monkeypatch.setenv("REPRO_VECTOR_KERNEL", "0")
 
         def fresh():
             cpu = CPU(assemble("terminate").code)
@@ -457,6 +463,7 @@ class TestEngineStats:
     def test_stats_table_includes_cp_cache_rows(self, monkeypatch):
         monkeypatch.setenv("REPRO_SLOW_KERNEL", "0")
         monkeypatch.setenv("REPRO_TURBO_KERNEL", "1")
+        monkeypatch.setenv("REPRO_VECTOR_KERNEL", "0")
         from repro.core.specs import PAPER_SPECS
 
         eng = Engine()
