@@ -249,6 +249,177 @@ WORKLOADS = [
 ]
 
 
+# -- Occam optimizer + AOT ----------------------------------------------
+
+
+def _occam_bench_program(loops: int, messages: int):
+    """A representative CP program for the optimizer bench: a
+    constant-foldable accumulator, a spill-heavy polynomial (workspace
+    reallocation fodder), and a producer/consumer PAR whose child-side
+    OUT is fusable to ``outword``."""
+    from repro.occam.compiler import (
+        Add, Assign, In, Mul, Num, Out, Par, Seq, Sub, Var, While,
+    )
+
+    step = Add(Mul(Num(6), Num(7)), Num(-41))  # folds to ldc 1
+    poly = Sub(Mul(Add(Var("x"), Num(1)), Sub(Var("x"), Num(1))),
+               Mul(Var("x"), Var("x")))        # spills; always -1
+    return Seq([
+        Assign("x", Num(9)),
+        Assign("acc", Num(0)),
+        Assign("k", Num(loops)),
+        While(Var("k"), Seq([
+            Assign("acc", Add(Var("acc"), step)),
+            Assign("tmp", poly),
+            Assign("k", Sub(Var("k"), Num(1))),
+        ])),
+        Par([
+            Seq([
+                Assign("got", Num(0)),
+                Assign("i", Num(messages)),
+                While(Var("i"), Seq([
+                    In("pipe", "v"),
+                    Assign("got", Add(Var("got"), Var("v"))),
+                    Assign("i", Sub(Var("i"), Num(1))),
+                ])),
+            ]),
+            Seq([
+                Assign("j", Num(messages)),
+                While(Var("j"), Seq([
+                    Out("pipe", step),
+                    Assign("j", Sub(Var("j"), Num(1))),
+                ])),
+            ]),
+        ]),
+    ])
+
+
+def occam_optimizer_bench(quick: bool) -> dict:
+    """Measure the Occam optimizer and the AOT block tables.
+
+    Compiles one program at -O0 and -O2, runs both on the turbo tier,
+    and asserts bit-identical final variables while recording the
+    static (instructions, bytes) and dynamic (simulated instructions,
+    cycles, wall) deltas.  Then times a cold turbo start (runtime
+    block translation) against an AOT warm start from an on-disk
+    artifact, asserting the warm run never invokes the translator and
+    reaches an identical architectural snapshot.
+    """
+    import tempfile
+
+    from repro.cp.assembler import assemble
+    from repro.cp.cpu import CPU
+    from repro.occam import aot
+    from repro.occam.compiler import OccamCompiler, read_variable
+
+    loops = 150 if quick else 1500
+    messages = 60 if quick else 600
+    repeats = 1 if quick else 5
+    max_steps = 20_000_000
+    program = _occam_bench_program(loops, messages)
+
+    compilers = {0: OccamCompiler(), 2: OccamCompiler(opt_level=2)}
+    codes = {
+        level: assemble(compiler.compile(program)).code
+        for level, compiler in compilers.items()
+    }
+
+    def timed_run(code, warm_dir=None):
+        with force_kernel(tier="turbo"):
+            cpu = CPU(code)
+            if warm_dir is not None:
+                aot.warm_start(cpu, warm_dir)
+            t0 = time.perf_counter()
+            cpu.run(max_steps=max_steps)
+            wall = time.perf_counter() - t0
+        return cpu, wall
+
+    runs = {}
+    for level, code in codes.items():
+        best = None
+        for _ in range(repeats + 1):  # +1 untimed-equivalent warm-up
+            cpu, wall = timed_run(code)
+            if best is None or wall < best[1]:
+                best = (cpu, wall)
+        cpu, wall = best
+        compiler = compilers[level]
+        runs[level] = {
+            "wall_s": wall,
+            "code_bytes": len(code),
+            "sim_instructions": cpu.instructions,
+            "sim_cycles": cpu.cycles,
+            "variables": {
+                name: read_variable(cpu, compiler, name)
+                for name in compiler.variables
+            },
+        }
+    if runs[0]["variables"] != runs[2]["variables"]:
+        raise AssertionError(
+            f"optimized program diverges: {runs[2]['variables']} vs "
+            f"{runs[0]['variables']}"
+        )
+    expected = {"acc": loops, "got": messages}
+    for name, value in expected.items():
+        if runs[0]["variables"][name] != value:
+            raise AssertionError(
+                f"bench program wrong: {name}={runs[0]['variables'][name]}"
+                f" != {value}"
+            )
+
+    # AOT warm start vs cold start, on the optimized code.
+    with tempfile.TemporaryDirectory() as aot_dir:
+        aot.save_artifact(codes[2], aot_dir)
+        cold_best = warm_best = None
+        cold_cpu = warm_cpu = None
+        for _ in range(repeats + 1):
+            cpu, wall = timed_run(codes[2])
+            if cold_best is None or wall < cold_best:
+                cold_best, cold_cpu = wall, cpu
+            cpu, wall = timed_run(codes[2], warm_dir=aot_dir)
+            if warm_best is None or wall < warm_best:
+                warm_best, warm_cpu = wall, cpu
+
+    if warm_cpu.block_translations != 0:
+        raise AssertionError(
+            f"warm start translated {warm_cpu.block_translations} blocks"
+        )
+    if warm_cpu.snapshot_state() != cold_cpu.snapshot_state():
+        raise AssertionError("warm-start run diverged from cold run")
+
+    report = compilers[2].opt_report
+    return {
+        "program": {"loops": loops, "messages": messages},
+        "opt_report": report,
+        "o0": {k: v for k, v in runs[0].items() if k != "variables"},
+        "o2": {k: v for k, v in runs[2].items() if k != "variables"},
+        "variables_identical": True,
+        "static_instruction_ratio": round(
+            report["instructions_before"] / report["instructions_after"],
+            4,
+        ),
+        "code_bytes_ratio": round(
+            runs[0]["code_bytes"] / runs[2]["code_bytes"], 4
+        ),
+        "sim_instruction_ratio": round(
+            runs[0]["sim_instructions"] / runs[2]["sim_instructions"], 4
+        ),
+        "sim_cycle_ratio": round(
+            runs[0]["sim_cycles"] / runs[2]["sim_cycles"], 4
+        ),
+        "wall_speedup_o2_vs_o0": round(
+            runs[0]["wall_s"] / runs[2]["wall_s"], 4
+        ),
+        "aot": {
+            "cold_wall_s": cold_best,
+            "warm_wall_s": warm_best,
+            "warm_block_translations": warm_cpu.block_translations,
+            "warm_block_imports": warm_cpu.block_imports,
+            "cold_block_translations": cold_cpu.block_translations,
+            "snapshot_identical": True,
+        },
+    }
+
+
 # -- measurement --------------------------------------------------------
 
 
@@ -342,6 +513,7 @@ def run_benchmark(quick: bool = False) -> dict:
         "repeats": repeats,
         "kernel_tiers": list(KERNEL_TIERS),
         "workloads": results,
+        "occam_optimizer": occam_optimizer_bench(quick),
     }
 
 
@@ -386,7 +558,21 @@ def main(argv=None) -> int:
     micro = payload["workloads"]["engine_microbench"]
     flood = payload["workloads"]["engine_microbench_flood"]
     matmul = payload["workloads"]["e12_matmul"]
+    occam = payload["occam_optimizer"]
     payload["acceptance"] = {
+        # Deterministic gates: the optimizer must shrink the program
+        # both statically and dynamically with identical results, and
+        # an AOT warm start must never invoke the runtime translator.
+        "occam_opt_sim_instruction_ratio": occam["sim_instruction_ratio"],
+        "occam_opt_sim_instruction_target": 1.05,
+        "occam_opt_code_bytes_ratio": occam["code_bytes_ratio"],
+        "occam_opt_variables_identical": occam["variables_identical"],
+        "occam_aot_warm_translations": (
+            occam["aot"]["warm_block_translations"]
+        ),
+        "occam_aot_snapshot_identical": (
+            occam["aot"]["snapshot_identical"]
+        ),
         "microbench_events_per_s_speedup": round(
             micro["events_per_s_speedup_turbo"], 2
         ),
@@ -416,7 +602,17 @@ def main(argv=None) -> int:
         )
         print(f"\nwrote {BENCH_JSON}")
 
-    ok = payload["acceptance"]["all_sim_times_identical"]
+    ok = (
+        payload["acceptance"]["all_sim_times_identical"]
+        and payload["acceptance"]["occam_opt_variables_identical"]
+        and payload["acceptance"]["occam_aot_warm_translations"] == 0
+        and payload["acceptance"]["occam_aot_snapshot_identical"]
+        and (
+            payload["acceptance"]["occam_opt_sim_instruction_ratio"]
+            >= payload["acceptance"]["occam_opt_sim_instruction_target"]
+        )
+        and payload["acceptance"]["occam_opt_code_bytes_ratio"] > 1.0
+    )
     if not args.quick:
         ok = ok and (
             payload["acceptance"]["microbench_events_per_s_speedup"]

@@ -36,6 +36,14 @@ echo "== differential fuzz smoke (four-way, fixed seeds) =="
 python -m repro.testing.fuzz --seed 1986 --cases 200 --budget 30
 python -m repro.testing.fuzz --seed 8086 --cases 120 --budget 20
 
+echo "== occam optimizer fuzz smoke (dual-compile + AOT warm start) =="
+# Every occam case compiles twice (-O0 and -O2), AOT-warm-starts the
+# optimized build (asserting the runtime translator is never invoked),
+# and diffs observable results across all four kernel tiers; the
+# budget bounds wall clock on slow machines.
+python -m repro.testing.fuzz --seed 31415 --cases 80 \
+    --generators occam --budget 45
+
 echo "== fault-tolerance smoke (ARQ retries + recovery digest) =="
 python scripts/fault_smoke.py
 
@@ -82,6 +90,9 @@ if python -c "import pytest_cov" 2>/dev/null; then
     python -m pytest tests/test_testing_subsystem.py tests/test_repros.py \
         tests/test_golden_traces.py -q \
         --cov=repro.testing --cov-fail-under=85
+    python -m pytest tests/test_occam_optimizer.py -q \
+        --cov=repro.occam.optimizer --cov=repro.occam.aot \
+        --cov-fail-under=85
 else
     echo "pytest-cov not installed; skipping coverage floor"
 fi

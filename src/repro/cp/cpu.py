@@ -227,6 +227,7 @@ class CPU:
         self.block_translations = 0
         self.block_chains = 0
         self.block_invalidations = 0
+        self.block_imports = 0
 
     # -- code store ---------------------------------------------------------
 
@@ -286,7 +287,115 @@ class CPU:
             "block_chains": self.block_chains,
             "block_hits": self.block_hits,
             "block_invalidations": self.block_invalidations,
+            "block_imports": self.block_imports,
         }
+
+    #: Serialized block-table format version (see :meth:`export_blocks`).
+    BLOCK_TABLE_SCHEMA = 1
+
+    def export_blocks(self) -> dict:
+        """Serialize the translated-block tables as a JSON-able dict.
+
+        Block records hold bound handler methods, so the payload
+        stores each chain's *identity* — ``(op, operand, next_pc,
+        byte_count, prefix_cycles)`` — and :meth:`import_blocks`
+        re-derives the handlers, static costs, and prefix sums from
+        the same tables runtime translation uses.  A loaded table is
+        therefore structurally identical to what
+        :meth:`_translate_block` would build for the same code image;
+        the payload carries the code digest so a stale artifact can
+        never attach to different code.
+        """
+        import hashlib
+
+        blocks = []
+        for pc in sorted(self._blocks):
+            chains, _tb, _tc, _cb, _cc, tail, _start, _end = \
+                self._blocks[pc]
+            blocks.append({
+                "pc": pc,
+                "chains": [
+                    [Op[name].value, operand, next_pc, nbytes, prefix]
+                    for (_h, operand, next_pc, nbytes, prefix,
+                         name, _cost) in chains
+                ],
+                "tail": None if tail is None else list(
+                    (tail[5], tail[1], tail[2], tail[3], tail[4])
+                ),
+            })
+        return {
+            "schema": self.BLOCK_TABLE_SCHEMA,
+            "code_sha256": hashlib.sha256(bytes(self.code)).hexdigest(),
+            "blocks": blocks,
+            "unblocked": sorted(self._unblocked),
+        }
+
+    def import_blocks(self, payload: dict) -> int:
+        """Install a serialized block table (see :meth:`export_blocks`).
+
+        Every chain is re-validated against the safe-cost tables and
+        its handlers rebound on this CPU, so a tampered or stale
+        payload is rejected rather than mis-executed.  Counts as
+        ``block_imports``, not ``block_translations`` — a warm start
+        from an ahead-of-time artifact leaves the runtime translator
+        untouched.  Returns the number of blocks installed.
+        """
+        import hashlib
+
+        if not self._use_blocks:
+            raise CPUError(
+                "block import requires a block-translating kernel tier"
+            )
+        if payload.get("schema") != self.BLOCK_TABLE_SCHEMA:
+            raise CPUError(
+                f"unsupported block-table schema {payload.get('schema')!r}"
+            )
+        digest = hashlib.sha256(bytes(self.code)).hexdigest()
+        if payload.get("code_sha256") != digest:
+            raise CPUError("block table was built for different code")
+        installed = {}
+        for record in payload["blocks"]:
+            chains = []
+            cum_bytes = []
+            cum_cycles = []
+            total_bytes = 0
+            total_cycles = 0
+            for op, operand, next_pc, nbytes, prefix in record["chains"]:
+                if op == Op.OPR:
+                    handler = self._secondary.get(operand)
+                    cost = self._SAFE_SECONDARY_COST.get(operand)
+                else:
+                    handler = self._primary[op]
+                    cost = self._SAFE_PRIMARY_COST.get(op)
+                if handler is None or cost is None:
+                    raise CPUError("unsafe chain in imported block table")
+                cum_bytes.append(total_bytes)
+                cum_cycles.append(total_cycles)
+                chains.append((handler, operand, next_pc, nbytes,
+                               prefix, Op(op).name, cost))
+                total_bytes += nbytes
+                total_cycles += prefix + cost
+            if len(chains) < 2:
+                raise CPUError("imported block shorter than two chains")
+            tail = record.get("tail")
+            if tail is not None:
+                op, operand, next_pc, nbytes, prefix = tail
+                if op == Op.OPR:
+                    handler = self._secondary.get(operand)
+                else:
+                    handler = self._primary[op]
+                if handler is None:
+                    raise CPUError("undecodable tail in imported block")
+                tail = (handler, operand, next_pc, nbytes, prefix, op)
+            pc = record["pc"]
+            end = tail[2] if tail is not None else chains[-1][2]
+            installed[pc] = (tuple(chains), total_bytes, total_cycles,
+                             tuple(cum_bytes), tuple(cum_cycles),
+                             tail, pc, end)
+        self._blocks.update(installed)
+        self._unblocked |= set(payload.get("unblocked", []))
+        self.block_imports += len(installed)
+        return len(installed)
 
     # -- conformance --------------------------------------------------------
 

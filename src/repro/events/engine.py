@@ -464,7 +464,9 @@ class Process(Event):
         lane = engine._lane
         turbo = engine._turbo
         tramp = 0
-        spin = None
+        # _PENDING (never a generator's yield value) marks "no memo":
+        # a plain None would false-match a process yielding None.
+        spin = _PENDING
         engine._active = self
         while True:
             try:
@@ -521,7 +523,7 @@ class Process(Event):
                 if not lane and engine._solo_cb and not engine._durgent:
                     tramp += 1
                     continue
-                spin = None
+                spin = _PENDING
 
             # Duck-typed validation: probing the two attributes every
             # Event has is cheaper than an isinstance() on this hot path.
@@ -587,6 +589,10 @@ class Process(Event):
                     if not result._ok:
                         result._defused = True
                     tramp += 1
+                    # The spin memo must track the event we resume
+                    # with: leaving a stale memo here would replay the
+                    # *previous* event's value on a later re-yield.
+                    spin = result
                     event = result
                     continue
                 engine._active = None

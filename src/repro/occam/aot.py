@@ -1,0 +1,143 @@
+"""Whole-program ahead-of-time block translation.
+
+The turbo and vector kernel tiers translate basic blocks lazily: the
+first execution of a hot PC pays for decoding and packing the chain
+run (see :meth:`repro.cp.cpu.CPU._translate_block`).  This module
+pre-compiles the *entire* code image once — chains tile the code store
+linearly, so a single forward scan visits every chain boundary the
+interpreter could ever dispatch from — and serializes the resulting
+block tables to a JSON artifact keyed by the code's SHA-256.
+
+A simulator that loads the artifact starts warm: every translatable
+PC hits the imported table, the runtime translator is never invoked
+(``block_translations`` stays 0), and execution is bit-identical to a
+cold run because :meth:`CPU.import_blocks` rebuilds each record from
+the same decode identities and cost tables runtime translation uses.
+``CPU.patch_code`` treats imported blocks exactly like translated
+ones — a patch invalidates every block whose span overlaps the write
+and clears the negative cache, so self-modifying programs stay
+correct after a warm start.
+
+Artifacts live in a cache directory (``.repro-aot/`` by default, or
+``$REPRO_AOT_DIR``), one file per code image::
+
+    .repro-aot/<sha256 of code>.json
+"""
+
+import hashlib
+import json
+import os
+
+from repro.cp.cpu import CPU
+from repro.events.engine import force_kernel
+
+#: Default artifact directory, relative to the working directory.
+DEFAULT_AOT_DIR = ".repro-aot"
+
+
+def aot_dir() -> str:
+    """The artifact cache directory (``$REPRO_AOT_DIR`` overrides)."""
+    return os.environ.get("REPRO_AOT_DIR", DEFAULT_AOT_DIR)
+
+
+def code_digest(code) -> str:
+    return hashlib.sha256(bytes(code)).hexdigest()
+
+
+def artifact_path(code, directory=None) -> str:
+    """Where the artifact for ``code`` lives under ``directory``."""
+    return os.path.join(directory or aot_dir(),
+                        f"{code_digest(code)}.json")
+
+
+def precompile_cpu(cpu: CPU) -> int:
+    """Translate every chain boundary in ``cpu``'s code store.
+
+    Chains tile the code linearly (``_decode`` advances one full
+    prefix chain per call), so scanning forward from PC 0 and
+    attempting a block at every boundary yields a superset of the
+    blocks lazy runtime translation could ever build — each one
+    identical to its lazy twin, because translation is a pure function
+    of the code image.  Undecodable bytes end the scan: the runtime
+    falls back to byte-wise execution there, and so does a warm-
+    started CPU (those PCs simply stay untranslated).
+
+    Returns the number of blocks in the table afterwards.
+    """
+    pc = 0
+    size = len(cpu.code)
+    while pc < size:
+        entry = cpu._decode(pc)
+        if entry is None:
+            break
+        if pc not in cpu._blocks and pc not in cpu._unblocked:
+            cpu._translate_block(pc)
+        pc = entry[2]
+    return len(cpu._blocks)
+
+
+def compile_blocks(code) -> dict:
+    """Build the serialized whole-program block table for ``code``.
+
+    Runs on a scratch turbo-tier CPU regardless of the ambient kernel
+    tier, so artifact production is deterministic.
+    """
+    with force_kernel(tier="turbo"):
+        cpu = CPU(code)
+        precompile_cpu(cpu)
+        return cpu.export_blocks()
+
+
+def save_artifact(code, directory=None) -> str:
+    """Compile ``code``'s block table and write the artifact.
+
+    Returns the artifact path.  Idempotent: recompiling the same code
+    rewrites the same content at the same digest-keyed path.
+    """
+    path = artifact_path(code, directory)
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    payload = compile_blocks(code)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle, separators=(",", ":"), sort_keys=True)
+    os.replace(tmp, path)
+    return path
+
+
+def load_artifact(code, directory=None):
+    """The stored payload for ``code``, or None when absent/unreadable.
+
+    A corrupt or stale file is treated as a cache miss (the caller
+    recompiles); :meth:`CPU.import_blocks` still re-verifies the code
+    digest and every chain before installing anything.
+    """
+    path = artifact_path(code, directory)
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if payload.get("code_sha256") != code_digest(code):
+        return None
+    return payload
+
+
+def warm_start(cpu: CPU, directory=None, write_back=True) -> bool:
+    """Attach the AOT block table for ``cpu``'s code.
+
+    On a cache hit the artifact is imported (no runtime translation);
+    on a miss the table is compiled ahead of time now, written back
+    (unless ``write_back`` is false), and imported.  Returns True on
+    an artifact-cache hit.  Only meaningful on block-translating
+    tiers; raises ``CPUError`` elsewhere, matching ``import_blocks``.
+    """
+    payload = load_artifact(cpu.code, directory)
+    hit = payload is not None
+    if payload is None:
+        if write_back:
+            save_artifact(cpu.code, directory)
+            payload = load_artifact(cpu.code, directory)
+        if payload is None:
+            payload = compile_blocks(bytes(cpu.code))
+    cpu.import_blocks(payload)
+    return hit

@@ -294,9 +294,19 @@ class CompileError(Exception):
 
 
 class OccamCompiler:
-    """One compilation unit."""
+    """One compilation unit.
 
-    def __init__(self):
+    ``opt_level`` selects the optimizer pipeline applied to the
+    emitted assembly (see :mod:`repro.occam.optimizer`): 0 is the
+    naive translation, 1 runs constant folding and dead-code
+    elimination, 2 adds workspace-slot reallocation and channel-op
+    fusion.  After :meth:`compile`, ``opt_report`` holds the
+    optimizer's per-pass statistics (None at ``-O0``).
+    """
+
+    def __init__(self, opt_level: int = 0):
+        self.opt_level = opt_level
+        self.opt_report = None
         self.variables = {}
         self.channels = {}
         self.arrays = {}
@@ -616,20 +626,26 @@ class OccamCompiler:
             prologue.append(f"    j {label}")
             prologue.append(f"{label}_done:")
         del body_marker
-        return "\n".join(prologue + self._lines) + "\n"
+        source = "\n".join(prologue + self._lines) + "\n"
+        if self.opt_level:
+            from repro.occam.optimizer import optimize
+
+            source, self.opt_report = optimize(source,
+                                               level=self.opt_level)
+        return source
 
 
-def compile_occam(program) -> str:
+def compile_occam(program, opt_level: int = 0) -> str:
     """Compile an AST; returns the assembly source."""
-    return OccamCompiler().compile(program)
+    return OccamCompiler(opt_level=opt_level).compile(program)
 
 
-def run_occam(program, max_steps: int = 2_000_000):
+def run_occam(program, max_steps: int = 2_000_000, opt_level: int = 0):
     """Compile, assemble, and run an AST; returns (cpu, compiler).
 
     Read results back with :func:`read_variable`.
     """
-    compiler = OccamCompiler()
+    compiler = OccamCompiler(opt_level=opt_level)
     source = compiler.compile(program)
     assembled = assemble(source)
     cpu = CPU(assembled.code)

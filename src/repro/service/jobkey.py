@@ -12,7 +12,7 @@ The key is the SHA-256 of a canonical JSON document::
      "semantics": <digest of the golden-trace set>,
      "runner":    <digest of the registered runner's source>,
      "kind":      ..., "spec": ..., "config": ..., "seed": ...,
-     "tier":      ...}
+     "tier":      ..., "opt": ...}
 
 Canonical means sorted keys, compact separators, and ``allow_nan``
 off — the byte stream is a pure function of the job's value, never of
@@ -46,7 +46,11 @@ import os
 #: pairing with the golden digest lives in
 #: ``tests/golden/jobkey_schema.json`` and is enforced by
 #: ``scripts/check_cache_version.py``.
-JOB_KEY_SCHEMA_VERSION = 1
+#: v2: the key document gained the ``opt`` field (the Occam
+#: optimization level — optimized and unoptimized compiles of the same
+#: spec are different jobs), and the golden set gained the
+#: ``occam_optimized`` workload.
+JOB_KEY_SCHEMA_VERSION = 2
 
 
 @dataclasses.dataclass(frozen=True)
@@ -59,7 +63,13 @@ class JobSpec:
     ``config`` and ``seed`` are optional identity fields for runners
     whose spec does not embed them (the generator specs embed their
     own seeds; a bench cell might not) — they are folded into the key
-    and handed to runners registered with ``takes="job"``.
+    and handed to runners registered with ``takes="job"``.  ``opt`` is
+    the Occam optimization level for runners that compile programs:
+    ``-O0`` and ``-O2`` builds of the same spec reach the same
+    variables but different instruction/cycle counters, so cached
+    results are only sound when the level joins the key.  (Specs that
+    embed their own ``"opt"`` field are already distinct; this field
+    covers runners whose spec does not.)
     """
 
     kind: str
@@ -67,6 +77,7 @@ class JobSpec:
     tier: str = None
     config: object = None
     seed: object = None
+    opt: object = None
 
     def resolved(self) -> "JobSpec":
         """A copy with ``tier`` pinned to a concrete kernel tier."""
@@ -83,6 +94,7 @@ class JobSpec:
             "tier": self.tier,
             "config": self.config,
             "seed": self.seed,
+            "opt": self.opt,
         }
 
 
@@ -153,6 +165,7 @@ def job_key(job: JobSpec, semantics=None) -> str:
         "config": job.config,
         "seed": job.seed,
         "tier": job.tier,
+        "opt": job.opt,
     }
     return hashlib.sha256(canonical_json(document).encode()).hexdigest()
 

@@ -46,7 +46,9 @@ def run_case(generator, rng):
     """
     spec = generator.generate(rng)
     try:
-        report = differential(generator.execute, spec)
+        report = differential(generator.execute, spec,
+                              invariant=getattr(generator, "invariant",
+                                                None))
     except Exception as exc:  # generator/harness bug, not a divergence
         return spec, None, exc
     return spec, report, None
@@ -83,7 +85,9 @@ def fuzz(seed: int, cases: int, budget_s: float, names, repro_dir,
             print(f"[{name} #{index}] DIVERGENCE: {summary}")
             # Shrinking re-executes candidate specs, so it runs in
             # the parent on both the serial and the parallel path.
-            report = differential(generator.execute, spec)
+            report = differential(generator.execute, spec,
+                                  invariant=getattr(generator,
+                                                    "invariant", None))
             if do_shrink:
                 spec, report, used = shrink(generator, spec)
                 print(f"  shrunk in {used} executions: "

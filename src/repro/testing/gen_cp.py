@@ -289,6 +289,13 @@ def execute(spec: dict) -> dict:
             barrier = min(barrier, patches[applied]["after"])
         cpu.step_barrier = barrier
         cpu.step()
+    # The byte budget is a watchdog sampled at chain boundaries (the
+    # boundaries step_barrier hands control back on).  The reference
+    # kernel steps single bytes, so the budget can land mid
+    # prefix-chain; finish the chain so every tier stops at the first
+    # boundary at-or-past the budget.
+    while not cpu.halted and cpu.oreg != 0:
+        cpu.step()
     return {
         "stopped": stopped,
         "patches_applied": applied,

@@ -3,9 +3,26 @@
 Draws random ASTs over the miniature Occam compiler's full surface —
 SEQ, PAR, WHILE, IF, replicated SEQ/PAR, scalar and array assignment,
 and channel nets (scalar channels and channel arrays inside PAR) —
-compiles them through the assembler, and runs the binary on both CP
-kernels.  Compared outcome: every compiled variable's final value, the
-instruction and cycle counters, and how the program stopped.
+compiles them through the assembler, and runs the binary on the
+current CP kernel tier.  Compared outcome: every compiled variable's
+final value, the instruction and cycle counters, and how the program
+stopped.
+
+Every case is also an optimizer conformance test: :func:`execute`
+compiles the program twice — naively and at ``-O2`` through
+:mod:`repro.occam.optimizer` — and runs both binaries, warm-starting
+the optimized one from an ahead-of-time block table on the
+block-translating tiers.  The optimized run's full state rides in the
+outcome (so the oracle tier-compares *it* bit-exactly too), and
+:func:`invariant` checks the two compiles agree on everything the
+source program can observe: how it stopped, every variable's final
+value, and the error flag.
+
+The grammar deliberately over-produces optimizer fodder: constant-only
+subtrees (folding, including values big enough to overflow and *block*
+folding), constant branch conditions (dead-code elimination), and
+channel OUTs inside child PAR branches (where channel-op fusion is
+legal).
 
 Validity rules the generator enforces (mirroring what Occam's static
 usage rules would): PAR branches write disjoint variable sets,
@@ -80,8 +97,28 @@ class _Draw:
         return f"arr{self.next_array - 1}"
 
 
+def _gen_const_expr(rng, depth):
+    """Constant-only subtree: folds to a single ``ldc`` — or refuses
+    to, when an intermediate overflows (the occasional huge literal
+    exercises exactly that must-not-fold path)."""
+    if depth <= 0 or rng.random() < 0.35:
+        return ["num", rng.choice([
+            0, 1, -1, rng.randint(-100, 100),
+            rng.randint(-(1 << 30), 1 << 30),
+        ])]
+    op = rng.choice(_SAFE_OPS + ("gt", "eq", "div", "rem"))
+    left = _gen_const_expr(rng, depth - 1)
+    if op in ("div", "rem"):
+        right = ["num", rng.choice([1, 2, 3, 5, 7, -3])]  # never zero
+    else:
+        right = _gen_const_expr(rng, depth - 1)
+    return [op, left, right]
+
+
 def _gen_expr(rng, reads, depth):
     """Expression spec over readable variables ``reads``."""
+    if depth > 0 and rng.random() < 0.15:
+        return _gen_const_expr(rng, depth)
     if depth <= 0 or rng.random() < 0.4 or not reads:
         if reads and rng.random() < 0.5:
             return ["var", rng.choice(reads)]
@@ -103,7 +140,25 @@ def _gen_stmt(draw, writes, reads, depth):
             return ["skip"]
         return ["assign", rng.choice(writes),
                 _gen_expr(rng, reads, 2)]
-    kind = rng.randrange(10)
+    kind = rng.randrange(12)
+    if kind == 10:
+        # Constant condition: folds to an unconditional branch and
+        # strands one arm for dead-code elimination.
+        return ["if", ["num", rng.choice([0, 0, 1, 17])],
+                _gen_stmt(draw, writes, reads, depth - 1),
+                _gen_stmt(draw, writes, reads, depth - 1)]
+    if kind == 11 and len(writes) >= 2:
+        # Mirrored channel PAR: the OUT rides in the *child* branch,
+        # the one region where the optimizer may fuse it to outword.
+        half = len(writes) // 2
+        chan = draw.fresh_chan()
+        value = _gen_expr(rng, reads, 1)
+        return ["par", [
+            ["seq", [["in", chan, writes[0]],
+                     _gen_stmt(draw, writes[:half], reads, depth - 1)]],
+            ["seq", [["out", chan, value],
+                     _gen_stmt(draw, writes[half:], reads, depth - 1)]],
+        ]]
     if kind < 3:
         return ["assign", rng.choice(writes), _gen_expr(rng, reads, 2)]
     if kind < 5:
@@ -221,13 +276,17 @@ def to_ast(spec):
 # ------------------------------------------------------------- execute --
 
 
-def execute(spec: dict) -> dict:
-    """Compile and run on the current kernel; JSON outcome."""
-    ast = to_ast(spec["program"])
-    compiler = OccamCompiler()
-    source = compiler.compile(ast)
-    assembled = assemble(source)
-    cpu = CPU(assembled.code)
+def _run_code(code, aot_payload=None):
+    """Run assembled code on the current tier; returns (cpu, stopped).
+
+    ``aot_payload`` warm-starts a block-translating CPU from a
+    pre-compiled table (ignored on the other tiers), so every fuzz
+    case also checks that an ahead-of-time load is bit-identical to
+    runtime translation.
+    """
+    cpu = CPU(code)
+    if aot_payload is not None and cpu._use_blocks:
+        cpu.import_blocks(aot_payload)
     stopped = "budget"
     cpu.step_barrier = MAX_STEP_BYTES
     while cpu.instructions < MAX_STEP_BYTES:
@@ -235,11 +294,91 @@ def execute(spec: dict) -> dict:
             stopped = "deadlocked" if cpu.deadlocked else "halted"
             break
         cpu.step()
+    # Budget stops land on chain boundaries (see gen_cp.execute): the
+    # byte-at-a-time reference path must finish a prefix chain the
+    # budget interrupted so all tiers observe the same stop point.
+    while not cpu.halted and cpu.oreg != 0:
+        cpu.step()
+    return cpu, stopped
+
+
+#: Optimization level of the optimized half of every dual compile.
+OPT_LEVEL = 2
+
+
+def execute(spec: dict) -> dict:
+    """Compile naively *and* optimized, run both; JSON outcome.
+
+    The baseline half keeps the historic outcome shape; the
+    ``optimized`` sub-dict carries the ``-O2`` run's full state, so
+    the oracle's tier comparison covers optimized code bit-exactly,
+    and :func:`invariant` checks the two compiles agree on observable
+    results within each tier.
+    """
+    from repro.occam.aot import compile_blocks
+
+    compiler = OccamCompiler()
+    source = compiler.compile(to_ast(spec["program"]))
+    cpu, stopped = _run_code(assemble(source).code)
+
+    level = spec.get("opt", OPT_LEVEL)
+    opt_compiler = OccamCompiler(opt_level=level)
+    opt_source = opt_compiler.compile(to_ast(spec["program"]))
+    opt_code = assemble(opt_source).code
+    opt_cpu, opt_stopped = _run_code(
+        opt_code, aot_payload=compile_blocks(opt_code))
+    assert opt_cpu.block_translations == 0, \
+        "AOT warm start must leave the runtime translator idle"
     return {
         "stopped": stopped,
         "variables": variables_snapshot(cpu, compiler),
         "state": cpu.snapshot_state(),
+        "optimized": {
+            "level": level,
+            "stopped": opt_stopped,
+            "variables": variables_snapshot(opt_cpu, opt_compiler),
+            "state": opt_cpu.snapshot_state(),
+        },
     }
+
+
+def invariant(outcome: dict) -> list:
+    """Optimized-vs-baseline equivalence within one tier's outcome.
+
+    The optimizer must preserve everything the *source program* can
+    observe — how it stopped, final variable values, the error flag —
+    while instruction/cycle counts, registers, and memory layout are
+    free to improve.  Returns a list of problem strings (empty when
+    the compiles agree).
+
+    Baseline budget stops are not comparable: the byte budget lands at
+    a different program point in shorter code.  The reverse — the
+    baseline halting within budget while the optimized build does not
+    — *is* a bug (optimized code never runs more bytes).
+    """
+    problems = []
+    opt = outcome.get("optimized")
+    if opt is None:
+        return problems  # pre-optimizer outcome shape (old pins)
+    if outcome["stopped"] == "budget":
+        return problems
+    if opt["stopped"] == "budget":
+        return [f"optimized run exhausted the budget where the "
+                f"baseline {outcome['stopped']}"]
+    if opt["stopped"] != outcome["stopped"]:
+        problems.append(f"optimized stopped {opt['stopped']!r} != "
+                        f"baseline {outcome['stopped']!r}")
+    if opt["state"]["error"] != outcome["state"]["error"]:
+        problems.append(f"optimized error flag {opt['state']['error']} "
+                        f"!= baseline {outcome['state']['error']}")
+    base_vars = outcome["variables"]
+    opt_vars = opt["variables"]
+    for name in sorted(set(base_vars) | set(opt_vars)):
+        if base_vars.get(name) != opt_vars.get(name):
+            problems.append(
+                f"variable {name}: optimized {opt_vars.get(name)!r} "
+                f"!= baseline {base_vars.get(name)!r}")
+    return problems
 
 
 # --------------------------------------------------------------- shrink --

@@ -12,7 +12,7 @@ as a diff against a file in version control, where it can be reviewed
 and — if intentional — regenerated with ``scripts/regen_golden.py``.
 
 Unlike the fuzzer, which samples fresh behaviour every run, the golden
-suite pins *specific* behaviour forever: the same six workloads, the
+suite pins *specific* behaviour forever: the same seven workloads, the
 same traces, bit-identical (floats are serialised as bit-pattern hex
 where they appear).
 """
@@ -87,6 +87,37 @@ _OCCAM_SPEC = {
     ]],
 }
 
+#: A program where each optimizer pass provably fires: a constant
+#: expression tree (folding), a constant branch condition (dead-code
+#: elimination strands the else arm — ``dead`` stays 0), a channel PAR
+#: with the OUT in the child branch (channel-op fusion territory), and
+#: a compound-right operand (a workspace spill for reallocation).
+_OCCAM_OPT_SPEC = {
+    "kind": "occam",
+    "program": ["seq", [
+        ["assign", "acc", ["num", 0]],
+        ["assign", "folded", ["add", ["mul", ["num", 6], ["num", 7]],
+                              ["sub", ["num", 100], ["num", 58]]]],
+        ["if", ["num", 1],
+         ["assign", "live", ["num", 5]],
+         ["assign", "dead", ["num", 6]]],
+        ["par", [
+            ["seq", [["in", "pipe", "got"],
+                     ["assign", "sum",
+                      ["add", ["var", "got"], ["num", 1]]]]],
+            ["out", "pipe", ["num", 41]],
+        ]],
+        ["assign", "spill", ["add", ["num", 3],
+                             ["eq", ["var", "sum"], ["num", 42]]]],
+        ["seq", [
+            ["assign", "n", ["num", 4]],
+            ["while", "n",
+             ["assign", "acc",
+              ["add", ["var", "acc"], ["var", "spill"]]]],
+        ]],
+    ]],
+}
+
 _VECTOR_SPEC = {
     "kind": "vector",
     "ops": [
@@ -118,6 +149,35 @@ def _workload_occam():
 
 def _workload_vector():
     return gen_vector.execute(_VECTOR_SPEC)
+
+
+def _workload_occam_optimized():
+    """The optimizer pipeline end to end, pinned in every dimension.
+
+    The dual-compile outcome (the oracle's tier check covers both the
+    ``-O0`` and ``-O2`` binaries bit-exactly), the optimizer's
+    per-pass static report, the equivalence-invariant verdict (pinned
+    empty), and the SHA-256 of the serialized ahead-of-time block
+    table — so the artifact *format* can't drift silently either.
+    """
+    import hashlib as _hashlib
+
+    from repro.cp.assembler import assemble
+    from repro.occam.aot import compile_blocks
+    from repro.occam.compiler import OccamCompiler
+
+    outcome = gen_occam.execute(_OCCAM_OPT_SPEC)
+    compiler = OccamCompiler(opt_level=2)
+    source = compiler.compile(gen_occam.to_ast(_OCCAM_OPT_SPEC["program"]))
+    payload = compile_blocks(assemble(source).code)
+    canonical = json.dumps(payload, separators=(",", ":"),
+                           sort_keys=True).encode()
+    return {
+        "outcome": outcome,
+        "opt_report": compiler.opt_report,
+        "invariant_problems": gen_occam.invariant(outcome),
+        "aot_sha256": _hashlib.sha256(canonical).hexdigest(),
+    }
 
 
 def _workload_recovery_cycle():
@@ -207,6 +267,7 @@ WORKLOADS = {
     "cp_message_passing": _workload_cp,
     "events_mixed": _workload_events,
     "occam_pipeline": _workload_occam,
+    "occam_optimized": _workload_occam_optimized,
     "vector_forms": _workload_vector,
     "node_gather_scatter": _workload_gather_scatter,
     "recovery_cycle": _workload_recovery_cycle,

@@ -90,7 +90,7 @@ def diff_outcomes(fast, slow, path="$") -> list:
     return diffs
 
 
-def differential(execute, spec) -> DiffReport:
+def differential(execute, spec, invariant=None) -> DiffReport:
     """Execute ``spec`` on every kernel tier and diff vs reference.
 
     Runs the reference tier once, then each optimized tier (fast,
@@ -99,6 +99,13 @@ def differential(execute, spec) -> DiffReport:
     (engines, CPUs, vector units) from scratch inside the call — the
     kernel choice is sampled at construction time, and any object
     smuggled in from outside would carry the wrong kernel.
+
+    ``invariant``, when given, is an ``outcome -> [problem, ...]``
+    check applied to every tier's outcome — for properties that must
+    hold *within* one execution rather than between tiers (e.g. an
+    optimized compile of the same program reaching the same result).
+    Invariant problems count as divergences and are reported with the
+    tier they occurred on.
     """
     with force_kernel(tier="reference"):
         slow = execute(spec)
@@ -111,6 +118,11 @@ def differential(execute, spec) -> DiffReport:
     details = [f"fast {d}" for d in diff_outcomes(fast, slow)]
     details += [f"turbo {d}" for d in diff_outcomes(turbo, slow)]
     details += [f"vector {d}" for d in diff_outcomes(vector, slow)]
+    if invariant is not None:
+        for tier, outcome in (("reference", slow), ("fast", fast),
+                              ("turbo", turbo), ("vector", vector)):
+            details += [f"{tier} invariant: {problem}"
+                        for problem in invariant(outcome)]
     return DiffReport(bool(details), details, fast, slow, turbo, vector)
 
 

@@ -32,9 +32,13 @@ def shrink(generator, spec, max_executions: int = 150):
     """Greedy shrink: smallest still-diverging spec found.
 
     Returns ``(spec, report, executions_used)``.  ``generator`` is a
-    module exposing ``execute`` and ``shrink_candidates``.
+    module exposing ``execute`` and ``shrink_candidates`` (and
+    optionally ``invariant`` — kept in force while shrinking so an
+    invariant-only divergence shrinks against the same predicate that
+    caught it).
     """
-    report = differential(generator.execute, spec)
+    invariant = getattr(generator, "invariant", None)
+    report = differential(generator.execute, spec, invariant=invariant)
     if not report.diverged:
         raise ValueError("spec does not diverge; nothing to shrink")
     executions = 1
@@ -47,7 +51,8 @@ def shrink(generator, spec, max_executions: int = 150):
             if spec_size(candidate) >= spec_size(spec):
                 continue
             try:
-                cand_report = differential(generator.execute, candidate)
+                cand_report = differential(generator.execute, candidate,
+                                           invariant=invariant)
             except Exception:
                 # A candidate that crashes outright is not a valid
                 # reproducer of *this* divergence; skip it.

@@ -1,0 +1,413 @@
+"""Per-pass tests for the Occam optimizer and the AOT block tables.
+
+Each optimization pass gets before/after CP-ISA assertions on small
+hand-written fragments (including must-NOT-fire cases that pin the
+soundness boundaries: error-flag-preserving folds, address-taken
+labels, block-crossing temps, and the ``outword``-in-a-join-region
+miscompile).  End-to-end tests compile real programs at -O0/-O1/-O2
+and assert identical observable results; the AOT tests round-trip a
+block table through the on-disk artifact and prove a warm start is
+bit-identical with the runtime translator never invoked.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cp.assembler import assemble
+from repro.cp.cpu import CPU, CPUError
+from repro.events.engine import force_kernel
+from repro.occam import aot, optimizer
+from repro.occam.compiler import (
+    Add,
+    Assign,
+    Eq,
+    If,
+    In,
+    Mul,
+    Num,
+    Out,
+    Par,
+    Seq,
+    Sub,
+    Var,
+    While,
+    compile_occam,
+    read_variable,
+    run_occam,
+    TEMP_BASE,
+)
+from repro.occam.optimizer import (
+    Ins,
+    Label,
+    MAX_INT,
+    MIN_INT,
+    OptimizeError,
+    fold_binary,
+    optimize,
+    parse,
+    render,
+)
+
+
+def _opt(source, *passes):
+    """Run exactly the named passes; returns the optimized items."""
+    optimized, _report = optimize(source, passes=passes)
+    return parse(optimized)
+
+
+# ------------------------------------------------------------ parse/render
+
+
+def test_parse_render_round_trip():
+    source = "start:\n    ldc 42\n    opr_like ; comment\n    j start\n"
+    items = parse(source)
+    assert items == [Label("start"), Ins("ldc", 42),
+                     Ins("opr_like"), Ins("j", "start")]
+    assert parse(render(items)) == items
+
+
+# ------------------------------------------------------- constant folding
+
+
+def test_fold_binary_matches_cpu_semantics():
+    assert fold_binary("add", 2, 3) == 5
+    assert fold_binary("sub", 2, 3) == -1
+    assert fold_binary("mul", -4, 6) == -24
+    # div truncates toward zero (the CPU divides via float truncation)
+    assert fold_binary("div", -7, 2) == -3
+    assert fold_binary("rem", -7, 2) == -1
+    assert fold_binary("gt", 3, 3) == 0
+    assert fold_binary("shl", 1, 40) == 0  # out-of-range shift → 0
+    assert fold_binary("shr", -1, 1) == MAX_INT
+
+
+def test_fold_binary_refuses_error_flag_cases():
+    # These set the error flag at runtime; folding them away would
+    # erase an observable effect, so they must return None.
+    assert fold_binary("div", 1, 0) is None
+    assert fold_binary("div", MIN_INT, -1) is None
+    assert fold_binary("rem", 1, 0) is None
+    assert fold_binary("add", MAX_INT, 1) is None
+    assert fold_binary("mul", MAX_INT, 2) is None
+
+
+def test_fold_collapses_constant_expression():
+    items = _opt("    ldc 6\n    ldc 7\n    mul\n    stl 1\n", "fold")
+    assert items == [Ins("ldc", 42), Ins("stl", 1)]
+
+
+def test_fold_keeps_overflow_and_div_error():
+    source = "    ldc 2147483647\n    ldc 1\n    add\n"
+    assert _opt(source, "fold") == parse(source)
+    source = "    ldc 5\n    ldc 0\n    div\n"
+    assert _opt(source, "fold") == parse(source)
+
+
+def test_fold_constant_condition_false_becomes_jump():
+    items = _opt("    ldc 0\n    cj skip\n    ldc 9\nskip:\n    ldc 1\n",
+                 "fold")
+    assert items[0] == Ins("j", "skip")
+
+
+def test_fold_constant_condition_true_vanishes():
+    items = _opt("    ldc 1\n    cj skip\n    ldc 9\nskip:\n"
+                 "    terminate\n", "fold")
+    assert items == [Ins("ldc", 9), Label("skip"), Ins("terminate")]
+
+
+def test_fold_forwards_constant_spill_and_deletes_dead_store():
+    # ldc 5 spilled to a temp slot, reloaded, then added: the whole
+    # dance folds to a single constant and the spill store dies.
+    source = (f"    ldc 5\n    ldc {TEMP_BASE}\n    stnl 0\n"
+              f"    ldc 2\n    ldc {TEMP_BASE}\n    ldnl 0\n"
+              f"    add\n    stl 1\n")
+    assert _opt(source, "fold") == [Ins("ldc", 7), Ins("stl", 1)]
+
+
+def test_fold_spill_knowledge_dies_at_barriers():
+    # A channel op may deschedule; the slot could be anything after.
+    source = (f"    ldc 5\n    ldc {TEMP_BASE}\n    stnl 0\n"
+              f"    ldc 4\n    out\n"
+              f"    ldc {TEMP_BASE}\n    ldnl 0\n    stl 1\n")
+    items = _opt(source, "fold")
+    assert Ins("ldnl", 0) in items  # reload survives
+
+
+# ------------------------------------------------- dead-code elimination
+
+
+def test_dce_drops_unreachable_block():
+    source = ("    ldc 1\n    stl 1\n    j done\n"
+              "dead:\n    ldc 99\n    stl 2\n"
+              "done:\n    terminate\n")
+    items = _opt(source, "dce")
+    assert Ins("ldc", 99) not in items
+    assert Label("dead") not in items
+
+
+def test_dce_keeps_address_taken_labels():
+    # child_0 is never a branch target, but its address is taken by
+    # `ldc child_0` (STARTP operand) — it must stay reachable.
+    source = ("    ldc child_0\n    ldc 4096\n    startp\n"
+              "    terminate\n"
+              "child_0:\n    ldc 7\n    stl 1\n    ldc 0\n    endp\n")
+    items = _opt(source, "dce")
+    assert Label("child_0") in items
+    assert Ins("ldc", 7) in items
+
+
+def test_dce_removes_jump_to_next():
+    source = "    ldc 1\n    j next\nnext:\n    stl 1\n"
+    items = _opt(source, "dce")
+    assert Ins("j", "next") not in items
+    assert items[-1] == Ins("stl", 1)
+
+
+# ---------------------------------------------- workspace reallocation
+
+
+def test_realloc_rewrites_temp_spills_to_locals():
+    source = (f"    ldc 9\n    ldc {TEMP_BASE}\n    stnl 0\n"
+              f"    ldc {TEMP_BASE}\n    ldnl 0\n    stl 1\n")
+    items = _opt(source, "realloc")
+    assert items == [Ins("ldc", 9),
+                     Ins("stl", optimizer.REALLOC_SLOT_BASE),
+                     Ins("ldl", optimizer.REALLOC_SLOT_BASE),
+                     Ins("stl", 1)]
+
+
+def test_realloc_keeps_block_crossing_temps_global():
+    # The temp is loaded in a block that never stored it (the value
+    # flows in from the previous block) — it must keep its global home.
+    counter = TEMP_BASE + 4 * 12
+    source = (f"    ldc 3\n    ldc {counter}\n    stnl 0\n"
+              f"loop:\n    ldc {counter}\n    ldnl 0\n    stl 1\n"
+              f"    ldc 0\n    cj loop\n")
+    items = _opt(source, "realloc")
+    assert Ins("ldc", counter) in items
+    assert Ins("ldnl", 0) in items
+
+
+# --------------------------------------------------- channel-op fusion
+
+
+_OUT_SEQ = ("    ldc 41\n    stl 2\n    ldlp 2\n"
+            "    ldc 12288\n    ldc 4\n    out\n")
+
+
+def test_fuse_rewrites_staged_out_to_outword():
+    items = _opt("    ldc 1\n" + _OUT_SEQ + "    terminate\n", "fuse")
+    assert items == [Ins("ldc", 1), Ins("ldc", 12288), Ins("ldc", 41),
+                     Ins("outword"), Ins("terminate")]
+
+
+def test_fuse_skips_regions_with_join_labels():
+    # Regression pin: `outword` stages its value at wptr+0, and after
+    # ENDP the last finisher of a PAR runs WITH wptr parked on the
+    # join workspace — whose word 0 holds the live continuation
+    # address when the PAR re-runs (PAR inside a loop).  Fusing an OUT
+    # in a region containing a parend label overwrote that
+    # continuation with the data word and hung the program.
+    source = ("    ldc 0\n    endp\nparend_0:\n" + _OUT_SEQ
+              + "    terminate\n")
+    items = _opt(source, "fuse")
+    assert Ins("outword") not in items
+    assert Ins("out") in items
+
+
+def test_fuse_applies_inside_child_region_without_join():
+    source = ("    terminate\n"
+              "child_0:\n" + _OUT_SEQ + "    ldc 0\n    endp\n")
+    items = _opt(source, "fuse")
+    assert Ins("outword") in items
+
+
+def test_fuse_requires_leaf_producer():
+    # A two-instruction computed value (ldc;ldc;add is 3 deep before
+    # fold) is not a leaf; the staged sequence must survive.
+    source = ("    ldl 1\n    ldl 4\n    add\n    stl 2\n    ldlp 2\n"
+              "    ldc 12288\n    ldc 4\n    out\n")
+    items = _opt(source, "fuse")
+    assert Ins("outword") not in items
+
+
+# ------------------------------------------------------ pipeline driver
+
+
+def test_unknown_level_and_pass_raise():
+    with pytest.raises(OptimizeError):
+        optimize("    ldc 1\n", level=9)
+    with pytest.raises(OptimizeError):
+        optimizer.run_passes([], {"no_such_pass"})
+
+
+def test_optimize_report_shape():
+    _out, report = optimize("    ldc 6\n    ldc 7\n    mul\n", level=2)
+    assert set(report) == {"passes", "instructions_before",
+                           "instructions_after", "bytes_before",
+                           "bytes_after"}
+    assert report["instructions_after"] < report["instructions_before"]
+    assert report["bytes_after"] < report["bytes_before"]
+    assert set(report["passes"]) == set(optimizer.PASS_ORDER)
+
+
+_PROGRAM = Seq([
+    Assign("folded", Add(Mul(Num(6), Num(7)), Num(-2))),
+    If(Num(1), Assign("live", Num(5)), Assign("dead", Num(6))),
+    Par([
+        Seq([In("pipe", "got"),
+             Assign("sum", Add(Var("got"), Num(1)))]),
+        Out("pipe", Num(41)),
+    ]),
+    Assign("n", Num(4)),
+    Assign("acc", Num(0)),
+    While(Var("n"), Seq([
+        Assign("acc", Add(Var("acc"),
+                          Add(Num(3), Eq(Var("sum"), Num(42))))),
+        Assign("n", Sub(Var("n"), Num(1))),
+    ])),
+])
+
+_EXPECTED = {"folded": 40, "live": 5, "got": 41, "sum": 42,
+             "n": 0, "acc": 16}
+
+
+@pytest.mark.parametrize("level", [0, 1, 2])
+def test_end_to_end_equivalence(level):
+    cpu, compiler = run_occam(_PROGRAM, opt_level=level)
+    for name, expected in _EXPECTED.items():
+        assert read_variable(cpu, compiler, name) == expected, name
+    if level:
+        assert compiler.opt_report["instructions_after"] < \
+            compiler.opt_report["instructions_before"]
+    else:
+        assert compiler.opt_report is None
+
+
+def test_optimized_code_is_smaller_and_faster():
+    base = assemble(compile_occam(_PROGRAM)).code
+    opt = assemble(compile_occam(_PROGRAM, opt_level=2)).code
+    assert len(opt) < len(base)
+    with force_kernel(tier="reference"):
+        c0 = CPU(assemble(compile_occam(_PROGRAM)).code)
+        c0.run(max_steps=100_000)
+        c2 = CPU(opt)
+        c2.run(max_steps=100_000)
+    assert c2.instructions < c0.instructions
+    assert c2.cycles < c0.cycles
+
+
+# --------------------------------------------------------- AOT artifacts
+
+
+def _opt_code():
+    return assemble(compile_occam(_PROGRAM, opt_level=2)).code
+
+
+def test_aot_round_trip_is_bit_identical(tmp_path):
+    code = _opt_code()
+    path = aot.save_artifact(code, str(tmp_path))
+    assert os.path.basename(path) == f"{aot.code_digest(code)}.json"
+    payload = aot.load_artifact(code, str(tmp_path))
+    assert payload is not None
+    with force_kernel(tier="turbo"):
+        cold = CPU(code)
+        aot.precompile_cpu(cold)
+        warm = CPU(code)
+        installed = warm.import_blocks(payload)
+    assert installed == len(cold._blocks) > 0
+    assert warm._unblocked == cold._unblocked
+    # Records carry bound methods (per-CPU); compare the identity
+    # fields instead of whole tuples.
+    for pc, blk in cold._blocks.items():
+        w = warm._blocks[pc]
+        assert blk[1:5] == w[1:5] and blk[6:] == w[6:]
+        assert [c[1:] for c in blk[0]] == [c[1:] for c in w[0]]
+        if blk[5] is None:
+            assert w[5] is None
+        else:
+            assert blk[5][1:] == w[5][1:]
+
+
+def test_aot_warm_start_never_translates(tmp_path):
+    code = _opt_code()
+    with force_kernel(tier="turbo"):
+        cold = CPU(code)
+        cold.run(max_steps=100_000)
+        assert cold.block_translations > 0
+
+        aot.save_artifact(code, str(tmp_path))
+        warm = CPU(code)
+        hit = aot.warm_start(warm, str(tmp_path))
+        assert hit
+        assert warm.block_imports > 0
+        warm.run(max_steps=100_000)
+    assert warm.block_translations == 0
+    assert warm.snapshot_state() == cold.snapshot_state()
+
+
+def test_aot_miss_compiles_and_writes_back(tmp_path):
+    code = _opt_code()
+    with force_kernel(tier="turbo"):
+        cpu = CPU(code)
+        hit = aot.warm_start(cpu, str(tmp_path))
+    assert not hit
+    assert cpu.block_imports > 0
+    assert aot.load_artifact(code, str(tmp_path)) is not None
+
+
+def test_aot_rejects_stale_and_corrupt_artifacts(tmp_path):
+    code = _opt_code()
+    path = aot.save_artifact(code, str(tmp_path))
+    # Digest mismatch: artifact for different code is a miss.
+    other = bytes(code[:-1]) + bytes([code[-1] ^ 1])
+    assert aot.load_artifact(other, str(tmp_path)) is None
+    # Corrupt JSON is a miss, not a crash.
+    with open(path, "w") as handle:
+        handle.write("{not json")
+    assert aot.load_artifact(code, str(tmp_path)) is None
+    # A tampered payload that parses is rejected by import_blocks.
+    payload = aot.compile_blocks(code)
+    payload["code_sha256"] = "0" * 64
+    with force_kernel(tier="turbo"):
+        cpu = CPU(code)
+        with pytest.raises(CPUError):
+            cpu.import_blocks(payload)
+
+
+def test_aot_import_requires_block_tier():
+    code = _opt_code()
+    payload = aot.compile_blocks(code)
+    with force_kernel(tier="reference"):
+        cpu = CPU(code)
+        with pytest.raises(CPUError):
+            cpu.import_blocks(payload)
+
+
+def test_patch_code_invalidates_imported_blocks(tmp_path):
+    code = _opt_code()
+    payload = aot.compile_blocks(code)
+    with force_kernel(tier="turbo"):
+        cpu = CPU(code)
+        cpu.import_blocks(payload)
+        imported = len(cpu._blocks)
+        assert imported > 0
+        first = min(cpu._blocks)
+        cpu.patch_code(first, bytes([code[first]]))
+        # The overlapping imported block is gone; the translator may
+        # rebuild it on the next dispatch like any cold block.
+        assert first not in cpu._blocks
+        assert len(cpu._blocks) < imported
+
+
+def test_artifact_is_canonical_json(tmp_path):
+    code = _opt_code()
+    path = aot.save_artifact(code, str(tmp_path))
+    with open(path) as handle:
+        text = handle.read()
+    payload = json.loads(text)
+    assert text == json.dumps(payload, separators=(",", ":"),
+                              sort_keys=True)
+    assert payload["schema"] == CPU.BLOCK_TABLE_SCHEMA

@@ -25,7 +25,8 @@ _REPROS = list(load_repros(REPRO_DIR))
 )
 def test_repro_no_longer_diverges(path, payload):
     generator = GENERATORS[payload["generator"]]
-    report = differential(generator.execute, payload["spec"])
+    report = differential(generator.execute, payload["spec"],
+                          invariant=getattr(generator, "invariant", None))
     assert not report.diverged, (
         f"{os.path.basename(path)} diverges again: {report.summary()}"
     )
