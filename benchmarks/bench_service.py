@@ -18,8 +18,14 @@ property that makes it usable at all:
   (canonical JSON) to the cold pass's fresh simulations, per job, on
   every kernel tier (reference / fast / turbo).
 
+* **Journal overhead** — the same cold pass with a write-ahead job
+  journal attached (every SUBMIT/START/DONE fsynced) must stay within
+  10% of the no-journal cold wall: durability is priced per job, and
+  the price must be negligible against real simulation work.
+
 Acceptance (full mode): warm ≥ 10x faster than cold on every tier,
-every warm job served from cache, every payload byte-identical.
+every warm job served from cache, every payload byte-identical, and
+the journaled cold pass ≤ 1.10x the plain cold pass.
 
 Run directly::
 
@@ -55,6 +61,9 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 BENCH_JSON = ROOT / "BENCH_service.json"
 
 WARM_SPEEDUP_TARGET = 10.0
+#: Journaled cold pass must cost at most this multiple of the plain
+#: cold pass (the fsync-per-chunk price of durability).
+JOURNAL_OVERHEAD_TARGET = 1.10
 
 
 def _batch(quick: bool) -> list:
@@ -168,6 +177,43 @@ def run_tier(tier: str, jobs, cache_root: str) -> dict:
     }
 
 
+def run_journal_overhead(jobs, tier: str = "turbo",
+                         repeats: int = 3) -> dict:
+    """Cold-pass wall with and without the write-ahead journal.
+
+    Best-of-``repeats`` on each side so one scheduler hiccup cannot
+    fail the gate; fresh cache and journal directories per run so
+    every pass is genuinely cold.
+    """
+    walls = {"plain": [], "journal": []}
+    for mode in ("plain", "journal"):
+        for _ in range(repeats):
+            root = tempfile.mkdtemp(prefix="repro-service-jrnl-")
+            try:
+                service = SimulationService(
+                    cache=ResultCache(
+                        root=str(pathlib.Path(root) / "cache")),
+                    journal_dir=(str(pathlib.Path(root) / "journal")
+                                 if mode == "journal" else None),
+                )
+                t0 = time.perf_counter()
+                _submit_all(service, jobs, tier)
+                walls[mode].append(time.perf_counter() - t0)
+            finally:
+                shutil.rmtree(root, ignore_errors=True)
+    plain = min(walls["plain"])
+    journaled = min(walls["journal"])
+    return {
+        "tier": tier,
+        "plain_cold_s": plain,
+        "journaled_cold_s": journaled,
+        "overhead_ratio": journaled / plain,
+        "target_ratio": JOURNAL_OVERHEAD_TARGET,
+        "within_target": (journaled / plain
+                          <= JOURNAL_OVERHEAD_TARGET),
+    }
+
+
 def run_benchmark(quick: bool = False) -> dict:
     jobs = _batch(quick)
     tiers = {}
@@ -177,7 +223,9 @@ def run_benchmark(quick: bool = False) -> dict:
             tiers[tier] = run_tier(tier, jobs, cache_root)
     finally:
         shutil.rmtree(cache_root, ignore_errors=True)
+    journal = run_journal_overhead(jobs)
     return {
+        "journal_overhead": journal,
         "benchmark": "service",
         "quick": quick,
         "warm_speedup_target": WARM_SPEEDUP_TARGET,
@@ -212,6 +260,11 @@ def render(payload: dict) -> Table:
                   round(r["warm_wall_s"], 4),
                   round(r["warm_speedup"], 2),
                   r["all_warm_cached"], r["byte_identical"])
+    j = payload["journal_overhead"]
+    table.add(f"{j['tier']}+journal", "-",
+              round(j["journaled_cold_s"], 4), "-",
+              f"{round(j['overhead_ratio'], 3)}x cold",
+              "-", j["within_target"])
     return table
 
 
@@ -237,6 +290,11 @@ def main(argv=None) -> int:
         "all_byte_identical": payload["all_byte_identical"],
         "all_warm_cached": payload["all_warm_cached"],
         "coalescing_observed": payload["coalescing_observed"],
+        "journal_overhead_ratio": round(
+            payload["journal_overhead"]["overhead_ratio"], 3),
+        "journal_overhead_target": JOURNAL_OVERHEAD_TARGET,
+        "journal_overhead_ok": (
+            payload["journal_overhead"]["within_target"]),
     }
     if not args.no_json:
         BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
@@ -246,6 +304,7 @@ def main(argv=None) -> int:
           and payload["coalescing_observed"])
     if not args.quick:
         ok = ok and payload["min_warm_speedup"] >= WARM_SPEEDUP_TARGET
+        ok = ok and payload["journal_overhead"]["within_target"]
     print("\nacceptance:", json.dumps(payload["acceptance"], indent=2))
     return 0 if ok else 1
 

@@ -44,6 +44,19 @@ echo "== occam optimizer fuzz smoke (dual-compile + AOT warm start) =="
 python -m repro.testing.fuzz --seed 31415 --cases 80 \
     --generators occam --budget 45
 
+echo "== service chaos smoke (kills, journal damage, quota, shed) =="
+# Seeded chaos schedules against the machine-room layer: mid-drain
+# process kills, journal truncation/corruption, cache damage, worker
+# crashes, tenant quotas.  Every case replays on all four kernel
+# tiers (the outcomes are tier-independent by construction, so any
+# diff is service nondeterminism) and must deliver every surviving
+# job byte-identical to a clean run.
+python -m repro.testing.fuzz --seed 1987 --cases 50 \
+    --generators service --budget 120
+
+echo "== service kill -9 round trip (journal replay, exactly-once) =="
+python scripts/service_kill_smoke.py
+
 echo "== fault-tolerance smoke (ARQ retries + recovery digest) =="
 python scripts/fault_smoke.py
 

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Kill-and-restart round trip for the machine-room service (CI).
+
+The durability story, end to end, with hard numbers:
+
+1. A subprocess submits a 20-job batch to a journaled service and
+   drains it inline.  Job 8 is a chaos job that ``os._exit(9)``s the
+   process mid-drain — from the service's point of view this is a
+   ``kill -9``, with 7 results already durable (journaled DONE +
+   cache entry) and 13 jobs owed.
+2. A fresh service is pointed at the same journal and cache
+   directories.  Replay must recover exactly the 13 unfinished jobs;
+   re-submitting the full batch must deliver all 20 results with
+   payload digests byte-identical to a clean serial run, the 7
+   durable results served from cache (no re-execution), and the
+   metering counters proving no job ran twice.
+
+Exit status 0 on success; an AssertionError otherwise.
+"""
+
+import json
+import os
+import pathlib
+import shutil
+import subprocess
+import sys
+import tempfile
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.service import (
+    JobSpec,
+    ResultCache,
+    SimulationService,
+    payload_digest,
+)
+from repro.testing.gen_service import _pure_payload
+
+_CHILD = """
+import json, os
+from repro.service import JobSpec, ResultCache, SimulationService
+
+with open(os.environ["KILL_SMOKE_SPEC"]) as handle:
+    bundle = json.load(handle)
+service = SimulationService(
+    cache=ResultCache(root=bundle["cache_dir"]),
+    journal_dir=bundle["journal_dir"],
+)
+for job in bundle["jobs"]:
+    service.submit(JobSpec(kind="service.chaos", spec=job,
+                           tier="turbo", tenant="ci"))
+service.drain(pool_jobs=1)
+"""
+
+
+def main() -> int:
+    jobs = [{"label": f"s{i:02d}", "x": 31 * (i + 3), "rounds": 3}
+            for i in range(20)]
+    jobs[7]["kill_service"] = True
+    expected = {job["label"]: payload_digest(_pure_payload(job))
+                for job in jobs}
+
+    root = tempfile.mkdtemp(prefix="repro-kill-smoke-")
+    try:
+        journal_dir = os.path.join(root, "journal")
+        cache_dir = os.path.join(root, "cache")
+        spec_path = os.path.join(root, "bundle.json")
+        with open(spec_path, "w") as handle:
+            json.dump({"jobs": jobs, "journal_dir": journal_dir,
+                       "cache_dir": cache_dir}, handle)
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(pathlib.Path(__file__).resolve().parent.parent / "src")
+            + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        env["KILL_SMOKE_SPEC"] = spec_path
+        env["REPRO_CHAOS_DIR"] = root  # arms the kill marker
+        proc = subprocess.run([sys.executable, "-c", _CHILD], env=env,
+                              timeout=120)
+        assert proc.returncode == 9, (
+            f"drain subprocess exited {proc.returncode}, expected the "
+            f"scheduled kill (9)"
+        )
+
+        os.environ.pop("REPRO_CHAOS_DIR", None)  # disarm for restart
+        service = SimulationService(
+            cache=ResultCache(root=cache_dir), journal_dir=journal_dir,
+        )
+        replay = service.journal_replay
+        assert replay["done_in_cache"] == 7, replay
+        assert replay["recovered_pending"] == 13, replay
+
+        futures = {
+            job["label"]: service.submit(
+                JobSpec(kind="service.chaos", spec=job, tier="turbo",
+                        tenant="ci"))
+            for job in jobs
+        }
+        service.drain()
+
+        mismatches = [
+            label for label, future in futures.items()
+            if future.status not in ("done", "cached")
+            or future.as_json()["digest"] != expected[label]
+        ]
+        assert not mismatches, mismatches
+
+        stats = service.stats()
+        assert stats["executed"] == 13, stats["executed"]
+        assert stats["cache_hits"] == 7, stats["cache_hits"]
+        meter = stats["tenants"]["ci"]
+        assert meter["executed"] == 13 and meter["cache_hits"] == 7, \
+            meter
+
+        print("service kill smoke OK: killed mid-drain with 7/20 "
+              "durable, restart delivered all 20 byte-identical, "
+              "13 executed + 7 cache hits (nothing ran twice)")
+        return 0
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -284,6 +284,10 @@ def service_stats(service) -> dict:
         "failed": raw["failed"],
         "cancelled": raw["cancelled"],
         "rejected": raw["rejected"],
+        "quota_rejected": raw.get("quota_rejected", 0),
+        "shed": raw.get("shed", 0),
+        "worker_retries": raw.get("worker_retries", 0),
+        "retried_ok": raw.get("retried_ok", 0),
         "served_from_cache_fraction": (
             raw["cache_hits"] / answered if answered else 0.0
         ),
@@ -292,6 +296,8 @@ def service_stats(service) -> dict:
         "queue_latency": _latency_rollup(raw["queued_s"]),
         "run_latency": _latency_rollup(raw["run_s"]),
         "cache": raw["cache"],
+        "tenants": raw.get("tenants", {}),
+        "journal": raw.get("journal"),
     }
 
 
@@ -300,10 +306,11 @@ def service_stats_table(service, title="Service profile") -> Table:
     stats = service_stats(service)
     table = Table(title, ["counter", "value"])
     for key in ("submissions", "cache_hits", "coalesced", "executed",
-                "failed", "cancelled", "rejected",
+                "failed", "cancelled", "rejected", "quota_rejected",
+                "shed", "worker_retries", "retried_ok",
                 "served_from_cache_fraction", "queue_depth",
                 "queue_depth_hwm"):
-        table.add(key, stats[key])
+        table.add(key, stats.get(key, 0))
     for family in ("queue_latency", "run_latency"):
         rollup = stats[family]
         for key in ("total_s", "mean_s", "max_s"):
@@ -313,6 +320,18 @@ def service_stats_table(service, title="Service profile") -> Table:
         for key in ("memory_hits", "disk_hits", "misses", "stores",
                     "corrupt_evictions", "size_evictions"):
             table.add(f"cache_{key}", cache[key])
+    journal = stats.get("journal")
+    if journal is not None:
+        for key in ("segments", "size_bytes", "appends", "fsyncs",
+                    "rotations", "compactions"):
+            table.add(f"journal_{key}", journal[key])
+    for tenant, counters in (stats.get("tenants") or {}).items():
+        table.add(
+            f"tenant[{tenant}]",
+            f"sub {counters['submitted']} adm {counters['admitted']} "
+            f"quota- {counters['quota_rejected']} "
+            f"shed {counters['shed']}",
+        )
     return table
 
 

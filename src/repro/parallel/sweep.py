@@ -58,6 +58,11 @@ class CellResult:
     #: never part of the merged comparison payload).
     wall_s: float = 0.0
     worker: int = 0
+    #: True when the failure was a hard worker death (process exit),
+    #: not an exception from ``run_one`` — the retryable class: the
+    #: scheduler's bounded-backoff retry keys off this flag rather
+    #: than string-matching the error text.
+    crashed: bool = False
 
 
 @dataclass
@@ -192,7 +197,7 @@ class _Worker:
         child_conn.close()  # parent keeps only the read end
 
 
-def run_cells(run_one, cells, jobs=None) -> SweepResult:
+def run_cells(run_one, cells, jobs=None, isolate=False) -> SweepResult:
     """Run ``run_one(cell)`` over every cell; deterministic merge.
 
     ``run_one`` must build its entire scenario from the cell value —
@@ -200,11 +205,16 @@ def run_cells(run_one, cells, jobs=None) -> SweepResult:
     state smuggled through globals would differ between serial and
     parallel runs.  Returns a :class:`SweepResult` whose ``values()``
     are identical for every ``jobs`` setting.
+
+    ``isolate=True`` forces fork-pool execution even for a single
+    cell, so a cell that kills its process (``os._exit``) reports as
+    a crashed :class:`CellResult` instead of taking the caller down —
+    the scheduler's crash-retry path depends on this.
     """
     cells = list(cells)
     jobs = resolve_jobs(jobs)
     sweep_start = time.perf_counter()
-    if jobs == 1 or len(cells) <= 1:
+    if not isolate and (jobs == 1 or len(cells) <= 1):
         results = _run_inline(run_one, cells)
         return SweepResult(1, results,
                            time.perf_counter() - sweep_start)
@@ -256,7 +266,7 @@ def run_cells(run_one, cells, jobs=None) -> SweepResult:
             results[index] = CellResult(
                 index, False, None,
                 f"worker crashed (exit code {worker.proc.exitcode})",
-                0.0, worker.id,
+                0.0, worker.id, crashed=True,
             )
             remaining = worker.tasks[worker.cursor:]
             if remaining and respawns < len(cells):

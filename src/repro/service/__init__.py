@@ -30,12 +30,16 @@ from repro.service.jobkey import (
     payload_digest,
     semantics_fingerprint,
 )
+from repro.service.journal import JobJournal, default_journal_dir
 from repro.service.scheduler import (
     AdmissionError,
     JobError,
     JobFuture,
+    JobTimeout,
+    QuotaError,
     SimulationService,
 )
+from repro.service.tenants import TenantTable
 from repro.service.workloads import (
     UnknownWorkloadError,
     execute_job,
@@ -49,12 +53,17 @@ __all__ = [
     "JOB_KEY_SCHEMA_VERSION",
     "JobError",
     "JobFuture",
+    "JobJournal",
     "JobSpec",
+    "JobTimeout",
+    "QuotaError",
     "ResultCache",
     "SimulationService",
+    "TenantTable",
     "UnknownWorkloadError",
     "canonical_json",
     "default_cache_dir",
+    "default_journal_dir",
     "execute_job",
     "job_key",
     "load_batch",

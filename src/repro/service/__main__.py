@@ -18,8 +18,13 @@ Examples::
 ``--no-cache`` bypasses the result cache entirely (every job
 simulates); ``--cache-dir`` points the store somewhere other than
 ``.repro-cache/``; ``--jobs N`` fans execution over N fork-pool
-workers.  ``--json`` emits the machine-readable summary (what the CI
-smoke stage diffs) instead of the human table.
+workers.  ``--journal-dir DIR`` write-ahead-journals every job
+transition so a killed run can be resumed by re-running with the same
+directory; ``--timeout S`` bounds the wait per run (unfinished jobs
+are reported, exit status 1).  ``--tenant NAME`` attributes the
+submission for per-tenant metering.  ``--json`` emits the
+machine-readable summary (what the CI smoke stage diffs) instead of
+the human table.
 """
 
 import argparse
@@ -30,14 +35,16 @@ from repro.analysis import service_stats, service_stats_table
 from repro.service.api import load_batch, run_batch
 from repro.service.cache import ResultCache
 from repro.service.jobkey import JobSpec, job_key
-from repro.service.scheduler import SimulationService
+from repro.service.scheduler import JobError, JobTimeout, \
+    SimulationService
 
 
 def _build_service(args) -> SimulationService:
     use_cache = not args.no_cache
     cache = ResultCache(root=args.cache_dir) if use_cache else None
     return SimulationService(cache=cache, use_cache=use_cache,
-                             pool_jobs=args.jobs)
+                             pool_jobs=args.jobs,
+                             journal_dir=args.journal_dir)
 
 
 def _job_from_args(args) -> JobSpec:
@@ -45,7 +52,8 @@ def _job_from_args(args) -> JobSpec:
     return JobSpec(kind=args.kind, spec=spec, tier=args.tier,
                    config=(json.loads(args.config)
                            if args.config is not None else None),
-                   seed=args.seed)
+                   seed=args.seed,
+                   tenant=getattr(args, "tenant", None))
 
 
 def _emit(summary: dict, args, out=None):
@@ -75,7 +83,15 @@ def _cmd_submit(args) -> int:
     service = _build_service(args)
     job = _job_from_args(args)
     future = service.submit(job, priority=args.priority)
-    service.drain()
+    if args.timeout is not None:
+        try:
+            future.result(timeout=args.timeout)
+        except JobTimeout:
+            pass  # non-terminal status reported below
+        except JobError:
+            pass  # terminal failure: status reported below
+    else:
+        service.drain()
     record = future.as_json()
     record["index"] = 0
     summary = {
@@ -89,8 +105,8 @@ def _cmd_submit(args) -> int:
 
 def _cmd_batch(args) -> int:
     service = _build_service(args)
-    jobs = load_batch(args.path)
-    summary = run_batch(service, jobs)
+    jobs = load_batch(args.path, tenant=args.tenant)
+    summary = run_batch(service, jobs, timeout=args.timeout)
     if args.out:
         with open(args.out, "w") as handle:
             json.dump(summary, handle, indent=2, sort_keys=True)
@@ -110,6 +126,16 @@ def _cmd_stats(args) -> int:
     cache = ResultCache(root=args.cache_dir)
     usage = cache.disk_usage()
     usage["root"] = cache.root
+    if args.journal_dir:
+        from repro.service.journal import JobJournal
+        journal = JobJournal(args.journal_dir, fsync=False)
+        replay = journal.replay()
+        usage["journal"] = {
+            **journal.stats(),
+            "pending": len(replay.pending()),
+            "done": len(replay.done),
+            "replay": replay.stats,
+        }
     print(json.dumps(usage, indent=2, sort_keys=True))
     return 0
 
@@ -127,6 +153,9 @@ def _add_job_arguments(parser):
                         "runners)")
     parser.add_argument("--seed", type=int,
                         help="seed (key-affecting)")
+    parser.add_argument("--tenant", default=None,
+                        help="submitting tenant id (metering only — "
+                        "never part of the job key)")
 
 
 def _add_service_arguments(parser):
@@ -138,6 +167,13 @@ def _add_service_arguments(parser):
     parser.add_argument("--jobs", default=None,
                         help="fork-pool workers per drain "
                         "(default: REPRO_SWEEP_JOBS, i.e. inline)")
+    parser.add_argument("--journal-dir", default=None,
+                        help="write-ahead job journal directory; a "
+                        "killed run resumes when re-run with the "
+                        "same directory")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="bound the wait in seconds; unfinished "
+                        "jobs are reported instead of blocking")
     parser.add_argument("--json", action="store_true",
                         help="emit the machine-readable summary")
 
@@ -160,6 +196,9 @@ def main(argv=None) -> int:
         "batch", help="run a batch file of jobs")
     batch.add_argument("path", help="batch JSON file")
     _add_service_arguments(batch)
+    batch.add_argument("--tenant", default=None,
+                       help="tenant for jobs that name none "
+                       "(metering only — never part of the job key)")
     batch.add_argument("--out", help="write the JSON summary here")
     batch.set_defaults(handler=_cmd_batch)
 
@@ -169,8 +208,9 @@ def main(argv=None) -> int:
     key.set_defaults(handler=_cmd_key)
 
     stats = commands.add_parser(
-        "stats", help="inspect the on-disk cache store")
+        "stats", help="inspect the on-disk cache store and journal")
     stats.add_argument("--cache-dir", default=None)
+    stats.add_argument("--journal-dir", default=None)
     stats.set_defaults(handler=_cmd_stats)
 
     args = parser.parse_args(argv)

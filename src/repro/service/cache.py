@@ -21,8 +21,10 @@ Two tiers:
   is reported, and the job simply re-simulates.
 
 Disk usage is bounded: after each store, entries are evicted oldest
-mtime first (name-tiebroken for determinism) until the store fits
-``disk_bytes``.
+first until the store fits ``disk_bytes``.  Eviction order is fully
+deterministic — (mtime, then key) — so two stores that reach the
+bound with the same entry set evict the same victims regardless of
+filesystem timestamp resolution or directory-scan order.
 """
 
 import json
@@ -213,13 +215,21 @@ class ResultCache:
             "bound_bytes": self.disk_bytes,
         }
 
+    @staticmethod
+    def _entry_key(path: str) -> str:
+        """The job key an entry file stores (its basename sans
+        ``.json``) — the deterministic eviction tie-break."""
+        return os.path.basename(path)[:-len(".json")]
+
     def _enforce_size_bound(self):
         entries = self._disk_entries()
         total = sum(size for _p, size, _m in entries)
         if total <= self.disk_bytes:
             return
-        # Oldest first; path name breaks mtime ties deterministically.
-        entries.sort(key=lambda e: (e[2], e[0]))
+        # Oldest mtime first; the entry's key breaks mtime ties, so
+        # eviction order is a pure function of (entry set, mtimes) —
+        # never of scan order or timestamp granularity.
+        entries.sort(key=lambda e: (e[2], self._entry_key(e[0])))
         for path, size, _mtime in entries:
             if total <= self.disk_bytes:
                 break

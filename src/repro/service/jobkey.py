@@ -70,6 +70,12 @@ class JobSpec:
     results are only sound when the level joins the key.  (Specs that
     embed their own ``"opt"`` field are already distinct; this field
     covers runners whose spec does not.)
+
+    ``tenant`` names the submitting tenant for quota accounting and
+    metering (:mod:`repro.service.tenants`).  It is *identity-safe*:
+    deliberately excluded from both :meth:`payload` and
+    :func:`job_key`, so identical work submitted by different tenants
+    coalesces in flight and shares one cache entry.
     """
 
     kind: str
@@ -78,6 +84,7 @@ class JobSpec:
     config: object = None
     seed: object = None
     opt: object = None
+    tenant: object = None
 
     def resolved(self) -> "JobSpec":
         """A copy with ``tier`` pinned to a concrete kernel tier."""

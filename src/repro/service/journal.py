@@ -1,0 +1,394 @@
+"""The write-ahead job journal: crash-durable queue state.
+
+QCDSP and the Columbia machines were operated as always-on shared
+facilities where node failures and restarts were routine; the
+machine-room layer gets the same discipline here.  Every job-state
+transition the scheduler makes is appended to an on-disk log *before*
+the transition is observable, so a service process that dies at any
+byte — ``kill -9`` mid-drain included — can be restarted on the same
+``journal_dir`` and resume exactly where it stopped: unfinished jobs
+re-enter the queue in their original (priority, submission) order,
+and already-completed jobs are served from the result cache.
+
+Format
+------
+The journal is a directory (default ``.repro-journal/``, or
+``REPRO_JOURNAL_DIR``) of numbered JSONL segments
+(``seg-00000001.jsonl``, …).  One record per line::
+
+    {"crc": <crc32 of the rest>, "key": ..., "op": "SUBMIT", ...}
+
+Records are canonical JSON (sorted keys, compact separators) with an
+embedded CRC-32 over the record-without-crc, so any torn or corrupted
+line is detected on replay.  Appends are flushed and ``fsync``-ed
+(one fsync per batch via :meth:`JobJournal.append_many`) before the
+scheduler proceeds — the write-ahead property.
+
+Ops: ``SUBMIT`` (carries the full job payload, priority, sequence
+number, and tenant), ``START``, ``DONE`` (carries the payload
+digest), ``FAIL``, ``CANCEL``, and ``COMPACT`` (a barrier record:
+replay state resets, making every earlier segment dead).
+
+Replay
+------
+:meth:`JobJournal.replay` scans all segments in order and rebuilds
+per-key state.  Damage tolerance is per-line: a line that fails to
+parse or fails its CRC is dropped and counted (``torn_records`` when
+it is the final line of the final segment — the classic torn write —
+``corrupt_records`` otherwise) and replay continues.  A ``DONE`` for
+an unknown key (its ``SUBMIT`` was corrupted away) is an orphan; a
+second ``DONE`` for the same key (a retried worker whose first
+completion raced a crash) is counted ``duplicate_done`` and ignored —
+first completion wins.
+
+Rotation and compaction
+-----------------------
+The active segment rotates at ``segment_bytes``.  Compaction writes a
+fresh segment — a ``COMPACT`` barrier followed by ``SUBMIT`` records
+for the still-live jobs — via temp-file + ``os.replace`` (atomic),
+then best-effort unlinks the older segments.  A crash between the
+replace and the unlinks is safe: replay resets at the barrier, so the
+stale segments are dead weight, not state.
+"""
+
+import json
+import os
+import tempfile
+import zlib
+
+from repro.service.jobkey import canonical_json
+
+#: Journal line-format marker (folded into every record's CRC via the
+#: record body; bump when the record shape changes incompatibly).
+JOURNAL_FORMAT = 1
+
+DEFAULT_DIR = ".repro-journal"
+DEFAULT_SEGMENT_BYTES = 1 << 20
+
+#: The record operations, in lifecycle order.
+OPS = ("SUBMIT", "START", "DONE", "FAIL", "CANCEL", "COMPACT")
+
+#: Replay states that still need execution.
+_LIVE = ("submitted", "started")
+
+
+def default_journal_dir() -> str:
+    """``REPRO_JOURNAL_DIR`` if set, else ``.repro-journal`` in cwd."""
+    return os.environ.get("REPRO_JOURNAL_DIR") or DEFAULT_DIR
+
+
+def _frame(record: dict) -> str:
+    """One journal line: the record plus its CRC-32, canonical JSON."""
+    body = canonical_json(record)
+    crc = zlib.crc32(body.encode())
+    return canonical_json({**record, "crc": crc}) + "\n"
+
+
+def _parse(line: str):
+    """Decode one line; ``None`` if torn/corrupt (bad JSON or CRC)."""
+    try:
+        record = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(record, dict) or "crc" not in record:
+        return None
+    crc = record.pop("crc")
+    body = canonical_json(record)
+    if zlib.crc32(body.encode()) != crc:
+        return None
+    if record.get("op") not in OPS:
+        return None
+    return record
+
+
+class JournalReplay:
+    """Rebuilt state of one journal: what survived, what is owed.
+
+    ``entries`` maps key → ``{"status", "job", "priority", "seq",
+    "tenant", "digest", "error"}`` in first-SUBMIT order; ``pending()``
+    lists the entries still owed execution, sorted by the scheduler's
+    (priority, seq) contract; ``done`` maps key → payload digest.
+    """
+
+    def __init__(self):
+        self.entries = {}
+        self.max_seq = 0
+        self.stats = {
+            "records": 0,
+            "segments": 0,
+            "torn_records": 0,
+            "corrupt_records": 0,
+            "orphan_records": 0,
+            "duplicate_done": 0,
+            "compact_barriers": 0,
+        }
+
+    def _apply(self, record: dict):
+        op = record["op"]
+        self.stats["records"] += 1
+        if op == "COMPACT":
+            self.stats["compact_barriers"] += 1
+            self.entries = {}
+            return
+        key = record.get("key")
+        entry = self.entries.get(key)
+        if op == "SUBMIT":
+            seq = int(record.get("seq", 0))
+            self.max_seq = max(self.max_seq, seq)
+            # A re-submit of a terminal key re-opens it: the log is
+            # ordered, so the newest intent wins.
+            self.entries[key] = {
+                "key": key,
+                "status": "submitted",
+                "job": record.get("job"),
+                "priority": int(record.get("priority", 0)),
+                "seq": seq,
+                "tenant": record.get("tenant"),
+                "digest": None,
+                "error": None,
+            }
+            return
+        if entry is None:
+            self.stats["orphan_records"] += 1
+            return
+        if op == "START":
+            if entry["status"] in _LIVE:
+                entry["status"] = "started"
+        elif op == "DONE":
+            if entry["status"] == "done":
+                self.stats["duplicate_done"] += 1
+                return  # first completion wins
+            entry["status"] = "done"
+            entry["digest"] = record.get("digest")
+        elif op == "FAIL":
+            if entry["status"] in _LIVE:
+                entry["status"] = "failed"
+                entry["error"] = record.get("error")
+        elif op == "CANCEL":
+            if entry["status"] in _LIVE:
+                entry["status"] = "cancelled"
+                entry["error"] = record.get("reason", "cancelled")
+
+    def pending(self) -> list:
+        """Entries owed execution, in drain order — most urgent
+        (lowest priority value) first, FIFO (submission seq) within
+        a priority, matching the scheduler's heap."""
+        live = [e for e in self.entries.values()
+                if e["status"] in _LIVE and e["job"] is not None]
+        return sorted(live, key=lambda e: (e["priority"], e["seq"]))
+
+    @property
+    def done(self) -> dict:
+        return {k: e["digest"] for k, e in self.entries.items()
+                if e["status"] == "done"}
+
+
+class JobJournal:
+    """Append-only, fsynced, checksummed job-transition log."""
+
+    def __init__(self, root=None, fsync=True,
+                 segment_bytes=DEFAULT_SEGMENT_BYTES):
+        self.root = os.path.abspath(root or default_journal_dir())
+        self.fsync = bool(fsync)
+        self.segment_bytes = max(1, int(segment_bytes))
+        os.makedirs(self.root, exist_ok=True)
+        self._handle = None
+        numbers = self._segment_numbers()
+        self._active = numbers[-1] if numbers else 1
+        # Counters (surfaced through service_stats).
+        self.appends = 0
+        self.fsyncs = 0
+        self.rotations = 0
+        self.compactions = 0
+
+    # -- segments -----------------------------------------------------
+
+    def _segment_path(self, number: int) -> str:
+        return os.path.join(self.root, f"seg-{number:08d}.jsonl")
+
+    def _segment_numbers(self) -> list:
+        numbers = []
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return numbers
+        for name in names:
+            if name.startswith("seg-") and name.endswith(".jsonl"):
+                try:
+                    numbers.append(int(name[4:-6]))
+                except ValueError:
+                    continue
+        return sorted(numbers)
+
+    def _sync_dir(self):
+        """fsync the journal directory (rename/create durability)."""
+        try:
+            fd = os.open(self.root, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    def _open_active(self):
+        if self._handle is None:
+            self._handle = open(self._segment_path(self._active), "a")
+        return self._handle
+
+    def rotate(self):
+        """Close the active segment and start the next one."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._active += 1
+        self.rotations += 1
+        # Touch the new segment so replay sees it even before the
+        # first append lands.
+        with open(self._segment_path(self._active), "a"):
+            pass
+        self._sync_dir()
+
+    # -- appends ------------------------------------------------------
+
+    def append(self, op: str, key=None, **fields):
+        """Append one record (flushed and fsynced before returning)."""
+        record = {"op": op}
+        if key is not None:
+            record["key"] = key
+        record.update(fields)
+        self.append_many([record])
+
+    def append_many(self, records, sync=True):
+        """Append a batch of records with a single flush + fsync.
+
+        The write-ahead contract: when this returns, every record is
+        durable (to the extent ``fsync=True`` and the filesystem
+        honour it) — the caller may then act on the transitions.
+
+        ``sync=False`` flushes but skips the fsync — for advisory
+        records (START) whose loss does not change recovery: a torn
+        START replays as "submitted", which re-enqueues identically.
+        The next synced append makes them durable anyway.
+        """
+        records = list(records)
+        if not records:
+            return
+        handle = self._open_active()
+        for record in records:
+            handle.write(_frame(record))
+            self.appends += 1
+        handle.flush()
+        if self.fsync and sync:
+            os.fsync(handle.fileno())
+            self.fsyncs += 1
+        if handle.tell() >= self.segment_bytes:
+            self.rotate()
+
+    # -- replay -------------------------------------------------------
+
+    def replay(self) -> JournalReplay:
+        """Rebuild state from every segment on disk.
+
+        Damage-tolerant per line: unparseable or CRC-failing lines are
+        dropped and counted (torn when final, corrupt otherwise) and
+        replay continues with the next line.
+        """
+        replay = JournalReplay()
+        numbers = self._segment_numbers()
+        replay.stats["segments"] = len(numbers)
+        lines = []  # (segment_number, line)
+        for number in numbers:
+            try:
+                with open(self._segment_path(number), "r") as handle:
+                    for line in handle:
+                        if line.strip():
+                            lines.append(line)
+            except OSError:
+                continue
+        for position, line in enumerate(lines):
+            record = _parse(line)
+            if record is None:
+                if position == len(lines) - 1:
+                    replay.stats["torn_records"] += 1
+                else:
+                    replay.stats["corrupt_records"] += 1
+                continue
+            replay._apply(record)
+        return replay
+
+    # -- compaction ---------------------------------------------------
+
+    def size_bytes(self) -> int:
+        total = 0
+        for number in self._segment_numbers():
+            try:
+                total += os.path.getsize(self._segment_path(number))
+            except OSError:
+                continue
+        return total
+
+    def compact(self, submit_records):
+        """Rewrite the journal to a barrier plus the live jobs.
+
+        ``submit_records`` are the SUBMIT-shaped dicts for every job
+        still owed execution (the scheduler knows).  The new segment
+        is written whole and published atomically; older segments are
+        then unlinked best-effort (replay resets at the barrier, so a
+        crash mid-unlink leaves garbage, not state).
+        """
+        submit_records = list(submit_records)
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        old_numbers = self._segment_numbers()
+        number = (old_numbers[-1] + 1) if old_numbers else 1
+        path = self._segment_path(number)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(_frame({"op": "COMPACT",
+                                     "live": len(submit_records)}))
+                for record in submit_records:
+                    handle.write(_frame({"op": "SUBMIT", **record}))
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._sync_dir()
+        for old in old_numbers:
+            if old == number:
+                continue
+            try:
+                os.unlink(self._segment_path(old))
+            except OSError:
+                pass
+        self._active = number
+        self.compactions += 1
+        self.appends += 1 + len(submit_records)
+
+    # -- lifecycle ----------------------------------------------------
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def stats(self) -> dict:
+        return {
+            "root": self.root,
+            "segments": len(self._segment_numbers()),
+            "size_bytes": self.size_bytes(),
+            "appends": self.appends,
+            "fsyncs": self.fsyncs,
+            "rotations": self.rotations,
+            "compactions": self.compactions,
+        }

@@ -1,4 +1,5 @@
-"""The job scheduler: priority queue, coalescing, admission, futures.
+"""The job scheduler: priority queue, coalescing, admission, futures,
+durability.
 
 The machine-room model: many clients submit jobs against one
 simulator backend.  The scheduler's contract —
@@ -11,10 +12,29 @@ simulator backend.  The scheduler's contract —
   every submitter observes the one result.  The coalescing counter is
   the proof the acceptance test asserts on.
 * **Admission control.**  The queue is depth-bounded; a submit beyond
-  the bound fails with a structured :class:`AdmissionError` (carrying
-  key, depth, and limit) instead of growing without bound.
+  the bound fails with a structured :class:`AdmissionError` — unless
+  graceful degradation (``shed_on_full=True``) finds a queued job
+  from a lower-precedence tenant to shed first.
+* **Per-tenant quotas.**  A :class:`~repro.service.tenants.TenantTable`
+  meters every tenant and token-buckets admission; over-quota submits
+  fail with a structured :class:`QuotaError`.  The tenant id never
+  joins the job key, so identical work from different tenants still
+  coalesces.
+* **Durability.**  With ``journal_dir=`` set, every transition is
+  written ahead to a :class:`~repro.service.journal.JobJournal`.  A
+  restarted service replays the log: unfinished jobs re-enter the
+  queue in original (priority, seq) order (exposed as
+  ``service.recovered``), completed jobs are served from the result
+  cache, and a completed job whose cache entry was lost is re-enqueued
+  so it is still delivered.  Drains are chunked when journaled so a
+  ``kill -9`` mid-drain loses at most the chunk in flight.
+* **Bounded retry.**  A pool worker that dies mid-job is retried up
+  to ``max_retries`` times with exponential backoff (the ARQ
+  discipline from ``repro.runtime.transport``); only then does the
+  future fail.  Deterministic runner exceptions fail immediately.
 * **Cancellation.**  A queued future can be cancelled; the heap entry
-  is lazily skipped at drain time.
+  is lazily skipped at drain time.  Replayed (recovered) futures
+  cancel the same way.
 * **Crash isolation.**  Execution goes through
   :func:`repro.parallel.run_cells`; a worker that dies mid-job fails
   *that job's* future with a structured error — the service, the
@@ -27,21 +47,26 @@ queueing, and completed simulations are stored for the next client.
 The service is synchronous-by-default (``drain`` runs the queue on
 the caller's thread, fanning out over the fork pool when
 ``pool_jobs > 1``) and thread-safe: concurrent submitters coalesce
-under the service lock, and ``JobFuture.result()`` from any thread
-drains or waits as appropriate.
+under the service lock, execution happens *outside* it (so waiters
+can time out), and ``JobFuture.result()`` from any thread drains or
+waits as appropriate — ``result(timeout=…)`` raises a structured
+:class:`JobTimeout` instead of blocking forever.
 """
 
 import heapq
 import threading
 import time
 
-from repro.parallel import run_cells
+from repro.parallel import CellResult, resolve_jobs, run_cells
 from repro.service.cache import ResultCache
 from repro.service.jobkey import JobSpec, job_key, payload_digest
+from repro.service.journal import JobJournal
+from repro.service.tenants import TenantTable
 from repro.service.workloads import execute_job
 
 #: Terminal future states.
-_DONE_STATES = ("done", "cached", "failed", "cancelled", "rejected")
+_DONE_STATES = ("done", "cached", "failed", "cancelled", "rejected",
+                "shed")
 
 
 class AdmissionError(RuntimeError):
@@ -65,20 +90,68 @@ class AdmissionError(RuntimeError):
         }
 
 
+class QuotaError(AdmissionError):
+    """Structured rejection: the submitting tenant is over quota."""
+
+    def __init__(self, key, tenant, tokens):
+        RuntimeError.__init__(
+            self,
+            f"tenant {tenant!r} over quota "
+            f"({tokens:.2f} tokens; job {key[:12]}…)"
+        )
+        self.key = key
+        self.tenant = tenant
+        self.tokens = tokens
+
+    def as_json(self) -> dict:
+        return {
+            "error": "quota",
+            "key": self.key,
+            "tenant": (str(self.tenant)
+                       if self.tenant is not None else None),
+            "tokens": self.tokens,
+        }
+
+
 class JobError(RuntimeError):
     """Raised by :meth:`JobFuture.result` when the job failed."""
+
+
+class JobTimeout(JobError):
+    """Raised by :meth:`JobFuture.result` when ``timeout=`` elapses
+    before the job reaches a terminal state.  The job itself is
+    unaffected — it stays queued/running and a later ``result()``
+    can still deliver it."""
+
+    def __init__(self, key, timeout_s, status):
+        super().__init__(
+            f"job {key[:12]}… not done after {timeout_s}s "
+            f"(status {status!r})"
+        )
+        self.key = key
+        self.timeout_s = timeout_s
+        self.status = status
+
+    def as_json(self) -> dict:
+        return {
+            "error": "timeout",
+            "key": self.key,
+            "timeout_s": self.timeout_s,
+            "status": self.status,
+        }
 
 
 class JobFuture:
     """Handle on one submitted job (shared by coalesced submitters)."""
 
     def __init__(self, service, job: JobSpec, key: str, priority: int,
-                 status: str):
+                 status: str, tenant=None):
         self._service = service
         self.job = job
         self.key = key
         self.priority = priority
         self.status = status
+        self.tenant = tenant
         self.value = None
         self.error = None
         #: How many submissions this future absorbed (1 = no dedup).
@@ -88,6 +161,7 @@ class JobFuture:
         self.queued_s = 0.0
         self.run_s = 0.0
         self._submitted = time.perf_counter()
+        self._seq_hint = 0   # submission sequence (shed tie-break)
 
     def done(self) -> bool:
         return self.status in _DONE_STATES
@@ -97,19 +171,26 @@ class JobFuture:
         cancels the job for every submitter that shares it."""
         return self._service._cancel(self)
 
-    def result(self, wait=True):
+    def result(self, wait=True, timeout=None):
         """The job's result payload.
 
         ``wait=True`` drains the service queue if the job is still
         pending; ``wait=False`` raises ``JobError`` when not done yet
-        (poll with :meth:`done`).  Failed, cancelled, and rejected
-        jobs raise ``JobError`` with the structured reason.
+        (poll with :meth:`done`).  ``timeout=`` (seconds) bounds the
+        wait: the drain runs on a background thread and a job that
+        has not reached a terminal state by the deadline raises a
+        structured :class:`JobTimeout` — never blocks forever.
+        Failed, cancelled, shed, and rejected jobs raise ``JobError``
+        with the structured reason.
         """
         if not self.done():
             if not wait:
                 raise JobError(f"job {self.key[:12]}… not done "
                                f"(status {self.status!r})")
-            self._service.drain()
+            if timeout is None:
+                self._service.drain()
+            else:
+                self._service._wait_for(self, timeout)
         if self.status in ("done", "cached"):
             return self.value
         raise JobError(
@@ -133,6 +214,8 @@ class JobFuture:
             "queued_s": self.queued_s,
             "run_s": self.run_s,
         }
+        if self.tenant is not None:
+            record["tenant"] = self.tenant
         if self.error is not None:
             record["error"] = self.error
         return record
@@ -146,7 +229,10 @@ class SimulationService:
     """Simulation-as-a-service over the simulator's kernel tiers."""
 
     def __init__(self, cache=None, use_cache=True, max_pending=1024,
-                 pool_jobs=None):
+                 pool_jobs=None, journal_dir=None, journal=None,
+                 journal_fsync=True, journal_compact_bytes=None,
+                 tenants=None, shed_on_full=False, max_retries=2,
+                 retry_backoff_s=0.05):
         #: ``cache=None`` with ``use_cache=True`` builds the default
         #: store; pass ``use_cache=False`` for a pure scheduler.
         self.cache = (cache or ResultCache()) if use_cache else None
@@ -154,7 +240,14 @@ class SimulationService:
         #: Worker count handed to the fork pool on each drain
         #: (``None`` = the ``REPRO_SWEEP_JOBS`` default, i.e. inline).
         self.pool_jobs = pool_jobs
+        self.tenants = tenants if tenants is not None else TenantTable()
+        self.shed_on_full = bool(shed_on_full)
+        self.max_retries = max(0, int(max_retries))
+        self.retry_backoff_s = float(retry_backoff_s)
         self._lock = threading.RLock()
+        self._resolved = threading.Condition(self._lock)
+        self._drain_lock = threading.Lock()
+        self._drain_thread = None
         self._heap = []          # (priority, seq, future)
         self._seq = 0
         self._inflight = {}      # key -> queued/running future
@@ -167,9 +260,113 @@ class SimulationService:
         self.failed = 0
         self.cancelled = 0
         self.rejected = 0
+        self.quota_rejected = 0
+        self.shed = 0
+        self.worker_retries = 0
+        self.retried_ok = 0
         self.queue_depth_hwm = 0
         self.queued_s = []       # per executed job, submit → drain
         self.run_s = []          # per executed job, pool cell wall
+        # Durability: the write-ahead journal and its replay.
+        self.journal = None
+        self.journal_replay = None
+        #: Futures re-enqueued from the journal on construction.
+        self.recovered = []
+        if journal is not None or journal_dir is not None:
+            self.journal = journal or JobJournal(journal_dir,
+                                                 fsync=journal_fsync)
+            self.journal_compact_bytes = (
+                int(journal_compact_bytes)
+                if journal_compact_bytes is not None
+                else 4 * self.journal.segment_bytes
+            )
+            self._replay_journal()
+        else:
+            self.journal_compact_bytes = None
+
+    # -- durability ---------------------------------------------------
+
+    def _replay_journal(self):
+        """Rebuild the queue from the write-ahead log.
+
+        Unfinished jobs re-enter the heap with their original
+        (priority, seq) so drain order is what it would have been;
+        completed jobs whose cache entry is gone are re-enqueued too
+        (counted ``done_cache_missing``) so every journaled job is
+        still delivered after a restart.
+        """
+        replay = self.journal.replay()
+        stats = dict(replay.stats)
+        stats["recovered_pending"] = 0
+        stats["done_in_cache"] = 0
+        stats["done_cache_missing"] = 0
+        entries = list(replay.pending())
+        for key, entry in replay.entries.items():
+            if entry["status"] != "done":
+                continue
+            if (self.cache is not None
+                    and self.cache.get(key) is not None):
+                stats["done_in_cache"] += 1
+            elif entry["job"] is not None:
+                stats["done_cache_missing"] += 1
+                entries.append(entry)
+        entries.sort(key=lambda e: (e["priority"], e["seq"]))
+        with self._lock:
+            self._seq = max(self._seq, replay.max_seq)
+            for entry in entries:
+                payload = entry["job"]
+                job = JobSpec(
+                    kind=payload["kind"], spec=payload.get("spec"),
+                    tier=payload.get("tier"),
+                    config=payload.get("config"),
+                    seed=payload.get("seed"), opt=payload.get("opt"),
+                    tenant=entry.get("tenant"),
+                )
+                key = job_key(job)
+                if key in self._inflight:
+                    continue
+                future = JobFuture(self, job, key, entry["priority"],
+                                   "queued", tenant=entry.get("tenant"))
+                future._seq_hint = entry["seq"]
+                heapq.heappush(self._heap,
+                               (entry["priority"], entry["seq"], future))
+                self._inflight[key] = future
+                self.recovered.append(future)
+                stats["recovered_pending"] += 1
+            self.queue_depth_hwm = max(self.queue_depth_hwm,
+                                       len(self._inflight))
+        self.journal_replay = stats
+
+    def _journal_submit(self, future: JobFuture, seq: int):
+        if self.journal is None:
+            return
+        self.journal.append(
+            "SUBMIT", key=future.key, job=future.job.payload(),
+            priority=future.priority, seq=seq, tenant=future.tenant,
+        )
+
+    def compact_journal(self):
+        """Rewrite the journal down to the still-live jobs."""
+        if self.journal is None:
+            return
+        with self._lock:
+            live = [entry for entry in self._heap
+                    if entry[2].status == "queued"]
+            live.sort(key=lambda e: (e[0], e[1]))
+            records = [
+                {"key": future.key, "job": future.job.payload(),
+                 "priority": priority, "seq": seq,
+                 "tenant": future.tenant}
+                for priority, seq, future in live
+            ]
+            self.journal.compact(records)
+
+    def _maybe_compact(self):
+        if (self.journal is not None
+                and self.journal_compact_bytes is not None
+                and self.journal.size_bytes()
+                > self.journal_compact_bytes):
+            self.compact_journal()
 
     # -- submission ---------------------------------------------------
 
@@ -177,48 +374,102 @@ class SimulationService:
         with self._lock:
             return len(self._inflight)
 
-    def submit(self, job: JobSpec, priority: int = 0) -> JobFuture:
+    def _shed_victim(self, tenant):
+        """The queued future graceful degradation would shed to admit
+        a submission from ``tenant`` — the lowest-precedence tenant's
+        least-urgent, most-recent job — or ``None`` when every queued
+        job outranks the newcomer."""
+        queued = [(self.tenants.precedence(f.tenant), -f.priority, f)
+                  for f in self._inflight.values()
+                  if f.status == "queued"]
+        if not queued:
+            return None
+        precedence, neg_priority, victim = min(
+            queued, key=lambda item: (item[0], item[1],
+                                      -item[2]._seq_hint))
+        if precedence >= self.tenants.precedence(tenant):
+            return None
+        return victim
+
+    def _shed(self, victim: JobFuture, tenant):
+        victim.status = "shed"
+        victim.error = (f"shed under queue pressure by tenant "
+                        f"{tenant!r}")
+        self._inflight.pop(victim.key, None)
+        self.shed += 1
+        self.tenants.note(victim.tenant, "shed")
+        if self.journal is not None:
+            self.journal.append("CANCEL", key=victim.key,
+                                reason="shed")
+        self._resolved.notify_all()
+
+    def submit(self, job: JobSpec, priority: int = 0,
+               tenant=None) -> JobFuture:
         """Queue one job; returns its (possibly shared) future.
 
-        Resolution order: coalesce onto an in-flight duplicate, then
-        answer from cache, then admit into the queue — raising
-        :class:`AdmissionError` at the depth bound.
+        ``tenant`` (or ``job.tenant``) names the submitting tenant for
+        quota and metering; it never affects the job key.  Resolution
+        order: coalesce onto an in-flight duplicate, then answer from
+        cache, then token-bucket the tenant (:class:`QuotaError`),
+        then admit into the queue — shedding a lower-precedence
+        tenant's queued job when ``shed_on_full`` is set, raising
+        :class:`AdmissionError` at the depth bound otherwise.
         """
         job = job.resolved()
+        if tenant is None:
+            tenant = job.tenant
         key = job_key(job)
         with self._lock:
             self.submissions += 1
+            self.tenants.note(tenant, "submitted")
             existing = self._inflight.get(key)
             if existing is not None:
                 existing.submits += 1
                 self.coalesced += 1
+                self.tenants.note(tenant, "coalesced")
                 return existing
             if self.cache is not None:
                 value = self.cache.get(key)
                 if value is not None:
                     self.cache_hits += 1
+                    self.tenants.note(tenant, "cache_hits")
                     future = JobFuture(self, job, key, priority,
-                                       "cached")
+                                       "cached", tenant=tenant)
                     future.value = value
                     return future
+            if not self.tenants.admit(tenant):
+                self.quota_rejected += 1
+                self.tenants.note(tenant, "quota_rejected")
+                raise QuotaError(
+                    key, tenant, self.tenants.remaining_tokens(tenant)
+                )
             if len(self._inflight) >= self.max_pending:
-                self.rejected += 1
-                raise AdmissionError(key, len(self._inflight),
-                                     self.max_pending)
-            future = JobFuture(self, job, key, priority, "queued")
+                victim = (self._shed_victim(tenant)
+                          if self.shed_on_full else None)
+                if victim is None:
+                    self.rejected += 1
+                    self.tenants.note(tenant, "rejected")
+                    raise AdmissionError(key, len(self._inflight),
+                                         self.max_pending)
+                self._shed(victim, tenant)
+            future = JobFuture(self, job, key, priority, "queued",
+                               tenant=tenant)
             self._seq += 1
+            future._seq_hint = self._seq
+            self.tenants.note(tenant, "admitted")
             heapq.heappush(self._heap, (priority, self._seq, future))
             self._inflight[key] = future
             self.queue_depth_hwm = max(self.queue_depth_hwm,
                                        len(self._inflight))
+            self._journal_submit(future, self._seq)
             return future
 
     def submit_batch(self, jobs) -> list:
         """Submit many ``(job, priority)`` pairs (or bare JobSpecs).
 
-        Admission failures become futures in the ``rejected`` state
-        rather than raising, so one oversized batch still yields a
-        per-job status report.
+        Admission and quota failures become futures in the
+        ``rejected`` state rather than raising, so one oversized batch
+        still yields a per-job status report.
         """
         futures = []
         for entry in jobs:
@@ -227,9 +478,10 @@ class SimulationService:
             )
             try:
                 futures.append(self.submit(job, priority))
-            except AdmissionError as exc:
+            except AdmissionError as exc:  # QuotaError included
                 future = JobFuture(self, job.resolved(), exc.key,
-                                   priority, "rejected")
+                                   priority, "rejected",
+                                   tenant=job.tenant)
                 future.error = str(exc)
                 futures.append(future)
         return futures
@@ -242,39 +494,77 @@ class SimulationService:
             future.error = "cancelled before execution"
             self._inflight.pop(future.key, None)
             self.cancelled += 1
+            if self.journal is not None:
+                self.journal.append("CANCEL", key=future.key,
+                                    reason="cancelled")
+            self._resolved.notify_all()
             return True
 
     # -- execution ----------------------------------------------------
 
-    def drain(self, pool_jobs=None) -> list:
-        """Run every queued job; returns the executed futures.
-
-        The batch executes through the fork pool in strict
-        (priority, submission) order; cancelled entries are skipped.
-        Successful payloads are stored in the cache before their
-        futures resolve.
-        """
-        with self._lock:
-            batch = []
-            while self._heap:
-                _prio, _seq, future = heapq.heappop(self._heap)
-                if future.status != "queued":
-                    continue  # lazily-deleted (cancelled)
-                future.status = "running"
-                batch.append(future)
-            if not batch:
-                return []
+    def _pop_batch(self) -> list:
+        """Pop every runnable future (cancelled entries skipped)."""
+        batch = []
+        while self._heap:
+            _prio, _seq, future = heapq.heappop(self._heap)
+            if future.status != "queued":
+                continue  # lazily-deleted (cancelled / shed)
+            future.status = "running"
+            batch.append(future)
+        if batch:
             start = time.perf_counter()
             for future in batch:
                 future.queued_s = start - future._submitted
-            sweep = run_cells(
-                execute_job,
-                [future.job.payload() for future in batch],
-                jobs=pool_jobs if pool_jobs is not None
-                else self.pool_jobs,
+        return batch
+
+    def _run_chunk(self, chunk, pool_jobs):
+        """Execute one chunk through the fork pool and resolve it.
+
+        Crashed workers (hard process deaths) are retried up to
+        ``max_retries`` times with exponential backoff before their
+        futures fail; deterministic runner exceptions fail
+        immediately.  DONE/FAIL records are journaled with one fsync
+        per chunk, *after* successful payloads enter the cache — so a
+        journaled DONE always has a servable cache entry behind it
+        (modulo later eviction).
+        """
+        payloads = [future.job.payload() for future in chunk]
+        if self.journal is not None:
+            # Advisory, flush-only: a lost START replays as
+            # "submitted" — same re-enqueue — so it is not worth an
+            # fsync of its own; the chunk's DONE/FAIL batch is synced.
+            self.journal.append_many(
+                [{"op": "START", "key": f.key} for f in chunk],
+                sync=False,
             )
-            self.last_sweep = sweep
-            for future, cell in zip(batch, sweep.results):
+        # Pool mode (>1 worker) always forks, even for a single-cell
+        # chunk — crash isolation is a property of the pool, not of
+        # the chunk size, and the retry path depends on a dead worker
+        # reporting as a crashed cell rather than taking us down.
+        isolate = resolve_jobs(pool_jobs) > 1
+        sweep = run_cells(execute_job, payloads, jobs=pool_jobs,
+                          isolate=isolate)
+        for attempt in range(1, self.max_retries + 1):
+            crashed = [i for i, cell in enumerate(sweep.results)
+                       if not cell.ok and cell.crashed]
+            if not crashed:
+                break
+            self.worker_retries += len(crashed)
+            time.sleep(self.retry_backoff_s * (1 << (attempt - 1)))
+            retry = run_cells(execute_job,
+                              [payloads[i] for i in crashed],
+                              jobs=pool_jobs, isolate=True)
+            for original, cell in zip(crashed, retry.results):
+                if cell.ok:
+                    self.retried_ok += 1
+                sweep.results[original] = CellResult(
+                    original, cell.ok, cell.value, cell.error,
+                    cell.wall_s, cell.worker, crashed=cell.crashed,
+                )
+        self.last_sweep = sweep
+        with self._lock:
+            records = []
+            for future, cell in zip(chunk, sweep.results):
                 future.run_s = cell.wall_s
                 self.queued_s.append(future.queued_s)
                 self.run_s.append(cell.wall_s)
@@ -285,12 +575,87 @@ class SimulationService:
                     future.value = cell.value
                     future.status = "done"
                     self.executed += 1
+                    self.tenants.note(future.tenant, "executed")
+                    records.append({
+                        "op": "DONE", "key": future.key,
+                        "digest": payload_digest(cell.value),
+                    })
                 else:
                     future.error = cell.error
                     future.status = "failed"
                     self.failed += 1
+                    self.tenants.note(future.tenant, "failed")
+                    records.append({"op": "FAIL", "key": future.key,
+                                    "error": cell.error})
                 self._inflight.pop(future.key, None)
-            return batch
+            if self.journal is not None:
+                self.journal.append_many(records)
+            self._resolved.notify_all()
+
+    def drain(self, pool_jobs=None) -> list:
+        """Run every queued job; returns the executed futures.
+
+        The batch executes through the fork pool in strict
+        (priority, submission) order; cancelled entries are skipped.
+        Successful payloads are stored in the cache before their
+        futures resolve.  Execution happens outside the service lock
+        (submitters and timed waiters stay live); concurrent ``drain``
+        calls serialize on a dedicated drain lock.  With a journal
+        attached, the batch is executed in chunks so completions
+        become durable incrementally — a process kill mid-drain loses
+        at most the chunk in flight.
+        """
+        jobs = pool_jobs if pool_jobs is not None else self.pool_jobs
+        executed = []
+        with self._drain_lock:
+            while True:
+                with self._lock:
+                    batch = self._pop_batch()
+                if not batch:
+                    break
+                if self.journal is None:
+                    chunk_size = len(batch)
+                else:
+                    chunk_size = max(1, resolve_jobs(jobs))
+                for start in range(0, len(batch), chunk_size):
+                    chunk = batch[start:start + chunk_size]
+                    self._run_chunk(chunk, jobs)
+                    executed.extend(chunk)
+            self._maybe_compact()
+        return executed
+
+    def _drain_for_waiters(self):
+        try:
+            self.drain()
+        finally:
+            with self._resolved:
+                self._resolved.notify_all()
+
+    def _ensure_drain_thread(self):
+        with self._lock:
+            thread = self._drain_thread
+            if thread is not None and thread.is_alive():
+                return
+            thread = threading.Thread(target=self._drain_for_waiters,
+                                      daemon=True)
+            self._drain_thread = thread
+        thread.start()
+
+    def _wait_for(self, future: JobFuture, timeout):
+        """Bounded wait for one future; drains on a background thread.
+
+        Raises :class:`JobTimeout` when the deadline passes first; the
+        drain keeps running, so the job may still complete later.
+        """
+        deadline = time.monotonic() + float(timeout)
+        self._ensure_drain_thread()
+        with self._resolved:
+            while not future.done():
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise JobTimeout(future.key, timeout,
+                                     future.status)
+                self._resolved.wait(min(remaining, 0.1))
 
     # -- stats --------------------------------------------------------
 
@@ -298,6 +663,10 @@ class SimulationService:
         """Raw service counters (see
         :func:`repro.analysis.service_stats` for the rollup)."""
         with self._lock:
+            journal = None
+            if self.journal is not None:
+                journal = self.journal.stats()
+                journal["replay"] = self.journal_replay
             return {
                 "submissions": self.submissions,
                 "cache_hits": self.cache_hits,
@@ -306,10 +675,16 @@ class SimulationService:
                 "failed": self.failed,
                 "cancelled": self.cancelled,
                 "rejected": self.rejected,
+                "quota_rejected": self.quota_rejected,
+                "shed": self.shed,
+                "worker_retries": self.worker_retries,
+                "retried_ok": self.retried_ok,
                 "queue_depth": len(self._inflight),
                 "queue_depth_hwm": self.queue_depth_hwm,
                 "queued_s": list(self.queued_s),
                 "run_s": list(self.run_s),
                 "cache": (self.cache.stats()
                           if self.cache is not None else None),
+                "tenants": self.tenants.stats(),
+                "journal": journal,
             }

@@ -1,0 +1,132 @@
+"""Per-tenant accounting: token-bucket admission, metering, shedding.
+
+The machine-room model is multi-user: QCDSP-style installations were
+shared facilities where one runaway user must not starve the rest.
+This module gives :class:`~repro.service.scheduler.SimulationService`
+that discipline without touching job identity — a tenant id rides on
+the submission (``JobSpec.tenant`` or ``submit(tenant=…)``) but is
+**never** folded into the job key, so identical work from different
+tenants still coalesces and shares one cache entry.
+
+* **Token buckets.**  Each tenant has an admission bucket
+  (``rate`` tokens/second, ``burst`` capacity).  A submit that finds
+  the bucket empty is rejected with a structured
+  :class:`~repro.service.scheduler.QuotaError` — the tenant is over
+  quota; the queue is untouched.  The default tenant is unlimited, so
+  single-user deployments never see a quota.  The clock is injectable
+  (``clock=``) so tests and the chaos harness get deterministic
+  refill schedules.
+* **Precedence.**  Each tenant carries an integer ``precedence``
+  (higher = more important, default 0).  Under depth pressure with the
+  service's graceful-degradation mode on, the scheduler sheds queued
+  work from the *lowest*-precedence tenant first instead of hard
+  rejecting the newcomer — see ``SimulationService(shed_on_full=…)``.
+* **Metering.**  Per-tenant counters (submitted, admitted, coalesced,
+  cache hits, executions, failures, quota/depth rejections, shed
+  victims) surface through ``service.stats()["tenants"]`` and the
+  :func:`repro.analysis.service_stats` rollup.
+"""
+
+import time
+
+#: Stats key used for the anonymous (``None``) tenant.
+DEFAULT_TENANT = "default"
+
+_COUNTERS = ("submitted", "admitted", "coalesced", "cache_hits",
+             "executed", "failed", "quota_rejected", "rejected",
+             "shed")
+
+
+class _Tenant:
+    __slots__ = ("rate", "burst", "precedence", "tokens", "last",
+                 "counters")
+
+    def __init__(self, rate=None, burst=None, precedence=0):
+        self.rate = rate              # tokens/second; None = unlimited
+        self.burst = burst            # bucket capacity; None = rate
+        self.precedence = int(precedence)
+        self.tokens = float(burst if burst is not None
+                            else (rate if rate is not None else 0.0))
+        self.last = None
+        self.counters = dict.fromkeys(_COUNTERS, 0)
+
+
+class TenantTable:
+    """Quota and metering state for every tenant the service sees."""
+
+    def __init__(self, clock=time.monotonic):
+        self.clock = clock
+        self._tenants = {}
+
+    # -- configuration ------------------------------------------------
+
+    def configure(self, tenant, rate=None, burst=None, precedence=0):
+        """Set one tenant's quota.  ``rate=None`` means unlimited;
+        ``burst`` defaults to ``rate`` (a one-second window)."""
+        entry = _Tenant(rate, burst if burst is not None else rate,
+                        precedence)
+        existing = self._tenants.get(tenant)
+        if existing is not None:
+            entry.counters = existing.counters
+        self._tenants[tenant] = entry
+        return entry
+
+    def _entry(self, tenant) -> _Tenant:
+        entry = self._tenants.get(tenant)
+        if entry is None:
+            entry = _Tenant()
+            self._tenants[tenant] = entry
+        return entry
+
+    def precedence(self, tenant) -> int:
+        entry = self._tenants.get(tenant)
+        return entry.precedence if entry is not None else 0
+
+    # -- admission ----------------------------------------------------
+
+    def admit(self, tenant) -> bool:
+        """Consume one admission token; ``False`` when over quota."""
+        entry = self._entry(tenant)
+        if entry.rate is None:
+            return True
+        now = self.clock()
+        if entry.last is not None:
+            capacity = (entry.burst if entry.burst is not None
+                        else entry.rate)
+            entry.tokens = min(float(capacity),
+                               entry.tokens
+                               + (now - entry.last) * entry.rate)
+        entry.last = now
+        if entry.tokens >= 1.0:
+            entry.tokens -= 1.0
+            return True
+        return False
+
+    def remaining_tokens(self, tenant) -> float:
+        entry = self._tenants.get(tenant)
+        if entry is None or entry.rate is None:
+            return float("inf")
+        return entry.tokens
+
+    # -- metering -----------------------------------------------------
+
+    def note(self, tenant, counter: str, amount: int = 1):
+        self._entry(tenant).counters[counter] += amount
+
+    def stats(self) -> dict:
+        """Per-tenant counters plus quota state, JSON-able, keyed by
+        the tenant id's string form (``None`` → ``"default"``)."""
+        out = {}
+        for tenant, entry in sorted(
+                self._tenants.items(),
+                key=lambda item: str(item[0])):
+            name = DEFAULT_TENANT if tenant is None else str(tenant)
+            out[name] = {
+                **entry.counters,
+                "precedence": entry.precedence,
+                "rate": entry.rate,
+                "burst": entry.burst,
+                "tokens": (None if entry.rate is None
+                           else round(entry.tokens, 6)),
+            }
+        return out

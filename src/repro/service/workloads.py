@@ -49,6 +49,9 @@ _BUILTINS = {
     "occam": ("repro.testing.gen_occam", "execute"),
     "vector": ("repro.testing.gen_vector", "execute"),
     "faults": ("repro.testing.gen_faults", "execute"),
+    # The service-layer chaos runner: pure arithmetic plus
+    # marker-gated crash/kill side effects (see gen_service).
+    "service.chaos": ("repro.testing.gen_service", "run_job"),
 }
 
 

@@ -7,9 +7,11 @@ decoded-instruction cache, memoized vector timing), the default turbo
 kernel (resume trampolines, basic-block translation), and the
 ``REPRO_VECTOR_KERNEL=1`` vector kernel (columnar SoA event queue,
 batched vector-form chains).  They must be observationally identical.
-This package enforces that with five generative fuzzers (CP-ISA
+This package enforces that with six generative fuzzers (CP-ISA
 programs, Occam programs, event schedules, vector workloads, fault
-schedules), a structural diff oracle, a spec shrinker, and a
+schedules, and machine-room chaos schedules attacking the
+:mod:`repro.service` layer with kills, journal damage, and cache
+corruption), a structural diff oracle, a spec shrinker, and a
 golden-trace conformance suite.
 
 Entry points:

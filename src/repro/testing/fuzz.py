@@ -25,7 +25,7 @@ import time
 
 from repro.parallel import resolve_jobs, run_cells
 from repro.testing import (
-    gen_cp, gen_events, gen_faults, gen_occam, gen_vector,
+    gen_cp, gen_events, gen_faults, gen_occam, gen_service, gen_vector,
 )
 from repro.testing.oracle import differential
 from repro.testing.shrink import default_repro_dir, shrink, write_repro
@@ -35,6 +35,7 @@ GENERATORS = {
     "events": gen_events,
     "faults": gen_faults,
     "occam": gen_occam,
+    "service": gen_service,
     "vector": gen_vector,
 }
 
@@ -172,9 +173,9 @@ def main(argv=None) -> int:
     parser.add_argument("--budget", type=float, default=0,
                         help="wall-clock budget in seconds (0 = no cap)")
     parser.add_argument("--generators",
-                        default="cp,events,faults,occam,vector",
+                        default="cp,events,faults,occam,service,vector",
                         help="comma list from: "
-                             "cp,events,faults,occam,vector")
+                             "cp,events,faults,occam,service,vector")
     parser.add_argument("--repro-dir", default=None,
                         help="where to write reproducers "
                              "(default tests/repros/)")

@@ -148,3 +148,27 @@ def test_clear_empties_both_tiers(tmp_path):
     assert cache.disk_usage()["entries"] == 0
     fresh = _cache(tmp_path)
     assert fresh.get(KEY_A) is None
+
+
+def test_eviction_order_deterministic_under_equal_mtimes(tmp_path):
+    """mtime ties break on the entry key: eviction is a pure function
+    of (entry set, mtimes), never of scan order or clock resolution."""
+    keys = sorted(f"{d:02x}" * 32 for d in (0x3c, 0x11, 0xe7, 0x88))
+    probe = _cache(tmp_path)
+    for key in keys:
+        probe.put(key, {"pad": "z" * 64})
+    per_entry = probe.disk_usage()["bytes"] // len(keys)
+    # Force every entry to the same mtime — the worst case a coarse
+    # filesystem clock can produce.
+    for key in keys:
+        os.utime(_entry_path(probe, key), ns=(1_000_000, 1_000_000))
+
+    cache = _cache(tmp_path, disk_bytes=int(per_entry * 2.5))
+    cache._enforce_size_bound()
+    survivors = sorted(
+        cache._entry_key(path)
+        for path, _size, _mtime in cache._disk_entries()
+    )
+    # All mtimes equal, so the lexicographically-smallest keys are
+    # evicted first and exactly the two largest keys survive.
+    assert survivors == keys[-2:]

@@ -107,6 +107,36 @@ def test_submit_and_key_roundtrip(tmp_path, capsys):
     assert usage["entries"] == 1
 
 
+def test_batch_tenant_flag_meters_without_changing_keys(
+        batch_file, tmp_path):
+    code, cold = _run_batch(batch_file, tmp_path, "cold.json",
+                            "--tenant", "alice")
+    assert code == 0
+    meter = cold["stats"]["tenants"]["alice"]
+    assert meter["submitted"] == 3
+    assert meter["executed"] == 2 and meter["coalesced"] == 1
+
+    # Another tenant hits the same cache entries: tenant is metering
+    # identity, never key identity.
+    code, warm = _run_batch(batch_file, tmp_path, "warm.json",
+                            "--tenant", "bob")
+    assert code == 0
+    assert [job["status"] for job in warm["jobs"]] == ["cached"] * 3
+    assert ([job["key"] for job in warm["jobs"]]
+            == [job["key"] for job in cold["jobs"]])
+    assert warm["stats"]["tenants"]["bob"]["cache_hits"] == 3
+
+    # A per-job tenant in the batch file wins over the CLI default.
+    document = dict(BATCH)
+    document["jobs"] = [dict(BATCH["jobs"][0], tenant="carol")]
+    path = tmp_path / "tenant.json"
+    path.write_text(json.dumps(document))
+    code, override = _run_batch(str(path), tmp_path, "override.json",
+                                "--tenant", "alice")
+    assert code == 0
+    assert set(override["stats"]["tenants"]) == {"carol"}
+
+
 def test_malformed_batch_file_rejected(tmp_path):
     path = tmp_path / "bad.json"
     path.write_text(json.dumps({"not_jobs": []}))

@@ -293,3 +293,84 @@ def test_service_stats_rollup(service):
     assert stats["cache"]["stores"] == 1
     # Idempotent: rolling up a rollup is a no-op.
     assert service_stats(stats) == stats
+
+
+def test_crashed_worker_retries_with_backoff(service, tmp_path):
+    """A hard worker death retries (bounded, backed off) and wins."""
+    marker = str(tmp_path / "crashed-once")
+
+    def runner(spec):
+        if not os.path.exists(marker):
+            with open(marker, "w"):
+                pass
+            os._exit(21)  # hard death, first attempt only
+        return {"ok": True}
+
+    register_workload("test.flaky", runner, replace=True)
+    try:
+        future = service.submit(JobSpec(kind="test.flaky",
+                                        spec={"label": "f"},
+                                        tier="turbo"))
+        service.drain(pool_jobs=2)
+    finally:
+        unregister_workload("test.flaky")
+    assert future.status == "done"
+    assert future.result() == {"ok": True}
+    stats = service.stats()
+    assert stats["worker_retries"] == 1
+    assert stats["retried_ok"] == 1
+
+
+def test_deterministic_exception_does_not_retry(service):
+    """Only crashes retry; a raising runner fails immediately."""
+    attempts = []
+
+    def runner(spec):
+        attempts.append(1)
+        raise ValueError("always broken")
+
+    register_workload("test.broken", runner, replace=True)
+    try:
+        future = service.submit(JobSpec(kind="test.broken",
+                                        spec={"label": "b"},
+                                        tier="turbo"))
+        service.drain()
+    finally:
+        unregister_workload("test.broken")
+    assert future.status == "failed"
+    assert len(attempts) == 1
+    assert service.stats()["worker_retries"] == 0
+
+
+def test_result_timeout_resolves_via_background_drain(service):
+    future = service.submit(JobSpec(kind="vector", spec=VEC_SPEC,
+                                    tier="turbo"))
+    value = future.result(timeout=60.0)  # no explicit drain() call
+    assert future.status == "done"
+    assert value is not None
+
+
+def test_result_timeout_raises_structured_job_timeout(service):
+    from repro.service import JobTimeout
+
+    def runner(spec):
+        import time
+        time.sleep(2.0)
+        return {}
+
+    register_workload("test.slow", runner, replace=True)
+    try:
+        future = service.submit(JobSpec(kind="test.slow",
+                                        spec={"label": "s"},
+                                        tier="turbo"))
+        with pytest.raises(JobTimeout) as err:
+            future.result(timeout=0.05)
+        record = err.value.as_json()
+        assert record["error"] == "timeout"
+        assert record["timeout_s"] == 0.05
+        # Not a terminal state: the job is still owed execution.
+        assert future.status in ("queued", "running")
+        # Let the background drain finish so teardown is clean.
+        assert future.result(timeout=30.0) == {}
+    finally:
+        unregister_workload("test.slow")
