@@ -171,8 +171,12 @@ def test_e12_matmul_crossover_follows_balance_rule(benchmark):
     assert all(model_speedup(m, 16) < 1.0
                for m in (64, 1024, 65536))
     # K=128 (intensity ~256): parallel wins once the broadcast is
-    # amortised — the crossover M is finite.
-    assert model_speedup(16384, 128) > 1.2
+    # amortised — the crossover M is finite.  The fused-chain cost
+    # model (one pipeline fill per row, not per SAXPY) makes compute
+    # cheaper than the old per-op model, so the asymptotic speedup at
+    # this size sits nearer the communication bound than the 1.28 the
+    # per-op model predicted — but it still clears 1.
+    assert model_speedup(16384, 128) > 1.1
     assert model_speedup(64, 128) < model_speedup(16384, 128)
 
 

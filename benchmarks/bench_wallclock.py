@@ -430,6 +430,8 @@ def _timed_run(fn, scale: int, tier: str) -> dict:
         engine, signature = fn(scale)
         wall = time.perf_counter() - t0
     stats = engine_stats(engine)
+    batch = stats["vau_batch"]
+    columnar = stats["columnar"] or {}
     return {
         "wall_s": wall,
         "events": stats["events_processed"],
@@ -438,6 +440,13 @@ def _timed_run(fn, scale: int, tier: str) -> dict:
         "sim_ns": engine.now,
         "signature": list(signature),
         "kernel_tier": tier,
+        # Chain-adoption observability: model-layer fused chains tick
+        # identically on every tier; staged_pops only on vector.
+        "chain_fusion": {
+            "vau_chain_model": batch["vau_chain_model"],
+            "chain_ops_fused": batch["chain_ops_fused"],
+            "staged_pops": columnar.get("staged_pops", 0),
+        },
     }
 
 
@@ -587,6 +596,17 @@ def main(argv=None) -> int:
         "matmul_vector_wall_speedup": round(
             matmul["wall_speedup_vector"], 2
         ),
+        "matmul_vector_target": 2.2,
+        # The headline gate for the chain pipeline: the vector tier
+        # must no longer trail turbo on the application workload.
+        "matmul_vector_vs_turbo": round(
+            matmul["wall_speedup_vector"] / matmul["wall_speedup_turbo"],
+            2,
+        ),
+        "matmul_vector_vs_turbo_target": 1.0,
+        "matmul_chains_fused": (
+            matmul["vector"]["chain_fusion"]["vau_chain_model"]
+        ),
         "all_sim_times_identical": all(
             r["sim_time_identical"] for r in payload["workloads"].values()
         ),
@@ -624,6 +644,12 @@ def main(argv=None) -> int:
         ) and (
             payload["acceptance"]["matmul_wall_speedup"]
             >= payload["acceptance"]["matmul_target"]
+        ) and (
+            payload["acceptance"]["matmul_vector_wall_speedup"]
+            >= payload["acceptance"]["matmul_vector_target"]
+        ) and (
+            payload["acceptance"]["matmul_vector_vs_turbo"]
+            >= payload["acceptance"]["matmul_vector_vs_turbo_target"]
         )
     print(
         "\nacceptance:",

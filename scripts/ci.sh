@@ -28,6 +28,14 @@ REPRO_VECTOR_KERNEL=1 python -m pytest \
     tests/test_perf_kernel.py tests/test_events_ordering.py \
     tests/test_events_engine.py tests/test_events_channels.py -x -q
 
+echo "== chain-equivalence tests (fused chain vs per-op, every tier) =="
+# The model-layer chain pipeline must match the per-op program
+# bit-for-bit on each tier; the file pins every tier itself, and the
+# per-tier env runs catch env-pinned construction paths too.
+python -m pytest tests/test_chain_pipeline.py -x -q
+REPRO_SLOW_KERNEL=1 python -m pytest tests/test_chain_pipeline.py -x -q
+REPRO_VECTOR_KERNEL=1 python -m pytest tests/test_chain_pipeline.py -x -q
+
 echo "== differential fuzz smoke (four-way, fixed seeds) =="
 # Fixed seeds so CI is deterministic; the budget bounds wall clock on
 # slow machines.  Every case replays on all four kernel tiers and
@@ -114,5 +122,22 @@ echo "== wall-clock benchmark smoke (four tiers, cycle-exactness) =="
 # Wall budget: the smoke gates tier identity, not speed; a wedged
 # tier run fails CI instead of hanging it.
 timeout 300 python benchmarks/bench_wallclock.py --quick --no-json
+
+echo "== matmul vector gate (committed BENCH_wallclock.json) =="
+# The quick smoke above skips speedup targets (tiny sizes are all
+# noise); the committed full-run JSON must carry the chain-pipeline
+# gates: vector ≥ 2.2x over reference on E12 matmul and no longer
+# trailing turbo, with chains actually fused.
+python - <<'EOF'
+import json
+acc = json.load(open("BENCH_wallclock.json"))["acceptance"]
+assert acc["matmul_vector_wall_speedup"] >= acc["matmul_vector_target"], acc
+assert acc["matmul_vector_vs_turbo"] >= acc["matmul_vector_vs_turbo_target"], acc
+assert acc["matmul_chains_fused"] > 0, acc
+print("matmul vector gate OK:",
+      acc["matmul_vector_wall_speedup"], "x vs reference,",
+      acc["matmul_vector_vs_turbo"], "x vs turbo,",
+      acc["matmul_chains_fused"], "chains fused")
+EOF
 
 echo "CI OK"

@@ -108,17 +108,26 @@ def gauss_solve(node, a, b, use_row_moves=True):
         yield engine.timeout(reciprocal_ns(specs))
         inv_pivot = 1.0 / read_element(k, k)
 
-        # Eliminate below: row_i ← row_i − (a_ik/a_kk)·row_k.
-        yield from node.load_vector(MATRIX_BASE_ROW + k, reg=0)
-        for i in range(k + 1, n):
-            factor = read_element(i, k) * inv_pivot
-            yield from node.memory.word_port.access(2)  # read a_ik
-            yield from node.load_vector(MATRIX_BASE_ROW + i, reg=1)
-            yield from node.vector_op(
-                "SAXPY", [0, 1], scalars=(-factor,), length=width,
-                dst_reg=1,
-            )
-            yield from node.store_vector(1, MATRIX_BASE_ROW + i)
+        # Eliminate below: row_i ← row_i − (a_ik/a_kk)·row_k, as one
+        # fused chain per pivot — the pivot row loads once into reg 0
+        # and every target row streams through a load/SAXPY/store
+        # triple under a single row-port hold and pipeline fill.  The
+        # a_ik factor reads (two word accesses each) batch ahead of
+        # the chain; the row updates are independent, so reading every
+        # factor first observes the same values the per-row loop did.
+        if k + 1 < n:
+            yield from node.memory.word_port.access(2 * (n - k - 1))
+            chain = node.vector_chain(64)
+            chain.load(MATRIX_BASE_ROW + k, reg=0)
+            for i in range(k + 1, n):
+                factor = read_element(i, k) * inv_pivot
+                chain.load(MATRIX_BASE_ROW + i, reg=1)
+                chain.op(
+                    "SAXPY", [0, 1], scalars=(-factor,), length=width,
+                    dst_reg=1,
+                )
+                chain.store(1, MATRIX_BASE_ROW + i)
+            yield from node.run_chain(chain)
 
     # Back substitution with the DOT form.
     x = np.zeros(n)

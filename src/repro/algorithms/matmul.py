@@ -34,13 +34,15 @@ def matmul_time_model(m_rows, k, n, p, specs):
     """Predicted ns for :func:`distributed_matmul` on ``p`` nodes.
 
     Components: the binomial broadcast of B (log₂ p sequential link
-    transfers), per-node compute (one accumulator load plus K
-    row-load+SAXPY pairs per local row), and the binomial gather of C
-    (payload doubling up the tree).  The model exposes the balance
-    economics: B costs K·N words per node and C costs M·N/p words
-    regardless of how much compute M adds, so intensity caps at ~2K
-    flops per C-word — the reason small-K matmul can never outrun the
-    links (bench E12).
+    transfers), per-node compute (each local row is **one fused
+    chain**: the accumulator load plus K B-row loads charged
+    back-to-back on the row port, then K SAXPYs streamed through one
+    pipeline fill — ``fill + K·N − 1`` cycles, not K fills), and the
+    binomial gather of C (payload doubling up the tree).  The model
+    exposes the balance economics: B costs K·N words per node and C
+    costs M·N/p words regardless of how much compute M adds, so
+    intensity caps at ~2K flops per C-word — the reason small-K matmul
+    can never outrun the links (bench E12).
     """
     from repro.links.frame import FrameSpec
     from repro.runtime.messages import HEADER_BYTES
@@ -56,9 +58,9 @@ def matmul_time_model(m_rows, k, n, p, specs):
     bcast = stages * link_ns(k * n * 8)
     rows_local = -(-m_rows // p)
     fill = specs.multiplier_stages_64 + specs.adder_stages
-    per_row = specs.row_access_ns + k * (
-        specs.row_access_ns + (fill + n - 1) * specs.cycle_ns
-    )
+    per_row = (1 + k) * specs.row_access_ns + (
+        fill + k * n - 1
+    ) * specs.cycle_ns
     compute = rows_local * per_row
     gather = sum(
         link_ns(m_rows * n * 8 * (1 << d) // p) for d in range(stages)
@@ -116,15 +118,21 @@ def distributed_matmul(machine, a, b, precision=64):
         my_a = a_blocks[ctx.node_id]
         out = np.zeros((len(my_a), n_cols))
         for i in range(len(my_a)):
-            # Zero the accumulator row, then K SAXPYs.
+            # One fused chain per output row: the accumulator load
+            # plus K B-row-load/SAXPY pairs dispatch as a single
+            # streamed pipeline — one row-port hold, one pipeline
+            # fill, one completion event (see ProcessorNode.run_chain)
+            # instead of 2K+1 round trips through the event engine.
             node.write_row_floats(ACC_BASE_ROW, np.zeros(n_cols), precision)
-            yield from node.load_vector(ACC_BASE_ROW, reg=0)
+            chain = node.vector_chain(precision)
+            chain.load(ACC_BASE_ROW, reg=0)
             for k in range(k_inner):
-                yield from node.load_vector(B_BASE_ROW + k, reg=1)
-                yield from node.vector_op(
+                chain.load(B_BASE_ROW + k, reg=1)
+                chain.op(
                     "SAXPY", [1, 0], scalars=(float(my_a[i, k]),),
-                    length=n_cols, precision=precision, dst_reg=0,
+                    length=n_cols, dst_reg=0,
                 )
+            yield from node.run_chain(chain)
             out[i] = node.vregs[0].elements(precision, count=n_cols)
         gathered = yield from ctx.gather(
             0, out, int(out.nbytes) or 8

@@ -113,12 +113,16 @@ def engine_stats(engine) -> dict:
     ready run, ``heap_pops`` — retail-heap fallback pops,
     ``bulk_flushes``/``bulk_flushed`` — vectorized staging sorts and
     the entries they ordered, ``retail_flushed`` — entries that fell
-    back to per-entry heap pushes, ``side_table_size`` — object
-    residency in the event side-tables right now; ``None`` on other
-    tiers), and ``vau_batch`` — the batched micro-sequencer counters
-    summed over every vector unit built on the engine (``chains``,
-    ``batched_forms``, ``batched_elements``, ``screens_elided``;
-    all-zero on tiers that dispatch per-op).
+    back to per-entry heap pushes, ``staged_pops`` — pops served
+    straight from the staging columns without any flush,
+    ``side_table_size`` — object residency in the event side-tables
+    right now; ``None`` on other tiers), and ``vau_batch`` — the
+    batched micro-sequencer counters summed over every vector unit
+    built on the engine (``chains``, ``batched_forms``,
+    ``batched_elements``, ``screens_elided`` are all-zero on tiers
+    that dispatch per-op; ``vau_chain_model``/``chain_ops_fused``
+    count model-layer fused chains and the ops they fused, and tick
+    identically on every tier).
     """
     scheduled = engine.heap_pushes + engine.lane_hits
     fault_log = engine.fault_log
@@ -145,12 +149,16 @@ def engine_stats(engine) -> dict:
         "batched_forms": 0,
         "batched_elements": 0,
         "screens_elided": 0,
+        "vau_chain_model": 0,
+        "chain_ops_fused": 0,
     }
     for vau in getattr(engine, "vaus", ()):
         vau_batch["chains"] += vau.chains
         vau_batch["batched_forms"] += vau.batched_forms
         vau_batch["batched_elements"] += vau.batched_elements
         vau_batch["screens_elided"] += vau.screens_elided
+        vau_batch["vau_chain_model"] += vau.model_chains
+        vau_batch["chain_ops_fused"] += vau.model_chain_ops
     return {
         "events_processed": engine.events_processed,
         "heap_pushes": engine.heap_pushes,

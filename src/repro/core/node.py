@@ -18,7 +18,12 @@ here:
 import numpy as np
 
 from repro.cp.gather import GatherScatterEngine
-from repro.fpu.vector_forms import FORMS, VectorArithmeticUnit, dtype_for
+from repro.fpu.vector_forms import (
+    FORMS,
+    ChainRef,
+    VectorArithmeticUnit,
+    dtype_for,
+)
 from repro.links.fabric import NodeLinkSet
 from repro.memory.dram import DualPortMemory
 from repro.memory.vector_register import VectorRegister
@@ -26,6 +31,94 @@ from repro.memory.vector_register import VectorRegister
 
 class BankConflictError(Exception):
     """Two vector operands were placed in the same memory bank."""
+
+
+class ChainBuilder:
+    """A recorded row-load / vector-op / row-store sequence.
+
+    Built with :meth:`ProcessorNode.vector_chain` and dispatched with
+    :meth:`ProcessorNode.run_chain`.  The recorded program has the same
+    observable semantics as issuing each step separately (``load_vector``
+    / ``vector_op`` / ``store_vector``), but the whole sequence goes to
+    the hardware as **one** streamed dispatch: every row access is
+    charged in a single row-port hold and the arithmetic runs as one
+    fused :meth:`~repro.fpu.vector_forms.VectorArithmeticUnit.execute_chain`
+    — one pipeline fill and one completion event for the chain instead
+    of one round trip through the event engine per op.  That is the
+    paper's streaming model: "the programmer only needs to describe the
+    input and output vectors and the vector form desired."
+
+    The builder methods return ``self`` so steps can be chained.
+    """
+
+    __slots__ = ("node", "precision", "steps", "ops")
+
+    def __init__(self, node, precision=64):
+        self.node = node
+        self.precision = precision
+        #: Recorded steps: ("load", row, reg), ("op", form_name,
+        #: src_regs, scalars, length, dst_reg), ("store", reg, row).
+        self.steps = []
+        #: Vector ops recorded so far (loads/stores excluded).
+        self.ops = 0
+
+    def load(self, row: int, reg: int = 0):
+        """Record a row → register load (one row-port access)."""
+        self.node.memory._check_row(row)
+        if not 0 <= reg < len(self.node.vregs):
+            raise ValueError(f"no vector register {reg}")
+        self.steps.append(("load", row, reg))
+        return self
+
+    def op(self, form_name: str, src_regs, scalars=(), length: int = None,
+           dst_reg: int = None):
+        """Record a vector form over register contents.
+
+        Semantics mirror :meth:`ProcessorNode.vector_op`: ``length``
+        defaults to the full register and the result lands in
+        ``dst_reg`` (default: the first source register) unless the
+        form is a reduction.
+        """
+        form = FORMS[form_name]  # validates the name eagerly
+        src_regs = list(src_regs)
+        for r in src_regs:
+            if not 0 <= r < len(self.node.vregs):
+                raise ValueError(f"no vector register {r}")
+        if length is None:
+            length = self.node.vregs[0].capacity(self.precision)
+        elif length > self.node.vregs[0].capacity(self.precision):
+            raise ValueError(
+                f"length {length} exceeds register capacity"
+            )
+        target = dst_reg if dst_reg is not None else (
+            src_regs[0] if src_regs else 0
+        )
+        if not form.reduction and not 0 <= target < len(self.node.vregs):
+            raise ValueError(f"no vector register {target}")
+        self.steps.append(
+            ("op", form_name, src_regs, tuple(scalars), length, target)
+        )
+        self.ops += 1
+        return self
+
+    def store(self, reg: int, row: int):
+        """Record a register → row store (one row-port access)."""
+        self.node.memory._check_row(row)
+        if not 0 <= reg < len(self.node.vregs):
+            raise ValueError(f"no vector register {reg}")
+        self.steps.append(("store", reg, row))
+        return self
+
+    def run(self):
+        """Process: dispatch the chain (see ProcessorNode.run_chain)."""
+        return self.node.run_chain(self)
+
+    def __len__(self):
+        return len(self.steps)
+
+    def __repr__(self):
+        return (f"<ChainBuilder steps={len(self.steps)} ops={self.ops} "
+                f"precision={self.precision}>")
 
 
 class ProcessorNode:
@@ -155,6 +248,136 @@ class ProcessorNode:
                            precision, dst_reg),
             name=f"{self.node_id}-{form_name}",
         )
+
+    # -- chain dispatch: fused load/op/store pipelines -----------------
+
+    def vector_chain(self, precision: int = 64) -> ChainBuilder:
+        """A fresh :class:`ChainBuilder` targeting this node."""
+        return ChainBuilder(self, precision)
+
+    def run_chain(self, chain: ChainBuilder):
+        """Process: dispatch a recorded chain as one streamed pipeline.
+
+        Equivalent per-op program: each load is ``load_vector``, each
+        op ``vector_op``, each store ``store_vector``, in order — same
+        register/memory end state, bit-for-bit, and the same counter
+        totals (row-port accesses, FLOPs, adder/multiplier results).
+        The dispatch differs: all row accesses are charged under one
+        row-port hold, and the ops run as one **fused**
+        ``execute_chain`` — one pipeline fill for the whole chain, one
+        completion event — with register dataflow threaded through
+        :class:`~repro.fpu.vector_forms.ChainRef` placeholders instead
+        of K engine round trips.  Loads snapshot memory at dispatch and
+        stores commit at completion, so a chain is one atomic step of
+        the node program (nothing else on this node runs mid-chain).
+
+        Returns the list of per-op results (reductions included).
+        """
+        precision = chain.precision
+        dtype = dtype_for(precision)
+        memory = self.memory
+        # Pass 1 — plan: replay the register dataflow symbolically.
+        # Each register is bound to a memory row snapshot ("mem"), an
+        # op result yet to be computed ("res", entry index, length), or
+        # its pre-chain contents (no binding).
+        bindings = {}
+        row_cache = {}
+        stored_rows = set()
+        entries = []
+        row_accesses = 0
+        for step in chain.steps:
+            kind = step[0]
+            if kind == "load":
+                _kind, row, reg = step
+                if row in stored_rows:
+                    # Loads snapshot memory at dispatch, so a re-load
+                    # of a row this chain already stored would read
+                    # stale data — split the program into two chains.
+                    raise ValueError(
+                        f"chain loads row {row} after storing it; "
+                        "dispatch the store and the load in separate "
+                        "chains"
+                    )
+                raw = row_cache.get(row)
+                if raw is None:
+                    raw = row_cache[row] = memory.read_row(row)
+                bindings[reg] = ("mem", raw, row)
+                row_accesses += 1
+            elif kind == "op":
+                _kind, form_name, src_regs, scalars, length, target = step
+                inputs = []
+                for r in src_regs:
+                    bound = bindings.get(r)
+                    if bound is None:
+                        inputs.append(
+                            self.vregs[r].elements(precision, count=length)
+                        )
+                    elif bound[0] == "mem":
+                        inputs.append(bound[1].view(dtype)[:length])
+                    else:
+                        _tag, idx, res_len = bound
+                        if length > res_len:
+                            raise ValueError(
+                                f"chain op reads {length} elements from "
+                                f"register {r}, which holds a "
+                                f"{res_len}-element chain result"
+                            )
+                        inputs.append(ChainRef(
+                            idx, length if length != res_len else None
+                        ))
+                form = FORMS[form_name]
+                entries.append((form_name, inputs, scalars))
+                if not form.reduction:
+                    bindings[target] = ("res", len(entries) - 1, length)
+            else:  # store
+                _kind, reg, row = step
+                stored_rows.add(row)
+                row_accesses += 1
+        # Timed phase: one row-port hold for every load and store, then
+        # one fused arithmetic dispatch for the whole op sequence.
+        if row_accesses:
+            yield from memory.row_port.access(row_accesses)
+        if entries:
+            results = yield from self.vau.execute_chain(
+                entries, precision, fused=True
+            )
+        else:
+            results = []
+        # Pass 2 — commit: replay the steps against shadow register
+        # bytes now that the results exist, applying stores in order,
+        # then write the final register states back.
+        shadows = {}
+        rows_loaded = {}
+        entry_index = 0
+        for step in chain.steps:
+            kind = step[0]
+            if kind == "load":
+                _kind, row, reg = step
+                shadows[reg] = row_cache[row].copy()
+                rows_loaded[reg] = row
+            elif kind == "op":
+                _kind, form_name, _src, _scalars, _length, target = step
+                result = results[entry_index]
+                if not FORMS[form_name].reduction:
+                    shadow = shadows.get(target)
+                    if shadow is None:
+                        shadow = shadows[target] = (
+                            self.vregs[target].raw.copy()
+                        )
+                    view = shadow.view(dtype)
+                    view[:len(result)] = result
+                    rows_loaded[target] = None
+                entry_index += 1
+            else:  # store
+                _kind, reg, row = step
+                shadow = shadows.get(reg)
+                if shadow is None:
+                    shadow = shadows[reg] = self.vregs[reg].raw.copy()
+                    rows_loaded[reg] = self.vregs[reg].loaded_row
+                memory.write_row(row, shadow)
+        for reg, shadow in shadows.items():
+            self.vregs[reg].load_bytes(shadow, row=rows_loaded.get(reg))
+        return results
 
     # -- gather/scatter ------------------------------------------------
 

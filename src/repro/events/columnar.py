@@ -21,10 +21,16 @@ drain them in time order as fast as possible.
   back to lists so retail pops are bare ``list`` indexing.  Event
   objects live in an object side-table and are never copied or
   compared — only their column indices move.
-* **retail heap** — small batches (interleaved push/pop traffic, the
-  shape the lane tiers already handle well) fall back to a classic
-  ``heapq`` with explicit sequence numbers, so the worst case is the
-  turbo tier's behaviour, not a numpy call per element.
+* **retail staging lane** — when a pop finds a *small* staged batch
+  whose minimum wins (``_needs_flush``), the entry pops straight out
+  of the staging columns (:meth:`ColumnarQueue.pop_staged`): no tuple,
+  no heap traffic at all.  Interleaved push/pop workloads (DMA
+  transfers, collectives — a handful of entries staged between pops)
+  live entirely in this lane.
+* **retail heap** — staged batches too large for the in-place pop but
+  too small for the bulk sort fall back to a classic ``heapq`` with
+  explicit sequence numbers, so the worst case is the turbo tier's
+  behaviour, not a numpy call per element.
 
 Ordering contract: entries pop in exactly ``(time, priority, seq)``
 order, where ``seq`` is global arrival order — bit-identical to what
@@ -39,8 +45,9 @@ cheap to arbitrate:
    reproduces seq order within the batch for free.
 
 The queue tracks its own profiling counters (``array_pops``,
-``heap_pops``, ``bulk_flushes``, ``bulk_flushed``, ``retail_flushed``)
-which :func:`repro.analysis.tracing.engine_stats` rolls up.
+``heap_pops``, ``staged_pops``, ``bulk_flushes``, ``bulk_flushed``,
+``retail_flushed``) which
+:func:`repro.analysis.tracing.engine_stats` rolls up.
 """
 
 import heapq
@@ -52,9 +59,10 @@ import numpy as np
 #: crossover sits where one numpy round-trip beats n heappushes.
 BULK_THRESHOLD = 48
 
-#: Priority code of URGENT entries (mirrors ``engine.URGENT``; kept
+#: Priority codes (mirror ``engine.URGENT``/``engine.NORMAL``; kept
 #: numeric here so the columns stay int64 end to end).
 _URGENT = 0
+_NORMAL = 1
 
 
 class ColumnarQueue:
@@ -69,8 +77,8 @@ class ColumnarQueue:
         "_sts", "_sprio", "_sev", "_smin", "_surg",
         "_hp", "_rts", "_rprio", "_rseq", "_rev", "_ri", "_rurg",
         "_base", "_n",
-        "array_pops", "heap_pops", "bulk_flushes", "bulk_flushed",
-        "retail_flushed",
+        "array_pops", "heap_pops", "staged_pops", "bulk_flushes",
+        "bulk_flushed", "retail_flushed",
     )
 
     def __init__(self):
@@ -93,6 +101,7 @@ class ColumnarQueue:
         self._n = 0                # total live entries
         self.array_pops = 0
         self.heap_pops = 0
+        self.staged_pops = 0
         self.bulk_flushes = 0
         self.bulk_flushed = 0
         self.retail_flushed = 0
@@ -232,9 +241,68 @@ class ColumnarQueue:
 
     # -- pop ----------------------------------------------------------
 
+    def pop_staged(self):
+        """Retail fast path: pop the minimal staged entry in place.
+
+        Callers must have established via :meth:`_needs_flush` that
+        the staged minimum strictly precedes both heads — under
+        invariant 1 that makes it *the* global minimum, so it can pop
+        straight out of the staging columns: no tuple allocation, no
+        heappush of the whole batch, no heappop.  This is what keeps
+        small interleaved push/pop traffic (a few entries staged
+        between pops — the shape DMA transfers and collectives
+        generate) off the per-entry heap path.
+
+        Seq bookkeeping stays implicit: removing position ``i``
+        renumbers the staged tail down by one, but relative arrival
+        order within staging is preserved and every staged seq remains
+        greater than every flushed seq (``_base`` is untouched), which
+        is all the ordering contract observes.
+
+        Among staged entries tying on ``(ts, prio)`` the first
+        position is the smallest seq, so the scan takes the *first*
+        index at the minimum — ``list.index`` (C speed) when no
+        URGENT entry is staged, an explicit scan otherwise.
+        """
+        sts = self._sts
+        ts, prio = self._smin
+        if self._surg:
+            sprio = self._sprio
+            i = 0
+            for j in range(len(sts)):
+                if sts[j] == ts and sprio[j] == prio:
+                    i = j
+                    break
+            if prio == _URGENT:
+                self._surg -= 1
+        else:
+            i = sts.index(ts)
+        sts.pop(i)
+        self._sprio.pop(i)
+        event = self._sev.pop(i)
+        self._n -= 1
+        self.staged_pops += 1
+        if not sts:
+            self._smin = None
+        elif self._surg:
+            sprio = self._sprio
+            best_ts = sts[0]
+            best_prio = sprio[0]
+            for j in range(1, len(sts)):
+                t = sts[j]
+                if t < best_ts or (t == best_ts and sprio[j] < best_prio):
+                    best_ts = t
+                    best_prio = sprio[j]
+            self._smin = (best_ts, best_prio)
+        else:
+            self._smin = (min(sts), _NORMAL)
+        return ts, prio, event
+
     def pop(self):
         """Remove and return the earliest ``(ts, prio, event)``."""
         if self._needs_flush():
+            if len(self._sts) < BULK_THRESHOLD:
+                return self.pop_staged()
             self._flush()
         ri = self._ri
         rts = self._rts
@@ -281,6 +349,7 @@ class ColumnarQueue:
         return {
             "array_pops": self.array_pops,
             "heap_pops": self.heap_pops,
+            "staged_pops": self.staged_pops,
             "bulk_flushes": self.bulk_flushes,
             "bulk_flushed": self.bulk_flushed,
             "retail_flushed": self.retail_flushed,

@@ -107,8 +107,9 @@ def kernel_tier() -> str:
 
 
 def turbo_kernel_requested() -> bool:
-    """True if the environment selects the turbo tier."""
-    return kernel_tier() == "turbo"
+    """True if the environment selects the turbo tier or a tier that
+    includes everything turbo does (the vector tier)."""
+    return kernel_tier() in ("turbo", "vector")
 
 
 def vector_kernel_requested() -> bool:
@@ -1053,6 +1054,8 @@ class Engine:
         semantics (``now``, counters, exception propagation, ``until``
         handling) are identical to the generic path.
         """
+        from repro.events.columnar import BULK_THRESHOLD
+
         cq = self._cq
         lane = self._lane
         nlane = self._nlane
@@ -1099,9 +1102,37 @@ class Engine:
                     processed += 1
                     lane_fired += 1
                 else:
-                    # Columnar pop.  Flush staging if its minimum could
-                    # fire next, then arbitrate ready run vs retail heap.
+                    # Columnar pop.  When the staging buffer's minimum
+                    # fires next, a *small* staged batch pops straight
+                    # out of the staging columns — the retail fast
+                    # path: no flush, no tuple, no heap traffic.  This
+                    # is where interleaved push/pop workloads (DMA,
+                    # collectives) live.  Large batches flush (bulk
+                    # sort or retail heap) and arbitrate as before.
                     if cq._needs_flush():
+                        if len(cq._sts) < BULK_THRESHOLD:
+                            when = cq._smin[0]
+                            if until_time is not None and when >= until_time:
+                                self._now = until_time
+                                return None
+                            when, prio, event = cq.pop_staged()
+                            if prio == URGENT:
+                                self._durgent -= 1
+                            self._now = when
+                            processed += 1
+                            callbacks, event.callbacks = (
+                                event.callbacks, None
+                            )
+                            if len(callbacks) == 1:
+                                self._solo_cb = True
+                                callbacks[0](event)
+                            else:
+                                self._solo_cb = False
+                                for callback in callbacks:
+                                    callback(event)
+                            if not event._ok and not event._defused:
+                                raise event._value
+                            continue
                         cq._flush()
                     hp = cq._hp
                     ri = cq._ri

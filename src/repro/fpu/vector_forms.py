@@ -114,6 +114,28 @@ def _flush_subnormals_reference(array: np.ndarray) -> np.ndarray:
     return out
 
 
+class ChainRef:
+    """Placeholder input: the result of an earlier op in the same chain.
+
+    The model layer threads register dataflow through a queued chain
+    with these instead of materialized arrays — op k's input can be
+    op j's (j < k) not-yet-computed result.  ``length`` optionally
+    reads a prefix of that result (a shorter op consuming a longer
+    register), mirroring ``VectorRegister.elements(count=...)``.
+    """
+
+    __slots__ = ("index", "length")
+
+    def __init__(self, index: int, length: int = None):
+        self.index = index
+        self.length = length
+
+    def __repr__(self):
+        if self.length is None:
+            return f"ChainRef({self.index})"
+        return f"ChainRef({self.index}, length={self.length})"
+
+
 @dataclass(frozen=True)
 class VectorForm:
     """One entry in the micro-sequencer's form catalog."""
@@ -268,6 +290,12 @@ class VectorArithmeticUnit:
         self.batched_forms = 0
         self.batched_elements = 0
         self.screens_elided = 0
+        #: Chain-adoption counters (engine_stats: ``vau_chain_model``
+        #: and ``chain_ops_fused``): fused model-layer chains executed
+        #: — one pipeline fill for the whole chain instead of one per
+        #: op — and the ops fused into them.  Identical on every tier.
+        self.model_chains = 0
+        self.model_chain_ops = 0
         vaus = getattr(engine, "vaus", None)
         if vaus is not None:
             vaus.append(self)
@@ -420,6 +448,107 @@ class VectorArithmeticUnit:
 
     # -- queued chains ----------------------------------------------------
 
+    def _validate_chain_entry(self, form, inputs, scalars, index, entries):
+        """Chain-aware :meth:`_validate`: inputs may be `ChainRef`s.
+
+        A ref must point at an earlier non-reduction entry of this
+        chain, and its (possibly prefix-truncated) length must agree
+        with the entry's other inputs.  Returns the element count.
+        """
+        if len(inputs) != form.vector_inputs:
+            raise ValueError(
+                f"{form.name} takes {form.vector_inputs} vector inputs, "
+                f"got {len(inputs)}"
+            )
+        if len(scalars) != form.scalar_inputs:
+            raise ValueError(
+                f"{form.name} takes {form.scalar_inputs} scalars, "
+                f"got {len(scalars)}"
+            )
+        if not inputs:
+            return 0
+        lengths = []
+        for v in inputs:
+            if type(v) is ChainRef:
+                if not 0 <= v.index < index:
+                    raise ValueError(
+                        f"chain op {index} references result {v.index}, "
+                        "which does not precede it"
+                    )
+                ref_form, _i, _s, ref_n = entries[v.index]
+                if ref_form.reduction:
+                    raise ValueError(
+                        f"chain op {index} uses the scalar result of "
+                        f"{ref_form.name} as a vector input"
+                    )
+                if v.length is not None:
+                    if v.length > ref_n:
+                        raise ValueError(
+                            f"ChainRef length {v.length} exceeds the "
+                            f"{ref_n}-element result it references"
+                        )
+                    lengths.append(v.length)
+                else:
+                    lengths.append(ref_n)
+            else:
+                lengths.append(len(v))
+        n = lengths[0]
+        if any(m != n for m in lengths):
+            raise ValueError(
+                f"input length mismatch: {sorted(set(lengths))}"
+            )
+        return n
+
+    @staticmethod
+    def _resolve_refs(inputs, results):
+        """Replace `ChainRef` placeholders with the computed results."""
+        resolved = []
+        for v in inputs:
+            if type(v) is ChainRef:
+                r = results[v.index]
+                if v.length is not None and v.length != len(r):
+                    r = r[:v.length]
+                resolved.append(r)
+            else:
+                resolved.append(v)
+        return resolved
+
+    def _fused_durations(self, entries, precision):
+        """Per-op duration shares under the fused chain cost model.
+
+        The paper's micro-sequencer streams a queued chain back to
+        back: the pipeline fills **once** (the deepest unit chain any
+        op uses), then results drain one element per cycle across all
+        ops.  Total = ``(fill + Σ nᵢ − 1)`` cycles plus a reduction
+        drain per reduction op.  The fill is attributed to the first
+        non-empty op so the per-op shares sum exactly to the total —
+        a deterministic integer split, identical on every tier (no
+        memo involved, so reference and fast agree bit-for-bit).
+        """
+        cycle = self.specs.cycle_ns
+        fill = 0
+        for form, _inputs, _scalars, n in entries:
+            if n:
+                depth = self.chain_depth(form, precision)
+                if depth > fill:
+                    fill = depth
+        durations = []
+        first = True
+        for form, _inputs, _scalars, n in entries:
+            if n == 0:
+                durations.append(0)
+                continue
+            cycles = n
+            if form.reduction:
+                cycles += reduction_drain_cycles(
+                    self.adder.stages(precision)
+                )
+            if first:
+                cycles += fill - 1
+                first = False
+            durations.append(cycles * cycle)
+        return durations
+
     def _chain_durations(self, entries, precision):
         """Per-op simulated durations for a queued chain.
 
@@ -491,29 +620,48 @@ class VectorArithmeticUnit:
             )
         return results
 
-    def execute_chain(self, ops, precision=64):
+    def execute_chain(self, ops, precision=64, fused=False):
         """Process: run a queued chain of forms under one unit hold.
 
         ``ops`` is a sequence of ``(form_name, inputs)`` or
-        ``(form_name, inputs, scalars)`` entries.  The micro-sequencer
-        queues the whole chain: the unit is requested once, completion
-        fires once after the summed form durations, and the per-op
-        results come back as a list — the same event pattern, simulated
+        ``(form_name, inputs, scalars)`` entries; an input may be a
+        :class:`ChainRef` naming an earlier op's result (register
+        dataflow threaded through the chain without waiting on it).
+        The micro-sequencer queues the whole chain: the unit is
+        requested once, completion fires once, and the per-op results
+        come back as a list — the same event pattern, simulated
         timing, counter totals, and bit-exact values on every kernel
         tier.  What differs per tier is the host arithmetic: the vector
         tier batches the chain (one vectorized timing evaluation, one
         whole-chain subnormal screen — see
         :meth:`_compute_chain_batched`), the others dispatch per op.
+
+        ``fused=False`` (the default) prices each op with its own
+        pipeline fill — the historical queued-chain model.  ``fused=
+        True`` is the model-layer streaming mode: the pipeline fills
+        once for the whole chain (see :meth:`_fused_durations`), which
+        is what :meth:`repro.core.node.ProcessorNode.run_chain` and
+        the matmul/gauss inner loops dispatch.
         """
         dtype = dtype_for(precision)
         entries = []
+        has_refs = False
         for op in ops:
             form_name, inputs = op[0], op[1]
             scalars = op[2] if len(op) > 2 else ()
             form = FORMS[form_name]
-            n = self._validate(form, inputs, scalars, precision)
+            if any(type(v) is ChainRef for v in inputs):
+                has_refs = True
+                n = self._validate_chain_entry(
+                    form, inputs, scalars, len(entries), entries
+                )
+            else:
+                n = self._validate(form, inputs, scalars, precision)
             entries.append((form, inputs, scalars, n))
-        durations = self._chain_durations(entries, precision)
+        if fused:
+            durations = self._fused_durations(entries, precision)
+        else:
+            durations = self._chain_durations(entries, precision)
         total = 0
         for d in durations:
             total += d
@@ -533,17 +681,97 @@ class VectorArithmeticUnit:
             self.flops += form.flops_per_element * n
             self.busy_ns += duration
             self.completions += 1
+        if fused:
+            self.model_chains += 1
+            self.model_chain_ops += len(entries)
         if self._batched:
+            if has_refs:
+                return self._compute_chain_optimistic(
+                    entries, dtype, precision
+                )
             return self._compute_chain_batched(entries, dtype, precision)
-        return [
-            self._compute_form(form, inputs, scalars, n, dtype, precision)
-            for form, inputs, scalars, n in entries
-        ]
+        if not has_refs:
+            return [
+                self._compute_form(form, inputs, scalars, n, dtype, precision)
+                for form, inputs, scalars, n in entries
+            ]
+        results = []
+        for form, inputs, scalars, n in entries:
+            vecs = self._resolve_refs(inputs, results)
+            results.append(
+                self._compute_form(form, vecs, scalars, n, dtype, precision)
+            )
+        return results
 
-    def start_chain(self, ops, precision=64):
+    def _compute_chain_optimistic(self, entries, dtype, precision):
+        """Batched compute for chains with :class:`ChainRef` dataflow.
+
+        Dependent ops cannot be screened up front (an input may be a
+        result that does not exist yet), so the vector tier computes
+        the whole chain **optimistically** — no per-op screens — while
+        pooling every memory-sourced input and every result.  One
+        concatenated screen then settles it: if nothing in the pool is
+        subnormal, no per-op flush would have fired anywhere, so the
+        optimistic results are bit-identical to per-op dispatch (the
+        overwhelmingly common case).  A dirty pool discards them and
+        recomputes the chain per op with full screens — exactly the
+        dispatch the other tiers run.
+        """
+        flush = self._flush
+        tiny = _TINY_BITS[precision]
+        pool = []
+        results = []
+        for form, inputs, scalars, n in entries:
+            vecs = []
+            for v in inputs:
+                if type(v) is ChainRef:
+                    r = results[v.index]
+                    if v.length is not None and v.length != len(r):
+                        r = r[:v.length]
+                    vecs.append(r)
+                else:
+                    arr = np.asarray(v, dtype=dtype)
+                    if arr.size:
+                        pool.append(arr)
+                    vecs.append(arr)
+            result = form.compute(vecs, scalars, dtype)
+            if form.reduction:
+                scalar = np.asarray(result).reshape(1)
+                pool.append(scalar)
+                results.append(scalar[0])
+            else:
+                if result.size:
+                    pool.append(result)
+                results.append(result)
+        clean = True
+        if pool:
+            magnitude = np.abs(np.concatenate(pool))
+            if not (magnitude.size == 0 or magnitude.min() >= tiny):
+                # The min screen also trips on exact zeros (zeroed
+                # accumulators, exact cancellation) which need no
+                # flushing — the mask settles the whole pool at once.
+                mask = (magnitude < tiny) & (magnitude > 0)
+                clean = not mask.any()
+        self.chains += 1
+        self.batched_forms += len(entries)
+        self.batched_elements += sum(n for _f, _i, _s, n in entries)
+        if clean:
+            self.screens_elided += sum(
+                len(inputs) for _f, inputs, _s, _n in entries
+            )
+            return results
+        results = []
+        for form, inputs, scalars, n in entries:
+            vecs = self._resolve_refs(inputs, results)
+            results.append(
+                self._compute_form(form, vecs, scalars, n, dtype, precision)
+            )
+        return results
+
+    def start_chain(self, ops, precision=64, fused=False):
         """Fire-and-forget: start a queued chain, return its event."""
         return self.engine.process(
-            self.execute_chain(ops, precision), name="vau-chain"
+            self.execute_chain(ops, precision, fused), name="vau-chain"
         )
 
     def start(self, form_name, inputs, scalars=(), precision=64):

@@ -39,7 +39,8 @@ class ParityStore:
     * **eager** (reference/fast) — a real bit array: every write
       recomputes parity, every read recomputes and compares, exactly
       like the hardware.
-    * **flip-set** (turbo) — only the *discrepancies* are stored.
+    * **flip-set** (turbo and vector) — only the *discrepancies* are
+      stored.
       :meth:`check` always receives the bytes currently held by the
       memory (that is how :class:`~repro.memory.dram.DualPortMemory`
       calls it), so without injected faults the stored parity equals

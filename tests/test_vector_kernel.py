@@ -131,14 +131,55 @@ class TestColumnarQueue:
         assert cq.bulk_flushes == 1
         assert cq.array_pops == k
 
-    def test_retail_fallback_below_threshold(self):
+    def test_staged_fast_path_below_threshold(self):
+        # A small staged batch whose minimum wins pops straight out of
+        # the staging columns: no flush, no heap traffic at all.
         cq = ColumnarQueue()
         for i in range(5):
             cq.push(i, 1, i)
         assert cq.pop() == (0, 1, 0)
-        assert cq.retail_flushed == 5
-        assert cq.heap_pops == 1
+        assert cq.staged_pops == 1
+        assert cq.retail_flushed == 0
+        assert cq.heap_pops == 0
         assert cq.bulk_flushes == 0
+        for i in range(1, 5):
+            assert cq.pop() == (i, 1, i)
+        assert cq.staged_pops == 5
+
+    def test_staged_fast_path_urgent_ties(self):
+        # URGENT beats NORMAL on a timestamp tie, and among equal keys
+        # the first staged position (smallest seq) pops first.
+        cq = ColumnarQueue()
+        cq.push(7, 1, "n1")
+        cq.push(7, 0, "u1")
+        cq.push(7, 0, "u2")
+        cq.push(7, 1, "n2")
+        assert cq.pop() == (7, 0, "u1")
+        assert cq.pop() == (7, 0, "u2")
+        assert cq.pop() == (7, 1, "n1")
+        assert cq.pop() == (7, 1, "n2")
+        assert cq.staged_pops == 4
+
+    def test_retail_heap_still_used_with_live_run(self):
+        # A large staged batch arriving while a sorted run is live
+        # cannot bulk-sort; it falls back to per-entry heap pushes.
+        cq = ColumnarQueue()
+        model = _HeapModel()
+        token = 0
+        for _ in range(BULK_THRESHOLD):
+            cq.push(token % 9, 1, token)
+            model.push(token % 9, 1, token)
+            token += 1
+        assert cq.pop() == model.pop()          # bulk flush + 1 pop
+        assert cq.bulk_flushes == 1
+        for _ in range(BULK_THRESHOLD):
+            cq.push(token % 9, 1, token)        # staged over a live run
+            model.push(token % 9, 1, token)
+            token += 1
+        while model._hp:
+            assert cq.pop() == model.pop()
+        assert cq.retail_flushed == BULK_THRESHOLD
+        assert cq.heap_pops > 0
 
     def test_side_table_releases_popped_slots(self):
         cq = ColumnarQueue()
@@ -158,7 +199,7 @@ class TestColumnarQueue:
         stats = cq.stats()
         assert set(stats) == {
             "array_pops", "heap_pops", "bulk_flushes", "bulk_flushed",
-            "retail_flushed", "side_table_size",
+            "retail_flushed", "staged_pops", "side_table_size",
         }
 
 
@@ -210,8 +251,9 @@ class TestVectorTierSemantics:
         with force_kernel(tier="vector"):
             eng, _ = _flood(4 * BULK_THRESHOLD)
         columnar = engine_stats(eng)["columnar"]
-        # Every entry that entered the queue was flushed exactly once
-        # and popped exactly once; nothing is left resident.
+        # Every entry that entered the queue either left through the
+        # staged fast path or was flushed exactly once and popped
+        # exactly once; nothing is left resident.
         flushed = columnar["bulk_flushed"] + columnar["retail_flushed"]
         popped = columnar["array_pops"] + columnar["heap_pops"]
         assert flushed == popped
