@@ -65,6 +65,18 @@ python -m repro.testing.fuzz --seed 1987 --cases 50 \
 echo "== service kill -9 round trip (journal replay, exactly-once) =="
 python scripts/service_kill_smoke.py
 
+echo "== net chaos smoke (torn frames, hostile bytes, server kills) =="
+# The net generator is opt-in (it spins up live servers per case):
+# seeded serving-chaos schedules attack the socket/HTTP front-end
+# with torn frames, bad CRCs, oversize headers, hostile HTTP, and
+# mid-drain kill -9; every case replays on all four kernel tiers and
+# must serve every job byte-identical to clean direct execution.
+python -m repro.testing.fuzz --seed 2601 --cases 50 \
+    --generators net --budget 180
+
+echo "== net smoke (remote batch + stream + kill -9 + restart) =="
+python scripts/net_smoke.py
+
 echo "== fault-tolerance smoke (ARQ retries + recovery digest) =="
 python scripts/fault_smoke.py
 
@@ -100,6 +112,26 @@ python scripts/check_cache_version.py
 
 echo "== service benchmark smoke (cold/warm identity, three tiers) =="
 python benchmarks/bench_service.py --quick --no-json
+
+echo "== net benchmark smoke (remote byte-identity, four tiers) =="
+# Quick mode gates remote-vs-in-process byte identity on every kernel
+# tier; the perf targets run on the committed full-run JSON below.
+timeout 300 python benchmarks/bench_net.py --quick --no-json
+
+echo "== remote serving gate (committed BENCH_net.json) =="
+# The committed full-run JSON must carry the serving gates: warm
+# remote throughput >= 100 rps over the Unix socket and p50 remote
+# overhead <= 5 ms over in-process warm serving, all tiers identical.
+python - <<'EOF'
+import json
+acc = json.load(open("BENCH_net.json"))["acceptance"]
+assert acc["perf_targets_apply"], acc
+assert acc["remote_rps"] >= acc["rps_target"], acc
+assert acc["overhead_p50_ms"] <= acc["overhead_target_ms"], acc
+assert acc["all_byte_identical"], acc
+print("remote serving gate OK:", acc["remote_rps"], "rps,",
+      acc["overhead_p50_ms"], "ms p50 overhead, all tiers identical")
+EOF
 
 echo "== parallel-sweep smoke (4 workers, byte-identical merge) =="
 # The smoke gates determinism, not throughput; the timeout is a wall

@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Remote-serving round trip for the network front-end (CI).
+
+The serving durability story, end to end, over a real socket:
+
+1. A subprocess runs :class:`ServiceServer` on an ephemeral Unix
+   socket with a journal and cache directory.  This process — acting
+   as a remote client — streams one job to completion (full
+   SUBMIT/START/DONE lifecycle plus the result payload), then submits
+   a 16-job batch with a chaos kill job spliced into the middle.  The
+   server's drain thread executes the kill job and ``os._exit(9)``s:
+   a ``kill -9`` mid-drain with results partially durable.
+2. A fresh server is started on the *same* journal and cache
+   directories (kill disarmed).  Re-submitting the full batch over
+   the wire must deliver all 16 results with payload digests
+   byte-identical to clean direct execution — journaled survivors
+   from the cache, the rest re-executed — proving the socket layer
+   neither loses nor changes an answer across a hard crash.
+
+Exit status 0 on success; an AssertionError otherwise.
+"""
+
+import json
+import os
+import pathlib
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.service import (
+    ResultCache,
+    ServerThread,
+    ServiceClient,
+    SimulationService,
+    payload_digest,
+)
+from repro.service.net.bus import TERMINAL_OPS
+from repro.testing.gen_service import KILL_EXIT, _pure_payload
+
+_CHILD = """
+import json, os, time
+from repro.service import ResultCache, ServerThread, SimulationService
+
+with open(os.environ["NET_SMOKE_SPEC"]) as handle:
+    bundle = json.load(handle)
+service = SimulationService(
+    cache=ResultCache(root=bundle["cache_dir"]),
+    journal_dir=bundle["journal_dir"],
+)
+ServerThread(service, unix_path=bundle["sock"]).start()
+time.sleep(60)  # the kill job fells this process long before this
+"""
+
+
+def _wait_for_socket(path: str, timeout_s: float = 15.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while not os.path.exists(path):
+        if time.monotonic() > deadline:
+            raise AssertionError(f"server socket never appeared: {path}")
+        time.sleep(0.02)
+
+
+def main() -> int:
+    jobs = [{"label": f"w{i:02d}", "x": 47 * (i + 2), "rounds": 3}
+            for i in range(16)]
+    expected = {job["label"]: payload_digest(_pure_payload(job))
+                for job in jobs}
+    documents = [{"kind": "service.chaos", "spec": dict(job),
+                  "tier": "turbo"} for job in jobs]
+
+    root = tempfile.mkdtemp(prefix="repro-net-smoke-")
+    try:
+        journal_dir = os.path.join(root, "journal")
+        cache_dir = os.path.join(root, "cache")
+        chaos_dir = os.path.join(root, "chaos")
+        sock = os.path.join(root, "serve.sock")
+        os.makedirs(chaos_dir)
+        spec_path = os.path.join(root, "bundle.json")
+        with open(spec_path, "w") as handle:
+            json.dump({"journal_dir": journal_dir,
+                       "cache_dir": cache_dir, "sock": sock}, handle)
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(pathlib.Path(__file__).resolve().parent.parent / "src")
+            + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        env["NET_SMOKE_SPEC"] = spec_path
+        env["REPRO_CHAOS_DIR"] = chaos_dir  # arms the kill marker
+        proc = subprocess.Popen([sys.executable, "-c", _CHILD],
+                                env=env)
+        try:
+            _wait_for_socket(sock)
+            with ServiceClient("unix:" + sock) as client:
+                # Stream one job end to end before the chaos begins.
+                streamed = jobs[0]
+                events, final = client.watch(
+                    client.submit(documents[0])["key"])
+                assert events and events[-1]["op"] in TERMINAL_OPS, \
+                    events
+                assert final["digest"] == expected[streamed["label"]], \
+                    final
+                # Remote batch with a kill job spliced mid-batch: the
+                # drain thread dies with most of the batch queued.
+                spliced = list(documents)
+                spliced.insert(len(documents) // 2, {
+                    "kind": "service.chaos",
+                    "spec": {"label": "kill", "x": 1, "rounds": 1,
+                             "kill_service": True},
+                    "tier": "turbo",
+                })
+                accepted = 0
+                for document in spliced:
+                    try:
+                        client.submit(document)
+                        accepted += 1
+                    except Exception:
+                        break  # server died under us, as scheduled
+            proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+        assert proc.returncode == KILL_EXIT, (
+            f"server exited {proc.returncode}, expected the scheduled "
+            f"kill ({KILL_EXIT})"
+        )
+
+        # Restart on the same journal + cache, kill disarmed even if
+        # the child died before its marker hit the disk.
+        with open(os.path.join(chaos_dir, "kill-kill"), "w"):
+            pass
+        service = SimulationService(
+            cache=ResultCache(root=cache_dir), journal_dir=journal_dir,
+        )
+        recovered = len(service.recovered)
+        sock2 = os.path.join(root, "serve2.sock")
+        results = {}
+        with ServerThread(service, unix_path=sock2):
+            with ServiceClient("unix:" + sock2) as client:
+                for document in documents:
+                    record = client.submit(document, wait=60)
+                    assert record["status"] in ("done", "cached"), \
+                        record
+                    results[record["result"]["label"]] = (
+                        record["digest"],
+                        payload_digest(record["result"]),
+                    )
+
+        mismatches = [
+            label for label, (digest, recomputed) in results.items()
+            if digest != expected[label] or recomputed != expected[label]
+        ]
+        assert not mismatches, mismatches
+        assert len(results) == len(jobs), sorted(results)
+
+        print(f"net smoke OK: streamed 1 job to completion, server "
+              f"killed -9 mid-drain after accepting {accepted} remote "
+              f"submissions, restart recovered {recovered} journaled "
+              f"jobs and served all {len(jobs)} byte-identical over "
+              f"the socket")
+        return 0
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -306,6 +306,7 @@ def service_stats(service) -> dict:
         "cache": raw["cache"],
         "tenants": raw.get("tenants", {}),
         "journal": raw.get("journal"),
+        "net": raw.get("net"),
     }
 
 
@@ -333,6 +334,13 @@ def service_stats_table(service, title="Service profile") -> Table:
         for key in ("segments", "size_bytes", "appends", "fsyncs",
                     "rotations", "compactions"):
             table.add(f"journal_{key}", journal[key])
+    net = stats.get("net")
+    if net is not None:
+        for key in ("connections", "active_connections", "frames_in",
+                    "frames_out", "http_requests", "rejected_auth",
+                    "shed", "protocol_errors",
+                    "streaming_subscribers", "stream_events"):
+            table.add(f"net_{key}", net.get(key, 0))
     for tenant, counters in (stats.get("tenants") or {}).items():
         table.add(
             f"tenant[{tenant}]",

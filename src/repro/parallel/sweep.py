@@ -183,7 +183,7 @@ def _worker_main(run_one, tasks, conn):
 class _Worker:
     """Parent-side bookkeeping for one worker process."""
 
-    def __init__(self, ctx, worker_id, run_one, tasks):
+    def __init__(self, ctx, worker_id, run_one, tasks, daemon=True):
         self.id = worker_id
         self.tasks = tasks
         self.cursor = 0       # tasks completed (done or error)
@@ -191,13 +191,14 @@ class _Worker:
         self.proc = ctx.Process(
             target=_worker_main,
             args=(run_one, tasks, child_conn),
-            daemon=True,
+            daemon=daemon,
         )
         self.proc.start()
         child_conn.close()  # parent keeps only the read end
 
 
-def run_cells(run_one, cells, jobs=None, isolate=False) -> SweepResult:
+def run_cells(run_one, cells, jobs=None, isolate=False,
+              daemon=True) -> SweepResult:
     """Run ``run_one(cell)`` over every cell; deterministic merge.
 
     ``run_one`` must build its entire scenario from the cell value —
@@ -210,6 +211,12 @@ def run_cells(run_one, cells, jobs=None, isolate=False) -> SweepResult:
     cell, so a cell that kills its process (``os._exit``) reports as
     a crashed :class:`CellResult` instead of taking the caller down —
     the scheduler's crash-retry path depends on this.
+
+    ``daemon=False`` spawns non-daemonic workers.  Daemonic processes
+    cannot have children, so a caller whose cells themselves open a
+    fork pool (the fuzz campaign running machine-room chaos cases,
+    which drain through the scheduler's pool) must opt out; everyone
+    else keeps daemonic workers, which the OS reaps with the parent.
     """
     cells = list(cells)
     jobs = resolve_jobs(jobs)
@@ -237,7 +244,7 @@ def run_cells(run_one, cells, jobs=None, isolate=False) -> SweepResult:
 
     def spawn(tasks):
         nonlocal next_id
-        worker = _Worker(ctx, next_id, run_one, tasks)
+        worker = _Worker(ctx, next_id, run_one, tasks, daemon=daemon)
         next_id += 1
         live.append(worker)
         return worker

@@ -11,7 +11,10 @@ cache when an identical job already ran
 :mod:`repro.parallel` fork pool otherwise.  ``python -m
 repro.service`` is the command-line front door; batch files express
 whole bench cell lists as one submission
-(:mod:`~repro.service.api`).
+(:mod:`~repro.service.api`), and the whole service fronts the
+network through :mod:`~repro.service.net` (``python -m repro.service
+serve``): a framed socket protocol plus an HTTP/1.1 adapter with
+streaming job status.
 
 The cache-correctness contract: a hit returns a payload
 byte-identical (canonical JSON) to what a fresh simulation on the
@@ -31,6 +34,15 @@ from repro.service.jobkey import (
     semantics_fingerprint,
 )
 from repro.service.journal import JobJournal, default_journal_dir
+from repro.service.net import (
+    AsyncServiceClient,
+    RemoteJobError,
+    ServerThread,
+    ServiceClient,
+    ServiceServer,
+    StatusBus,
+    run_server,
+)
 from repro.service.scheduler import (
     AdmissionError,
     JobError,
@@ -50,6 +62,7 @@ from repro.service.workloads import (
 
 __all__ = [
     "AdmissionError",
+    "AsyncServiceClient",
     "JOB_KEY_SCHEMA_VERSION",
     "JobError",
     "JobFuture",
@@ -57,8 +70,13 @@ __all__ = [
     "JobSpec",
     "JobTimeout",
     "QuotaError",
+    "RemoteJobError",
     "ResultCache",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceServer",
     "SimulationService",
+    "StatusBus",
     "TenantTable",
     "UnknownWorkloadError",
     "canonical_json",
@@ -71,6 +89,7 @@ __all__ = [
     "register_workload",
     "registered_kinds",
     "run_batch",
+    "run_server",
     "semantics_fingerprint",
     "unregister_workload",
 ]

@@ -6,6 +6,7 @@ Subcommands::
     batch   a batch file of jobs; prints the per-job summary + stats
     key     print a job's content address (no execution)
     stats   inspect the on-disk cache store
+    serve   run the network front-end (framed socket + HTTP)
 
 Examples::
 
@@ -14,6 +15,16 @@ Examples::
     python -m repro.service batch examples/service_batch.json --json
     python -m repro.service batch jobs.json --no-cache --jobs 4
     python -m repro.service key --kind vector --spec "$(cat op.json)"
+    python -m repro.service serve --socket /tmp/repro.sock \\
+        --journal-dir .repro-journal
+    python -m repro.service submit --remote unix:/tmp/repro.sock \\
+        --kind golden --spec '{"name": "vector_forms"}' --stream
+
+``--remote ADDR`` (on ``submit``, ``batch``, ``stats``) talks to a
+running ``serve`` instance over its framed socket protocol instead of
+simulating in-process; ``--stream`` prints each status transition as
+the server pushes it.  ``serve`` drains gracefully on SIGTERM and,
+with ``--journal-dir``, resumes journaled work after a hard kill.
 
 ``--no-cache`` bypasses the result cache entirely (every job
 simulates); ``--cache-dir`` points the store somewhere other than
@@ -79,7 +90,48 @@ def _emit(summary: dict, args, out=None):
     out.write(service_stats_table(stats).render() + "\n")
 
 
+def _remote_client(args):
+    from repro.service.net import ServiceClient
+    return ServiceClient(args.remote,
+                         auth=getattr(args, "auth", None))
+
+
+def _remote_submit(args) -> int:
+    job = _job_from_args(args)
+    from repro.service.net import job_document
+    document = job_document(job)
+    document.pop("tenant", None)
+    with _remote_client(args) as client:
+        if args.stream:
+            record = None
+            for tag, payload in client.stream(job=document,
+                                              priority=args.priority):
+                if tag == "event":
+                    print(f"{payload['state']:<9} "
+                          f"{payload['key'][:12]}… "
+                          f"({payload['op']})")
+                elif tag == "end":
+                    record = payload
+        else:
+            record = client.submit(document,
+                                   priority=args.priority,
+                                   wait=args.timeout or 60.0)
+    record["index"] = 0
+    summary = {"jobs": [record], "stats": None,
+               "all_ok": record.get("status") in ("done", "cached")}
+    if args.json:
+        json.dump(summary, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        status = record.get("status")
+        digest = record.get("digest") or "-"
+        print(f"{record['key'][:12]}… {status} digest {digest[:12]}")
+    return 0 if summary["all_ok"] else 1
+
+
 def _cmd_submit(args) -> int:
+    if args.remote:
+        return _remote_submit(args)
     service = _build_service(args)
     job = _job_from_args(args)
     future = service.submit(job, priority=args.priority)
@@ -103,7 +155,37 @@ def _cmd_submit(args) -> int:
     return 0 if summary["all_ok"] else 1
 
 
+def _remote_batch(args) -> int:
+    from repro.service.net import job_document
+    jobs = load_batch(args.path, tenant=args.tenant)
+    with _remote_client(args) as client:
+        records = []
+        for index, job in enumerate(jobs):
+            document = job_document(job)
+            record = client.submit(document,
+                                   wait=args.timeout or 60.0)
+            record["index"] = index
+            records.append(record)
+        stats = client.stats()
+    summary = {
+        "jobs": records,
+        "stats": stats,
+        "all_ok": all(r.get("status") in ("done", "cached")
+                      for r in records),
+    }
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    else:
+        _emit(summary, args)
+    return 0 if summary["all_ok"] else 1
+
+
 def _cmd_batch(args) -> int:
+    if args.remote:
+        return _remote_batch(args)
     service = _build_service(args)
     jobs = load_batch(args.path, tenant=args.tenant)
     summary = run_batch(service, jobs, timeout=args.timeout)
@@ -122,7 +204,37 @@ def _cmd_key(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service.net import run_server
+    service = _build_service(args)
+    auth_tokens = None
+    if args.auth_token:
+        auth_tokens = {}
+        for pair in args.auth_token:
+            token, _, tenant = pair.partition("=")
+            auth_tokens[token] = tenant or token
+    host = args.host
+    if args.socket is None and host is None:
+        host = "127.0.0.1"
+    run_server(
+        service,
+        unix_path=args.socket,
+        host=host,
+        port=args.port,
+        auth_tokens=auth_tokens,
+        require_auth=args.require_auth,
+        max_connections=args.max_connections,
+        idle_timeout_s=args.idle_timeout,
+    )
+    return 0
+
+
 def _cmd_stats(args) -> int:
+    if args.remote:
+        with _remote_client(args) as client:
+            print(json.dumps(client.stats(), indent=2,
+                             sort_keys=True))
+        return 0
     cache = ResultCache(root=args.cache_dir)
     usage = cache.disk_usage()
     usage["root"] = cache.root
@@ -176,6 +288,12 @@ def _add_service_arguments(parser):
                         "jobs are reported instead of blocking")
     parser.add_argument("--json", action="store_true",
                         help="emit the machine-readable summary")
+    parser.add_argument("--remote", default=None,
+                        help="submit to a running serve instance "
+                        "(unix:/path or host:port) instead of "
+                        "simulating in-process")
+    parser.add_argument("--auth", default=None,
+                        help="auth token sent with --remote submits")
 
 
 def main(argv=None) -> int:
@@ -190,6 +308,9 @@ def main(argv=None) -> int:
     _add_job_arguments(submit)
     _add_service_arguments(submit)
     submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--stream", action="store_true",
+                        help="with --remote: print status events as "
+                        "the server pushes them")
     submit.set_defaults(handler=_cmd_submit)
 
     batch = commands.add_parser(
@@ -211,7 +332,32 @@ def main(argv=None) -> int:
         "stats", help="inspect the on-disk cache store and journal")
     stats.add_argument("--cache-dir", default=None)
     stats.add_argument("--journal-dir", default=None)
+    stats.add_argument("--remote", default=None,
+                       help="query a running serve instance instead")
+    stats.add_argument("--auth", default=None)
     stats.set_defaults(handler=_cmd_stats)
+
+    serve = commands.add_parser(
+        "serve", help="run the network front-end until SIGTERM")
+    _add_service_arguments(serve)
+    serve.add_argument("--socket", default=None,
+                       help="bind a unix socket at this path")
+    serve.add_argument("--host", default=None,
+                       help="bind TCP on this host (default "
+                       "127.0.0.1 when no --socket is given)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default: ephemeral)")
+    serve.add_argument("--auth-token", action="append", default=[],
+                       metavar="TOKEN=TENANT",
+                       help="accept TOKEN as TENANT (repeatable); "
+                       "with any --auth-token, unknown tokens are "
+                       "rejected")
+    serve.add_argument("--require-auth", action="store_true",
+                       help="reject submissions without a token")
+    serve.add_argument("--max-connections", type=int, default=256)
+    serve.add_argument("--idle-timeout", type=float, default=30.0,
+                       help="drop connections idle this many seconds")
+    serve.set_defaults(handler=_cmd_serve)
 
     args = parser.parse_args(argv)
     return args.handler(args)

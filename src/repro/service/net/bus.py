@@ -1,0 +1,158 @@
+"""In-process status event bus: scheduler transitions → subscribers.
+
+The scheduler emits one structured event per journal record type
+(:meth:`~repro.service.scheduler.SimulationService.add_status_listener`);
+this bus fans them out to any number of subscribers — the streaming
+socket/HTTP handlers — with the guarantees a streaming client needs:
+
+* **Per-key ordering.**  Events for one job key are delivered in
+  emission order (SUBMIT → START → DONE/FAIL); publish and subscribe
+  serialize on one lock.
+* **Exactly-once.**  Each subscription dedups on ``(key, op, run)``:
+  even if a defensive re-emission ever reached the bus, a subscriber
+  sees each lifecycle transition once.  A *new* lifecycle for the
+  same key (the job re-submitted after completion, e.g. post-restart)
+  bumps the run counter, so its events flow again.
+* **Late-subscriber replay.**  The bus retains each key's event
+  history (an LRU over ``history_keys`` keys); subscribing to a key
+  that already progressed first replays what was missed, atomically
+  with registration, so there is no gap between "replayed history"
+  and "live events".
+
+Subscribers provide a callback (``deliver(event)``); the server-side
+wraps an ``asyncio`` queue behind it via ``call_soon_threadsafe``.
+Callbacks run on the publishing thread (a scheduler thread holding
+the service lock) and must enqueue and return — never block.
+"""
+
+import threading
+from collections import OrderedDict
+
+#: Ops that end a job's lifecycle (a subscription can stop after one).
+TERMINAL_OPS = ("DONE", "FAIL", "CANCEL", "CACHED")
+
+
+def is_terminal(event: dict) -> bool:
+    return event.get("op") in TERMINAL_OPS
+
+
+class Subscription:
+    """One subscriber's view: filtered, deduplicated, ordered."""
+
+    def __init__(self, bus, callback, key=None):
+        self._bus = bus
+        self._callback = callback
+        self.key = key            # None = firehose (every key)
+        self._seen = set()        # (key, op, run) already delivered
+        self.delivered = 0
+        self.active = True
+
+    def _deliver(self, event: dict, run: int):
+        if not self.active:
+            return
+        mark = (event.get("key"), event.get("op"), run)
+        if mark in self._seen:
+            return
+        self._seen.add(mark)
+        self.delivered += 1
+        self._callback(event)
+
+    def close(self):
+        self.active = False
+        self._bus._drop(self)
+
+
+class StatusBus:
+    """Thread-safe fan-out of job lifecycle events."""
+
+    def __init__(self, history_keys=4096):
+        self._lock = threading.Lock()
+        self._subs = []
+        #: key → {"run": n, "events": [event, ...]} — one lifecycle's
+        #: history; a fresh SUBMIT/CACHED after a terminal op starts
+        #: run n+1 with a clean history.
+        self._history = OrderedDict()
+        self.history_keys = int(history_keys)
+        self.published = 0
+        self.dropped_callbacks = 0
+
+    def attach(self, service) -> "StatusBus":
+        """Register this bus as the service's status listener."""
+        service.add_status_listener(self.publish)
+        return self
+
+    def _entry(self, key):
+        entry = self._history.get(key)
+        if entry is not None:
+            self._history.move_to_end(key)
+            return entry
+        entry = {"run": 0, "events": [], "terminal": False}
+        self._history[key] = entry
+        while len(self._history) > self.history_keys:
+            self._history.popitem(last=False)
+        return entry
+
+    def publish(self, event: dict):
+        """Fan one scheduler event out to every matching subscriber."""
+        key = event.get("key")
+        with self._lock:
+            self.published += 1
+            entry = self._entry(key)
+            if entry["terminal"]:
+                # A new lifecycle for a finished key (re-submission
+                # after completion/cancel): new run, fresh history.
+                entry["run"] += 1
+                entry["events"] = []
+                entry["terminal"] = False
+            entry["events"].append(dict(event))
+            if is_terminal(event):
+                entry["terminal"] = True
+            run = entry["run"]
+            for sub in list(self._subs):
+                if sub.key is not None and sub.key != key:
+                    continue
+                try:
+                    sub._deliver(event, run)
+                except Exception:
+                    self.dropped_callbacks += 1
+
+    def subscribe(self, callback, key=None,
+                  replay=True) -> Subscription:
+        """Register a subscriber; atomically replay missed history.
+
+        With ``replay`` (the default) the current lifecycle's events
+        for ``key`` are delivered through the same dedup path before
+        the lock is released — a publish racing the subscribe can
+        only ever duplicate, and the dedup set absorbs that.
+        """
+        sub = Subscription(self, callback, key=key)
+        with self._lock:
+            self._subs.append(sub)
+            if replay and key is not None:
+                entry = self._history.get(key)
+                if entry is not None:
+                    for event in entry["events"]:
+                        try:
+                            sub._deliver(event, entry["run"])
+                        except Exception:
+                            self.dropped_callbacks += 1
+        return sub
+
+    def _drop(self, sub: Subscription):
+        with self._lock:
+            try:
+                self._subs.remove(sub)
+            except ValueError:
+                pass
+
+    def last_event(self, key):
+        """The most recent event for ``key`` (None if unseen)."""
+        with self._lock:
+            entry = self._history.get(key)
+            if entry is None or not entry["events"]:
+                return None
+            return dict(entry["events"][-1])
+
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return len(self._subs)

@@ -1,0 +1,204 @@
+"""The wire protocol: length-prefixed, CRC-checked JSON frames.
+
+The machine-room's durability layer already settled the framing
+question once — the write-ahead journal stores canonical JSON with an
+embedded CRC-32 so any torn or flipped byte is *detected*, never
+silently consumed.  The socket protocol reuses that discipline on the
+wire, with a fixed binary header in front (a stream has no line
+boundaries to lean on):
+
+======  ====  ====================================================
+offset  size  field
+======  ====  ====================================================
+0       2     magic ``RN`` (0x52 0x4E)
+2       1     protocol version (:data:`PROTOCOL_VERSION`)
+3       1     frame type (0 = JSON message; others reserved)
+4       4     payload length ``N``, big-endian
+8       4     CRC-32 of the payload bytes, big-endian
+12      N     payload: canonical JSON, UTF-8
+======  ====  ====================================================
+
+Every violation is a *structured* :class:`ProtocolError` carrying a
+machine-readable ``code`` (``magic``, ``version``, ``type``,
+``oversize``, ``crc``, ``json``) — the server answers with an error
+frame naming its own version before closing, so a client three
+versions behind learns *why* instead of staring at a dead socket.
+
+Messages on top of the frames:
+
+* request — ``{"id": n, "method": "...", "params": {...}}``
+* response — ``{"id": n, "ok": true, "result": ...}`` or
+  ``{"id": n, "ok": false, "error": {<structured error>}}``
+* stream event — ``{"id": n, "event": {<status event>}}``; the
+  subscription ends with a normal response frame carrying
+  ``"end": true`` and the result payload.
+
+Structured errors are the scheduler's own ``as_json()`` dicts
+(:class:`~repro.service.scheduler.QuotaError`,
+:class:`~repro.service.scheduler.AdmissionError`,
+:class:`~repro.service.scheduler.JobTimeout`) plus the protocol- and
+serving-level codes defined here, so a remote client sees exactly the
+rejection an in-process submitter would.
+"""
+
+import json
+import struct
+import zlib
+
+from repro.service.jobkey import canonical_json
+
+#: Version of the frame header + message schema.  A frame whose
+#: header names another version is rejected with a structured
+#: ``version`` error (carrying this value) before any payload parse.
+PROTOCOL_VERSION = 1
+
+MAGIC = b"RN"
+FRAME_TYPE_JSON = 0
+HEADER = struct.Struct(">2sBBII")  # magic, version, type, length, crc
+HEADER_BYTES = HEADER.size
+
+#: Default ceiling on one frame's payload (and one HTTP body).  Big
+#: enough for any result payload the benches produce, small enough
+#: that a hostile length header cannot balloon the parse buffer.
+MAX_FRAME_BYTES = 8 << 20
+
+
+class ProtocolError(ValueError):
+    """A wire-level violation, with a structured JSON form."""
+
+    def __init__(self, code, message, **fields):
+        super().__init__(message)
+        self.code = code
+        self.fields = fields
+
+    def as_json(self) -> dict:
+        return {"error": "protocol", "code": self.code,
+                "message": str(self), **self.fields}
+
+
+def encode_frame(message, version=PROTOCOL_VERSION,
+                 frame_type=FRAME_TYPE_JSON) -> bytes:
+    """One message as header + canonical-JSON payload bytes."""
+    payload = canonical_json(message).encode()
+    return HEADER.pack(MAGIC, version, frame_type, len(payload),
+                       zlib.crc32(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser over an arbitrary byte stream.
+
+    ``feed(data)`` buffers and returns every complete message; a
+    partial frame stays buffered for the next read (the slow-loris
+    case: one frame may arrive a byte at a time).  Any header or
+    payload violation raises :class:`ProtocolError` — after that the
+    stream is unsynchronised and the connection must be dropped.
+    """
+
+    def __init__(self, max_frame_bytes=MAX_FRAME_BYTES):
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._buffer = bytearray()
+
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list:
+        self._buffer.extend(data)
+        messages = []
+        while True:
+            if len(self._buffer) < HEADER_BYTES:
+                return messages
+            magic, version, frame_type, length, crc = HEADER.unpack(
+                bytes(self._buffer[:HEADER_BYTES])
+            )
+            if magic != MAGIC:
+                raise ProtocolError(
+                    "magic", f"bad frame magic {bytes(magic)!r}"
+                )
+            if version != PROTOCOL_VERSION:
+                raise ProtocolError(
+                    "version",
+                    f"protocol version {version} unsupported",
+                    server_version=PROTOCOL_VERSION,
+                    client_version=version,
+                )
+            if frame_type != FRAME_TYPE_JSON:
+                raise ProtocolError(
+                    "type", f"unknown frame type {frame_type}"
+                )
+            if length > self.max_frame_bytes:
+                raise ProtocolError(
+                    "oversize",
+                    f"frame of {length} bytes exceeds limit "
+                    f"{self.max_frame_bytes}",
+                    limit=self.max_frame_bytes, length=length,
+                )
+            if len(self._buffer) < HEADER_BYTES + length:
+                return messages
+            payload = bytes(
+                self._buffer[HEADER_BYTES:HEADER_BYTES + length]
+            )
+            del self._buffer[:HEADER_BYTES + length]
+            if zlib.crc32(payload) != crc:
+                raise ProtocolError(
+                    "crc", "frame payload failed its CRC-32"
+                )
+            try:
+                messages.append(json.loads(payload))
+            except ValueError as exc:
+                raise ProtocolError(
+                    "json", f"frame payload is not JSON: {exc}"
+                ) from None
+
+
+# -- message shaping --------------------------------------------------
+
+def request(request_id, method, **params) -> dict:
+    return {"id": request_id, "method": method, "params": params}
+
+
+def response(request_id, result, end=False) -> dict:
+    message = {"id": request_id, "ok": True, "result": result}
+    if end:
+        message["end"] = True
+    return message
+
+
+def error_response(request_id, error) -> dict:
+    return {"id": request_id, "ok": False,
+            "error": error_payload(error)}
+
+
+def stream_event(request_id, event) -> dict:
+    return {"id": request_id, "event": event}
+
+
+def error_payload(error) -> dict:
+    """The structured JSON form of any serving-path error.
+
+    Scheduler errors and :class:`ProtocolError` bring their own
+    ``as_json``; anything else is wrapped as an ``internal`` error so
+    a client always receives the same envelope shape.
+    """
+    if isinstance(error, dict):
+        return error
+    as_json = getattr(error, "as_json", None)
+    if callable(as_json):
+        return as_json()
+    return {"error": "internal",
+            "message": f"{type(error).__name__}: {error}"}
+
+
+class RemoteJobError(RuntimeError):
+    """Client-side: the server answered with a structured error."""
+
+    def __init__(self, error: dict):
+        self.error = dict(error or {})
+        code = self.error.get("error", "unknown")
+        message = self.error.get("message") or canonical_json(
+            self.error
+        )
+        super().__init__(f"remote {code} error: {message}")
+
+    @property
+    def code(self) -> str:
+        return self.error.get("error", "unknown")

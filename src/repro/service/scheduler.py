@@ -68,6 +68,18 @@ from repro.service.workloads import execute_job
 _DONE_STATES = ("done", "cached", "failed", "cancelled", "rejected",
                 "shed")
 
+#: Lifecycle-event ops (one per journal record type, plus CACHED for
+#: cache-hit answers, which are terminal but never journaled) and the
+#: client-facing state each one announces.
+EVENT_STATES = {
+    "SUBMIT": "QUEUED",
+    "START": "RUNNING",
+    "DONE": "DONE",
+    "FAIL": "FAILED",
+    "CANCEL": "CANCELLED",
+    "CACHED": "DONE",
+}
+
 
 class AdmissionError(RuntimeError):
     """Structured rejection: the queue is at its depth bound."""
@@ -267,6 +279,15 @@ class SimulationService:
         self.queue_depth_hwm = 0
         self.queued_s = []       # per executed job, submit → drain
         self.run_s = []          # per executed job, pool cell wall
+        # Lifecycle listeners (the net layer's event bus registers
+        # here); a listener that raises is counted, never fatal.
+        self._listeners = []
+        self.listener_errors = 0
+        #: Network front-end counters; a running
+        #: :class:`repro.service.net.server.ServiceServer` attaches
+        #: its counter block here so ``stats()`` (and the
+        #: ``service_stats`` rollup) can surface the wire-level story.
+        self.net = None
         # Durability: the write-ahead journal and its replay.
         self.journal = None
         self.journal_replay = None
@@ -283,6 +304,55 @@ class SimulationService:
             self._replay_journal()
         else:
             self.journal_compact_bytes = None
+
+    # -- lifecycle events ---------------------------------------------
+
+    def add_status_listener(self, fn):
+        """Register ``fn(event)`` for every job lifecycle transition.
+
+        Events are structured dicts — one per journal record type
+        (``SUBMIT``/``START``/``DONE``/``FAIL``/``CANCEL``) plus
+        ``CACHED`` for submissions answered from the result cache —
+        carrying ``op``, the client-facing ``state``
+        (QUEUED/RUNNING/DONE/FAILED/CANCELLED), ``key``, ``kind``,
+        ``priority``, ``tenant``, and op-specific fields (``digest``,
+        ``error``, ``reason``).  Delivery is exactly-once per
+        transition: every emission sits on a status change that the
+        scheduler guards under its lock, so a coalesced duplicate
+        submit or a retried worker never re-fires an event.
+
+        Listeners run on the emitting thread (submitters, the drain
+        thread) and may hold the service lock — they must enqueue and
+        return, never block or call back into the service.  A raising
+        listener is counted in ``listener_errors`` and skipped, not
+        propagated.
+        """
+        self._listeners.append(fn)
+        return fn
+
+    def remove_status_listener(self, fn):
+        try:
+            self._listeners.remove(fn)
+        except ValueError:
+            pass
+
+    def _emit(self, op, future, **fields):
+        if not self._listeners:
+            return
+        event = {
+            "op": op,
+            "state": EVENT_STATES[op],
+            "key": future.key,
+            "kind": future.job.kind,
+            "priority": future.priority,
+            "tenant": future.tenant,
+        }
+        event.update(fields)
+        for fn in list(self._listeners):
+            try:
+                fn(event)
+            except Exception:
+                self.listener_errors += 1
 
     # -- durability ---------------------------------------------------
 
@@ -401,6 +471,7 @@ class SimulationService:
         if self.journal is not None:
             self.journal.append("CANCEL", key=victim.key,
                                 reason="shed")
+        self._emit("CANCEL", victim, reason="shed")
         self._resolved.notify_all()
 
     def submit(self, job: JobSpec, priority: int = 0,
@@ -436,6 +507,8 @@ class SimulationService:
                     future = JobFuture(self, job, key, priority,
                                        "cached", tenant=tenant)
                     future.value = value
+                    self._emit("CACHED", future,
+                               digest=payload_digest(value))
                     return future
             if not self.tenants.admit(tenant):
                 self.quota_rejected += 1
@@ -462,6 +535,7 @@ class SimulationService:
             self.queue_depth_hwm = max(self.queue_depth_hwm,
                                        len(self._inflight))
             self._journal_submit(future, self._seq)
+            self._emit("SUBMIT", future, seq=self._seq)
             return future
 
     def submit_batch(self, jobs) -> list:
@@ -497,6 +571,7 @@ class SimulationService:
             if self.journal is not None:
                 self.journal.append("CANCEL", key=future.key,
                                     reason="cancelled")
+            self._emit("CANCEL", future, reason="cancelled")
             self._resolved.notify_all()
             return True
 
@@ -537,6 +612,8 @@ class SimulationService:
                 [{"op": "START", "key": f.key} for f in chunk],
                 sync=False,
             )
+        for future in chunk:
+            self._emit("START", future)
         # Pool mode (>1 worker) always forks, even for a single-cell
         # chunk — crash isolation is a property of the pool, not of
         # the chunk size, and the retry path depends on a dead worker
@@ -590,6 +667,14 @@ class SimulationService:
                 self._inflight.pop(future.key, None)
             if self.journal is not None:
                 self.journal.append_many(records)
+            # Events fire after the journal batch is durable (the
+            # same write-ahead discipline a subscriber observes).
+            for future in chunk:
+                if future.status == "done":
+                    self._emit("DONE", future,
+                               digest=payload_digest(future.value))
+                else:
+                    self._emit("FAIL", future, error=future.error)
             self._resolved.notify_all()
 
     def drain(self, pool_jobs=None) -> list:
@@ -644,6 +729,14 @@ class SimulationService:
     def _wait_for(self, future: JobFuture, timeout):
         """Bounded wait for one future; drains on a background thread.
 
+        A pure condition-variable wait: every terminal transition
+        (resolve, cancel, shed) notifies ``_resolved``, so the waiter
+        sleeps the full remaining window instead of polling — the
+        remote serving path parks hundreds of waiters here and a
+        0.1 s poll loop per waiter would be a busy-wait in aggregate.
+        A 0 (or elapsed) timeout still raises immediately without
+        ever entering the wait.
+
         Raises :class:`JobTimeout` when the deadline passes first; the
         drain keeps running, so the job may still complete later.
         """
@@ -655,7 +748,7 @@ class SimulationService:
                 if remaining <= 0:
                     raise JobTimeout(future.key, timeout,
                                      future.status)
-                self._resolved.wait(min(remaining, 0.1))
+                self._resolved.wait(remaining)
 
     # -- stats --------------------------------------------------------
 
@@ -687,4 +780,7 @@ class SimulationService:
                           if self.cache is not None else None),
                 "tenants": self.tenants.stats(),
                 "journal": journal,
+                "listener_errors": self.listener_errors,
+                "net": (self.net.snapshot()
+                        if self.net is not None else None),
             }

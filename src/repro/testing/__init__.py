@@ -7,12 +7,14 @@ decoded-instruction cache, memoized vector timing), the default turbo
 kernel (resume trampolines, basic-block translation), and the
 ``REPRO_VECTOR_KERNEL=1`` vector kernel (columnar SoA event queue,
 batched vector-form chains).  They must be observationally identical.
-This package enforces that with six generative fuzzers (CP-ISA
+This package enforces that with seven generative fuzzers (CP-ISA
 programs, Occam programs, event schedules, vector workloads, fault
-schedules, and machine-room chaos schedules attacking the
+schedules, machine-room chaos schedules attacking the
 :mod:`repro.service` layer with kills, journal damage, and cache
-corruption), a structural diff oracle, a spec shrinker, and a
-golden-trace conformance suite.
+corruption, and serving chaos schedules attacking the
+:mod:`repro.service.net` front-end with torn frames, hostile bytes,
+and mid-drain server kills), a structural diff oracle, a spec
+shrinker, and a golden-trace conformance suite.
 
 Entry points:
 

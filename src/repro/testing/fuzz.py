@@ -25,7 +25,8 @@ import time
 
 from repro.parallel import resolve_jobs, run_cells
 from repro.testing import (
-    gen_cp, gen_events, gen_faults, gen_occam, gen_service, gen_vector,
+    gen_cp, gen_events, gen_faults, gen_net, gen_occam, gen_service,
+    gen_vector,
 )
 from repro.testing.oracle import differential
 from repro.testing.shrink import default_repro_dir, shrink, write_repro
@@ -34,6 +35,7 @@ GENERATORS = {
     "cp": gen_cp,
     "events": gen_events,
     "faults": gen_faults,
+    "net": gen_net,
     "occam": gen_occam,
     "service": gen_service,
     "vector": gen_vector,
@@ -139,8 +141,10 @@ def fuzz(seed: int, cases: int, budget_s: float, names, repro_dir,
             if deadline is not None and time.monotonic() > deadline:
                 print(f"budget exhausted after {executed} cases")
                 break
+            # Non-daemonic workers: chaos cases (service, net) open
+            # their own fork pools, which daemonic processes may not.
             sweep = run_cells(case_cell, cells[start:start + batch],
-                              jobs=jobs)
+                              jobs=jobs, daemon=False)
             for cell, result in zip(cells[start:start + batch],
                                     sweep.results):
                 name, index = cell
@@ -174,8 +178,9 @@ def main(argv=None) -> int:
                         help="wall-clock budget in seconds (0 = no cap)")
     parser.add_argument("--generators",
                         default="cp,events,faults,occam,service,vector",
-                        help="comma list from: "
-                             "cp,events,faults,occam,service,vector")
+                        help="comma list from: cp,events,faults,"
+                             "net,occam,service,vector (net is "
+                             "opt-in: it spins up live servers)")
     parser.add_argument("--repro-dir", default=None,
                         help="where to write reproducers "
                              "(default tests/repros/)")

@@ -374,3 +374,170 @@ def test_result_timeout_raises_structured_job_timeout(service):
         assert future.result(timeout=30.0) == {}
     finally:
         unregister_workload("test.slow")
+
+
+# -- lifecycle status hooks (the net layer's event source) ------------
+
+def lifecycle_listener(service):
+    events = []
+    service.add_status_listener(events.append)
+    return events
+
+
+def test_status_listener_sees_ordered_lifecycle(service):
+    events = lifecycle_listener(service)
+    future = service.submit(JobSpec(kind="vector", spec=VEC_SPEC,
+                                    tier="turbo"))
+    service.drain()
+    mine = [e for e in events if e["key"] == future.key]
+    assert [e["op"] for e in mine] == ["SUBMIT", "START", "DONE"]
+    assert [e["state"] for e in mine] == ["QUEUED", "RUNNING",
+                                         "DONE"]
+    assert mine[-1]["digest"] == future.digest()
+    assert all(e["kind"] == "vector" for e in mine)
+
+
+def test_status_listener_exactly_once_per_transition(service):
+    events = lifecycle_listener(service)
+    job = JobSpec(kind="vector", spec=VEC_SPEC, tier="turbo")
+    # Coalesced duplicate submissions share one future — and one
+    # event stream: one SUBMIT, one START, one DONE.
+    futures = [service.submit(job) for _ in range(4)]
+    service.drain()
+    key = futures[0].key
+    marks = [(e["key"], e["op"]) for e in events]
+    assert len(marks) == len(set(marks))
+    assert marks.count((key, "SUBMIT")) == 1
+    assert marks.count((key, "DONE")) == 1
+
+
+def test_status_listener_cache_hit_emits_cached(service):
+    future = service.submit(JobSpec(kind="vector", spec=VEC_SPEC,
+                                    tier="turbo"))
+    service.drain()
+    events = lifecycle_listener(service)
+    again = service.submit(JobSpec(kind="vector", spec=VEC_SPEC,
+                                   tier="turbo"))
+    assert again.status == "cached"
+    assert [e["op"] for e in events] == ["CACHED"]
+    assert events[0]["digest"] == future.digest()
+
+
+def test_status_listener_failure_and_cancel_paths(service,
+                                                  recorder):
+    def boom(spec):
+        raise RuntimeError("synthetic")
+
+    register_workload("test.boom", boom, replace=True)
+    try:
+        events = lifecycle_listener(service)
+        failed = service.submit(JobSpec(kind="test.boom",
+                                        spec={"label": "x"},
+                                        tier="turbo"))
+        victim = service.submit(JobSpec(kind="test.recorder",
+                                        spec={"label": "v"},
+                                        tier="turbo"))
+        assert victim.cancel() is True
+        service.drain()
+        by_key = {}
+        for event in events:
+            by_key.setdefault(event["key"], []).append(event["op"])
+        assert by_key[failed.key] == ["SUBMIT", "START", "FAIL"]
+        assert by_key[victim.key] == ["SUBMIT", "CANCEL"]
+        fail_event = [e for e in events
+                      if e["op"] == "FAIL"][0]
+        assert "synthetic" in fail_event["error"]
+        cancel_event = [e for e in events
+                        if e["op"] == "CANCEL"][0]
+        assert cancel_event["reason"] == "cancelled"
+    finally:
+        unregister_workload("test.boom")
+
+
+def test_raising_listener_is_counted_never_fatal(service):
+    def bad_listener(event):
+        raise RuntimeError("listener bug")
+
+    service.add_status_listener(bad_listener)
+    future = service.submit(JobSpec(kind="vector", spec=VEC_SPEC,
+                                    tier="turbo"))
+    service.drain()
+    assert future.status == "done"
+    assert service.listener_errors >= 3  # SUBMIT, START, DONE
+    service.remove_status_listener(bad_listener)
+    before = service.listener_errors
+    service.submit(JobSpec(kind="vector", spec=VEC_SPEC,
+                           tier="turbo"))
+    assert service.listener_errors == before
+
+
+# -- condition-variable wait (no poll loop) ---------------------------
+
+def test_zero_timeout_raises_immediately(service):
+    import time as _time
+    from repro.service import JobTimeout
+
+    def runner(spec):
+        _time.sleep(0.5)
+        return {}
+
+    register_workload("test.slow0", runner, replace=True)
+    try:
+        future = service.submit(JobSpec(kind="test.slow0",
+                                        spec={"label": "z"},
+                                        tier="turbo"))
+        start = _time.perf_counter()
+        with pytest.raises(JobTimeout):
+            future.result(timeout=0.0)
+        elapsed = _time.perf_counter() - start
+        # The old implementation slept in 0.1 s poll slices; the
+        # cond-var wait must give an *immediate* raise at timeout=0.
+        assert elapsed < 0.09
+        assert future.result(timeout=30.0) == {}
+    finally:
+        unregister_workload("test.slow0")
+
+
+def test_waiters_wake_on_resolution_not_on_poll_ticks(service):
+    import time as _time
+
+    future = service.submit(JobSpec(kind="vector", spec=VEC_SPEC,
+                                    tier="turbo"))
+    start = _time.perf_counter()
+    value = future.result(timeout=60.0)
+    elapsed = _time.perf_counter() - start
+    assert value is not None
+    # The wait is notified, not polled: finishing a millisecond-scale
+    # job must come back in far less than one old poll slice.
+    assert elapsed < 60.0
+
+
+# -- net counters surfacing -------------------------------------------
+
+def test_stats_net_counters_absent_without_server(service):
+    from repro.analysis import service_stats
+
+    assert service.stats()["net"] is None
+    assert service_stats(service)["net"] is None
+
+
+def test_stats_net_counters_surface_when_attached(service):
+    from repro.analysis import service_stats, service_stats_table
+    from repro.service.net import NetCounters
+
+    counters = NetCounters()
+    counters.connections = 7
+    counters.frames_in = 21
+    counters.rejected_auth = 2
+    counters.streaming_subscribers = 3
+    service.net = counters
+    service.submit(JobSpec(kind="vector", spec=VEC_SPEC,
+                           tier="turbo"))
+    service.drain()
+    rollup = service_stats(service)
+    assert rollup["net"]["connections"] == 7
+    assert rollup["net"]["frames_in"] == 21
+    rendered = service_stats_table(rollup).render()
+    assert "net_connections" in rendered
+    assert "net_rejected_auth" in rendered
+    assert "net_streaming_subscribers" in rendered
